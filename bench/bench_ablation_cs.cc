@@ -1,0 +1,66 @@
+// A1 — Ablation: computing the Theorem 1 coefficients c_S for all
+// 2^n subsets — naive per-subset summation (O(3^n) total) vs the signed
+// zeta/Moebius transform (O(n 2^n)). Both produce identical values (unit
+// tested); this bench quantifies the crossover.
+
+#include <benchmark/benchmark.h>
+
+#include "algebra/translate.h"
+#include "bench/bench_util.h"
+#include "util/random.h"
+#include "util/table.h"
+
+namespace gus {
+
+using bench::ValueOrAbort;
+
+namespace {
+
+GusParams MakeWideGus(int n, uint64_t seed) {
+  std::vector<std::string> rels;
+  for (int i = 0; i < n; ++i) rels.push_back("r" + std::to_string(i));
+  LineageSchema schema = LineageSchema::Make(rels).ValueOrDie();
+  Rng rng(seed);
+  std::vector<DimBernoulli> dims;
+  for (const auto& rel : schema.relations()) {
+    dims.push_back({rel, rng.Uniform(0.1, 0.9)});
+  }
+  return ValueOrAbort(MultiDimBernoulliGus(schema, dims));
+}
+
+}  // namespace
+
+void PrintAblationCs() {
+  bench::PrintHeader(
+      "A1", "c_S computation: naive subset sums vs fast Moebius transform");
+  std::printf(
+      "Both variants are exact and agree to 1e-12 (unit tested); the table\n"
+      "below is produced by the google-benchmark timings that follow.\n"
+      "Expected shape: naive grows ~3^n, fast ~n*2^n; the gap widens\n"
+      "rapidly beyond ~8 relations.\n");
+}
+
+namespace {
+
+void BM_AllCNaive(benchmark::State& state) {
+  GusParams g = MakeWideGus(static_cast<int>(state.range(0)), 42);
+  for (auto _ : state) {
+    auto c = g.AllCNaive();
+    benchmark::DoNotOptimize(c);
+  }
+}
+BENCHMARK(BM_AllCNaive)->DenseRange(4, 16, 2);
+
+void BM_AllCFast(benchmark::State& state) {
+  GusParams g = MakeWideGus(static_cast<int>(state.range(0)), 42);
+  for (auto _ : state) {
+    auto c = g.AllCFast();
+    benchmark::DoNotOptimize(c);
+  }
+}
+BENCHMARK(BM_AllCFast)->DenseRange(4, 16, 2);
+
+}  // namespace
+}  // namespace gus
+
+GUS_BENCH_MAIN(gus::PrintAblationCs)

@@ -1,0 +1,69 @@
+// E5 — Section 6.4: interval width comparison, optimistic (normal,
+// 1.96 sigma at 95%) vs pessimistic (Chebyshev, 4.47 sigma), and the
+// corresponding QUANTILE values of the APPROX-view interface.
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+#include "est/confidence.h"
+#include "util/stats.h"
+#include "util/table.h"
+
+namespace gus {
+
+using bench::ValueOrAbort;
+
+void PrintCiWidth() {
+  bench::PrintHeader("E5",
+                     "Interval width: normal vs Chebyshev multipliers");
+  TablePrinter table({"level", "normal k", "Chebyshev k", "width ratio",
+                      "paper"});
+  for (double level : {0.80, 0.90, 0.95, 0.99}) {
+    const double kn = NormalQuantile(0.5 + level / 2.0);
+    const double kc = ChebyshevMultiplier(level);
+    table.AddRow({TablePrinter::Num(level), TablePrinter::Num(kn, 4),
+                  TablePrinter::Num(kc, 4), TablePrinter::Num(kc / kn, 3),
+                  level == 0.95 ? "1.96 vs 4.47" : ""});
+  }
+  std::printf("%s\n", table.ToString().c_str());
+
+  // The APPROX view of the introduction at an illustrative estimate.
+  const double mu = 1.0e6, sigma = 2.5e4;
+  TablePrinter view({"quantile", "normal value", "Cantelli value"});
+  for (double q : {0.05, 0.25, 0.5, 0.75, 0.95}) {
+    view.AddRow(
+        {TablePrinter::Num(q),
+         TablePrinter::Num(
+             ValueOrAbort(EstimateQuantile(mu, sigma * sigma, q)), 7),
+         TablePrinter::Num(ValueOrAbort(EstimateQuantile(
+                               mu, sigma * sigma, q, BoundKind::kChebyshev)),
+                           7)});
+  }
+  std::printf("QUANTILE(SUM(...), q) for estimate 1e6, sigma 2.5e4:\n%s",
+              view.ToString().c_str());
+}
+
+namespace {
+
+void BM_NormalQuantile(benchmark::State& state) {
+  double q = 0.001;
+  for (auto _ : state) {
+    q += 1e-7;
+    if (q >= 0.999) q = 0.001;
+    benchmark::DoNotOptimize(NormalQuantile(q));
+  }
+}
+BENCHMARK(BM_NormalQuantile);
+
+void BM_MakeInterval(benchmark::State& state) {
+  for (auto _ : state) {
+    auto ci = MakeInterval(1e6, 6.25e8, 0.95, BoundKind::kNormal);
+    benchmark::DoNotOptimize(ci);
+  }
+}
+BENCHMARK(BM_MakeInterval);
+
+}  // namespace
+}  // namespace gus
+
+GUS_BENCH_MAIN(gus::PrintCiWidth)

@@ -1,0 +1,75 @@
+// F2 — Figure 2 / Examples 1-3: the paper's Query 1 plan
+//
+//   SUM(l_discount*(1-l_tax)) over B(0.1)(lineitem) ⋈ WOR(1000)(orders)
+//   WHERE l_extendedprice > 100
+//
+// transformed to a single top GUS. Prints the rewrite trace (the panel
+// sequence of Figure 2) and the combined coefficients of Example 3, then
+// times the SOA transform.
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+#include "data/workload.h"
+#include "plan/soa_transform.h"
+#include "util/table.h"
+
+namespace gus {
+
+using bench::ValueOrAbort;
+
+void PrintFigure2() {
+  bench::PrintHeader("F2",
+                     "Figure 2 / Example 3: Query 1 -> single GUS operator");
+  Workload q1 = MakeQuery1(Query1Params{});
+  std::printf("Input plan (Figure 2.a):\n%s\n",
+              q1.plan->ToString(1).c_str());
+  SoaResult soa = ValueOrAbort(SoaTransform(q1.plan));
+  std::printf("Rewrite trace (Figure 2.b -> 2.c):\n%s\n",
+              soa.TraceToString().c_str());
+  std::printf("Relational residue:\n%s\n",
+              soa.relational->ToString(1).c_str());
+
+  TablePrinter table({"coefficient", "measured", "paper (Example 3)"});
+  table.AddRow({"a", TablePrinter::Sci(soa.top.a()), "6.667e-04"});
+  table.AddRow({"b_{}",
+                TablePrinter::Sci(soa.top.b(std::vector<std::string>{})
+                                      .ValueOrDie()),
+                "4.44e-07"});
+  table.AddRow(
+      {"b_{o}", TablePrinter::Sci(soa.top.b({"o"}).ValueOrDie()),
+       "6.667e-05"});
+  table.AddRow(
+      {"b_{l}", TablePrinter::Sci(soa.top.b({"l"}).ValueOrDie()),
+       "4.44e-06"});
+  table.AddRow(
+      {"b_{l,o}", TablePrinter::Sci(soa.top.b({"l", "o"}).ValueOrDie()),
+       "6.667e-04"});
+  std::printf("%s", table.ToString().c_str());
+}
+
+namespace {
+
+void BM_SoaTransformQuery1(benchmark::State& state) {
+  Workload q1 = MakeQuery1(Query1Params{});
+  for (auto _ : state) {
+    auto soa = SoaTransform(q1.plan);
+    benchmark::DoNotOptimize(soa);
+  }
+}
+BENCHMARK(BM_SoaTransformQuery1);
+
+void BM_CComputationQuery1(benchmark::State& state) {
+  Workload q1 = MakeQuery1(Query1Params{});
+  SoaResult soa = ValueOrAbort(SoaTransform(q1.plan));
+  for (auto _ : state) {
+    auto c = soa.top.AllCFast();
+    benchmark::DoNotOptimize(c);
+  }
+}
+BENCHMARK(BM_CComputationQuery1);
+
+}  // namespace
+}  // namespace gus
+
+GUS_BENCH_MAIN(gus::PrintFigure2)

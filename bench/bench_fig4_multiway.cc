@@ -1,0 +1,70 @@
+// F4 — Figure 4 / Example 4: the four-relation plan
+//   ((B0.1(l) ⋈ WOR1000(o)) ⋈ c) ⋈ B0.5(p)
+// collapsed to G(a123, b̄123). Prints all 16 coefficients against the
+// paper's table and times the transform.
+
+#include <benchmark/benchmark.h>
+
+#include <map>
+
+#include "bench/bench_util.h"
+#include "data/workload.h"
+#include "plan/soa_transform.h"
+#include "util/table.h"
+
+namespace gus {
+
+using bench::ValueOrAbort;
+
+void PrintFigure4() {
+  bench::PrintHeader(
+      "F4", "Figure 4 / Example 4: four-relation plan -> G(a123, b123)");
+  Workload e4 = MakeExample4(Example4Params{});
+  std::printf("Input plan (Figure 4.a):\n%s\n", e4.plan->ToString(1).c_str());
+  SoaResult soa = ValueOrAbort(SoaTransform(e4.plan));
+  std::printf("Rewrite trace (Figure 4.b-e):\n%s\n",
+              soa.TraceToString().c_str());
+
+  // The paper's G(a123, b̄123) table, keyed by subset name.
+  const std::map<std::string, double> kPaper = {
+      {"{}", 1.11e-7},        {"{p}", 2.22e-7},
+      {"{c}", 1.11e-7},       {"{c,p}", 2.22e-7},
+      {"{o}", 1.667e-5},      {"{o,p}", 3.335e-5},
+      {"{o,c}", 1.667e-5},    {"{o,c,p}", 3.335e-5},
+      {"{l}", 1.11e-6},       {"{l,p}", 2.22e-6},
+      {"{l,c}", 1.11e-6},     {"{l,c,p}", 2.22e-6},
+      {"{l,o}", 1.667e-4},    {"{l,o,p}", 3.334e-4},
+      {"{l,o,c}", 1.667e-4},  {"{l,o,c,p}", 3.334e-4},
+  };
+
+  std::printf("a123: measured %.4e, paper 3.334e-04\n\n", soa.top.a());
+  TablePrinter table({"T", "measured b_T", "paper b_T", "rel.err"});
+  for (SubsetMask m = 0; m < soa.top.schema().num_subsets(); ++m) {
+    const std::string key = soa.top.schema().MaskToString(m);
+    const double measured = soa.top.b(m);
+    const auto it = kPaper.find(key);
+    const double paper = it == kPaper.end() ? 0.0 : it->second;
+    table.AddRow({key, TablePrinter::Sci(measured),
+                  TablePrinter::Sci(paper),
+                  TablePrinter::Num((measured - paper) / paper, 3)});
+  }
+  std::printf("%s", table.ToString().c_str());
+  std::printf(
+      "\n(Residual relative errors reflect the paper's 4-digit rounding.)\n");
+}
+
+namespace {
+
+void BM_SoaTransformExample4(benchmark::State& state) {
+  Workload e4 = MakeExample4(Example4Params{});
+  for (auto _ : state) {
+    auto soa = SoaTransform(e4.plan);
+    benchmark::DoNotOptimize(soa);
+  }
+}
+BENCHMARK(BM_SoaTransformExample4);
+
+}  // namespace
+}  // namespace gus
+
+GUS_BENCH_MAIN(gus::PrintFigure4)

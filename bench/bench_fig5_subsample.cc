@@ -1,0 +1,92 @@
+// F5 — Figure 5 / Examples 5-6: Query 1 capped by the bi-dimensional
+// Bernoulli B(0.2, 0.3) sub-sampler. Prints the Example 5 composition, the
+// final G(a123, b̄123) of Figure 5, and times the composed transform.
+
+#include <benchmark/benchmark.h>
+
+#include "algebra/ops.h"
+#include "algebra/translate.h"
+#include "bench/bench_util.h"
+#include "data/workload.h"
+#include "plan/soa_transform.h"
+#include "util/table.h"
+
+namespace gus {
+
+using bench::ValueOrAbort;
+
+void PrintFigure5() {
+  bench::PrintHeader(
+      "F5", "Figure 5 / Examples 5-6: sub-sampled Query 1 -> G(a123, b123)");
+
+  // Example 5: the bi-dimensional Bernoulli as a composition (Prop 9).
+  GusParams gl =
+      ValueOrAbort(TranslateBaseSampling(SamplingSpec::Bernoulli(0.2), "l"));
+  GusParams go =
+      ValueOrAbort(TranslateBaseSampling(SamplingSpec::Bernoulli(0.3), "o"));
+  GusParams g3 = ValueOrAbort(GusCompose(gl, go));
+  TablePrinter ex5({"coefficient", "measured", "paper (Example 5)"});
+  ex5.AddRow({"a3", TablePrinter::Num(g3.a()), "0.06"});
+  ex5.AddRow({"b3_{}",
+              TablePrinter::Num(
+                  g3.b(std::vector<std::string>{}).ValueOrDie()),
+              "0.0036"});
+  ex5.AddRow({"b3_{o}", TablePrinter::Num(g3.b({"o"}).ValueOrDie()),
+              "0.012"});
+  ex5.AddRow({"b3_{l}", TablePrinter::Num(g3.b({"l"}).ValueOrDie()),
+              "0.018"});
+  ex5.AddRow({"b3_{l,o}", TablePrinter::Num(g3.b({"l", "o"}).ValueOrDie()),
+              "0.06"});
+  std::printf("%s\n", ex5.ToString().c_str());
+
+  // Example 6 / Figure 5: the whole plan.
+  Workload e6 = MakeExample6(Query1Params{}, 0.2, 0.3, /*seed=*/42);
+  std::printf("Input plan (Figure 5.c):\n%s\n", e6.plan->ToString(1).c_str());
+  SoaResult soa = ValueOrAbort(SoaTransform(e6.plan));
+  std::printf("Rewrite trace (Figure 5.d-f):\n%s\n",
+              soa.TraceToString().c_str());
+
+  TablePrinter table({"coefficient", "measured", "paper (Figure 5)"});
+  table.AddRow({"a123", TablePrinter::Sci(soa.top.a()), "4e-05"});
+  table.AddRow({"b123_{}",
+                TablePrinter::Sci(
+                    soa.top.b(std::vector<std::string>{}).ValueOrDie()),
+                "1.598e-09"});
+  table.AddRow({"b123_{o}",
+                TablePrinter::Sci(soa.top.b({"o"}).ValueOrDie()), "8e-07"});
+  table.AddRow({"b123_{l}",
+                TablePrinter::Sci(soa.top.b({"l"}).ValueOrDie()),
+                "7.992e-08"});
+  table.AddRow({"b123_{l,o}",
+                TablePrinter::Sci(soa.top.b({"l", "o"}).ValueOrDie()),
+                "4e-05"});
+  std::printf("%s", table.ToString().c_str());
+}
+
+namespace {
+
+void BM_SoaTransformExample6(benchmark::State& state) {
+  Workload e6 = MakeExample6(Query1Params{}, 0.2, 0.3, 42);
+  for (auto _ : state) {
+    auto soa = SoaTransform(e6.plan);
+    benchmark::DoNotOptimize(soa);
+  }
+}
+BENCHMARK(BM_SoaTransformExample6);
+
+void BM_ComposeBiDimensionalBernoulli(benchmark::State& state) {
+  GusParams gl =
+      ValueOrAbort(TranslateBaseSampling(SamplingSpec::Bernoulli(0.2), "l"));
+  GusParams go =
+      ValueOrAbort(TranslateBaseSampling(SamplingSpec::Bernoulli(0.3), "o"));
+  for (auto _ : state) {
+    auto g = GusCompose(gl, go);
+    benchmark::DoNotOptimize(g);
+  }
+}
+BENCHMARK(BM_ComposeBiDimensionalBernoulli);
+
+}  // namespace
+}  // namespace gus
+
+GUS_BENCH_MAIN(gus::PrintFigure5)

@@ -1,0 +1,133 @@
+// E3 — Section 6.1 claim: "with careful implementation, this process need
+// not take more than a few milliseconds even for plans involving 10
+// relations." Times the SOA transform and the downstream coefficient math
+// as the number of relations grows 2..10, and the SBox estimation cost as
+// the sample grows.
+
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+
+#include "algebra/translate.h"
+#include "bench/bench_util.h"
+#include "est/sbox.h"
+#include "plan/soa_transform.h"
+#include "util/random.h"
+#include "util/table.h"
+
+namespace gus {
+
+using bench::ValueOrAbort;
+
+namespace {
+
+/// Chain of n sampled relations joined left-deep: B(0.5)(r0) ⋈ ... ⋈
+/// B(0.5)(r_{n-1}).
+PlanPtr MakeChainPlan(int n) {
+  PlanPtr plan = PlanNode::Sample(SamplingSpec::Bernoulli(0.5),
+                                  PlanNode::Scan("r0"));
+  for (int i = 1; i < n; ++i) {
+    PlanPtr next = PlanNode::Sample(SamplingSpec::Bernoulli(0.5),
+                                    PlanNode::Scan("r" + std::to_string(i)));
+    plan = PlanNode::Join(plan, next, "k" + std::to_string(i - 1),
+                          "j" + std::to_string(i));
+  }
+  return plan;
+}
+
+/// Synthetic sample view with n lineage dimensions and m rows.
+SampleView MakeSyntheticView(int n, int64_t m, uint64_t seed) {
+  std::vector<std::string> rels;
+  for (int i = 0; i < n; ++i) rels.push_back("r" + std::to_string(i));
+  SampleView view;
+  view.schema = LineageSchema::Make(rels).ValueOrDie();
+  view.lineage.assign(n, {});
+  Rng rng(seed);
+  for (int64_t r = 0; r < m; ++r) {
+    for (int d = 0; d < n; ++d) {
+      view.lineage[d].push_back(rng.UniformInt(uint64_t{1} << (4 + d % 4)));
+    }
+    view.f.push_back(rng.Uniform(0.0, 2.0));
+  }
+  return view;
+}
+
+}  // namespace
+
+void PrintSboxRuntime() {
+  bench::PrintHeader(
+      "E3", "SOA transform + analysis runtime vs number of relations");
+  TablePrinter table({"relations", "2^n masks", "transform (us)",
+                      "c_S fast (us)", "paper claim"});
+  for (int n = 2; n <= 10; ++n) {
+    PlanPtr plan = MakeChainPlan(n);
+    // Median-of-5 timing.
+    double best_transform = 1e18, best_c = 1e18;
+    for (int rep = 0; rep < 5; ++rep) {
+      auto t0 = std::chrono::steady_clock::now();
+      SoaResult soa = ValueOrAbort(SoaTransform(plan));
+      auto t1 = std::chrono::steady_clock::now();
+      auto c = soa.top.AllCFast();
+      benchmark::DoNotOptimize(c);
+      auto t2 = std::chrono::steady_clock::now();
+      best_transform = std::min(
+          best_transform,
+          std::chrono::duration<double, std::micro>(t1 - t0).count());
+      best_c = std::min(
+          best_c, std::chrono::duration<double, std::micro>(t2 - t1).count());
+    }
+    table.AddRow({std::to_string(n), std::to_string(1 << n),
+                  TablePrinter::Num(best_transform, 4),
+                  TablePrinter::Num(best_c, 4),
+                  n == 10 ? "'a few milliseconds'" : ""});
+  }
+  std::printf("%s", table.ToString().c_str());
+  std::printf(
+      "\nExpected shape: cost grows with 2^n but stays well under a few\n"
+      "milliseconds at 10 relations, matching the Section 6.1 claim.\n");
+}
+
+namespace {
+
+void BM_SoaTransformChain(benchmark::State& state) {
+  PlanPtr plan = MakeChainPlan(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    auto soa = SoaTransform(plan);
+    benchmark::DoNotOptimize(soa);
+  }
+}
+BENCHMARK(BM_SoaTransformChain)->DenseRange(2, 10, 2);
+
+void BM_SboxEstimateBySampleSize(benchmark::State& state) {
+  const auto m = static_cast<int64_t>(state.range(0));
+  SampleView view = MakeSyntheticView(3, m, 11);
+  std::vector<DimBernoulli> dims;
+  for (const auto& rel : view.schema.relations()) dims.push_back({rel, 0.5});
+  GusParams gus =
+      ValueOrAbort(MultiDimBernoulliGus(view.schema, dims));
+  for (auto _ : state) {
+    auto report = SboxEstimate(gus, view);
+    benchmark::DoNotOptimize(report);
+  }
+  state.SetItemsProcessed(state.iterations() * m);
+}
+BENCHMARK(BM_SboxEstimateBySampleSize)->RangeMultiplier(4)->Range(1000, 256000);
+
+void BM_SboxEstimateByArity(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  SampleView view = MakeSyntheticView(n, 20000, 12);
+  std::vector<DimBernoulli> dims;
+  for (const auto& rel : view.schema.relations()) dims.push_back({rel, 0.5});
+  GusParams gus =
+      ValueOrAbort(MultiDimBernoulliGus(view.schema, dims));
+  for (auto _ : state) {
+    auto report = SboxEstimate(gus, view);
+    benchmark::DoNotOptimize(report);
+  }
+}
+BENCHMARK(BM_SboxEstimateByArity)->DenseRange(2, 8, 2);
+
+}  // namespace
+}  // namespace gus
+
+GUS_BENCH_MAIN(gus::PrintSboxRuntime)

@@ -1,0 +1,56 @@
+// Shared helpers for the experiment/benchmark harness.
+//
+// Every bench binary prints the reproduced paper table (paper value vs
+// measured value where the paper reports numbers) before running its
+// google-benchmark timings, so `for b in build/bench/*; do $b; done`
+// regenerates the full evaluation.
+
+#ifndef GUS_BENCH_BENCH_UTIL_H_
+#define GUS_BENCH_BENCH_UTIL_H_
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "util/status.h"
+
+namespace gus {
+namespace bench {
+
+/// Aborts the bench with a diagnostic if `status` is not OK.
+inline void CheckOk(const Status& status) {
+  if (!status.ok()) {
+    std::fprintf(stderr, "[bench] fatal: %s\n", status.ToString().c_str());
+    std::abort();
+  }
+}
+
+template <typename T>
+T ValueOrAbort(Result<T> result) {
+  CheckOk(result.status());
+  return std::move(result).ValueOrDie();
+}
+
+inline void PrintHeader(const std::string& id, const std::string& title) {
+  std::printf("\n================================================================\n");
+  std::printf("%s — %s\n", id.c_str(), title.c_str());
+  std::printf("================================================================\n");
+}
+
+/// Standard bench main: print the reproduction section, then run timings.
+#define GUS_BENCH_MAIN(print_fn)                    \
+  int main(int argc, char** argv) {                 \
+    print_fn();                                     \
+    ::benchmark::Initialize(&argc, argv);           \
+    if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1; \
+    ::benchmark::RunSpecifiedBenchmarks();          \
+    ::benchmark::Shutdown();                        \
+    return 0;                                       \
+  }
+
+}  // namespace bench
+}  // namespace gus
+
+#endif  // GUS_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,118 @@
+// E4 — Section 7 claim: "using 10000 result tuples for the estimation of
+// y_S terms suffices." Sweeps the sub-sample target size and reports the
+// dispersion of the resulting variance estimates around the full-sample
+// estimate, plus the speedup of the variance computation.
+
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+
+#include "bench/bench_util.h"
+#include "data/tpch_gen.h"
+#include "data/workload.h"
+#include "mc/monte_carlo.h"
+#include "util/table.h"
+
+namespace gus {
+
+using bench::ValueOrAbort;
+
+namespace {
+
+struct Fixture {
+  Catalog catalog;
+  Workload q1;
+  SoaResult soa;
+  SampleView view;
+};
+
+Fixture MakeFixture() {
+  TpchConfig config;
+  config.num_orders = 30000;
+  config.num_customers = 1000;
+  config.num_parts = 500;
+  config.max_lineitems_per_order = 4;
+  TpchData data = GenerateTpch(config);
+  Fixture fx{data.MakeCatalog(), {}, {}, {}};
+  Query1Params params;
+  params.lineitem_p = 0.8;
+  params.orders_n = 25000;
+  params.orders_population = config.num_orders;
+  fx.q1 = MakeQuery1(params);
+  fx.soa = ValueOrAbort(SoaTransform(fx.q1.plan));
+  Rng rng(2024);
+  Relation sampled = ValueOrAbort(ExecutePlan(fx.q1.plan, fx.catalog, &rng));
+  fx.view = ValueOrAbort(SampleView::FromRelation(sampled, fx.q1.aggregate,
+                                                  fx.soa.top.schema()));
+  return fx;
+}
+
+}  // namespace
+
+void PrintYsSubsample() {
+  bench::PrintHeader(
+      "E4", "Variance estimate quality vs sub-sample size (Section 7)");
+  Fixture fx = MakeFixture();
+  std::printf("Result sample: %lld tuples\n\n",
+              static_cast<long long>(fx.view.num_rows()));
+
+  SboxReport full = ValueOrAbort(SboxEstimate(fx.soa.top, fx.view));
+  std::printf("Full-sample sigma estimate: %.6g (uses all %lld tuples)\n\n",
+              full.stddev, static_cast<long long>(full.variance_rows));
+
+  TablePrinter table({"target rows", "actual rows", "mean sigma-hat",
+                      "rel.spread of sigma", "rel.bias vs full"});
+  for (int64_t target : {1000, 3000, 10000, 30000}) {
+    MeanVar sigma_stats;
+    int64_t actual_rows = 0;
+    const int reps = 15;
+    for (int rep = 0; rep < reps; ++rep) {
+      SboxOptions options;
+      options.subsample =
+          SubsampleConfig{target, 0xABC000 + static_cast<uint64_t>(rep)};
+      SboxReport report =
+          ValueOrAbort(SboxEstimate(fx.soa.top, fx.view, options));
+      sigma_stats.Add(report.stddev);
+      actual_rows = report.variance_rows;
+    }
+    table.AddRow(
+        {std::to_string(target), std::to_string(actual_rows),
+         TablePrinter::Num(sigma_stats.mean(), 5),
+         TablePrinter::Num(
+             sigma_stats.stddev_sample() / sigma_stats.mean(), 3),
+         TablePrinter::Num((sigma_stats.mean() - full.stddev) / full.stddev,
+                           3)});
+  }
+  std::printf("%s", table.ToString().c_str());
+  std::printf(
+      "\nExpected shape: by ~10000 rows the sigma estimate is within a few\n"
+      "percent of the full-sample value (the paper's DBO/TurboDBO-derived\n"
+      "rule of thumb), while using a fraction of the lineage volume.\n");
+}
+
+namespace {
+
+void BM_VarianceFullSample(benchmark::State& state) {
+  static Fixture fx = MakeFixture();
+  for (auto _ : state) {
+    auto report = SboxEstimate(fx.soa.top, fx.view);
+    benchmark::DoNotOptimize(report);
+  }
+}
+BENCHMARK(BM_VarianceFullSample);
+
+void BM_VarianceSubsampled(benchmark::State& state) {
+  static Fixture fx = MakeFixture();
+  SboxOptions options;
+  options.subsample = SubsampleConfig{state.range(0), 0xDEF};
+  for (auto _ : state) {
+    auto report = SboxEstimate(fx.soa.top, fx.view, options);
+    benchmark::DoNotOptimize(report);
+  }
+}
+BENCHMARK(BM_VarianceSubsampled)->Arg(1000)->Arg(10000)->Arg(30000);
+
+}  // namespace
+}  // namespace gus
+
+GUS_BENCH_MAIN(gus::PrintYsSubsample)

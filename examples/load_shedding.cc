@@ -1,0 +1,106 @@
+// Load shedding on a data stream (paper Section 8): a bursty stream exceeds
+// the system's per-window capacity; an adaptive Bernoulli shedder keeps the
+// retained volume near capacity while the GUS machinery attaches honest
+// confidence intervals to every window's aggregate — including a windowed
+// two-stream join, the multi-relation case prior work could not analyze.
+
+#include <cmath>
+#include <cstdio>
+
+#include "rel/operators.h"
+#include "stream/load_shedder.h"
+#include "util/random.h"
+#include "util/table.h"
+
+namespace {
+
+template <typename T>
+T Unwrap(gus::Result<T> r) {
+  if (!r.ok()) {
+    std::fprintf(stderr, "error: %s\n", r.status().ToString().c_str());
+    std::exit(1);
+  }
+  return std::move(r).ValueOrDie();
+}
+
+/// One window of a synthetic sensor stream: (sensor_id, reading).
+gus::Relation MakeWindow(int64_t arrivals, gus::Rng* rng,
+                         const std::string& name) {
+  using namespace gus;
+  std::vector<Row> rows;
+  rows.reserve(arrivals);
+  for (int64_t i = 0; i < arrivals; ++i) {
+    rows.push_back(Row{Value(static_cast<int64_t>(rng->UniformInt(uint64_t{64}))),
+                       Value(rng->Uniform(0.0, 10.0))});
+  }
+  return Relation::MakeBase(
+      name,
+      Schema({{name + "_sensor", ValueType::kInt64},
+              {name + "_reading", ValueType::kFloat64}}),
+      std::move(rows));
+}
+
+}  // namespace
+
+int main() {
+  using namespace gus;
+
+  Rng rng(31337);
+  ShedderConfig config;
+  config.capacity_per_window = 2000;
+  BernoulliLoadShedder shedder(config);
+
+  std::printf("Single stream: SUM(reading) per window, capacity %lld\n\n",
+              static_cast<long long>(config.capacity_per_window));
+  TablePrinter table({"window", "arrivals", "keep p", "kept", "true sum",
+                      "estimate", "95% interval", "hit"});
+  // A bursty arrival pattern: quiet, burst, decay.
+  const int64_t kArrivalPattern[] = {1500, 1800, 9000, 16000, 12000,
+                                     6000, 2500, 1200, 20000, 4000};
+  int window_id = 0;
+  for (int64_t arrivals : kArrivalPattern) {
+    Relation window = MakeWindow(arrivals, &rng, "s");
+    const double p = shedder.keep_probability();
+    WindowEstimate est = Unwrap(
+        ShedAndEstimateWindow(window, p, Col("s_reading"), &rng));
+    double truth = 0.0;
+    for (int64_t i = 0; i < window.num_rows(); ++i) {
+      truth += window.row(i)[1].AsFloat64();
+    }
+    char interval[64];
+    std::snprintf(interval, sizeof(interval), "[%.0f, %.0f]",
+                  est.interval.lo, est.interval.hi);
+    table.AddRow({std::to_string(window_id++), std::to_string(arrivals),
+                  TablePrinter::Num(p, 3), std::to_string(est.kept_rows),
+                  TablePrinter::Num(truth, 6),
+                  TablePrinter::Num(est.estimate, 6), interval,
+                  est.interval.Contains(truth) ? "y" : "n"});
+    shedder.ObserveWindow(arrivals);
+  }
+  std::printf("%s\n", table.ToString().c_str());
+
+  // Two shedded streams joined within the window (sensor correlation).
+  std::printf(
+      "Joined windows: SUM(a_reading * b_reading) over matching sensors,\n"
+      "both streams shedded independently (GUS join analysis).\n\n");
+  TablePrinter join_table(
+      {"window", "p_a", "p_b", "kept pairs", "true sum", "estimate", "hit"});
+  for (int w = 0; w < 6; ++w) {
+    Relation a = MakeWindow(4000, &rng, "a");
+    Relation b = MakeWindow(3000, &rng, "b");
+    WindowEstimate est = Unwrap(ShedAndEstimateJoinedWindows(
+        a, 0.3, b, 0.4, "a_sensor", "b_sensor",
+        Mul(Col("a_reading"), Col("b_reading")), &rng));
+    // Exact join sum for reference.
+    Relation joined = Unwrap(HashJoin(a, b, "a_sensor", "b_sensor"));
+    double truth = Unwrap(
+        AggregateSum(joined, Mul(Col("a_reading"), Col("b_reading"))));
+    join_table.AddRow({std::to_string(w), "0.3", "0.4",
+                       std::to_string(est.kept_rows),
+                       TablePrinter::Num(truth, 6),
+                       TablePrinter::Num(est.estimate, 6),
+                       est.interval.Contains(truth) ? "y" : "n"});
+  }
+  std::printf("%s", join_table.ToString().c_str());
+  return 0;
+}

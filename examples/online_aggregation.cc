@@ -1,0 +1,92 @@
+// Online aggregation: watch the estimate of a join aggregate converge with
+// a live confidence interval as tuples stream in — the ripple-join user
+// experience of the paper's related work, re-derived in a few lines from
+// the GUS algebra (prefixes of shuffled relations are WOR samples; the
+// joined design is their Prop-6 GUS join).
+
+#include <cmath>
+#include <cstdio>
+
+#include "data/tpch_gen.h"
+#include "online/ripple.h"
+#include "rel/operators.h"
+#include "util/table.h"
+
+namespace {
+
+template <typename T>
+T Unwrap(gus::Result<T> r) {
+  if (!r.ok()) {
+    std::fprintf(stderr, "error: %s\n", r.status().ToString().c_str());
+    std::exit(1);
+  }
+  return std::move(r).ValueOrDie();
+}
+
+}  // namespace
+
+int main() {
+  using namespace gus;
+
+  TpchConfig config;
+  config.num_orders = 5000;
+  config.num_customers = 400;
+  config.num_parts = 200;
+  TpchData data = GenerateTpch(config);
+
+  // Exact answer for reference (the user would not have this).
+  Relation joined =
+      Unwrap(HashJoin(data.lineitem, data.orders, "l_orderkey", "o_orderkey"));
+  ExprPtr f = Mul(Col("l_discount"), Sub(Lit(1.0), Col("l_tax")));
+  const double truth = Unwrap(AggregateSum(joined, f));
+  std::printf("join: %lld lineitem x %lld orders, exact SUM = %.4f\n\n",
+              static_cast<long long>(data.lineitem.num_rows()),
+              static_cast<long long>(data.orders.num_rows()), truth);
+
+  RippleEstimator est = Unwrap(RippleEstimator::Make(
+      data.lineitem, data.orders, "l_orderkey", "o_orderkey", f,
+      /*seed=*/7));
+
+  TablePrinter table({"tuples seen", "result rows", "estimate",
+                      "95% interval", "rel.width", "covers truth"});
+  const int64_t total =
+      data.lineitem.num_rows() + data.orders.num_rows();
+  int64_t steps_taken = 0;
+  for (double frac : {0.01, 0.02, 0.05, 0.1, 0.2, 0.4, 0.7, 1.0}) {
+    const auto target = static_cast<int64_t>(frac * total);
+    if (target > steps_taken) {
+      const Status st = est.StepMany(target - steps_taken);
+      if (!st.ok()) {
+        std::fprintf(stderr, "error: %s\n", st.ToString().c_str());
+        return 1;
+      }
+      steps_taken = target;
+    }
+    auto snap_r = est.Snapshot();
+    if (!snap_r.ok()) continue;  // too early for pairwise statistics
+    const RippleSnapshot snap = snap_r.ValueOrDie();
+    char interval[64];
+    std::snprintf(interval, sizeof(interval), "[%.1f, %.1f]",
+                  snap.interval.lo, snap.interval.hi);
+    table.AddRow(
+        {std::to_string(snap.seen_left + snap.seen_right),
+         std::to_string(snap.result_rows), TablePrinter::Num(snap.estimate, 6),
+         interval,
+         TablePrinter::Num(snap.interval.width() /
+                               std::max(1.0, snap.estimate),
+                           3),
+         // Tolerance absorbs last-ulp accumulation-order differences once
+         // the interval collapses to a point.
+         (snap.interval.Contains(truth) ||
+          std::fabs(snap.estimate - truth) < 1e-9 * std::fabs(truth))
+             ? "y"
+             : "n"});
+    if (est.done()) break;
+  }
+  std::printf("%s\n", table.ToString().c_str());
+  std::printf(
+      "The interval tightens continuously and collapses to the exact\n"
+      "answer when both inputs are exhausted — online aggregation with\n"
+      "the analysis supplied entirely by the GUS algebra.\n");
+  return 0;
+}

@@ -1,0 +1,116 @@
+// "Choosing sampling parameters" (paper Section 8): the y_S statistics are
+// properties of the *data*, the c_S coefficients of the *design*. Having
+// unbiased Ŷ_S from ONE pilot sample, we can predict the variance of any
+// other GUS design by just swapping in its coefficients — no re-sampling.
+//
+// This advisor runs one pilot execution of Query 1, then ranks candidate
+// designs (Bernoulli fractions and WOR sizes on both tables) by predicted
+// standard deviation per sampled tuple, and finally verifies two
+// predictions against real executions.
+
+#include <cmath>
+#include <cstdio>
+
+#include "data/tpch_gen.h"
+#include "data/workload.h"
+#include "est/sbox.h"
+#include "est/variance.h"
+#include "mc/monte_carlo.h"
+#include "plan/executor.h"
+#include "plan/soa_transform.h"
+#include "util/table.h"
+
+namespace {
+
+template <typename T>
+T Unwrap(gus::Result<T> r) {
+  if (!r.ok()) {
+    std::fprintf(stderr, "error: %s\n", r.status().ToString().c_str());
+    std::exit(1);
+  }
+  return std::move(r).ValueOrDie();
+}
+
+}  // namespace
+
+int main() {
+  using namespace gus;
+
+  TpchConfig config;
+  config.num_orders = 8000;
+  config.num_customers = 500;
+  config.num_parts = 300;
+  TpchData data = GenerateTpch(config);
+  Catalog catalog = data.MakeCatalog();
+
+  // ---- Pilot: one generous sample to learn the data's y_S statistics.
+  Query1Params pilot_params;
+  pilot_params.lineitem_p = 0.5;
+  pilot_params.orders_n = 4000;
+  pilot_params.orders_population = config.num_orders;
+  Workload pilot = MakeQuery1(pilot_params);
+  SoaResult pilot_soa = Unwrap(SoaTransform(pilot.plan));
+  Rng rng(11);
+  Relation pilot_sample = Unwrap(ExecutePlan(pilot.plan, catalog, &rng));
+  SampleView pilot_view = Unwrap(SampleView::FromRelation(
+      pilot_sample, pilot.aggregate, pilot_soa.top.schema()));
+  SboxReport pilot_report = Unwrap(SboxEstimate(pilot_soa.top, pilot_view));
+  std::printf("pilot: %lld tuples, estimate %.2f\n\n",
+              static_cast<long long>(pilot_report.sample_rows),
+              pilot_report.estimate);
+
+  // ---- Advisor: predict sigma for candidate designs from Ŷ_S alone.
+  struct Candidate {
+    const char* name;
+    double lineitem_p;
+    int64_t orders_n;
+  };
+  const Candidate kCandidates[] = {
+      {"B(0.05) l, WOR 400 o", 0.05, 400},
+      {"B(0.10) l, WOR 800 o", 0.10, 800},
+      {"B(0.20) l, WOR 400 o", 0.20, 400},
+      {"B(0.05) l, WOR 1600 o", 0.05, 1600},
+      {"B(0.20) l, WOR 1600 o", 0.20, 1600},
+      {"B(0.40) l, WOR 3200 o", 0.40, 3200},
+  };
+
+  TablePrinter table({"candidate design", "predicted sigma",
+                      "expected tuples", "sigma * sqrt(tuples)"});
+  const double result_size =
+      static_cast<double>(pilot_report.sample_rows) / pilot_soa.top.a();
+  for (const Candidate& c : kCandidates) {
+    Query1Params params;
+    params.lineitem_p = c.lineitem_p;
+    params.orders_n = c.orders_n;
+    params.orders_population = config.num_orders;
+    SoaResult soa = Unwrap(SoaTransform(MakeQuery1(params).plan));
+    // Swap designs: same Ŷ (data), new c_S/a (design).
+    const double var =
+        Unwrap(VarianceFromY(soa.top, pilot_report.y_hat));
+    const double sigma = std::sqrt(std::max(0.0, var));
+    const double tuples = soa.top.a() * result_size;
+    table.AddRow({c.name, TablePrinter::Num(sigma, 4),
+                  TablePrinter::Num(tuples, 4),
+                  TablePrinter::Num(sigma * std::sqrt(tuples), 4)});
+  }
+  std::printf("%s\n", table.ToString().c_str());
+  std::printf(
+      "The last column is a cost-normalized quality score: lower means the\n"
+      "design extracts more accuracy per sampled tuple.\n\n");
+
+  // ---- Verify two predictions against reality (200 executions each).
+  for (const Candidate& c : {kCandidates[1], kCandidates[4]}) {
+    Query1Params params;
+    params.lineitem_p = c.lineitem_p;
+    params.orders_n = c.orders_n;
+    params.orders_population = config.num_orders;
+    Workload w = MakeQuery1(params);
+    SoaResult soa = Unwrap(SoaTransform(w.plan));
+    const double predicted = std::sqrt(std::max(
+        0.0, Unwrap(VarianceFromY(soa.top, pilot_report.y_hat))));
+    SboxTrialStats stats = Unwrap(RunSboxTrials(w, catalog, 200, 77));
+    std::printf("%-24s predicted sigma %.4f, measured sigma %.4f\n", c.name,
+                predicted, std::sqrt(stats.estimates.variance_sample()));
+  }
+  return 0;
+}

@@ -1,0 +1,102 @@
+// "Database as a sample" (paper Section 8): treat the stored database as a
+// 99% Bernoulli sample of a hypothetical slightly-larger truth. A query
+// whose GUS variance is large under that reading is *fragile* — losing or
+// gaining 1% of tuples would visibly move its answer.
+//
+// This example scores several aggregates for robustness and shows that a
+// skew-dominated aggregate is far more fragile than a uniform one.
+
+#include <cmath>
+#include <cstdio>
+
+#include "algebra/translate.h"
+#include "data/tpch_gen.h"
+#include "est/sbox.h"
+#include "rel/operators.h"
+#include "util/table.h"
+
+namespace {
+
+template <typename T>
+T Unwrap(gus::Result<T> r) {
+  if (!r.ok()) {
+    std::fprintf(stderr, "error: %s\n", r.status().ToString().c_str());
+    std::exit(1);
+  }
+  return std::move(r).ValueOrDie();
+}
+
+struct RobustnessScore {
+  double answer;
+  double sigma;
+  double relative;  // sigma / |answer|
+};
+
+/// Scores SUM(f) over the base relation `rel` under the database-as-a-99%-
+/// Bernoulli-sample reading.
+RobustnessScore ScoreRobustness(const gus::Relation& rel,
+                                const std::string& name,
+                                const gus::ExprPtr& f) {
+  using namespace gus;
+  GusParams g = Unwrap(
+      TranslateBaseSampling(SamplingSpec::Bernoulli(0.99), name));
+  SampleView view = Unwrap(SampleView::FromRelation(rel, f, g.schema()));
+  // The database IS the sample here; Theorem 1 with the y-statistics of the
+  // observed data gives the perturbation variance directly.
+  SboxReport report = Unwrap(SboxEstimate(g, view));
+  const double answer = view.SumF();
+  return {answer, report.stddev, report.stddev / std::fabs(answer)};
+}
+
+}  // namespace
+
+int main() {
+  using namespace gus;
+
+  TpchConfig config;
+  config.num_orders = 20000;
+  config.part_zipf_theta = 1.2;  // skewed part popularity
+  TpchData data = GenerateTpch(config);
+
+  TablePrinter table(
+      {"aggregate", "answer", "perturbation sigma", "relative"});
+
+  // (a) A bulk aggregate over many similar tuples: robust.
+  RobustnessScore uniform = ScoreRobustness(
+      data.lineitem, "l", Mul(Col("l_discount"), Sub(Lit(1.0), Col("l_tax"))));
+  table.AddRow({"SUM(l_discount*(1-l_tax))",
+                TablePrinter::Num(uniform.answer, 6),
+                TablePrinter::Num(uniform.sigma, 4),
+                TablePrinter::Num(uniform.relative, 3)});
+
+  // (b) The same data but dominated by the largest values: fragile.
+  RobustnessScore heavy = ScoreRobustness(
+      data.lineitem, "l",
+      Mul(Mul(Col("l_extendedprice"), Col("l_extendedprice")),
+          Col("l_extendedprice")));
+  table.AddRow({"SUM(l_extendedprice^3)",
+                TablePrinter::Num(heavy.answer, 6),
+                TablePrinter::Num(heavy.sigma, 4),
+                TablePrinter::Num(heavy.relative, 3)});
+
+  // (c) A filtered aggregate over a thin slice: fragility grows as the
+  // slice shrinks.
+  Relation slice = Unwrap(
+      Select(data.lineitem, Gt(Col("l_extendedprice"), Lit(100000.0))));
+  RobustnessScore thin =
+      ScoreRobustness(slice, "l", Col("l_extendedprice"));
+  table.AddRow({"SUM(price | price>100k)",
+                TablePrinter::Num(thin.answer, 6),
+                TablePrinter::Num(thin.sigma, 4),
+                TablePrinter::Num(thin.relative, 3)});
+
+  std::printf(
+      "Robustness analysis: the database viewed as a 99%% Bernoulli sample\n"
+      "(would losing 1%% of tuples move the answer?)\n\n%s\n",
+      table.ToString().c_str());
+  std::printf(
+      "Interpretation: relative sigma is the coefficient of variation under\n"
+      "1%% tuple loss; thin or skew-dominated aggregates are the fragile\n"
+      "ones, exactly as the paper's robustness application predicts.\n");
+  return 0;
+}

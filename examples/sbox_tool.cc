@@ -1,0 +1,116 @@
+// The SBox as an external tool (paper Section 6): a standalone executable
+// that reads a serialized (GUS parameters + lineage/value stream) file on
+// stdin or from a path and prints the estimate, variance and confidence
+// intervals. A database engine needs no estimation code at all — it dumps
+// the file, this tool does the statistics.
+//
+// Usage:
+//   sbox_tool [file] [--level=0.95] [--chebyshev] [--subsample=N]
+//   sbox_tool --demo          # generate a demo input, then analyze it
+//
+// File format: see src/est/serialize.h (gus-sbox-v1).
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "algebra/ops.h"
+#include "algebra/translate.h"
+#include "est/sbox.h"
+#include "est/serialize.h"
+#include "util/random.h"
+
+namespace {
+
+template <typename T>
+T Unwrap(gus::Result<T> r) {
+  if (!r.ok()) {
+    std::fprintf(stderr, "sbox_tool: %s\n", r.status().ToString().c_str());
+    std::exit(1);
+  }
+  return std::move(r).ValueOrDie();
+}
+
+/// Builds a small demonstration input: a Bernoulli x WOR join sample.
+std::string MakeDemoInput() {
+  using namespace gus;
+  GusParams gl =
+      Unwrap(TranslateBaseSampling(SamplingSpec::Bernoulli(0.25), "l"));
+  GusParams go = Unwrap(
+      TranslateBaseSampling(SamplingSpec::WithoutReplacement(40, 100), "o"));
+  GusParams gus = Unwrap(GusJoin(gl, go));
+  SampleView view;
+  view.schema = gus.schema();
+  view.lineage.assign(2, {});
+  Rng rng(99);
+  for (uint64_t o = 0; o < 40; ++o) {
+    for (uint64_t l = 0; l < 6; ++l) {
+      if (!rng.Bernoulli(0.25)) continue;
+      view.lineage[0].push_back(o * 10 + l);
+      view.lineage[1].push_back(o);
+      view.f.push_back(rng.Uniform(0.0, 2.0));
+    }
+  }
+  return Unwrap(SboxInputToString(gus, view));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace gus;
+
+  std::string path;
+  double level = 0.95;
+  BoundKind kind = BoundKind::kNormal;
+  bool demo = false;
+  SboxOptions options;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--demo") {
+      demo = true;
+    } else if (arg == "--chebyshev") {
+      kind = BoundKind::kChebyshev;
+    } else if (arg.rfind("--level=", 0) == 0) {
+      level = std::strtod(arg.c_str() + 8, nullptr);
+    } else if (arg.rfind("--subsample=", 0) == 0) {
+      options.subsample = SubsampleConfig{
+          std::strtoll(arg.c_str() + 12, nullptr, 10), /*seed=*/0xC0FFEE};
+    } else if (arg.rfind("--", 0) == 0) {
+      std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
+      return 2;
+    } else {
+      path = arg;
+    }
+  }
+  options.confidence_level = level;
+  options.bound_kind = kind;
+
+  SboxInput input = [&] {
+    if (demo) {
+      std::printf("(running on a generated demo input)\n");
+      return Unwrap(SboxInputFromString(MakeDemoInput()));
+    }
+    if (!path.empty()) {
+      std::ifstream file(path);
+      if (!file) {
+        std::fprintf(stderr, "sbox_tool: cannot open '%s'\n", path.c_str());
+        std::exit(2);
+      }
+      return Unwrap(ReadSboxInput(&file));
+    }
+    return Unwrap(ReadSboxInput(&std::cin));
+  }();
+
+  SboxReport report = Unwrap(SboxEstimate(input.gus, input.view, options));
+  std::printf("schema:        %s\n", input.gus.schema().ToString().c_str());
+  std::printf("sample tuples: %lld (variance rows %lld)\n",
+              static_cast<long long>(report.sample_rows),
+              static_cast<long long>(report.variance_rows));
+  std::printf("estimate:      %.10g\n", report.estimate);
+  std::printf("variance:      %.10g\n", report.variance);
+  std::printf("stddev:        %.10g\n", report.stddev);
+  std::printf("interval:      %s\n", report.interval.ToString().c_str());
+  return 0;
+}

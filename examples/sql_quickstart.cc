@@ -1,0 +1,74 @@
+// The paper's SQL, verbatim: parse TABLESAMPLE queries (including the
+// introduction's APPROX view with QUANTILE bounds) and get estimates with
+// confidence intervals in one call.
+
+#include <cstdio>
+
+#include "data/tpch_gen.h"
+#include "sqlish/planner.h"
+
+int main() {
+  using namespace gus;
+
+  TpchConfig config;
+  config.num_orders = 150000;  // the paper's orders cardinality
+  config.num_customers = 10000;
+  config.num_parts = 5000;
+  config.max_lineitems_per_order = 4;
+  TpchData data = GenerateTpch(config);
+  Catalog catalog = data.MakeCatalog();
+  std::printf("catalog: %lld lineitem, %lld orders\n\n",
+              static_cast<long long>(data.lineitem.num_rows()),
+              static_cast<long long>(data.orders.num_rows()));
+
+  // Query 1 from the paper's introduction, as written (10% Bernoulli on
+  // lineitem, 1000-row WOR on orders).
+  const char* kQuery1 = R"(
+      SELECT SUM(l_discount*(1.0-l_tax))
+      FROM l TABLESAMPLE (10 PERCENT),
+           o TABLESAMPLE (1000 ROWS)
+      WHERE l_orderkey = o_orderkey AND
+            l_extendedprice > 100.0;
+  )";
+  auto r1 = sqlish::RunApproxQuery(kQuery1, catalog, /*seed=*/1);
+  if (!r1.ok()) {
+    std::fprintf(stderr, "%s\n", r1.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("Query 1:\n%s\n\n", r1.ValueOrDie().ToString().c_str());
+
+  // The APPROX view from the introduction.
+  const char* kApproxView = R"(
+      SELECT QUANTILE(SUM(l_discount*(1.0-l_tax)), 0.05),
+             QUANTILE(SUM(l_discount*(1.0-l_tax)), 0.95)
+      FROM l TABLESAMPLE (10 PERCENT),
+           o TABLESAMPLE (1000 ROWS)
+      WHERE l_orderkey = o_orderkey AND
+            l_extendedprice > 100.0;
+  )";
+  auto r2 = sqlish::RunApproxQuery(kApproxView, catalog, /*seed=*/2);
+  if (!r2.ok()) {
+    std::fprintf(stderr, "%s\n", r2.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("APPROX view (lo, hi):\n%s\n\n",
+              r2.ValueOrDie().ToString().c_str());
+
+  // Mixed aggregates over a 3-way join, with Section 7 sub-sampling for
+  // the variance estimation.
+  const char* kMixed = R"(
+      SELECT SUM(l_extendedprice), COUNT(*), AVG(l_extendedprice)
+      FROM l TABLESAMPLE (5 PERCENT), o, c
+      WHERE l_orderkey = o_orderkey AND o_custkey = c_custkey;
+  )";
+  SboxOptions options;
+  options.subsample = SubsampleConfig{/*target_rows=*/10000, /*seed=*/9};
+  auto r3 = sqlish::RunApproxQuery(kMixed, catalog, /*seed=*/3, options);
+  if (!r3.ok()) {
+    std::fprintf(stderr, "%s\n", r3.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("3-way join with sub-sampled variance:\n%s\n",
+              r3.ValueOrDie().ToString().c_str());
+  return 0;
+}

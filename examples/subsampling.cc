@@ -1,0 +1,95 @@
+// Efficient variance estimation by sub-sampling (paper Section 7 /
+// Example 6): the point estimate uses every result tuple, while the 2^n
+// y_S group-bys run on a small lineage-consistent Bernoulli sub-sample.
+// Only the sub-sampled tuples ever need lineage attached — the big win for
+// integration into a real engine.
+
+#include <chrono>
+#include <cstdio>
+
+#include "data/tpch_gen.h"
+#include "data/workload.h"
+#include "est/sbox.h"
+#include "plan/executor.h"
+#include "plan/soa_transform.h"
+#include "util/table.h"
+
+namespace {
+
+template <typename T>
+T Unwrap(gus::Result<T> r) {
+  if (!r.ok()) {
+    std::fprintf(stderr, "error: %s\n", r.status().ToString().c_str());
+    std::exit(1);
+  }
+  return std::move(r).ValueOrDie();
+}
+
+double MillisSince(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+}  // namespace
+
+int main() {
+  using namespace gus;
+
+  // A large enough instance that the variance computation cost matters.
+  TpchConfig config;
+  config.num_orders = 60000;
+  config.num_customers = 2000;
+  config.num_parts = 1000;
+  TpchData data = GenerateTpch(config);
+  Catalog catalog = data.MakeCatalog();
+
+  Query1Params params;
+  params.lineitem_p = 0.7;
+  params.orders_n = 50000;
+  params.orders_population = config.num_orders;
+  Workload query = MakeQuery1(params);
+  SoaResult soa = Unwrap(SoaTransform(query.plan));
+
+  Rng rng(5);
+  Relation sample = Unwrap(ExecutePlan(query.plan, catalog, &rng));
+  SampleView view = Unwrap(
+      SampleView::FromRelation(sample, query.aggregate, soa.top.schema()));
+  std::printf("result sample: %lld tuples\n\n",
+              static_cast<long long>(view.num_rows()));
+
+  // Full-sample variance estimation.
+  auto t0 = std::chrono::steady_clock::now();
+  SboxReport full = Unwrap(SboxEstimate(soa.top, view));
+  const double full_ms = MillisSince(t0);
+
+  // Section 7: sub-sampled y_S estimation at a few target sizes.
+  TablePrinter table({"variance rows", "estimate", "sigma-hat",
+                      "estimation time (ms)"});
+  table.AddRow({std::to_string(full.variance_rows),
+                TablePrinter::Num(full.estimate, 6),
+                TablePrinter::Num(full.stddev, 4),
+                TablePrinter::Num(full_ms, 3)});
+  for (int64_t target : {20000, 10000, 2000}) {
+    SboxOptions options;
+    options.subsample = SubsampleConfig{target, /*seed=*/99};
+    t0 = std::chrono::steady_clock::now();
+    SboxReport sub = Unwrap(SboxEstimate(soa.top, view, options));
+    const double sub_ms = MillisSince(t0);
+    table.AddRow({std::to_string(sub.variance_rows),
+                  TablePrinter::Num(sub.estimate, 6),
+                  TablePrinter::Num(sub.stddev, 4),
+                  TablePrinter::Num(sub_ms, 3)});
+  }
+  std::printf("%s\n", table.ToString().c_str());
+  std::printf(
+      "The estimate column never changes (it always uses the full sample);\n"
+      "sigma-hat stays within a few percent down to ~10000 variance rows,\n"
+      "matching the paper's rule of thumb, while estimation time drops.\n"
+      "\n"
+      "Under the hood the sub-sampler is a multi-dimensional lineage-seeded\n"
+      "Bernoulli (one pseudo-random function per base relation), and the\n"
+      "analysis GUS is the Prop-8 compaction of the plan's GUS with the\n"
+      "sub-sampler's — exactly the Figure 5 derivation.\n");
+  return 0;
+}

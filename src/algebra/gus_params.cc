@@ -1,0 +1,118 @@
+#include "algebra/gus_params.h"
+
+#include <cmath>
+#include <sstream>
+
+#include "util/logging.h"
+
+namespace gus {
+
+namespace {
+constexpr double kProbTolerance = 1e-9;
+}
+
+Result<GusParams> GusParams::Make(LineageSchema schema, double a,
+                                  std::vector<double> b) {
+  if (b.size() != schema.num_subsets()) {
+    return Status::InvalidArgument(
+        "b table must have one entry per lineage subset (2^n)");
+  }
+  if (!(a >= -kProbTolerance && a <= 1.0 + kProbTolerance)) {
+    return Status::InvalidArgument("GUS parameter a must be a probability");
+  }
+  for (double v : b) {
+    if (!(v >= -kProbTolerance && v <= 1.0 + kProbTolerance)) {
+      return Status::InvalidArgument(
+          "GUS pairwise parameters must be probabilities");
+    }
+  }
+  if (std::fabs(b[schema.full_mask()] - a) > 1e-6) {
+    return Status::InvalidArgument(
+        "inconsistent GUS parameters: b_full must equal a (tuples agreeing "
+        "on all lineage are identical)");
+  }
+  GusParams g;
+  g.schema_ = std::move(schema);
+  g.a_ = a;
+  g.b_ = std::move(b);
+  return g;
+}
+
+GusParams GusParams::Identity(LineageSchema schema) {
+  GusParams g;
+  g.a_ = 1.0;
+  g.b_.assign(schema.num_subsets(), 1.0);
+  g.schema_ = std::move(schema);
+  return g;
+}
+
+GusParams GusParams::Null(LineageSchema schema) {
+  GusParams g;
+  g.a_ = 0.0;
+  g.b_.assign(schema.num_subsets(), 0.0);
+  g.schema_ = std::move(schema);
+  return g;
+}
+
+Result<double> GusParams::b(const std::vector<std::string>& names) const {
+  GUS_ASSIGN_OR_RETURN(SubsetMask mask, schema_.MaskOf(names));
+  return b_[mask];
+}
+
+double GusParams::c(SubsetMask mask) const {
+  double sum = 0.0;
+  for (SubsetIterator it(mask); !it.done(); it.Next()) {
+    // (-1)^{|S| - |T|} == (-1)^{|S \ T|}.
+    sum += ParitySign(mask & ~it.mask()) * b_[it.mask()];
+  }
+  return sum;
+}
+
+std::vector<double> GusParams::AllCNaive() const {
+  std::vector<double> c_all(schema_.num_subsets());
+  for (SubsetMask s = 0; s < c_all.size(); ++s) c_all[s] = c(s);
+  return c_all;
+}
+
+std::vector<double> GusParams::AllCFast() const {
+  // Signed zeta transform: after processing bit i,
+  //   f[S] = sum over T agreeing with S outside bit i, T_i <= S_i, of
+  //   (-1)^{S_i - T_i} b_T — inductively yields c_S.
+  std::vector<double> f = b_;
+  const int n = schema_.arity();
+  for (int i = 0; i < n; ++i) {
+    const SubsetMask bit = SubsetMask{1} << i;
+    for (SubsetMask s = 0; s < f.size(); ++s) {
+      if (s & bit) f[s] -= f[s ^ bit];
+    }
+  }
+  return f;
+}
+
+Result<GusParams> GusParams::ExtendTo(const LineageSchema& target) const {
+  for (const auto& r : schema_.relations()) {
+    if (!target.Contains(r)) {
+      return Status::InvalidArgument("extension target lacks relation '" + r +
+                                     "'");
+    }
+  }
+  std::vector<double> b_ext(target.num_subsets());
+  for (SubsetMask m = 0; m < b_ext.size(); ++m) {
+    GUS_ASSIGN_OR_RETURN(SubsetMask proj, target.ProjectMask(m, schema_));
+    b_ext[m] = b_[proj];
+  }
+  return Make(target, a_, std::move(b_ext));
+}
+
+std::string GusParams::ToString() const {
+  std::ostringstream out;
+  out << "G(a=" << a_ << "; ";
+  for (SubsetMask m = 0; m < b_.size(); ++m) {
+    if (m) out << ", ";
+    out << "b" << schema_.MaskToString(m) << "=" << b_[m];
+  }
+  out << ")";
+  return out.str();
+}
+
+}  // namespace gus

@@ -1,0 +1,77 @@
+// GusParams — the quasi-operator G(a, b̄) of the paper (Definition 1).
+//
+//   a   = P[t in sample]                        (first-order inclusion)
+//   b_T = P[t, t' in sample | T(t,t') = T]      (pairwise, by lineage
+//                                                agreement set T)
+//
+// b̄ is stored densely: one double per subset of the lineage schema,
+// indexed by SubsetMask. Consistency invariant: b_full == a, because tuples
+// agreeing on their entire lineage are the same tuple.
+
+#ifndef GUS_ALGEBRA_GUS_PARAMS_H_
+#define GUS_ALGEBRA_GUS_PARAMS_H_
+
+#include <string>
+#include <vector>
+
+#include "algebra/lineage_schema.h"
+#include "util/bits.h"
+#include "util/status.h"
+
+namespace gus {
+
+/// \brief Parameters of one GUS quasi-operator.
+class GusParams {
+ public:
+  GusParams() = default;
+
+  /// \brief Builds and validates: probabilities in [0,1], b_full == a.
+  static Result<GusParams> Make(LineageSchema schema, double a,
+                                std::vector<double> b);
+
+  /// The identity GUS G(1, 1̄) over `schema` (paper Prop. 4).
+  static GusParams Identity(LineageSchema schema);
+
+  /// The null GUS G(0, 0̄) (blocks everything; the union unit).
+  static GusParams Null(LineageSchema schema);
+
+  const LineageSchema& schema() const { return schema_; }
+  double a() const { return a_; }
+
+  /// Pairwise probability for an agreement mask.
+  double b(SubsetMask mask) const { return b_[mask]; }
+  /// Pairwise probability for a set of relation names.
+  Result<double> b(const std::vector<std::string>& names) const;
+  const std::vector<double>& b_table() const { return b_; }
+
+  /// \brief The c_S coefficients of Theorem 1:
+  ///   c_S = sum_{T subseteq S} (-1)^{|S|-|T|} b_T.
+  ///
+  /// Note the arXiv text sums over all of P(n); the subset-restricted form
+  /// is the one that reproduces classical Bernoulli/WOR variances and is
+  /// Monte-Carlo validated (see DESIGN.md erratum note).
+  double c(SubsetMask mask) const;
+
+  /// All 2^n coefficients via per-subset summation — O(3^n) total.
+  std::vector<double> AllCNaive() const;
+
+  /// All 2^n coefficients via the fast signed zeta (Moebius) transform —
+  /// O(n 2^n). Identical values; benched against AllCNaive in A1.
+  std::vector<double> AllCFast() const;
+
+  /// \brief Embeds into a superset schema (relations not in this schema are
+  /// unsampled): b'_T = b_{T ∩ old}. Equivalent to joining with the
+  /// identity GUS on the extra relations, the Figure 4 G(1,1̄) step.
+  Result<GusParams> ExtendTo(const LineageSchema& target) const;
+
+  std::string ToString() const;
+
+ private:
+  LineageSchema schema_;
+  double a_ = 1.0;
+  std::vector<double> b_;
+};
+
+}  // namespace gus
+
+#endif  // GUS_ALGEBRA_GUS_PARAMS_H_

@@ -1,0 +1,108 @@
+#include "algebra/lineage_schema.h"
+
+#include <algorithm>
+#include <sstream>
+#include <unordered_set>
+
+namespace gus {
+
+Result<LineageSchema> LineageSchema::Make(
+    std::vector<std::string> relations) {
+  if (static_cast<int>(relations.size()) > kMaxLineageArity) {
+    return Status::InvalidArgument(
+        "lineage arity exceeds the supported maximum (" +
+        std::to_string(kMaxLineageArity) + ")");
+  }
+  std::unordered_set<std::string> seen;
+  for (const auto& r : relations) {
+    if (!seen.insert(r).second) {
+      return Status::InvalidArgument("duplicate relation '" + r +
+                                     "' in lineage schema");
+    }
+  }
+  LineageSchema s;
+  s.relations_ = std::move(relations);
+  return s;
+}
+
+Result<int> LineageSchema::IndexOf(const std::string& name) const {
+  const auto it = std::find(relations_.begin(), relations_.end(), name);
+  if (it == relations_.end()) {
+    return Status::KeyError("relation '" + name + "' not in lineage schema " +
+                            ToString());
+  }
+  return static_cast<int>(it - relations_.begin());
+}
+
+bool LineageSchema::Contains(const std::string& name) const {
+  return std::find(relations_.begin(), relations_.end(), name) !=
+         relations_.end();
+}
+
+Result<SubsetMask> LineageSchema::MaskOf(
+    const std::vector<std::string>& names) const {
+  SubsetMask mask = 0;
+  for (const auto& name : names) {
+    GUS_ASSIGN_OR_RETURN(int i, IndexOf(name));
+    mask |= SubsetMask{1} << i;
+  }
+  return mask;
+}
+
+std::vector<std::string> LineageSchema::NamesOf(SubsetMask mask) const {
+  std::vector<std::string> names;
+  for (int i = 0; i < arity(); ++i) {
+    if (mask & (SubsetMask{1} << i)) names.push_back(relations_[i]);
+  }
+  return names;
+}
+
+Result<LineageSchema> LineageSchema::Concat(const LineageSchema& a,
+                                            const LineageSchema& b) {
+  if (!Disjoint(a, b)) {
+    return Status::InvalidArgument(
+        "lineage schemas overlap: the GUS join/composition algebra requires "
+        "disjoint lineage (no self-joins)");
+  }
+  std::vector<std::string> rels = a.relations_;
+  rels.insert(rels.end(), b.relations_.begin(), b.relations_.end());
+  return Make(std::move(rels));
+}
+
+bool LineageSchema::Disjoint(const LineageSchema& a, const LineageSchema& b) {
+  for (const auto& r : a.relations_) {
+    if (b.Contains(r)) return false;
+  }
+  return true;
+}
+
+Result<SubsetMask> LineageSchema::ProjectMask(SubsetMask mask,
+                                              const LineageSchema& sub) const {
+  SubsetMask out = 0;
+  for (int j = 0; j < sub.arity(); ++j) {
+    GUS_ASSIGN_OR_RETURN(int i, IndexOf(sub.relation(j)));
+    if (mask & (SubsetMask{1} << i)) out |= SubsetMask{1} << j;
+  }
+  return out;
+}
+
+std::string LineageSchema::MaskToString(SubsetMask mask) const {
+  std::ostringstream out;
+  out << "{";
+  bool first = true;
+  for (int i = 0; i < arity(); ++i) {
+    if (mask & (SubsetMask{1} << i)) {
+      if (!first) out << ",";
+      out << relations_[i];
+      first = false;
+    }
+  }
+  out << "}";
+  return out.str();
+}
+
+std::string LineageSchema::ToString() const {
+  return MaskToString(full_mask());
+}
+
+}  // namespace gus

@@ -1,0 +1,78 @@
+// Lineage schemas: the ordered set of base relations an expression is built
+// from. Subsets of a lineage schema (the index set of the paper's b_T
+// parameters) are represented as bitmasks over the schema ordering.
+
+#ifndef GUS_ALGEBRA_LINEAGE_SCHEMA_H_
+#define GUS_ALGEBRA_LINEAGE_SCHEMA_H_
+
+#include <string>
+#include <vector>
+
+#include "util/bits.h"
+#include "util/status.h"
+
+namespace gus {
+
+/// \brief Ordered list of base-relation names, n <= kMaxLineageArity.
+///
+/// The GUS pairwise table has 2^n entries; the arity cap keeps that dense
+/// table tractable (the paper's plans use n <= 10).
+class LineageSchema {
+ public:
+  static constexpr int kMaxLineageArity = 20;
+
+  LineageSchema() = default;
+
+  /// Builds a schema; fails on duplicates or arity overflow.
+  static Result<LineageSchema> Make(std::vector<std::string> relations);
+
+  int arity() const { return static_cast<int>(relations_.size()); }
+  const std::string& relation(int i) const { return relations_[i]; }
+  const std::vector<std::string>& relations() const { return relations_; }
+
+  /// Index of `name`, or KeyError.
+  Result<int> IndexOf(const std::string& name) const;
+  bool Contains(const std::string& name) const;
+
+  /// Bitmask of all relations (the paper's T = {1..n}).
+  SubsetMask full_mask() const { return FullMask(arity()); }
+  /// Number of subsets, 2^n.
+  size_t num_subsets() const { return size_t{1} << arity(); }
+
+  /// Mask for a set of relation names.
+  Result<SubsetMask> MaskOf(const std::vector<std::string>& names) const;
+  /// Names selected by `mask`, in schema order.
+  std::vector<std::string> NamesOf(SubsetMask mask) const;
+
+  /// Concatenation; fails if the schemas overlap (paper Prop. 6
+  /// precondition: disjoint lineage).
+  static Result<LineageSchema> Concat(const LineageSchema& a,
+                                      const LineageSchema& b);
+
+  /// True if the two schemas share no relation.
+  static bool Disjoint(const LineageSchema& a, const LineageSchema& b);
+
+  /// \brief Projects a mask over this schema onto `sub` (paper's T ∩ L_i).
+  ///
+  /// Every relation of `sub` must be present in this schema.
+  Result<SubsetMask> ProjectMask(SubsetMask mask,
+                                 const LineageSchema& sub) const;
+
+  bool operator==(const LineageSchema& other) const {
+    return relations_ == other.relations_;
+  }
+  bool operator!=(const LineageSchema& other) const {
+    return !(*this == other);
+  }
+
+  /// Renders a mask like "{l,o}" ("{}" for empty).
+  std::string MaskToString(SubsetMask mask) const;
+  std::string ToString() const;
+
+ private:
+  std::vector<std::string> relations_;
+};
+
+}  // namespace gus
+
+#endif  // GUS_ALGEBRA_LINEAGE_SCHEMA_H_

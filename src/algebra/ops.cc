@@ -1,0 +1,62 @@
+#include "algebra/ops.h"
+
+#include <cmath>
+
+namespace gus {
+
+Result<GusParams> GusJoin(const GusParams& g1, const GusParams& g2) {
+  GUS_ASSIGN_OR_RETURN(LineageSchema schema,
+                       LineageSchema::Concat(g1.schema(), g2.schema()));
+  const int n1 = g1.schema().arity();
+  const SubsetMask full1 = g1.schema().full_mask();
+  std::vector<double> b(schema.num_subsets());
+  for (SubsetMask m = 0; m < b.size(); ++m) {
+    const SubsetMask m1 = m & full1;
+    const SubsetMask m2 = m >> n1;
+    b[m] = g1.b(m1) * g2.b(m2);
+  }
+  return GusParams::Make(std::move(schema), g1.a() * g2.a(), std::move(b));
+}
+
+Result<GusParams> GusUnion(const GusParams& g1, const GusParams& g2) {
+  if (g1.schema() != g2.schema()) {
+    return Status::InvalidArgument(
+        "GUS union requires both samples to come from the same expression "
+        "(identical lineage schemas)");
+  }
+  const double a1 = g1.a();
+  const double a2 = g2.a();
+  const double a = a1 + a2 - a1 * a2;
+  std::vector<double> b(g1.schema().num_subsets());
+  for (SubsetMask m = 0; m < b.size(); ++m) {
+    // Inclusion-exclusion on the pair of independent filters:
+    // P[t,t' in S1 ∪ S2] expands to the paper's closed form.
+    b[m] = 2.0 * a - 1.0 +
+           (1.0 - 2.0 * a1 + g1.b(m)) * (1.0 - 2.0 * a2 + g2.b(m));
+  }
+  return GusParams::Make(g1.schema(), a, std::move(b));
+}
+
+Result<GusParams> GusCompact(const GusParams& g1, const GusParams& g2) {
+  if (g1.schema() != g2.schema()) {
+    return Status::InvalidArgument(
+        "GUS compaction requires identical lineage schemas; extend one "
+        "operand first (GusParams::ExtendTo)");
+  }
+  std::vector<double> b(g1.schema().num_subsets());
+  for (SubsetMask m = 0; m < b.size(); ++m) {
+    b[m] = g1.b(m) * g2.b(m);
+  }
+  return GusParams::Make(g1.schema(), g1.a() * g2.a(), std::move(b));
+}
+
+bool GusApproxEqual(const GusParams& g1, const GusParams& g2, double tol) {
+  if (g1.schema() != g2.schema()) return false;
+  if (std::fabs(g1.a() - g2.a()) > tol) return false;
+  for (SubsetMask m = 0; m < g1.schema().num_subsets(); ++m) {
+    if (std::fabs(g1.b(m) - g2.b(m)) > tol) return false;
+  }
+  return true;
+}
+
+}  // namespace gus

@@ -1,0 +1,53 @@
+// The sampling algebra: combinators on GUS parameters implementing the
+// paper's Propositions 6-9 and Theorem 2.
+//
+// These functions operate purely on parameters; they never touch data. The
+// SOA transform (plan/soa_transform.h) drives them to collapse a sampled
+// query plan into a single top GUS quasi-operator.
+
+#ifndef GUS_ALGEBRA_OPS_H_
+#define GUS_ALGEBRA_OPS_H_
+
+#include "algebra/gus_params.h"
+#include "util/status.h"
+
+namespace gus {
+
+/// \brief Join / cross-product commutation (Prop. 6) and composition of
+/// multi-dimensional samplers (Prop. 9).
+///
+///   G1(R1) ⋈ G2(R2) ⟺ G(a1·a2, b_T = b1_{T∩L1} · b2_{T∩L2})
+///
+/// Requires disjoint lineage schemas; the result schema is the
+/// concatenation L1 ++ L2.
+Result<GusParams> GusJoin(const GusParams& g1, const GusParams& g2);
+
+/// Alias for GusJoin matching the paper's Prop. 9 terminology.
+inline Result<GusParams> GusCompose(const GusParams& g1, const GusParams& g2) {
+  return GusJoin(g1, g2);
+}
+
+/// \brief Union of two independent samples of the same expression (Prop. 7).
+///
+///   a   = a1 + a2 − a1·a2
+///   b_T = 2a − 1 + (1 − 2·a1 + b1_T)(1 − 2·a2 + b2_T)
+///
+/// Requires identical lineage schemas.
+Result<GusParams> GusUnion(const GusParams& g1, const GusParams& g2);
+
+/// \brief Compaction / stacking G1(G2(R)) (Prop. 8):
+///   a = a1·a2,  b_T = b1_T · b2_T.
+///
+/// Requires identical lineage schemas (both operators filter the same
+/// expression). This is the "intersection" multiplication of Theorem 2's
+/// semiring structure.
+Result<GusParams> GusCompact(const GusParams& g1, const GusParams& g2);
+
+/// \brief Parameter-space equality within `tol` (same schema, |Δa| and all
+/// |Δb_T| below tol). Used by the semiring-law property tests.
+bool GusApproxEqual(const GusParams& g1, const GusParams& g2,
+                    double tol = 1e-12);
+
+}  // namespace gus
+
+#endif  // GUS_ALGEBRA_OPS_H_

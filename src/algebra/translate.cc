@@ -1,0 +1,118 @@
+#include "algebra/translate.h"
+
+#include <cmath>
+
+#include "util/bits.h"
+
+namespace gus {
+
+namespace {
+
+/// Builds the "uniform filter" pattern: b_full = a, every other b_T = pair.
+Result<GusParams> UniformFilter(const LineageSchema& schema, double a,
+                                double pair) {
+  std::vector<double> b(schema.num_subsets(), pair);
+  b[schema.full_mask()] = a;
+  return GusParams::Make(schema, a, std::move(b));
+}
+
+}  // namespace
+
+Result<GusParams> TranslateSampling(const SamplingSpec& spec,
+                                    const LineageSchema& input) {
+  GUS_RETURN_NOT_OK(spec.Validate());
+  switch (spec.method) {
+    case SamplingMethod::kBernoulli:
+      return UniformFilter(input, spec.p, spec.p * spec.p);
+    case SamplingMethod::kWithoutReplacement: {
+      const auto n = static_cast<double>(spec.n);
+      const auto N = static_cast<double>(spec.population);
+      const double a = n / N;
+      const double pair =
+          spec.population > 1 ? n * (n - 1.0) / (N * (N - 1.0)) : 0.0;
+      return UniformFilter(input, a, pair);
+    }
+    case SamplingMethod::kWithReplacementDistinct: {
+      const auto n = static_cast<double>(spec.n);
+      const auto N = static_cast<double>(spec.population);
+      const double q1 = std::pow(1.0 - 1.0 / N, n);
+      const double q2 =
+          spec.population > 1 ? std::pow(1.0 - 2.0 / N, n) : 0.0;
+      const double a = 1.0 - q1;
+      const double pair = spec.population > 1 ? 1.0 - 2.0 * q1 + q2 : 0.0;
+      return UniformFilter(input, a, pair);
+    }
+    case SamplingMethod::kBlockBernoulli:
+      // Identical parameters to Bernoulli; the *lineage ids* are block ids
+      // (AssignBlockLineage), which is what makes a whole-block filter
+      // uniform on lineage.
+      return UniformFilter(input, spec.p, spec.p * spec.p);
+    case SamplingMethod::kLineageBernoulli: {
+      GUS_ASSIGN_OR_RETURN(int dim, input.IndexOf(spec.lineage_relation));
+      const SubsetMask dim_bit = SubsetMask{1} << dim;
+      std::vector<double> b(input.num_subsets());
+      for (SubsetMask m = 0; m < b.size(); ++m) {
+        b[m] = (m & dim_bit) ? spec.p : spec.p * spec.p;
+      }
+      return GusParams::Make(input, spec.p, std::move(b));
+    }
+  }
+  return Status::Internal("unknown sampling method");
+}
+
+Result<GusParams> TranslateBaseSampling(const SamplingSpec& spec,
+                                        const std::string& relation) {
+  GUS_ASSIGN_OR_RETURN(LineageSchema schema, LineageSchema::Make({relation}));
+  return TranslateSampling(spec, schema);
+}
+
+Result<GusParams> MultiDimBernoulliGus(
+    const LineageSchema& schema, const std::vector<DimBernoulli>& dims) {
+  double a = 1.0;
+  std::vector<int> dim_index(dims.size());
+  for (size_t i = 0; i < dims.size(); ++i) {
+    if (!(dims[i].p >= 0.0 && dims[i].p <= 1.0)) {
+      return Status::InvalidArgument("dimension probability must be in [0,1]");
+    }
+    GUS_ASSIGN_OR_RETURN(dim_index[i], schema.IndexOf(dims[i].relation));
+    a *= dims[i].p;
+  }
+  std::vector<double> b(schema.num_subsets());
+  for (SubsetMask m = 0; m < b.size(); ++m) {
+    double prod = 1.0;
+    for (size_t i = 0; i < dims.size(); ++i) {
+      const bool agrees = m & (SubsetMask{1} << dim_index[i]);
+      prod *= agrees ? dims[i].p : dims[i].p * dims[i].p;
+    }
+    b[m] = prod;
+  }
+  return GusParams::Make(schema, a, std::move(b));
+}
+
+Result<GusParams> ChainedStarGus(const std::string& fact_relation,
+                                 const std::vector<std::string>& dimensions,
+                                 const SamplingSpec& fact_spec) {
+  if (fact_spec.method != SamplingMethod::kBernoulli &&
+      fact_spec.method != SamplingMethod::kWithoutReplacement) {
+    return Status::InvalidArgument(
+        "chained/star sampling supports Bernoulli or WOR on the fact table");
+  }
+  // Parameters of the fact-table sampler alone.
+  GUS_ASSIGN_OR_RETURN(GusParams fact_gus,
+                       TranslateBaseSampling(fact_spec, fact_relation));
+  const double a_f = fact_gus.a();
+  const double pair_f = fact_gus.b(SubsetMask{0});
+
+  std::vector<std::string> rels = {fact_relation};
+  rels.insert(rels.end(), dimensions.begin(), dimensions.end());
+  GUS_ASSIGN_OR_RETURN(LineageSchema schema,
+                       LineageSchema::Make(std::move(rels)));
+  const SubsetMask fact_bit = SubsetMask{1} << 0;
+  std::vector<double> b(schema.num_subsets());
+  for (SubsetMask m = 0; m < b.size(); ++m) {
+    b[m] = (m & fact_bit) ? a_f : pair_f;
+  }
+  return GusParams::Make(schema, a_f, std::move(b));
+}
+
+}  // namespace gus

@@ -1,0 +1,70 @@
+// Translation of concrete sampling operators into GUS quasi-operator
+// parameters — Figure 1 of the paper, extended to the full method set
+// supported by this library.
+//
+// A sampler applied to an expression with lineage schema L yields GUS
+// parameters over L:
+//
+//   Bernoulli(p)          a = p      b_full = p      b_T = p^2 otherwise
+//   WOR(n, N)             a = n/N    b_full = n/N    b_T = n(n-1)/(N(N-1))
+//   WRDistinct(n, N)      a = 1-q1   b_full = a      b_T = 1 - 2 q1 + q2,
+//                         q1 = (1-1/N)^n, q2 = (1-2/N)^n
+//   BlockBernoulli(p)     Bernoulli(p) at *block* lineage granularity
+//   LineageBernoulli(R,p) a = p      b_T = p if R ∈ T else p^2
+//
+// where "full" is agreement on the entire lineage (t = t').
+
+#ifndef GUS_ALGEBRA_TRANSLATE_H_
+#define GUS_ALGEBRA_TRANSLATE_H_
+
+#include <string>
+#include <vector>
+
+#include "algebra/gus_params.h"
+#include "sampling/spec.h"
+#include "util/status.h"
+
+namespace gus {
+
+/// \brief GUS parameters of `spec` applied to an expression whose lineage
+/// schema is `input`.
+///
+/// For the size-based methods (WOR / WRDistinct) the spec's `population`
+/// must equal the cardinality of the sampled expression.
+Result<GusParams> TranslateSampling(const SamplingSpec& spec,
+                                    const LineageSchema& input);
+
+/// Convenience: `spec` applied to the base relation `relation`.
+Result<GusParams> TranslateBaseSampling(const SamplingSpec& spec,
+                                        const std::string& relation);
+
+/// One dimension of a multi-dimensional Bernoulli sampler.
+struct DimBernoulli {
+  std::string relation;
+  double p;
+};
+
+/// \brief Multi-dimensional Bernoulli over `schema` (paper Example 5):
+/// the composition (Prop. 9) of per-relation lineage Bernoulli samplers.
+///
+///   a = prod p_i,   b_T = prod_i (p_i if R_i ∈ T else p_i^2)
+///
+/// Relations of `schema` not mentioned in `dims` are left unsampled
+/// (treated as p = 1).
+Result<GusParams> MultiDimBernoulliGus(const LineageSchema& schema,
+                                       const std::vector<DimBernoulli>& dims);
+
+/// \brief AQUA-style chained/star sampling: the fact table is sampled with
+/// `fact_spec` (Bernoulli or WOR) and each dimension tuple joins in iff its
+/// fact tuple was selected.
+///
+/// Over the star-join lineage schema {fact} ∪ dims, inclusion of a result
+/// tuple depends only on its fact tuple, so
+///   a = a_f,   b_T = a_f if fact ∈ T else b_f(pairwise).
+Result<GusParams> ChainedStarGus(const std::string& fact_relation,
+                                 const std::vector<std::string>& dimensions,
+                                 const SamplingSpec& fact_spec);
+
+}  // namespace gus
+
+#endif  // GUS_ALGEBRA_TRANSLATE_H_

@@ -1,0 +1,92 @@
+#include "data/tpch_gen.h"
+
+#include "util/random.h"
+#include "util/zipf.h"
+
+namespace gus {
+
+Catalog TpchData::MakeCatalog() const {
+  Catalog catalog;
+  catalog.emplace("l", lineitem);
+  catalog.emplace("o", orders);
+  catalog.emplace("c", customer);
+  catalog.emplace("p", part);
+  return catalog;
+}
+
+TpchData GenerateTpch(const TpchConfig& config) {
+  Rng rng(config.seed);
+
+  // customer(c_custkey, c_nationkey, c_acctbal)
+  std::vector<Row> customer_rows;
+  customer_rows.reserve(config.num_customers);
+  for (int64_t c = 0; c < config.num_customers; ++c) {
+    customer_rows.push_back(Row{Value(c), Value(rng.UniformInt(int64_t{0}, int64_t{24})),
+                                Value(rng.Uniform(-999.99, 9999.99))});
+  }
+  Schema customer_schema({{"c_custkey", ValueType::kInt64},
+                          {"c_nationkey", ValueType::kInt64},
+                          {"c_acctbal", ValueType::kFloat64}});
+
+  // part(p_partkey, p_retailprice)
+  std::vector<Row> part_rows;
+  part_rows.reserve(config.num_parts);
+  for (int64_t p = 0; p < config.num_parts; ++p) {
+    part_rows.push_back(Row{Value(p), Value(rng.Uniform(900.0, 2100.0))});
+  }
+  Schema part_schema({{"p_partkey", ValueType::kInt64},
+                      {"p_retailprice", ValueType::kFloat64}});
+
+  // orders(o_orderkey, o_custkey, o_totalprice)
+  std::vector<Row> orders_rows;
+  orders_rows.reserve(config.num_orders);
+  for (int64_t o = 0; o < config.num_orders; ++o) {
+    orders_rows.push_back(
+        Row{Value(o),
+            Value(static_cast<int64_t>(rng.UniformInt(
+                static_cast<uint64_t>(config.num_customers)))),
+            Value(rng.Uniform(1000.0, 500000.0))});
+  }
+  Schema orders_schema({{"o_orderkey", ValueType::kInt64},
+                        {"o_custkey", ValueType::kInt64},
+                        {"o_totalprice", ValueType::kFloat64}});
+
+  // lineitem: fanout per order, optionally Zipf-skewed.
+  ZipfGenerator fanout_zipf(
+      static_cast<uint64_t>(config.max_lineitems_per_order),
+      config.fanout_zipf_theta);
+  ZipfGenerator part_zipf(static_cast<uint64_t>(config.num_parts),
+                          config.part_zipf_theta);
+  std::vector<Row> lineitem_rows;
+  for (int64_t o = 0; o < config.num_orders; ++o) {
+    const auto fanout = static_cast<int64_t>(fanout_zipf.Sample(&rng));
+    for (int64_t ln = 1; ln <= fanout; ++ln) {
+      const auto partkey = static_cast<int64_t>(part_zipf.Sample(&rng) - 1);
+      lineitem_rows.push_back(
+          Row{Value(o), Value(ln), Value(partkey),
+              Value(rng.UniformInt(int64_t{1}, int64_t{50})),
+              Value(rng.Uniform(10.0, 105000.0)),
+              Value(rng.Uniform(0.0, 0.10)), Value(rng.Uniform(0.0, 0.08))});
+    }
+  }
+  Schema lineitem_schema({{"l_orderkey", ValueType::kInt64},
+                          {"l_linenumber", ValueType::kInt64},
+                          {"l_partkey", ValueType::kInt64},
+                          {"l_quantity", ValueType::kInt64},
+                          {"l_extendedprice", ValueType::kFloat64},
+                          {"l_discount", ValueType::kFloat64},
+                          {"l_tax", ValueType::kFloat64}});
+
+  TpchData data;
+  data.lineitem = Relation::MakeBase("l", std::move(lineitem_schema),
+                                     std::move(lineitem_rows));
+  data.orders =
+      Relation::MakeBase("o", std::move(orders_schema), std::move(orders_rows));
+  data.customer = Relation::MakeBase("c", std::move(customer_schema),
+                                     std::move(customer_rows));
+  data.part =
+      Relation::MakeBase("p", std::move(part_schema), std::move(part_rows));
+  return data;
+}
+
+}  // namespace gus

@@ -1,0 +1,55 @@
+// Synthetic TPC-H-shaped data generator.
+//
+// The paper's running queries use lineitem, orders, customer and part with
+// the columns referenced below. This generator reproduces that shape at any
+// scale with configurable join fanout and value skew — the substitution for
+// the authors' TPC-H instance (see DESIGN.md): every property under test is
+// a property of the sampling algebra, which only sees lineage and f-values.
+
+#ifndef GUS_DATA_TPCH_GEN_H_
+#define GUS_DATA_TPCH_GEN_H_
+
+#include <cstdint>
+
+#include "plan/executor.h"
+#include "rel/relation.h"
+
+namespace gus {
+
+/// \brief Generator knobs.
+struct TpchConfig {
+  int64_t num_orders = 1500;
+  int64_t num_customers = 150;
+  int64_t num_parts = 200;
+  /// Lineitems per order are uniform in [1, max_lineitems_per_order], or
+  /// Zipf-skewed towards 1 when fanout_zipf_theta > 0.
+  int64_t max_lineitems_per_order = 7;
+  double fanout_zipf_theta = 0.0;
+  /// Zipf skew of part popularity (0 = uniform).
+  double part_zipf_theta = 0.0;
+  uint64_t seed = 0xDB5EEDULL;
+};
+
+/// \brief The generated star-ish schema.
+///
+/// lineitem(l_orderkey, l_linenumber, l_partkey, l_quantity,
+///          l_extendedprice, l_discount, l_tax)
+/// orders(o_orderkey, o_custkey, o_totalprice)
+/// customer(c_custkey, c_nationkey, c_acctbal)
+/// part(p_partkey, p_retailprice)
+struct TpchData {
+  Relation lineitem;
+  Relation orders;
+  Relation customer;
+  Relation part;
+
+  /// Catalog keyed by the paper's short names: l, o, c, p.
+  Catalog MakeCatalog() const;
+};
+
+/// Generates a deterministic instance for `config`.
+TpchData GenerateTpch(const TpchConfig& config);
+
+}  // namespace gus
+
+#endif  // GUS_DATA_TPCH_GEN_H_

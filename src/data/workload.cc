@@ -1,0 +1,62 @@
+#include "data/workload.h"
+
+namespace gus {
+
+namespace {
+
+ExprPtr DiscountTaxAggregate() {
+  // l_discount * (1.0 - l_tax)
+  return Mul(Col("l_discount"), Sub(Lit(1.0), Col("l_tax")));
+}
+
+PlanPtr Query1Core(const Query1Params& params) {
+  PlanPtr l = PlanNode::Sample(SamplingSpec::Bernoulli(params.lineitem_p),
+                               PlanNode::Scan("l"));
+  PlanPtr o = PlanNode::Sample(
+      SamplingSpec::WithoutReplacement(params.orders_n,
+                                       params.orders_population),
+      PlanNode::Scan("o"));
+  PlanPtr join = PlanNode::Join(l, o, "l_orderkey", "o_orderkey");
+  return PlanNode::SelectNode(Gt(Col("l_extendedprice"),
+                                 Lit(params.price_threshold)),
+                              join);
+}
+
+}  // namespace
+
+Workload MakeQuery1(const Query1Params& params) {
+  return Workload{Query1Core(params), DiscountTaxAggregate()};
+}
+
+Workload MakeExample4(const Example4Params& params) {
+  PlanPtr l = PlanNode::Sample(SamplingSpec::Bernoulli(params.lineitem_p),
+                               PlanNode::Scan("l"));
+  PlanPtr o = PlanNode::Sample(
+      SamplingSpec::WithoutReplacement(params.orders_n,
+                                       params.orders_population),
+      PlanNode::Scan("o"));
+  // Figure 4 shape: ((l ⋈ o) ⋈ c) ⋈ p, with customers unsampled and parts
+  // Bernoulli(0.5)-sampled.
+  PlanPtr lo = PlanNode::Join(l, o, "l_orderkey", "o_orderkey");
+  PlanPtr loc = PlanNode::Join(lo, PlanNode::Scan("c"), "o_custkey",
+                               "c_custkey");
+  PlanPtr p = PlanNode::Sample(SamplingSpec::Bernoulli(params.part_p),
+                               PlanNode::Scan("p"));
+  PlanPtr locp = PlanNode::Join(loc, p, "l_partkey", "p_partkey");
+  return Workload{locp, DiscountTaxAggregate()};
+}
+
+Workload MakeExample6(const Query1Params& params, double sub_p_lineitem,
+                      double sub_p_orders, uint64_t seed) {
+  PlanPtr core = Query1Core(params);
+  // The bi-dimensional Bernoulli B(p_l, p_o) is the composition of two
+  // lineage-seeded Bernoulli filters (Prop. 9 / Example 5); stacking the
+  // two sample nodes compacts into the composed GUS.
+  PlanPtr sub_l = PlanNode::Sample(
+      SamplingSpec::LineageBernoulli("l", sub_p_lineitem, seed), core);
+  PlanPtr sub_lo = PlanNode::Sample(
+      SamplingSpec::LineageBernoulli("o", sub_p_orders, seed + 1), sub_l);
+  return Workload{sub_lo, DiscountTaxAggregate()};
+}
+
+}  // namespace gus

@@ -1,0 +1,61 @@
+// The paper's workload queries as plan builders.
+//
+// Query 1 (Introduction / Example 1, Figure 2):
+//   SELECT SUM(l_discount*(1.0-l_tax))
+//   FROM lineitem TABLESAMPLE (10 PERCENT),
+//        orders   TABLESAMPLE (1000 ROWS)
+//   WHERE l_orderkey = o_orderkey AND l_extendedprice > 100.0;
+//
+// Example 4 query (Figure 4): the four-relation join
+//   ((B0.1(l) ⋈ WOR1000(o)) ⋈ c) ⋈ B0.5(p)
+//
+// Example 6 (Figure 5): Query 1 capped by a bi-dimensional Bernoulli
+// B(0.2, 0.3) sub-sampler.
+
+#ifndef GUS_DATA_WORKLOAD_H_
+#define GUS_DATA_WORKLOAD_H_
+
+#include <cstdint>
+
+#include "plan/plan_node.h"
+#include "rel/expression.h"
+
+namespace gus {
+
+/// \brief One workload query: the sampled plan plus its aggregate function.
+struct Workload {
+  PlanPtr plan;
+  ExprPtr aggregate;  // f(t) of the SUM
+};
+
+/// Sampling knobs for Query 1 (defaults are the paper's).
+struct Query1Params {
+  double lineitem_p = 0.1;
+  int64_t orders_n = 1000;
+  /// Cardinality of orders; the paper uses 150000.
+  int64_t orders_population = 150000;
+  double price_threshold = 100.0;
+};
+
+/// The paper's Query 1 over catalog relations "l" and "o".
+Workload MakeQuery1(const Query1Params& params);
+
+/// Sampling knobs for the Example 4 plan (defaults are the paper's).
+struct Example4Params {
+  double lineitem_p = 0.1;
+  int64_t orders_n = 1000;
+  int64_t orders_population = 150000;
+  double part_p = 0.5;
+};
+
+/// The Figure 4 four-relation plan over "l", "o", "c", "p".
+Workload MakeExample4(const Example4Params& params);
+
+/// \brief Query 1 capped by the Example 5/6 bi-dimensional Bernoulli
+/// B(p_l, p_o) lineage sub-sampler (Figure 5).
+Workload MakeExample6(const Query1Params& params, double sub_p_lineitem,
+                      double sub_p_orders, uint64_t seed);
+
+}  // namespace gus
+
+#endif  // GUS_DATA_WORKLOAD_H_

@@ -1,0 +1,73 @@
+#include "est/group_by.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <unordered_map>
+
+#include "est/unbiased.h"
+#include "est/variance.h"
+#include "est/ys.h"
+
+namespace gus {
+
+Result<std::vector<GroupEstimate>> GroupedSumEstimate(
+    const GusParams& gus, const Relation& rel, const ExprPtr& f_expr,
+    const std::string& key_column, double confidence_level, BoundKind kind) {
+  GUS_ASSIGN_OR_RETURN(SampleView view,
+                       SampleView::FromRelation(rel, f_expr, gus.schema()));
+  GUS_ASSIGN_OR_RETURN(int key_idx, rel.schema().IndexOf(key_column));
+
+  // Partition row indexes by key hash (exact keys kept for output).
+  std::unordered_map<uint64_t, std::vector<int64_t>> groups;
+  std::unordered_map<uint64_t, Value> keys;
+  for (int64_t i = 0; i < rel.num_rows(); ++i) {
+    const Value& key = rel.row(i)[key_idx];
+    const uint64_t h = key.Hash();
+    groups[h].push_back(i);
+    keys.emplace(h, key);
+  }
+
+  std::vector<GroupEstimate> out;
+  out.reserve(groups.size());
+  for (const auto& [h, rows] : groups) {
+    // Group view: f restricted to the group's rows. Rows outside the group
+    // contribute f = 0, and zero rows do not change any y statistic, so the
+    // restricted view is sufficient.
+    SampleView gview;
+    gview.schema = view.schema;
+    gview.lineage.assign(view.lineage.size(), {});
+    for (int64_t i : rows) {
+      gview.f.push_back(view.f[i]);
+      for (size_t d = 0; d < view.lineage.size(); ++d) {
+        gview.lineage[d].push_back(view.lineage[d][i]);
+      }
+    }
+    GroupEstimate ge;
+    ge.key = keys.at(h);
+    ge.sample_rows = static_cast<int64_t>(rows.size());
+    GUS_ASSIGN_OR_RETURN(ge.estimate, PointEstimate(gus, gview));
+    const std::vector<double> Y = ComputeAllYS(gview);
+    GUS_ASSIGN_OR_RETURN(std::vector<double> y_hat,
+                         UnbiasedYEstimates(gus, Y));
+    GUS_ASSIGN_OR_RETURN(double var, VarianceFromY(gus, y_hat));
+    ge.variance = std::max(0.0, var);
+    ge.stddev = std::sqrt(ge.variance);
+    GUS_ASSIGN_OR_RETURN(
+        ge.interval,
+        MakeInterval(ge.estimate, ge.variance, confidence_level, kind));
+    out.push_back(std::move(ge));
+  }
+  // Deterministic output order: by key string (numeric-aware enough for
+  // tests and display).
+  std::sort(out.begin(), out.end(),
+            [](const GroupEstimate& a, const GroupEstimate& b) {
+              if (a.key.is_numeric() && b.key.is_numeric()) {
+                return a.key.ToDouble() < b.key.ToDouble();
+              }
+              return a.key.ToString() < b.key.ToString();
+            });
+  return out;
+}
+
+}  // namespace gus

@@ -1,0 +1,48 @@
+// Grouped aggregate estimation: SUM(f) ... GROUP BY key, with a confidence
+// interval per group.
+//
+// Each group's aggregate is itself a SUM-like aggregate over the same GUS
+// sample — restrict f with the group's indicator and Theorem 1 applies
+// unchanged. This is how the paper's machinery extends to the grouped
+// queries real dashboards issue; it needs no new theory, only plumbing
+// (which is the point of the algebra).
+
+#ifndef GUS_EST_GROUP_BY_H_
+#define GUS_EST_GROUP_BY_H_
+
+#include <string>
+#include <vector>
+
+#include "algebra/gus_params.h"
+#include "est/confidence.h"
+#include "est/sample_view.h"
+#include "rel/relation.h"
+#include "util/status.h"
+
+namespace gus {
+
+/// One group's estimate.
+struct GroupEstimate {
+  Value key;
+  double estimate = 0.0;
+  double variance = 0.0;
+  double stddev = 0.0;
+  ConfidenceInterval interval;
+  /// Sample tuples contributing to the group.
+  int64_t sample_rows = 0;
+};
+
+/// \brief Estimates SUM(f) per distinct value of `key_column`.
+///
+/// `rel` is the sampled result relation; f and the key are evaluated per
+/// row. Groups absent from the sample are (necessarily) absent from the
+/// output — a fundamental limitation of sampling shared with the paper's
+/// DISTINCT discussion.
+Result<std::vector<GroupEstimate>> GroupedSumEstimate(
+    const GusParams& gus, const Relation& rel, const ExprPtr& f_expr,
+    const std::string& key_column, double confidence_level = 0.95,
+    BoundKind kind = BoundKind::kNormal);
+
+}  // namespace gus
+
+#endif  // GUS_EST_GROUP_BY_H_

@@ -1,0 +1,47 @@
+// SampleView — the exact information the SBox consumes (paper Section 6):
+// for every tuple that reaches the aggregate, its aggregate value f(t) and
+// its lineage (one base-tuple id per relation of the analysis lineage
+// schema). Nothing else about the query or data is needed.
+
+#ifndef GUS_EST_SAMPLE_VIEW_H_
+#define GUS_EST_SAMPLE_VIEW_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "algebra/lineage_schema.h"
+#include "rel/expression.h"
+#include "rel/relation.h"
+#include "util/status.h"
+
+namespace gus {
+
+/// \brief Column-oriented (lineage, f-value) stream aligned to a lineage
+/// schema.
+struct SampleView {
+  /// The analysis lineage schema (dimension order of `lineage`).
+  LineageSchema schema;
+  /// lineage[d] is the id column for schema.relation(d); all columns have
+  /// equal length.
+  std::vector<std::vector<uint64_t>> lineage;
+  /// Aggregate values, same length as each lineage column.
+  std::vector<double> f;
+
+  int64_t num_rows() const { return static_cast<int64_t>(f.size()); }
+
+  /// \brief Builds a view from a relation by evaluating `f_expr` per row.
+  ///
+  /// The relation's lineage columns are re-ordered to match `schema` (the
+  /// GUS analysis schema); every schema relation must be present in the
+  /// relation's lineage schema and vice versa.
+  static Result<SampleView> FromRelation(const Relation& rel,
+                                         const ExprPtr& f_expr,
+                                         const LineageSchema& schema);
+
+  /// Sum of f (the un-scaled sample aggregate).
+  double SumF() const;
+};
+
+}  // namespace gus
+
+#endif  // GUS_EST_SAMPLE_VIEW_H_

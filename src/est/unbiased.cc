@@ -1,0 +1,56 @@
+#include "est/unbiased.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace gus {
+
+double UnbiasingCoefficient(const GusParams& gus, SubsetMask s, SubsetMask u) {
+  GUS_DCHECK((s & ~u) == 0);
+  const SubsetMask extra = u & ~s;
+  double d = 0.0;
+  for (SubsetIterator it(extra); !it.done(); it.Next()) {
+    // V = S ∪ W for W ⊆ U \ S, sign (−1)^{|U\S| − |W|}.
+    d += ParitySign(extra & ~it.mask()) * gus.b(s | it.mask());
+  }
+  return d;
+}
+
+Result<std::vector<double>> UnbiasedYEstimates(const GusParams& gus,
+                                               const std::vector<double>& Y) {
+  const size_t count = gus.schema().num_subsets();
+  if (Y.size() != count) {
+    return Status::InvalidArgument("Y table must have 2^n entries");
+  }
+  const SubsetMask full = gus.schema().full_mask();
+
+  // Order masks by decreasing popcount so every Ŷ_{S∪T} needed by the
+  // recursion is already available.
+  std::vector<SubsetMask> order(count);
+  for (SubsetMask m = 0; m < count; ++m) order[m] = m;
+  std::sort(order.begin(), order.end(), [](SubsetMask a, SubsetMask b) {
+    const int pa = PopCount(a), pb = PopCount(b);
+    return pa != pb ? pa > pb : a < b;
+  });
+
+  std::vector<double> y_hat(count, 0.0);
+  for (SubsetMask s : order) {
+    const double b_s = gus.b(s);
+    if (b_s <= 0.0) {
+      return Status::InvalidArgument(
+          "b_" + gus.schema().MaskToString(s) +
+          " = 0: y_S is not estimable from this sampling design");
+    }
+    double rhs = Y[s];
+    const SubsetMask complement = full & ~s;
+    for (SubsetIterator it(complement); !it.done(); it.Next()) {
+      if (it.mask() == 0) continue;
+      rhs -= UnbiasingCoefficient(gus, s, s | it.mask()) * y_hat[s | it.mask()];
+    }
+    y_hat[s] = rhs / b_s;
+  }
+  return y_hat;
+}
+
+}  // namespace gus

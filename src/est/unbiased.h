@@ -1,0 +1,39 @@
+// Unbiased estimation of the y_S data statistics from a GUS sample
+// (paper Section 6.3).
+//
+// With Y_S the y-statistic computed directly on the sample,
+//
+//   E[Y_S] = sum_{T ⊆ S^C} d_{S, S∪T} · y_{S∪T},
+//   d_{S,U} = sum_{S ⊆ V ⊆ U} (−1)^{|U|−|V|} b_V,     d_{S,S} = b_S,
+//
+// which inverts into the top-down recursion (decreasing |S|):
+//
+//   Ŷ_S = ( Y_S − sum_{T ⊆ S^C, T ≠ ∅} d_{S,S∪T} · Ŷ_{S∪T} ) / b_S.
+//
+// (See the DESIGN.md erratum note: the arXiv text's c_{S,T} differs by a
+// global sign that cancels; this form is Monte-Carlo validated.)
+
+#ifndef GUS_EST_UNBIASED_H_
+#define GUS_EST_UNBIASED_H_
+
+#include <vector>
+
+#include "algebra/gus_params.h"
+#include "util/status.h"
+
+namespace gus {
+
+/// The coefficient d_{S,U}; requires S ⊆ U.
+double UnbiasingCoefficient(const GusParams& gus, SubsetMask s, SubsetMask u);
+
+/// \brief Runs the recursion: sample statistics Y (indexed by mask) to
+/// unbiased estimates Ŷ of the full-data y statistics.
+///
+/// Fails if some b_S = 0 (the sampling never keeps pairs with agreement S,
+/// so y_S is not estimable from this design).
+Result<std::vector<double>> UnbiasedYEstimates(const GusParams& gus,
+                                               const std::vector<double>& Y);
+
+}  // namespace gus
+
+#endif  // GUS_EST_UNBIASED_H_

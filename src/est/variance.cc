@@ -1,0 +1,49 @@
+#include "est/variance.h"
+
+#include "est/ys.h"
+
+namespace gus {
+
+Result<double> PointEstimate(const GusParams& gus, const SampleView& sample) {
+  if (gus.a() <= 0.0) {
+    return Status::InvalidArgument("estimator needs a > 0");
+  }
+  if (sample.schema != gus.schema()) {
+    return Status::InvalidArgument("sample view / GUS schema mismatch");
+  }
+  return sample.SumF() / gus.a();
+}
+
+Result<double> VarianceFromY(const GusParams& gus,
+                             const std::vector<double>& y) {
+  if (y.size() != gus.schema().num_subsets()) {
+    return Status::InvalidArgument("y table must have 2^n entries");
+  }
+  if (gus.a() <= 0.0) {
+    return Status::InvalidArgument("variance needs a > 0");
+  }
+  const std::vector<double> c = gus.AllCFast();
+  const double a2 = gus.a() * gus.a();
+  double var = -y[0];  // − y_∅
+  for (SubsetMask m = 0; m < y.size(); ++m) {
+    var += c[m] / a2 * y[m];
+  }
+  return var;
+}
+
+Result<double> CovarianceFromY(const GusParams& gus,
+                               const std::vector<double>& y_bilinear) {
+  // The bilinear Theorem 1 has the same coefficient structure; only the
+  // y-table differs (polarization of the quadratic form).
+  return VarianceFromY(gus, y_bilinear);
+}
+
+Result<double> ExactVariance(const GusParams& gus,
+                             const SampleView& full_data) {
+  if (full_data.schema != gus.schema()) {
+    return Status::InvalidArgument("full data / GUS schema mismatch");
+  }
+  return VarianceFromY(gus, ComputeAllYS(full_data));
+}
+
+}  // namespace gus

@@ -1,0 +1,42 @@
+// Theorem 1: moments of the GUS sampling estimator.
+//
+//   X = (1/a) * sum_{t in sample} f(t)
+//   E[X] = A (the true aggregate)
+//   Var[X] = sum_S (c_S / a^2) y_S  −  y_∅
+//
+// VarianceFromY evaluates the formula given a y-table — the *true* y values
+// for the exact (oracle) variance, or the unbiased Ŷ estimates for the
+// sample-based variance estimate.
+
+#ifndef GUS_EST_VARIANCE_H_
+#define GUS_EST_VARIANCE_H_
+
+#include <vector>
+
+#include "algebra/gus_params.h"
+#include "est/sample_view.h"
+#include "util/status.h"
+
+namespace gus {
+
+/// The point estimate X = SumF / a.
+Result<double> PointEstimate(const GusParams& gus, const SampleView& sample);
+
+/// Var[X] from a y-table (true y or estimated Ŷ), Theorem 1.
+Result<double> VarianceFromY(const GusParams& gus,
+                             const std::vector<double>& y);
+
+/// \brief Covariance between two SUM estimators X_f, X_g sharing the sample:
+///   Cov = sum_S (c_S/a^2) y^{fg}_S − y^{fg}_∅
+/// with y^{fg} the bilinear statistics. Used by the AVG delta method.
+Result<double> CovarianceFromY(const GusParams& gus,
+                               const std::vector<double>& y_bilinear);
+
+/// \brief Oracle variance: evaluates Theorem 1 on the *full data*
+/// (exact y values). Used by tests and experiments as ground truth for the
+/// estimator's sampling distribution.
+Result<double> ExactVariance(const GusParams& gus, const SampleView& full_data);
+
+}  // namespace gus
+
+#endif  // GUS_EST_VARIANCE_H_

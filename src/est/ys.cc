@@ -1,0 +1,117 @@
+#include "est/ys.h"
+
+#include <algorithm>
+#include <numeric>
+#include <unordered_map>
+
+#include "util/hash.h"
+
+namespace gus {
+
+namespace {
+
+/// 64-bit key for the S-projection of row i's lineage (salted by mask so
+/// different projections never share key spaces).
+uint64_t ProjectedKey(const SampleView& view, SubsetMask mask, int64_t i) {
+  uint64_t h = Mix64(mask | 0xABCD000000000000ULL);
+  for (int d = 0; d < view.schema.arity(); ++d) {
+    if (mask & (SubsetMask{1} << d)) {
+      h = HashCombine(h, view.lineage[d][i]);
+    }
+  }
+  return h;
+}
+
+}  // namespace
+
+double ComputeYS(const SampleView& view, SubsetMask mask) {
+  if (mask == 0) {
+    const double s = view.SumF();
+    return s * s;
+  }
+  // Note: even the full mask must group by lineage — block-sampled
+  // relations share a lineage id across all rows of a block, so agreement
+  // on the entire lineage schema does not imply row identity.
+  std::unordered_map<uint64_t, double> groups;
+  groups.reserve(static_cast<size_t>(view.num_rows()));
+  for (int64_t i = 0; i < view.num_rows(); ++i) {
+    groups[ProjectedKey(view, mask, i)] += view.f[i];
+  }
+  double y = 0.0;
+  for (const auto& [key, sum] : groups) y += sum * sum;
+  return y;
+}
+
+Result<double> ComputeYSBilinear(const SampleView& view,
+                                 const std::vector<double>& g,
+                                 SubsetMask mask) {
+  if (static_cast<int64_t>(g.size()) != view.num_rows()) {
+    return Status::InvalidArgument("g must align with the sample view");
+  }
+  if (mask == 0) {
+    double sf = view.SumF();
+    double sg = std::accumulate(g.begin(), g.end(), 0.0);
+    return sf * sg;
+  }
+  std::unordered_map<uint64_t, std::pair<double, double>> groups;
+  groups.reserve(static_cast<size_t>(view.num_rows()));
+  for (int64_t i = 0; i < view.num_rows(); ++i) {
+    auto& acc = groups[ProjectedKey(view, mask, i)];
+    acc.first += view.f[i];
+    acc.second += g[i];
+  }
+  double y = 0.0;
+  for (const auto& [key, sums] : groups) y += sums.first * sums.second;
+  return y;
+}
+
+std::vector<double> ComputeAllYS(const SampleView& view) {
+  std::vector<double> ys(view.schema.num_subsets());
+  for (SubsetMask m = 0; m < ys.size(); ++m) ys[m] = ComputeYS(view, m);
+  return ys;
+}
+
+Result<std::vector<double>> ComputeAllYSBilinear(
+    const SampleView& view, const std::vector<double>& g) {
+  std::vector<double> ys(view.schema.num_subsets());
+  for (SubsetMask m = 0; m < ys.size(); ++m) {
+    GUS_ASSIGN_OR_RETURN(ys[m], ComputeYSBilinear(view, g, m));
+  }
+  return ys;
+}
+
+double ComputeYSSorted(const SampleView& view, SubsetMask mask) {
+  if (mask == 0) {
+    const double s = view.SumF();
+    return s * s;
+  }
+  std::vector<int64_t> idx(view.num_rows());
+  std::iota(idx.begin(), idx.end(), int64_t{0});
+  auto key_less = [&](int64_t a, int64_t b) {
+    for (int d = 0; d < view.schema.arity(); ++d) {
+      if (mask & (SubsetMask{1} << d)) {
+        if (view.lineage[d][a] != view.lineage[d][b]) {
+          return view.lineage[d][a] < view.lineage[d][b];
+        }
+      }
+    }
+    return false;
+  };
+  auto key_equal = [&](int64_t a, int64_t b) {
+    return !key_less(a, b) && !key_less(b, a);
+  };
+  std::sort(idx.begin(), idx.end(), key_less);
+  double y = 0.0;
+  double group = 0.0;
+  for (size_t i = 0; i < idx.size(); ++i) {
+    if (i > 0 && !key_equal(idx[i - 1], idx[i])) {
+      y += group * group;
+      group = 0.0;
+    }
+    group += view.f[idx[i]];
+  }
+  if (!idx.empty()) y += group * group;
+  return y;
+}
+
+}  // namespace gus

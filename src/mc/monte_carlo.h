@@ -1,0 +1,82 @@
+// Monte-Carlo oracle for the sampling algebra.
+//
+// Two instruments:
+//   * RunSboxTrials — repeatedly executes a sampled workload, runs the SBox,
+//     and accumulates the empirical distribution of the estimator plus
+//     confidence-interval coverage against the exact answer. This validates
+//     Theorem 1 end-to-end.
+//   * MeasureInclusion — estimates the first- and second-order inclusion
+//     probabilities of a plan's result tuples, grouped by lineage-agreement
+//     mask. By Proposition 3 (SOA-set equivalence), these must match the a
+//     and b_T of the transform's top GUS — the most direct check of the
+//     algebra there is.
+
+#ifndef GUS_MC_MONTE_CARLO_H_
+#define GUS_MC_MONTE_CARLO_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "data/workload.h"
+#include "est/sbox.h"
+#include "plan/executor.h"
+#include "plan/soa_transform.h"
+#include "util/stats.h"
+#include "util/status.h"
+
+namespace gus {
+
+/// \brief Accumulated results of repeated estimation trials.
+struct SboxTrialStats {
+  /// The exact (unsampled) aggregate.
+  double truth = 0.0;
+  /// Theorem 1 variance evaluated on the full data (the oracle variance of
+  /// the estimator's sampling distribution).
+  double oracle_variance = 0.0;
+  /// Empirical moments of the per-trial estimates.
+  MeanVar estimates;
+  /// Mean of the per-trial *estimated* variances.
+  MeanVar predicted_variance;
+  /// CI coverage of the truth.
+  CoverageCounter coverage;
+  /// Mean of per-trial unbiased Ŷ_S estimates, indexed by mask.
+  std::vector<MeanVar> y_hat;
+  /// True y_S of the full data, indexed by mask.
+  std::vector<double> y_true;
+};
+
+/// \brief Runs `trials` independent executions of `workload` over `catalog`,
+/// estimating with the SBox under `options`.
+Result<SboxTrialStats> RunSboxTrials(const Workload& workload,
+                                     const Catalog& catalog, int trials,
+                                     uint64_t seed,
+                                     const SboxOptions& options = {});
+
+/// \brief Empirical inclusion probabilities of a plan's result tuples.
+struct InclusionStats {
+  /// Lineage schema of the plan.
+  LineageSchema schema;
+  /// Size of the exact (unsampled) result.
+  int64_t result_size = 0;
+  int trials = 0;
+  /// Mean per-tuple inclusion frequency (estimates a).
+  double mean_single = 0.0;
+  /// Min/max per-tuple frequency (uniformity check).
+  double min_single = 0.0;
+  double max_single = 0.0;
+  /// Mean pairwise co-inclusion frequency per agreement mask (estimates
+  /// b_T); entry is -1 when no pair with that mask exists in the result.
+  std::vector<double> pair_by_mask;
+  /// Number of distinct tuple pairs per agreement mask.
+  std::vector<int64_t> pairs_per_mask;
+};
+
+/// \brief Estimates inclusion probabilities by executing `plan` `trials`
+/// times. The exact result must be small (cost is O(trials * m^2)).
+Result<InclusionStats> MeasureInclusion(const PlanPtr& plan,
+                                        const Catalog& catalog, int trials,
+                                        uint64_t seed);
+
+}  // namespace gus
+
+#endif  // GUS_MC_MONTE_CARLO_H_

@@ -1,0 +1,194 @@
+#include "online/ripple.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "algebra/ops.h"
+#include "algebra/translate.h"
+#include "est/unbiased.h"
+#include "est/variance.h"
+#include "util/hash.h"
+
+namespace gus {
+
+namespace {
+
+/// Shuffled copy of a relation (rows keep their original lineage ids, so a
+/// prefix of the copy is a WOR sample of the original).
+Relation Shuffle(const Relation& input, Rng* rng) {
+  std::vector<int64_t> perm(input.num_rows());
+  std::iota(perm.begin(), perm.end(), int64_t{0});
+  for (int64_t i = input.num_rows() - 1; i > 0; --i) {
+    const auto j = static_cast<int64_t>(
+        rng->UniformInt(static_cast<uint64_t>(i) + 1));
+    std::swap(perm[i], perm[j]);
+  }
+  Relation out(input.schema(), input.lineage_schema());
+  out.Reserve(input.num_rows());
+  for (int64_t i : perm) {
+    out.AppendRow(input.row(i), input.lineage(i));
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<RippleEstimator> RippleEstimator::Make(
+    const Relation& left, const Relation& right, const std::string& left_key,
+    const std::string& right_key, const ExprPtr& f, uint64_t seed,
+    double confidence_level) {
+  if (left.lineage_schema().size() != 1 ||
+      right.lineage_schema().size() != 1) {
+    return Status::InvalidArgument(
+        "ripple estimation joins base relations");
+  }
+  if (!Relation::LineageDisjoint(left, right)) {
+    return Status::InvalidArgument("inputs must be distinct relations");
+  }
+  RippleEstimator est;
+  Rng rng(seed);
+  est.left_ = Shuffle(left, &rng);
+  est.right_ = Shuffle(right, &rng);
+  GUS_ASSIGN_OR_RETURN(est.left_key_, left.schema().IndexOf(left_key));
+  GUS_ASSIGN_OR_RETURN(est.right_key_, right.schema().IndexOf(right_key));
+  GUS_ASSIGN_OR_RETURN(est.joined_schema_,
+                       Schema::Concat(left.schema(), right.schema()));
+  GUS_ASSIGN_OR_RETURN(est.f_bound_, f->Bind(est.joined_schema_));
+  GUS_ASSIGN_OR_RETURN(
+      est.lineage_,
+      LineageSchema::Make(
+          {left.lineage_schema()[0], right.lineage_schema()[0]}));
+  est.confidence_level_ = confidence_level;
+  est.groups_.resize(2);
+  est.y_.assign(4, 0.0);
+  return est;
+}
+
+void RippleEstimator::AddResultTuple(uint64_t left_id, uint64_t right_id,
+                                     double f) {
+  ++result_rows_;
+  sum_f_ += f;
+  y_[0] = sum_f_ * sum_f_;
+  // Mask {left} (bit 0): group by the left tuple id.
+  {
+    double& s = groups_[0][left_id];
+    y_[1] += (s + f) * (s + f) - s * s;
+    s += f;
+  }
+  // Mask {right} (bit 1).
+  {
+    double& s = groups_[1][right_id];
+    y_[2] += (s + f) * (s + f) - s * s;
+    s += f;
+  }
+  // Mask {left,right}: result tuples are unique per (left_id, right_id),
+  // so each forms its own group.
+  y_[3] += f * f;
+}
+
+Status RippleEstimator::IngestLeft() {
+  const int64_t i = seen_left_;
+  const Row& row = left_.row(i);
+  const uint64_t left_id = left_.lineage(i)[0];
+  const Value& key = row[left_key_];
+  auto range = right_index_.equal_range(key.Hash());
+  for (auto it = range.first; it != range.second; ++it) {
+    const Row& rrow = right_.row(it->second);
+    if (!(rrow[right_key_] == key)) continue;
+    Row joined = row;
+    joined.insert(joined.end(), rrow.begin(), rrow.end());
+    GUS_ASSIGN_OR_RETURN(Value v, f_bound_->Eval(joined));
+    if (!v.is_numeric()) {
+      return Status::TypeError("aggregate must be numeric");
+    }
+    AddResultTuple(left_id, right_.lineage(it->second)[0], v.ToDouble());
+  }
+  left_index_.emplace(key.Hash(), i);
+  ++seen_left_;
+  return Status::OK();
+}
+
+Status RippleEstimator::IngestRight() {
+  const int64_t i = seen_right_;
+  const Row& row = right_.row(i);
+  const uint64_t right_id = right_.lineage(i)[0];
+  const Value& key = row[right_key_];
+  auto range = left_index_.equal_range(key.Hash());
+  for (auto it = range.first; it != range.second; ++it) {
+    const Row& lrow = left_.row(it->second);
+    if (!(lrow[left_key_] == key)) continue;
+    Row joined = lrow;
+    joined.insert(joined.end(), row.begin(), row.end());
+    GUS_ASSIGN_OR_RETURN(Value v, f_bound_->Eval(joined));
+    if (!v.is_numeric()) {
+      return Status::TypeError("aggregate must be numeric");
+    }
+    AddResultTuple(left_.lineage(it->second)[0], right_id, v.ToDouble());
+  }
+  right_index_.emplace(key.Hash(), i);
+  ++seen_right_;
+  return Status::OK();
+}
+
+Status RippleEstimator::Step() {
+  if (done()) return Status::OK();
+  // Advance the side with the smaller progress fraction (square ripple).
+  const double left_frac =
+      left_.num_rows() == 0
+          ? 1.0
+          : static_cast<double>(seen_left_) / left_.num_rows();
+  const double right_frac =
+      right_.num_rows() == 0
+          ? 1.0
+          : static_cast<double>(seen_right_) / right_.num_rows();
+  if (seen_right_ >= right_.num_rows() ||
+      (seen_left_ < left_.num_rows() && left_frac <= right_frac)) {
+    return IngestLeft();
+  }
+  return IngestRight();
+}
+
+Status RippleEstimator::StepMany(int64_t n) {
+  for (int64_t i = 0; i < n && !done(); ++i) {
+    GUS_RETURN_NOT_OK(Step());
+  }
+  return Status::OK();
+}
+
+Result<RippleSnapshot> RippleEstimator::Snapshot() const {
+  if (seen_left_ < 2 || seen_right_ < 2) {
+    return Status::InvalidArgument(
+        "need at least two tuples per side before a snapshot (pairwise "
+        "probabilities are zero below that)");
+  }
+  // Prefixes are WOR samples; the joined design is their GUS join.
+  GUS_ASSIGN_OR_RETURN(
+      GusParams gl,
+      TranslateBaseSampling(
+          SamplingSpec::WithoutReplacement(seen_left_, left_.num_rows()),
+          lineage_.relation(0)));
+  GUS_ASSIGN_OR_RETURN(
+      GusParams gr,
+      TranslateBaseSampling(
+          SamplingSpec::WithoutReplacement(seen_right_, right_.num_rows()),
+          lineage_.relation(1)));
+  GUS_ASSIGN_OR_RETURN(GusParams gus, GusJoin(gl, gr));
+
+  RippleSnapshot snap;
+  snap.seen_left = seen_left_;
+  snap.seen_right = seen_right_;
+  snap.result_rows = result_rows_;
+  snap.estimate = gus.a() > 0.0 ? sum_f_ / gus.a() : 0.0;
+  GUS_ASSIGN_OR_RETURN(std::vector<double> y_hat,
+                       UnbiasedYEstimates(gus, y_));
+  GUS_ASSIGN_OR_RETURN(double var, VarianceFromY(gus, y_hat));
+  snap.variance = std::max(0.0, var);
+  snap.stddev = std::sqrt(snap.variance);
+  GUS_ASSIGN_OR_RETURN(snap.interval,
+                       MakeInterval(snap.estimate, snap.variance,
+                                    confidence_level_, BoundKind::kNormal));
+  return snap;
+}
+
+}  // namespace gus

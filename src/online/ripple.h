@@ -1,0 +1,108 @@
+// Online aggregation via the GUS algebra.
+//
+// The related-work systems the paper discusses (ripple joins, DBO) stream
+// tuples in random order and refine an estimate continuously. The GUS view
+// makes their analysis a two-line argument:
+//
+//   * a prefix of a random permutation of R is exactly a WOR(k, N) sample;
+//   * prefixes of two independently shuffled relations joined together are
+//     WOR(k1, N1) ⋈ WOR(k2, N2), whose single top GUS is GusJoin of the
+//     two WOR translations (Prop. 6).
+//
+// RippleEstimator ingests tuples alternately from both shuffled inputs,
+// maintains the join result and the 2^n Y_S statistics *incrementally*,
+// and at any moment emits an unbiased estimate of the full join aggregate
+// with a confidence interval that tightens as more tuples arrive — online
+// aggregation, analyzed by the sampling algebra instead of bespoke CLT
+// derivations.
+
+#ifndef GUS_ONLINE_RIPPLE_H_
+#define GUS_ONLINE_RIPPLE_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "algebra/gus_params.h"
+#include "est/confidence.h"
+#include "rel/expression.h"
+#include "rel/relation.h"
+#include "util/random.h"
+#include "util/status.h"
+
+namespace gus {
+
+/// A progress snapshot of the online estimate.
+struct RippleSnapshot {
+  /// Tuples consumed from each input.
+  int64_t seen_left = 0;
+  int64_t seen_right = 0;
+  /// Result tuples materialized so far.
+  int64_t result_rows = 0;
+  double estimate = 0.0;
+  double variance = 0.0;
+  double stddev = 0.0;
+  ConfidenceInterval interval;
+};
+
+/// \brief Streaming ripple-style estimator for
+/// SUM(f) over left ⋈ right (equi-join).
+///
+/// Construction shuffles both inputs (the random-order-scan assumption of
+/// online aggregation). Step() consumes one tuple from the smaller-progress
+/// side, joins it against the seen portion of the other side, and updates
+/// the moment statistics in O(matches · 2^n).
+class RippleEstimator {
+ public:
+  /// `left`/`right` must be base relations with disjoint names.
+  static Result<RippleEstimator> Make(const Relation& left,
+                                      const Relation& right,
+                                      const std::string& left_key,
+                                      const std::string& right_key,
+                                      const ExprPtr& f, uint64_t seed,
+                                      double confidence_level = 0.95);
+
+  /// True when both inputs are fully consumed (estimate is exact).
+  bool done() const {
+    return seen_left_ >= left_.num_rows() && seen_right_ >= right_.num_rows();
+  }
+
+  /// Consumes one tuple (alternating sides); no-op when done.
+  Status Step();
+
+  /// Consumes up to `n` tuples.
+  Status StepMany(int64_t n);
+
+  /// Current estimate, variance, and interval.
+  Result<RippleSnapshot> Snapshot() const;
+
+ private:
+  RippleEstimator() = default;
+
+  Status IngestLeft();
+  Status IngestRight();
+  void AddResultTuple(uint64_t left_id, uint64_t right_id, double f);
+
+  Relation left_, right_;        // shuffled copies
+  int left_key_ = 0, right_key_ = 0;
+  ExprPtr f_bound_;              // bound against the joined schema
+  Schema joined_schema_;
+  LineageSchema lineage_;        // {left_name, right_name}
+  double confidence_level_ = 0.95;
+
+  int64_t seen_left_ = 0, seen_right_ = 0;
+  int64_t result_rows_ = 0;
+  // Hash indexes over the *seen* prefixes: key hash -> row index.
+  std::unordered_multimap<uint64_t, int64_t> left_index_;
+  std::unordered_multimap<uint64_t, int64_t> right_index_;
+  // Incremental moment state: sum of f; per-mask group sums and the
+  // resulting Y_S = sum of (group sum)^2, maintained under point updates.
+  double sum_f_ = 0.0;
+  // Y for masks: 0 = {}, 1 = {left}, 2 = {right}, 3 = {left,right}.
+  std::vector<std::unordered_map<uint64_t, double>> groups_;  // masks 1..3
+  std::vector<double> y_;  // masks 0..3
+};
+
+}  // namespace gus
+
+#endif  // GUS_ONLINE_RIPPLE_H_

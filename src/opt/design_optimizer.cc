@@ -1,0 +1,208 @@
+#include "opt/design_optimizer.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "algebra/translate.h"
+#include "est/variance.h"
+
+namespace gus {
+
+namespace {
+
+constexpr double kGolden = 0.618033988749894848;
+
+Status ValidateDims(const LineageSchema& schema,
+                    const std::vector<DesignDimension>& dims) {
+  if (dims.empty()) {
+    return Status::InvalidArgument("need at least one design dimension");
+  }
+  for (const auto& d : dims) {
+    if (!schema.Contains(d.relation)) {
+      return Status::KeyError("dimension relation '" + d.relation +
+                              "' not in the schema");
+    }
+    if (d.cardinality <= 0.0) {
+      return Status::InvalidArgument("cardinality must be positive");
+    }
+    if (!(d.min_p > 0.0 && d.min_p <= d.max_p && d.max_p <= 1.0)) {
+      return Status::InvalidArgument("need 0 < min_p <= max_p <= 1");
+    }
+  }
+  return Status::OK();
+}
+
+double CostOf(const std::vector<DesignDimension>& dims,
+              const std::vector<double>& rates) {
+  double cost = 0.0;
+  for (size_t i = 0; i < dims.size(); ++i) {
+    cost += rates[i] * dims[i].cardinality;
+  }
+  return cost;
+}
+
+/// Scales `rates` down (never up) to satisfy the budget, respecting min_p.
+void ProjectToBudget(const std::vector<DesignDimension>& dims, double budget,
+                     std::vector<double>* rates) {
+  for (int iter = 0; iter < 8; ++iter) {
+    const double cost = CostOf(dims, *rates);
+    if (cost <= budget * (1.0 + 1e-12)) return;
+    const double scale = budget / cost;
+    for (size_t i = 0; i < dims.size(); ++i) {
+      (*rates)[i] = std::max(dims[i].min_p, (*rates)[i] * scale);
+    }
+  }
+}
+
+}  // namespace
+
+std::string DesignResult::ToString(
+    const std::vector<DesignDimension>& dims) const {
+  std::ostringstream out;
+  out << "design {";
+  for (size_t i = 0; i < dims.size() && i < rates.size(); ++i) {
+    if (i) out << ", ";
+    out << dims[i].relation << ": p=" << rates[i];
+  }
+  out << "} predicted sigma " << std::sqrt(std::max(0.0, predicted_variance))
+      << ", expected cost " << expected_cost;
+  return out.str();
+}
+
+Result<double> PredictBernoulliVariance(
+    const LineageSchema& schema, const std::vector<DesignDimension>& dims,
+    const std::vector<double>& rates, const std::vector<double>& y_hat) {
+  GUS_RETURN_NOT_OK(ValidateDims(schema, dims));
+  if (rates.size() != dims.size()) {
+    return Status::InvalidArgument("rates must align with dimensions");
+  }
+  std::vector<DimBernoulli> bernoulli_dims;
+  for (size_t i = 0; i < dims.size(); ++i) {
+    if (!(rates[i] > 0.0 && rates[i] <= 1.0)) {
+      return Status::InvalidArgument("rates must be in (0,1]");
+    }
+    bernoulli_dims.push_back({dims[i].relation, rates[i]});
+  }
+  GUS_ASSIGN_OR_RETURN(GusParams gus,
+                       MultiDimBernoulliGus(schema, bernoulli_dims));
+  return VarianceFromY(gus, y_hat);
+}
+
+Result<DesignResult> OptimizeBernoulliDesign(
+    const LineageSchema& schema, const std::vector<DesignDimension>& dims,
+    const std::vector<double>& y_hat, const OptimizerConfig& config) {
+  GUS_RETURN_NOT_OK(ValidateDims(schema, dims));
+  if (y_hat.size() != schema.num_subsets()) {
+    return Status::InvalidArgument("y_hat must have 2^n entries");
+  }
+  if (config.budget <= 0.0) {
+    return Status::InvalidArgument("budget must be positive");
+  }
+  {
+    double min_cost = 0.0;
+    for (const auto& d : dims) min_cost += d.min_p * d.cardinality;
+    if (min_cost > config.budget) {
+      return Status::InvalidArgument(
+          "budget below the minimum feasible cost of the given rate ranges");
+    }
+  }
+
+  auto objective = [&](const std::vector<double>& rates) -> double {
+    auto var = PredictBernoulliVariance(schema, dims, rates, y_hat);
+    // Validated inputs cannot fail here; guard anyway.
+    return var.ok() ? std::max(0.0, var.ValueOrDie()) : 1e300;
+  };
+
+  const int n = static_cast<int>(dims.size());
+  DesignResult best;
+  best.predicted_variance = 1e300;
+
+  // Multi-start: a coarse grid of initial allocations.
+  const int starts = std::max(1, config.starts_per_dimension);
+  std::vector<int> grid_index(n, 0);
+  bool done = false;
+  while (!done) {
+    std::vector<double> rates(n);
+    for (int i = 0; i < n; ++i) {
+      const double t = starts == 1
+                           ? 0.5
+                           : static_cast<double>(grid_index[i]) / (starts - 1);
+      rates[i] = dims[i].min_p +
+                 t * (dims[i].max_p - dims[i].min_p);
+    }
+    ProjectToBudget(dims, config.budget, &rates);
+
+    // Projected coordinate descent with golden-section line search.
+    for (int sweep = 0; sweep < config.max_sweeps; ++sweep) {
+      bool improved = false;
+      for (int i = 0; i < n; ++i) {
+        // Feasible interval for coordinate i given the others' cost.
+        double other_cost = 0.0;
+        for (int j = 0; j < n; ++j) {
+          if (j != i) other_cost += rates[j] * dims[j].cardinality;
+        }
+        const double hi_budget =
+            (config.budget - other_cost) / dims[i].cardinality;
+        double lo = dims[i].min_p;
+        double hi = std::min(dims[i].max_p, hi_budget);
+        if (hi < lo) continue;
+        // Golden-section over [lo, hi].
+        double a = lo, b = hi;
+        double x1 = b - kGolden * (b - a);
+        double x2 = a + kGolden * (b - a);
+        auto eval_at = [&](double p) {
+          const double saved = rates[i];
+          rates[i] = p;
+          const double v = objective(rates);
+          rates[i] = saved;
+          return v;
+        };
+        double f1 = eval_at(x1), f2 = eval_at(x2);
+        for (int it = 0; it < config.line_search_iters; ++it) {
+          if (f1 < f2) {
+            b = x2;
+            x2 = x1;
+            f2 = f1;
+            x1 = b - kGolden * (b - a);
+            f1 = eval_at(x1);
+          } else {
+            a = x1;
+            x1 = x2;
+            f1 = f2;
+            x2 = a + kGolden * (b - a);
+            f2 = eval_at(x2);
+          }
+        }
+        const double candidate = f1 < f2 ? x1 : x2;
+        const double current = objective(rates);
+        const double cand_value = eval_at(candidate);
+        if (cand_value < current * (1.0 - 1e-10)) {
+          rates[i] = candidate;
+          improved = true;
+        }
+      }
+      if (!improved) break;
+    }
+
+    const double variance = objective(rates);
+    if (variance < best.predicted_variance) {
+      best.rates = rates;
+      best.predicted_variance = variance;
+      best.expected_cost = CostOf(dims, rates);
+    }
+
+    // Advance the grid odometer.
+    done = true;
+    for (int i = 0; i < n; ++i) {
+      if (++grid_index[i] < starts) {
+        done = false;
+        break;
+      }
+      grid_index[i] = 0;
+    }
+  }
+  return best;
+}
+
+}  // namespace gus

@@ -1,0 +1,79 @@
+// Sampling-design optimization (paper Section 8, "Choosing sampling
+// parameters", made algorithmic).
+//
+// Theorem 1 factors the estimator variance into data statistics y_S and
+// design coefficients c_S/a². Having unbiased Ŷ_S from one pilot sample,
+// the variance of ANY candidate design is a cheap closed-form evaluation —
+// so design selection becomes a small numeric optimization, no re-sampling
+// or re-execution needed.
+//
+// The optimizer searches per-relation Bernoulli rates p_i minimizing the
+// predicted variance subject to an expected-cost budget
+//     sum_i p_i * |R_i| <= budget
+// using projected coordinate descent over the (log-convex-ish) objective,
+// with a multi-start grid to avoid poor local minima.
+
+#ifndef GUS_OPT_DESIGN_OPTIMIZER_H_
+#define GUS_OPT_DESIGN_OPTIMIZER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "algebra/gus_params.h"
+#include "util/status.h"
+
+namespace gus {
+
+/// One relation's tunable sampling rate and its cost weight.
+struct DesignDimension {
+  std::string relation;
+  /// Tuples scanned when p = 1 (the cost of fully reading the relation).
+  double cardinality = 0.0;
+  /// Allowed range of the Bernoulli rate.
+  double min_p = 0.001;
+  double max_p = 1.0;
+};
+
+/// Optimizer configuration.
+struct OptimizerConfig {
+  /// Expected total sampled tuples allowed: sum_i p_i * cardinality_i.
+  double budget = 0.0;
+  /// Coordinate-descent sweeps.
+  int max_sweeps = 60;
+  /// Per-coordinate golden-section iterations.
+  int line_search_iters = 40;
+  /// Multi-start grid resolution per dimension (>= 1).
+  int starts_per_dimension = 3;
+};
+
+/// The chosen design and its predicted quality.
+struct DesignResult {
+  /// Bernoulli rate per dimension, aligned with the input dimensions.
+  std::vector<double> rates;
+  /// Predicted estimator variance at those rates.
+  double predicted_variance = 0.0;
+  /// Expected sampled tuples at those rates.
+  double expected_cost = 0.0;
+
+  std::string ToString(const std::vector<DesignDimension>& dims) const;
+};
+
+/// \brief Predicted variance of a per-relation Bernoulli design.
+///
+/// `y_hat` are (estimates of) the data statistics over `schema`
+/// (from a pilot SboxReport::y_hat or exact y values). Dimensions of
+/// `schema` not mentioned in `rates` are unsampled (p = 1).
+Result<double> PredictBernoulliVariance(
+    const LineageSchema& schema, const std::vector<DesignDimension>& dims,
+    const std::vector<double>& rates, const std::vector<double>& y_hat);
+
+/// \brief Minimizes predicted variance over per-relation Bernoulli rates
+/// subject to the expected-cost budget.
+Result<DesignResult> OptimizeBernoulliDesign(
+    const LineageSchema& schema, const std::vector<DesignDimension>& dims,
+    const std::vector<double>& y_hat, const OptimizerConfig& config);
+
+}  // namespace gus
+
+#endif  // GUS_OPT_DESIGN_OPTIMIZER_H_

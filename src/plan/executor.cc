@@ -1,0 +1,68 @@
+#include "plan/executor.h"
+
+#include "rel/operators.h"
+#include "sampling/samplers.h"
+
+namespace gus {
+
+Result<Relation> ExecutePlan(const PlanPtr& plan, const Catalog& catalog,
+                             Rng* rng, ExecMode mode) {
+  switch (plan->op()) {
+    case PlanOp::kScan: {
+      auto it = catalog.find(plan->relation());
+      if (it == catalog.end()) {
+        return Status::KeyError("relation '" + plan->relation() +
+                                "' not in catalog");
+      }
+      return it->second;
+    }
+    case PlanOp::kSample: {
+      GUS_ASSIGN_OR_RETURN(Relation input,
+                           ExecutePlan(plan->child(), catalog, rng, mode));
+      if (mode == ExecMode::kExact) {
+        // Exact mode computes the true aggregate: sampling is a no-op, but
+        // block sampling still re-keys lineage so that sampled and exact
+        // runs agree on lineage granularity.
+        if (plan->spec().method == SamplingMethod::kBlockBernoulli) {
+          return AssignBlockLineage(input, plan->spec().block_size);
+        }
+        return input;
+      }
+      return ApplySampling(input, plan->spec(), rng);
+    }
+    case PlanOp::kSelect: {
+      GUS_ASSIGN_OR_RETURN(Relation input,
+                           ExecutePlan(plan->child(), catalog, rng, mode));
+      return Select(input, plan->predicate());
+    }
+    case PlanOp::kJoin: {
+      GUS_ASSIGN_OR_RETURN(Relation l,
+                           ExecutePlan(plan->left(), catalog, rng, mode));
+      GUS_ASSIGN_OR_RETURN(Relation r,
+                           ExecutePlan(plan->right(), catalog, rng, mode));
+      return HashJoin(l, r, plan->left_key(), plan->right_key());
+    }
+    case PlanOp::kProduct: {
+      GUS_ASSIGN_OR_RETURN(Relation l,
+                           ExecutePlan(plan->left(), catalog, rng, mode));
+      GUS_ASSIGN_OR_RETURN(Relation r,
+                           ExecutePlan(plan->right(), catalog, rng, mode));
+      return CrossProduct(l, r);
+    }
+    case PlanOp::kUnion: {
+      GUS_ASSIGN_OR_RETURN(Relation l,
+                           ExecutePlan(plan->left(), catalog, rng, mode));
+      GUS_ASSIGN_OR_RETURN(Relation r,
+                           ExecutePlan(plan->right(), catalog, rng, mode));
+      if (mode == ExecMode::kExact) {
+        // Exact evaluation of both branches yields the same set; the union
+        // of a set with itself is itself.
+        return l;
+      }
+      return UnionDistinctLineage(l, r);
+    }
+  }
+  return Status::Internal("unknown plan op");
+}
+
+}  // namespace gus

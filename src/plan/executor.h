@@ -1,0 +1,38 @@
+// Plan execution over an in-memory catalog.
+//
+// Two modes:
+//   * sampled — sample nodes run their physical sampler (the plan as the
+//     user wrote it),
+//   * exact   — sample nodes are skipped, yielding the ground-truth result
+//     used by tests and experiments.
+
+#ifndef GUS_PLAN_EXECUTOR_H_
+#define GUS_PLAN_EXECUTOR_H_
+
+#include <map>
+#include <string>
+
+#include "plan/plan_node.h"
+#include "rel/relation.h"
+#include "util/random.h"
+#include "util/status.h"
+
+namespace gus {
+
+/// Base relations by name.
+using Catalog = std::map<std::string, Relation>;
+
+/// Execution mode: run samplers or skip them.
+enum class ExecMode { kSampled, kExact };
+
+/// \brief Executes `plan` against `catalog`.
+///
+/// `rng` drives every sampler in the plan (ignored in exact mode). Join
+/// nodes use the hash equi-join; product and union use their respective
+/// physical operators.
+Result<Relation> ExecutePlan(const PlanPtr& plan, const Catalog& catalog,
+                             Rng* rng, ExecMode mode = ExecMode::kSampled);
+
+}  // namespace gus
+
+#endif  // GUS_PLAN_EXECUTOR_H_

@@ -1,0 +1,155 @@
+#include "plan/plan_node.h"
+
+#include <sstream>
+
+#include "util/logging.h"
+
+namespace gus {
+
+int PlanNode::num_children() const {
+  switch (op_) {
+    case PlanOp::kScan: return 0;
+    case PlanOp::kSample:
+    case PlanOp::kSelect: return 1;
+    default: return 2;
+  }
+}
+
+Result<LineageSchema> PlanNode::ComputeLineageSchema() const {
+  switch (op_) {
+    case PlanOp::kScan:
+      return LineageSchema::Make({relation_});
+    case PlanOp::kSample:
+    case PlanOp::kSelect:
+      return child()->ComputeLineageSchema();
+    case PlanOp::kJoin:
+    case PlanOp::kProduct: {
+      GUS_ASSIGN_OR_RETURN(LineageSchema l, left()->ComputeLineageSchema());
+      GUS_ASSIGN_OR_RETURN(LineageSchema r, right()->ComputeLineageSchema());
+      return LineageSchema::Concat(l, r);
+    }
+    case PlanOp::kUnion: {
+      GUS_ASSIGN_OR_RETURN(LineageSchema l, left()->ComputeLineageSchema());
+      GUS_ASSIGN_OR_RETURN(LineageSchema r, right()->ComputeLineageSchema());
+      if (l != r) {
+        return Status::InvalidArgument(
+            "union children must share a lineage schema");
+      }
+      return l;
+    }
+  }
+  return Status::Internal("unknown plan op");
+}
+
+std::string PlanNode::ToString(int indent) const {
+  std::ostringstream out;
+  const std::string pad(static_cast<size_t>(indent) * 2, ' ');
+  out << pad;
+  switch (op_) {
+    case PlanOp::kScan:
+      out << "Scan(" << relation_ << ")\n";
+      return out.str();
+    case PlanOp::kSample:
+      out << "Sample[" << spec_.ToString() << "]\n";
+      break;
+    case PlanOp::kSelect:
+      out << "Select[" << predicate_->ToString() << "]\n";
+      break;
+    case PlanOp::kJoin:
+      out << "Join[" << left_key_ << " = " << right_key_ << "]\n";
+      break;
+    case PlanOp::kProduct:
+      out << "Product\n";
+      break;
+    case PlanOp::kUnion:
+      out << "Union\n";
+      break;
+  }
+  for (int i = 0; i < num_children(); ++i) {
+    out << children_[i]->ToString(indent + 1);
+  }
+  return out.str();
+}
+
+bool PlanNode::RelationalEqual(const PlanPtr& a, const PlanPtr& b) {
+  // Strip sampling wrappers: they are not part of the relational content.
+  if (a->op() == PlanOp::kSample) return RelationalEqual(a->child(), b);
+  if (b->op() == PlanOp::kSample) return RelationalEqual(a, b->child());
+  if (a->op() != b->op()) return false;
+  switch (a->op()) {
+    case PlanOp::kScan:
+      return a->relation() == b->relation();
+    case PlanOp::kSelect:
+      return a->predicate()->ToString() == b->predicate()->ToString() &&
+             RelationalEqual(a->child(), b->child());
+    case PlanOp::kJoin:
+      if (a->left_key() != b->left_key() || a->right_key() != b->right_key()) {
+        return false;
+      }
+      [[fallthrough]];
+    case PlanOp::kProduct:
+    case PlanOp::kUnion:
+      return RelationalEqual(a->left(), b->left()) &&
+             RelationalEqual(a->right(), b->right());
+    case PlanOp::kSample:
+      return false;  // Unreachable (stripped above).
+  }
+  return false;
+}
+
+PlanPtr PlanNode::Scan(std::string relation) {
+  auto n = std::shared_ptr<PlanNode>(new PlanNode());
+  n->op_ = PlanOp::kScan;
+  n->relation_ = std::move(relation);
+  return n;
+}
+
+PlanPtr PlanNode::Sample(SamplingSpec spec, PlanPtr child) {
+  GUS_CHECK(child != nullptr);
+  auto n = std::shared_ptr<PlanNode>(new PlanNode());
+  n->op_ = PlanOp::kSample;
+  n->spec_ = std::move(spec);
+  n->children_[0] = std::move(child);
+  return n;
+}
+
+PlanPtr PlanNode::SelectNode(ExprPtr predicate, PlanPtr child) {
+  GUS_CHECK(predicate != nullptr && child != nullptr);
+  auto n = std::shared_ptr<PlanNode>(new PlanNode());
+  n->op_ = PlanOp::kSelect;
+  n->predicate_ = std::move(predicate);
+  n->children_[0] = std::move(child);
+  return n;
+}
+
+PlanPtr PlanNode::Join(PlanPtr left, PlanPtr right, std::string left_key,
+                       std::string right_key) {
+  GUS_CHECK(left != nullptr && right != nullptr);
+  auto n = std::shared_ptr<PlanNode>(new PlanNode());
+  n->op_ = PlanOp::kJoin;
+  n->children_[0] = std::move(left);
+  n->children_[1] = std::move(right);
+  n->left_key_ = std::move(left_key);
+  n->right_key_ = std::move(right_key);
+  return n;
+}
+
+PlanPtr PlanNode::Product(PlanPtr left, PlanPtr right) {
+  GUS_CHECK(left != nullptr && right != nullptr);
+  auto n = std::shared_ptr<PlanNode>(new PlanNode());
+  n->op_ = PlanOp::kProduct;
+  n->children_[0] = std::move(left);
+  n->children_[1] = std::move(right);
+  return n;
+}
+
+PlanPtr PlanNode::Union(PlanPtr left, PlanPtr right) {
+  GUS_CHECK(left != nullptr && right != nullptr);
+  auto n = std::shared_ptr<PlanNode>(new PlanNode());
+  n->op_ = PlanOp::kUnion;
+  n->children_[0] = std::move(left);
+  n->children_[1] = std::move(right);
+  return n;
+}
+
+}  // namespace gus

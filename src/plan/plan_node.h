@@ -1,0 +1,83 @@
+// Logical query plans with interspersed sampling operators.
+//
+// A plan is an immutable tree of scan / sample / select / join / product /
+// union nodes, capped by a SUM-like aggregate (the aggregate itself is held
+// by the callers — SBox needs the pre-aggregation tuple stream).
+
+#ifndef GUS_PLAN_PLAN_NODE_H_
+#define GUS_PLAN_PLAN_NODE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "algebra/lineage_schema.h"
+#include "rel/expression.h"
+#include "sampling/spec.h"
+#include "util/status.h"
+
+namespace gus {
+
+enum class PlanOp { kScan, kSample, kSelect, kJoin, kProduct, kUnion };
+
+class PlanNode;
+using PlanPtr = std::shared_ptr<const PlanNode>;
+
+/// \brief One node of a logical plan tree.
+class PlanNode {
+ public:
+  PlanOp op() const { return op_; }
+  /// kScan: base relation name.
+  const std::string& relation() const { return relation_; }
+  /// kSample: the sampling annotation.
+  const SamplingSpec& spec() const { return spec_; }
+  /// kSelect: the predicate.
+  const ExprPtr& predicate() const { return predicate_; }
+  /// kJoin: equi-join keys.
+  const std::string& left_key() const { return left_key_; }
+  const std::string& right_key() const { return right_key_; }
+
+  const PlanPtr& child() const { return children_[0]; }
+  const PlanPtr& left() const { return children_[0]; }
+  const PlanPtr& right() const { return children_[1]; }
+  int num_children() const;
+
+  /// \brief The lineage schema this subtree produces (static property).
+  ///
+  /// scan -> {relation}; sample/select -> child; join/product -> concat
+  /// (fails on overlap); union -> both children must agree.
+  Result<LineageSchema> ComputeLineageSchema() const;
+
+  /// Multi-line indented rendering (mirrors the paper's plan figures).
+  std::string ToString(int indent = 0) const;
+
+  /// \brief Structural equality of the *relational* content.
+  ///
+  /// Sample nodes are ignored on both sides — this is the check Prop. 7
+  /// needs: two unioned samples must be samples *of the same expression*.
+  static bool RelationalEqual(const PlanPtr& a, const PlanPtr& b);
+
+  // -- Node factories ------------------------------------------------------
+  static PlanPtr Scan(std::string relation);
+  static PlanPtr Sample(SamplingSpec spec, PlanPtr child);
+  static PlanPtr SelectNode(ExprPtr predicate, PlanPtr child);
+  static PlanPtr Join(PlanPtr left, PlanPtr right, std::string left_key,
+                      std::string right_key);
+  static PlanPtr Product(PlanPtr left, PlanPtr right);
+  static PlanPtr Union(PlanPtr left, PlanPtr right);
+
+ private:
+  PlanNode() = default;
+
+  PlanOp op_ = PlanOp::kScan;
+  std::string relation_;
+  SamplingSpec spec_;
+  ExprPtr predicate_;
+  std::string left_key_;
+  std::string right_key_;
+  PlanPtr children_[2];
+};
+
+}  // namespace gus
+
+#endif  // GUS_PLAN_PLAN_NODE_H_

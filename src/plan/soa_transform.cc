@@ -1,0 +1,107 @@
+#include "plan/soa_transform.h"
+
+#include <sstream>
+
+#include "algebra/ops.h"
+#include "algebra/translate.h"
+
+namespace gus {
+
+namespace {
+
+struct SubResult {
+  GusParams gus;
+  PlanPtr relational;
+};
+
+Result<SubResult> Transform(const PlanPtr& plan, std::vector<SoaStep>* trace) {
+  switch (plan->op()) {
+    case PlanOp::kScan: {
+      GUS_ASSIGN_OR_RETURN(LineageSchema schema,
+                           LineageSchema::Make({plan->relation()}));
+      trace->push_back(
+          {"Prop 4", "insert identity GUS G(1,1) over " + schema.ToString()});
+      return SubResult{GusParams::Identity(std::move(schema)), plan};
+    }
+    case PlanOp::kSample: {
+      GUS_ASSIGN_OR_RETURN(SubResult child, Transform(plan->child(), trace));
+      GUS_ASSIGN_OR_RETURN(
+          GusParams sampler_gus,
+          TranslateSampling(plan->spec(), child.gus.schema()));
+      trace->push_back({"translate", "rewrite " + plan->spec().ToString() +
+                                         " as GUS quasi-operator " +
+                                         sampler_gus.ToString()});
+      GUS_ASSIGN_OR_RETURN(GusParams combined,
+                           GusCompact(sampler_gus, child.gus));
+      if (child.gus.a() != 1.0 ||
+          child.gus.b(SubsetMask{0}) != 1.0) {  // Non-trivial child GUS.
+        trace->push_back({"Prop 8", "compact stacked GUS operators over " +
+                                        combined.schema().ToString() +
+                                        " -> " + combined.ToString()});
+      }
+      return SubResult{std::move(combined), child.relational};
+    }
+    case PlanOp::kSelect: {
+      GUS_ASSIGN_OR_RETURN(SubResult child, Transform(plan->child(), trace));
+      trace->push_back({"Prop 5", "commute GUS over " +
+                                      child.gus.schema().ToString() +
+                                      " past selection " +
+                                      plan->predicate()->ToString()});
+      return SubResult{
+          std::move(child.gus),
+          PlanNode::SelectNode(plan->predicate(), child.relational)};
+    }
+    case PlanOp::kJoin:
+    case PlanOp::kProduct: {
+      GUS_ASSIGN_OR_RETURN(SubResult l, Transform(plan->left(), trace));
+      GUS_ASSIGN_OR_RETURN(SubResult r, Transform(plan->right(), trace));
+      GUS_ASSIGN_OR_RETURN(GusParams joined, GusJoin(l.gus, r.gus));
+      trace->push_back(
+          {"Prop 6", "commute GUS over " + l.gus.schema().ToString() +
+                         " and GUS over " + r.gus.schema().ToString() +
+                         " past the join -> " + joined.ToString()});
+      PlanPtr rel =
+          plan->op() == PlanOp::kJoin
+              ? PlanNode::Join(l.relational, r.relational, plan->left_key(),
+                               plan->right_key())
+              : PlanNode::Product(l.relational, r.relational);
+      return SubResult{std::move(joined), std::move(rel)};
+    }
+    case PlanOp::kUnion: {
+      GUS_ASSIGN_OR_RETURN(SubResult l, Transform(plan->left(), trace));
+      GUS_ASSIGN_OR_RETURN(SubResult r, Transform(plan->right(), trace));
+      if (!PlanNode::RelationalEqual(l.relational, r.relational)) {
+        return Status::InvalidArgument(
+            "GUS union (Prop 7) requires both union branches to be samples "
+            "of the same relational expression");
+      }
+      GUS_ASSIGN_OR_RETURN(GusParams merged, GusUnion(l.gus, r.gus));
+      trace->push_back({"Prop 7", "merge unioned samples over " +
+                                      merged.schema().ToString() + " -> " +
+                                      merged.ToString()});
+      // Both branches are the same expression; keep one copy.
+      return SubResult{std::move(merged), l.relational};
+    }
+  }
+  return Status::Internal("unknown plan op");
+}
+
+}  // namespace
+
+std::string SoaResult::TraceToString() const {
+  std::ostringstream out;
+  for (size_t i = 0; i < trace.size(); ++i) {
+    out << "  [" << i + 1 << "] (" << trace[i].rule << ") "
+        << trace[i].description << "\n";
+  }
+  return out.str();
+}
+
+Result<SoaResult> SoaTransform(const PlanPtr& plan) {
+  std::vector<SoaStep> trace;
+  GUS_ASSIGN_OR_RETURN(SubResult sub, Transform(plan, &trace));
+  return SoaResult{std::move(sub.gus), std::move(sub.relational),
+                   std::move(trace)};
+}
+
+}  // namespace gus

@@ -1,0 +1,60 @@
+// The SOA transform: rewrites a plan with interspersed sampling operators
+// into the analyzable normal form
+//
+//     relational subtree  →  single GUS quasi-operator  →  aggregate
+//
+// (paper Section 4). The relational content is untouched — the transform is
+// purely for analysis; execution still uses the original plan.
+//
+// Rewrite rules applied bottom-up:
+//   scan             →  identity GUS over {relation}          (Prop. 4)
+//   sample(child)    →  Compact(translate(spec), G_child)     (Prop. 8)
+//   select(child)    →  G_child                               (Prop. 5)
+//   join / product   →  GusJoin(G_left, G_right)              (Prop. 6)
+//   union            →  GusUnion(G_left, G_right)             (Prop. 7;
+//                       requires both children to be samples of the same
+//                       relational expression)
+
+#ifndef GUS_PLAN_SOA_TRANSFORM_H_
+#define GUS_PLAN_SOA_TRANSFORM_H_
+
+#include <string>
+#include <vector>
+
+#include "algebra/gus_params.h"
+#include "plan/plan_node.h"
+#include "util/status.h"
+
+namespace gus {
+
+/// One rewrite step, for tracing / reproducing the paper's figure panels.
+struct SoaStep {
+  /// Which rule fired ("Prop 4", "Prop 5", ...; "translate" for Fig. 1).
+  std::string rule;
+  /// Human-readable description of the rewrite.
+  std::string description;
+};
+
+/// \brief Result of the SOA transform.
+struct SoaResult {
+  /// The single top GUS quasi-operator; feeding Theorem 1 with these
+  /// parameters analyzes the original plan.
+  GusParams top;
+  /// The plan with every sample node removed (the relational subtree).
+  PlanPtr relational;
+  /// The rewrite trace, leaf-to-root.
+  std::vector<SoaStep> trace;
+
+  std::string TraceToString() const;
+};
+
+/// \brief Runs the transform.
+///
+/// Fails if the plan violates an algebra precondition (overlapping lineage
+/// in a join — self-joins — or a union of samples of different
+/// expressions).
+Result<SoaResult> SoaTransform(const PlanPtr& plan);
+
+}  // namespace gus
+
+#endif  // GUS_PLAN_SOA_TRANSFORM_H_

@@ -1,0 +1,278 @@
+#include "rel/expression.h"
+
+#include <cmath>
+#include <sstream>
+
+#include "util/logging.h"
+
+namespace gus {
+
+namespace {
+
+bool IsBinaryOp(ExprOp op) {
+  switch (op) {
+    case ExprOp::kColumn:
+    case ExprOp::kLiteral:
+    case ExprOp::kNot:
+    case ExprOp::kNeg:
+      return false;
+    default:
+      return true;
+  }
+}
+
+const char* OpSymbol(ExprOp op) {
+  switch (op) {
+    case ExprOp::kAdd: return "+";
+    case ExprOp::kSub: return "-";
+    case ExprOp::kMul: return "*";
+    case ExprOp::kDiv: return "/";
+    case ExprOp::kEq: return "=";
+    case ExprOp::kNe: return "<>";
+    case ExprOp::kLt: return "<";
+    case ExprOp::kLe: return "<=";
+    case ExprOp::kGt: return ">";
+    case ExprOp::kGe: return ">=";
+    case ExprOp::kAnd: return "AND";
+    case ExprOp::kOr: return "OR";
+    case ExprOp::kNot: return "NOT";
+    case ExprOp::kNeg: return "-";
+    default: return "?";
+  }
+}
+
+Result<Value> NumericBinary(ExprOp op, const Value& l, const Value& r) {
+  if (!l.is_numeric() || !r.is_numeric()) {
+    return Status::TypeError(std::string("operator ") + OpSymbol(op) +
+                             " requires numeric operands");
+  }
+  // Integer arithmetic stays integral; mixed promotes to float64.
+  if (l.type() == ValueType::kInt64 && r.type() == ValueType::kInt64 &&
+      op != ExprOp::kDiv) {
+    const int64_t a = l.AsInt64(), b = r.AsInt64();
+    switch (op) {
+      case ExprOp::kAdd: return Value(a + b);
+      case ExprOp::kSub: return Value(a - b);
+      case ExprOp::kMul: return Value(a * b);
+      default: break;
+    }
+  }
+  const double a = l.ToDouble(), b = r.ToDouble();
+  switch (op) {
+    case ExprOp::kAdd: return Value(a + b);
+    case ExprOp::kSub: return Value(a - b);
+    case ExprOp::kMul: return Value(a * b);
+    case ExprOp::kDiv:
+      if (b == 0.0) return Status::InvalidArgument("division by zero");
+      return Value(a / b);
+    default:
+      return Status::Internal("not a numeric op");
+  }
+}
+
+Result<Value> CompareBinary(ExprOp op, const Value& l, const Value& r) {
+  int cmp;
+  if (l.is_numeric() && r.is_numeric()) {
+    const double a = l.ToDouble(), b = r.ToDouble();
+    cmp = a < b ? -1 : (a > b ? 1 : 0);
+  } else if (l.type() == ValueType::kString &&
+             r.type() == ValueType::kString) {
+    cmp = l.AsString().compare(r.AsString());
+    cmp = cmp < 0 ? -1 : (cmp > 0 ? 1 : 0);
+  } else {
+    return Status::TypeError("cannot compare " +
+                             std::string(ValueTypeName(l.type())) + " with " +
+                             ValueTypeName(r.type()));
+  }
+  bool v = false;
+  switch (op) {
+    case ExprOp::kEq: v = cmp == 0; break;
+    case ExprOp::kNe: v = cmp != 0; break;
+    case ExprOp::kLt: v = cmp < 0; break;
+    case ExprOp::kLe: v = cmp <= 0; break;
+    case ExprOp::kGt: v = cmp > 0; break;
+    case ExprOp::kGe: v = cmp >= 0; break;
+    default: return Status::Internal("not a comparison op");
+  }
+  return Value(int64_t{v ? 1 : 0});
+}
+
+Result<bool> Truthiness(const Value& v) {
+  if (!v.is_numeric()) {
+    return Status::TypeError("boolean context requires a numeric value");
+  }
+  return v.ToDouble() != 0.0;
+}
+
+}  // namespace
+
+ExprPtr Expr::MakeColumn(std::string name) {
+  auto e = std::shared_ptr<Expr>(new Expr());
+  e->op_ = ExprOp::kColumn;
+  e->column_ = std::move(name);
+  return e;
+}
+
+ExprPtr Expr::MakeLiteral(Value v) {
+  auto e = std::shared_ptr<Expr>(new Expr());
+  e->op_ = ExprOp::kLiteral;
+  e->literal_ = std::move(v);
+  return e;
+}
+
+ExprPtr Expr::MakeUnary(ExprOp op, ExprPtr arg) {
+  GUS_CHECK(op == ExprOp::kNot || op == ExprOp::kNeg);
+  auto e = std::shared_ptr<Expr>(new Expr());
+  e->op_ = op;
+  e->args_[0] = std::move(arg);
+  return e;
+}
+
+ExprPtr Expr::MakeBinary(ExprOp op, ExprPtr l, ExprPtr r) {
+  GUS_CHECK(IsBinaryOp(op));
+  auto e = std::shared_ptr<Expr>(new Expr());
+  e->op_ = op;
+  e->args_[0] = std::move(l);
+  e->args_[1] = std::move(r);
+  return e;
+}
+
+Result<ExprPtr> Expr::Bind(const Schema& schema) const {
+  auto bound = std::shared_ptr<Expr>(new Expr(*this));
+  switch (op_) {
+    case ExprOp::kColumn: {
+      GUS_ASSIGN_OR_RETURN(bound->column_index_, schema.IndexOf(column_));
+      break;
+    }
+    case ExprOp::kLiteral:
+      break;
+    case ExprOp::kNot:
+    case ExprOp::kNeg: {
+      GUS_ASSIGN_OR_RETURN(bound->args_[0], args_[0]->Bind(schema));
+      break;
+    }
+    default: {
+      GUS_ASSIGN_OR_RETURN(bound->args_[0], args_[0]->Bind(schema));
+      GUS_ASSIGN_OR_RETURN(bound->args_[1], args_[1]->Bind(schema));
+      break;
+    }
+  }
+  return ExprPtr(bound);
+}
+
+Result<Value> Expr::Eval(const Row& row) const {
+  switch (op_) {
+    case ExprOp::kColumn:
+      if (column_index_ < 0 ||
+          column_index_ >= static_cast<int>(row.size())) {
+        return Status::Internal("unbound or out-of-range column '" + column_ +
+                                "' — call Bind() first");
+      }
+      return row[column_index_];
+    case ExprOp::kLiteral:
+      return literal_;
+    case ExprOp::kNeg: {
+      GUS_ASSIGN_OR_RETURN(Value v, args_[0]->Eval(row));
+      if (!v.is_numeric()) return Status::TypeError("negation of non-number");
+      if (v.type() == ValueType::kInt64) return Value(-v.AsInt64());
+      return Value(-v.AsFloat64());
+    }
+    case ExprOp::kNot: {
+      GUS_ASSIGN_OR_RETURN(Value v, args_[0]->Eval(row));
+      GUS_ASSIGN_OR_RETURN(bool b, Truthiness(v));
+      return Value(int64_t{b ? 0 : 1});
+    }
+    case ExprOp::kAnd:
+    case ExprOp::kOr: {
+      GUS_ASSIGN_OR_RETURN(Value lv, args_[0]->Eval(row));
+      GUS_ASSIGN_OR_RETURN(bool lb, Truthiness(lv));
+      // Short circuit.
+      if (op_ == ExprOp::kAnd && !lb) return Value(int64_t{0});
+      if (op_ == ExprOp::kOr && lb) return Value(int64_t{1});
+      GUS_ASSIGN_OR_RETURN(Value rv, args_[1]->Eval(row));
+      GUS_ASSIGN_OR_RETURN(bool rb, Truthiness(rv));
+      return Value(int64_t{rb ? 1 : 0});
+    }
+    case ExprOp::kAdd:
+    case ExprOp::kSub:
+    case ExprOp::kMul:
+    case ExprOp::kDiv: {
+      GUS_ASSIGN_OR_RETURN(Value lv, args_[0]->Eval(row));
+      GUS_ASSIGN_OR_RETURN(Value rv, args_[1]->Eval(row));
+      return NumericBinary(op_, lv, rv);
+    }
+    default: {
+      GUS_ASSIGN_OR_RETURN(Value lv, args_[0]->Eval(row));
+      GUS_ASSIGN_OR_RETURN(Value rv, args_[1]->Eval(row));
+      return CompareBinary(op_, lv, rv);
+    }
+  }
+}
+
+Result<Value> Expr::Eval(const Schema& schema, const Row& row) const {
+  GUS_ASSIGN_OR_RETURN(ExprPtr bound, Bind(schema));
+  return bound->Eval(row);
+}
+
+std::string Expr::ToString() const {
+  switch (op_) {
+    case ExprOp::kColumn:
+      return column_;
+    case ExprOp::kLiteral:
+      return literal_.ToString();
+    case ExprOp::kNot:
+      return "NOT (" + args_[0]->ToString() + ")";
+    case ExprOp::kNeg:
+      return "-(" + args_[0]->ToString() + ")";
+    default: {
+      std::ostringstream out;
+      out << "(" << args_[0]->ToString() << " " << OpSymbol(op_) << " "
+          << args_[1]->ToString() << ")";
+      return out.str();
+    }
+  }
+}
+
+ExprPtr Col(std::string name) { return Expr::MakeColumn(std::move(name)); }
+ExprPtr Lit(Value v) { return Expr::MakeLiteral(std::move(v)); }
+
+ExprPtr Add(ExprPtr l, ExprPtr r) {
+  return Expr::MakeBinary(ExprOp::kAdd, std::move(l), std::move(r));
+}
+ExprPtr Sub(ExprPtr l, ExprPtr r) {
+  return Expr::MakeBinary(ExprOp::kSub, std::move(l), std::move(r));
+}
+ExprPtr Mul(ExprPtr l, ExprPtr r) {
+  return Expr::MakeBinary(ExprOp::kMul, std::move(l), std::move(r));
+}
+ExprPtr Div(ExprPtr l, ExprPtr r) {
+  return Expr::MakeBinary(ExprOp::kDiv, std::move(l), std::move(r));
+}
+ExprPtr Eq(ExprPtr l, ExprPtr r) {
+  return Expr::MakeBinary(ExprOp::kEq, std::move(l), std::move(r));
+}
+ExprPtr Ne(ExprPtr l, ExprPtr r) {
+  return Expr::MakeBinary(ExprOp::kNe, std::move(l), std::move(r));
+}
+ExprPtr Lt(ExprPtr l, ExprPtr r) {
+  return Expr::MakeBinary(ExprOp::kLt, std::move(l), std::move(r));
+}
+ExprPtr Le(ExprPtr l, ExprPtr r) {
+  return Expr::MakeBinary(ExprOp::kLe, std::move(l), std::move(r));
+}
+ExprPtr Gt(ExprPtr l, ExprPtr r) {
+  return Expr::MakeBinary(ExprOp::kGt, std::move(l), std::move(r));
+}
+ExprPtr Ge(ExprPtr l, ExprPtr r) {
+  return Expr::MakeBinary(ExprOp::kGe, std::move(l), std::move(r));
+}
+ExprPtr And(ExprPtr l, ExprPtr r) {
+  return Expr::MakeBinary(ExprOp::kAnd, std::move(l), std::move(r));
+}
+ExprPtr Or(ExprPtr l, ExprPtr r) {
+  return Expr::MakeBinary(ExprOp::kOr, std::move(l), std::move(r));
+}
+ExprPtr Not(ExprPtr x) { return Expr::MakeUnary(ExprOp::kNot, std::move(x)); }
+ExprPtr Neg(ExprPtr x) { return Expr::MakeUnary(ExprOp::kNeg, std::move(x)); }
+
+}  // namespace gus

@@ -1,0 +1,98 @@
+// A small expression language over rows: column references, literals,
+// arithmetic, comparison, and boolean logic. Enough to express the paper's
+// aggregates (l_discount * (1.0 - l_tax)) and predicates
+// (l_extendedprice > 100.0).
+
+#ifndef GUS_REL_EXPRESSION_H_
+#define GUS_REL_EXPRESSION_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "rel/schema.h"
+#include "rel/value.h"
+#include "util/status.h"
+
+namespace gus {
+
+class Expr;
+using ExprPtr = std::shared_ptr<const Expr>;
+
+/// Expression node kinds.
+enum class ExprOp {
+  kColumn,   // column reference by name
+  kLiteral,  // constant
+  kAdd, kSub, kMul, kDiv,
+  kEq, kNe, kLt, kLe, kGt, kGe,
+  kAnd, kOr, kNot,
+  kNeg,
+};
+
+/// \brief Immutable expression tree node.
+///
+/// Expressions are built with the free functions below (Col, Lit, Add, ...)
+/// and evaluated against a (Schema, Row) pair. Boolean results are int64
+/// 0/1. Mixed int/float arithmetic promotes to float64.
+class Expr {
+ public:
+  ExprOp op() const { return op_; }
+  const std::string& column_name() const { return column_; }
+  const Value& literal() const { return literal_; }
+  const ExprPtr& left() const { return args_[0]; }
+  const ExprPtr& right() const { return args_[1]; }
+
+  /// \brief Resolves column indexes against `schema`.
+  ///
+  /// Must be called (directly or via Eval with schema) before evaluation on
+  /// rows of that schema; returns a bound copy so the same Expr can be bound
+  /// to multiple schemas.
+  Result<ExprPtr> Bind(const Schema& schema) const;
+
+  /// Evaluates a *bound* expression against a row.
+  Result<Value> Eval(const Row& row) const;
+
+  /// Convenience: binds against `schema` then evaluates.
+  Result<Value> Eval(const Schema& schema, const Row& row) const;
+
+  std::string ToString() const;
+
+  // Node constructors (prefer the free helper functions).
+  static ExprPtr MakeColumn(std::string name);
+  static ExprPtr MakeLiteral(Value v);
+  static ExprPtr MakeUnary(ExprOp op, ExprPtr arg);
+  static ExprPtr MakeBinary(ExprOp op, ExprPtr l, ExprPtr r);
+
+ private:
+  Expr() = default;
+
+  ExprOp op_ = ExprOp::kLiteral;
+  std::string column_;
+  int column_index_ = -1;  // >= 0 once bound
+  Value literal_;
+  ExprPtr args_[2];
+};
+
+/// Column reference.
+ExprPtr Col(std::string name);
+/// Literal constant.
+ExprPtr Lit(Value v);
+
+ExprPtr Add(ExprPtr l, ExprPtr r);
+ExprPtr Sub(ExprPtr l, ExprPtr r);
+ExprPtr Mul(ExprPtr l, ExprPtr r);
+ExprPtr Div(ExprPtr l, ExprPtr r);
+ExprPtr Eq(ExprPtr l, ExprPtr r);
+ExprPtr Ne(ExprPtr l, ExprPtr r);
+ExprPtr Lt(ExprPtr l, ExprPtr r);
+ExprPtr Le(ExprPtr l, ExprPtr r);
+ExprPtr Gt(ExprPtr l, ExprPtr r);
+ExprPtr Ge(ExprPtr l, ExprPtr r);
+ExprPtr And(ExprPtr l, ExprPtr r);
+ExprPtr Or(ExprPtr l, ExprPtr r);
+ExprPtr Not(ExprPtr x);
+ExprPtr Neg(ExprPtr x);
+
+}  // namespace gus
+
+#endif  // GUS_REL_EXPRESSION_H_

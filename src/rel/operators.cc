@@ -1,0 +1,212 @@
+#include "rel/operators.h"
+
+#include <unordered_map>
+#include <unordered_set>
+
+#include "util/hash.h"
+#include "util/logging.h"
+
+namespace gus {
+
+namespace {
+
+Result<bool> EvalPredicate(const ExprPtr& bound, const Row& row) {
+  GUS_ASSIGN_OR_RETURN(Value v, bound->Eval(row));
+  if (!v.is_numeric()) {
+    return Status::TypeError("predicate must evaluate to a numeric/boolean");
+  }
+  return v.ToDouble() != 0.0;
+}
+
+Status CheckJoinable(const Relation& left, const Relation& right) {
+  if (!Relation::LineageDisjoint(left, right)) {
+    return Status::InvalidArgument(
+        "join inputs must have disjoint lineage schemas (self-joins are not "
+        "supported by the GUS algebra, paper Prop. 6)");
+  }
+  return Status::OK();
+}
+
+std::vector<std::string> ConcatLineageSchema(const Relation& left,
+                                             const Relation& right) {
+  std::vector<std::string> ls = left.lineage_schema();
+  ls.insert(ls.end(), right.lineage_schema().begin(),
+            right.lineage_schema().end());
+  return ls;
+}
+
+LineageRow ConcatLineage(const LineageRow& a, const LineageRow& b) {
+  LineageRow out = a;
+  out.insert(out.end(), b.begin(), b.end());
+  return out;
+}
+
+Row ConcatRows(const Row& a, const Row& b) {
+  Row out = a;
+  out.insert(out.end(), b.begin(), b.end());
+  return out;
+}
+
+uint64_t HashLineage(const LineageRow& lin) {
+  uint64_t h = 0x6a09e667f3bcc908ULL;
+  for (uint64_t id : lin) h = HashCombine(h, id);
+  return h;
+}
+
+}  // namespace
+
+Result<Relation> Select(const Relation& input, const ExprPtr& predicate) {
+  GUS_ASSIGN_OR_RETURN(ExprPtr bound, predicate->Bind(input.schema()));
+  Relation out(input.schema(), input.lineage_schema());
+  for (int64_t i = 0; i < input.num_rows(); ++i) {
+    GUS_ASSIGN_OR_RETURN(bool keep, EvalPredicate(bound, input.row(i)));
+    if (keep) out.AppendRow(input.row(i), input.lineage(i));
+  }
+  return out;
+}
+
+Result<Relation> Project(const Relation& input,
+                         const std::vector<NamedExpr>& exprs) {
+  if (exprs.empty()) {
+    return Status::InvalidArgument("projection needs at least one column");
+  }
+  std::vector<ExprPtr> bound;
+  bound.reserve(exprs.size());
+  for (const auto& ne : exprs) {
+    GUS_ASSIGN_OR_RETURN(ExprPtr b, ne.expr->Bind(input.schema()));
+    bound.push_back(std::move(b));
+  }
+  // Infer output column types from the first row (or default to float64).
+  std::vector<Column> cols;
+  for (size_t c = 0; c < exprs.size(); ++c) {
+    ValueType t = ValueType::kFloat64;
+    if (input.num_rows() > 0) {
+      GUS_ASSIGN_OR_RETURN(Value v, bound[c]->Eval(input.row(0)));
+      t = v.type();
+    }
+    cols.push_back({exprs[c].name, t});
+  }
+  Relation out(Schema(std::move(cols)), input.lineage_schema());
+  out.Reserve(input.num_rows());
+  for (int64_t i = 0; i < input.num_rows(); ++i) {
+    Row row;
+    row.reserve(exprs.size());
+    for (size_t c = 0; c < exprs.size(); ++c) {
+      GUS_ASSIGN_OR_RETURN(Value v, bound[c]->Eval(input.row(i)));
+      row.push_back(std::move(v));
+    }
+    out.AppendRow(std::move(row), input.lineage(i));
+  }
+  return out;
+}
+
+Result<Relation> HashJoin(const Relation& left, const Relation& right,
+                          const std::string& left_key,
+                          const std::string& right_key) {
+  GUS_RETURN_NOT_OK(CheckJoinable(left, right));
+  GUS_ASSIGN_OR_RETURN(int lk, left.schema().IndexOf(left_key));
+  GUS_ASSIGN_OR_RETURN(int rk, right.schema().IndexOf(right_key));
+  GUS_ASSIGN_OR_RETURN(Schema schema,
+                       Schema::Concat(left.schema(), right.schema()));
+
+  // Build on the smaller input.
+  const bool build_left = left.num_rows() <= right.num_rows();
+  const Relation& build = build_left ? left : right;
+  const Relation& probe = build_left ? right : left;
+  const int bk = build_left ? lk : rk;
+  const int pk = build_left ? rk : lk;
+
+  std::unordered_multimap<uint64_t, int64_t> table;
+  table.reserve(static_cast<size_t>(build.num_rows()));
+  for (int64_t i = 0; i < build.num_rows(); ++i) {
+    table.emplace(build.row(i)[bk].Hash(), i);
+  }
+
+  Relation out(std::move(schema), ConcatLineageSchema(left, right));
+  for (int64_t j = 0; j < probe.num_rows(); ++j) {
+    const Value& key = probe.row(j)[pk];
+    auto range = table.equal_range(key.Hash());
+    for (auto it = range.first; it != range.second; ++it) {
+      const int64_t i = it->second;
+      if (!(build.row(i)[bk] == key)) continue;  // hash collision
+      const Row& lrow = build_left ? build.row(i) : probe.row(j);
+      const Row& rrow = build_left ? probe.row(j) : build.row(i);
+      const LineageRow& llin = build_left ? build.lineage(i) : probe.lineage(j);
+      const LineageRow& rlin = build_left ? probe.lineage(j) : build.lineage(i);
+      out.AppendRow(ConcatRows(lrow, rrow), ConcatLineage(llin, rlin));
+    }
+  }
+  return out;
+}
+
+Result<Relation> ThetaJoin(const Relation& left, const Relation& right,
+                           const ExprPtr& condition) {
+  GUS_ASSIGN_OR_RETURN(Relation prod, CrossProduct(left, right));
+  return Select(prod, condition);
+}
+
+Result<Relation> CrossProduct(const Relation& left, const Relation& right) {
+  GUS_RETURN_NOT_OK(CheckJoinable(left, right));
+  GUS_ASSIGN_OR_RETURN(Schema schema,
+                       Schema::Concat(left.schema(), right.schema()));
+  Relation out(std::move(schema), ConcatLineageSchema(left, right));
+  out.Reserve(left.num_rows() * right.num_rows());
+  for (int64_t i = 0; i < left.num_rows(); ++i) {
+    for (int64_t j = 0; j < right.num_rows(); ++j) {
+      out.AppendRow(ConcatRows(left.row(i), right.row(j)),
+                    ConcatLineage(left.lineage(i), right.lineage(j)));
+    }
+  }
+  return out;
+}
+
+Result<Relation> UnionDistinctLineage(const Relation& a, const Relation& b) {
+  if (!(a.schema() == b.schema())) {
+    return Status::InvalidArgument("union inputs must share a column schema");
+  }
+  if (a.lineage_schema() != b.lineage_schema()) {
+    return Status::InvalidArgument(
+        "union inputs must share a lineage schema (samples of the same "
+        "expression, paper Prop. 7)");
+  }
+  Relation out(a.schema(), a.lineage_schema());
+  std::unordered_set<uint64_t> seen;
+  seen.reserve(static_cast<size_t>(a.num_rows() + b.num_rows()));
+  auto add_all = [&](const Relation& rel) {
+    for (int64_t i = 0; i < rel.num_rows(); ++i) {
+      if (seen.insert(HashLineage(rel.lineage(i))).second) {
+        out.AppendRow(rel.row(i), rel.lineage(i));
+      }
+    }
+  };
+  add_all(a);
+  add_all(b);
+  return out;
+}
+
+Result<double> AggregateSum(const Relation& input, const ExprPtr& expr) {
+  GUS_ASSIGN_OR_RETURN(ExprPtr bound, expr->Bind(input.schema()));
+  double sum = 0.0;
+  for (int64_t i = 0; i < input.num_rows(); ++i) {
+    GUS_ASSIGN_OR_RETURN(Value v, bound->Eval(input.row(i)));
+    if (!v.is_numeric()) {
+      return Status::TypeError("SUM over non-numeric expression");
+    }
+    sum += v.ToDouble();
+  }
+  return sum;
+}
+
+Result<double> AggregateCount(const Relation& input) {
+  return static_cast<double>(input.num_rows());
+}
+
+Result<double> AggregateAvg(const Relation& input, const ExprPtr& expr) {
+  if (input.num_rows() == 0) {
+    return Status::InvalidArgument("AVG over empty relation");
+  }
+  GUS_ASSIGN_OR_RETURN(double sum, AggregateSum(input, expr));
+  return sum / static_cast<double>(input.num_rows());
+}
+
+}  // namespace gus

@@ -1,0 +1,76 @@
+#include "rel/relation.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/logging.h"
+
+namespace gus {
+
+void Relation::AppendRow(Row row, LineageRow lineage) {
+  GUS_DCHECK(static_cast<int>(row.size()) == schema_.num_columns());
+  GUS_DCHECK(lineage.size() == lineage_schema_.size());
+  rows_.push_back(std::move(row));
+  lineage_.push_back(std::move(lineage));
+}
+
+Relation Relation::MakeBase(const std::string& name, Schema schema,
+                            std::vector<Row> rows) {
+  Relation rel(std::move(schema), {name});
+  rel.Reserve(static_cast<int64_t>(rows.size()));
+  uint64_t id = 0;
+  for (auto& row : rows) {
+    rel.AppendRow(std::move(row), {id++});
+  }
+  return rel;
+}
+
+Relation Relation::MakeBaseWithIds(const std::string& name, Schema schema,
+                                   std::vector<Row> rows,
+                                   std::vector<uint64_t> ids) {
+  GUS_CHECK(rows.size() == ids.size());
+  Relation rel(std::move(schema), {name});
+  rel.Reserve(static_cast<int64_t>(rows.size()));
+  for (size_t i = 0; i < rows.size(); ++i) {
+    rel.AppendRow(std::move(rows[i]), {ids[i]});
+  }
+  return rel;
+}
+
+bool Relation::LineageDisjoint(const Relation& a, const Relation& b) {
+  for (const auto& name : a.lineage_schema()) {
+    if (std::find(b.lineage_schema().begin(), b.lineage_schema().end(),
+                  name) != b.lineage_schema().end()) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::string Relation::ToString(int64_t max_rows) const {
+  std::ostringstream out;
+  out << "Relation" << schema_.ToString() << " lineage[";
+  for (size_t i = 0; i < lineage_schema_.size(); ++i) {
+    if (i) out << ",";
+    out << lineage_schema_[i];
+  }
+  out << "] rows=" << num_rows() << "\n";
+  const int64_t shown = std::min<int64_t>(max_rows, num_rows());
+  for (int64_t r = 0; r < shown; ++r) {
+    out << "  ";
+    for (size_t c = 0; c < rows_[r].size(); ++c) {
+      if (c) out << " | ";
+      out << rows_[r][c].ToString();
+    }
+    out << "   <";
+    for (size_t l = 0; l < lineage_[r].size(); ++l) {
+      if (l) out << ",";
+      out << lineage_[r][l];
+    }
+    out << ">\n";
+  }
+  if (shown < num_rows()) out << "  ... (" << num_rows() - shown << " more)\n";
+  return out.str();
+}
+
+}  // namespace gus

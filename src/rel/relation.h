@@ -1,0 +1,88 @@
+// In-memory relations with row-level lineage.
+//
+// Lineage is the paper's central bookkeeping device (Section 4.2): the
+// identity of each base-relation tuple is carried through every operator so
+// that the GUS pairwise probabilities — which are defined on lineage
+// agreement, not content agreement — can be evaluated on result tuples.
+//
+// A Relation holds:
+//   * a column Schema and row data,
+//   * a lineage schema: the ordered list of base-relation names contributing
+//     to each row,
+//   * per-row lineage: one 64-bit id per lineage-schema entry.
+//
+// Base relations have a single-entry lineage schema (themselves) and lineage
+// id = row position (or block id for block-sampled relations — lineage is on
+// sampling units, not content).
+
+#ifndef GUS_REL_RELATION_H_
+#define GUS_REL_RELATION_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "rel/schema.h"
+#include "rel/value.h"
+#include "util/status.h"
+
+namespace gus {
+
+/// Per-row lineage: one base-tuple id per lineage-schema entry.
+using LineageRow = std::vector<uint64_t>;
+
+/// \brief A table with schema, rows, and lineage.
+class Relation {
+ public:
+  Relation() = default;
+  Relation(Schema schema, std::vector<std::string> lineage_schema)
+      : schema_(std::move(schema)),
+        lineage_schema_(std::move(lineage_schema)) {}
+
+  const Schema& schema() const { return schema_; }
+
+  /// Ordered base-relation names whose tuple ids each row carries.
+  const std::vector<std::string>& lineage_schema() const {
+    return lineage_schema_;
+  }
+
+  int64_t num_rows() const { return static_cast<int64_t>(rows_.size()); }
+  const Row& row(int64_t i) const { return rows_[i]; }
+  const LineageRow& lineage(int64_t i) const { return lineage_[i]; }
+  const std::vector<Row>& rows() const { return rows_; }
+  const std::vector<LineageRow>& lineages() const { return lineage_; }
+
+  /// Appends a row with its lineage; arities must match the schemas.
+  void AppendRow(Row row, LineageRow lineage);
+
+  void Reserve(int64_t n) {
+    rows_.reserve(n);
+    lineage_.reserve(n);
+  }
+
+  /// \brief Builds a base relation: lineage schema = {name}, lineage id =
+  /// row index.
+  static Relation MakeBase(const std::string& name, Schema schema,
+                           std::vector<Row> rows);
+
+  /// \brief Base relation with caller-supplied lineage ids (e.g. block ids
+  /// for block sampling, or primary-key-derived ids).
+  static Relation MakeBaseWithIds(const std::string& name, Schema schema,
+                                  std::vector<Row> rows,
+                                  std::vector<uint64_t> ids);
+
+  /// True if the two relations' lineage schemas share no base relation.
+  static bool LineageDisjoint(const Relation& a, const Relation& b);
+
+  std::string ToString(int64_t max_rows = 10) const;
+
+ private:
+  Schema schema_;
+  std::vector<std::string> lineage_schema_;
+  std::vector<Row> rows_;
+  std::vector<LineageRow> lineage_;
+};
+
+}  // namespace gus
+
+#endif  // GUS_REL_RELATION_H_

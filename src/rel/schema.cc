@@ -1,0 +1,62 @@
+#include "rel/schema.h"
+
+#include <sstream>
+
+#include "util/logging.h"
+
+namespace gus {
+
+Schema::Schema(std::vector<Column> columns) : columns_(std::move(columns)) {
+  for (int i = 0; i < static_cast<int>(columns_.size()); ++i) {
+    GUS_CHECK(index_.emplace(columns_[i].name, i).second);
+  }
+}
+
+Result<int> Schema::IndexOf(const std::string& name) const {
+  auto it = index_.find(name);
+  if (it == index_.end()) {
+    return Status::KeyError("no column named '" + name + "' in schema " +
+                            ToString());
+  }
+  return it->second;
+}
+
+bool Schema::Contains(const std::string& name) const {
+  return index_.count(name) > 0;
+}
+
+Result<Schema> Schema::Concat(const Schema& left, const Schema& right) {
+  std::vector<Column> cols = left.columns_;
+  for (const auto& c : right.columns_) {
+    if (left.Contains(c.name)) {
+      return Status::InvalidArgument("duplicate column '" + c.name +
+                                     "' when concatenating schemas");
+    }
+    cols.push_back(c);
+  }
+  return Schema(std::move(cols));
+}
+
+bool Schema::operator==(const Schema& other) const {
+  if (columns_.size() != other.columns_.size()) return false;
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (columns_[i].name != other.columns_[i].name ||
+        columns_[i].type != other.columns_[i].type) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::string Schema::ToString() const {
+  std::ostringstream out;
+  out << "(";
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (i) out << ", ";
+    out << columns_[i].name << ":" << ValueTypeName(columns_[i].type);
+  }
+  out << ")";
+  return out.str();
+}
+
+}  // namespace gus

@@ -1,0 +1,52 @@
+// Column schemas for the relational engine.
+
+#ifndef GUS_REL_SCHEMA_H_
+#define GUS_REL_SCHEMA_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "rel/value.h"
+#include "util/status.h"
+
+namespace gus {
+
+/// A row: one Value per schema column.
+using Row = std::vector<Value>;
+
+/// A named, typed column.
+struct Column {
+  std::string name;
+  ValueType type;
+};
+
+/// \brief Ordered list of columns with name lookup.
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<Column> columns);
+
+  int num_columns() const { return static_cast<int>(columns_.size()); }
+  const Column& column(int i) const { return columns_[i]; }
+  const std::vector<Column>& columns() const { return columns_; }
+
+  /// Index of a column by name, or KeyError.
+  Result<int> IndexOf(const std::string& name) const;
+  bool Contains(const std::string& name) const;
+
+  /// Concatenates two schemas; fails on duplicate column names.
+  static Result<Schema> Concat(const Schema& left, const Schema& right);
+
+  bool operator==(const Schema& other) const;
+
+  std::string ToString() const;
+
+ private:
+  std::vector<Column> columns_;
+  std::unordered_map<std::string, int> index_;
+};
+
+}  // namespace gus
+
+#endif  // GUS_REL_SCHEMA_H_

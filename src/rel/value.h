@@ -1,0 +1,110 @@
+// Typed scalar values for the in-memory relational engine.
+
+#ifndef GUS_REL_VALUE_H_
+#define GUS_REL_VALUE_H_
+
+#include <cstdint>
+#include <string>
+#include <variant>
+
+#include "util/hash.h"
+#include "util/logging.h"
+
+namespace gus {
+
+/// Column / value type tags.
+enum class ValueType { kInt64, kFloat64, kString };
+
+inline const char* ValueTypeName(ValueType t) {
+  switch (t) {
+    case ValueType::kInt64: return "int64";
+    case ValueType::kFloat64: return "float64";
+    case ValueType::kString: return "string";
+  }
+  return "?";
+}
+
+/// \brief A dynamically-typed scalar: int64, float64 or string.
+///
+/// Arithmetic between the two numeric types promotes to float64; all
+/// coercion decisions live in the expression evaluator, Value itself is a
+/// plain tagged container.
+class Value {
+ public:
+  Value() : data_(int64_t{0}) {}
+  Value(int64_t v) : data_(v) {}        // NOLINT(runtime/explicit)
+  Value(int v) : data_(int64_t{v}) {}   // NOLINT(runtime/explicit)
+  Value(double v) : data_(v) {}         // NOLINT(runtime/explicit)
+  Value(std::string v) : data_(std::move(v)) {}  // NOLINT(runtime/explicit)
+  Value(const char* v) : data_(std::string(v)) {}  // NOLINT(runtime/explicit)
+
+  ValueType type() const {
+    if (std::holds_alternative<int64_t>(data_)) return ValueType::kInt64;
+    if (std::holds_alternative<double>(data_)) return ValueType::kFloat64;
+    return ValueType::kString;
+  }
+
+  bool is_numeric() const { return type() != ValueType::kString; }
+
+  int64_t AsInt64() const {
+    GUS_DCHECK(type() == ValueType::kInt64);
+    return std::get<int64_t>(data_);
+  }
+  double AsFloat64() const {
+    GUS_DCHECK(type() == ValueType::kFloat64);
+    return std::get<double>(data_);
+  }
+  const std::string& AsString() const {
+    GUS_DCHECK(type() == ValueType::kString);
+    return std::get<std::string>(data_);
+  }
+
+  /// Numeric value widened to double (requires is_numeric()).
+  double ToDouble() const {
+    GUS_DCHECK(is_numeric());
+    return type() == ValueType::kInt64 ? static_cast<double>(AsInt64())
+                                       : AsFloat64();
+  }
+
+  bool operator==(const Value& other) const { return data_ == other.data_; }
+  bool operator!=(const Value& other) const { return !(*this == other); }
+
+  /// Hash suitable for join/group keys (type-sensitive for exact equality).
+  uint64_t Hash() const {
+    switch (type()) {
+      case ValueType::kInt64:
+        return Mix64(static_cast<uint64_t>(AsInt64()));
+      case ValueType::kFloat64: {
+        double d = AsFloat64();
+        uint64_t bits;
+        static_assert(sizeof(bits) == sizeof(d));
+        __builtin_memcpy(&bits, &d, sizeof(bits));
+        return Mix64(bits ^ 0x8000000000000001ULL);
+      }
+      case ValueType::kString: {
+        uint64_t h = 0x243f6a8885a308d3ULL;
+        for (char c : AsString()) {
+          h = HashCombine(h, static_cast<uint64_t>(static_cast<uint8_t>(c)));
+        }
+        return h;
+      }
+    }
+    return 0;
+  }
+
+  std::string ToString() const {
+    switch (type()) {
+      case ValueType::kInt64: return std::to_string(AsInt64());
+      case ValueType::kFloat64: return std::to_string(AsFloat64());
+      case ValueType::kString: return AsString();
+    }
+    return "?";
+  }
+
+ private:
+  std::variant<int64_t, double, std::string> data_;
+};
+
+}  // namespace gus
+
+#endif  // GUS_REL_VALUE_H_

@@ -1,0 +1,187 @@
+#include "sampling/samplers.h"
+
+#include <algorithm>
+#include <numeric>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "util/hash.h"
+#include "util/logging.h"
+
+namespace gus {
+
+namespace {
+
+Relation EmptyLike(const Relation& input) {
+  return Relation(input.schema(), input.lineage_schema());
+}
+
+Relation TakeRows(const Relation& input, const std::vector<int64_t>& indexes) {
+  Relation out = EmptyLike(input);
+  out.Reserve(static_cast<int64_t>(indexes.size()));
+  for (int64_t i : indexes) {
+    out.AppendRow(input.row(i), input.lineage(i));
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<Relation> BernoulliSample(const Relation& input, double p, Rng* rng) {
+  if (!(p >= 0.0 && p <= 1.0)) {
+    return Status::InvalidArgument("Bernoulli p must be in [0,1]");
+  }
+  Relation out = EmptyLike(input);
+  for (int64_t i = 0; i < input.num_rows(); ++i) {
+    if (rng->Bernoulli(p)) out.AppendRow(input.row(i), input.lineage(i));
+  }
+  return out;
+}
+
+Result<Relation> WorSample(const Relation& input, int64_t n, Rng* rng) {
+  const int64_t total = input.num_rows();
+  if (n < 0 || n > total) {
+    return Status::InvalidArgument("WOR sample size must be in [0, N]");
+  }
+  std::vector<int64_t> idx(total);
+  std::iota(idx.begin(), idx.end(), int64_t{0});
+  for (int64_t i = 0; i < n; ++i) {
+    const int64_t j =
+        i + static_cast<int64_t>(rng->UniformInt(static_cast<uint64_t>(total - i)));
+    std::swap(idx[i], idx[j]);
+  }
+  idx.resize(n);
+  std::sort(idx.begin(), idx.end());  // Preserve input order in the output.
+  return TakeRows(input, idx);
+}
+
+Result<Relation> ReservoirSample(const Relation& input, int64_t n, Rng* rng) {
+  const int64_t total = input.num_rows();
+  if (n < 0 || n > total) {
+    return Status::InvalidArgument("reservoir sample size must be in [0, N]");
+  }
+  std::vector<int64_t> reservoir;
+  reservoir.reserve(n);
+  for (int64_t i = 0; i < total; ++i) {
+    if (i < n) {
+      reservoir.push_back(i);
+    } else {
+      const auto j =
+          static_cast<int64_t>(rng->UniformInt(static_cast<uint64_t>(i) + 1));
+      if (j < n) reservoir[j] = i;
+    }
+  }
+  std::sort(reservoir.begin(), reservoir.end());
+  return TakeRows(input, reservoir);
+}
+
+Result<Relation> WrDistinctSample(const Relation& input, int64_t n, Rng* rng) {
+  if (n < 0) return Status::InvalidArgument("sample size must be >= 0");
+  const int64_t total = input.num_rows();
+  if (total == 0) return EmptyLike(input);
+  std::unordered_set<int64_t> chosen;
+  chosen.reserve(static_cast<size_t>(n));
+  for (int64_t draw = 0; draw < n; ++draw) {
+    chosen.insert(
+        static_cast<int64_t>(rng->UniformInt(static_cast<uint64_t>(total))));
+  }
+  std::vector<int64_t> idx(chosen.begin(), chosen.end());
+  std::sort(idx.begin(), idx.end());
+  return TakeRows(input, idx);
+}
+
+Result<Relation> AssignBlockLineage(const Relation& input,
+                                    int64_t block_size) {
+  if (block_size <= 0) {
+    return Status::InvalidArgument("block_size must be positive");
+  }
+  if (input.lineage_schema().size() != 1) {
+    return Status::InvalidArgument(
+        "block lineage applies to base (single-lineage) relations");
+  }
+  Relation out(input.schema(), input.lineage_schema());
+  out.Reserve(input.num_rows());
+  for (int64_t i = 0; i < input.num_rows(); ++i) {
+    out.AppendRow(input.row(i),
+                  {static_cast<uint64_t>(i / block_size)});
+  }
+  return out;
+}
+
+Result<Relation> BlockBernoulliSample(const Relation& input, double p,
+                                      Rng* rng) {
+  if (!(p >= 0.0 && p <= 1.0)) {
+    return Status::InvalidArgument("block Bernoulli p must be in [0,1]");
+  }
+  if (input.lineage_schema().size() != 1) {
+    return Status::InvalidArgument(
+        "block sampling applies to base (single-lineage) relations");
+  }
+  // One decision per distinct block (lineage id), applied to all its rows.
+  std::unordered_map<uint64_t, bool> decision;
+  Relation out = EmptyLike(input);
+  for (int64_t i = 0; i < input.num_rows(); ++i) {
+    const uint64_t block = input.lineage(i)[0];
+    auto it = decision.find(block);
+    if (it == decision.end()) {
+      it = decision.emplace(block, rng->Bernoulli(p)).first;
+    }
+    if (it->second) out.AppendRow(input.row(i), input.lineage(i));
+  }
+  return out;
+}
+
+Result<Relation> LineageBernoulliSample(const Relation& input,
+                                        const std::string& relation, double p,
+                                        uint64_t seed) {
+  if (!(p >= 0.0 && p <= 1.0)) {
+    return Status::InvalidArgument("lineage Bernoulli p must be in [0,1]");
+  }
+  const auto& ls = input.lineage_schema();
+  const auto it = std::find(ls.begin(), ls.end(), relation);
+  if (it == ls.end()) {
+    return Status::KeyError("relation '" + relation +
+                            "' not in the input's lineage schema");
+  }
+  const auto dim = static_cast<size_t>(it - ls.begin());
+  Relation out = EmptyLike(input);
+  for (int64_t i = 0; i < input.num_rows(); ++i) {
+    if (LineageUnitValue(seed, input.lineage(i)[dim]) < p) {
+      out.AppendRow(input.row(i), input.lineage(i));
+    }
+  }
+  return out;
+}
+
+Result<Relation> ApplySampling(const Relation& input, const SamplingSpec& spec,
+                               Rng* rng) {
+  GUS_RETURN_NOT_OK(spec.Validate());
+  switch (spec.method) {
+    case SamplingMethod::kBernoulli:
+      return BernoulliSample(input, spec.p, rng);
+    case SamplingMethod::kWithoutReplacement:
+      if (spec.population != input.num_rows()) {
+        return Status::InvalidArgument(
+            "WOR spec population does not match the input cardinality");
+      }
+      return WorSample(input, spec.n, rng);
+    case SamplingMethod::kWithReplacementDistinct:
+      if (spec.population != input.num_rows()) {
+        return Status::InvalidArgument(
+            "WR spec population does not match the input cardinality");
+      }
+      return WrDistinctSample(input, spec.n, rng);
+    case SamplingMethod::kBlockBernoulli: {
+      GUS_ASSIGN_OR_RETURN(Relation blocked,
+                           AssignBlockLineage(input, spec.block_size));
+      return BlockBernoulliSample(blocked, spec.p, rng);
+    }
+    case SamplingMethod::kLineageBernoulli:
+      return LineageBernoulliSample(input, spec.lineage_relation, spec.p,
+                                    spec.seed);
+  }
+  return Status::Internal("unknown sampling method");
+}
+
+}  // namespace gus

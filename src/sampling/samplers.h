@@ -1,0 +1,70 @@
+// Physical sampling operators over lineage-carrying relations.
+//
+// Every sampler is a randomized *filter*: the output rows are a subset of
+// the input rows (the GUS precondition). All samplers are deterministic
+// given the Rng / seed.
+
+#ifndef GUS_SAMPLING_SAMPLERS_H_
+#define GUS_SAMPLING_SAMPLERS_H_
+
+#include <cstdint>
+
+#include "rel/relation.h"
+#include "sampling/spec.h"
+#include "util/random.h"
+#include "util/status.h"
+
+namespace gus {
+
+/// Independent coin per row with probability p.
+Result<Relation> BernoulliSample(const Relation& input, double p, Rng* rng);
+
+/// \brief Uniform fixed-size sample of n rows without replacement.
+///
+/// Uses a partial Fisher-Yates shuffle over row indexes: O(N) space,
+/// O(n) swaps. Fails if n exceeds the input cardinality.
+Result<Relation> WorSample(const Relation& input, int64_t n, Rng* rng);
+
+/// \brief Reservoir variant of WOR sampling (single streaming pass).
+///
+/// Statistically identical to WorSample; exists to exercise the streaming
+/// code path and as a cross-check in tests. Output preserves input order.
+Result<Relation> ReservoirSample(const Relation& input, int64_t n, Rng* rng);
+
+/// n uniform draws with replacement; duplicate rows are discarded so the
+/// result is a filter (the GUS-compatible with-replacement variant).
+Result<Relation> WrDistinctSample(const Relation& input, int64_t n, Rng* rng);
+
+/// \brief Re-keys a base relation's lineage to block granularity.
+///
+/// Rows [0, block_size) get lineage id 0, the next block id 1, and so on.
+/// Block sampling is a GUS *on block lineage*: two tuples of the same block
+/// always share their sampling fate, which GUS expresses by giving them
+/// equal lineage ids. Only valid on single-lineage (base) relations.
+Result<Relation> AssignBlockLineage(const Relation& input, int64_t block_size);
+
+/// \brief Keeps whole blocks with probability p.
+///
+/// Input must have block-granularity lineage (see AssignBlockLineage); the
+/// decision for a block is made once and applied to all of its rows.
+Result<Relation> BlockBernoulliSample(const Relation& input, double p,
+                                      Rng* rng);
+
+/// \brief Section 7 sub-sampler: lineage-seeded pseudo-random Bernoulli.
+///
+/// Keeps a row iff LineageUnitValue(seed, id) < p where id is the row's
+/// lineage for `relation`. Because the decision is a pure function of
+/// (seed, id), a base tuple receives one consistent decision across every
+/// result tuple it participates in — the property that makes this a GUS.
+/// Works on derived relations; needs only one seed per base relation.
+Result<Relation> LineageBernoulliSample(const Relation& input,
+                                        const std::string& relation, double p,
+                                        uint64_t seed);
+
+/// Applies any spec to `input` (dispatch over the methods above).
+Result<Relation> ApplySampling(const Relation& input, const SamplingSpec& spec,
+                               Rng* rng);
+
+}  // namespace gus
+
+#endif  // GUS_SAMPLING_SAMPLERS_H_

@@ -1,0 +1,114 @@
+#include "sampling/spec.h"
+
+#include <sstream>
+
+namespace gus {
+
+const char* SamplingMethodName(SamplingMethod m) {
+  switch (m) {
+    case SamplingMethod::kBernoulli: return "Bernoulli";
+    case SamplingMethod::kWithoutReplacement: return "WOR";
+    case SamplingMethod::kWithReplacementDistinct: return "WRDistinct";
+    case SamplingMethod::kBlockBernoulli: return "BlockBernoulli";
+    case SamplingMethod::kLineageBernoulli: return "LineageBernoulli";
+  }
+  return "?";
+}
+
+Status SamplingSpec::Validate() const {
+  switch (method) {
+    case SamplingMethod::kBernoulli:
+    case SamplingMethod::kBlockBernoulli:
+    case SamplingMethod::kLineageBernoulli:
+      if (!(p >= 0.0 && p <= 1.0)) {
+        return Status::InvalidArgument("sampling probability must be in [0,1]");
+      }
+      if (method == SamplingMethod::kBlockBernoulli && block_size <= 0) {
+        return Status::InvalidArgument("block_size must be positive");
+      }
+      if (method == SamplingMethod::kLineageBernoulli &&
+          lineage_relation.empty()) {
+        return Status::InvalidArgument(
+            "lineage Bernoulli needs a target base relation");
+      }
+      return Status::OK();
+    case SamplingMethod::kWithoutReplacement:
+    case SamplingMethod::kWithReplacementDistinct:
+      if (n < 0) return Status::InvalidArgument("sample size must be >= 0");
+      if (population <= 0) {
+        return Status::InvalidArgument("population must be positive");
+      }
+      if (method == SamplingMethod::kWithoutReplacement && n > population) {
+        return Status::InvalidArgument(
+            "WOR sample size exceeds the population");
+      }
+      return Status::OK();
+  }
+  return Status::Internal("unknown sampling method");
+}
+
+std::string SamplingSpec::ToString() const {
+  std::ostringstream out;
+  out << SamplingMethodName(method) << "(";
+  switch (method) {
+    case SamplingMethod::kBernoulli:
+      out << "p=" << p;
+      break;
+    case SamplingMethod::kWithoutReplacement:
+    case SamplingMethod::kWithReplacementDistinct:
+      out << "n=" << n << ", N=" << population;
+      break;
+    case SamplingMethod::kBlockBernoulli:
+      out << "p=" << p << ", block=" << block_size;
+      break;
+    case SamplingMethod::kLineageBernoulli:
+      out << lineage_relation << ", p=" << p << ", seed=" << seed;
+      break;
+  }
+  out << ")";
+  return out.str();
+}
+
+SamplingSpec SamplingSpec::Bernoulli(double p) {
+  SamplingSpec s;
+  s.method = SamplingMethod::kBernoulli;
+  s.p = p;
+  return s;
+}
+
+SamplingSpec SamplingSpec::WithoutReplacement(int64_t n, int64_t population) {
+  SamplingSpec s;
+  s.method = SamplingMethod::kWithoutReplacement;
+  s.n = n;
+  s.population = population;
+  return s;
+}
+
+SamplingSpec SamplingSpec::WithReplacementDistinct(int64_t n,
+                                                   int64_t population) {
+  SamplingSpec s;
+  s.method = SamplingMethod::kWithReplacementDistinct;
+  s.n = n;
+  s.population = population;
+  return s;
+}
+
+SamplingSpec SamplingSpec::BlockBernoulli(double p, int64_t block_size) {
+  SamplingSpec s;
+  s.method = SamplingMethod::kBlockBernoulli;
+  s.p = p;
+  s.block_size = block_size;
+  return s;
+}
+
+SamplingSpec SamplingSpec::LineageBernoulli(std::string relation, double p,
+                                            uint64_t seed) {
+  SamplingSpec s;
+  s.method = SamplingMethod::kLineageBernoulli;
+  s.lineage_relation = std::move(relation);
+  s.p = p;
+  s.seed = seed;
+  return s;
+}
+
+}  // namespace gus

@@ -1,0 +1,78 @@
+// Declarative descriptions of sampling operators.
+//
+// A SamplingSpec is the logical "TABLESAMPLE" annotation attached to a plan
+// node. The algebra module translates specs into GUS quasi-operator
+// parameters (Figure 1 of the paper); the samplers in samplers.h give them a
+// physical implementation.
+
+#ifndef GUS_SAMPLING_SPEC_H_
+#define GUS_SAMPLING_SPEC_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace gus {
+
+/// Supported sampling methods. All are GUS family members.
+enum class SamplingMethod {
+  /// Independent per-tuple coin with probability p (TABLESAMPLE BERNOULLI).
+  kBernoulli,
+  /// Fixed-size uniform sample of n tuples without replacement
+  /// (TABLESAMPLE (n ROWS)).
+  kWithoutReplacement,
+  /// n uniform draws with replacement, duplicates discarded. The GUS
+  /// framework models randomized *filters*, so the distinct-draw variant is
+  /// the with-replacement member of the family (see paper Section 9,
+  /// "Extending randomized filtering").
+  kWithReplacementDistinct,
+  /// Block/page-granularity Bernoulli: whole blocks of consecutive tuples
+  /// kept with probability p. GUS at *block* lineage granularity
+  /// (TABLESAMPLE SYSTEM).
+  kBlockBernoulli,
+  /// Section 7 sub-sampler: pseudo-random Bernoulli keyed on
+  /// (seed, lineage id) of one base relation, applicable to derived
+  /// relations. Decisions are consistent across all result tuples sharing
+  /// the base tuple.
+  kLineageBernoulli,
+};
+
+const char* SamplingMethodName(SamplingMethod m);
+
+/// \brief One sampling operator instance.
+struct SamplingSpec {
+  SamplingMethod method = SamplingMethod::kBernoulli;
+
+  /// Inclusion probability (kBernoulli, kBlockBernoulli, kLineageBernoulli).
+  double p = 0.0;
+  /// Sample size (kWithoutReplacement, kWithReplacementDistinct).
+  int64_t n = 0;
+  /// Population size (kWithoutReplacement, kWithReplacementDistinct). For a
+  /// base-relation scan this is the relation cardinality.
+  int64_t population = 0;
+  /// Rows per block (kBlockBernoulli).
+  int64_t block_size = 0;
+  /// Which base relation's lineage drives kLineageBernoulli decisions.
+  std::string lineage_relation;
+  /// Seed for kLineageBernoulli (one seed per base relation, Section 7).
+  uint64_t seed = 0;
+
+  /// Validates parameter ranges for the chosen method.
+  Status Validate() const;
+
+  std::string ToString() const;
+
+  // -- Constructors for each method --------------------------------------
+  static SamplingSpec Bernoulli(double p);
+  static SamplingSpec WithoutReplacement(int64_t n, int64_t population);
+  static SamplingSpec WithReplacementDistinct(int64_t n, int64_t population);
+  static SamplingSpec BlockBernoulli(double p, int64_t block_size);
+  static SamplingSpec LineageBernoulli(std::string relation, double p,
+                                       uint64_t seed);
+};
+
+}  // namespace gus
+
+#endif  // GUS_SAMPLING_SPEC_H_

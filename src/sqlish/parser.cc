@@ -1,0 +1,312 @@
+#include "sqlish/parser.h"
+
+#include "sqlish/tokenizer.h"
+
+namespace gus {
+namespace sqlish {
+
+namespace {
+
+/// Recursive-descent parser over the token stream.
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Result<ParsedQuery> Parse() {
+    ParsedQuery query;
+    GUS_RETURN_NOT_OK(ExpectKeyword("SELECT"));
+    GUS_ASSIGN_OR_RETURN(SelectItem first, ParseItem());
+    query.items.push_back(std::move(first));
+    while (AcceptSymbol(",")) {
+      GUS_ASSIGN_OR_RETURN(SelectItem item, ParseItem());
+      query.items.push_back(std::move(item));
+    }
+    GUS_RETURN_NOT_OK(ExpectKeyword("FROM"));
+    GUS_ASSIGN_OR_RETURN(TableRef first_table, ParseTable());
+    query.tables.push_back(std::move(first_table));
+    while (AcceptSymbol(",")) {
+      GUS_ASSIGN_OR_RETURN(TableRef table, ParseTable());
+      query.tables.push_back(std::move(table));
+    }
+    if (AcceptKeyword("WHERE")) {
+      GUS_ASSIGN_OR_RETURN(query.where, ParseExpr());
+    }
+    if (AcceptKeyword("GROUP")) {
+      GUS_RETURN_NOT_OK(ExpectKeyword("BY"));
+      if (Peek().type != TokenType::kIdentifier) {
+        return Error("expected a GROUP BY column");
+      }
+      query.group_by = Advance().text;
+      for (const SelectItem& item : query.items) {
+        if (item.kind != AggKind::kSum) {
+          return Status::InvalidArgument(
+              "GROUP BY queries support SUM aggregates only");
+        }
+      }
+    }
+    AcceptSymbol(";");
+    if (Peek().type != TokenType::kEnd) {
+      return Error("unexpected trailing input");
+    }
+    return query;
+  }
+
+ private:
+  const Token& Peek() const { return tokens_[pos_]; }
+  const Token& Advance() { return tokens_[pos_++]; }
+
+  Status Error(const std::string& message) const {
+    return Status::InvalidArgument(
+        message + " near offset " + std::to_string(Peek().position) +
+        (Peek().type == TokenType::kEnd ? " (end of input)"
+                                        : " ('" + Peek().text + "')"));
+  }
+
+  bool AcceptSymbol(const char* symbol) {
+    if (Peek().type == TokenType::kSymbol && Peek().text == symbol) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  Status ExpectSymbol(const char* symbol) {
+    if (!AcceptSymbol(symbol)) {
+      return Error(std::string("expected '") + symbol + "'");
+    }
+    return Status::OK();
+  }
+
+  bool AcceptKeyword(const char* keyword) {
+    if (IdentEquals(Peek(), keyword)) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  Status ExpectKeyword(const char* keyword) {
+    if (!AcceptKeyword(keyword)) {
+      return Error(std::string("expected ") + keyword);
+    }
+    return Status::OK();
+  }
+
+  Result<SelectItem> ParseItem() {
+    SelectItem item;
+    if (AcceptKeyword("SUM")) {
+      item.kind = AggKind::kSum;
+      GUS_RETURN_NOT_OK(ExpectSymbol("("));
+      GUS_ASSIGN_OR_RETURN(item.expr, ParseExpr());
+      GUS_RETURN_NOT_OK(ExpectSymbol(")"));
+      return item;
+    }
+    if (AcceptKeyword("COUNT")) {
+      item.kind = AggKind::kCount;
+      GUS_RETURN_NOT_OK(ExpectSymbol("("));
+      GUS_RETURN_NOT_OK(ExpectSymbol("*"));
+      GUS_RETURN_NOT_OK(ExpectSymbol(")"));
+      item.expr = Lit(Value(int64_t{1}));
+      return item;
+    }
+    if (AcceptKeyword("AVG")) {
+      item.kind = AggKind::kAvg;
+      GUS_RETURN_NOT_OK(ExpectSymbol("("));
+      GUS_ASSIGN_OR_RETURN(item.expr, ParseExpr());
+      GUS_RETURN_NOT_OK(ExpectSymbol(")"));
+      return item;
+    }
+    if (AcceptKeyword("QUANTILE")) {
+      item.kind = AggKind::kQuantile;
+      GUS_RETURN_NOT_OK(ExpectSymbol("("));
+      GUS_RETURN_NOT_OK(ExpectKeyword("SUM"));
+      GUS_RETURN_NOT_OK(ExpectSymbol("("));
+      GUS_ASSIGN_OR_RETURN(item.expr, ParseExpr());
+      GUS_RETURN_NOT_OK(ExpectSymbol(")"));
+      GUS_RETURN_NOT_OK(ExpectSymbol(","));
+      if (Peek().type != TokenType::kNumber) {
+        return Error("expected a quantile value");
+      }
+      item.quantile = Advance().number;
+      if (!(item.quantile > 0.0 && item.quantile < 1.0)) {
+        return Status::InvalidArgument("quantile must be in (0,1)");
+      }
+      GUS_RETURN_NOT_OK(ExpectSymbol(")"));
+      return item;
+    }
+    return Error("expected SUM, COUNT, AVG or QUANTILE");
+  }
+
+  Result<TableRef> ParseTable() {
+    if (Peek().type != TokenType::kIdentifier) {
+      return Error("expected a table name");
+    }
+    TableRef table;
+    table.name = Advance().text;
+    if (AcceptKeyword("TABLESAMPLE")) {
+      GUS_RETURN_NOT_OK(ExpectSymbol("("));
+      if (Peek().type != TokenType::kNumber) {
+        return Error("expected a sampling amount");
+      }
+      const double amount = Advance().number;
+      if (AcceptKeyword("PERCENT")) {
+        if (!(amount >= 0.0 && amount <= 100.0)) {
+          return Status::InvalidArgument("PERCENT must be in [0,100]");
+        }
+        table.percent = amount;
+      } else if (AcceptKeyword("ROWS")) {
+        if (amount < 0.0 || amount != static_cast<int64_t>(amount)) {
+          return Status::InvalidArgument("ROWS must be a non-negative integer");
+        }
+        table.rows = static_cast<int64_t>(amount);
+      } else {
+        return Error("expected PERCENT or ROWS");
+      }
+      GUS_RETURN_NOT_OK(ExpectSymbol(")"));
+    }
+    return table;
+  }
+
+  // Expression grammar, lowest precedence first:
+  //   or:      and (OR and)*
+  //   and:     not (AND not)*
+  //   not:     NOT not | comparison
+  //   cmp:     addsub (('='|'<>'|'<'|'<='|'>'|'>=') addsub)?
+  //   addsub:  muldiv (('+'|'-') muldiv)*
+  //   muldiv:  unary (('*'|'/') unary)*
+  //   unary:   '-' unary | primary
+  //   primary: number | string | ident | '(' or ')'
+  Result<ExprPtr> ParseExpr() { return ParseOr(); }
+
+  Result<ExprPtr> ParseOr() {
+    GUS_ASSIGN_OR_RETURN(ExprPtr left, ParseAnd());
+    while (AcceptKeyword("OR")) {
+      GUS_ASSIGN_OR_RETURN(ExprPtr right, ParseAnd());
+      left = Or(std::move(left), std::move(right));
+    }
+    return left;
+  }
+
+  Result<ExprPtr> ParseAnd() {
+    GUS_ASSIGN_OR_RETURN(ExprPtr left, ParseNot());
+    while (AcceptKeyword("AND")) {
+      GUS_ASSIGN_OR_RETURN(ExprPtr right, ParseNot());
+      left = And(std::move(left), std::move(right));
+    }
+    return left;
+  }
+
+  Result<ExprPtr> ParseNot() {
+    if (AcceptKeyword("NOT")) {
+      GUS_ASSIGN_OR_RETURN(ExprPtr arg, ParseNot());
+      return Not(std::move(arg));
+    }
+    return ParseComparison();
+  }
+
+  Result<ExprPtr> ParseComparison() {
+    GUS_ASSIGN_OR_RETURN(ExprPtr left, ParseAddSub());
+    if (Peek().type == TokenType::kSymbol) {
+      const std::string op = Peek().text;
+      if (op == "=" || op == "<>" || op == "<" || op == "<=" || op == ">" ||
+          op == ">=") {
+        ++pos_;
+        GUS_ASSIGN_OR_RETURN(ExprPtr right, ParseAddSub());
+        if (op == "=") return Eq(std::move(left), std::move(right));
+        if (op == "<>") return Ne(std::move(left), std::move(right));
+        if (op == "<") return Lt(std::move(left), std::move(right));
+        if (op == "<=") return Le(std::move(left), std::move(right));
+        if (op == ">") return Gt(std::move(left), std::move(right));
+        return Ge(std::move(left), std::move(right));
+      }
+    }
+    return left;
+  }
+
+  Result<ExprPtr> ParseAddSub() {
+    GUS_ASSIGN_OR_RETURN(ExprPtr left, ParseMulDiv());
+    while (Peek().type == TokenType::kSymbol &&
+           (Peek().text == "+" || Peek().text == "-")) {
+      const bool add = Advance().text == "+";
+      GUS_ASSIGN_OR_RETURN(ExprPtr right, ParseMulDiv());
+      left = add ? Add(std::move(left), std::move(right))
+                 : Sub(std::move(left), std::move(right));
+    }
+    return left;
+  }
+
+  Result<ExprPtr> ParseMulDiv() {
+    GUS_ASSIGN_OR_RETURN(ExprPtr left, ParseUnary());
+    while (Peek().type == TokenType::kSymbol &&
+           (Peek().text == "*" || Peek().text == "/")) {
+      const bool mul = Advance().text == "*";
+      GUS_ASSIGN_OR_RETURN(ExprPtr right, ParseUnary());
+      left = mul ? Mul(std::move(left), std::move(right))
+                 : Div(std::move(left), std::move(right));
+    }
+    return left;
+  }
+
+  Result<ExprPtr> ParseUnary() {
+    if (Peek().type == TokenType::kSymbol && Peek().text == "-") {
+      ++pos_;
+      GUS_ASSIGN_OR_RETURN(ExprPtr arg, ParseUnary());
+      return Neg(std::move(arg));
+    }
+    return ParsePrimary();
+  }
+
+  Result<ExprPtr> ParsePrimary() {
+    const Token& token = Peek();
+    switch (token.type) {
+      case TokenType::kNumber: {
+        ++pos_;
+        // Integral literals stay int64 so integer comparisons are exact.
+        if (token.number == static_cast<int64_t>(token.number) &&
+            token.text.find('.') == std::string::npos &&
+            token.text.find('e') == std::string::npos &&
+            token.text.find('E') == std::string::npos) {
+          return Lit(Value(static_cast<int64_t>(token.number)));
+        }
+        return Lit(Value(token.number));
+      }
+      case TokenType::kString:
+        ++pos_;
+        return Lit(Value(token.text));
+      case TokenType::kIdentifier: {
+        // Reserved words cannot be column references.
+        for (const char* kw : {"AND", "OR", "NOT", "FROM", "WHERE", "SELECT"}) {
+          if (IdentEquals(token, kw)) {
+            return Error("unexpected keyword in expression");
+          }
+        }
+        ++pos_;
+        return Col(token.text);
+      }
+      case TokenType::kSymbol:
+        if (token.text == "(") {
+          ++pos_;
+          GUS_ASSIGN_OR_RETURN(ExprPtr inner, ParseExpr());
+          GUS_RETURN_NOT_OK(ExpectSymbol(")"));
+          return inner;
+        }
+        return Error("unexpected symbol in expression");
+      case TokenType::kEnd:
+        return Error("unexpected end of input in expression");
+    }
+    return Error("unexpected token");
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<ParsedQuery> ParseQuery(const std::string& sql) {
+  GUS_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(sql));
+  return Parser(std::move(tokens)).Parse();
+}
+
+}  // namespace sqlish
+}  // namespace gus

@@ -1,0 +1,68 @@
+// Parser for the paper's SQL dialect. Supported grammar:
+//
+//   query     := SELECT item (',' item)* FROM table (',' table)*
+//                [WHERE expr] [GROUP BY ident] [';']
+//   item      := SUM '(' expr ')'
+//              | COUNT '(' '*' ')'
+//              | AVG '(' expr ')'
+//              | QUANTILE '(' SUM '(' expr ')' ',' number ')'
+//   table     := ident [TABLESAMPLE '(' number (PERCENT | ROWS) ')']
+//   expr      := standard arithmetic/comparison/boolean expression over
+//                column identifiers and numeric/string literals
+//
+// The parser is purely syntactic; table/column resolution and plan
+// construction live in planner.h.
+
+#ifndef GUS_SQLISH_PARSER_H_
+#define GUS_SQLISH_PARSER_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "rel/expression.h"
+#include "sampling/spec.h"
+#include "util/status.h"
+
+namespace gus {
+namespace sqlish {
+
+/// What a select-list item computes.
+enum class AggKind { kSum, kCount, kAvg, kQuantile };
+
+struct SelectItem {
+  AggKind kind = AggKind::kSum;
+  /// The aggregated expression (1 for COUNT).
+  ExprPtr expr;
+  /// For kQuantile: the requested quantile.
+  double quantile = 0.0;
+};
+
+/// How a FROM-clause table is sampled.
+struct TableRef {
+  std::string name;
+  /// Unset: the table is not sampled.
+  /// PERCENT p  -> Bernoulli(p/100)
+  /// n ROWS     -> WOR(n, |table|), population resolved by the planner.
+  std::optional<double> percent;
+  std::optional<int64_t> rows;
+};
+
+/// A parsed (but unresolved) query.
+struct ParsedQuery {
+  std::vector<SelectItem> items;
+  std::vector<TableRef> tables;
+  /// WHERE expression; null when absent.
+  ExprPtr where;
+  /// GROUP BY column; empty when absent. Grouped queries support SUM
+  /// items only (per-group estimation, est/group_by.h).
+  std::string group_by;
+};
+
+/// Parses `sql`; returns a syntax error with offset context on failure.
+Result<ParsedQuery> ParseQuery(const std::string& sql);
+
+}  // namespace sqlish
+}  // namespace gus
+
+#endif  // GUS_SQLISH_PARSER_H_

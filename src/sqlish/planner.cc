@@ -1,0 +1,287 @@
+#include "sqlish/planner.h"
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+#include <unordered_map>
+
+#include "est/confidence.h"
+#include "est/group_by.h"
+#include "est/ratio.h"
+#include "plan/soa_transform.h"
+
+namespace gus {
+namespace sqlish {
+
+namespace {
+
+/// Splits an expression on top-level ANDs.
+void CollectConjuncts(const ExprPtr& expr, std::vector<ExprPtr>* out) {
+  if (expr->op() == ExprOp::kAnd) {
+    CollectConjuncts(expr->left(), out);
+    CollectConjuncts(expr->right(), out);
+  } else {
+    out->push_back(expr);
+  }
+}
+
+/// Column name -> owning table, from the catalog schemas.
+Result<std::unordered_map<std::string, std::string>> BuildColumnMap(
+    const ParsedQuery& parsed, const Catalog& catalog) {
+  std::unordered_map<std::string, std::string> owner;
+  for (const TableRef& table : parsed.tables) {
+    auto it = catalog.find(table.name);
+    if (it == catalog.end()) {
+      return Status::KeyError("table '" + table.name + "' not in catalog");
+    }
+    for (const Column& col : it->second.schema().columns()) {
+      if (!owner.emplace(col.name, table.name).second) {
+        return Status::InvalidArgument("ambiguous column '" + col.name +
+                                       "' across FROM tables");
+      }
+    }
+  }
+  return owner;
+}
+
+/// Tables referenced by an expression (empty for constant expressions).
+void CollectTables(const ExprPtr& expr,
+                   const std::unordered_map<std::string, std::string>& owner,
+                   std::set<std::string>* out) {
+  if (expr->op() == ExprOp::kColumn) {
+    auto it = owner.find(expr->column_name());
+    if (it != owner.end()) out->insert(it->second);
+    return;
+  }
+  if (expr->op() == ExprOp::kLiteral) return;
+  CollectTables(expr->left(), owner, out);
+  if (expr->right() != nullptr) CollectTables(expr->right(), owner, out);
+}
+
+struct JoinPredicate {
+  std::string left_table, left_column;
+  std::string right_table, right_column;
+  bool used = false;
+};
+
+}  // namespace
+
+Result<PlannedQuery> PlanQuery(const ParsedQuery& parsed,
+                               const Catalog& catalog) {
+  if (parsed.tables.empty()) {
+    return Status::InvalidArgument("query needs at least one table");
+  }
+  GUS_ASSIGN_OR_RETURN(auto owner, BuildColumnMap(parsed, catalog));
+
+  // Validate select-list columns resolve.
+  for (const SelectItem& item : parsed.items) {
+    std::set<std::string> used;
+    CollectTables(item.expr, owner, &used);
+    (void)used;
+  }
+
+  // Split WHERE into equi-join predicates and filters.
+  std::vector<JoinPredicate> joins;
+  std::vector<ExprPtr> filters;
+  if (parsed.where != nullptr) {
+    std::vector<ExprPtr> conjuncts;
+    CollectConjuncts(parsed.where, &conjuncts);
+    for (const ExprPtr& conjunct : conjuncts) {
+      bool is_join = false;
+      if (conjunct->op() == ExprOp::kEq &&
+          conjunct->left()->op() == ExprOp::kColumn &&
+          conjunct->right()->op() == ExprOp::kColumn) {
+        const std::string& lc = conjunct->left()->column_name();
+        const std::string& rc = conjunct->right()->column_name();
+        auto li = owner.find(lc);
+        auto ri = owner.find(rc);
+        if (li == owner.end() || ri == owner.end()) {
+          return Status::KeyError("unknown column in join predicate: " +
+                                  conjunct->ToString());
+        }
+        if (li->second != ri->second) {
+          joins.push_back({li->second, lc, ri->second, rc, false});
+          is_join = true;
+        }
+      }
+      if (!is_join) filters.push_back(conjunct);
+    }
+  }
+
+  // Left-deep joins in FROM order.
+  auto make_leaf = [&](const TableRef& table) -> Result<PlanPtr> {
+    PlanPtr leaf = PlanNode::Scan(table.name);
+    if (table.percent.has_value()) {
+      leaf = PlanNode::Sample(SamplingSpec::Bernoulli(*table.percent / 100.0),
+                              leaf);
+    } else if (table.rows.has_value()) {
+      const int64_t population = catalog.at(table.name).num_rows();
+      if (*table.rows > population) {
+        return Status::InvalidArgument(
+            "TABLESAMPLE ROWS exceeds the cardinality of '" + table.name +
+            "'");
+      }
+      leaf = PlanNode::Sample(
+          SamplingSpec::WithoutReplacement(*table.rows, population), leaf);
+    }
+    return leaf;
+  };
+
+  GUS_ASSIGN_OR_RETURN(PlanPtr plan, make_leaf(parsed.tables[0]));
+  std::set<std::string> joined = {parsed.tables[0].name};
+  for (size_t i = 1; i < parsed.tables.size(); ++i) {
+    const TableRef& table = parsed.tables[i];
+    GUS_ASSIGN_OR_RETURN(PlanPtr leaf, make_leaf(table));
+    // Find an unused equi-join predicate connecting `joined` and `table`.
+    JoinPredicate* chosen = nullptr;
+    for (JoinPredicate& jp : joins) {
+      if (jp.used) continue;
+      const bool forward = joined.count(jp.left_table) &&
+                           jp.right_table == table.name;
+      const bool backward = joined.count(jp.right_table) &&
+                            jp.left_table == table.name;
+      if (forward || backward) {
+        chosen = &jp;
+        if (backward) {
+          std::swap(jp.left_table, jp.right_table);
+          std::swap(jp.left_column, jp.right_column);
+        }
+        break;
+      }
+    }
+    if (chosen != nullptr) {
+      chosen->used = true;
+      plan = PlanNode::Join(plan, leaf, chosen->left_column,
+                            chosen->right_column);
+    } else {
+      plan = PlanNode::Product(plan, leaf);
+    }
+    joined.insert(table.name);
+  }
+  // Leftover join predicates (cycles) become filters.
+  for (const JoinPredicate& jp : joins) {
+    if (!jp.used) {
+      filters.push_back(Eq(Col(jp.left_column), Col(jp.right_column)));
+    }
+  }
+  for (const ExprPtr& filter : filters) {
+    plan = PlanNode::SelectNode(filter, plan);
+  }
+  if (!parsed.group_by.empty() && !owner.count(parsed.group_by)) {
+    return Status::KeyError("unknown GROUP BY column '" + parsed.group_by +
+                            "'");
+  }
+  return PlannedQuery{std::move(plan), parsed.items, parsed.group_by};
+}
+
+std::string ApproxResult::ToString() const {
+  std::ostringstream out;
+  for (const ApproxValue& v : values) {
+    if (!v.group.empty()) out << "[" << v.group << "] ";
+    out << v.label << " = " << v.value;
+    if (v.stddev > 0.0) {
+      out << "  (stddev " << v.stddev << ", [" << v.lo << ", " << v.hi
+          << "])";
+    }
+    out << "\n";
+  }
+  out << "(from " << sample_rows << " sampled tuples)";
+  return out.str();
+}
+
+Result<ApproxResult> RunApproxQuery(const std::string& sql,
+                                    const Catalog& catalog, uint64_t seed,
+                                    const SboxOptions& options) {
+  GUS_ASSIGN_OR_RETURN(ParsedQuery parsed, ParseQuery(sql));
+  GUS_ASSIGN_OR_RETURN(PlannedQuery planned, PlanQuery(parsed, catalog));
+  GUS_ASSIGN_OR_RETURN(SoaResult soa, SoaTransform(planned.plan));
+
+  Rng rng(seed);
+  GUS_ASSIGN_OR_RETURN(Relation sample,
+                       ExecutePlan(planned.plan, catalog, &rng));
+
+  ApproxResult result;
+  result.sample_rows = sample.num_rows();
+  if (!planned.group_by.empty()) {
+    // Grouped path: per-group SUM estimation with per-group intervals.
+    for (const SelectItem& item : planned.items) {
+      GUS_ASSIGN_OR_RETURN(
+          auto groups,
+          GroupedSumEstimate(soa.top, sample, item.expr, planned.group_by,
+                             options.confidence_level, options.bound_kind));
+      for (const GroupEstimate& ge : groups) {
+        ApproxValue value;
+        value.label = "SUM(" + item.expr->ToString() + ")";
+        value.group = planned.group_by + "=" + ge.key.ToString();
+        value.value = ge.estimate;
+        value.stddev = ge.stddev;
+        value.lo = ge.interval.lo;
+        value.hi = ge.interval.hi;
+        result.values.push_back(std::move(value));
+      }
+    }
+    return result;
+  }
+  for (const SelectItem& item : planned.items) {
+    GUS_ASSIGN_OR_RETURN(
+        SampleView view,
+        SampleView::FromRelation(sample, item.expr, soa.top.schema()));
+    ApproxValue value;
+    switch (item.kind) {
+      case AggKind::kSum: {
+        GUS_ASSIGN_OR_RETURN(SboxReport report,
+                             SboxEstimate(soa.top, view, options));
+        value.label = "SUM(" + item.expr->ToString() + ")";
+        value.value = report.estimate;
+        value.stddev = report.stddev;
+        value.lo = report.interval.lo;
+        value.hi = report.interval.hi;
+        break;
+      }
+      case AggKind::kCount: {
+        GUS_ASSIGN_OR_RETURN(
+            CountReport report,
+            CountEstimate(soa.top, view, options.confidence_level,
+                          options.bound_kind));
+        value.label = "COUNT(*)";
+        value.value = report.estimate;
+        value.stddev = report.stddev;
+        value.lo = report.interval.lo;
+        value.hi = report.interval.hi;
+        break;
+      }
+      case AggKind::kAvg: {
+        GUS_ASSIGN_OR_RETURN(
+            RatioReport report,
+            AvgEstimate(soa.top, view, options.confidence_level,
+                        options.bound_kind));
+        value.label = "AVG(" + item.expr->ToString() + ")";
+        value.value = report.estimate;
+        value.stddev = report.stddev;
+        value.lo = report.interval.lo;
+        value.hi = report.interval.hi;
+        break;
+      }
+      case AggKind::kQuantile: {
+        GUS_ASSIGN_OR_RETURN(SboxReport report,
+                             SboxEstimate(soa.top, view, options));
+        GUS_ASSIGN_OR_RETURN(
+            double q, EstimateQuantile(report.estimate, report.variance,
+                                       item.quantile, options.bound_kind));
+        std::ostringstream label;
+        label << "QUANTILE(SUM(" << item.expr->ToString() << "), "
+              << item.quantile << ")";
+        value.label = label.str();
+        value.value = q;
+        value.lo = q;
+        value.hi = q;
+        break;
+      }
+    }
+    result.values.push_back(std::move(value));
+  }
+  return result;
+}
+
+}  // namespace sqlish
+}  // namespace gus

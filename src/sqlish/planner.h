@@ -1,0 +1,71 @@
+// Planner + one-call query interface for the SQL-ish dialect.
+//
+// The planner resolves columns against the catalog, splits the WHERE clause
+// into equi-join conditions and filters, and builds a left-deep sampled
+// plan in FROM order. RunApproxQuery then executes the plan, runs the SBox,
+// and returns one estimated value (with interval) per select item — the
+// complete "approximate query" experience of the paper's introduction.
+
+#ifndef GUS_SQLISH_PLANNER_H_
+#define GUS_SQLISH_PLANNER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "est/sbox.h"
+#include "plan/executor.h"
+#include "plan/plan_node.h"
+#include "sqlish/parser.h"
+
+namespace gus {
+namespace sqlish {
+
+/// A planned query: the sampled plan plus the select items to evaluate.
+struct PlannedQuery {
+  PlanPtr plan;
+  std::vector<SelectItem> items;
+  /// GROUP BY column; empty when ungrouped.
+  std::string group_by;
+};
+
+/// \brief Resolves and plans a parsed query against `catalog`.
+///
+/// TABLESAMPLE (p PERCENT) becomes Bernoulli(p/100); (n ROWS) becomes
+/// WOR(n, |table|) with the population read from the catalog.
+Result<PlannedQuery> PlanQuery(const ParsedQuery& parsed,
+                               const Catalog& catalog);
+
+/// One select item's output.
+struct ApproxValue {
+  /// "SUM(...)", "COUNT(*)", "AVG(...)", "QUANTILE(...,q)".
+  std::string label;
+  /// GROUP BY key rendered as text; empty for ungrouped queries.
+  std::string group;
+  double value = 0.0;
+  /// Standard deviation of the estimator (0 for exact evaluation).
+  double stddev = 0.0;
+  /// Two-sided interval (for kQuantile: [value, value]).
+  double lo = 0.0;
+  double hi = 0.0;
+};
+
+/// The full result of an approximate query.
+struct ApproxResult {
+  std::vector<ApproxValue> values;
+  int64_t sample_rows = 0;
+  std::string ToString() const;
+};
+
+/// \brief Parses, plans, executes and estimates in one call.
+///
+/// `seed` drives the samplers; `options` control interval kind/level and
+/// Section 7 sub-sampling.
+Result<ApproxResult> RunApproxQuery(const std::string& sql,
+                                    const Catalog& catalog, uint64_t seed,
+                                    const SboxOptions& options = {});
+
+}  // namespace sqlish
+}  // namespace gus
+
+#endif  // GUS_SQLISH_PLANNER_H_

@@ -1,0 +1,112 @@
+#include "sqlish/tokenizer.h"
+
+#include <cctype>
+#include <cstdlib>
+
+namespace gus {
+namespace sqlish {
+
+namespace {
+
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_' || c == '.';
+}
+
+}  // namespace
+
+Result<std::vector<Token>> Tokenize(const std::string& sql) {
+  std::vector<Token> tokens;
+  size_t i = 0;
+  const size_t n = sql.size();
+  while (i < n) {
+    const char c = sql[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    if (c == '-' && i + 1 < n && sql[i + 1] == '-') {
+      // Line comment.
+      while (i < n && sql[i] != '\n') ++i;
+      continue;
+    }
+    Token token;
+    token.position = static_cast<int>(i);
+    if (IsIdentStart(c)) {
+      size_t j = i;
+      while (j < n && IsIdentChar(sql[j])) ++j;
+      token.type = TokenType::kIdentifier;
+      token.text = sql.substr(i, j - i);
+      i = j;
+    } else if (std::isdigit(static_cast<unsigned char>(c)) ||
+               (c == '.' && i + 1 < n &&
+                std::isdigit(static_cast<unsigned char>(sql[i + 1])))) {
+      size_t j = i;
+      while (j < n && (std::isdigit(static_cast<unsigned char>(sql[j])) ||
+                       sql[j] == '.' || sql[j] == 'e' || sql[j] == 'E' ||
+                       ((sql[j] == '+' || sql[j] == '-') && j > i &&
+                        (sql[j - 1] == 'e' || sql[j - 1] == 'E')))) {
+        ++j;
+      }
+      token.type = TokenType::kNumber;
+      token.text = sql.substr(i, j - i);
+      token.number = std::strtod(token.text.c_str(), nullptr);
+      i = j;
+    } else if (c == '\'') {
+      size_t j = i + 1;
+      while (j < n && sql[j] != '\'') ++j;
+      if (j >= n) {
+        return Status::InvalidArgument(
+            "unterminated string literal at offset " + std::to_string(i));
+      }
+      token.type = TokenType::kString;
+      token.text = sql.substr(i + 1, j - i - 1);
+      i = j + 1;
+    } else {
+      // Two-character operators first.
+      if (i + 1 < n) {
+        const std::string two = sql.substr(i, 2);
+        if (two == "<=" || two == ">=" || two == "<>" || two == "!=") {
+          token.type = TokenType::kSymbol;
+          token.text = two == "!=" ? "<>" : two;
+          tokens.push_back(token);
+          i += 2;
+          continue;
+        }
+      }
+      static const std::string kSingles = "(),;*/+-=<>";
+      if (kSingles.find(c) == std::string::npos) {
+        return Status::InvalidArgument("unexpected character '" +
+                                       std::string(1, c) + "' at offset " +
+                                       std::to_string(i));
+      }
+      token.type = TokenType::kSymbol;
+      token.text = std::string(1, c);
+      ++i;
+    }
+    tokens.push_back(std::move(token));
+  }
+  Token end;
+  end.type = TokenType::kEnd;
+  end.position = static_cast<int>(n);
+  tokens.push_back(end);
+  return tokens;
+}
+
+bool IdentEquals(const Token& token, const char* upper_keyword) {
+  if (token.type != TokenType::kIdentifier) return false;
+  const std::string& s = token.text;
+  size_t i = 0;
+  for (; upper_keyword[i] != '\0'; ++i) {
+    if (i >= s.size() ||
+        std::toupper(static_cast<unsigned char>(s[i])) != upper_keyword[i]) {
+      return false;
+    }
+  }
+  return i == s.size();
+}
+
+}  // namespace sqlish
+}  // namespace gus

@@ -1,0 +1,44 @@
+// Tokenizer for the SQL-ish query dialect of the paper:
+//
+//   SELECT SUM(l_discount*(1.0-l_tax))
+//   FROM lineitem TABLESAMPLE (10 PERCENT), orders TABLESAMPLE (1000 ROWS)
+//   WHERE l_orderkey = o_orderkey AND l_extendedprice > 100.0;
+
+#ifndef GUS_SQLISH_TOKENIZER_H_
+#define GUS_SQLISH_TOKENIZER_H_
+
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace gus {
+namespace sqlish {
+
+enum class TokenType {
+  kIdentifier,  // keywords are identifiers; the parser matches usage
+  kNumber,
+  kString,      // 'single quoted'
+  kSymbol,      // ( ) , ; * / + - = < > <= >= <>
+  kEnd,
+};
+
+struct Token {
+  TokenType type = TokenType::kEnd;
+  /// Raw text; identifiers are stored as written, keyword matching is
+  /// case-insensitive at the parser level.
+  std::string text;
+  double number = 0.0;
+  int position = 0;  // byte offset, for error messages
+};
+
+/// Splits `sql` into tokens; fails on unterminated strings or stray bytes.
+Result<std::vector<Token>> Tokenize(const std::string& sql);
+
+/// Case-insensitive identifier comparison (keyword matching).
+bool IdentEquals(const Token& token, const char* upper_keyword);
+
+}  // namespace sqlish
+}  // namespace gus
+
+#endif  // GUS_SQLISH_TOKENIZER_H_

@@ -1,0 +1,98 @@
+#include "stream/load_shedder.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "algebra/ops.h"
+#include "algebra/translate.h"
+#include "est/sbox.h"
+#include "rel/operators.h"
+#include "sampling/samplers.h"
+
+namespace gus {
+
+BernoulliLoadShedder::BernoulliLoadShedder(const ShedderConfig& config)
+    : config_(config) {}
+
+void BernoulliLoadShedder::ObserveWindow(int64_t arrivals) {
+  const auto observed = static_cast<double>(arrivals);
+  if (!seeded_) {
+    smoothed_arrivals_ = observed;
+    seeded_ = true;
+  } else {
+    smoothed_arrivals_ = config_.smoothing * observed +
+                         (1.0 - config_.smoothing) * smoothed_arrivals_;
+  }
+  if (smoothed_arrivals_ <= 0.0) {
+    p_ = config_.max_p;
+    return;
+  }
+  const double target =
+      static_cast<double>(config_.capacity_per_window) / smoothed_arrivals_;
+  p_ = std::clamp(target, config_.min_p, config_.max_p);
+}
+
+Result<WindowEstimate> ShedAndEstimateWindow(const Relation& window, double p,
+                                             const ExprPtr& f, Rng* rng,
+                                             double confidence_level) {
+  if (window.lineage_schema().size() != 1) {
+    return Status::InvalidArgument("window must be a base relation");
+  }
+  GUS_ASSIGN_OR_RETURN(Relation kept, BernoulliSample(window, p, rng));
+  GUS_ASSIGN_OR_RETURN(
+      GusParams gus,
+      TranslateBaseSampling(SamplingSpec::Bernoulli(p),
+                            window.lineage_schema()[0]));
+  GUS_ASSIGN_OR_RETURN(SampleView view,
+                       SampleView::FromRelation(kept, f, gus.schema()));
+  SboxOptions options;
+  options.confidence_level = confidence_level;
+  GUS_ASSIGN_OR_RETURN(SboxReport report, SboxEstimate(gus, view, options));
+  WindowEstimate estimate;
+  estimate.estimate = report.estimate;
+  estimate.stddev = report.stddev;
+  estimate.interval = report.interval;
+  estimate.kept_rows = kept.num_rows();
+  estimate.p = p;
+  return estimate;
+}
+
+Result<WindowEstimate> ShedAndEstimateJoinedWindows(
+    const Relation& left_window, double left_p, const Relation& right_window,
+    double right_p, const std::string& left_key, const std::string& right_key,
+    const ExprPtr& f, Rng* rng, double confidence_level) {
+  if (left_window.lineage_schema().size() != 1 ||
+      right_window.lineage_schema().size() != 1) {
+    return Status::InvalidArgument("windows must be base relations");
+  }
+  GUS_ASSIGN_OR_RETURN(Relation left_kept,
+                       BernoulliSample(left_window, left_p, rng));
+  GUS_ASSIGN_OR_RETURN(Relation right_kept,
+                       BernoulliSample(right_window, right_p, rng));
+  GUS_ASSIGN_OR_RETURN(Relation joined,
+                       HashJoin(left_kept, right_kept, left_key, right_key));
+  // The shedded join is GUS-sampled from the unshedded join: Prop 6.
+  GUS_ASSIGN_OR_RETURN(
+      GusParams gl,
+      TranslateBaseSampling(SamplingSpec::Bernoulli(left_p),
+                            left_window.lineage_schema()[0]));
+  GUS_ASSIGN_OR_RETURN(
+      GusParams gr,
+      TranslateBaseSampling(SamplingSpec::Bernoulli(right_p),
+                            right_window.lineage_schema()[0]));
+  GUS_ASSIGN_OR_RETURN(GusParams gus, GusJoin(gl, gr));
+  GUS_ASSIGN_OR_RETURN(SampleView view,
+                       SampleView::FromRelation(joined, f, gus.schema()));
+  SboxOptions options;
+  options.confidence_level = confidence_level;
+  GUS_ASSIGN_OR_RETURN(SboxReport report, SboxEstimate(gus, view, options));
+  WindowEstimate estimate;
+  estimate.estimate = report.estimate;
+  estimate.stddev = report.stddev;
+  estimate.interval = report.interval;
+  estimate.kept_rows = joined.num_rows();
+  estimate.p = left_p * right_p;
+  return estimate;
+}
+
+}  // namespace gus

@@ -1,0 +1,85 @@
+// Data streaming with load shedding (paper Section 8, "Data Streaming and
+// Load Shedding"): when a stream runs faster than the system can process,
+// drop tuples with a Bernoulli filter and *quantify* the induced error on
+// windowed aggregates with the GUS machinery. Because shedding is a GUS,
+// the theory extends to joined windows across multiple shedded streams —
+// the multi-relation case the paper points out prior single-stream work
+// could not handle.
+
+#ifndef GUS_STREAM_LOAD_SHEDDER_H_
+#define GUS_STREAM_LOAD_SHEDDER_H_
+
+#include <cstdint>
+
+#include "est/confidence.h"
+#include "rel/expression.h"
+#include "rel/relation.h"
+#include "util/random.h"
+#include "util/status.h"
+
+namespace gus {
+
+/// \brief Controller that adapts the shedding probability to a capacity.
+struct ShedderConfig {
+  /// Maximum tuples the system can retain per window.
+  int64_t capacity_per_window = 1000;
+  /// Clamp range for the keep probability.
+  double min_p = 0.001;
+  double max_p = 1.0;
+  /// Exponential smoothing factor for the arrival-rate estimate.
+  double smoothing = 0.5;
+};
+
+/// \brief Adaptive Bernoulli load shedder.
+///
+/// Chooses the keep probability for the next window from a smoothed
+/// arrival-rate estimate so the expected retained count matches capacity.
+class BernoulliLoadShedder {
+ public:
+  explicit BernoulliLoadShedder(const ShedderConfig& config);
+
+  /// Keep probability for the current window.
+  double keep_probability() const { return p_; }
+
+  /// Reports the current window's arrival count; adapts the probability
+  /// used for the next window.
+  void ObserveWindow(int64_t arrivals);
+
+ private:
+  ShedderConfig config_;
+  double smoothed_arrivals_ = 0.0;
+  bool seeded_ = false;
+  double p_ = 1.0;
+};
+
+/// \brief One window's estimated aggregate.
+struct WindowEstimate {
+  double estimate = 0.0;
+  double stddev = 0.0;
+  ConfidenceInterval interval;
+  /// Tuples retained after shedding.
+  int64_t kept_rows = 0;
+  /// Keep probability used.
+  double p = 1.0;
+};
+
+/// \brief Sheds `window` with Bernoulli(p) and estimates SUM(f) over the
+/// full window with a confidence interval (single-stream case).
+///
+/// `window` must be a base relation (one lineage column).
+Result<WindowEstimate> ShedAndEstimateWindow(const Relation& window, double p,
+                                             const ExprPtr& f, Rng* rng,
+                                             double confidence_level = 0.95);
+
+/// \brief Two-stream case: sheds both windows, joins the survivors on
+/// `left_key` = `right_key`, and estimates SUM(f) over the *unshedded*
+/// window join — the GUS join algebra supplies the variance that single-
+/// stream load-shedding analyses could not.
+Result<WindowEstimate> ShedAndEstimateJoinedWindows(
+    const Relation& left_window, double left_p, const Relation& right_window,
+    double right_p, const std::string& left_key, const std::string& right_key,
+    const ExprPtr& f, Rng* rng, double confidence_level = 0.95);
+
+}  // namespace gus
+
+#endif  // GUS_STREAM_LOAD_SHEDDER_H_

@@ -1,0 +1,61 @@
+// Subset-mask utilities.
+//
+// The GUS pairwise table b̄ is indexed by subsets of the lineage schema,
+// represented as uint32_t bitmasks over the schema's relation ordering.
+
+#ifndef GUS_UTIL_BITS_H_
+#define GUS_UTIL_BITS_H_
+
+#include <bit>
+#include <cstdint>
+
+namespace gus {
+
+/// A subset of a lineage schema, as a bitmask over its relation ordering.
+using SubsetMask = uint32_t;
+
+/// Number of elements in the subset.
+inline int PopCount(SubsetMask mask) { return std::popcount(mask); }
+
+/// Mask with the lowest n bits set (the full subset of an n-ary schema).
+inline SubsetMask FullMask(int n) {
+  return n >= 32 ? ~SubsetMask{0} : ((SubsetMask{1} << n) - 1);
+}
+
+/// \brief Iterates all subsets of `super` (including empty and super itself).
+///
+/// Usage:
+///   for (SubsetIterator it(super); !it.done(); it.Next()) use(it.mask());
+///
+/// Uses the standard (sub - 1) & super descent, visiting subsets in
+/// decreasing numeric order starting from `super`.
+class SubsetIterator {
+ public:
+  explicit SubsetIterator(SubsetMask super)
+      : super_(super), mask_(super), done_(false) {}
+
+  bool done() const { return done_; }
+  SubsetMask mask() const { return mask_; }
+
+  void Next() {
+    if (mask_ == 0) {
+      done_ = true;
+    } else {
+      mask_ = (mask_ - 1) & super_;
+    }
+  }
+
+ private:
+  SubsetMask super_;
+  SubsetMask mask_;
+  bool done_;
+};
+
+/// Parity sign (-1)^popcount(mask).
+inline double ParitySign(SubsetMask mask) {
+  return (PopCount(mask) & 1) ? -1.0 : 1.0;
+}
+
+}  // namespace gus
+
+#endif  // GUS_UTIL_BITS_H_

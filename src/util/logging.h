@@ -1,0 +1,34 @@
+// Internal invariant checking for libgus.
+//
+// GUS_CHECK* abort the process with a diagnostic; they guard programming
+// errors, never user input (user input errors surface as Status).
+
+#ifndef GUS_UTIL_LOGGING_H_
+#define GUS_UTIL_LOGGING_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace gus {
+namespace internal {
+
+[[noreturn]] inline void CheckFailed(const char* file, int line,
+                                     const char* expr) {
+  std::fprintf(stderr, "[libgus] CHECK failed at %s:%d: %s\n", file, line,
+               expr);
+  std::abort();
+}
+
+}  // namespace internal
+}  // namespace gus
+
+#define GUS_CHECK(cond)                                         \
+  do {                                                          \
+    if (!(cond)) {                                              \
+      ::gus::internal::CheckFailed(__FILE__, __LINE__, #cond);  \
+    }                                                           \
+  } while (0)
+
+#define GUS_DCHECK(cond) GUS_CHECK(cond)
+
+#endif  // GUS_UTIL_LOGGING_H_

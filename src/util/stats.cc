@@ -1,0 +1,129 @@
+#include "util/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace gus {
+
+double NormalCdf(double x) {
+  return 0.5 * std::erfc(-x / std::sqrt(2.0));
+}
+
+namespace {
+
+// Coefficients for Acklam's inverse normal CDF approximation.
+constexpr double kA[] = {-3.969683028665376e+01, 2.209460984245205e+02,
+                         -2.759285104469687e+02, 1.383577518672690e+02,
+                         -3.066479806614716e+01, 2.506628277459239e+00};
+constexpr double kB[] = {-5.447609879822406e+01, 1.615858368580409e+02,
+                         -1.556989798598866e+02, 6.680131188771972e+01,
+                         -1.328068155288572e+01};
+constexpr double kC[] = {-7.784894002430293e-03, -3.223964580411365e-01,
+                         -2.400758277161838e+00, -2.549732539343734e+00,
+                         4.374664141464968e+00,  2.938163982698783e+00};
+constexpr double kD[] = {7.784695709041462e-03, 3.224671290700398e-01,
+                         2.445134137142996e+00, 3.754408661907416e+00};
+
+double AcklamQuantile(double p) {
+  constexpr double kPLow = 0.02425;
+  constexpr double kPHigh = 1.0 - kPLow;
+  double q, r, x;
+  if (p < kPLow) {
+    q = std::sqrt(-2.0 * std::log(p));
+    x = (((((kC[0] * q + kC[1]) * q + kC[2]) * q + kC[3]) * q + kC[4]) * q +
+         kC[5]) /
+        ((((kD[0] * q + kD[1]) * q + kD[2]) * q + kD[3]) * q + 1.0);
+  } else if (p <= kPHigh) {
+    q = p - 0.5;
+    r = q * q;
+    x = (((((kA[0] * r + kA[1]) * r + kA[2]) * r + kA[3]) * r + kA[4]) * r +
+         kA[5]) *
+        q /
+        (((((kB[0] * r + kB[1]) * r + kB[2]) * r + kB[3]) * r + kB[4]) * r +
+         1.0);
+  } else {
+    q = std::sqrt(-2.0 * std::log(1.0 - p));
+    x = -(((((kC[0] * q + kC[1]) * q + kC[2]) * q + kC[3]) * q + kC[4]) * q +
+          kC[5]) /
+        ((((kD[0] * q + kD[1]) * q + kD[2]) * q + kD[3]) * q + 1.0);
+  }
+  return x;
+}
+
+}  // namespace
+
+double NormalQuantile(double p) {
+  GUS_CHECK(p > 0.0 && p < 1.0);
+  double x = AcklamQuantile(p);
+  // One Halley refinement step using the exact CDF.
+  const double e = NormalCdf(x) - p;
+  const double u = e * std::sqrt(2.0 * 3.14159265358979323846) *
+                   std::exp(x * x / 2.0);
+  x = x - u / (1.0 + x * u / 2.0);
+  return x;
+}
+
+double ChebyshevMultiplier(double level) {
+  GUS_CHECK(level > 0.0 && level < 1.0);
+  return 1.0 / std::sqrt(1.0 - level);
+}
+
+double CantelliMultiplier(double tail_probability) {
+  GUS_CHECK(tail_probability > 0.0 && tail_probability < 1.0);
+  return std::sqrt(1.0 / tail_probability - 1.0);
+}
+
+void MeanVar::Add(double x) {
+  ++count_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+double MeanVar::variance_population() const {
+  if (count_ < 1) return 0.0;
+  return m2_ / static_cast<double>(count_);
+}
+
+double MeanVar::variance_sample() const {
+  if (count_ < 2) return 0.0;
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double MeanVar::stddev_sample() const { return std::sqrt(variance_sample()); }
+
+void MeanVar::Merge(const MeanVar& other) {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  const double n1 = static_cast<double>(count_);
+  const double n2 = static_cast<double>(other.count_);
+  const double delta = other.mean_ - mean_;
+  const double n = n1 + n2;
+  mean_ += delta * n2 / n;
+  m2_ += other.m2_ + delta * delta * n1 * n2 / n;
+  count_ += other.count_;
+}
+
+double CoverageCounter::half_width95() const {
+  if (total_ == 0) return 0.0;
+  const double p = fraction();
+  return 1.96 * std::sqrt(p * (1.0 - p) / static_cast<double>(total_));
+}
+
+double EmpiricalQuantile(std::vector<double> xs, double q) {
+  GUS_CHECK(!xs.empty());
+  GUS_CHECK(q >= 0.0 && q <= 1.0);
+  std::sort(xs.begin(), xs.end());
+  const double pos = q * static_cast<double>(xs.size() - 1);
+  const auto lo = static_cast<size_t>(pos);
+  const size_t hi = std::min(lo + 1, xs.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return xs[lo] * (1.0 - frac) + xs[hi] * frac;
+}
+
+}  // namespace gus

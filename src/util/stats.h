@@ -1,0 +1,76 @@
+// Statistical helpers: normal distribution math, Chebyshev bounds, and
+// online moment accumulators used across the estimator and the Monte-Carlo
+// harness.
+
+#ifndef GUS_UTIL_STATS_H_
+#define GUS_UTIL_STATS_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace gus {
+
+/// Standard normal cumulative distribution function Phi(x).
+double NormalCdf(double x);
+
+/// \brief Inverse standard normal CDF (quantile function).
+///
+/// Acklam's rational approximation (relative error < 1.15e-9), refined with
+/// one Halley step. Requires 0 < p < 1.
+double NormalQuantile(double p);
+
+/// \brief Two-sided Chebyshev multiplier for confidence level `level`.
+///
+/// P(|X - mu| >= k sigma) <= 1/k^2, so k = 1/sqrt(1 - level); level = 0.95
+/// gives the paper's 4.47.
+double ChebyshevMultiplier(double level);
+
+/// \brief One-sided Cantelli multiplier: P(X - mu >= k sigma) <= 1/(1+k^2).
+double CantelliMultiplier(double tail_probability);
+
+/// \brief Welford online accumulator for mean and variance.
+class MeanVar {
+ public:
+  void Add(double x);
+
+  int64_t count() const { return count_; }
+  double mean() const { return mean_; }
+  /// Population variance (divides by n).
+  double variance_population() const;
+  /// Sample variance (divides by n-1); 0 if fewer than 2 observations.
+  double variance_sample() const;
+  double stddev_sample() const;
+
+  /// Merges another accumulator (parallel Welford).
+  void Merge(const MeanVar& other);
+
+ private:
+  int64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+};
+
+/// \brief Fraction-of-successes accumulator with a normal-approx CI.
+class CoverageCounter {
+ public:
+  void Add(bool hit) {
+    ++total_;
+    if (hit) ++hits_;
+  }
+  int64_t total() const { return total_; }
+  int64_t hits() const { return hits_; }
+  double fraction() const { return total_ == 0 ? 0.0 : double(hits_) / double(total_); }
+  /// Half-width of the 95% normal-approximation interval on the fraction.
+  double half_width95() const;
+
+ private:
+  int64_t total_ = 0;
+  int64_t hits_ = 0;
+};
+
+/// Empirical quantile (linear interpolation) of an unsorted copy of `xs`.
+double EmpiricalQuantile(std::vector<double> xs, double q);
+
+}  // namespace gus
+
+#endif  // GUS_UTIL_STATS_H_

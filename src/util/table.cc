@@ -1,0 +1,59 @@
+#include "util/table.h"
+
+#include <cstdio>
+#include <sstream>
+
+#include "util/logging.h"
+
+namespace gus {
+
+TablePrinter::TablePrinter(std::vector<std::string> header)
+    : header_(std::move(header)) {
+  GUS_CHECK(!header_.empty());
+}
+
+void TablePrinter::AddRow(std::vector<std::string> row) {
+  GUS_CHECK(row.size() == header_.size());
+  rows_.push_back(std::move(row));
+}
+
+std::string TablePrinter::ToString() const {
+  std::vector<size_t> widths(header_.size());
+  for (size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  std::ostringstream out;
+  auto emit_row = [&](const std::vector<std::string>& row) {
+    out << "|";
+    for (size_t c = 0; c < row.size(); ++c) {
+      out << " " << row[c] << std::string(widths[c] - row[c].size(), ' ')
+          << " |";
+    }
+    out << "\n";
+  };
+  emit_row(header_);
+  out << "|";
+  for (size_t c = 0; c < header_.size(); ++c) {
+    out << std::string(widths[c] + 2, '-') << "|";
+  }
+  out << "\n";
+  for (const auto& row : rows_) emit_row(row);
+  return out.str();
+}
+
+std::string TablePrinter::Num(double v, int digits) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*g", digits, v);
+  return buf;
+}
+
+std::string TablePrinter::Sci(double v, int digits) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*e", digits, v);
+  return buf;
+}
+
+}  // namespace gus

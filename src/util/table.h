@@ -1,0 +1,36 @@
+// Plain-text table rendering for the experiment harness: every bench binary
+// prints the reproduced paper table / series through this printer so the
+// output is uniform and diffable.
+
+#ifndef GUS_UTIL_TABLE_H_
+#define GUS_UTIL_TABLE_H_
+
+#include <string>
+#include <vector>
+
+namespace gus {
+
+/// \brief Accumulates rows of strings and renders an aligned ASCII table.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> header);
+
+  /// Appends a row; must have the same arity as the header.
+  void AddRow(std::vector<std::string> row);
+
+  /// Renders the table with a header separator.
+  std::string ToString() const;
+
+  /// Convenience: formats a double with `digits` significant digits.
+  static std::string Num(double v, int digits = 6);
+  /// Scientific notation with `digits` digits after the point.
+  static std::string Sci(double v, int digits = 3);
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace gus
+
+#endif  // GUS_UTIL_TABLE_H_

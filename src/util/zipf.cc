@@ -1,0 +1,30 @@
+#include "util/zipf.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace gus {
+
+ZipfGenerator::ZipfGenerator(uint64_t n, double theta) : n_(n), theta_(theta) {
+  GUS_CHECK(n > 0);
+  GUS_CHECK(theta >= 0.0);
+  cdf_.resize(n);
+  double acc = 0.0;
+  for (uint64_t k = 1; k <= n; ++k) {
+    acc += 1.0 / std::pow(static_cast<double>(k), theta);
+    cdf_[k - 1] = acc;
+  }
+  const double total = acc;
+  for (auto& c : cdf_) c /= total;
+  cdf_.back() = 1.0;  // Guard against floating-point shortfall.
+}
+
+uint64_t ZipfGenerator::Sample(Rng* rng) const {
+  const double u = rng->Uniform();
+  const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  return static_cast<uint64_t>(it - cdf_.begin()) + 1;
+}
+
+}  // namespace gus

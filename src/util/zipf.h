@@ -1,0 +1,36 @@
+// Zipf-distributed integer generator, used to put realistic skew into the
+// synthetic TPC-H-style data (join fanouts, value distributions).
+
+#ifndef GUS_UTIL_ZIPF_H_
+#define GUS_UTIL_ZIPF_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/random.h"
+
+namespace gus {
+
+/// \brief Samples ranks 1..n with P(k) proportional to 1/k^theta.
+///
+/// theta = 0 degenerates to uniform. Uses a precomputed inverse-CDF table;
+/// construction is O(n), sampling is O(log n).
+class ZipfGenerator {
+ public:
+  ZipfGenerator(uint64_t n, double theta);
+
+  /// Draws a rank in [1, n].
+  uint64_t Sample(Rng* rng) const;
+
+  uint64_t n() const { return n_; }
+  double theta() const { return theta_; }
+
+ private:
+  uint64_t n_;
+  double theta_;
+  std::vector<double> cdf_;
+};
+
+}  // namespace gus
+
+#endif  // GUS_UTIL_ZIPF_H_

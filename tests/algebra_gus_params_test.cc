@@ -1,0 +1,144 @@
+// Unit tests for GusParams: validation, c_S coefficients (naive vs fast
+// Moebius transform), extension, identity/null.
+
+#include <gtest/gtest.h>
+
+#include "algebra/gus_params.h"
+#include "algebra/translate.h"
+#include "test_util.h"
+#include "util/random.h"
+
+namespace gus {
+namespace {
+
+LineageSchema SchemaLO() {
+  return LineageSchema::Make({"l", "o"}).ValueOrDie();
+}
+
+TEST(GusParamsTest, MakeValidatesTableSize) {
+  EXPECT_STATUS_CODE(kInvalidArgument,
+                     GusParams::Make(SchemaLO(), 0.5, {0.25, 0.5}).status());
+}
+
+TEST(GusParamsTest, MakeValidatesProbabilityRange) {
+  EXPECT_STATUS_CODE(
+      kInvalidArgument,
+      GusParams::Make(SchemaLO(), 1.5, {1.0, 1.0, 1.0, 1.5}).status());
+  EXPECT_STATUS_CODE(
+      kInvalidArgument,
+      GusParams::Make(SchemaLO(), 0.5, {-0.2, 0.5, 0.5, 0.5}).status());
+}
+
+TEST(GusParamsTest, MakeEnforcesBFullEqualsA) {
+  // b_{l,o} (mask 0b11) must equal a.
+  EXPECT_STATUS_CODE(
+      kInvalidArgument,
+      GusParams::Make(SchemaLO(), 0.5, {0.25, 0.3, 0.3, 0.4}).status());
+  ASSERT_OK(
+      GusParams::Make(SchemaLO(), 0.5, {0.25, 0.3, 0.3, 0.5}).status());
+}
+
+TEST(GusParamsTest, AccessByNames) {
+  ASSERT_OK_AND_ASSIGN(GusParams g,
+                       GusParams::Make(SchemaLO(), 0.5, {0.25, 0.3, 0.4, 0.5}));
+  EXPECT_DOUBLE_EQ(0.25, g.b(std::vector<std::string>{}).ValueOrDie());
+  EXPECT_DOUBLE_EQ(0.3, g.b({"l"}).ValueOrDie());
+  EXPECT_DOUBLE_EQ(0.4, g.b({"o"}).ValueOrDie());
+  EXPECT_DOUBLE_EQ(0.5, g.b({"l", "o"}).ValueOrDie());
+}
+
+TEST(GusParamsTest, IdentityAndNull) {
+  GusParams id = GusParams::Identity(SchemaLO());
+  EXPECT_DOUBLE_EQ(1.0, id.a());
+  for (SubsetMask m = 0; m < 4; ++m) EXPECT_DOUBLE_EQ(1.0, id.b(m));
+  GusParams null = GusParams::Null(SchemaLO());
+  EXPECT_DOUBLE_EQ(0.0, null.a());
+  for (SubsetMask m = 0; m < 4; ++m) EXPECT_DOUBLE_EQ(0.0, null.b(m));
+}
+
+TEST(GusParamsTest, CCoefficientsBernoulliClosedForm) {
+  // Single-relation Bernoulli(p): c_∅ = p², c_{R} = p − p².
+  ASSERT_OK_AND_ASSIGN(
+      GusParams g,
+      TranslateBaseSampling(SamplingSpec::Bernoulli(0.2), "R"));
+  EXPECT_NEAR(0.04, g.c(0), 1e-15);
+  EXPECT_NEAR(0.2 - 0.04, g.c(1), 1e-15);
+}
+
+TEST(GusParamsTest, CCoefficientsIdentityGus) {
+  // Identity: c_∅ = 1, every other c_S = 0 (variance vanishes).
+  GusParams id = GusParams::Identity(SchemaLO());
+  const auto c = id.AllCNaive();
+  EXPECT_DOUBLE_EQ(1.0, c[0]);
+  EXPECT_DOUBLE_EQ(0.0, c[1]);
+  EXPECT_DOUBLE_EQ(0.0, c[2]);
+  EXPECT_DOUBLE_EQ(0.0, c[3]);
+}
+
+TEST(GusParamsTest, FastCMatchesNaive) {
+  // Property check on random pseudo-GUS tables up to arity 6.
+  Rng rng(55);
+  for (int arity = 0; arity <= 6; ++arity) {
+    std::vector<std::string> rels;
+    for (int i = 0; i < arity; ++i) rels.push_back("r" + std::to_string(i));
+    ASSERT_OK_AND_ASSIGN(LineageSchema schema, LineageSchema::Make(rels));
+    std::vector<double> b(schema.num_subsets());
+    for (auto& v : b) v = rng.Uniform();
+    const double a = b[schema.full_mask()];
+    ASSERT_OK_AND_ASSIGN(GusParams g, GusParams::Make(schema, a, b));
+    const auto naive = g.AllCNaive();
+    const auto fast = g.AllCFast();
+    ASSERT_EQ(naive.size(), fast.size());
+    for (size_t m = 0; m < naive.size(); ++m) {
+      EXPECT_NEAR(naive[m], fast[m], 1e-12)
+          << "arity=" << arity << " mask=" << m;
+    }
+  }
+}
+
+TEST(GusParamsTest, CSumTelescopesToA) {
+  // sum_S c_S = b_full = a (Moebius inversion telescopes).
+  Rng rng(56);
+  ASSERT_OK_AND_ASSIGN(LineageSchema schema,
+                       LineageSchema::Make({"x", "y", "z"}));
+  std::vector<double> b(schema.num_subsets());
+  for (auto& v : b) v = rng.Uniform();
+  b[schema.full_mask()] = 0.37;
+  ASSERT_OK_AND_ASSIGN(GusParams g, GusParams::Make(schema, 0.37, b));
+  double sum = 0.0;
+  for (double c : g.AllCFast()) sum += c;
+  EXPECT_NEAR(0.37, sum, 1e-12);
+}
+
+TEST(GusParamsTest, ExtendToAddsUnsampledRelations) {
+  ASSERT_OK_AND_ASSIGN(
+      GusParams g, TranslateBaseSampling(SamplingSpec::Bernoulli(0.1), "l"));
+  ASSERT_OK_AND_ASSIGN(LineageSchema target,
+                       LineageSchema::Make({"l", "c"}));
+  ASSERT_OK_AND_ASSIGN(GusParams ext, g.ExtendTo(target));
+  EXPECT_DOUBLE_EQ(0.1, ext.a());
+  // Agreement on c alone behaves like no agreement: b = p².
+  EXPECT_DOUBLE_EQ(0.01, ext.b(std::vector<std::string>{}).ValueOrDie());
+  EXPECT_DOUBLE_EQ(0.01, ext.b({"c"}).ValueOrDie());
+  EXPECT_DOUBLE_EQ(0.1, ext.b({"l"}).ValueOrDie());
+  EXPECT_DOUBLE_EQ(0.1, ext.b({"l", "c"}).ValueOrDie());
+}
+
+TEST(GusParamsTest, ExtendToMissingRelationFails) {
+  ASSERT_OK_AND_ASSIGN(
+      GusParams g, TranslateBaseSampling(SamplingSpec::Bernoulli(0.1), "l"));
+  ASSERT_OK_AND_ASSIGN(LineageSchema target, LineageSchema::Make({"c", "p"}));
+  EXPECT_STATUS_CODE(kInvalidArgument, g.ExtendTo(target).status());
+}
+
+TEST(GusParamsTest, ToStringListsAllSubsets) {
+  ASSERT_OK_AND_ASSIGN(
+      GusParams g, TranslateBaseSampling(SamplingSpec::Bernoulli(0.1), "l"));
+  const std::string s = g.ToString();
+  EXPECT_NE(std::string::npos, s.find("a=0.1"));
+  EXPECT_NE(std::string::npos, s.find("b{}=0.01"));
+  EXPECT_NE(std::string::npos, s.find("b{l}=0.1"));
+}
+
+}  // namespace
+}  // namespace gus

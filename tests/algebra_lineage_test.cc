@@ -1,0 +1,100 @@
+// Unit tests for LineageSchema and subset-mask bookkeeping.
+
+#include <gtest/gtest.h>
+
+#include "algebra/lineage_schema.h"
+#include "test_util.h"
+
+namespace gus {
+namespace {
+
+TEST(LineageSchemaTest, MakeAndLookup) {
+  ASSERT_OK_AND_ASSIGN(LineageSchema s, LineageSchema::Make({"l", "o", "c"}));
+  EXPECT_EQ(3, s.arity());
+  EXPECT_EQ(0, s.IndexOf("l").ValueOrDie());
+  EXPECT_EQ(2, s.IndexOf("c").ValueOrDie());
+  EXPECT_TRUE(s.Contains("o"));
+  EXPECT_FALSE(s.Contains("p"));
+  EXPECT_EQ(0b111u, s.full_mask());
+  EXPECT_EQ(8u, s.num_subsets());
+}
+
+TEST(LineageSchemaTest, RejectsDuplicates) {
+  EXPECT_STATUS_CODE(kInvalidArgument,
+                     LineageSchema::Make({"l", "l"}).status());
+}
+
+TEST(LineageSchemaTest, RejectsOverflowArity) {
+  std::vector<std::string> rels;
+  for (int i = 0; i < LineageSchema::kMaxLineageArity + 1; ++i) {
+    rels.push_back("r" + std::to_string(i));
+  }
+  EXPECT_STATUS_CODE(kInvalidArgument, LineageSchema::Make(rels).status());
+}
+
+TEST(LineageSchemaTest, MaskOfAndNamesOfRoundTrip) {
+  ASSERT_OK_AND_ASSIGN(LineageSchema s, LineageSchema::Make({"l", "o", "c"}));
+  ASSERT_OK_AND_ASSIGN(SubsetMask m, s.MaskOf({"l", "c"}));
+  EXPECT_EQ(0b101u, m);
+  EXPECT_EQ((std::vector<std::string>{"l", "c"}), s.NamesOf(m));
+  ASSERT_OK_AND_ASSIGN(SubsetMask empty, s.MaskOf({}));
+  EXPECT_EQ(0u, empty);
+}
+
+TEST(LineageSchemaTest, MaskOfUnknownFails) {
+  ASSERT_OK_AND_ASSIGN(LineageSchema s, LineageSchema::Make({"l"}));
+  EXPECT_STATUS_CODE(kKeyError, s.MaskOf({"zzz"}).status());
+}
+
+TEST(LineageSchemaTest, ConcatDisjoint) {
+  ASSERT_OK_AND_ASSIGN(LineageSchema a, LineageSchema::Make({"l", "o"}));
+  ASSERT_OK_AND_ASSIGN(LineageSchema b, LineageSchema::Make({"c"}));
+  ASSERT_OK_AND_ASSIGN(LineageSchema ab, LineageSchema::Concat(a, b));
+  EXPECT_EQ(3, ab.arity());
+  EXPECT_EQ("c", ab.relation(2));
+}
+
+TEST(LineageSchemaTest, ConcatOverlapFails) {
+  ASSERT_OK_AND_ASSIGN(LineageSchema a, LineageSchema::Make({"l", "o"}));
+  ASSERT_OK_AND_ASSIGN(LineageSchema b, LineageSchema::Make({"o"}));
+  EXPECT_STATUS_CODE(kInvalidArgument, LineageSchema::Concat(a, b).status());
+  EXPECT_FALSE(LineageSchema::Disjoint(a, b));
+}
+
+TEST(LineageSchemaTest, ProjectMask) {
+  // Project a mask over {l,o,c,p} onto the sub-schema {o,p}.
+  ASSERT_OK_AND_ASSIGN(LineageSchema big,
+                       LineageSchema::Make({"l", "o", "c", "p"}));
+  ASSERT_OK_AND_ASSIGN(LineageSchema sub, LineageSchema::Make({"o", "p"}));
+  ASSERT_OK_AND_ASSIGN(SubsetMask m, big.MaskOf({"l", "o", "p"}));
+  ASSERT_OK_AND_ASSIGN(SubsetMask proj, big.ProjectMask(m, sub));
+  EXPECT_EQ(0b11u, proj);  // Both o and p present.
+  ASSERT_OK_AND_ASSIGN(SubsetMask m2, big.MaskOf({"l", "c"}));
+  ASSERT_OK_AND_ASSIGN(SubsetMask proj2, big.ProjectMask(m2, sub));
+  EXPECT_EQ(0u, proj2);
+}
+
+TEST(LineageSchemaTest, MaskToString) {
+  ASSERT_OK_AND_ASSIGN(LineageSchema s, LineageSchema::Make({"l", "o"}));
+  EXPECT_EQ("{}", s.MaskToString(0));
+  EXPECT_EQ("{l}", s.MaskToString(0b01));
+  EXPECT_EQ("{l,o}", s.MaskToString(0b11));
+}
+
+TEST(LineageSchemaTest, EqualityIsOrderSensitive) {
+  ASSERT_OK_AND_ASSIGN(LineageSchema a, LineageSchema::Make({"l", "o"}));
+  ASSERT_OK_AND_ASSIGN(LineageSchema b, LineageSchema::Make({"l", "o"}));
+  ASSERT_OK_AND_ASSIGN(LineageSchema c, LineageSchema::Make({"o", "l"}));
+  EXPECT_TRUE(a == b);
+  EXPECT_TRUE(a != c);
+}
+
+TEST(LineageSchemaTest, EmptySchema) {
+  ASSERT_OK_AND_ASSIGN(LineageSchema s, LineageSchema::Make({}));
+  EXPECT_EQ(0, s.arity());
+  EXPECT_EQ(1u, s.num_subsets());
+  EXPECT_EQ(0u, s.full_mask());
+}
+
+}  // namespace
+}  // namespace gus

@@ -1,0 +1,284 @@
+// Tests for the GUS algebra combinators (Props 6-9) and the Theorem 2
+// algebraic-structure laws, including property tests on random operators.
+
+#include <gtest/gtest.h>
+
+#include "algebra/ops.h"
+#include "algebra/translate.h"
+#include "test_util.h"
+#include "util/random.h"
+
+namespace gus {
+namespace {
+
+GusParams RandomGus(const LineageSchema& schema, Rng* rng) {
+  // Random *realizable* GUS: a random multi-dimensional lineage Bernoulli
+  // compacted with a random whole-expression Bernoulli. Realizability
+  // matters: the union formula (Prop 7) models two independent physical
+  // filters, so its output is only a probability table when the inputs are
+  // genuinely realizable designs (arbitrary b-tables can violate the
+  // Frechet bounds and produce b outside [0,1]).
+  std::vector<DimBernoulli> dims;
+  for (const auto& rel : schema.relations()) {
+    dims.push_back({rel, rng->Uniform(0.05, 0.95)});
+  }
+  GusParams multi = MultiDimBernoulliGus(schema, dims).ValueOrDie();
+  GusParams whole =
+      TranslateSampling(SamplingSpec::Bernoulli(rng->Uniform(0.05, 0.95)),
+                        schema)
+          .ValueOrDie();
+  return GusCompact(multi, whole).ValueOrDie();
+}
+
+LineageSchema MakeSchema(std::vector<std::string> rels) {
+  return LineageSchema::Make(std::move(rels)).ValueOrDie();
+}
+
+// ------------------------------------------------------------------ Join
+
+TEST(GusJoinTest, Example3QueryOneCoefficients) {
+  // Paper Example 2/3: B(0.1) on lineitem, WOR(1000, 150000) on orders.
+  ASSERT_OK_AND_ASSIGN(
+      GusParams gl, TranslateBaseSampling(SamplingSpec::Bernoulli(0.1), "l"));
+  ASSERT_OK_AND_ASSIGN(
+      GusParams go,
+      TranslateBaseSampling(SamplingSpec::WithoutReplacement(1000, 150000),
+                            "o"));
+  // Example 2's per-operator parameters.
+  EXPECT_NEAR(6.667e-3, go.a(), 1e-6);
+  EXPECT_NEAR(4.44e-5, go.b(SubsetMask{0}), 5e-8);
+
+  ASSERT_OK_AND_ASSIGN(GusParams g, GusJoin(gl, go));
+  // Example 3's combined parameters (paper reports 3 significant digits).
+  EXPECT_NEAR(6.667e-4, g.a(), 1e-7);
+  EXPECT_NEAR(4.44e-7, g.b(std::vector<std::string>{}).ValueOrDie(), 5e-10);
+  EXPECT_NEAR(6.667e-5, g.b({"o"}).ValueOrDie(), 1e-8);
+  EXPECT_NEAR(4.44e-6, g.b({"l"}).ValueOrDie(), 5e-9);
+  EXPECT_NEAR(6.667e-4, g.b({"l", "o"}).ValueOrDie(), 1e-7);
+  // And exactly, against the closed forms:
+  EXPECT_DOUBLE_EQ(0.1 * 1000.0 / 150000.0, g.a());
+  EXPECT_DOUBLE_EQ(0.01 * (1000.0 * 999.0) / (150000.0 * 149999.0),
+                   g.b(std::vector<std::string>{}).ValueOrDie());
+}
+
+TEST(GusJoinTest, SchemaIsConcatenation) {
+  ASSERT_OK_AND_ASSIGN(
+      GusParams g1, TranslateBaseSampling(SamplingSpec::Bernoulli(0.2), "a"));
+  ASSERT_OK_AND_ASSIGN(
+      GusParams g2, TranslateBaseSampling(SamplingSpec::Bernoulli(0.3), "b"));
+  ASSERT_OK_AND_ASSIGN(GusParams g, GusJoin(g1, g2));
+  EXPECT_EQ(2, g.schema().arity());
+  EXPECT_EQ("a", g.schema().relation(0));
+  EXPECT_EQ("b", g.schema().relation(1));
+}
+
+TEST(GusJoinTest, RejectsOverlappingLineage) {
+  ASSERT_OK_AND_ASSIGN(
+      GusParams g1, TranslateBaseSampling(SamplingSpec::Bernoulli(0.2), "a"));
+  ASSERT_OK_AND_ASSIGN(
+      GusParams g2, TranslateBaseSampling(SamplingSpec::Bernoulli(0.3), "a"));
+  EXPECT_STATUS_CODE(kInvalidArgument, GusJoin(g1, g2).status());
+}
+
+TEST(GusJoinTest, IdentityIsNeutral) {
+  Rng rng(60);
+  GusParams g = RandomGus(MakeSchema({"x", "y"}), &rng);
+  GusParams id = GusParams::Identity(MakeSchema({"z"}));
+  ASSERT_OK_AND_ASSIGN(GusParams joined, GusJoin(g, id));
+  // Joining with identity == extending the schema.
+  ASSERT_OK_AND_ASSIGN(GusParams extended,
+                       g.ExtendTo(MakeSchema({"x", "y", "z"})));
+  EXPECT_TRUE(GusApproxEqual(joined, extended));
+}
+
+TEST(GusJoinTest, ComposeExample5BiDimensionalBernoulli) {
+  // Paper Example 5: B(0.2, 0.3) = B(0.2)(l) ∘ B(0.3)(o).
+  ASSERT_OK_AND_ASSIGN(
+      GusParams gl, TranslateBaseSampling(SamplingSpec::Bernoulli(0.2), "l"));
+  ASSERT_OK_AND_ASSIGN(
+      GusParams go, TranslateBaseSampling(SamplingSpec::Bernoulli(0.3), "o"));
+  ASSERT_OK_AND_ASSIGN(GusParams g, GusCompose(gl, go));
+  EXPECT_DOUBLE_EQ(0.06, g.a());
+  EXPECT_DOUBLE_EQ(0.0036, g.b(std::vector<std::string>{}).ValueOrDie());
+  EXPECT_DOUBLE_EQ(0.012, g.b({"o"}).ValueOrDie());
+  EXPECT_DOUBLE_EQ(0.018, g.b({"l"}).ValueOrDie());
+  EXPECT_DOUBLE_EQ(0.06, g.b({"l", "o"}).ValueOrDie());
+}
+
+TEST(GusJoinTest, MatchesMultiDimBernoulliDirectConstruction) {
+  ASSERT_OK_AND_ASSIGN(
+      GusParams gl, TranslateBaseSampling(SamplingSpec::Bernoulli(0.2), "l"));
+  ASSERT_OK_AND_ASSIGN(
+      GusParams go, TranslateBaseSampling(SamplingSpec::Bernoulli(0.3), "o"));
+  ASSERT_OK_AND_ASSIGN(GusParams composed, GusCompose(gl, go));
+  ASSERT_OK_AND_ASSIGN(
+      GusParams direct,
+      MultiDimBernoulliGus(MakeSchema({"l", "o"}), {{"l", 0.2}, {"o", 0.3}}));
+  EXPECT_TRUE(GusApproxEqual(composed, direct));
+}
+
+// ------------------------------------------------------------------ Union
+
+TEST(GusUnionTest, PaperClosedForm) {
+  ASSERT_OK_AND_ASSIGN(
+      GusParams g1, TranslateBaseSampling(SamplingSpec::Bernoulli(0.2), "R"));
+  ASSERT_OK_AND_ASSIGN(
+      GusParams g2, TranslateBaseSampling(SamplingSpec::Bernoulli(0.5), "R"));
+  ASSERT_OK_AND_ASSIGN(GusParams u, GusUnion(g1, g2));
+  const double a = 0.2 + 0.5 - 0.1;
+  EXPECT_DOUBLE_EQ(a, u.a());
+  // b_∅ from the formula: 2a-1+(1-2*0.2+0.04)(1-2*0.5+0.25).
+  EXPECT_NEAR(2 * a - 1 + (1 - 0.4 + 0.04) * (1 - 1.0 + 0.25),
+              u.b(std::vector<std::string>{}).ValueOrDie(), 1e-15);
+}
+
+TEST(GusUnionTest, BernoulliUnionIsBernoulli) {
+  // Two independent Bernoulli filters of the same relation union to a
+  // Bernoulli with p = p1 + p2 - p1 p2; check the whole table.
+  ASSERT_OK_AND_ASSIGN(
+      GusParams g1, TranslateBaseSampling(SamplingSpec::Bernoulli(0.3), "R"));
+  ASSERT_OK_AND_ASSIGN(
+      GusParams g2, TranslateBaseSampling(SamplingSpec::Bernoulli(0.4), "R"));
+  ASSERT_OK_AND_ASSIGN(GusParams u, GusUnion(g1, g2));
+  const double p = 0.3 + 0.4 - 0.12;
+  ASSERT_OK_AND_ASSIGN(
+      GusParams expected,
+      TranslateBaseSampling(SamplingSpec::Bernoulli(p), "R"));
+  EXPECT_TRUE(GusApproxEqual(u, expected, 1e-12));
+}
+
+TEST(GusUnionTest, PreservesBFullInvariant) {
+  Rng rng(61);
+  const LineageSchema schema = MakeSchema({"x", "y"});
+  for (int t = 0; t < 50; ++t) {
+    GusParams g1 = RandomGus(schema, &rng);
+    GusParams g2 = RandomGus(schema, &rng);
+    // Make validates b_full == a internally; union must keep it.
+    ASSERT_OK(GusUnion(g1, g2).status());
+  }
+}
+
+TEST(GusUnionTest, RequiresSameSchema) {
+  Rng rng(62);
+  GusParams g1 = RandomGus(MakeSchema({"x"}), &rng);
+  GusParams g2 = RandomGus(MakeSchema({"y"}), &rng);
+  EXPECT_STATUS_CODE(kInvalidArgument, GusUnion(g1, g2).status());
+}
+
+// -------------------------------------------------------------- Compact
+
+TEST(GusCompactTest, MultipliesTables) {
+  ASSERT_OK_AND_ASSIGN(
+      GusParams g1, TranslateBaseSampling(SamplingSpec::Bernoulli(0.5), "R"));
+  ASSERT_OK_AND_ASSIGN(
+      GusParams g2, TranslateBaseSampling(SamplingSpec::Bernoulli(0.4), "R"));
+  ASSERT_OK_AND_ASSIGN(GusParams c, GusCompact(g1, g2));
+  EXPECT_DOUBLE_EQ(0.2, c.a());
+  EXPECT_DOUBLE_EQ(0.25 * 0.16, c.b(std::vector<std::string>{}).ValueOrDie());
+  EXPECT_DOUBLE_EQ(0.2, c.b({"R"}).ValueOrDie());
+}
+
+TEST(GusCompactTest, StackedBernoulliIsBernoulliProduct) {
+  // B(p1) after B(p2) behaves exactly like B(p1*p2) — the compaction of the
+  // two uniform filters.
+  ASSERT_OK_AND_ASSIGN(
+      GusParams g1, TranslateBaseSampling(SamplingSpec::Bernoulli(0.5), "R"));
+  ASSERT_OK_AND_ASSIGN(
+      GusParams g2, TranslateBaseSampling(SamplingSpec::Bernoulli(0.4), "R"));
+  ASSERT_OK_AND_ASSIGN(GusParams c, GusCompact(g1, g2));
+  ASSERT_OK_AND_ASSIGN(
+      GusParams expected,
+      TranslateBaseSampling(SamplingSpec::Bernoulli(0.2), "R"));
+  EXPECT_TRUE(GusApproxEqual(c, expected, 1e-12));
+}
+
+TEST(GusCompactTest, RequiresSameSchema) {
+  Rng rng(63);
+  GusParams g1 = RandomGus(MakeSchema({"x"}), &rng);
+  GusParams g2 = RandomGus(MakeSchema({"x", "y"}), &rng);
+  EXPECT_STATUS_CODE(kInvalidArgument, GusCompact(g1, g2).status());
+}
+
+// ----------------------------------------------- Theorem 2 structure laws
+
+class SemiringLawsTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(SemiringLawsTest, UnionIsCommutativeAndAssociative) {
+  Rng rng(100 + GetParam());
+  const LineageSchema schema = MakeSchema({"x", "y", "z"});
+  GusParams g1 = RandomGus(schema, &rng);
+  GusParams g2 = RandomGus(schema, &rng);
+  GusParams g3 = RandomGus(schema, &rng);
+  ASSERT_OK_AND_ASSIGN(GusParams u12, GusUnion(g1, g2));
+  ASSERT_OK_AND_ASSIGN(GusParams u21, GusUnion(g2, g1));
+  EXPECT_TRUE(GusApproxEqual(u12, u21, 1e-12));
+  ASSERT_OK_AND_ASSIGN(GusParams u12_3, GusUnion(u12, g3));
+  ASSERT_OK_AND_ASSIGN(GusParams u23, GusUnion(g2, g3));
+  ASSERT_OK_AND_ASSIGN(GusParams u1_23, GusUnion(g1, u23));
+  EXPECT_TRUE(GusApproxEqual(u12_3, u1_23, 1e-9));
+}
+
+TEST_P(SemiringLawsTest, CompactIsCommutativeAndAssociative) {
+  Rng rng(200 + GetParam());
+  const LineageSchema schema = MakeSchema({"x", "y", "z"});
+  GusParams g1 = RandomGus(schema, &rng);
+  GusParams g2 = RandomGus(schema, &rng);
+  GusParams g3 = RandomGus(schema, &rng);
+  ASSERT_OK_AND_ASSIGN(GusParams c12, GusCompact(g1, g2));
+  ASSERT_OK_AND_ASSIGN(GusParams c21, GusCompact(g2, g1));
+  EXPECT_TRUE(GusApproxEqual(c12, c21, 1e-12));
+  ASSERT_OK_AND_ASSIGN(GusParams c12_3, GusCompact(c12, g3));
+  ASSERT_OK_AND_ASSIGN(GusParams c23, GusCompact(g2, g3));
+  ASSERT_OK_AND_ASSIGN(GusParams c1_23, GusCompact(g1, c23));
+  EXPECT_TRUE(GusApproxEqual(c12_3, c1_23, 1e-12));
+}
+
+TEST_P(SemiringLawsTest, NullAndIdentityAreUnits) {
+  Rng rng(300 + GetParam());
+  const LineageSchema schema = MakeSchema({"x", "y"});
+  GusParams g = RandomGus(schema, &rng);
+  const GusParams null = GusParams::Null(schema);
+  const GusParams id = GusParams::Identity(schema);
+  // G ∪ G(0,0) = G (union unit).
+  ASSERT_OK_AND_ASSIGN(GusParams u, GusUnion(g, null));
+  EXPECT_TRUE(GusApproxEqual(u, g, 1e-12));
+  // G ∘ G(1,1) = G (compaction unit).
+  ASSERT_OK_AND_ASSIGN(GusParams c, GusCompact(g, id));
+  EXPECT_TRUE(GusApproxEqual(c, g, 1e-12));
+  // G ∘ G(0,0) = G(0,0) (annihilator).
+  ASSERT_OK_AND_ASSIGN(GusParams z, GusCompact(g, null));
+  EXPECT_TRUE(GusApproxEqual(z, null, 1e-12));
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomOperators, SemiringLawsTest,
+                         ::testing::Range(0, 10));
+
+TEST(SemiringLawsTest, DistributivityHoldsOnlyAtBoundary) {
+  // DESIGN.md documents this precisely: compaction does NOT distribute over
+  // union for general a (the union formula assumes independent filters, but
+  // G1∘G2 and G1∘G3 share G1's randomness). It does hold when the shared
+  // operator is the identity or the null.
+  const LineageSchema schema = MakeSchema({"x"});
+  ASSERT_OK_AND_ASSIGN(
+      GusParams g1, TranslateBaseSampling(SamplingSpec::Bernoulli(0.5), "x"));
+  ASSERT_OK_AND_ASSIGN(
+      GusParams g2, TranslateBaseSampling(SamplingSpec::Bernoulli(0.4), "x"));
+  ASSERT_OK_AND_ASSIGN(
+      GusParams g3, TranslateBaseSampling(SamplingSpec::Bernoulli(0.3), "x"));
+  ASSERT_OK_AND_ASSIGN(GusParams u23, GusUnion(g2, g3));
+  ASSERT_OK_AND_ASSIGN(GusParams lhs, GusCompact(g1, u23));
+  ASSERT_OK_AND_ASSIGN(GusParams c12, GusCompact(g1, g2));
+  ASSERT_OK_AND_ASSIGN(GusParams c13, GusCompact(g1, g3));
+  ASSERT_OK_AND_ASSIGN(GusParams rhs, GusUnion(c12, c13));
+  EXPECT_FALSE(GusApproxEqual(lhs, rhs, 1e-9));
+  // At the boundary (shared operator = identity) it trivially holds.
+  const GusParams id = GusParams::Identity(schema);
+  ASSERT_OK_AND_ASSIGN(GusParams lhs_id, GusCompact(id, u23));
+  ASSERT_OK_AND_ASSIGN(GusParams id2, GusCompact(id, g2));
+  ASSERT_OK_AND_ASSIGN(GusParams id3, GusCompact(id, g3));
+  ASSERT_OK_AND_ASSIGN(GusParams rhs_id, GusUnion(id2, id3));
+  EXPECT_TRUE(GusApproxEqual(lhs_id, rhs_id, 1e-12));
+}
+
+}  // namespace
+}  // namespace gus

@@ -1,0 +1,204 @@
+// Translation tests: every Figure 1 row, the Example 2 parameters, the
+// extended methods (WR-distinct, block, lineage Bernoulli, chained star),
+// all cross-checked against Monte-Carlo inclusion frequencies where the
+// closed form is non-trivial.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "algebra/translate.h"
+#include "sampling/samplers.h"
+#include "test_util.h"
+#include "util/random.h"
+
+namespace gus {
+namespace {
+
+using ::gus::testing::MakeSingleTable;
+
+TEST(TranslateTest, Figure1Bernoulli) {
+  // Figure 1 row 1: a = p, b_∅ = p², b_R = p.
+  ASSERT_OK_AND_ASSIGN(
+      GusParams g, TranslateBaseSampling(SamplingSpec::Bernoulli(0.1), "R"));
+  EXPECT_DOUBLE_EQ(0.1, g.a());
+  EXPECT_DOUBLE_EQ(0.01, g.b(std::vector<std::string>{}).ValueOrDie());
+  EXPECT_DOUBLE_EQ(0.1, g.b({"R"}).ValueOrDie());
+}
+
+TEST(TranslateTest, Figure1Wor) {
+  // Figure 1 row 2: a = n/N, b_∅ = n(n-1)/(N(N-1)), b_R = n/N.
+  ASSERT_OK_AND_ASSIGN(
+      GusParams g,
+      TranslateBaseSampling(SamplingSpec::WithoutReplacement(1000, 150000),
+                            "R"));
+  EXPECT_DOUBLE_EQ(1000.0 / 150000.0, g.a());
+  EXPECT_DOUBLE_EQ((1000.0 * 999.0) / (150000.0 * 149999.0),
+                   g.b(std::vector<std::string>{}).ValueOrDie());
+  EXPECT_DOUBLE_EQ(1000.0 / 150000.0, g.b({"R"}).ValueOrDie());
+  // Example 2's reported 3-digit values.
+  EXPECT_NEAR(6.667e-3, g.a(), 1e-6);
+  EXPECT_NEAR(4.44e-5, g.b(SubsetMask{0}), 5e-8);
+}
+
+TEST(TranslateTest, WorSingletonPopulation) {
+  ASSERT_OK_AND_ASSIGN(
+      GusParams g,
+      TranslateBaseSampling(SamplingSpec::WithoutReplacement(1, 1), "R"));
+  EXPECT_DOUBLE_EQ(1.0, g.a());
+  EXPECT_DOUBLE_EQ(0.0, g.b(std::vector<std::string>{}).ValueOrDie());
+}
+
+TEST(TranslateTest, WrDistinctClosedForm) {
+  const int64_t n = 5, N = 10;
+  ASSERT_OK_AND_ASSIGN(
+      GusParams g,
+      TranslateBaseSampling(SamplingSpec::WithReplacementDistinct(n, N), "R"));
+  const double q1 = std::pow(1.0 - 1.0 / N, n);
+  const double q2 = std::pow(1.0 - 2.0 / N, n);
+  EXPECT_DOUBLE_EQ(1.0 - q1, g.a());
+  EXPECT_DOUBLE_EQ(1.0 - 2.0 * q1 + q2,
+                   g.b(std::vector<std::string>{}).ValueOrDie());
+  EXPECT_DOUBLE_EQ(g.a(), g.b({"R"}).ValueOrDie());
+}
+
+TEST(TranslateTest, WrDistinctMatchesMonteCarlo) {
+  Relation r = MakeSingleTable(10);
+  ASSERT_OK_AND_ASSIGN(
+      GusParams g,
+      TranslateBaseSampling(SamplingSpec::WithReplacementDistinct(5, 10),
+                            "R"));
+  Rng rng(77);
+  const int trials = 40000;
+  int has0 = 0, has01 = 0;
+  for (int t = 0; t < trials; ++t) {
+    auto s = WrDistinctSample(r, 5, &rng).ValueOrDie();
+    bool f0 = false, f1 = false;
+    for (int64_t i = 0; i < s.num_rows(); ++i) {
+      if (s.lineage(i)[0] == 0) f0 = true;
+      if (s.lineage(i)[0] == 1) f1 = true;
+    }
+    if (f0) ++has0;
+    if (f0 && f1) ++has01;
+  }
+  EXPECT_NEAR(g.a(), static_cast<double>(has0) / trials, 0.01);
+  EXPECT_NEAR(g.b(SubsetMask{0}), static_cast<double>(has01) / trials, 0.01);
+}
+
+TEST(TranslateTest, BlockBernoulliPairwiseAtBlockGranularity) {
+  // Same-block pairs share lineage id, so their co-inclusion is governed by
+  // b_{R} = p, not b_∅ = p² — the block variant is GUS *because* lineage is
+  // on sampling units.
+  Relation r = MakeSingleTable(20);
+  ASSERT_OK_AND_ASSIGN(Relation blocked, AssignBlockLineage(r, 5));
+  ASSERT_OK_AND_ASSIGN(
+      GusParams g,
+      TranslateBaseSampling(SamplingSpec::BlockBernoulli(0.3, 5), "R"));
+  EXPECT_DOUBLE_EQ(0.3, g.a());
+  Rng rng(78);
+  const int trials = 30000;
+  int same_block_both = 0, cross_block_both = 0;
+  for (int t = 0; t < trials; ++t) {
+    auto s = BlockBernoulliSample(blocked, 0.3, &rng).ValueOrDie();
+    bool block0 = false, block1 = false;
+    for (int64_t i = 0; i < s.num_rows(); ++i) {
+      if (s.lineage(i)[0] == 0) block0 = true;
+      if (s.lineage(i)[0] == 1) block1 = true;
+    }
+    // Rows 0 and 1 are in block 0; row 6 in block 1.
+    if (block0) ++same_block_both;              // P[t0,t1 both in] = P[block0]
+    if (block0 && block1) ++cross_block_both;   // P[t0,t6 both in]
+  }
+  EXPECT_NEAR(g.b({"R"}).ValueOrDie(),
+              static_cast<double>(same_block_both) / trials, 0.01);
+  EXPECT_NEAR(g.b(std::vector<std::string>{}).ValueOrDie(),
+              static_cast<double>(cross_block_both) / trials, 0.01);
+}
+
+TEST(TranslateTest, BernoulliOverDerivedLineage) {
+  // Bernoulli applied to a two-relation expression: independent coins per
+  // result tuple, so every non-full agreement mask gets p².
+  ASSERT_OK_AND_ASSIGN(LineageSchema lo, LineageSchema::Make({"l", "o"}));
+  ASSERT_OK_AND_ASSIGN(GusParams g,
+                       TranslateSampling(SamplingSpec::Bernoulli(0.25), lo));
+  EXPECT_DOUBLE_EQ(0.25, g.a());
+  EXPECT_DOUBLE_EQ(0.0625, g.b(std::vector<std::string>{}).ValueOrDie());
+  EXPECT_DOUBLE_EQ(0.0625, g.b({"l"}).ValueOrDie());
+  EXPECT_DOUBLE_EQ(0.0625, g.b({"o"}).ValueOrDie());
+  EXPECT_DOUBLE_EQ(0.25, g.b({"l", "o"}).ValueOrDie());
+}
+
+TEST(TranslateTest, LineageBernoulliOverDerivedLineage) {
+  // Section 7 sub-sampler keyed on l's lineage: pairs agreeing on l share
+  // the decision (b = p); pairs differing on l use independent ones (p²).
+  ASSERT_OK_AND_ASSIGN(LineageSchema lo, LineageSchema::Make({"l", "o"}));
+  ASSERT_OK_AND_ASSIGN(
+      GusParams g,
+      TranslateSampling(SamplingSpec::LineageBernoulli("l", 0.2, 3), lo));
+  EXPECT_DOUBLE_EQ(0.2, g.a());
+  EXPECT_DOUBLE_EQ(0.04, g.b(std::vector<std::string>{}).ValueOrDie());
+  EXPECT_DOUBLE_EQ(0.2, g.b({"l"}).ValueOrDie());
+  EXPECT_DOUBLE_EQ(0.04, g.b({"o"}).ValueOrDie());
+  EXPECT_DOUBLE_EQ(0.2, g.b({"l", "o"}).ValueOrDie());
+}
+
+TEST(TranslateTest, LineageBernoulliUnknownRelationFails) {
+  ASSERT_OK_AND_ASSIGN(LineageSchema lo, LineageSchema::Make({"l", "o"}));
+  EXPECT_STATUS_CODE(
+      kKeyError,
+      TranslateSampling(SamplingSpec::LineageBernoulli("z", 0.2, 3), lo)
+          .status());
+}
+
+TEST(TranslateTest, InvalidSpecRejected) {
+  ASSERT_OK_AND_ASSIGN(LineageSchema r, LineageSchema::Make({"R"}));
+  EXPECT_STATUS_CODE(
+      kInvalidArgument,
+      TranslateSampling(SamplingSpec::Bernoulli(2.0), r).status());
+}
+
+TEST(TranslateTest, MultiDimBernoulliLeavesUnlistedRelationsUnsampled) {
+  ASSERT_OK_AND_ASSIGN(LineageSchema schema,
+                       LineageSchema::Make({"l", "o", "c"}));
+  ASSERT_OK_AND_ASSIGN(GusParams g,
+                       MultiDimBernoulliGus(schema, {{"l", 0.2}, {"o", 0.3}}));
+  EXPECT_DOUBLE_EQ(0.06, g.a());
+  // c's agreement bit is irrelevant.
+  EXPECT_DOUBLE_EQ(g.b({"l"}).ValueOrDie(), g.b({"l", "c"}).ValueOrDie());
+  EXPECT_DOUBLE_EQ(g.b(std::vector<std::string>{}).ValueOrDie(),
+                   g.b({"c"}).ValueOrDie());
+}
+
+TEST(TranslateTest, ChainedStarBernoulliFact) {
+  // AQUA-style: result-tuple inclusion depends only on the fact tuple.
+  ASSERT_OK_AND_ASSIGN(
+      GusParams g,
+      ChainedStarGus("f", {"d1", "d2"}, SamplingSpec::Bernoulli(0.1)));
+  EXPECT_DOUBLE_EQ(0.1, g.a());
+  EXPECT_DOUBLE_EQ(0.01, g.b(std::vector<std::string>{}).ValueOrDie());
+  EXPECT_DOUBLE_EQ(0.01, g.b({"d1"}).ValueOrDie());
+  EXPECT_DOUBLE_EQ(0.01, g.b({"d1", "d2"}).ValueOrDie());
+  EXPECT_DOUBLE_EQ(0.1, g.b({"f"}).ValueOrDie());
+  EXPECT_DOUBLE_EQ(0.1, g.b({"f", "d1"}).ValueOrDie());
+  EXPECT_DOUBLE_EQ(0.1, g.b({"f", "d1", "d2"}).ValueOrDie());
+}
+
+TEST(TranslateTest, ChainedStarWorFact) {
+  ASSERT_OK_AND_ASSIGN(
+      GusParams g,
+      ChainedStarGus("f", {"d"}, SamplingSpec::WithoutReplacement(10, 100)));
+  EXPECT_DOUBLE_EQ(0.1, g.a());
+  EXPECT_DOUBLE_EQ((10.0 * 9.0) / (100.0 * 99.0),
+                   g.b({"d"}).ValueOrDie());
+  EXPECT_DOUBLE_EQ(0.1, g.b({"f"}).ValueOrDie());
+}
+
+TEST(TranslateTest, ChainedStarRejectsOtherMethods) {
+  EXPECT_STATUS_CODE(
+      kInvalidArgument,
+      ChainedStarGus("f", {"d"}, SamplingSpec::WithReplacementDistinct(5, 10))
+          .status());
+}
+
+}  // namespace
+}  // namespace gus

@@ -1,0 +1,153 @@
+// Tests for the synthetic TPC-H-style generator and workload builders.
+
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <set>
+
+#include "data/tpch_gen.h"
+#include "data/workload.h"
+#include "test_util.h"
+
+namespace gus {
+namespace {
+
+TEST(TpchGenTest, CardinalitiesMatchConfig) {
+  TpchConfig config;
+  config.num_orders = 500;
+  config.num_customers = 60;
+  config.num_parts = 40;
+  TpchData data = GenerateTpch(config);
+  EXPECT_EQ(500, data.orders.num_rows());
+  EXPECT_EQ(60, data.customer.num_rows());
+  EXPECT_EQ(40, data.part.num_rows());
+  EXPECT_GE(data.lineitem.num_rows(), 500);  // >= 1 lineitem per order
+  EXPECT_LE(data.lineitem.num_rows(),
+            500 * config.max_lineitems_per_order);
+}
+
+TEST(TpchGenTest, DeterministicGivenSeed) {
+  TpchConfig config;
+  config.num_orders = 100;
+  TpchData a = GenerateTpch(config);
+  TpchData b = GenerateTpch(config);
+  ASSERT_EQ(a.lineitem.num_rows(), b.lineitem.num_rows());
+  for (int64_t i = 0; i < a.lineitem.num_rows(); ++i) {
+    EXPECT_TRUE(a.lineitem.row(i) == b.lineitem.row(i));
+  }
+}
+
+TEST(TpchGenTest, DifferentSeedsDiffer) {
+  TpchConfig a_config;
+  a_config.num_orders = 100;
+  TpchConfig b_config = a_config;
+  b_config.seed = a_config.seed + 1;
+  TpchData a = GenerateTpch(a_config);
+  TpchData b = GenerateTpch(b_config);
+  bool differ = a.lineitem.num_rows() != b.lineitem.num_rows();
+  if (!differ) {
+    for (int64_t i = 0; i < a.lineitem.num_rows() && !differ; ++i) {
+      differ = !(a.lineitem.row(i) == b.lineitem.row(i));
+    }
+  }
+  EXPECT_TRUE(differ);
+}
+
+TEST(TpchGenTest, ForeignKeysResolve) {
+  TpchConfig config;
+  config.num_orders = 200;
+  config.num_customers = 30;
+  config.num_parts = 25;
+  TpchData data = GenerateTpch(config);
+  ASSERT_OK_AND_ASSIGN(int l_ok, data.lineitem.schema().IndexOf("l_orderkey"));
+  ASSERT_OK_AND_ASSIGN(int l_pk, data.lineitem.schema().IndexOf("l_partkey"));
+  for (int64_t i = 0; i < data.lineitem.num_rows(); ++i) {
+    const int64_t ok = data.lineitem.row(i)[l_ok].AsInt64();
+    const int64_t pk = data.lineitem.row(i)[l_pk].AsInt64();
+    EXPECT_GE(ok, 0);
+    EXPECT_LT(ok, 200);
+    EXPECT_GE(pk, 0);
+    EXPECT_LT(pk, 25);
+  }
+  ASSERT_OK_AND_ASSIGN(int o_ck, data.orders.schema().IndexOf("o_custkey"));
+  for (int64_t i = 0; i < data.orders.num_rows(); ++i) {
+    const int64_t ck = data.orders.row(i)[o_ck].AsInt64();
+    EXPECT_GE(ck, 0);
+    EXPECT_LT(ck, 30);
+  }
+}
+
+TEST(TpchGenTest, ValueRangesSane) {
+  TpchData data = GenerateTpch(TpchConfig{});
+  ASSERT_OK_AND_ASSIGN(int disc, data.lineitem.schema().IndexOf("l_discount"));
+  ASSERT_OK_AND_ASSIGN(int tax, data.lineitem.schema().IndexOf("l_tax"));
+  for (int64_t i = 0; i < data.lineitem.num_rows(); ++i) {
+    const double d = data.lineitem.row(i)[disc].AsFloat64();
+    const double t = data.lineitem.row(i)[tax].AsFloat64();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LE(d, 0.10);
+    EXPECT_GE(t, 0.0);
+    EXPECT_LE(t, 0.08);
+  }
+}
+
+TEST(TpchGenTest, ZipfFanoutSkewsTowardsOne) {
+  TpchConfig uniform_config;
+  uniform_config.num_orders = 3000;
+  uniform_config.fanout_zipf_theta = 0.0;
+  TpchConfig skew_config = uniform_config;
+  skew_config.fanout_zipf_theta = 1.5;
+  const auto uniform_rows = GenerateTpch(uniform_config).lineitem.num_rows();
+  const auto skewed_rows = GenerateTpch(skew_config).lineitem.num_rows();
+  EXPECT_LT(skewed_rows, uniform_rows);
+}
+
+TEST(TpchGenTest, CatalogHasPaperNames) {
+  TpchData data = GenerateTpch(TpchConfig{});
+  Catalog catalog = data.MakeCatalog();
+  EXPECT_EQ(4u, catalog.size());
+  EXPECT_TRUE(catalog.count("l"));
+  EXPECT_TRUE(catalog.count("o"));
+  EXPECT_TRUE(catalog.count("c"));
+  EXPECT_TRUE(catalog.count("p"));
+}
+
+TEST(WorkloadTest, Query1ShapeMatchesPaper) {
+  Workload q1 = MakeQuery1(Query1Params{});
+  // select over join over (sample(l), sample(o)).
+  EXPECT_EQ(PlanOp::kSelect, q1.plan->op());
+  const PlanPtr& join = q1.plan->child();
+  EXPECT_EQ(PlanOp::kJoin, join->op());
+  EXPECT_EQ(PlanOp::kSample, join->left()->op());
+  EXPECT_EQ(SamplingMethod::kBernoulli, join->left()->spec().method);
+  EXPECT_EQ(PlanOp::kSample, join->right()->op());
+  EXPECT_EQ(SamplingMethod::kWithoutReplacement,
+            join->right()->spec().method);
+  EXPECT_EQ(1000, join->right()->spec().n);
+  EXPECT_EQ("(l_discount * (1.000000 - l_tax))", q1.aggregate->ToString());
+}
+
+TEST(WorkloadTest, Example4HasThreeSamplers) {
+  Workload e4 = MakeExample4(Example4Params{});
+  int samplers = 0;
+  std::function<void(const PlanPtr&)> walk = [&](const PlanPtr& node) {
+    if (node->op() == PlanOp::kSample) ++samplers;
+    for (int i = 0; i < node->num_children(); ++i) {
+      walk(i == 0 ? node->left() : node->right());
+    }
+  };
+  walk(e4.plan);
+  EXPECT_EQ(3, samplers);
+}
+
+TEST(WorkloadTest, Example6AddsTwoLineageSamplers) {
+  Workload e6 = MakeExample6(Query1Params{}, 0.2, 0.3, 9);
+  EXPECT_EQ(PlanOp::kSample, e6.plan->op());
+  EXPECT_EQ(SamplingMethod::kLineageBernoulli, e6.plan->spec().method);
+  EXPECT_EQ("o", e6.plan->spec().lineage_relation);
+  EXPECT_EQ(PlanOp::kSample, e6.plan->child()->op());
+  EXPECT_EQ("l", e6.plan->child()->spec().lineage_relation);
+}
+
+}  // namespace
+}  // namespace gus

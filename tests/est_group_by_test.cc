@@ -1,0 +1,128 @@
+// Tests for grouped SUM estimation.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+
+#include "algebra/ops.h"
+#include "algebra/translate.h"
+#include "est/group_by.h"
+#include "rel/operators.h"
+#include "sampling/samplers.h"
+#include "test_util.h"
+#include "util/stats.h"
+
+namespace gus {
+namespace {
+
+/// Base relation with columns (grp int64, v float64): 4 groups x 10 rows,
+/// group k holding values k+1 each, so SUM per group = 10*(k+1).
+Relation MakeGroupedTable() {
+  std::vector<Row> rows;
+  for (int64_t k = 0; k < 4; ++k) {
+    for (int i = 0; i < 10; ++i) {
+      rows.push_back(Row{Value(k), Value(static_cast<double>(k + 1))});
+    }
+  }
+  return Relation::MakeBase(
+      "R", Schema({{"grp", ValueType::kInt64}, {"v", ValueType::kFloat64}}),
+      std::move(rows));
+}
+
+TEST(GroupByTest, FullSampleIsExactPerGroup) {
+  Relation r = MakeGroupedTable();
+  GusParams id = GusParams::Identity(LineageSchema::Make({"R"}).ValueOrDie());
+  ASSERT_OK_AND_ASSIGN(auto groups,
+                       GroupedSumEstimate(id, r, Col("v"), "grp"));
+  ASSERT_EQ(4u, groups.size());
+  for (size_t k = 0; k < groups.size(); ++k) {
+    EXPECT_EQ(static_cast<int64_t>(k), groups[k].key.AsInt64());
+    EXPECT_DOUBLE_EQ(10.0 * (k + 1), groups[k].estimate);
+    EXPECT_NEAR(0.0, groups[k].variance, 1e-9);
+    EXPECT_EQ(10, groups[k].sample_rows);
+  }
+}
+
+TEST(GroupByTest, SortedByKey) {
+  Relation r = MakeGroupedTable();
+  GusParams id = GusParams::Identity(LineageSchema::Make({"R"}).ValueOrDie());
+  ASSERT_OK_AND_ASSIGN(auto groups,
+                       GroupedSumEstimate(id, r, Col("v"), "grp"));
+  for (size_t k = 1; k < groups.size(); ++k) {
+    EXPECT_LT(groups[k - 1].key.ToDouble(), groups[k].key.ToDouble());
+  }
+}
+
+TEST(GroupByTest, UnknownKeyColumnFails) {
+  Relation r = MakeGroupedTable();
+  GusParams id = GusParams::Identity(LineageSchema::Make({"R"}).ValueOrDie());
+  EXPECT_STATUS_CODE(
+      kKeyError, GroupedSumEstimate(id, r, Col("v"), "nope").status());
+}
+
+TEST(GroupByTest, PerGroupEstimatesUnbiasedUnderBernoulli) {
+  Relation r = MakeGroupedTable();
+  ASSERT_OK_AND_ASSIGN(
+      GusParams g, TranslateBaseSampling(SamplingSpec::Bernoulli(0.5), "R"));
+  Rng rng(7);
+  std::map<int64_t, MeanVar> per_group;
+  for (int t = 0; t < 20000; ++t) {
+    auto sample = BernoulliSample(r, 0.5, &rng).ValueOrDie();
+    auto groups_r = GroupedSumEstimate(g, sample, Col("v"), "grp");
+    ASSERT_TRUE(groups_r.ok());
+    std::map<int64_t, double> seen;
+    for (const auto& ge : groups_r.ValueOrDie()) {
+      seen[ge.key.AsInt64()] = ge.estimate;
+    }
+    // Groups absent from the sample contribute an (implicit) estimate 0.
+    for (int64_t k = 0; k < 4; ++k) {
+      per_group[k].Add(seen.count(k) ? seen[k] : 0.0);
+    }
+  }
+  for (int64_t k = 0; k < 4; ++k) {
+    EXPECT_NEAR(10.0 * (k + 1), per_group[k].mean(), 0.25) << "group " << k;
+  }
+}
+
+TEST(GroupByTest, PerGroupCoverage) {
+  Relation r = MakeGroupedTable();
+  ASSERT_OK_AND_ASSIGN(
+      GusParams g, TranslateBaseSampling(SamplingSpec::Bernoulli(0.6), "R"));
+  Rng rng(8);
+  CoverageCounter coverage;
+  for (int t = 0; t < 5000; ++t) {
+    auto sample = BernoulliSample(r, 0.6, &rng).ValueOrDie();
+    auto groups_r = GroupedSumEstimate(g, sample, Col("v"), "grp");
+    ASSERT_TRUE(groups_r.ok());
+    for (const auto& ge : groups_r.ValueOrDie()) {
+      const double truth = 10.0 * (ge.key.AsInt64() + 1);
+      coverage.Add(ge.interval.Contains(truth));
+    }
+  }
+  // Small per-group samples: generous band around 95%.
+  EXPECT_GT(coverage.fraction(), 0.85);
+}
+
+TEST(GroupByTest, WorksOnJoinResults) {
+  // Group by the dim key of a sampled fact-dim join.
+  auto data = gus::testing::MakeTinyJoin(3, 4);
+  ASSERT_OK_AND_ASSIGN(
+      GusParams gf, TranslateBaseSampling(SamplingSpec::Bernoulli(0.8), "F"));
+  GusParams gd = GusParams::Identity(LineageSchema::Make({"D"}).ValueOrDie());
+  ASSERT_OK_AND_ASSIGN(GusParams g, GusJoin(gf, gd));
+  Rng rng(9);
+  auto fact_sample = BernoulliSample(data.fact, 0.8, &rng).ValueOrDie();
+  ASSERT_OK_AND_ASSIGN(Relation joined,
+                       HashJoin(fact_sample, data.dim, "fk", "pk"));
+  ASSERT_OK_AND_ASSIGN(auto groups,
+                       GroupedSumEstimate(g, joined, Col("v"), "pk"));
+  EXPECT_LE(groups.size(), 3u);
+  for (const auto& ge : groups) {
+    EXPECT_GT(ge.estimate, 0.0);
+    EXPECT_GE(ge.interval.hi, ge.estimate);
+  }
+}
+
+}  // namespace
+}  // namespace gus

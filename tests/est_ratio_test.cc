@@ -1,0 +1,173 @@
+// Tests for the AVG / ratio delta-method extension and COUNT estimation.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "algebra/translate.h"
+#include "est/ratio.h"
+#include "sampling/samplers.h"
+#include "test_util.h"
+#include "util/stats.h"
+
+namespace gus {
+namespace {
+
+using ::gus::testing::MakeSingleTable;
+
+TEST(CountTest, FullSampleIsExact) {
+  Relation r = MakeSingleTable(25);
+  GusParams id = GusParams::Identity(LineageSchema::Make({"R"}).ValueOrDie());
+  ASSERT_OK_AND_ASSIGN(SampleView view,
+                       SampleView::FromRelation(r, Col("v"), id.schema()));
+  ASSERT_OK_AND_ASSIGN(CountReport report, CountEstimate(id, view));
+  EXPECT_DOUBLE_EQ(25.0, report.estimate);
+  EXPECT_NEAR(0.0, report.variance, 1e-9);
+}
+
+TEST(CountTest, BernoulliScalesUp) {
+  Relation r = MakeSingleTable(100);
+  ASSERT_OK_AND_ASSIGN(
+      GusParams g, TranslateBaseSampling(SamplingSpec::Bernoulli(0.2), "R"));
+  Rng rng(1);
+  auto sample = BernoulliSample(r, 0.2, &rng).ValueOrDie();
+  ASSERT_OK_AND_ASSIGN(
+      SampleView view, SampleView::FromRelation(sample, Col("v"), g.schema()));
+  ASSERT_OK_AND_ASSIGN(CountReport report, CountEstimate(g, view));
+  EXPECT_DOUBLE_EQ(static_cast<double>(sample.num_rows()) / 0.2,
+                   report.estimate);
+  EXPECT_GT(report.variance, 0.0);
+}
+
+TEST(CountTest, UnbiasedOverTrials) {
+  Relation r = MakeSingleTable(60);
+  ASSERT_OK_AND_ASSIGN(
+      GusParams g, TranslateBaseSampling(SamplingSpec::Bernoulli(0.3), "R"));
+  Rng rng(2);
+  MeanVar counts;
+  for (int t = 0; t < 20000; ++t) {
+    auto sample = BernoulliSample(r, 0.3, &rng).ValueOrDie();
+    counts.Add(static_cast<double>(sample.num_rows()) / 0.3);
+  }
+  EXPECT_NEAR(60.0, counts.mean(), 0.5);
+}
+
+TEST(AvgTest, FullSampleIsExactMean) {
+  Relation r = MakeSingleTable(10);  // mean 5.5
+  GusParams id = GusParams::Identity(LineageSchema::Make({"R"}).ValueOrDie());
+  ASSERT_OK_AND_ASSIGN(SampleView view,
+                       SampleView::FromRelation(r, Col("v"), id.schema()));
+  ASSERT_OK_AND_ASSIGN(RatioReport report, AvgEstimate(id, view));
+  EXPECT_DOUBLE_EQ(5.5, report.estimate);
+  EXPECT_NEAR(0.0, report.variance, 1e-9);
+}
+
+TEST(AvgTest, RatioOfSumsMatchesDefinition) {
+  Relation r = MakeSingleTable(20);
+  ASSERT_OK_AND_ASSIGN(
+      GusParams g, TranslateBaseSampling(SamplingSpec::Bernoulli(0.5), "R"));
+  Rng rng(3);
+  auto sample = BernoulliSample(r, 0.5, &rng).ValueOrDie();
+  ASSERT_OK_AND_ASSIGN(
+      SampleView view, SampleView::FromRelation(sample, Col("v"), g.schema()));
+  ASSERT_OK_AND_ASSIGN(RatioReport report, AvgEstimate(g, view));
+  // AVG estimate = (sum f / a) / (m / a) = sample mean of f.
+  EXPECT_NEAR(view.SumF() / view.num_rows(), report.estimate, 1e-12);
+  EXPECT_DOUBLE_EQ(report.numerator / report.denominator, report.estimate);
+}
+
+TEST(AvgTest, EmptyDenominatorFails) {
+  ASSERT_OK_AND_ASSIGN(
+      GusParams g, TranslateBaseSampling(SamplingSpec::Bernoulli(0.5), "R"));
+  SampleView view;
+  view.schema = g.schema();
+  view.lineage.assign(1, {});
+  EXPECT_STATUS_CODE(kInvalidArgument, AvgEstimate(g, view).status());
+}
+
+TEST(AvgTest, MismatchedGLengthFails) {
+  Relation r = MakeSingleTable(5);
+  ASSERT_OK_AND_ASSIGN(
+      GusParams g, TranslateBaseSampling(SamplingSpec::Bernoulli(0.5), "R"));
+  ASSERT_OK_AND_ASSIGN(SampleView view,
+                       SampleView::FromRelation(r, Col("v"), g.schema()));
+  EXPECT_STATUS_CODE(kInvalidArgument,
+                     RatioEstimate(g, view, {1.0, 2.0}).status());
+}
+
+TEST(AvgTest, DeltaVarianceMatchesMonteCarloWor) {
+  // WOR keeps the denominator fixed (n known), making the AVG estimator's
+  // true variance easy to verify empirically.
+  const int N = 40, n = 10;
+  Relation r = MakeSingleTable(N);
+  ASSERT_OK_AND_ASSIGN(
+      GusParams g,
+      TranslateBaseSampling(SamplingSpec::WithoutReplacement(n, N), "R"));
+  Rng rng(4);
+  MeanVar avg_estimates;
+  MeanVar predicted_var;
+  for (int t = 0; t < 20000; ++t) {
+    auto sample = WorSample(r, n, &rng).ValueOrDie();
+    ASSERT_OK_AND_ASSIGN(
+        SampleView view,
+        SampleView::FromRelation(sample, Col("v"), g.schema()));
+    ASSERT_OK_AND_ASSIGN(RatioReport report, AvgEstimate(g, view));
+    avg_estimates.Add(report.estimate);
+    predicted_var.Add(report.variance);
+  }
+  // True mean 20.5; ratio estimator is consistent (small bias O(1/n)).
+  EXPECT_NEAR(20.5, avg_estimates.mean(), 0.15);
+  // Delta variance tracks empirical variance within 15%.
+  EXPECT_NEAR(avg_estimates.variance_sample(), predicted_var.mean(),
+              0.15 * avg_estimates.variance_sample());
+}
+
+TEST(AvgTest, CoverageNearNominal) {
+  const int N = 50, n = 15;
+  Relation r = MakeSingleTable(N);
+  ASSERT_OK_AND_ASSIGN(
+      GusParams g,
+      TranslateBaseSampling(SamplingSpec::WithoutReplacement(n, N), "R"));
+  Rng rng(5);
+  CoverageCounter coverage;
+  for (int t = 0; t < 8000; ++t) {
+    auto sample = WorSample(r, n, &rng).ValueOrDie();
+    ASSERT_OK_AND_ASSIGN(
+        SampleView view,
+        SampleView::FromRelation(sample, Col("v"), g.schema()));
+    ASSERT_OK_AND_ASSIGN(RatioReport report, AvgEstimate(g, view));
+    coverage.Add(report.interval.Contains(25.5));
+  }
+  EXPECT_GT(coverage.fraction(), 0.88);
+  EXPECT_LT(coverage.fraction(), 0.99);
+}
+
+TEST(RatioTest, GeneralRatioAgainstTruth) {
+  // Ratio SUM(v)/SUM(v^2) under Bernoulli sampling: consistent estimator.
+  Relation r = MakeSingleTable(30);
+  ASSERT_OK_AND_ASSIGN(
+      GusParams g, TranslateBaseSampling(SamplingSpec::Bernoulli(0.6), "R"));
+  double sum_v = 0.0, sum_v2 = 0.0;
+  for (int i = 1; i <= 30; ++i) {
+    sum_v += i;
+    sum_v2 += static_cast<double>(i) * i;
+  }
+  Rng rng(6);
+  MeanVar ratios;
+  for (int t = 0; t < 20000; ++t) {
+    auto sample = BernoulliSample(r, 0.6, &rng).ValueOrDie();
+    if (sample.num_rows() == 0) continue;
+    ASSERT_OK_AND_ASSIGN(
+        SampleView view,
+        SampleView::FromRelation(sample, Col("v"), g.schema()));
+    std::vector<double> g_vals;
+    for (double v : view.f) g_vals.push_back(v * v);
+    ASSERT_OK_AND_ASSIGN(RatioReport report,
+                         RatioEstimate(g, view, g_vals));
+    ratios.Add(report.estimate);
+  }
+  EXPECT_NEAR(sum_v / sum_v2, ratios.mean(), 0.003);
+}
+
+}  // namespace
+}  // namespace gus

@@ -1,0 +1,126 @@
+// Round-trip and error-path tests for the external-tool serialization.
+
+#include <gtest/gtest.h>
+
+#include "algebra/ops.h"
+#include "algebra/translate.h"
+#include "est/sbox.h"
+#include "est/serialize.h"
+#include "test_util.h"
+
+namespace gus {
+namespace {
+
+SboxInput MakeSample() {
+  GusParams gl =
+      TranslateBaseSampling(SamplingSpec::Bernoulli(0.1), "l").ValueOrDie();
+  GusParams go =
+      TranslateBaseSampling(SamplingSpec::WithoutReplacement(10, 100), "o")
+          .ValueOrDie();
+  GusParams gus = GusJoin(gl, go).ValueOrDie();
+  SampleView view;
+  view.schema = gus.schema();
+  view.lineage = {{1, 1, 2, 3}, {10, 11, 10, 12}};
+  view.f = {0.5, 1.5, -2.0, 3.25};
+  return SboxInput{std::move(gus), std::move(view)};
+}
+
+TEST(SerializeTest, RoundTripPreservesEverything) {
+  SboxInput input = MakeSample();
+  ASSERT_OK_AND_ASSIGN(std::string text,
+                       SboxInputToString(input.gus, input.view));
+  ASSERT_OK_AND_ASSIGN(SboxInput parsed, SboxInputFromString(text));
+  EXPECT_TRUE(parsed.gus.schema() == input.gus.schema());
+  EXPECT_DOUBLE_EQ(input.gus.a(), parsed.gus.a());
+  for (SubsetMask m = 0; m < input.gus.schema().num_subsets(); ++m) {
+    EXPECT_DOUBLE_EQ(input.gus.b(m), parsed.gus.b(m));
+  }
+  ASSERT_EQ(input.view.num_rows(), parsed.view.num_rows());
+  for (int64_t i = 0; i < input.view.num_rows(); ++i) {
+    EXPECT_DOUBLE_EQ(input.view.f[i], parsed.view.f[i]);
+    for (size_t d = 0; d < input.view.lineage.size(); ++d) {
+      EXPECT_EQ(input.view.lineage[d][i], parsed.view.lineage[d][i]);
+    }
+  }
+}
+
+TEST(SerializeTest, RoundTripGivesSameEstimate) {
+  SboxInput input = MakeSample();
+  ASSERT_OK_AND_ASSIGN(SboxReport direct,
+                       SboxEstimate(input.gus, input.view));
+  ASSERT_OK_AND_ASSIGN(std::string text,
+                       SboxInputToString(input.gus, input.view));
+  ASSERT_OK_AND_ASSIGN(SboxInput parsed, SboxInputFromString(text));
+  ASSERT_OK_AND_ASSIGN(SboxReport roundtrip,
+                       SboxEstimate(parsed.gus, parsed.view));
+  EXPECT_DOUBLE_EQ(direct.estimate, roundtrip.estimate);
+  EXPECT_DOUBLE_EQ(direct.variance, roundtrip.variance);
+}
+
+TEST(SerializeTest, CommentsAndBlankLinesIgnored) {
+  SboxInput input = MakeSample();
+  ASSERT_OK_AND_ASSIGN(std::string text,
+                       SboxInputToString(input.gus, input.view));
+  const std::string commented = "# a comment\n\n" + text;
+  ASSERT_OK(SboxInputFromString(commented).status());
+}
+
+TEST(SerializeTest, MissingMagicFails) {
+  EXPECT_STATUS_CODE(kInvalidArgument,
+                     SboxInputFromString("schema l o\n").status());
+}
+
+TEST(SerializeTest, TruncatedBTableFails) {
+  SboxInput input = MakeSample();
+  ASSERT_OK_AND_ASSIGN(std::string text,
+                       SboxInputToString(input.gus, input.view));
+  // Chop the file in the middle of the b table.
+  const size_t pos = text.find("b 2");
+  ASSERT_NE(std::string::npos, pos);
+  EXPECT_STATUS_CODE(kInvalidArgument,
+                     SboxInputFromString(text.substr(0, pos)).status());
+}
+
+TEST(SerializeTest, TruncatedDataFails) {
+  SboxInput input = MakeSample();
+  ASSERT_OK_AND_ASSIGN(std::string text,
+                       SboxInputToString(input.gus, input.view));
+  const size_t pos = text.rfind('\n', text.size() - 2);
+  EXPECT_STATUS_CODE(kInvalidArgument,
+                     SboxInputFromString(text.substr(0, pos + 1)).status());
+}
+
+TEST(SerializeTest, BadProbabilityFails) {
+  SboxInput input = MakeSample();
+  ASSERT_OK_AND_ASSIGN(std::string text,
+                       SboxInputToString(input.gus, input.view));
+  const size_t pos = text.find("a 0.0");
+  ASSERT_NE(std::string::npos, pos);
+  std::string corrupted = text;
+  corrupted.replace(pos, 7, "a 7.0\n#");
+  EXPECT_STATUS_CODE(kInvalidArgument,
+                     SboxInputFromString(corrupted).status());
+}
+
+TEST(SerializeTest, EmptyViewRoundTrips) {
+  SboxInput input = MakeSample();
+  SampleView empty;
+  empty.schema = input.gus.schema();
+  empty.lineage.assign(2, {});
+  ASSERT_OK_AND_ASSIGN(std::string text,
+                       SboxInputToString(input.gus, empty));
+  ASSERT_OK_AND_ASSIGN(SboxInput parsed, SboxInputFromString(text));
+  EXPECT_EQ(0, parsed.view.num_rows());
+}
+
+TEST(SerializeTest, SchemaMismatchRejectedOnWrite) {
+  SboxInput input = MakeSample();
+  SampleView wrong;
+  wrong.schema = LineageSchema::Make({"x"}).ValueOrDie();
+  wrong.lineage.assign(1, {});
+  EXPECT_STATUS_CODE(kInvalidArgument,
+                     SboxInputToString(input.gus, wrong).status());
+}
+
+}  // namespace
+}  // namespace gus

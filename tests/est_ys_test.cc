@@ -1,0 +1,134 @@
+// Tests for the y_S statistics: hand-computed values, agreement between the
+// hash and sort implementations, bilinear generalization.
+
+#include <gtest/gtest.h>
+
+#include "est/ys.h"
+#include "test_util.h"
+#include "util/random.h"
+
+namespace gus {
+namespace {
+
+/// A small hand-checkable view over lineage schema {A, B}:
+///   rows: (a=0,b=0,f=1), (a=0,b=1,f=2), (a=1,b=0,f=3), (a=1,b=1,f=4)
+SampleView MakeHandView() {
+  SampleView v;
+  v.schema = LineageSchema::Make({"A", "B"}).ValueOrDie();
+  v.lineage = {{0, 0, 1, 1}, {0, 1, 0, 1}};
+  v.f = {1.0, 2.0, 3.0, 4.0};
+  return v;
+}
+
+TEST(YsTest, EmptyMaskIsSquaredSum) {
+  SampleView v = MakeHandView();
+  EXPECT_DOUBLE_EQ(100.0, ComputeYS(v, 0));  // (1+2+3+4)^2
+}
+
+TEST(YsTest, FullMaskIsSumOfSquares) {
+  SampleView v = MakeHandView();
+  EXPECT_DOUBLE_EQ(1.0 + 4.0 + 9.0 + 16.0, ComputeYS(v, 0b11));
+}
+
+TEST(YsTest, GroupByFirstDimension) {
+  SampleView v = MakeHandView();
+  // Group by A: {1+2}^2 + {3+4}^2 = 9 + 49.
+  EXPECT_DOUBLE_EQ(58.0, ComputeYS(v, 0b01));
+}
+
+TEST(YsTest, GroupBySecondDimension) {
+  SampleView v = MakeHandView();
+  // Group by B: {1+3}^2 + {2+4}^2 = 16 + 36.
+  EXPECT_DOUBLE_EQ(52.0, ComputeYS(v, 0b10));
+}
+
+TEST(YsTest, ComputeAllMatchesSingle) {
+  SampleView v = MakeHandView();
+  const auto all = ComputeAllYS(v);
+  ASSERT_EQ(4u, all.size());
+  for (SubsetMask m = 0; m < 4; ++m) {
+    EXPECT_DOUBLE_EQ(ComputeYS(v, m), all[m]);
+  }
+}
+
+TEST(YsTest, EmptyViewAllZero) {
+  SampleView v;
+  v.schema = LineageSchema::Make({"A"}).ValueOrDie();
+  v.lineage = {{}};
+  const auto all = ComputeAllYS(v);
+  EXPECT_DOUBLE_EQ(0.0, all[0]);
+  EXPECT_DOUBLE_EQ(0.0, all[1]);
+}
+
+TEST(YsTest, SortedVariantMatchesHashed) {
+  Rng rng(42);
+  SampleView v;
+  v.schema = LineageSchema::Make({"A", "B", "C"}).ValueOrDie();
+  v.lineage.assign(3, {});
+  for (int i = 0; i < 500; ++i) {
+    v.lineage[0].push_back(rng.UniformInt(uint64_t{13}));
+    v.lineage[1].push_back(rng.UniformInt(uint64_t{7}));
+    v.lineage[2].push_back(rng.UniformInt(uint64_t{29}));
+    v.f.push_back(rng.Uniform(-2.0, 2.0));
+  }
+  for (SubsetMask m = 0; m < 8; ++m) {
+    EXPECT_NEAR(ComputeYS(v, m), ComputeYSSorted(v, m), 1e-9) << "mask " << m;
+  }
+}
+
+TEST(YsTest, YsMonotoneUnderRefinement) {
+  // For non-negative f: coarser grouping (smaller S) merges groups, so
+  // (sum)^2 grows: y_S >= y_T when S ⊆ T.
+  Rng rng(43);
+  SampleView v;
+  v.schema = LineageSchema::Make({"A", "B"}).ValueOrDie();
+  v.lineage.assign(2, {});
+  for (int i = 0; i < 300; ++i) {
+    v.lineage[0].push_back(rng.UniformInt(uint64_t{5}));
+    v.lineage[1].push_back(rng.UniformInt(uint64_t{9}));
+    v.f.push_back(rng.Uniform(0.0, 1.0));
+  }
+  const auto y = ComputeAllYS(v);
+  EXPECT_GE(y[0b00], y[0b01]);
+  EXPECT_GE(y[0b00], y[0b10]);
+  EXPECT_GE(y[0b01], y[0b11]);
+  EXPECT_GE(y[0b10], y[0b11]);
+}
+
+TEST(YsBilinearTest, DiagonalEqualsQuadratic) {
+  SampleView v = MakeHandView();
+  for (SubsetMask m = 0; m < 4; ++m) {
+    ASSERT_OK_AND_ASSIGN(double bl, ComputeYSBilinear(v, v.f, m));
+    EXPECT_DOUBLE_EQ(ComputeYS(v, m), bl);
+  }
+}
+
+TEST(YsBilinearTest, WithOnesGivesCountCrossTerm) {
+  SampleView v = MakeHandView();
+  const std::vector<double> ones(4, 1.0);
+  // Mask ∅: (sum f)(sum 1) = 10 * 4.
+  ASSERT_OK_AND_ASSIGN(double y0, ComputeYSBilinear(v, ones, 0));
+  EXPECT_DOUBLE_EQ(40.0, y0);
+  // Group by A: (3)(2) + (7)(2) = 20.
+  ASSERT_OK_AND_ASSIGN(double y1, ComputeYSBilinear(v, ones, 0b01));
+  EXPECT_DOUBLE_EQ(20.0, y1);
+}
+
+TEST(YsBilinearTest, LengthMismatchFails) {
+  SampleView v = MakeHandView();
+  EXPECT_STATUS_CODE(kInvalidArgument,
+                     ComputeYSBilinear(v, {1.0}, 0).status());
+}
+
+TEST(YsBilinearTest, AllMatchesSingle) {
+  SampleView v = MakeHandView();
+  const std::vector<double> g = {2.0, -1.0, 0.5, 3.0};
+  ASSERT_OK_AND_ASSIGN(auto all, ComputeAllYSBilinear(v, g));
+  for (SubsetMask m = 0; m < 4; ++m) {
+    ASSERT_OK_AND_ASSIGN(double one, ComputeYSBilinear(v, g, m));
+    EXPECT_DOUBLE_EQ(one, all[m]);
+  }
+}
+
+}  // namespace
+}  // namespace gus

@@ -1,0 +1,157 @@
+// Plan executor tests: exact mode matches hand-computed results, sampled
+// mode respects the samplers, joins/products/unions compose.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "data/tpch_gen.h"
+#include "data/workload.h"
+#include "plan/executor.h"
+#include "rel/operators.h"
+#include "test_util.h"
+
+namespace gus {
+namespace {
+
+using ::gus::testing::MakeTinyJoin;
+using ::gus::testing::TinyJoinData;
+
+TEST(ExecutorTest, ScanReturnsBaseRelation) {
+  TinyJoinData data = MakeTinyJoin();
+  Catalog catalog = data.MakeCatalog();
+  Rng rng(1);
+  ASSERT_OK_AND_ASSIGN(Relation out,
+                       ExecutePlan(PlanNode::Scan("F"), catalog, &rng));
+  EXPECT_EQ(data.fact.num_rows(), out.num_rows());
+}
+
+TEST(ExecutorTest, MissingRelationFails) {
+  Catalog catalog;
+  Rng rng(1);
+  EXPECT_STATUS_CODE(
+      kKeyError,
+      ExecutePlan(PlanNode::Scan("nope"), catalog, &rng).status());
+}
+
+TEST(ExecutorTest, ExactModeSkipsSampling) {
+  TinyJoinData data = MakeTinyJoin();
+  Catalog catalog = data.MakeCatalog();
+  PlanPtr plan =
+      PlanNode::Sample(SamplingSpec::Bernoulli(0.01), PlanNode::Scan("F"));
+  Rng rng(2);
+  ASSERT_OK_AND_ASSIGN(Relation out,
+                       ExecutePlan(plan, catalog, &rng, ExecMode::kExact));
+  EXPECT_EQ(data.fact.num_rows(), out.num_rows());
+}
+
+TEST(ExecutorTest, SampledModeFilters) {
+  TinyJoinData data = MakeTinyJoin(10, 10);  // 100 fact rows
+  Catalog catalog = data.MakeCatalog();
+  PlanPtr plan =
+      PlanNode::Sample(SamplingSpec::Bernoulli(0.2), PlanNode::Scan("F"));
+  Rng rng(3);
+  ASSERT_OK_AND_ASSIGN(Relation out, ExecutePlan(plan, catalog, &rng));
+  EXPECT_LT(out.num_rows(), 100);
+}
+
+TEST(ExecutorTest, JoinPlanMatchesOperator) {
+  TinyJoinData data = MakeTinyJoin(5, 3);
+  Catalog catalog = data.MakeCatalog();
+  PlanPtr plan = PlanNode::Join(PlanNode::Scan("F"), PlanNode::Scan("D"),
+                                "fk", "pk");
+  Rng rng(4);
+  ASSERT_OK_AND_ASSIGN(Relation via_plan, ExecutePlan(plan, catalog, &rng));
+  ASSERT_OK_AND_ASSIGN(Relation direct,
+                       HashJoin(data.fact, data.dim, "fk", "pk"));
+  EXPECT_EQ(direct.num_rows(), via_plan.num_rows());
+}
+
+TEST(ExecutorTest, SelectPlanFilters) {
+  TinyJoinData data = MakeTinyJoin(4, 2);
+  Catalog catalog = data.MakeCatalog();
+  PlanPtr plan = PlanNode::SelectNode(Ge(Col("pk"), Lit(Value(int64_t{2}))),
+                                      PlanNode::Scan("D"));
+  Rng rng(5);
+  ASSERT_OK_AND_ASSIGN(Relation out, ExecutePlan(plan, catalog, &rng));
+  EXPECT_EQ(2, out.num_rows());
+}
+
+TEST(ExecutorTest, UnionPlanDeduplicates) {
+  TinyJoinData data = MakeTinyJoin(6, 1);
+  Catalog catalog = data.MakeCatalog();
+  PlanPtr scan = PlanNode::Scan("D");
+  PlanPtr u = PlanNode::Union(
+      PlanNode::Sample(SamplingSpec::Bernoulli(0.5), scan),
+      PlanNode::Sample(SamplingSpec::Bernoulli(0.5), scan));
+  Rng rng(6);
+  ASSERT_OK_AND_ASSIGN(Relation out, ExecutePlan(u, catalog, &rng));
+  EXPECT_LE(out.num_rows(), 6);
+  // No duplicate lineage ids.
+  std::set<uint64_t> ids;
+  for (int64_t i = 0; i < out.num_rows(); ++i) ids.insert(out.lineage(i)[0]);
+  EXPECT_EQ(static_cast<size_t>(out.num_rows()), ids.size());
+}
+
+TEST(ExecutorTest, UnionExactModeIsSingleCopy) {
+  TinyJoinData data = MakeTinyJoin(6, 1);
+  Catalog catalog = data.MakeCatalog();
+  PlanPtr scan = PlanNode::Scan("D");
+  PlanPtr u = PlanNode::Union(
+      PlanNode::Sample(SamplingSpec::Bernoulli(0.5), scan),
+      PlanNode::Sample(SamplingSpec::Bernoulli(0.5), scan));
+  Rng rng(7);
+  ASSERT_OK_AND_ASSIGN(Relation out,
+                       ExecutePlan(u, catalog, &rng, ExecMode::kExact));
+  EXPECT_EQ(6, out.num_rows());
+}
+
+TEST(ExecutorTest, BlockSamplingExactModeKeepsBlockLineage) {
+  TinyJoinData data = MakeTinyJoin(8, 1);  // 8 dim rows
+  Catalog catalog = data.MakeCatalog();
+  PlanPtr plan = PlanNode::Sample(SamplingSpec::BlockBernoulli(0.5, 4),
+                                  PlanNode::Scan("D"));
+  Rng rng(8);
+  ASSERT_OK_AND_ASSIGN(Relation out,
+                       ExecutePlan(plan, catalog, &rng, ExecMode::kExact));
+  EXPECT_EQ(8, out.num_rows());
+  EXPECT_EQ(0u, out.lineage(3)[0]);
+  EXPECT_EQ(1u, out.lineage(4)[0]);
+}
+
+TEST(ExecutorTest, Query1ExactOverTpch) {
+  TpchConfig config;
+  config.num_orders = 200;
+  config.num_customers = 40;
+  config.num_parts = 30;
+  TpchData data = GenerateTpch(config);
+  Catalog catalog = data.MakeCatalog();
+  Query1Params params;
+  params.orders_population = config.num_orders;
+  Workload q1 = MakeQuery1(params);
+  Rng rng(9);
+  ASSERT_OK_AND_ASSIGN(Relation exact,
+                       ExecutePlan(q1.plan, catalog, &rng, ExecMode::kExact));
+  // Every lineitem with extendedprice > 100 joins exactly one order.
+  ASSERT_OK_AND_ASSIGN(
+      Relation expect,
+      Select(data.lineitem, Gt(Col("l_extendedprice"), Lit(100.0))));
+  EXPECT_EQ(expect.num_rows(), exact.num_rows());
+}
+
+TEST(ExecutorTest, SampledWorPopulationMismatchSurfaces) {
+  TpchConfig config;
+  config.num_orders = 200;
+  TpchData data = GenerateTpch(config);
+  Catalog catalog = data.MakeCatalog();
+  Query1Params params;
+  params.orders_population = 150000;  // catalog has 200 orders
+  params.orders_n = 50;
+  Workload q1 = MakeQuery1(params);
+  Rng rng(10);
+  EXPECT_STATUS_CODE(kInvalidArgument,
+                     ExecutePlan(q1.plan, catalog, &rng).status());
+}
+
+}  // namespace
+}  // namespace gus

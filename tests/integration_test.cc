@@ -1,0 +1,198 @@
+// End-to-end integration tests: the paper's workloads over synthetic TPC-H
+// data, estimate quality, coverage sweeps (parameterized over sampling
+// designs), and the APPROX-view quantile path.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "data/tpch_gen.h"
+#include "data/workload.h"
+#include "est/confidence.h"
+#include "mc/monte_carlo.h"
+#include "test_util.h"
+
+namespace gus {
+namespace {
+
+TpchData SmallTpch() {
+  TpchConfig config;
+  config.num_orders = 400;
+  config.num_customers = 50;
+  config.num_parts = 40;
+  config.max_lineitems_per_order = 4;
+  return GenerateTpch(config);
+}
+
+TEST(IntegrationTest, Query1EstimateIsUnbiased) {
+  TpchData data = SmallTpch();
+  Catalog catalog = data.MakeCatalog();
+  Query1Params params;
+  params.lineitem_p = 0.3;
+  params.orders_n = 150;
+  params.orders_population = 400;
+  Workload q1 = MakeQuery1(params);
+  ASSERT_OK_AND_ASSIGN(SboxTrialStats stats,
+                       RunSboxTrials(q1, catalog, 4000, 600));
+  const double se = std::sqrt(stats.oracle_variance / 4000.0);
+  EXPECT_NEAR(stats.truth, stats.estimates.mean(), 4.0 * se);
+  EXPECT_NEAR(stats.oracle_variance, stats.estimates.variance_sample(),
+              0.15 * stats.oracle_variance);
+}
+
+TEST(IntegrationTest, Example4FourRelationPlanRuns) {
+  TpchData data = SmallTpch();
+  Catalog catalog = data.MakeCatalog();
+  Example4Params params;
+  params.lineitem_p = 0.5;
+  params.orders_n = 200;
+  params.orders_population = 400;
+  params.part_p = 0.5;
+  Workload e4 = MakeExample4(params);
+  ASSERT_OK_AND_ASSIGN(SboxTrialStats stats,
+                       RunSboxTrials(e4, catalog, 1500, 601));
+  const double se = std::sqrt(stats.oracle_variance / 1500.0);
+  EXPECT_NEAR(stats.truth, stats.estimates.mean(), 4.0 * se);
+  // Theorem 1 on 4 relations (16 masks) still matches reality.
+  EXPECT_NEAR(stats.oracle_variance, stats.estimates.variance_sample(),
+              0.2 * stats.oracle_variance);
+}
+
+TEST(IntegrationTest, ApproxViewQuantiles) {
+  // The introduction's CREATE VIEW APPROX (lo, hi): QUANTILE(..., 0.05) and
+  // QUANTILE(..., 0.95). Empirically ~5% of trials should fall below lo and
+  // ~5% above hi.
+  TpchData data = SmallTpch();
+  Catalog catalog = data.MakeCatalog();
+  Query1Params params;
+  params.lineitem_p = 0.4;
+  params.orders_n = 200;
+  params.orders_population = 400;
+  Workload q1 = MakeQuery1(params);
+  ASSERT_OK_AND_ASSIGN(SoaResult soa, SoaTransform(q1.plan));
+
+  Rng exact_rng(1);
+  ASSERT_OK_AND_ASSIGN(
+      Relation exact,
+      ExecutePlan(q1.plan, catalog, &exact_rng, ExecMode::kExact));
+  ASSERT_OK_AND_ASSIGN(
+      SampleView exact_view,
+      SampleView::FromRelation(exact, q1.aggregate, soa.top.schema()));
+  const double truth = exact_view.SumF();
+
+  Rng master(602);
+  int below_lo = 0, above_hi = 0, trials = 3000;
+  for (int t = 0; t < trials; ++t) {
+    Rng rng = master.Fork(t);
+    auto sampled = ExecutePlan(q1.plan, catalog, &rng).ValueOrDie();
+    auto view = SampleView::FromRelation(sampled, q1.aggregate,
+                                         soa.top.schema())
+                    .ValueOrDie();
+    auto report = SboxEstimate(soa.top, view).ValueOrDie();
+    const double lo =
+        EstimateQuantile(report.estimate, report.variance, 0.05).ValueOrDie();
+    const double hi =
+        EstimateQuantile(report.estimate, report.variance, 0.95).ValueOrDie();
+    if (truth < lo) ++below_lo;
+    if (truth > hi) ++above_hi;
+  }
+  EXPECT_NEAR(0.05, static_cast<double>(below_lo) / trials, 0.03);
+  EXPECT_NEAR(0.05, static_cast<double>(above_hi) / trials, 0.03);
+}
+
+// ------------------------- Parameterized coverage sweep
+
+struct CoverageCase {
+  const char* name;
+  double lineitem_p;
+  int64_t orders_n;
+  double level;
+};
+
+class CoverageSweepTest : public ::testing::TestWithParam<CoverageCase> {};
+
+TEST_P(CoverageSweepTest, CoverageWithinBand) {
+  const CoverageCase& c = GetParam();
+  TpchData data = SmallTpch();
+  Catalog catalog = data.MakeCatalog();
+  Query1Params params;
+  params.lineitem_p = c.lineitem_p;
+  params.orders_n = c.orders_n;
+  params.orders_population = 400;
+  Workload q1 = MakeQuery1(params);
+  SboxOptions options;
+  options.confidence_level = c.level;
+  ASSERT_OK_AND_ASSIGN(SboxTrialStats stats,
+                       RunSboxTrials(q1, catalog, 2500, 603, options));
+  // Normal-approximation intervals with estimated variance: expect coverage
+  // within a few points of nominal.
+  EXPECT_GT(stats.coverage.fraction(), c.level - 0.05) << c.name;
+  EXPECT_LT(stats.coverage.fraction(), std::min(1.0, c.level + 0.05))
+      << c.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Designs, CoverageSweepTest,
+    ::testing::Values(
+        CoverageCase{"p30_n150_95", 0.3, 150, 0.95},
+        CoverageCase{"p50_n200_95", 0.5, 200, 0.95},
+        CoverageCase{"p30_n150_90", 0.3, 150, 0.90},
+        CoverageCase{"p70_n300_99", 0.7, 300, 0.99}),
+    [](const ::testing::TestParamInfo<CoverageCase>& info) {
+      return info.param.name;
+    });
+
+// ------------------------- Parameterized unbiasedness sweep over methods
+
+struct MethodCase {
+  const char* name;
+  SamplingMethod method;
+};
+
+class MethodSweepTest : public ::testing::TestWithParam<MethodCase> {};
+
+TEST_P(MethodSweepTest, SingleRelationEstimateUnbiased) {
+  TpchData data = SmallTpch();
+  Catalog catalog = data.MakeCatalog();
+  SamplingSpec spec;
+  switch (GetParam().method) {
+    case SamplingMethod::kBernoulli:
+      spec = SamplingSpec::Bernoulli(0.25);
+      break;
+    case SamplingMethod::kWithoutReplacement:
+      spec = SamplingSpec::WithoutReplacement(100, 400);
+      break;
+    case SamplingMethod::kWithReplacementDistinct:
+      spec = SamplingSpec::WithReplacementDistinct(120, 400);
+      break;
+    case SamplingMethod::kBlockBernoulli:
+      spec = SamplingSpec::BlockBernoulli(0.25, 16);
+      break;
+    default:
+      GTEST_SKIP();
+  }
+  Workload w;
+  w.plan = PlanNode::Sample(spec, PlanNode::Scan("o"));
+  w.aggregate = Col("o_totalprice");
+  ASSERT_OK_AND_ASSIGN(SboxTrialStats stats,
+                       RunSboxTrials(w, catalog, 4000, 604));
+  const double se = std::sqrt(stats.oracle_variance / 4000.0);
+  EXPECT_NEAR(stats.truth, stats.estimates.mean(), 4.0 * se) << GetParam().name;
+  EXPECT_NEAR(stats.oracle_variance, stats.estimates.variance_sample(),
+              0.12 * stats.oracle_variance)
+      << GetParam().name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Methods, MethodSweepTest,
+    ::testing::Values(
+        MethodCase{"Bernoulli", SamplingMethod::kBernoulli},
+        MethodCase{"WOR", SamplingMethod::kWithoutReplacement},
+        MethodCase{"WRDistinct", SamplingMethod::kWithReplacementDistinct},
+        MethodCase{"Block", SamplingMethod::kBlockBernoulli}),
+    [](const ::testing::TestParamInfo<MethodCase>& info) {
+      return info.param.name;
+    });
+
+}  // namespace
+}  // namespace gus

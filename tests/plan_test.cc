@@ -1,0 +1,119 @@
+// Unit tests for plan construction, lineage-schema derivation, structural
+// equality, and pretty-printing.
+
+#include <gtest/gtest.h>
+
+#include "data/workload.h"
+#include "plan/plan_node.h"
+#include "test_util.h"
+
+namespace gus {
+namespace {
+
+TEST(PlanNodeTest, ScanProperties) {
+  PlanPtr scan = PlanNode::Scan("l");
+  EXPECT_EQ(PlanOp::kScan, scan->op());
+  EXPECT_EQ("l", scan->relation());
+  EXPECT_EQ(0, scan->num_children());
+}
+
+TEST(PlanNodeTest, LineageSchemaOfScan) {
+  ASSERT_OK_AND_ASSIGN(LineageSchema s,
+                       PlanNode::Scan("l")->ComputeLineageSchema());
+  EXPECT_EQ(1, s.arity());
+  EXPECT_EQ("l", s.relation(0));
+}
+
+TEST(PlanNodeTest, LineageSchemaOfJoinConcatenates) {
+  PlanPtr join = PlanNode::Join(PlanNode::Scan("l"), PlanNode::Scan("o"),
+                                "l_orderkey", "o_orderkey");
+  ASSERT_OK_AND_ASSIGN(LineageSchema s, join->ComputeLineageSchema());
+  EXPECT_EQ(2, s.arity());
+  EXPECT_EQ("l", s.relation(0));
+  EXPECT_EQ("o", s.relation(1));
+}
+
+TEST(PlanNodeTest, SelfJoinLineageFails) {
+  PlanPtr join = PlanNode::Join(PlanNode::Scan("l"), PlanNode::Scan("l"),
+                                "a", "b");
+  EXPECT_STATUS_CODE(kInvalidArgument, join->ComputeLineageSchema().status());
+}
+
+TEST(PlanNodeTest, SampleAndSelectPreserveLineageSchema) {
+  PlanPtr plan = PlanNode::SelectNode(
+      Gt(Col("v"), Lit(1.0)),
+      PlanNode::Sample(SamplingSpec::Bernoulli(0.5), PlanNode::Scan("R")));
+  ASSERT_OK_AND_ASSIGN(LineageSchema s, plan->ComputeLineageSchema());
+  EXPECT_EQ(1, s.arity());
+}
+
+TEST(PlanNodeTest, UnionRequiresMatchingLineage) {
+  PlanPtr u_ok = PlanNode::Union(PlanNode::Scan("R"), PlanNode::Scan("R"));
+  ASSERT_OK(u_ok->ComputeLineageSchema().status());
+  PlanPtr u_bad = PlanNode::Union(PlanNode::Scan("R"), PlanNode::Scan("S"));
+  EXPECT_STATUS_CODE(kInvalidArgument,
+                     u_bad->ComputeLineageSchema().status());
+}
+
+TEST(PlanNodeTest, RelationalEqualIgnoresSampling) {
+  PlanPtr bare = PlanNode::Scan("R");
+  PlanPtr sampled =
+      PlanNode::Sample(SamplingSpec::Bernoulli(0.1), PlanNode::Scan("R"));
+  EXPECT_TRUE(PlanNode::RelationalEqual(bare, sampled));
+  EXPECT_TRUE(PlanNode::RelationalEqual(sampled, bare));
+}
+
+TEST(PlanNodeTest, RelationalEqualComparesStructure) {
+  PlanPtr j1 = PlanNode::Join(PlanNode::Scan("A"), PlanNode::Scan("B"), "x",
+                              "y");
+  PlanPtr j2 = PlanNode::Join(PlanNode::Scan("A"), PlanNode::Scan("B"), "x",
+                              "y");
+  PlanPtr j3 = PlanNode::Join(PlanNode::Scan("A"), PlanNode::Scan("C"), "x",
+                              "y");
+  PlanPtr j4 = PlanNode::Join(PlanNode::Scan("A"), PlanNode::Scan("B"), "x",
+                              "z");
+  EXPECT_TRUE(PlanNode::RelationalEqual(j1, j2));
+  EXPECT_FALSE(PlanNode::RelationalEqual(j1, j3));
+  EXPECT_FALSE(PlanNode::RelationalEqual(j1, j4));
+}
+
+TEST(PlanNodeTest, RelationalEqualComparesPredicates) {
+  PlanPtr s1 = PlanNode::SelectNode(Gt(Col("v"), Lit(1.0)),
+                                    PlanNode::Scan("R"));
+  PlanPtr s2 = PlanNode::SelectNode(Gt(Col("v"), Lit(1.0)),
+                                    PlanNode::Scan("R"));
+  PlanPtr s3 = PlanNode::SelectNode(Gt(Col("v"), Lit(2.0)),
+                                    PlanNode::Scan("R"));
+  EXPECT_TRUE(PlanNode::RelationalEqual(s1, s2));
+  EXPECT_FALSE(PlanNode::RelationalEqual(s1, s3));
+}
+
+TEST(PlanNodeTest, ToStringRendersTree) {
+  Workload q1 = MakeQuery1(Query1Params{});
+  const std::string s = q1.plan->ToString();
+  EXPECT_NE(std::string::npos, s.find("Select"));
+  EXPECT_NE(std::string::npos, s.find("Join[l_orderkey = o_orderkey]"));
+  EXPECT_NE(std::string::npos, s.find("Sample[Bernoulli(p=0.1)]"));
+  EXPECT_NE(std::string::npos, s.find("Scan(o)"));
+}
+
+TEST(PlanNodeTest, Query1LineageSchema) {
+  Workload q1 = MakeQuery1(Query1Params{});
+  ASSERT_OK_AND_ASSIGN(LineageSchema s, q1.plan->ComputeLineageSchema());
+  EXPECT_EQ(2, s.arity());
+  EXPECT_EQ("l", s.relation(0));
+  EXPECT_EQ("o", s.relation(1));
+}
+
+TEST(PlanNodeTest, Example4LineageSchema) {
+  Workload e4 = MakeExample4(Example4Params{});
+  ASSERT_OK_AND_ASSIGN(LineageSchema s, e4.plan->ComputeLineageSchema());
+  EXPECT_EQ(4, s.arity());
+  EXPECT_EQ("l", s.relation(0));
+  EXPECT_EQ("o", s.relation(1));
+  EXPECT_EQ("c", s.relation(2));
+  EXPECT_EQ("p", s.relation(3));
+}
+
+}  // namespace
+}  // namespace gus

@@ -1,0 +1,187 @@
+// Randomized property tests: for *arbitrary* plan shapes — random sampler
+// stacks on random subsets of relations, random join orders, random
+// selections — the SOA transform's top GUS must agree with reality:
+//
+//  (1) SOA-set equivalence (Prop 3): measured first/second-order inclusion
+//      probabilities match a and b_T per agreement mask;
+//  (2) estimator unbiasedness and Theorem-1 variance (Theorem 1).
+//
+// This is the fuzzing counterpart of the hand-picked cases in
+// soa_transform_test / mc_test.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "mc/monte_carlo.h"
+#include "test_util.h"
+#include "util/random.h"
+
+namespace gus {
+namespace {
+
+/// Three tiny joinable base relations. Keys overlap so joins have matches
+/// and fanout; value columns are distinct per relation.
+Catalog MakeCatalog() {
+  auto make = [](const std::string& name, const std::string& key_col,
+                 const std::string& val_col, int rows, int keys) {
+    std::vector<Row> data;
+    for (int i = 0; i < rows; ++i) {
+      data.push_back(Row{Value(int64_t{i % keys}),
+                         Value(1.0 + 0.37 * i + (name[0] - 'A'))});
+    }
+    return Relation::MakeBase(
+        name,
+        Schema({{key_col, ValueType::kInt64}, {val_col, ValueType::kFloat64}}),
+        std::move(data));
+  };
+  Catalog catalog;
+  catalog.emplace("A", make("A", "ak", "av", 6, 3));
+  catalog.emplace("B", make("B", "bk", "bv", 4, 3));
+  catalog.emplace("C", make("C", "ck", "cv", 3, 3));
+  return catalog;
+}
+
+/// Wraps `plan` in 1-2 random sampler nodes (population = base cardinality
+/// for the size-based methods; only valid on base scans).
+PlanPtr RandomSamplerStack(PlanPtr plan, int64_t cardinality, Rng* rng) {
+  const int layers = 1 + static_cast<int>(rng->UniformInt(uint64_t{2}));
+  for (int i = 0; i < layers; ++i) {
+    switch (rng->UniformInt(uint64_t{3})) {
+      case 0:
+        plan = PlanNode::Sample(
+            SamplingSpec::Bernoulli(rng->Uniform(0.3, 0.9)), plan);
+        break;
+      case 1: {
+        // WOR applies to the current input cardinality, so only stack it
+        // directly on the scan (first layer).
+        if (i == 0) {
+          // n >= 2: a single-row WOR sample has b_pair = 0, making y_S
+          // legitimately inestimable (SboxEstimate errors; covered by
+          // est_unbiased_test.ZeroBFails).
+          const int64_t n =
+              2 + static_cast<int64_t>(rng->UniformInt(
+                      static_cast<uint64_t>(cardinality - 1)));
+          plan = PlanNode::Sample(
+              SamplingSpec::WithoutReplacement(n, cardinality), plan);
+        } else {
+          plan = PlanNode::Sample(
+              SamplingSpec::Bernoulli(rng->Uniform(0.3, 0.9)), plan);
+        }
+        break;
+      }
+      default:
+        if (i == 0) {
+          const int64_t n =
+              2 + static_cast<int64_t>(rng->UniformInt(
+                      static_cast<uint64_t>(2 * cardinality)));
+          plan = PlanNode::Sample(
+              SamplingSpec::WithReplacementDistinct(n, cardinality), plan);
+        } else {
+          plan = PlanNode::Sample(
+              SamplingSpec::Bernoulli(rng->Uniform(0.3, 0.9)), plan);
+        }
+        break;
+    }
+  }
+  return plan;
+}
+
+struct RandomPlan {
+  PlanPtr plan;
+  ExprPtr aggregate;
+};
+
+/// Builds a random left-deep join chain over a random non-empty subset of
+/// {A, B, C}, with random sampler stacks on the leaves and optional
+/// selections above joins.
+RandomPlan MakeRandomPlan(const Catalog& catalog, Rng* rng) {
+  struct TableInfo {
+    const char* name;
+    const char* key;
+    const char* value;
+  };
+  const TableInfo kTables[] = {{"A", "ak", "av"}, {"B", "bk", "bv"},
+                               {"C", "ck", "cv"}};
+  // Random subset (at least 1), random order.
+  std::vector<TableInfo> chosen;
+  while (chosen.empty()) {
+    for (const auto& t : kTables) {
+      if (rng->Bernoulli(0.7)) chosen.push_back(t);
+    }
+  }
+  for (size_t i = chosen.size(); i > 1; --i) {
+    std::swap(chosen[i - 1], chosen[rng->UniformInt(uint64_t{i})]);
+  }
+
+  auto leaf = [&](const TableInfo& t) {
+    const int64_t cardinality = catalog.at(t.name).num_rows();
+    return RandomSamplerStack(PlanNode::Scan(t.name), cardinality, rng);
+  };
+  PlanPtr plan = leaf(chosen[0]);
+  for (size_t i = 1; i < chosen.size(); ++i) {
+    plan = PlanNode::Join(plan, leaf(chosen[i]), chosen[0].key,
+                          chosen[i].key);
+    if (rng->Bernoulli(0.4)) {
+      plan = PlanNode::SelectNode(
+          Gt(Col(chosen[i].value), Lit(rng->Uniform(0.5, 2.5))), plan);
+    }
+  }
+  if (rng->Bernoulli(0.4)) {
+    plan = PlanNode::SelectNode(
+        Ge(Col(chosen[0].value), Lit(rng->Uniform(0.5, 1.5))), plan);
+  }
+  return {plan, Col(chosen[0].value)};
+}
+
+class RandomPlanTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(RandomPlanTest, InclusionProbabilitiesMatchTransform) {
+  Catalog catalog = MakeCatalog();
+  Rng rng(0xF00D + GetParam());
+  RandomPlan random_plan = MakeRandomPlan(catalog, &rng);
+  SCOPED_TRACE(random_plan.plan->ToString());
+
+  auto soa = SoaTransform(random_plan.plan);
+  ASSERT_TRUE(soa.ok()) << soa.status().ToString();
+  auto stats_r =
+      MeasureInclusion(random_plan.plan, catalog, 25000, 0xBEEF + GetParam());
+  ASSERT_TRUE(stats_r.ok()) << stats_r.status().ToString();
+  const InclusionStats& stats = stats_r.ValueOrDie();
+  const GusParams& g = soa.ValueOrDie().top;
+
+  if (stats.result_size == 0) GTEST_SKIP() << "selection emptied the result";
+  EXPECT_NEAR(g.a(), stats.mean_single, 0.015);
+  EXPECT_NEAR(g.a(), stats.min_single, 0.03);
+  EXPECT_NEAR(g.a(), stats.max_single, 0.03);
+  for (SubsetMask m = 0; m < g.schema().num_subsets(); ++m) {
+    if (stats.pairs_per_mask[m] == 0) continue;
+    EXPECT_NEAR(g.b(m), stats.pair_by_mask[m], 0.015)
+        << "agreement mask " << g.schema().MaskToString(m);
+  }
+}
+
+TEST_P(RandomPlanTest, EstimatorUnbiasedWithTheorem1Variance) {
+  Catalog catalog = MakeCatalog();
+  Rng rng(0xCAFE + GetParam());
+  RandomPlan random_plan = MakeRandomPlan(catalog, &rng);
+  SCOPED_TRACE(random_plan.plan->ToString());
+
+  Workload w{random_plan.plan, random_plan.aggregate};
+  auto stats_r = RunSboxTrials(w, catalog, 12000, 0xD00D + GetParam());
+  ASSERT_TRUE(stats_r.ok()) << stats_r.status().ToString();
+  const SboxTrialStats& stats = stats_r.ValueOrDie();
+  if (stats.truth == 0.0) GTEST_SKIP() << "selection emptied the result";
+
+  const double se = std::sqrt(stats.oracle_variance / 12000.0);
+  EXPECT_NEAR(stats.truth, stats.estimates.mean(), 4.5 * se);
+  if (stats.oracle_variance > 1e-9) {
+    EXPECT_NEAR(stats.oracle_variance, stats.estimates.variance_sample(),
+                0.10 * stats.oracle_variance);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Fuzz, RandomPlanTest, ::testing::Range(0, 12));
+
+}  // namespace
+}  // namespace gus

@@ -1,0 +1,146 @@
+// Unit tests for the expression language.
+
+#include <gtest/gtest.h>
+
+#include "rel/expression.h"
+#include "test_util.h"
+
+namespace gus {
+namespace {
+
+class ExpressionTest : public ::testing::Test {
+ protected:
+  Schema schema_{{{"a", ValueType::kInt64},
+                  {"b", ValueType::kFloat64},
+                  {"s", ValueType::kString}}};
+  Row row_{Value(int64_t{4}), Value(2.5), Value("hello")};
+};
+
+TEST_F(ExpressionTest, ColumnLookup) {
+  ASSERT_OK_AND_ASSIGN(Value v, Col("a")->Eval(schema_, row_));
+  EXPECT_EQ(4, v.AsInt64());
+}
+
+TEST_F(ExpressionTest, UnknownColumnFails) {
+  EXPECT_STATUS_CODE(kKeyError, Col("nope")->Eval(schema_, row_).status());
+}
+
+TEST_F(ExpressionTest, UnboundEvalFails) {
+  EXPECT_STATUS_CODE(kInternal, Col("a")->Eval(row_).status());
+}
+
+TEST_F(ExpressionTest, Literal) {
+  ASSERT_OK_AND_ASSIGN(Value v, Lit(9.5)->Eval(schema_, row_));
+  EXPECT_DOUBLE_EQ(9.5, v.AsFloat64());
+}
+
+TEST_F(ExpressionTest, IntegerArithmeticStaysIntegral) {
+  ASSERT_OK_AND_ASSIGN(Value v,
+                       Add(Col("a"), Lit(Value(int64_t{3})))->Eval(schema_, row_));
+  EXPECT_EQ(ValueType::kInt64, v.type());
+  EXPECT_EQ(7, v.AsInt64());
+}
+
+TEST_F(ExpressionTest, MixedArithmeticPromotes) {
+  ASSERT_OK_AND_ASSIGN(Value v, Mul(Col("a"), Col("b"))->Eval(schema_, row_));
+  EXPECT_EQ(ValueType::kFloat64, v.type());
+  EXPECT_DOUBLE_EQ(10.0, v.AsFloat64());
+}
+
+TEST_F(ExpressionTest, DivisionAlwaysFloat) {
+  ASSERT_OK_AND_ASSIGN(
+      Value v, Div(Lit(Value(int64_t{7})), Lit(Value(int64_t{2})))->Eval(schema_, row_));
+  EXPECT_EQ(ValueType::kFloat64, v.type());
+  EXPECT_DOUBLE_EQ(3.5, v.AsFloat64());
+}
+
+TEST_F(ExpressionTest, DivisionByZeroFails) {
+  EXPECT_STATUS_CODE(
+      kInvalidArgument,
+      Div(Lit(1.0), Lit(0.0))->Eval(schema_, row_).status());
+}
+
+TEST_F(ExpressionTest, PaperAggregateExpression) {
+  // l_discount * (1.0 - l_tax) with b standing in for the columns.
+  Schema s({{"l_discount", ValueType::kFloat64},
+            {"l_tax", ValueType::kFloat64}});
+  Row r{Value(0.05), Value(0.02)};
+  ExprPtr f = Mul(Col("l_discount"), Sub(Lit(1.0), Col("l_tax")));
+  ASSERT_OK_AND_ASSIGN(Value v, f->Eval(s, r));
+  EXPECT_DOUBLE_EQ(0.05 * 0.98, v.AsFloat64());
+}
+
+TEST_F(ExpressionTest, Comparisons) {
+  ASSERT_OK_AND_ASSIGN(Value lt, Lt(Col("a"), Lit(5.0))->Eval(schema_, row_));
+  EXPECT_EQ(1, lt.AsInt64());
+  ASSERT_OK_AND_ASSIGN(Value gt, Gt(Col("a"), Lit(5.0))->Eval(schema_, row_));
+  EXPECT_EQ(0, gt.AsInt64());
+  ASSERT_OK_AND_ASSIGN(Value ge,
+                       Ge(Col("a"), Lit(Value(int64_t{4})))->Eval(schema_, row_));
+  EXPECT_EQ(1, ge.AsInt64());
+  ASSERT_OK_AND_ASSIGN(Value eq,
+                       Eq(Col("s"), Lit("hello"))->Eval(schema_, row_));
+  EXPECT_EQ(1, eq.AsInt64());
+  ASSERT_OK_AND_ASSIGN(Value ne, Ne(Col("s"), Lit("x"))->Eval(schema_, row_));
+  EXPECT_EQ(1, ne.AsInt64());
+}
+
+TEST_F(ExpressionTest, MixedNumericComparison) {
+  ASSERT_OK_AND_ASSIGN(Value v,
+                       Eq(Col("a"), Lit(4.0))->Eval(schema_, row_));
+  EXPECT_EQ(1, v.AsInt64());  // 4 (int) == 4.0 (float) numerically
+}
+
+TEST_F(ExpressionTest, StringNumberComparisonFails) {
+  EXPECT_STATUS_CODE(kTypeError,
+                     Lt(Col("s"), Lit(1.0))->Eval(schema_, row_).status());
+}
+
+TEST_F(ExpressionTest, BooleanLogic) {
+  ExprPtr t = Lit(Value(int64_t{1}));
+  ExprPtr f = Lit(Value(int64_t{0}));
+  EXPECT_EQ(1, And(t, t)->Eval(schema_, row_).ValueOrDie().AsInt64());
+  EXPECT_EQ(0, And(t, f)->Eval(schema_, row_).ValueOrDie().AsInt64());
+  EXPECT_EQ(1, Or(f, t)->Eval(schema_, row_).ValueOrDie().AsInt64());
+  EXPECT_EQ(0, Or(f, f)->Eval(schema_, row_).ValueOrDie().AsInt64());
+  EXPECT_EQ(0, Not(t)->Eval(schema_, row_).ValueOrDie().AsInt64());
+  EXPECT_EQ(1, Not(f)->Eval(schema_, row_).ValueOrDie().AsInt64());
+}
+
+TEST_F(ExpressionTest, ShortCircuitSkipsErrors) {
+  // The right side would fail (string in boolean context), but AND
+  // short-circuits on the false left side.
+  ExprPtr e = And(Lit(Value(int64_t{0})), Col("s"));
+  ASSERT_OK_AND_ASSIGN(Value v, e->Eval(schema_, row_));
+  EXPECT_EQ(0, v.AsInt64());
+}
+
+TEST_F(ExpressionTest, Negation) {
+  ASSERT_OK_AND_ASSIGN(Value v, Neg(Col("b"))->Eval(schema_, row_));
+  EXPECT_DOUBLE_EQ(-2.5, v.AsFloat64());
+  ASSERT_OK_AND_ASSIGN(Value i, Neg(Col("a"))->Eval(schema_, row_));
+  EXPECT_EQ(-4, i.AsInt64());
+}
+
+TEST_F(ExpressionTest, ToStringRoundTrips) {
+  ExprPtr e = Gt(Col("l_extendedprice"), Lit(100.0));
+  EXPECT_EQ("(l_extendedprice > 100.000000)", e->ToString());
+}
+
+TEST_F(ExpressionTest, BindOnceEvalMany) {
+  ASSERT_OK_AND_ASSIGN(ExprPtr bound, Add(Col("a"), Col("b"))->Bind(schema_));
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_OK_AND_ASSIGN(Value v, bound->Eval(row_));
+    EXPECT_DOUBLE_EQ(6.5, v.AsFloat64());
+  }
+}
+
+TEST_F(ExpressionTest, NestedArithmetic) {
+  // (a + b) * (a - b) = a^2 - b^2 = 16 - 6.25.
+  ExprPtr e = Mul(Add(Col("a"), Col("b")), Sub(Col("a"), Col("b")));
+  ASSERT_OK_AND_ASSIGN(Value v, e->Eval(schema_, row_));
+  EXPECT_DOUBLE_EQ(9.75, v.AsFloat64());
+}
+
+}  // namespace
+}  // namespace gus

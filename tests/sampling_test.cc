@@ -1,0 +1,266 @@
+// Unit and statistical tests for the physical samplers: inclusion
+// frequencies match the advertised first- and second-order probabilities
+// (the Figure 1 parameters), sizes and determinism.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "sampling/samplers.h"
+#include "test_util.h"
+#include "util/stats.h"
+
+namespace gus {
+namespace {
+
+using ::gus::testing::MakeSingleTable;
+
+TEST(SpecTest, ValidateRanges) {
+  EXPECT_TRUE(SamplingSpec::Bernoulli(0.5).Validate().ok());
+  EXPECT_FALSE(SamplingSpec::Bernoulli(1.5).Validate().ok());
+  EXPECT_FALSE(SamplingSpec::Bernoulli(-0.1).Validate().ok());
+  EXPECT_TRUE(SamplingSpec::WithoutReplacement(10, 100).Validate().ok());
+  EXPECT_FALSE(SamplingSpec::WithoutReplacement(101, 100).Validate().ok());
+  EXPECT_FALSE(SamplingSpec::WithoutReplacement(1, 0).Validate().ok());
+  EXPECT_TRUE(SamplingSpec::BlockBernoulli(0.2, 8).Validate().ok());
+  EXPECT_FALSE(SamplingSpec::BlockBernoulli(0.2, 0).Validate().ok());
+  EXPECT_FALSE(
+      SamplingSpec::LineageBernoulli("", 0.2, 1).Validate().ok());
+}
+
+TEST(SpecTest, ToStringMentionsMethodAndParams) {
+  EXPECT_EQ("Bernoulli(p=0.1)", SamplingSpec::Bernoulli(0.1).ToString());
+  EXPECT_EQ("WOR(n=1000, N=150000)",
+            SamplingSpec::WithoutReplacement(1000, 150000).ToString());
+}
+
+TEST(BernoulliSampleTest, FrequencyMatchesP) {
+  Relation r = MakeSingleTable(200);
+  Rng rng(17);
+  MeanVar frac;
+  for (int t = 0; t < 500; ++t) {
+    ASSERT_OK_AND_ASSIGN(Relation s, BernoulliSample(r, 0.3, &rng));
+    frac.Add(static_cast<double>(s.num_rows()) / 200.0);
+  }
+  EXPECT_NEAR(0.3, frac.mean(), 0.01);
+}
+
+TEST(BernoulliSampleTest, EdgeProbabilities) {
+  Relation r = MakeSingleTable(50);
+  Rng rng(18);
+  ASSERT_OK_AND_ASSIGN(Relation none, BernoulliSample(r, 0.0, &rng));
+  EXPECT_EQ(0, none.num_rows());
+  ASSERT_OK_AND_ASSIGN(Relation all, BernoulliSample(r, 1.0, &rng));
+  EXPECT_EQ(50, all.num_rows());
+}
+
+TEST(BernoulliSampleTest, InvalidP) {
+  Relation r = MakeSingleTable(5);
+  Rng rng(1);
+  EXPECT_STATUS_CODE(kInvalidArgument,
+                     BernoulliSample(r, 1.0001, &rng).status());
+}
+
+TEST(WorSampleTest, ExactSize) {
+  Relation r = MakeSingleTable(100);
+  Rng rng(19);
+  for (int n : {0, 1, 37, 100}) {
+    ASSERT_OK_AND_ASSIGN(Relation s, WorSample(r, n, &rng));
+    EXPECT_EQ(n, s.num_rows());
+  }
+}
+
+TEST(WorSampleTest, NoDuplicates) {
+  Relation r = MakeSingleTable(30);
+  Rng rng(20);
+  for (int t = 0; t < 50; ++t) {
+    ASSERT_OK_AND_ASSIGN(Relation s, WorSample(r, 10, &rng));
+    std::set<uint64_t> ids;
+    for (int64_t i = 0; i < s.num_rows(); ++i) ids.insert(s.lineage(i)[0]);
+    EXPECT_EQ(10u, ids.size());
+  }
+}
+
+TEST(WorSampleTest, UniformInclusion) {
+  Relation r = MakeSingleTable(20);
+  Rng rng(21);
+  std::vector<int> count(20, 0);
+  const int trials = 20000;
+  for (int t = 0; t < trials; ++t) {
+    ASSERT_OK_AND_ASSIGN(Relation s, WorSample(r, 5, &rng));
+    for (int64_t i = 0; i < s.num_rows(); ++i) ++count[s.lineage(i)[0]];
+  }
+  for (int c : count) {
+    EXPECT_NEAR(0.25, static_cast<double>(c) / trials, 0.015);
+  }
+}
+
+TEST(WorSampleTest, PairwiseInclusionMatchesTheory) {
+  // b_pair = n(n-1)/(N(N-1)) for WOR(n=5, N=12): 20/132.
+  Relation r = MakeSingleTable(12);
+  Rng rng(22);
+  const int trials = 40000;
+  int both = 0;
+  for (int t = 0; t < trials; ++t) {
+    ASSERT_OK_AND_ASSIGN(Relation s, WorSample(r, 5, &rng));
+    bool has0 = false, has1 = false;
+    for (int64_t i = 0; i < s.num_rows(); ++i) {
+      if (s.lineage(i)[0] == 0) has0 = true;
+      if (s.lineage(i)[0] == 1) has1 = true;
+    }
+    if (has0 && has1) ++both;
+  }
+  EXPECT_NEAR(20.0 / 132.0, static_cast<double>(both) / trials, 0.01);
+}
+
+TEST(WorSampleTest, OversizeFails) {
+  Relation r = MakeSingleTable(5);
+  Rng rng(1);
+  EXPECT_STATUS_CODE(kInvalidArgument, WorSample(r, 6, &rng).status());
+}
+
+TEST(ReservoirSampleTest, MatchesWorStatistics) {
+  Relation r = MakeSingleTable(20);
+  Rng rng(23);
+  std::vector<int> count(20, 0);
+  const int trials = 20000;
+  for (int t = 0; t < trials; ++t) {
+    ASSERT_OK_AND_ASSIGN(Relation s, ReservoirSample(r, 4, &rng));
+    EXPECT_EQ(4, s.num_rows());
+    for (int64_t i = 0; i < s.num_rows(); ++i) ++count[s.lineage(i)[0]];
+  }
+  for (int c : count) {
+    EXPECT_NEAR(0.2, static_cast<double>(c) / trials, 0.015);
+  }
+}
+
+TEST(WrDistinctSampleTest, InclusionMatchesTheory) {
+  // P[t in sample] = 1 - (1 - 1/N)^n for N=10, n=5.
+  Relation r = MakeSingleTable(10);
+  Rng rng(24);
+  const int trials = 30000;
+  std::vector<int> count(10, 0);
+  for (int t = 0; t < trials; ++t) {
+    ASSERT_OK_AND_ASSIGN(Relation s, WrDistinctSample(r, 5, &rng));
+    for (int64_t i = 0; i < s.num_rows(); ++i) ++count[s.lineage(i)[0]];
+  }
+  const double expect = 1.0 - std::pow(0.9, 5);
+  for (int c : count) {
+    EXPECT_NEAR(expect, static_cast<double>(c) / trials, 0.015);
+  }
+}
+
+TEST(WrDistinctSampleTest, SizeNeverExceedsDraws) {
+  Relation r = MakeSingleTable(100);
+  Rng rng(25);
+  for (int t = 0; t < 100; ++t) {
+    ASSERT_OK_AND_ASSIGN(Relation s, WrDistinctSample(r, 7, &rng));
+    EXPECT_LE(s.num_rows(), 7);
+    EXPECT_GE(s.num_rows(), 1);
+  }
+}
+
+TEST(BlockLineageTest, AssignsBlockIds) {
+  Relation r = MakeSingleTable(10);
+  ASSERT_OK_AND_ASSIGN(Relation blocked, AssignBlockLineage(r, 4));
+  EXPECT_EQ(0u, blocked.lineage(0)[0]);
+  EXPECT_EQ(0u, blocked.lineage(3)[0]);
+  EXPECT_EQ(1u, blocked.lineage(4)[0]);
+  EXPECT_EQ(2u, blocked.lineage(9)[0]);
+}
+
+TEST(BlockSampleTest, WholeBlocksLiveOrDieTogether) {
+  Relation r = MakeSingleTable(40);
+  ASSERT_OK_AND_ASSIGN(Relation blocked, AssignBlockLineage(r, 8));
+  Rng rng(26);
+  for (int t = 0; t < 200; ++t) {
+    ASSERT_OK_AND_ASSIGN(Relation s, BlockBernoulliSample(blocked, 0.4, &rng));
+    // Count rows per block id: must be 0 or the full block size.
+    std::map<uint64_t, int> per_block;
+    for (int64_t i = 0; i < s.num_rows(); ++i) ++per_block[s.lineage(i)[0]];
+    for (const auto& [block, n] : per_block) EXPECT_EQ(8, n);
+  }
+}
+
+TEST(BlockSampleTest, BlockFrequencyMatchesP) {
+  Relation r = MakeSingleTable(100);
+  ASSERT_OK_AND_ASSIGN(Relation blocked, AssignBlockLineage(r, 10));
+  Rng rng(27);
+  MeanVar frac;
+  for (int t = 0; t < 2000; ++t) {
+    ASSERT_OK_AND_ASSIGN(Relation s, BlockBernoulliSample(blocked, 0.25, &rng));
+    frac.Add(static_cast<double>(s.num_rows()) / 100.0);
+  }
+  EXPECT_NEAR(0.25, frac.mean(), 0.01);
+}
+
+TEST(LineageBernoulliTest, DecisionsAreConsistentAcrossAppearances) {
+  // Build a relation where each base id appears several times (as after a
+  // join): the filter must keep either all or none of an id's rows.
+  Relation base = MakeSingleTable(30);
+  Relation multi(base.schema(), base.lineage_schema());
+  for (int rep = 0; rep < 3; ++rep) {
+    for (int64_t i = 0; i < base.num_rows(); ++i) {
+      multi.AppendRow(base.row(i), base.lineage(i));
+    }
+  }
+  ASSERT_OK_AND_ASSIGN(Relation s,
+                       LineageBernoulliSample(multi, "R", 0.5, 777));
+  std::map<uint64_t, int> per_id;
+  for (int64_t i = 0; i < s.num_rows(); ++i) ++per_id[s.lineage(i)[0]];
+  for (const auto& [id, n] : per_id) EXPECT_EQ(3, n);
+}
+
+TEST(LineageBernoulliTest, IsDeterministicGivenSeed) {
+  Relation r = MakeSingleTable(50);
+  ASSERT_OK_AND_ASSIGN(Relation s1, LineageBernoulliSample(r, "R", 0.4, 9));
+  ASSERT_OK_AND_ASSIGN(Relation s2, LineageBernoulliSample(r, "R", 0.4, 9));
+  EXPECT_EQ(s1.num_rows(), s2.num_rows());
+}
+
+TEST(LineageBernoulliTest, UnknownRelationFails) {
+  Relation r = MakeSingleTable(5);
+  EXPECT_STATUS_CODE(kKeyError,
+                     LineageBernoulliSample(r, "X", 0.4, 9).status());
+}
+
+TEST(LineageBernoulliTest, FrequencyMatchesP) {
+  Relation r = MakeSingleTable(4000);
+  ASSERT_OK_AND_ASSIGN(Relation s, LineageBernoulliSample(r, "R", 0.35, 5));
+  EXPECT_NEAR(0.35, static_cast<double>(s.num_rows()) / 4000.0, 0.03);
+}
+
+TEST(ApplySamplingTest, DispatchesAllMethods) {
+  Relation r = MakeSingleTable(60);
+  Rng rng(30);
+  ASSERT_OK_AND_ASSIGN(Relation b,
+                       ApplySampling(r, SamplingSpec::Bernoulli(0.5), &rng));
+  EXPECT_LE(b.num_rows(), 60);
+  ASSERT_OK_AND_ASSIGN(
+      Relation w, ApplySampling(r, SamplingSpec::WithoutReplacement(10, 60), &rng));
+  EXPECT_EQ(10, w.num_rows());
+  ASSERT_OK_AND_ASSIGN(
+      Relation wr,
+      ApplySampling(r, SamplingSpec::WithReplacementDistinct(10, 60), &rng));
+  EXPECT_LE(wr.num_rows(), 10);
+  ASSERT_OK_AND_ASSIGN(
+      Relation blk, ApplySampling(r, SamplingSpec::BlockBernoulli(0.5, 6), &rng));
+  EXPECT_EQ(0, blk.num_rows() % 6);
+  ASSERT_OK_AND_ASSIGN(
+      Relation lb,
+      ApplySampling(r, SamplingSpec::LineageBernoulli("R", 0.5, 4), &rng));
+  EXPECT_LE(lb.num_rows(), 60);
+}
+
+TEST(ApplySamplingTest, WorPopulationMismatchFails) {
+  Relation r = MakeSingleTable(60);
+  Rng rng(31);
+  EXPECT_STATUS_CODE(
+      kInvalidArgument,
+      ApplySampling(r, SamplingSpec::WithoutReplacement(10, 61), &rng)
+          .status());
+}
+
+}  // namespace
+}  // namespace gus

@@ -1,0 +1,191 @@
+// SOA transform tests: reproduce the paper's Figure 2 (Query 1), Figure 4
+// (Example 4, four-relation plan) and Figure 5 (Example 6, sub-sampled
+// plan) GUS coefficient tables exactly.
+
+#include <gtest/gtest.h>
+
+#include "data/workload.h"
+#include "plan/soa_transform.h"
+#include "test_util.h"
+
+namespace gus {
+namespace {
+
+double B(const GusParams& g, std::vector<std::string> names) {
+  return g.b(names).ValueOrDie();
+}
+
+TEST(SoaTransformTest, SingleBernoulliScan) {
+  PlanPtr plan =
+      PlanNode::Sample(SamplingSpec::Bernoulli(0.2), PlanNode::Scan("R"));
+  ASSERT_OK_AND_ASSIGN(SoaResult r, SoaTransform(plan));
+  EXPECT_DOUBLE_EQ(0.2, r.top.a());
+  EXPECT_DOUBLE_EQ(0.04, B(r.top, {}));
+  EXPECT_DOUBLE_EQ(0.2, B(r.top, {"R"}));
+  EXPECT_EQ(PlanOp::kScan, r.relational->op());
+}
+
+TEST(SoaTransformTest, SelectionCommutes) {
+  // σ(G(R)) and G(σ(R)) must give the same top GUS (Prop 5).
+  PlanPtr sample_then_select = PlanNode::SelectNode(
+      Gt(Col("v"), Lit(0.0)),
+      PlanNode::Sample(SamplingSpec::Bernoulli(0.2), PlanNode::Scan("R")));
+  PlanPtr select_then_sample = PlanNode::Sample(
+      SamplingSpec::Bernoulli(0.2),
+      PlanNode::SelectNode(Gt(Col("v"), Lit(0.0)), PlanNode::Scan("R")));
+  ASSERT_OK_AND_ASSIGN(SoaResult r1, SoaTransform(sample_then_select));
+  ASSERT_OK_AND_ASSIGN(SoaResult r2, SoaTransform(select_then_sample));
+  EXPECT_DOUBLE_EQ(r1.top.a(), r2.top.a());
+  for (SubsetMask m = 0; m < 2; ++m) {
+    EXPECT_DOUBLE_EQ(r1.top.b(m), r2.top.b(m));
+  }
+  // The relational residue keeps the selection in both cases.
+  EXPECT_EQ(PlanOp::kSelect, r1.relational->op());
+  EXPECT_EQ(PlanOp::kSelect, r2.relational->op());
+}
+
+TEST(SoaTransformTest, Figure2Query1Coefficients) {
+  // Figure 2 / Example 3: the paper's Query 1 collapses to
+  // G(a = 6.667e-4; b_∅ = 4.44e-7, b_o = 6.667e-5, b_l = 4.44e-6,
+  //   b_lo = 6.667e-4).
+  Workload q1 = MakeQuery1(Query1Params{});
+  ASSERT_OK_AND_ASSIGN(SoaResult r, SoaTransform(q1.plan));
+  EXPECT_EQ(2, r.top.schema().arity());
+  EXPECT_NEAR(6.667e-4, r.top.a(), 1e-7);
+  EXPECT_NEAR(4.44e-7, B(r.top, {}), 5e-10);
+  EXPECT_NEAR(6.667e-5, B(r.top, {"o"}), 1e-8);
+  EXPECT_NEAR(4.44e-6, B(r.top, {"l"}), 5e-9);
+  EXPECT_NEAR(6.667e-4, B(r.top, {"l", "o"}), 1e-7);
+  // Exact closed forms.
+  EXPECT_DOUBLE_EQ(0.1 * (1000.0 / 150000.0), r.top.a());
+  EXPECT_DOUBLE_EQ(0.01 * (1000.0 * 999.0) / (150000.0 * 149999.0),
+                   B(r.top, {}));
+  EXPECT_DOUBLE_EQ(0.01 * (1000.0 / 150000.0), B(r.top, {"o"}));
+  EXPECT_DOUBLE_EQ(0.1 * (1000.0 * 999.0) / (150000.0 * 149999.0),
+                   B(r.top, {"l"}));
+}
+
+TEST(SoaTransformTest, Figure2RelationalResidueHasNoSamples) {
+  Workload q1 = MakeQuery1(Query1Params{});
+  ASSERT_OK_AND_ASSIGN(SoaResult r, SoaTransform(q1.plan));
+  // select -> join -> scans, no sample nodes anywhere.
+  EXPECT_EQ(PlanOp::kSelect, r.relational->op());
+  EXPECT_EQ(PlanOp::kJoin, r.relational->child()->op());
+  EXPECT_EQ(PlanOp::kScan, r.relational->child()->left()->op());
+  EXPECT_EQ(PlanOp::kScan, r.relational->child()->right()->op());
+}
+
+TEST(SoaTransformTest, TraceMentionsAllRules) {
+  Workload q1 = MakeQuery1(Query1Params{});
+  ASSERT_OK_AND_ASSIGN(SoaResult r, SoaTransform(q1.plan));
+  const std::string trace = r.TraceToString();
+  EXPECT_NE(std::string::npos, trace.find("Prop 4"));
+  EXPECT_NE(std::string::npos, trace.find("translate"));
+  EXPECT_NE(std::string::npos, trace.find("Prop 6"));
+  EXPECT_NE(std::string::npos, trace.find("Prop 5"));
+}
+
+TEST(SoaTransformTest, Figure4Example4FullTable) {
+  // Figure 4's G(a123, b̄123) over {l,o,c,p}, all 16 entries.
+  Workload e4 = MakeExample4(Example4Params{});
+  ASSERT_OK_AND_ASSIGN(SoaResult r, SoaTransform(e4.plan));
+  const GusParams& g = r.top;
+  EXPECT_EQ(4, g.schema().arity());
+
+  EXPECT_NEAR(3.334e-4, g.a(), 1e-6);
+  // Paper's 3-4 significant digit values, relative tolerance 1e-3.
+  const struct {
+    std::vector<std::string> t;
+    double expected;
+  } kRows[] = {
+      {{}, 1.11e-7},
+      {{"p"}, 2.22e-7},
+      {{"c"}, 1.11e-7},
+      {{"c", "p"}, 2.22e-7},
+      {{"o"}, 1.667e-5},
+      {{"o", "p"}, 3.335e-5},
+      {{"o", "c"}, 1.667e-5},
+      {{"o", "c", "p"}, 3.335e-5},
+      {{"l"}, 1.11e-6},
+      {{"l", "p"}, 2.22e-6},
+      {{"l", "c"}, 1.11e-6},
+      {{"l", "c", "p"}, 2.22e-6},
+      {{"l", "o"}, 1.667e-4},
+      {{"l", "o", "p"}, 3.334e-4},
+      {{"l", "o", "c"}, 1.667e-4},
+      {{"l", "o", "c", "p"}, 3.334e-4},
+  };
+  for (const auto& row : kRows) {
+    const double got = B(g, row.t);
+    EXPECT_NEAR(row.expected, got, row.expected * 2e-3)
+        << "b_" << g.schema().MaskToString(
+                       g.schema().MaskOf(row.t).ValueOrDie());
+  }
+  // The customers bit never matters (c is unsampled): flipping it must not
+  // change any entry.
+  ASSERT_OK_AND_ASSIGN(SubsetMask c_bit, g.schema().MaskOf({"c"}));
+  for (SubsetMask m = 0; m < g.schema().num_subsets(); ++m) {
+    EXPECT_DOUBLE_EQ(g.b(m & ~c_bit), g.b(m | c_bit));
+  }
+}
+
+TEST(SoaTransformTest, Figure5Example6SubsampledTable) {
+  // Figure 5's final G(a123, b̄123) over {l,o}: Query 1 capped by the
+  // bi-dimensional Bernoulli B(0.2, 0.3).
+  Workload e6 = MakeExample6(Query1Params{}, 0.2, 0.3, /*seed=*/42);
+  ASSERT_OK_AND_ASSIGN(SoaResult r, SoaTransform(e6.plan));
+  const GusParams& g = r.top;
+  EXPECT_NEAR(4e-5, g.a(), 1e-8);
+  EXPECT_NEAR(1.598e-9, B(g, {}), 1.598e-9 * 2e-3);
+  EXPECT_NEAR(8e-7, B(g, {"o"}), 8e-7 * 2e-3);
+  EXPECT_NEAR(7.992e-8, B(g, {"l"}), 7.992e-8 * 2e-3);
+  EXPECT_NEAR(4e-5, B(g, {"l", "o"}), 4e-5 * 2e-3);
+}
+
+TEST(SoaTransformTest, UnionOfTwoSamplesOfSameExpression) {
+  PlanPtr scan = PlanNode::Scan("R");
+  PlanPtr u = PlanNode::Union(
+      PlanNode::Sample(SamplingSpec::Bernoulli(0.3), scan),
+      PlanNode::Sample(SamplingSpec::Bernoulli(0.4), scan));
+  ASSERT_OK_AND_ASSIGN(SoaResult r, SoaTransform(u));
+  EXPECT_DOUBLE_EQ(0.3 + 0.4 - 0.12, r.top.a());
+  EXPECT_EQ(PlanOp::kScan, r.relational->op());
+}
+
+TEST(SoaTransformTest, UnionOfDifferentExpressionsFails) {
+  PlanPtr u = PlanNode::Union(
+      PlanNode::Sample(SamplingSpec::Bernoulli(0.3),
+                       PlanNode::SelectNode(Gt(Col("v"), Lit(1.0)),
+                                            PlanNode::Scan("R"))),
+      PlanNode::Sample(SamplingSpec::Bernoulli(0.4), PlanNode::Scan("R")));
+  EXPECT_STATUS_CODE(kInvalidArgument, SoaTransform(u).status());
+}
+
+TEST(SoaTransformTest, SelfJoinFails) {
+  PlanPtr join = PlanNode::Join(
+      PlanNode::Sample(SamplingSpec::Bernoulli(0.3), PlanNode::Scan("R")),
+      PlanNode::Scan("R"), "a", "b");
+  EXPECT_STATUS_CODE(kInvalidArgument, SoaTransform(join).status());
+}
+
+TEST(SoaTransformTest, StackedSamplersCompact) {
+  // B(0.5) on top of B(0.4) of the same scan = B(0.2) (Prop 8).
+  PlanPtr plan = PlanNode::Sample(
+      SamplingSpec::Bernoulli(0.5),
+      PlanNode::Sample(SamplingSpec::Bernoulli(0.4), PlanNode::Scan("R")));
+  ASSERT_OK_AND_ASSIGN(SoaResult r, SoaTransform(plan));
+  EXPECT_DOUBLE_EQ(0.2, r.top.a());
+  EXPECT_DOUBLE_EQ(0.04, B(r.top, {}));
+  EXPECT_DOUBLE_EQ(0.2, B(r.top, {"R"}));
+}
+
+TEST(SoaTransformTest, UnsampledPlanHasIdentityGus) {
+  PlanPtr plan = PlanNode::Join(PlanNode::Scan("A"), PlanNode::Scan("B"),
+                                "x", "y");
+  ASSERT_OK_AND_ASSIGN(SoaResult r, SoaTransform(plan));
+  EXPECT_DOUBLE_EQ(1.0, r.top.a());
+  for (SubsetMask m = 0; m < 4; ++m) EXPECT_DOUBLE_EQ(1.0, r.top.b(m));
+}
+
+}  // namespace
+}  // namespace gus

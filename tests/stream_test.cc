@@ -1,0 +1,136 @@
+// Tests for the load-shedding module (Section 8 streaming application).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "rel/operators.h"
+#include "stream/load_shedder.h"
+#include "test_util.h"
+#include "util/stats.h"
+
+namespace gus {
+namespace {
+
+using ::gus::testing::MakeSingleTable;
+using ::gus::testing::MakeTinyJoin;
+
+TEST(LoadShedderTest, StartsWideOpen) {
+  BernoulliLoadShedder shedder(ShedderConfig{});
+  EXPECT_DOUBLE_EQ(1.0, shedder.keep_probability());
+}
+
+TEST(LoadShedderTest, AdaptsToCapacity) {
+  ShedderConfig config;
+  config.capacity_per_window = 100;
+  config.smoothing = 1.0;  // react immediately
+  BernoulliLoadShedder shedder(config);
+  shedder.ObserveWindow(1000);
+  EXPECT_NEAR(0.1, shedder.keep_probability(), 1e-12);
+  shedder.ObserveWindow(200);
+  EXPECT_NEAR(0.5, shedder.keep_probability(), 1e-12);
+  shedder.ObserveWindow(50);  // under capacity: no shedding
+  EXPECT_DOUBLE_EQ(1.0, shedder.keep_probability());
+}
+
+TEST(LoadShedderTest, SmoothingDampsReaction) {
+  ShedderConfig config;
+  config.capacity_per_window = 100;
+  config.smoothing = 0.5;
+  BernoulliLoadShedder shedder(config);
+  shedder.ObserveWindow(1000);   // seeds the estimate at 1000
+  shedder.ObserveWindow(100);    // smoothed: 550
+  EXPECT_NEAR(100.0 / 550.0, shedder.keep_probability(), 1e-12);
+}
+
+TEST(LoadShedderTest, ClampsToRange) {
+  ShedderConfig config;
+  config.capacity_per_window = 1;
+  config.min_p = 0.01;
+  config.smoothing = 1.0;
+  BernoulliLoadShedder shedder(config);
+  shedder.ObserveWindow(1000000);
+  EXPECT_DOUBLE_EQ(0.01, shedder.keep_probability());
+}
+
+TEST(ShedWindowTest, KeepsExpectedFractionAndEstimatesSum) {
+  Relation window = MakeSingleTable(2000, "W");
+  Rng rng(1);
+  ASSERT_OK_AND_ASSIGN(WindowEstimate est,
+                       ShedAndEstimateWindow(window, 0.25, Col("v"), &rng));
+  const double truth = 2000.0 * 2001.0 / 2.0;
+  EXPECT_NEAR(0.25 * 2000, est.kept_rows, 120);
+  EXPECT_NEAR(truth, est.estimate, 5.0 * est.stddev + 1e-9);
+  EXPECT_TRUE(est.interval.Contains(est.estimate));
+}
+
+TEST(ShedWindowTest, NoSheddingIsExact) {
+  Relation window = MakeSingleTable(100, "W");
+  Rng rng(2);
+  ASSERT_OK_AND_ASSIGN(WindowEstimate est,
+                       ShedAndEstimateWindow(window, 1.0, Col("v"), &rng));
+  EXPECT_DOUBLE_EQ(5050.0, est.estimate);
+  EXPECT_NEAR(0.0, est.stddev, 1e-9);
+  EXPECT_EQ(100, est.kept_rows);
+}
+
+TEST(ShedWindowTest, CoverageOverWindows) {
+  Relation window = MakeSingleTable(500, "W");
+  const double truth = 500.0 * 501.0 / 2.0;
+  Rng rng(3);
+  CoverageCounter coverage;
+  for (int w = 0; w < 3000; ++w) {
+    ASSERT_OK_AND_ASSIGN(WindowEstimate est,
+                         ShedAndEstimateWindow(window, 0.2, Col("v"), &rng));
+    coverage.Add(est.interval.Contains(truth));
+  }
+  EXPECT_GT(coverage.fraction(), 0.92);
+  EXPECT_LT(coverage.fraction(), 0.98);
+}
+
+TEST(ShedWindowTest, RejectsDerivedRelations) {
+  auto data = MakeTinyJoin(3, 2);
+  ASSERT_OK_AND_ASSIGN(Relation joined,
+                       HashJoin(data.fact, data.dim, "fk", "pk"));
+  Rng rng(4);
+  EXPECT_STATUS_CODE(
+      kInvalidArgument,
+      ShedAndEstimateWindow(joined, 0.5, Col("v"), &rng).status());
+}
+
+TEST(JoinedWindowsTest, EstimatesJoinSum) {
+  auto data = MakeTinyJoin(/*num_dim=*/20, /*fanout=*/5);
+  // Exact join SUM(v*w).
+  ASSERT_OK_AND_ASSIGN(Relation joined,
+                       HashJoin(data.fact, data.dim, "fk", "pk"));
+  ASSERT_OK_AND_ASSIGN(double truth,
+                       AggregateSum(joined, Mul(Col("v"), Col("w"))));
+  Rng rng(5);
+  MeanVar estimates;
+  CoverageCounter coverage;
+  for (int w = 0; w < 3000; ++w) {
+    ASSERT_OK_AND_ASSIGN(
+        WindowEstimate est,
+        ShedAndEstimateJoinedWindows(data.fact, 0.6, data.dim, 0.7, "fk",
+                                     "pk", Mul(Col("v"), Col("w")), &rng));
+    estimates.Add(est.estimate);
+    coverage.Add(est.interval.Contains(truth));
+  }
+  // Unbiased across windows; joint coverage near nominal.
+  EXPECT_NEAR(truth, estimates.mean(),
+              4.0 * estimates.stddev_sample() / std::sqrt(3000.0));
+  EXPECT_GT(coverage.fraction(), 0.90);
+}
+
+TEST(JoinedWindowsTest, EffectiveProbabilityIsProduct) {
+  auto data = MakeTinyJoin(5, 2);
+  Rng rng(6);
+  ASSERT_OK_AND_ASSIGN(
+      WindowEstimate est,
+      ShedAndEstimateJoinedWindows(data.fact, 0.5, data.dim, 0.4, "fk", "pk",
+                                   Mul(Col("v"), Col("w")), &rng));
+  EXPECT_DOUBLE_EQ(0.2, est.p);
+}
+
+}  // namespace
+}  // namespace gus

@@ -1,0 +1,93 @@
+// Shared fixtures and helpers for the libgus test suite.
+
+#ifndef GUS_TESTS_TEST_UTIL_H_
+#define GUS_TESTS_TEST_UTIL_H_
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "plan/executor.h"
+#include "rel/relation.h"
+#include "util/status.h"
+
+namespace gus {
+namespace testing {
+
+#define ASSERT_OK(expr)                                          \
+  do {                                                           \
+    const auto& _st = (expr);                                    \
+    ASSERT_TRUE(_st.ok()) << _st.ToString();                     \
+  } while (0)
+
+#define ASSERT_OK_AND_ASSIGN(lhs, rexpr)          \
+  ASSERT_OK_AND_ASSIGN_IMPL(                      \
+      GUS_ASSIGN_OR_RETURN_NAME(_r_, __COUNTER__), lhs, rexpr)
+
+#define ASSERT_OK_AND_ASSIGN_IMPL(tmp, lhs, rexpr)     \
+  auto tmp = (rexpr);                                  \
+  ASSERT_TRUE(tmp.ok()) << tmp.status().ToString();    \
+  lhs = std::move(tmp).ValueOrDie();
+
+#define EXPECT_STATUS_CODE(expected_code, expr)             \
+  do {                                                      \
+    const auto& _st = (expr);                               \
+    EXPECT_EQ(::gus::StatusCode::expected_code, _st.code()) \
+        << _st.ToString();                                  \
+  } while (0)
+
+/// \brief A tiny two-table schema: fact(fk, v) and dim(pk, w).
+///
+/// fact rows reference dim rows with a configurable fanout, giving small
+/// join results whose inclusion probabilities and moments can be computed
+/// by brute force.
+struct TinyJoinData {
+  Relation fact;  // columns: fk (int64), v (float64); base name "F"
+  Relation dim;   // columns: pk (int64), w (float64); base name "D"
+
+  Catalog MakeCatalog() const {
+    Catalog c;
+    c.emplace("F", fact);
+    c.emplace("D", dim);
+    return c;
+  }
+};
+
+/// num_dim dim rows; each dim row pk=k matched by `fanout` fact rows.
+inline TinyJoinData MakeTinyJoin(int num_dim = 4, int fanout = 2) {
+  std::vector<Row> fact_rows;
+  std::vector<Row> dim_rows;
+  for (int k = 0; k < num_dim; ++k) {
+    dim_rows.push_back(Row{Value(int64_t{k}), Value(10.0 + k)});
+    for (int f = 0; f < fanout; ++f) {
+      fact_rows.push_back(
+          Row{Value(int64_t{k}), Value(1.0 + 0.5 * k + 0.25 * f)});
+    }
+  }
+  TinyJoinData data;
+  data.fact = Relation::MakeBase(
+      "F",
+      Schema({{"fk", ValueType::kInt64}, {"v", ValueType::kFloat64}}),
+      std::move(fact_rows));
+  data.dim = Relation::MakeBase(
+      "D", Schema({{"pk", ValueType::kInt64}, {"w", ValueType::kFloat64}}),
+      std::move(dim_rows));
+  return data;
+}
+
+/// Single base relation with values v = 1..n (as float64), name "R".
+inline Relation MakeSingleTable(int n, const std::string& name = "R") {
+  std::vector<Row> rows;
+  rows.reserve(n);
+  for (int i = 1; i <= n; ++i) {
+    rows.push_back(Row{Value(static_cast<double>(i))});
+  }
+  return Relation::MakeBase(name, Schema({{"v", ValueType::kFloat64}}),
+                            std::move(rows));
+}
+
+}  // namespace testing
+}  // namespace gus
+
+#endif  // GUS_TESTS_TEST_UTIL_H_

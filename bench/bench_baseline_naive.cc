@@ -12,6 +12,7 @@
 #include "data/tpch_gen.h"
 #include "data/workload.h"
 #include "mc/monte_carlo.h"
+#include "plan/columnar_executor.h"
 #include "util/table.h"
 
 namespace gus {
@@ -20,6 +21,11 @@ using bench::ValueOrAbort;
 
 namespace {
 
+// The whole evaluation runs on the columnar engine; sampled-mode draws are
+// engine-invariant (shared index-selection core), so the statistics are
+// identical to the row engine's — flip this to cross-check.
+constexpr ExecEngine kEngine = ExecEngine::kColumnar;
+
 struct CoveragePair {
   double gus = 0.0;
   double naive = 0.0;
@@ -27,12 +33,23 @@ struct CoveragePair {
   double naive_width = 0.0;
 };
 
+/// Runs the plan on kEngine; the columnar path reuses `columnar` so the
+/// row->columnar catalog ingest is paid once, not per trial.
+Relation RunPlan(const Workload& w, const Catalog& catalog,
+                 ColumnarCatalog* columnar, Rng* rng, ExecMode mode) {
+  if (kEngine == ExecEngine::kColumnar) {
+    return ValueOrAbort(ExecutePlanColumnar(w.plan, columnar, rng, mode))
+        .ToRelation();
+  }
+  return ValueOrAbort(ExecutePlan(w.plan, catalog, rng, mode));
+}
+
 CoveragePair MeasureBoth(const Workload& w, const Catalog& catalog,
-                         int trials, uint64_t seed) {
+                         ColumnarCatalog* columnar, int trials,
+                         uint64_t seed) {
   SoaResult soa = ValueOrAbort(SoaTransform(w.plan));
   Rng exact_rng(seed);
-  Relation exact = ValueOrAbort(
-      ExecutePlan(w.plan, catalog, &exact_rng, ExecMode::kExact));
+  Relation exact = RunPlan(w, catalog, columnar, &exact_rng, ExecMode::kExact);
   SampleView exact_view = ValueOrAbort(
       SampleView::FromRelation(exact, w.aggregate, soa.top.schema()));
   const double truth = exact_view.SumF();
@@ -42,7 +59,8 @@ CoveragePair MeasureBoth(const Workload& w, const Catalog& catalog,
   MeanVar gus_width, naive_width;
   for (int t = 0; t < trials; ++t) {
     Rng rng = master.Fork(t);
-    Relation sampled = ValueOrAbort(ExecutePlan(w.plan, catalog, &rng));
+    Relation sampled =
+        RunPlan(w, catalog, columnar, &rng, ExecMode::kSampled);
     SampleView view = ValueOrAbort(
         SampleView::FromRelation(sampled, w.aggregate, soa.top.schema()));
     SboxReport g = ValueOrAbort(SboxEstimate(soa.top, view));
@@ -68,6 +86,7 @@ void PrintBaseline() {
   config.max_lineitems_per_order = 7;
   TpchData data = GenerateTpch(config);
   Catalog catalog = data.MakeCatalog();
+  ColumnarCatalog columnar(&catalog);
   const int trials = 1000;
 
   TablePrinter table({"workload", "GUS coverage", "naive coverage",
@@ -79,7 +98,7 @@ void PrintBaseline() {
     w.plan = PlanNode::Sample(SamplingSpec::Bernoulli(0.2),
                               PlanNode::Scan("o"));
     w.aggregate = Col("o_totalprice");
-    CoveragePair c = MeasureBoth(w, catalog, trials, 500);
+    CoveragePair c = MeasureBoth(w, catalog, &columnar, trials, 500);
     table.AddRow({"B(0.2)(orders), SUM(o_totalprice)",
                   TablePrinter::Num(c.gus, 3), TablePrinter::Num(c.naive, 3),
                   TablePrinter::Num(c.gus_width, 4),
@@ -91,7 +110,7 @@ void PrintBaseline() {
     w.plan = PlanNode::Sample(SamplingSpec::WithoutReplacement(600, 1200),
                               PlanNode::Scan("o"));
     w.aggregate = Col("o_totalprice");
-    CoveragePair c = MeasureBoth(w, catalog, trials, 501);
+    CoveragePair c = MeasureBoth(w, catalog, &columnar, trials, 501);
     table.AddRow({"WOR(600/1200)(orders)", TablePrinter::Num(c.gus, 3),
                   TablePrinter::Num(c.naive, 3),
                   TablePrinter::Num(c.gus_width, 4),
@@ -104,7 +123,7 @@ void PrintBaseline() {
     params.orders_n = 360;
     params.orders_population = 1200;
     Workload q1 = MakeQuery1(params);
-    CoveragePair c = MeasureBoth(q1, catalog, trials, 502);
+    CoveragePair c = MeasureBoth(q1, catalog, &columnar, trials, 502);
     table.AddRow({"Query 1 (B0.3 l jn WOR 360 o)", TablePrinter::Num(c.gus, 3),
                   TablePrinter::Num(c.naive, 3),
                   TablePrinter::Num(c.gus_width, 4),
@@ -120,7 +139,7 @@ void PrintBaseline() {
                          PlanNode::Scan("o")),
         "l_orderkey", "o_orderkey");
     w.aggregate = Mul(Col("l_discount"), Col("o_totalprice"));
-    CoveragePair c = MeasureBoth(w, catalog, trials, 503);
+    CoveragePair c = MeasureBoth(w, catalog, &columnar, trials, 503);
     table.AddRow({"l jn WOR(300/1200)(o), fanout 7",
                   TablePrinter::Num(c.gus, 3), TablePrinter::Num(c.naive, 3),
                   TablePrinter::Num(c.gus_width, 4),

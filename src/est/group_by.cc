@@ -18,7 +18,11 @@ Result<std::vector<GroupEstimate>> GroupedSumEstimate(
                        SampleView::FromRelation(rel, f_expr, gus.schema()));
   GUS_ASSIGN_OR_RETURN(int key_idx, rel.schema().IndexOf(key_column));
 
-  // Partition row indexes by key hash (exact keys kept for output).
+  // Partition row indexes by key hash (exact keys kept for output). Hash
+  // partitioning follows KeyEquals semantics: numerically equal keys of
+  // mixed int64/float64 type hash together and deliberately form one group
+  // (consistent with how joins match keys); a typed key column never mixes
+  // types unless the input was malformed to begin with.
   std::unordered_map<uint64_t, std::vector<int64_t>> groups;
   std::unordered_map<uint64_t, Value> keys;
   for (int64_t i = 0; i < rel.num_rows(); ++i) {

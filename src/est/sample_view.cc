@@ -2,20 +2,19 @@
 
 namespace gus {
 
-Result<SampleView> SampleView::FromRelation(const Relation& rel,
-                                            const ExprPtr& f_expr,
-                                            const LineageSchema& schema) {
-  if (static_cast<int>(rel.lineage_schema().size()) != schema.arity()) {
+Result<std::vector<int>> MapAnalysisDims(
+    const std::vector<std::string>& lineage_schema,
+    const LineageSchema& schema) {
+  if (static_cast<int>(lineage_schema.size()) != schema.arity()) {
     return Status::InvalidArgument(
         "relation lineage arity does not match the analysis schema");
   }
-  // Map analysis dimension -> relation lineage column.
   std::vector<int> source(schema.arity());
   for (int d = 0; d < schema.arity(); ++d) {
     const auto& name = schema.relation(d);
     int found = -1;
-    for (size_t c = 0; c < rel.lineage_schema().size(); ++c) {
-      if (rel.lineage_schema()[c] == name) {
+    for (size_t c = 0; c < lineage_schema.size(); ++c) {
+      if (lineage_schema[c] == name) {
         found = static_cast<int>(c);
         break;
       }
@@ -26,6 +25,15 @@ Result<SampleView> SampleView::FromRelation(const Relation& rel,
     }
     source[d] = found;
   }
+  return source;
+}
+
+Result<SampleView> SampleView::FromRelation(const Relation& rel,
+                                            const ExprPtr& f_expr,
+                                            const LineageSchema& schema) {
+  // Map analysis dimension -> relation lineage column.
+  GUS_ASSIGN_OR_RETURN(std::vector<int> source,
+                       MapAnalysisDims(rel.lineage_schema(), schema));
 
   GUS_ASSIGN_OR_RETURN(ExprPtr bound, f_expr->Bind(rel.schema()));
 

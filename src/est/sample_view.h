@@ -42,6 +42,16 @@ struct SampleView {
   double SumF() const;
 };
 
+/// \brief Maps analysis-schema dimensions onto a lineage schema's columns.
+///
+/// Returns source[d] = index of schema.relation(d) within `lineage_schema`;
+/// fails if the arities differ or a relation is missing. Shared by
+/// SampleView::FromRelation and the streaming builders (est/streaming.h) so
+/// the two paths accept exactly the same inputs.
+Result<std::vector<int>> MapAnalysisDims(
+    const std::vector<std::string>& lineage_schema,
+    const LineageSchema& schema);
+
 }  // namespace gus
 
 #endif  // GUS_EST_SAMPLE_VIEW_H_

@@ -1,0 +1,208 @@
+#include "est/streaming.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "algebra/ops.h"
+#include "algebra/translate.h"
+#include "est/unbiased.h"
+#include "est/variance.h"
+#include "est/ys.h"
+#include "plan/vector_eval.h"
+#include "util/hash.h"
+
+namespace gus {
+
+namespace {
+
+constexpr char kNonNumericAggregate[] = "aggregate expression must be numeric";
+
+}  // namespace
+
+Result<SampleViewBuilder> SampleViewBuilder::Make(const BatchLayout& layout,
+                                                  const ExprPtr& f_expr,
+                                                  const LineageSchema& schema) {
+  SampleViewBuilder builder;
+  GUS_ASSIGN_OR_RETURN(builder.source_,
+                       MapAnalysisDims(layout.lineage_schema, schema));
+  GUS_ASSIGN_OR_RETURN(builder.bound_, f_expr->Bind(layout.schema));
+  builder.view_.schema = schema;
+  builder.view_.lineage.assign(schema.arity(), {});
+  return builder;
+}
+
+Status SampleViewBuilder::Consume(const ColumnBatch& batch) {
+  // Appends straight into the view's f column — no intermediate copies.
+  GUS_RETURN_NOT_OK(EvalExprBatchToDoubles(bound_, batch,
+                                           kNonNumericAggregate, &view_.f));
+  const int n = static_cast<int>(source_.size());
+  for (int d = 0; d < n; ++d) {
+    auto& col = view_.lineage[d];
+    col.reserve(col.size() + batch.num_rows());
+    for (int64_t i = 0; i < batch.num_rows(); ++i) {
+      col.push_back(batch.lineage_at(i, source_[d]));
+    }
+  }
+  return Status::OK();
+}
+
+Result<StreamingSboxEstimator> StreamingSboxEstimator::Make(
+    const BatchLayout& layout, const ExprPtr& f_expr, const GusParams& gus,
+    const SboxOptions& options) {
+  StreamingSboxEstimator est;
+  GUS_ASSIGN_OR_RETURN(est.source_,
+                       MapAnalysisDims(layout.lineage_schema, gus.schema()));
+  GUS_ASSIGN_OR_RETURN(est.bound_, f_expr->Bind(layout.schema));
+  est.gus_ = gus;
+  est.options_ = options;
+  est.retained_.schema = gus.schema();
+  est.retained_.lineage.assign(gus.schema().arity(), {});
+  return est;
+}
+
+double StreamingSboxEstimator::InterimP() const {
+  if (!options_.subsample.has_value()) return 1.0;
+  const int64_t target = options_.subsample->target_rows;
+  if (rows_seen_ <= target) return 1.0;
+  const double ratio =
+      static_cast<double>(target) / static_cast<double>(rows_seen_);
+  return std::pow(ratio, 1.0 / gus_.schema().arity());
+}
+
+void StreamingSboxEstimator::Prune() {
+  const double p = InterimP();
+  if (p >= 1.0) return;
+  const int n = gus_.schema().arity();
+  int64_t w = 0;
+  for (int64_t i = 0; i < retained_.num_rows(); ++i) {
+    if (ustar_[i] >= p) continue;
+    if (w != i) {
+      retained_.f[w] = retained_.f[i];
+      for (int d = 0; d < n; ++d) {
+        retained_.lineage[d][w] = retained_.lineage[d][i];
+      }
+      ustar_[w] = ustar_[i];
+    }
+    ++w;
+  }
+  retained_.f.resize(w);
+  for (int d = 0; d < n; ++d) retained_.lineage[d].resize(w);
+  ustar_.resize(w);
+}
+
+Status StreamingSboxEstimator::Consume(const ColumnBatch& batch) {
+  f_scratch_.clear();
+  GUS_RETURN_NOT_OK(EvalExprBatchToDoubles(bound_, batch,
+                                           kNonNumericAggregate,
+                                           &f_scratch_));
+  const std::vector<double>& f = f_scratch_;
+  const int n = gus_.schema().arity();
+  const bool subsampling = options_.subsample.has_value();
+  const uint64_t seed = subsampling ? options_.subsample->seed : 0;
+  // The retention threshold shrinks as rows_seen_ grows, so the value at
+  // batch start over-approximates every per-row threshold in the batch:
+  // hoisting it keeps the retained set a superset of the final filter's
+  // (Finish() applies the exact final p) while avoiding a pow per row.
+  const double p_batch = InterimP();
+  for (int64_t i = 0; i < batch.num_rows(); ++i) {
+    sum_f_ += f[i];
+    ++rows_seen_;
+    double u = 0.0;
+    if (subsampling) {
+      // Max over the per-dimension pseudo-random units: a row survives a
+      // threshold p iff u < p, matching the Section 7 filter exactly.
+      for (int d = 0; d < n; ++d) {
+        const uint64_t dim_seed = HashCombine(seed, static_cast<uint64_t>(d));
+        u = std::max(u, LineageUnitValue(dim_seed,
+                                         batch.lineage_at(i, source_[d])));
+      }
+      if (u >= p_batch) continue;  // cannot survive the final filter
+    }
+    retained_.f.push_back(f[i]);
+    for (int d = 0; d < n; ++d) {
+      retained_.lineage[d].push_back(batch.lineage_at(i, source_[d]));
+    }
+    if (subsampling) ustar_.push_back(u);
+  }
+  if (subsampling) {
+    const int64_t bound =
+        std::max<int64_t>(2 * options_.subsample->target_rows, 1024);
+    if (retained_.num_rows() > bound) Prune();
+  }
+  return Status::OK();
+}
+
+Result<SboxReport> StreamingSboxEstimator::Finish() {
+  if (gus_.a() <= 0.0) {
+    return Status::InvalidArgument("estimator needs a > 0");
+  }
+  SboxReport report;
+  report.sample_rows = rows_seen_;
+  report.estimate = sum_f_ / gus_.a();
+
+  // Assemble the variance view + GUS exactly as SboxEstimate does.
+  SampleView final_view;
+  const SampleView* variance_view = &retained_;
+  GusParams analysis = gus_;
+  if (options_.subsample.has_value() &&
+      rows_seen_ > options_.subsample->target_rows) {
+    const int n = gus_.schema().arity();
+    const double ratio =
+        static_cast<double>(options_.subsample->target_rows) /
+        static_cast<double>(rows_seen_);
+    const double p_per_dim = std::pow(ratio, 1.0 / n);
+    final_view.schema = gus_.schema();
+    final_view.lineage.assign(n, {});
+    for (int64_t i = 0; i < retained_.num_rows(); ++i) {
+      if (ustar_[i] >= p_per_dim) continue;
+      final_view.f.push_back(retained_.f[i]);
+      for (int d = 0; d < n; ++d) {
+        final_view.lineage[d].push_back(retained_.lineage[d][i]);
+      }
+    }
+    std::vector<DimBernoulli> dims;
+    for (const auto& rel : gus_.schema().relations()) {
+      dims.push_back({rel, p_per_dim});
+    }
+    GUS_ASSIGN_OR_RETURN(GusParams sub_gus,
+                         MultiDimBernoulliGus(gus_.schema(), dims));
+    GUS_ASSIGN_OR_RETURN(analysis, GusCompact(sub_gus, gus_));
+    variance_view = &final_view;
+  }
+  report.variance_rows = variance_view->num_rows();
+  report.analysis_gus = analysis;
+
+  const std::vector<double> Y = ComputeAllYS(*variance_view);
+  GUS_ASSIGN_OR_RETURN(report.y_hat, UnbiasedYEstimates(analysis, Y));
+  GUS_ASSIGN_OR_RETURN(double var, VarianceFromY(gus_, report.y_hat));
+  report.variance = std::max(0.0, var);
+  report.stddev = std::sqrt(report.variance);
+  GUS_ASSIGN_OR_RETURN(
+      report.interval,
+      MakeInterval(report.estimate, report.variance,
+                   options_.confidence_level, options_.bound_kind));
+  return report;
+}
+
+Result<SboxReport> EstimatePlanStreaming(const PlanPtr& plan,
+                                         ColumnarCatalog* catalog, Rng* rng,
+                                         const ExprPtr& f_expr,
+                                         const GusParams& gus,
+                                         const SboxOptions& options,
+                                         ExecMode mode) {
+  GUS_ASSIGN_OR_RETURN(std::unique_ptr<BatchSource> pipeline,
+                       CompileBatchPipeline(plan, catalog, rng, mode));
+  GUS_ASSIGN_OR_RETURN(
+      StreamingSboxEstimator est,
+      StreamingSboxEstimator::Make(*pipeline->layout(), f_expr, gus, options));
+  ColumnBatch batch;
+  while (true) {
+    GUS_ASSIGN_OR_RETURN(bool more, pipeline->Next(&batch));
+    if (!more) break;
+    if (batch.num_rows() == 0) continue;
+    GUS_RETURN_NOT_OK(est.Consume(batch));
+  }
+  return est.Finish();
+}
+
+}  // namespace gus

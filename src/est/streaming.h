@@ -1,0 +1,123 @@
+// Batch-incremental consumers for the estimation layer.
+//
+// The columnar executor pushes (lineage, f-value) batches straight into
+// these sinks, so the query result is never materialized as a relation:
+//
+//   * SampleViewBuilder — accumulates a SampleView (the Section 6 input)
+//     batch by batch; equivalent to SampleView::FromRelation on the
+//     materialized result, without the result.
+//   * StreamingSboxEstimator — the full SBox in one pass. The point
+//     estimate accumulates a running sum; the Section 7 sub-sampled y_S
+//     path retains only the rows that can still survive the final
+//     lineage-seeded Bernoulli filter. The per-dimension probability
+//     p = (target/m)^(1/n) depends on the final stream length m, but it
+//     only ever *decreases* as m grows, and the lineage filter is monotone
+//     in p — a row kept at the final p is kept at every interim p. The
+//     estimator therefore retains rows under the interim threshold (a
+//     superset), prunes as the threshold tightens, and applies the exact
+//     final filter in Finish(); the report is bit-identical to running
+//     SboxEstimate over the fully materialized view.
+//
+// Without a subsample configuration the y_S statistics need every row, so
+// the estimator degrades to retaining the full view — the paper's Section 7
+// point is precisely that the sub-sample is what makes streaming-sized
+// state possible.
+
+#ifndef GUS_EST_STREAMING_H_
+#define GUS_EST_STREAMING_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "algebra/gus_params.h"
+#include "est/sample_view.h"
+#include "est/sbox.h"
+#include "plan/columnar_executor.h"
+#include "rel/column_batch.h"
+#include "rel/expression.h"
+#include "util/status.h"
+
+namespace gus {
+
+/// \brief Accumulates a SampleView from column batches.
+class SampleViewBuilder final : public BatchSink {
+ public:
+  /// \brief Prepares a builder for batches of `layout`.
+  ///
+  /// Binds `f_expr` against the layout's schema and maps the analysis
+  /// schema's dimensions onto the layout's lineage columns (same
+  /// requirements and diagnostics as SampleView::FromRelation).
+  static Result<SampleViewBuilder> Make(const BatchLayout& layout,
+                                        const ExprPtr& f_expr,
+                                        const LineageSchema& schema);
+
+  Status Consume(const ColumnBatch& batch) override;
+
+  const SampleView& view() const { return view_; }
+  SampleView TakeView() { return std::move(view_); }
+
+ private:
+  SampleViewBuilder() = default;
+
+  std::vector<int> source_;  // analysis dim -> layout lineage column
+  ExprPtr bound_;
+  SampleView view_;
+};
+
+/// \brief One-pass SBox estimation over a batch stream.
+class StreamingSboxEstimator final : public BatchSink {
+ public:
+  static Result<StreamingSboxEstimator> Make(const BatchLayout& layout,
+                                             const ExprPtr& f_expr,
+                                             const GusParams& gus,
+                                             const SboxOptions& options = {});
+
+  Status Consume(const ColumnBatch& batch) override;
+
+  /// Completes the estimation; bit-identical to SboxEstimate over the
+  /// materialized view.
+  Result<SboxReport> Finish();
+
+  /// Rows currently retained for the y_S path (diagnostic; bounded at
+  /// roughly 2x the subsample target once the stream exceeds it).
+  int64_t retained_rows() const { return retained_.num_rows(); }
+  int64_t rows_seen() const { return rows_seen_; }
+
+ private:
+  StreamingSboxEstimator() = default;
+
+  /// Interim per-dimension threshold for the rows seen so far (1.0 while
+  /// the stream still fits the target).
+  double InterimP() const;
+  /// Drops retained rows that can no longer survive the final filter.
+  void Prune();
+
+  GusParams gus_;
+  SboxOptions options_;
+  std::vector<int> source_;
+  ExprPtr bound_;
+
+  int64_t rows_seen_ = 0;
+  double sum_f_ = 0.0;
+  std::vector<double> f_scratch_;  // reused per batch
+  /// Retained candidate rows with their max-over-dimensions unit value
+  /// (a row survives threshold p iff ustar < p).
+  SampleView retained_;
+  std::vector<double> ustar_;
+};
+
+/// \brief Executes `plan` on the columnar engine and streams the result
+/// straight into the SBox; the result relation is never materialized.
+///
+/// Equivalent to ExecutePlan + SampleView::FromRelation + SboxEstimate
+/// (identical report), in one pass.
+Result<SboxReport> EstimatePlanStreaming(const PlanPtr& plan,
+                                         ColumnarCatalog* catalog, Rng* rng,
+                                         const ExprPtr& f_expr,
+                                         const GusParams& gus,
+                                         const SboxOptions& options = {},
+                                         ExecMode mode = ExecMode::kSampled);
+
+}  // namespace gus
+
+#endif  // GUS_EST_STREAMING_H_

@@ -95,7 +95,7 @@ Status RippleEstimator::IngestLeft() {
   auto range = right_index_.equal_range(key.Hash());
   for (auto it = range.first; it != range.second; ++it) {
     const Row& rrow = right_.row(it->second);
-    if (!(rrow[right_key_] == key)) continue;
+    if (!rrow[right_key_].KeyEquals(key)) continue;
     Row joined = row;
     joined.insert(joined.end(), rrow.begin(), rrow.end());
     GUS_ASSIGN_OR_RETURN(Value v, f_bound_->Eval(joined));
@@ -117,7 +117,7 @@ Status RippleEstimator::IngestRight() {
   auto range = left_index_.equal_range(key.Hash());
   for (auto it = range.first; it != range.second; ++it) {
     const Row& lrow = left_.row(it->second);
-    if (!(lrow[left_key_] == key)) continue;
+    if (!lrow[left_key_].KeyEquals(key)) continue;
     Row joined = lrow;
     joined.insert(joined.end(), row.begin(), row.end());
     GUS_ASSIGN_OR_RETURN(Value v, f_bound_->Eval(joined));

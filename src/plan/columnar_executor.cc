@@ -1,0 +1,579 @@
+#include "plan/columnar_executor.h"
+
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "plan/vector_eval.h"
+#include "sampling/samplers.h"
+#include "util/hash.h"
+#include "util/logging.h"
+
+namespace gus {
+
+Result<const ColumnarRelation*> ColumnarCatalog::Get(const std::string& name) {
+  auto cached = cache_.find(name);
+  if (cached != cache_.end()) return &cached->second;
+  auto it = catalog_->find(name);
+  if (it == catalog_->end()) {
+    return Status::KeyError("relation '" + name + "' not in catalog");
+  }
+  GUS_ASSIGN_OR_RETURN(ColumnarRelation col,
+                       ColumnarRelation::FromRelation(it->second));
+  return &cache_.emplace(name, std::move(col)).first->second;
+}
+
+namespace {
+
+void PrepareOut(const LayoutPtr& layout, ColumnBatch* out) {
+  if (out->layout_ptr() != layout) {
+    out->ResetLayout(layout);
+  } else {
+    out->Clear();
+  }
+}
+
+/// Fully drains a source into a materialized columnar relation.
+Result<ColumnarRelation> Drain(BatchSource* src) {
+  ColumnarRelation out(src->layout());
+  ColumnBatch scratch;
+  while (true) {
+    GUS_ASSIGN_OR_RETURN(bool more, src->Next(&scratch));
+    if (!more) break;
+    out.AppendBatch(scratch);
+  }
+  return out;
+}
+
+/// Concatenated layout of two join/product inputs; fails on column-name or
+/// lineage overlap with the row engine's diagnostics.
+Result<LayoutPtr> ConcatLayout(const BatchLayout& left,
+                               const BatchLayout& right) {
+  for (const auto& name : left.lineage_schema) {
+    for (const auto& other : right.lineage_schema) {
+      if (name == other) {
+        return Status::InvalidArgument(
+            "join inputs must have disjoint lineage schemas (self-joins are "
+            "not supported by the GUS algebra, paper Prop. 6)");
+      }
+    }
+  }
+  auto layout = std::make_shared<BatchLayout>();
+  GUS_ASSIGN_OR_RETURN(layout->schema,
+                       Schema::Concat(left.schema, right.schema));
+  layout->lineage_schema = left.lineage_schema;
+  layout->lineage_schema.insert(layout->lineage_schema.end(),
+                                right.lineage_schema.begin(),
+                                right.lineage_schema.end());
+  return LayoutPtr(layout);
+}
+
+/// Per-dictionary key hashes (must agree with Value::Hash — see
+/// HashStringKey).
+std::vector<uint64_t> DictKeyHashes(const ColumnData& col) {
+  std::vector<uint64_t> hashes;
+  if (col.type != ValueType::kString || col.dict == nullptr) return hashes;
+  hashes.reserve(col.dict->values.size());
+  for (const auto& s : col.dict->values) hashes.push_back(HashStringKey(s));
+  return hashes;
+}
+
+uint64_t KeyHashAt(const ColumnData& col, int64_t i,
+                   const std::vector<uint64_t>& dict_hashes) {
+  switch (col.type) {
+    case ValueType::kInt64: return HashInt64Key(col.i64[i]);
+    case ValueType::kFloat64: return HashFloat64Key(col.f64[i]);
+    case ValueType::kString: return dict_hashes[col.codes[i]];
+  }
+  GUS_CHECK(false && "unhandled ValueType");
+  return 0;
+}
+
+/// Typed key equality mirroring Value::KeyEquals (mixed numeric types
+/// compare by exact promoted value).
+bool KeyEqualsAt(const ColumnData& a, int64_t i, const ColumnData& b,
+                 int64_t j) {
+  if (a.type == b.type) {
+    switch (a.type) {
+      case ValueType::kInt64: return a.i64[i] == b.i64[j];
+      case ValueType::kFloat64: return a.f64[i] == b.f64[j];
+      case ValueType::kString:
+        if (a.dict == b.dict) return a.codes[i] == b.codes[j];
+        return a.StringAt(i) == b.StringAt(j);
+    }
+    GUS_CHECK(false && "unhandled ValueType");
+  }
+  if (a.type == ValueType::kString || b.type == ValueType::kString) {
+    return false;
+  }
+  const double d = a.type == ValueType::kFloat64 ? a.f64[i] : b.f64[j];
+  const int64_t v = a.type == ValueType::kInt64 ? a.i64[i] : b.i64[j];
+  int64_t as_int;
+  return Float64AsExactInt64(d, &as_int) && as_int == v;
+}
+
+// ---- Sources ---------------------------------------------------------------
+
+class ScanSource final : public BatchSource {
+ public:
+  explicit ScanSource(const ColumnarRelation* rel)
+      : BatchSource(rel->layout_ptr()), rel_(rel) {}
+
+  Result<bool> Next(ColumnBatch* out) override {
+    if (pos_ >= rel_->num_rows()) return false;
+    const int64_t len = std::min(kBatchRows, rel_->num_rows() - pos_);
+    rel_->EmitSlice(pos_, len, out);
+    pos_ += len;
+    return true;
+  }
+
+ private:
+  const ColumnarRelation* rel_;
+  int64_t pos_ = 0;
+};
+
+class SelectSource final : public BatchSource {
+ public:
+  SelectSource(std::unique_ptr<BatchSource> child, ExprPtr bound)
+      : BatchSource(child->layout()),
+        child_(std::move(child)),
+        bound_(std::move(bound)) {}
+
+  Result<bool> Next(ColumnBatch* out) override {
+    PrepareOut(layout_, out);
+    GUS_ASSIGN_OR_RETURN(bool more, child_->Next(&scratch_));
+    if (!more) return false;
+    GUS_RETURN_NOT_OK(EvalPredicateBatch(bound_, scratch_, &sel_));
+    out->GatherFrom(scratch_, sel_);
+    return true;
+  }
+
+ private:
+  std::unique_ptr<BatchSource> child_;
+  ExprPtr bound_;
+  ColumnBatch scratch_;
+  std::vector<int64_t> sel_;
+};
+
+/// Exact-mode block sampling: streaming lineage re-key to block ids.
+class BlockRekeySource final : public BatchSource {
+ public:
+  BlockRekeySource(std::unique_ptr<BatchSource> child, int64_t block_size)
+      : BatchSource(child->layout()),
+        child_(std::move(child)),
+        block_size_(block_size) {}
+
+  Result<bool> Next(ColumnBatch* out) override {
+    GUS_ASSIGN_OR_RETURN(bool more, child_->Next(out));
+    if (!more) return false;
+    auto& lineage = *out->mutable_lineage();
+    for (int64_t i = 0; i < out->num_rows(); ++i) {
+      lineage[i] = static_cast<uint64_t>((base_ + i) / block_size_);
+    }
+    base_ += out->num_rows();
+    return true;
+  }
+
+ private:
+  std::unique_ptr<BatchSource> child_;
+  int64_t block_size_;
+  int64_t base_ = 0;
+};
+
+/// Sampled-mode sampler: pipeline breaker routed through the shared
+/// index-selection core, so the Rng sequence matches the row engine's.
+class SampleBreakerSource final : public BatchSource {
+ public:
+  SampleBreakerSource(std::unique_ptr<BatchSource> child, SamplingSpec spec,
+                      Rng* rng)
+      : BatchSource(child->layout()),
+        child_(std::move(child)),
+        spec_(std::move(spec)),
+        rng_(rng) {}
+
+  Result<bool> Next(ColumnBatch* out) override {
+    if (!drained_) {
+      GUS_ASSIGN_OR_RETURN(mat_, Drain(child_.get()));
+      const ColumnBatch& data = mat_.data();
+      GUS_ASSIGN_OR_RETURN(
+          SamplingDecision d,
+          DecideSampling(spec_, mat_.num_rows(), mat_.lineage_schema(),
+                         [&data](int64_t r, int dim) {
+                           return data.lineage_at(r, dim);
+                         },
+                         rng_));
+      keep_ = std::move(d.keep);
+      rekey_ = d.rekey_block_lineage;
+      drained_ = true;
+    }
+    if (pos_ >= static_cast<int64_t>(keep_.size())) return false;
+    PrepareOut(layout_, out);
+    const int64_t len =
+        std::min(kBatchRows, static_cast<int64_t>(keep_.size()) - pos_);
+    const int64_t* sel = keep_.data() + pos_;
+    out->GatherFrom(mat_.data(), sel, len);
+    if (rekey_) {
+      // Block lineage: id = pre-filter row index / block size.
+      auto& lineage = *out->mutable_lineage();
+      for (int64_t k = 0; k < len; ++k) {
+        lineage[k] = static_cast<uint64_t>(sel[k] / spec_.block_size);
+      }
+    }
+    pos_ += len;
+    return true;
+  }
+
+ private:
+  std::unique_ptr<BatchSource> child_;
+  SamplingSpec spec_;
+  Rng* rng_;
+  bool drained_ = false;
+  ColumnarRelation mat_;
+  std::vector<int64_t> keep_;
+  bool rekey_ = false;
+  int64_t pos_ = 0;
+};
+
+/// Hash equi-join: breaker on both inputs (left drains first, preserving
+/// the row engine's post-order Rng consumption), streaming probe output.
+class JoinSource final : public BatchSource {
+ public:
+  JoinSource(LayoutPtr layout, std::unique_ptr<BatchSource> left,
+             std::unique_ptr<BatchSource> right, int left_key, int right_key)
+      : BatchSource(std::move(layout)),
+        left_(std::move(left)),
+        right_(std::move(right)),
+        left_key_(left_key),
+        right_key_(right_key) {}
+
+  Result<bool> Next(ColumnBatch* out) override {
+    if (!drained_) GUS_RETURN_NOT_OK(DrainAndBuild());
+    const ColumnBatch& probe = probe_mat_->data();
+    if (probe_pos_ >= probe.num_rows() && cands_ == nullptr) return false;
+    PrepareOut(layout_, out);
+    const ColumnData& probe_key = probe.column(probe_key_);
+    const ColumnData& build_key = build_mat_->data().column(build_key_);
+    while (out->num_rows() < kBatchRows) {
+      if (cands_ == nullptr) {
+        if (probe_pos_ >= probe.num_rows()) break;
+        const uint64_t h =
+            KeyHashAt(probe_key, probe_pos_, probe_dict_hashes_);
+        auto it = table_.find(h);
+        if (it == table_.end()) {
+          ++probe_pos_;
+          continue;
+        }
+        cands_ = &it->second;
+        cand_pos_ = 0;
+      }
+      while (cand_pos_ < cands_->size() && out->num_rows() < kBatchRows) {
+        const int64_t b = (*cands_)[cand_pos_++];
+        if (!KeyEqualsAt(build_key, b, probe_key, probe_pos_)) continue;
+        const int64_t li = build_left_ ? b : probe_pos_;
+        const int64_t ri = build_left_ ? probe_pos_ : b;
+        out->AppendConcatRowFrom(left_mat_.data(), li, right_mat_.data(), ri);
+      }
+      if (cand_pos_ >= cands_->size()) {
+        cands_ = nullptr;
+        ++probe_pos_;
+      }
+    }
+    return true;
+  }
+
+ private:
+  Status DrainAndBuild() {
+    GUS_ASSIGN_OR_RETURN(left_mat_, Drain(left_.get()));
+    GUS_ASSIGN_OR_RETURN(right_mat_, Drain(right_.get()));
+    // Build on the smaller input — the row engine's rule, bit for bit.
+    build_left_ = left_mat_.num_rows() <= right_mat_.num_rows();
+    build_mat_ = build_left_ ? &left_mat_ : &right_mat_;
+    probe_mat_ = build_left_ ? &right_mat_ : &left_mat_;
+    build_key_ = build_left_ ? left_key_ : right_key_;
+    probe_key_ = build_left_ ? right_key_ : left_key_;
+    const ColumnData& key = build_mat_->data().column(build_key_);
+    build_dict_hashes_ = DictKeyHashes(key);
+    probe_dict_hashes_ = DictKeyHashes(probe_mat_->data().column(probe_key_));
+    table_.reserve(static_cast<size_t>(build_mat_->num_rows()));
+    for (int64_t i = 0; i < build_mat_->num_rows(); ++i) {
+      table_[KeyHashAt(key, i, build_dict_hashes_)].push_back(i);
+    }
+    drained_ = true;
+    return Status::OK();
+  }
+
+  std::unique_ptr<BatchSource> left_;
+  std::unique_ptr<BatchSource> right_;
+  int left_key_;
+  int right_key_;
+  bool drained_ = false;
+  ColumnarRelation left_mat_, right_mat_;
+  bool build_left_ = true;
+  const ColumnarRelation* build_mat_ = nullptr;
+  const ColumnarRelation* probe_mat_ = nullptr;
+  int build_key_ = 0, probe_key_ = 0;
+  std::vector<uint64_t> build_dict_hashes_, probe_dict_hashes_;
+  std::unordered_map<uint64_t, std::vector<int64_t>> table_;
+  int64_t probe_pos_ = 0;
+  const std::vector<int64_t>* cands_ = nullptr;
+  size_t cand_pos_ = 0;
+};
+
+/// Cross product: breaker on both inputs, left-major streaming output.
+class ProductSource final : public BatchSource {
+ public:
+  ProductSource(LayoutPtr layout, std::unique_ptr<BatchSource> left,
+                std::unique_ptr<BatchSource> right)
+      : BatchSource(std::move(layout)),
+        left_(std::move(left)),
+        right_(std::move(right)) {}
+
+  Result<bool> Next(ColumnBatch* out) override {
+    if (!drained_) {
+      GUS_ASSIGN_OR_RETURN(left_mat_, Drain(left_.get()));
+      GUS_ASSIGN_OR_RETURN(right_mat_, Drain(right_.get()));
+      drained_ = true;
+    }
+    if (i_ >= left_mat_.num_rows() || right_mat_.num_rows() == 0) {
+      return false;
+    }
+    PrepareOut(layout_, out);
+    while (out->num_rows() < kBatchRows && i_ < left_mat_.num_rows()) {
+      out->AppendConcatRowFrom(left_mat_.data(), i_, right_mat_.data(), j_);
+      if (++j_ >= right_mat_.num_rows()) {
+        j_ = 0;
+        ++i_;
+      }
+    }
+    return true;
+  }
+
+ private:
+  std::unique_ptr<BatchSource> left_;
+  std::unique_ptr<BatchSource> right_;
+  bool drained_ = false;
+  ColumnarRelation left_mat_, right_mat_;
+  int64_t i_ = 0, j_ = 0;
+};
+
+/// Exact-mode union: the exact evaluation of both branches yields the same
+/// set, so only the left branch's rows flow downstream — but the right
+/// branch still *runs* (rows discarded) once the left is exhausted, so its
+/// runtime errors surface exactly as they do in the row engine, which
+/// executes both branches.
+class ExactUnionSource final : public BatchSource {
+ public:
+  ExactUnionSource(std::unique_ptr<BatchSource> left,
+                   std::unique_ptr<BatchSource> right)
+      : BatchSource(left->layout()),
+        left_(std::move(left)),
+        right_(std::move(right)) {}
+
+  Result<bool> Next(ColumnBatch* out) override {
+    if (!left_done_) {
+      GUS_ASSIGN_OR_RETURN(bool more, left_->Next(out));
+      if (more) return true;
+      left_done_ = true;
+    }
+    while (!right_done_) {
+      GUS_ASSIGN_OR_RETURN(bool more, right_->Next(&discard_));
+      if (!more) right_done_ = true;
+    }
+    return false;
+  }
+
+ private:
+  std::unique_ptr<BatchSource> left_;
+  std::unique_ptr<BatchSource> right_;
+  ColumnBatch discard_;
+  bool left_done_ = false;
+  bool right_done_ = false;
+};
+
+/// Bag union keeping each lineage once (first occurrence, left first) —
+/// the sampled-mode GUS union of Prop. 7.
+class UnionSource final : public BatchSource {
+ public:
+  UnionSource(std::unique_ptr<BatchSource> left,
+              std::unique_ptr<BatchSource> right)
+      : BatchSource(left->layout()),
+        left_(std::move(left)),
+        right_(std::move(right)) {}
+
+  Result<bool> Next(ColumnBatch* out) override {
+    if (!drained_) GUS_RETURN_NOT_OK(DrainAndDedup());
+    const int64_t total_a = static_cast<int64_t>(sel_a_.size());
+    const int64_t total_b = static_cast<int64_t>(sel_b_.size());
+    if (pos_ >= total_a + total_b) return false;
+    PrepareOut(layout_, out);
+    while (out->num_rows() < kBatchRows && pos_ < total_a + total_b) {
+      const int64_t want = kBatchRows - out->num_rows();
+      if (pos_ < total_a) {
+        const int64_t len = std::min(want, total_a - pos_);
+        out->GatherFrom(a_mat_.data(), sel_a_.data() + pos_, len);
+        pos_ += len;
+      } else {
+        const int64_t off = pos_ - total_a;
+        const int64_t len = std::min(want, total_b - off);
+        out->GatherFrom(b_mat_.data(), sel_b_.data() + off, len);
+        pos_ += len;
+      }
+    }
+    return true;
+  }
+
+ private:
+  Status DrainAndDedup() {
+    GUS_ASSIGN_OR_RETURN(a_mat_, Drain(left_.get()));
+    GUS_ASSIGN_OR_RETURN(b_mat_, Drain(right_.get()));
+    const int arity = layout_->lineage_arity();
+    std::unordered_set<uint64_t> seen;
+    seen.reserve(
+        static_cast<size_t>(a_mat_.num_rows() + b_mat_.num_rows()));
+    auto add_all = [&](const ColumnarRelation& mat,
+                       std::vector<int64_t>* sel) {
+      const auto& lineage = mat.data().lineage();
+      for (int64_t i = 0; i < mat.num_rows(); ++i) {
+        const uint64_t h = HashLineageRow(
+            lineage.data() + static_cast<size_t>(i) * arity, arity);
+        if (seen.insert(h).second) sel->push_back(i);
+      }
+    };
+    add_all(a_mat_, &sel_a_);
+    add_all(b_mat_, &sel_b_);
+    drained_ = true;
+    return Status::OK();
+  }
+
+  std::unique_ptr<BatchSource> left_;
+  std::unique_ptr<BatchSource> right_;
+  bool drained_ = false;
+  ColumnarRelation a_mat_, b_mat_;
+  std::vector<int64_t> sel_a_, sel_b_;
+  int64_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<std::unique_ptr<BatchSource>> CompileBatchPipeline(
+    const PlanPtr& plan, ColumnarCatalog* catalog, Rng* rng, ExecMode mode) {
+  switch (plan->op()) {
+    case PlanOp::kScan: {
+      GUS_ASSIGN_OR_RETURN(const ColumnarRelation* rel,
+                           catalog->Get(plan->relation()));
+      return std::unique_ptr<BatchSource>(new ScanSource(rel));
+    }
+    case PlanOp::kSample: {
+      GUS_ASSIGN_OR_RETURN(
+          std::unique_ptr<BatchSource> child,
+          CompileBatchPipeline(plan->child(), catalog, rng, mode));
+      if (mode == ExecMode::kExact) {
+        // Sampling is a no-op in exact mode, but block sampling still
+        // re-keys lineage so both modes agree on lineage granularity.
+        if (plan->spec().method == SamplingMethod::kBlockBernoulli) {
+          if (plan->spec().block_size <= 0) {
+            return Status::InvalidArgument("block_size must be positive");
+          }
+          if (child->layout()->lineage_arity() != 1) {
+            return Status::InvalidArgument(
+                "block lineage applies to base (single-lineage) relations");
+          }
+          return std::unique_ptr<BatchSource>(
+              new BlockRekeySource(std::move(child), plan->spec().block_size));
+        }
+        return child;
+      }
+      return std::unique_ptr<BatchSource>(
+          new SampleBreakerSource(std::move(child), plan->spec(), rng));
+    }
+    case PlanOp::kSelect: {
+      GUS_ASSIGN_OR_RETURN(
+          std::unique_ptr<BatchSource> child,
+          CompileBatchPipeline(plan->child(), catalog, rng, mode));
+      GUS_ASSIGN_OR_RETURN(ExprPtr bound,
+                           plan->predicate()->Bind(child->layout()->schema));
+      return std::unique_ptr<BatchSource>(
+          new SelectSource(std::move(child), std::move(bound)));
+    }
+    case PlanOp::kJoin: {
+      GUS_ASSIGN_OR_RETURN(
+          std::unique_ptr<BatchSource> left,
+          CompileBatchPipeline(plan->left(), catalog, rng, mode));
+      GUS_ASSIGN_OR_RETURN(
+          std::unique_ptr<BatchSource> right,
+          CompileBatchPipeline(plan->right(), catalog, rng, mode));
+      GUS_ASSIGN_OR_RETURN(LayoutPtr layout,
+                           ConcatLayout(*left->layout(), *right->layout()));
+      GUS_ASSIGN_OR_RETURN(int lk,
+                           left->layout()->schema.IndexOf(plan->left_key()));
+      GUS_ASSIGN_OR_RETURN(int rk,
+                           right->layout()->schema.IndexOf(plan->right_key()));
+      return std::unique_ptr<BatchSource>(new JoinSource(
+          std::move(layout), std::move(left), std::move(right), lk, rk));
+    }
+    case PlanOp::kProduct: {
+      GUS_ASSIGN_OR_RETURN(
+          std::unique_ptr<BatchSource> left,
+          CompileBatchPipeline(plan->left(), catalog, rng, mode));
+      GUS_ASSIGN_OR_RETURN(
+          std::unique_ptr<BatchSource> right,
+          CompileBatchPipeline(plan->right(), catalog, rng, mode));
+      GUS_ASSIGN_OR_RETURN(LayoutPtr layout,
+                           ConcatLayout(*left->layout(), *right->layout()));
+      return std::unique_ptr<BatchSource>(new ProductSource(
+          std::move(layout), std::move(left), std::move(right)));
+    }
+    case PlanOp::kUnion: {
+      GUS_ASSIGN_OR_RETURN(
+          std::unique_ptr<BatchSource> left,
+          CompileBatchPipeline(plan->left(), catalog, rng, mode));
+      GUS_ASSIGN_OR_RETURN(
+          std::unique_ptr<BatchSource> right,
+          CompileBatchPipeline(plan->right(), catalog, rng, mode));
+      if (mode == ExecMode::kExact) {
+        // No sampler below consumes the Rng in exact mode, so only the
+        // left branch's rows are needed; the right branch runs for its
+        // error effects (see ExactUnionSource).
+        return std::unique_ptr<BatchSource>(
+            new ExactUnionSource(std::move(left), std::move(right)));
+      }
+      if (!(left->layout()->schema == right->layout()->schema)) {
+        return Status::InvalidArgument(
+            "union inputs must share a column schema");
+      }
+      if (left->layout()->lineage_schema != right->layout()->lineage_schema) {
+        return Status::InvalidArgument(
+            "union inputs must share a lineage schema (samples of the same "
+            "expression, paper Prop. 7)");
+      }
+      return std::unique_ptr<BatchSource>(
+          new UnionSource(std::move(left), std::move(right)));
+    }
+  }
+  return Status::Internal("unknown plan op");
+}
+
+Result<ColumnarRelation> ExecutePlanColumnar(const PlanPtr& plan,
+                                             ColumnarCatalog* catalog,
+                                             Rng* rng, ExecMode mode) {
+  GUS_ASSIGN_OR_RETURN(std::unique_ptr<BatchSource> pipeline,
+                       CompileBatchPipeline(plan, catalog, rng, mode));
+  return Drain(pipeline.get());
+}
+
+Status ExecutePlanToSink(const PlanPtr& plan, ColumnarCatalog* catalog,
+                         Rng* rng, ExecMode mode, BatchSink* sink) {
+  GUS_ASSIGN_OR_RETURN(std::unique_ptr<BatchSource> pipeline,
+                       CompileBatchPipeline(plan, catalog, rng, mode));
+  ColumnBatch batch;
+  while (true) {
+    GUS_ASSIGN_OR_RETURN(bool more, pipeline->Next(&batch));
+    if (!more) break;
+    if (batch.num_rows() == 0) continue;
+    GUS_RETURN_NOT_OK(sink->Consume(batch));
+  }
+  return Status::OK();
+}
+
+}  // namespace gus

@@ -1,0 +1,102 @@
+// Batch-at-a-time columnar plan execution.
+//
+// The plan compiles into a pull-based pipeline of batch operators:
+//
+//   scan            streams slices of the (cached) columnar base relation
+//   select          vectorized predicate -> selection vector -> gather
+//   sample          exact mode: pass-through (block sampling re-keys
+//                   lineage on the fly); sampled mode: pipeline breaker —
+//                   the child materializes, the shared index-selection core
+//                   (sampling/samplers.h) draws the kept rows, and the
+//                   output streams again
+//   join            breaker on both inputs (build on the smaller, exactly
+//                   like the row engine), streaming probe output
+//   product/union   breakers; union dedups by lineage hash, streaming out
+//
+// Only breakers materialize; chains of scan/select/exact-sample/join-probe
+// stream ColumnBatches of kBatchRows rows. The top of the pipeline either
+// materializes into a ColumnarRelation (ExecutePlanColumnar) or pushes
+// straight into a BatchSink (ExecutePlanToSink) — the latter is how the
+// estimators consume the (lineage, f) stream without ever materializing
+// the final relation (est/streaming.h).
+//
+// Engine parity: because sampling decisions come from the shared index
+// core and the pipeline drains sub-plans in the row engine's post-order
+// (left fully before right, children before samplers), a (plan, catalog,
+// seed, mode) pair produces identical rows and lineage under both engines.
+
+#ifndef GUS_PLAN_COLUMNAR_EXECUTOR_H_
+#define GUS_PLAN_COLUMNAR_EXECUTOR_H_
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "plan/executor.h"
+#include "plan/plan_node.h"
+#include "rel/column_batch.h"
+#include "util/random.h"
+#include "util/status.h"
+
+namespace gus {
+
+/// Rows per pipeline batch.
+inline constexpr int64_t kBatchRows = 2048;
+
+/// \brief Lazy cache of row-engine catalog relations in columnar form.
+///
+/// Conversion happens once per base relation and is shared by every scan of
+/// the plan (and across plans, if the caller keeps the catalog around — the
+/// benchmarks do, mirroring a system that ingests columnar once).
+class ColumnarCatalog {
+ public:
+  explicit ColumnarCatalog(const Catalog* catalog) : catalog_(catalog) {}
+
+  /// The columnar form of base relation `name`, converting on first use.
+  Result<const ColumnarRelation*> Get(const std::string& name);
+
+ private:
+  const Catalog* catalog_;
+  std::map<std::string, ColumnarRelation> cache_;
+};
+
+/// \brief Pull iterator over a stream of column batches.
+class BatchSource {
+ public:
+  virtual ~BatchSource() = default;
+
+  const LayoutPtr& layout() const { return layout_; }
+
+  /// \brief Pulls the next batch into `out` (cleared first).
+  ///
+  /// Returns false when the stream is exhausted; a true return may carry an
+  /// empty batch (e.g. a fully-filtered chunk) and callers keep pulling.
+  virtual Result<bool> Next(ColumnBatch* out) = 0;
+
+ protected:
+  explicit BatchSource(LayoutPtr layout) : layout_(std::move(layout)) {}
+
+  LayoutPtr layout_;
+};
+
+/// \brief Compiles `plan` into a batch pipeline (static checks — unknown
+/// relations, schema overlap — surface here).
+Result<std::unique_ptr<BatchSource>> CompileBatchPipeline(
+    const PlanPtr& plan, ColumnarCatalog* catalog, Rng* rng, ExecMode mode);
+
+/// Runs the pipeline to completion, materializing the result.
+Result<ColumnarRelation> ExecutePlanColumnar(const PlanPtr& plan,
+                                             ColumnarCatalog* catalog,
+                                             Rng* rng,
+                                             ExecMode mode = ExecMode::kSampled);
+
+/// \brief Runs the pipeline, pushing every output batch into `sink`.
+///
+/// The result relation is never materialized; this is the streaming path
+/// the estimators build on.
+Status ExecutePlanToSink(const PlanPtr& plan, ColumnarCatalog* catalog,
+                         Rng* rng, ExecMode mode, BatchSink* sink);
+
+}  // namespace gus
+
+#endif  // GUS_PLAN_COLUMNAR_EXECUTOR_H_

@@ -1,12 +1,15 @@
 #include "plan/executor.h"
 
+#include "plan/columnar_executor.h"
 #include "rel/operators.h"
 #include "sampling/samplers.h"
 
 namespace gus {
 
-Result<Relation> ExecutePlan(const PlanPtr& plan, const Catalog& catalog,
-                             Rng* rng, ExecMode mode) {
+namespace {
+
+Result<Relation> ExecutePlanRow(const PlanPtr& plan, const Catalog& catalog,
+                                Rng* rng, ExecMode mode) {
   switch (plan->op()) {
     case PlanOp::kScan: {
       auto it = catalog.find(plan->relation());
@@ -18,7 +21,7 @@ Result<Relation> ExecutePlan(const PlanPtr& plan, const Catalog& catalog,
     }
     case PlanOp::kSample: {
       GUS_ASSIGN_OR_RETURN(Relation input,
-                           ExecutePlan(plan->child(), catalog, rng, mode));
+                           ExecutePlanRow(plan->child(), catalog, rng, mode));
       if (mode == ExecMode::kExact) {
         // Exact mode computes the true aggregate: sampling is a no-op, but
         // block sampling still re-keys lineage so that sampled and exact
@@ -32,28 +35,28 @@ Result<Relation> ExecutePlan(const PlanPtr& plan, const Catalog& catalog,
     }
     case PlanOp::kSelect: {
       GUS_ASSIGN_OR_RETURN(Relation input,
-                           ExecutePlan(plan->child(), catalog, rng, mode));
+                           ExecutePlanRow(plan->child(), catalog, rng, mode));
       return Select(input, plan->predicate());
     }
     case PlanOp::kJoin: {
       GUS_ASSIGN_OR_RETURN(Relation l,
-                           ExecutePlan(plan->left(), catalog, rng, mode));
+                           ExecutePlanRow(plan->left(), catalog, rng, mode));
       GUS_ASSIGN_OR_RETURN(Relation r,
-                           ExecutePlan(plan->right(), catalog, rng, mode));
+                           ExecutePlanRow(plan->right(), catalog, rng, mode));
       return HashJoin(l, r, plan->left_key(), plan->right_key());
     }
     case PlanOp::kProduct: {
       GUS_ASSIGN_OR_RETURN(Relation l,
-                           ExecutePlan(plan->left(), catalog, rng, mode));
+                           ExecutePlanRow(plan->left(), catalog, rng, mode));
       GUS_ASSIGN_OR_RETURN(Relation r,
-                           ExecutePlan(plan->right(), catalog, rng, mode));
+                           ExecutePlanRow(plan->right(), catalog, rng, mode));
       return CrossProduct(l, r);
     }
     case PlanOp::kUnion: {
       GUS_ASSIGN_OR_RETURN(Relation l,
-                           ExecutePlan(plan->left(), catalog, rng, mode));
+                           ExecutePlanRow(plan->left(), catalog, rng, mode));
       GUS_ASSIGN_OR_RETURN(Relation r,
-                           ExecutePlan(plan->right(), catalog, rng, mode));
+                           ExecutePlanRow(plan->right(), catalog, rng, mode));
       if (mode == ExecMode::kExact) {
         // Exact evaluation of both branches yields the same set; the union
         // of a set with itself is itself.
@@ -63,6 +66,19 @@ Result<Relation> ExecutePlan(const PlanPtr& plan, const Catalog& catalog,
     }
   }
   return Status::Internal("unknown plan op");
+}
+
+}  // namespace
+
+Result<Relation> ExecutePlan(const PlanPtr& plan, const Catalog& catalog,
+                             Rng* rng, ExecMode mode, ExecEngine engine) {
+  if (engine == ExecEngine::kColumnar) {
+    ColumnarCatalog columnar(&catalog);
+    GUS_ASSIGN_OR_RETURN(ColumnarRelation result,
+                         ExecutePlanColumnar(plan, &columnar, rng, mode));
+    return result.ToRelation();
+  }
+  return ExecutePlanRow(plan, catalog, rng, mode);
 }
 
 }  // namespace gus

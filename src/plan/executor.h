@@ -25,13 +25,29 @@ using Catalog = std::map<std::string, Relation>;
 /// Execution mode: run samplers or skip them.
 enum class ExecMode { kSampled, kExact };
 
+/// \brief Which physical engine runs the plan.
+///
+/// Both engines draw their samples through the shared index-selection core
+/// (sampling/samplers.h) and consume the Rng in the same order, so for a
+/// given (plan, catalog, seed, mode) they produce identical rows and
+/// lineage — the columnar engine just gets there without materializing
+/// row-at-a-time intermediates (see plan/columnar_executor.h).
+enum class ExecEngine { kRowAtATime, kColumnar };
+
 /// \brief Executes `plan` against `catalog`.
 ///
 /// `rng` drives every sampler in the plan (ignored in exact mode). Join
 /// nodes use the hash equi-join; product and union use their respective
-/// physical operators.
+/// physical operators. With ExecEngine::kColumnar the plan runs on the
+/// batch pipeline and the result converts back to a Relation at the end.
+/// Each such call builds a throwaway ColumnarCatalog (one row-to-columnar
+/// ingest per scanned base relation); callers issuing repeated queries
+/// against the same catalog — or wanting to stay columnar / stream — hold
+/// a ColumnarCatalog and use plan/columnar_executor.h directly, as the
+/// benchmarks do.
 Result<Relation> ExecutePlan(const PlanPtr& plan, const Catalog& catalog,
-                             Rng* rng, ExecMode mode = ExecMode::kSampled);
+                             Rng* rng, ExecMode mode = ExecMode::kSampled,
+                             ExecEngine engine = ExecEngine::kRowAtATime);
 
 }  // namespace gus
 

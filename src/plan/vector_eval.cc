@@ -1,0 +1,347 @@
+#include "plan/vector_eval.h"
+
+#include <string>
+
+#include "util/logging.h"
+
+namespace gus {
+
+namespace {
+
+/// Either a borrowed column (leaf references into the batch) or an owned
+/// intermediate — avoids copying whole columns for column-reference leaves.
+struct EvalOut {
+  const ColumnData* ref = nullptr;
+  ColumnData owned;
+
+  const ColumnData& get() const { return ref != nullptr ? *ref : owned; }
+};
+
+double ElemToDouble(const ColumnData& col, int64_t i) {
+  return col.type == ValueType::kInt64 ? static_cast<double>(col.i64[i])
+                                       : col.f64[i];
+}
+
+Status NumericOperandError(ExprOp op) {
+  return Status::TypeError(std::string("operator ") + ExprOpSymbol(op) +
+                           " requires numeric operands");
+}
+
+Result<EvalOut> ArithmeticBatch(ExprOp op, const ColumnData& l,
+                                const ColumnData& r, int64_t n) {
+  if (l.type == ValueType::kString || r.type == ValueType::kString) {
+    return NumericOperandError(op);
+  }
+  EvalOut out;
+  // Integer arithmetic stays integral; mixed and division promote to
+  // float64 (mirrors NumericBinary in rel/expression.cc).
+  if (l.type == ValueType::kInt64 && r.type == ValueType::kInt64 &&
+      op != ExprOp::kDiv) {
+    out.owned.type = ValueType::kInt64;
+    auto& dst = out.owned.i64;
+    dst.resize(n);
+    switch (op) {
+      case ExprOp::kAdd:
+        for (int64_t i = 0; i < n; ++i) dst[i] = l.i64[i] + r.i64[i];
+        break;
+      case ExprOp::kSub:
+        for (int64_t i = 0; i < n; ++i) dst[i] = l.i64[i] - r.i64[i];
+        break;
+      case ExprOp::kMul:
+        for (int64_t i = 0; i < n; ++i) dst[i] = l.i64[i] * r.i64[i];
+        break;
+      default:
+        return Status::Internal("not a numeric op");
+    }
+    return out;
+  }
+  out.owned.type = ValueType::kFloat64;
+  auto& dst = out.owned.f64;
+  dst.resize(n);
+  switch (op) {
+    case ExprOp::kAdd:
+      for (int64_t i = 0; i < n; ++i) {
+        dst[i] = ElemToDouble(l, i) + ElemToDouble(r, i);
+      }
+      break;
+    case ExprOp::kSub:
+      for (int64_t i = 0; i < n; ++i) {
+        dst[i] = ElemToDouble(l, i) - ElemToDouble(r, i);
+      }
+      break;
+    case ExprOp::kMul:
+      for (int64_t i = 0; i < n; ++i) {
+        dst[i] = ElemToDouble(l, i) * ElemToDouble(r, i);
+      }
+      break;
+    case ExprOp::kDiv:
+      for (int64_t i = 0; i < n; ++i) {
+        const double b = ElemToDouble(r, i);
+        if (b == 0.0) return Status::InvalidArgument("division by zero");
+        dst[i] = ElemToDouble(l, i) / b;
+      }
+      break;
+    default:
+      return Status::Internal("not a numeric op");
+  }
+  return out;
+}
+
+bool CompareOp(ExprOp op, int cmp) {
+  switch (op) {
+    case ExprOp::kEq: return cmp == 0;
+    case ExprOp::kNe: return cmp != 0;
+    case ExprOp::kLt: return cmp < 0;
+    case ExprOp::kLe: return cmp <= 0;
+    case ExprOp::kGt: return cmp > 0;
+    case ExprOp::kGe: return cmp >= 0;
+    default: GUS_CHECK(false && "not a comparison op"); return false;
+  }
+}
+
+Result<EvalOut> CompareBatch(ExprOp op, const ColumnData& l,
+                             const ColumnData& r, int64_t n) {
+  EvalOut out;
+  out.owned.type = ValueType::kInt64;
+  auto& dst = out.owned.i64;
+  dst.resize(n);
+  const bool l_str = l.type == ValueType::kString;
+  const bool r_str = r.type == ValueType::kString;
+  if (!l_str && !r_str) {
+    for (int64_t i = 0; i < n; ++i) {
+      const double a = ElemToDouble(l, i), b = ElemToDouble(r, i);
+      const int cmp = a < b ? -1 : (a > b ? 1 : 0);
+      dst[i] = CompareOp(op, cmp) ? 1 : 0;
+    }
+    return out;
+  }
+  if (l_str && r_str) {
+    // Interned codes within one dictionary are unique, so same-dict
+    // equality reduces to code equality.
+    if (l.dict == r.dict && l.dict != nullptr &&
+        (op == ExprOp::kEq || op == ExprOp::kNe)) {
+      const bool want_equal = op == ExprOp::kEq;
+      for (int64_t i = 0; i < n; ++i) {
+        dst[i] = ((l.codes[i] == r.codes[i]) == want_equal) ? 1 : 0;
+      }
+      return out;
+    }
+    for (int64_t i = 0; i < n; ++i) {
+      const int c = l.StringAt(i).compare(r.StringAt(i));
+      const int cmp = c < 0 ? -1 : (c > 0 ? 1 : 0);
+      dst[i] = CompareOp(op, cmp) ? 1 : 0;
+    }
+    return out;
+  }
+  return Status::TypeError(
+      "cannot compare " + std::string(ValueTypeName(l.type)) + " with " +
+      ValueTypeName(r.type));
+}
+
+Status Truthify(const ColumnData& col, int64_t n, std::vector<char>* out) {
+  if (col.type == ValueType::kString) {
+    return Status::TypeError("boolean context requires a numeric value");
+  }
+  out->resize(n);
+  if (col.type == ValueType::kInt64) {
+    for (int64_t i = 0; i < n; ++i) (*out)[i] = col.i64[i] != 0;
+  } else {
+    for (int64_t i = 0; i < n; ++i) (*out)[i] = col.f64[i] != 0.0;
+  }
+  return Status::OK();
+}
+
+/// Marks the columns a bound expression reads (used[i] = 1).
+void CollectColumns(const Expr& e, std::vector<char>* used) {
+  if (e.op() == ExprOp::kColumn) {
+    const int idx = e.column_index();
+    if (idx >= 0 && idx < static_cast<int>(used->size())) (*used)[idx] = 1;
+    return;
+  }
+  if (e.op() == ExprOp::kLiteral) return;
+  if (e.left() != nullptr) CollectColumns(*e.left(), used);
+  if (e.right() != nullptr) CollectColumns(*e.right(), used);
+}
+
+Result<EvalOut> EvalNode(const Expr& e, const ColumnBatch& batch) {
+  const int64_t n = batch.num_rows();
+  switch (e.op()) {
+    case ExprOp::kColumn: {
+      const int idx = e.column_index();
+      if (idx < 0 || idx >= batch.num_columns()) {
+        return Status::Internal("unbound or out-of-range column '" +
+                                e.column_name() + "' — call Bind() first");
+      }
+      EvalOut out;
+      out.ref = &batch.column(idx);
+      return out;
+    }
+    case ExprOp::kLiteral: {
+      EvalOut out;
+      out.owned.type = e.literal().type();
+      switch (e.literal().type()) {
+        case ValueType::kInt64:
+          out.owned.i64.assign(n, e.literal().AsInt64());
+          break;
+        case ValueType::kFloat64:
+          out.owned.f64.assign(n, e.literal().AsFloat64());
+          break;
+        case ValueType::kString: {
+          out.owned.dict = std::make_shared<StringDict>();
+          const uint32_t code =
+              out.owned.dict->Intern(e.literal().AsString());
+          out.owned.codes.assign(n, code);
+          break;
+        }
+      }
+      return out;
+    }
+    case ExprOp::kNeg: {
+      GUS_ASSIGN_OR_RETURN(EvalOut arg, EvalNode(*e.left(), batch));
+      const ColumnData& col = arg.get();
+      if (col.type == ValueType::kString) {
+        return Status::TypeError("negation of non-number");
+      }
+      EvalOut out;
+      out.owned.type = col.type;
+      if (col.type == ValueType::kInt64) {
+        out.owned.i64.resize(n);
+        for (int64_t i = 0; i < n; ++i) out.owned.i64[i] = -col.i64[i];
+      } else {
+        out.owned.f64.resize(n);
+        for (int64_t i = 0; i < n; ++i) out.owned.f64[i] = -col.f64[i];
+      }
+      return out;
+    }
+    case ExprOp::kNot: {
+      GUS_ASSIGN_OR_RETURN(EvalOut arg, EvalNode(*e.left(), batch));
+      std::vector<char> truth;
+      GUS_RETURN_NOT_OK(Truthify(arg.get(), n, &truth));
+      EvalOut out;
+      out.owned.type = ValueType::kInt64;
+      out.owned.i64.resize(n);
+      for (int64_t i = 0; i < n; ++i) out.owned.i64[i] = truth[i] ? 0 : 1;
+      return out;
+    }
+    case ExprOp::kAnd:
+    case ExprOp::kOr: {
+      // Row-level short-circuit, vectorized: the right operand only
+      // evaluates over the rows whose outcome it decides, so guard
+      // predicates like `x <> 0 AND 1/x > 2` behave exactly as in the row
+      // engine.
+      GUS_ASSIGN_OR_RETURN(EvalOut l, EvalNode(*e.left(), batch));
+      std::vector<char> lt;
+      GUS_RETURN_NOT_OK(Truthify(l.get(), n, &lt));
+      const bool is_and = e.op() == ExprOp::kAnd;
+      EvalOut out;
+      out.owned.type = ValueType::kInt64;
+      out.owned.i64.resize(n);
+      std::vector<int64_t> undecided;
+      for (int64_t i = 0; i < n; ++i) {
+        if (static_cast<bool>(lt[i]) == is_and) {
+          undecided.push_back(i);
+        } else {
+          out.owned.i64[i] = is_and ? 0 : 1;  // short-circuited
+        }
+      }
+      if (undecided.empty()) return out;
+      std::vector<char> rt;
+      if (static_cast<int64_t>(undecided.size()) == n) {
+        GUS_ASSIGN_OR_RETURN(EvalOut r, EvalNode(*e.right(), batch));
+        GUS_RETURN_NOT_OK(Truthify(r.get(), n, &rt));
+        for (int64_t i = 0; i < n; ++i) out.owned.i64[i] = rt[i] ? 1 : 0;
+        return out;
+      }
+      // The sub-batch only carries the columns the right subtree reads
+      // (and no lineage) — the rest of a wide row never gets copied.
+      std::vector<char> used(batch.num_columns(), 0);
+      CollectColumns(*e.right(), &used);
+      ColumnBatch sub(batch.layout_ptr());
+      sub.GatherColumnsFrom(batch, undecided.data(),
+                            static_cast<int64_t>(undecided.size()), used);
+      GUS_ASSIGN_OR_RETURN(EvalOut r, EvalNode(*e.right(), sub));
+      GUS_RETURN_NOT_OK(
+          Truthify(r.get(), static_cast<int64_t>(undecided.size()), &rt));
+      for (size_t k = 0; k < undecided.size(); ++k) {
+        out.owned.i64[undecided[k]] = rt[k] ? 1 : 0;
+      }
+      return out;
+    }
+    case ExprOp::kAdd:
+    case ExprOp::kSub:
+    case ExprOp::kMul:
+    case ExprOp::kDiv: {
+      GUS_ASSIGN_OR_RETURN(EvalOut l, EvalNode(*e.left(), batch));
+      GUS_ASSIGN_OR_RETURN(EvalOut r, EvalNode(*e.right(), batch));
+      return ArithmeticBatch(e.op(), l.get(), r.get(), n);
+    }
+    default: {
+      GUS_ASSIGN_OR_RETURN(EvalOut l, EvalNode(*e.left(), batch));
+      GUS_ASSIGN_OR_RETURN(EvalOut r, EvalNode(*e.right(), batch));
+      return CompareBatch(e.op(), l.get(), r.get(), n);
+    }
+  }
+}
+
+}  // namespace
+
+Result<ColumnData> EvalExprBatch(const ExprPtr& bound,
+                                 const ColumnBatch& batch) {
+  GUS_ASSIGN_OR_RETURN(EvalOut out, EvalNode(*bound, batch));
+  if (out.ref != nullptr) return *out.ref;  // copy only at the API boundary
+  return std::move(out.owned);
+}
+
+Status EvalPredicateBatch(const ExprPtr& bound, const ColumnBatch& batch,
+                          std::vector<int64_t>* sel) {
+  sel->clear();
+  GUS_ASSIGN_OR_RETURN(EvalOut out, EvalNode(*bound, batch));
+  const ColumnData& col = out.get();
+  if (col.type == ValueType::kString) {
+    return Status::TypeError("predicate must evaluate to a numeric/boolean");
+  }
+  const int64_t n = batch.num_rows();
+  if (col.type == ValueType::kInt64) {
+    for (int64_t i = 0; i < n; ++i) {
+      if (col.i64[i] != 0) sel->push_back(i);
+    }
+  } else {
+    for (int64_t i = 0; i < n; ++i) {
+      if (col.f64[i] != 0.0) sel->push_back(i);
+    }
+  }
+  return Status::OK();
+}
+
+Status EvalExprBatchToDoubles(const ExprPtr& bound, const ColumnBatch& batch,
+                              const char* type_error_message,
+                              std::vector<double>* out) {
+  GUS_ASSIGN_OR_RETURN(EvalOut result, EvalNode(*bound, batch));
+  const ColumnData& col = result.get();
+  if (col.type == ValueType::kString) {
+    return Status::TypeError(type_error_message);
+  }
+  if (col.type == ValueType::kFloat64) {
+    out->insert(out->end(), col.f64.begin(), col.f64.end());
+  } else {
+    out->reserve(out->size() + col.i64.size());
+    for (const int64_t v : col.i64) {
+      out->push_back(static_cast<double>(v));
+    }
+  }
+  return Status::OK();
+}
+
+Result<std::vector<double>> ColumnToDouble(const ColumnData& col) {
+  if (col.type == ValueType::kString) {
+    return Status::TypeError("numeric column required");
+  }
+  if (col.type == ValueType::kFloat64) return col.f64;
+  std::vector<double> out(col.i64.size());
+  for (size_t i = 0; i < col.i64.size(); ++i) {
+    out[i] = static_cast<double>(col.i64[i]);
+  }
+  return out;
+}
+
+}  // namespace gus

@@ -1,0 +1,269 @@
+#include "rel/column_batch.h"
+
+namespace gus {
+
+void ColumnData::Clear() {
+  i64.clear();
+  f64.clear();
+  codes.clear();
+  // The dictionary is kept: batches are reused across pipeline pulls and
+  // almost always refill from the same source.
+}
+
+void ColumnData::Reserve(int64_t n) {
+  switch (type) {
+    case ValueType::kInt64: i64.reserve(n); break;
+    case ValueType::kFloat64: f64.reserve(n); break;
+    case ValueType::kString: codes.reserve(n); break;
+  }
+}
+
+Value ColumnData::ValueAt(int64_t i) const {
+  switch (type) {
+    case ValueType::kInt64: return Value(i64[i]);
+    case ValueType::kFloat64: return Value(f64[i]);
+    case ValueType::kString: return Value(dict->values[codes[i]]);
+  }
+  GUS_CHECK(false && "unhandled ValueType");
+  return Value();
+}
+
+Status ColumnData::AppendValue(const Value& v) {
+  if (v.type() != type) {
+    return Status::TypeError(std::string("column of type ") +
+                             ValueTypeName(type) + " cannot hold a " +
+                             ValueTypeName(v.type()) + " value");
+  }
+  switch (type) {
+    case ValueType::kInt64:
+      i64.push_back(v.AsInt64());
+      break;
+    case ValueType::kFloat64:
+      f64.push_back(v.AsFloat64());
+      break;
+    case ValueType::kString:
+      if (dict == nullptr) dict = std::make_shared<StringDict>();
+      codes.push_back(dict->Intern(v.AsString()));
+      break;
+  }
+  return Status::OK();
+}
+
+void ColumnData::AppendFrom(const ColumnData& src, int64_t row) {
+  GUS_DCHECK(src.type == type);
+  switch (type) {
+    case ValueType::kInt64:
+      i64.push_back(src.i64[row]);
+      break;
+    case ValueType::kFloat64:
+      f64.push_back(src.f64[row]);
+      break;
+    case ValueType::kString:
+      if (dict == nullptr || codes.empty()) {
+        dict = src.dict;  // adopt: no rows yet, any previous dict is moot
+      }
+      if (dict == src.dict) {
+        codes.push_back(src.codes[row]);
+      } else {
+        codes.push_back(dict->Intern(src.StringAt(row)));
+      }
+      break;
+  }
+}
+
+void ColumnBatch::ResetLayout(LayoutPtr layout) {
+  layout_ = std::move(layout);
+  columns_.clear();
+  columns_.resize(layout_->schema.num_columns());
+  for (int c = 0; c < layout_->schema.num_columns(); ++c) {
+    columns_[c].type = layout_->schema.column(c).type;
+  }
+  lineage_.clear();
+  num_rows_ = 0;
+}
+
+Row ColumnBatch::RowAt(int64_t i) const {
+  Row row;
+  row.reserve(columns_.size());
+  for (const ColumnData& col : columns_) row.push_back(col.ValueAt(i));
+  return row;
+}
+
+LineageRow ColumnBatch::LineageRowAt(int64_t i) const {
+  const int arity = layout_->lineage_arity();
+  const auto* base = lineage_.data() + static_cast<size_t>(i) * arity;
+  return LineageRow(base, base + arity);
+}
+
+void ColumnBatch::Clear() {
+  for (ColumnData& col : columns_) col.Clear();
+  lineage_.clear();
+  num_rows_ = 0;
+}
+
+void ColumnBatch::Reserve(int64_t n) {
+  for (ColumnData& col : columns_) col.Reserve(n);
+  lineage_.reserve(static_cast<size_t>(n) * layout_->lineage_arity());
+}
+
+void ColumnBatch::AppendRangeFrom(const ColumnBatch& src, int64_t begin,
+                                  int64_t len) {
+  GUS_DCHECK(src.num_columns() == num_columns());
+  GUS_DCHECK(src.lineage_arity() == lineage_arity());
+  if (len <= 0) return;
+  for (size_t c = 0; c < columns_.size(); ++c) {
+    ColumnData& dst = columns_[c];
+    const ColumnData& from = src.columns_[c];
+    switch (dst.type) {
+      case ValueType::kInt64:
+        dst.i64.insert(dst.i64.end(), from.i64.begin() + begin,
+                       from.i64.begin() + begin + len);
+        break;
+      case ValueType::kFloat64:
+        dst.f64.insert(dst.f64.end(), from.f64.begin() + begin,
+                       from.f64.begin() + begin + len);
+        break;
+      case ValueType::kString:
+        if (dst.dict == nullptr || dst.codes.empty()) dst.dict = from.dict;
+        if (dst.dict == from.dict) {
+          dst.codes.insert(dst.codes.end(), from.codes.begin() + begin,
+                           from.codes.begin() + begin + len);
+        } else {
+          for (int64_t i = 0; i < len; ++i) {
+            dst.codes.push_back(dst.dict->Intern(from.StringAt(begin + i)));
+          }
+        }
+        break;
+    }
+  }
+  const int arity = lineage_arity();
+  lineage_.insert(lineage_.end(),
+                  src.lineage_.begin() + static_cast<size_t>(begin) * arity,
+                  src.lineage_.begin() +
+                      static_cast<size_t>(begin + len) * arity);
+  num_rows_ += len;
+}
+
+namespace {
+
+void GatherColumn(ColumnData* dst, const ColumnData& from, const int64_t* sel,
+                  int64_t len) {
+  const int64_t* end = sel + len;
+  switch (dst->type) {
+    case ValueType::kInt64:
+      for (const int64_t* p = sel; p != end; ++p) {
+        dst->i64.push_back(from.i64[*p]);
+      }
+      break;
+    case ValueType::kFloat64:
+      for (const int64_t* p = sel; p != end; ++p) {
+        dst->f64.push_back(from.f64[*p]);
+      }
+      break;
+    case ValueType::kString:
+      if (dst->dict == nullptr || dst->codes.empty()) dst->dict = from.dict;
+      if (dst->dict == from.dict) {
+        for (const int64_t* p = sel; p != end; ++p) {
+          dst->codes.push_back(from.codes[*p]);
+        }
+      } else {
+        for (const int64_t* p = sel; p != end; ++p) {
+          dst->codes.push_back(dst->dict->Intern(from.StringAt(*p)));
+        }
+      }
+      break;
+  }
+}
+
+}  // namespace
+
+void ColumnBatch::GatherFrom(const ColumnBatch& src, const int64_t* sel,
+                             int64_t len) {
+  GUS_DCHECK(src.num_columns() == num_columns());
+  GUS_DCHECK(src.lineage_arity() == lineage_arity());
+  for (size_t c = 0; c < columns_.size(); ++c) {
+    GatherColumn(&columns_[c], src.columns_[c], sel, len);
+  }
+  const int arity = lineage_arity();
+  const int64_t* end = sel + len;
+  for (const int64_t* p = sel; p != end; ++p) {
+    const auto* base = src.lineage_.data() + static_cast<size_t>(*p) * arity;
+    lineage_.insert(lineage_.end(), base, base + arity);
+  }
+  num_rows_ += len;
+}
+
+void ColumnBatch::GatherColumnsFrom(const ColumnBatch& src, const int64_t* sel,
+                                    int64_t len,
+                                    const std::vector<char>& cols) {
+  GUS_DCHECK(src.num_columns() == num_columns());
+  GUS_DCHECK(cols.size() == columns_.size());
+  for (size_t c = 0; c < columns_.size(); ++c) {
+    if (cols[c]) GatherColumn(&columns_[c], src.columns_[c], sel, len);
+  }
+  num_rows_ += len;
+}
+
+void ColumnBatch::AppendConcatRowFrom(const ColumnBatch& left, int64_t li,
+                                      const ColumnBatch& right, int64_t ri) {
+  const int nl = left.num_columns();
+  GUS_DCHECK(num_columns() == nl + right.num_columns());
+  for (int c = 0; c < nl; ++c) {
+    columns_[c].AppendFrom(left.columns_[c], li);
+  }
+  for (int c = 0; c < right.num_columns(); ++c) {
+    columns_[nl + c].AppendFrom(right.columns_[c], ri);
+  }
+  const int la = left.lineage_arity();
+  const auto* lbase = left.lineage_.data() + static_cast<size_t>(li) * la;
+  lineage_.insert(lineage_.end(), lbase, lbase + la);
+  const int ra = right.lineage_arity();
+  const auto* rbase = right.lineage_.data() + static_cast<size_t>(ri) * ra;
+  lineage_.insert(lineage_.end(), rbase, rbase + ra);
+  ++num_rows_;
+}
+
+Result<ColumnarRelation> ColumnarRelation::FromRelation(const Relation& rel) {
+  auto layout = std::make_shared<BatchLayout>();
+  layout->schema = rel.schema();
+  layout->lineage_schema = rel.lineage_schema();
+  ColumnarRelation out{LayoutPtr(layout)};
+  ColumnBatch* data = out.mutable_data();
+  data->Reserve(rel.num_rows());
+  const int num_cols = rel.schema().num_columns();
+  const int arity = layout->lineage_arity();
+  for (int64_t i = 0; i < rel.num_rows(); ++i) {
+    const Row& row = rel.row(i);
+    for (int c = 0; c < num_cols; ++c) {
+      Status st = data->mutable_column(c)->AppendValue(row[c]);
+      if (!st.ok()) {
+        return Status::TypeError("column '" + rel.schema().column(c).name +
+                                 "': " + st.message());
+      }
+    }
+    const LineageRow& lin = rel.lineage(i);
+    GUS_CHECK(static_cast<int>(lin.size()) == arity);
+    data->mutable_lineage()->insert(data->mutable_lineage()->end(),
+                                    lin.begin(), lin.end());
+  }
+  data->SetNumRows(rel.num_rows());
+  return out;
+}
+
+Relation ColumnarRelation::ToRelation() const {
+  Relation rel(schema(), lineage_schema());
+  rel.Reserve(num_rows());
+  for (int64_t i = 0; i < num_rows(); ++i) {
+    rel.AppendRow(data_.RowAt(i), data_.LineageRowAt(i));
+  }
+  return rel;
+}
+
+void ColumnarRelation::EmitSlice(int64_t begin, int64_t len,
+                                 ColumnBatch* out) const {
+  if (out->layout_ptr() != layout_ptr()) out->ResetLayout(layout_ptr());
+  out->Clear();
+  out->AppendRangeFrom(data_, begin, len);
+}
+
+}  // namespace gus

@@ -1,0 +1,234 @@
+// Columnar storage for the batch-at-a-time execution engine.
+//
+// The row engine (rel/relation.h) materializes every intermediate as
+// std::vector<Row> of variant Values plus one heap-allocated lineage vector
+// per row; the hot path of the paper's estimation pipeline only ever needs
+// the (lineage, f-value) stream, so that representation pays variant
+// dispatch and small-vector allocation for nothing. The columnar layout
+// stores one typed vector per column:
+//
+//   * int64   -> std::vector<int64_t>
+//   * float64 -> std::vector<double>
+//   * string  -> dictionary codes (std::vector<uint32_t>) into a shared,
+//                append-only StringDict
+//
+// plus a flat row-major lineage matrix (arity * num_rows uint64s). The
+// conversion to/from Relation is lossless — value types, bit patterns and
+// lineage survive a round trip exactly — so the two engines can interoperate
+// during the migration.
+//
+// A ColumnBatch is a bounded chunk of rows flowing through a pipeline; a
+// ColumnarRelation is a fully materialized table (one big batch) used at
+// pipeline breakers and for base-relation storage. BatchSink is the consumer
+// interface the streaming estimators (est/streaming.h) implement.
+
+#ifndef GUS_REL_COLUMN_BATCH_H_
+#define GUS_REL_COLUMN_BATCH_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "rel/relation.h"
+#include "rel/schema.h"
+#include "rel/value.h"
+#include "util/logging.h"
+#include "util/status.h"
+
+namespace gus {
+
+/// \brief Append-only string dictionary shared between columns.
+///
+/// Codes are stable once assigned (entries are never removed or reordered),
+/// so extending a dictionary shared by several columns is safe: existing
+/// codes keep their meaning. Interning guarantees code equality <=> string
+/// equality within one dictionary.
+struct StringDict {
+  std::vector<std::string> values;
+  std::unordered_map<std::string, uint32_t> index;
+
+  uint32_t Intern(const std::string& s) {
+    auto it = index.find(s);
+    if (it != index.end()) return it->second;
+    const auto code = static_cast<uint32_t>(values.size());
+    values.push_back(s);
+    index.emplace(s, code);
+    return code;
+  }
+};
+
+using DictPtr = std::shared_ptr<StringDict>;
+
+/// \brief Schema + lineage schema of a batch, shared by all batches of one
+/// pipeline edge (the per-batch cost is one shared_ptr).
+struct BatchLayout {
+  Schema schema;
+  std::vector<std::string> lineage_schema;
+
+  int lineage_arity() const {
+    return static_cast<int>(lineage_schema.size());
+  }
+};
+
+using LayoutPtr = std::shared_ptr<const BatchLayout>;
+
+/// \brief One typed column of a batch.
+struct ColumnData {
+  ValueType type = ValueType::kFloat64;
+  std::vector<int64_t> i64;     // kInt64
+  std::vector<double> f64;      // kFloat64
+  std::vector<uint32_t> codes;  // kString (indexes into dict)
+  DictPtr dict;                 // kString only
+
+  int64_t size() const {
+    switch (type) {
+      case ValueType::kInt64: return static_cast<int64_t>(i64.size());
+      case ValueType::kFloat64: return static_cast<int64_t>(f64.size());
+      case ValueType::kString: return static_cast<int64_t>(codes.size());
+    }
+    GUS_CHECK(false && "unhandled ValueType");
+    return 0;
+  }
+
+  void Clear();
+  void Reserve(int64_t n);
+
+  /// The value at row `i` as a row-engine Value (strings decoded).
+  Value ValueAt(int64_t i) const;
+  const std::string& StringAt(int64_t i) const {
+    return dict->values[codes[i]];
+  }
+
+  /// Appends a Value; fails on type mismatch with the column type.
+  Status AppendValue(const Value& v);
+
+  /// \brief Appends row `row` of `src` (same type required).
+  ///
+  /// String columns adopt the source dictionary when empty, share it when
+  /// equal, and re-intern (extending this column's dictionary) otherwise.
+  void AppendFrom(const ColumnData& src, int64_t row);
+};
+
+/// \brief A chunk of rows in columnar layout with flat row-major lineage.
+class ColumnBatch {
+ public:
+  ColumnBatch() = default;
+  explicit ColumnBatch(LayoutPtr layout) { ResetLayout(std::move(layout)); }
+
+  /// Re-types the batch for a new layout, dropping all data.
+  void ResetLayout(LayoutPtr layout);
+
+  const LayoutPtr& layout_ptr() const { return layout_; }
+  const BatchLayout& layout() const { return *layout_; }
+  const Schema& schema() const { return layout_->schema; }
+  const std::vector<std::string>& lineage_schema() const {
+    return layout_->lineage_schema;
+  }
+  int lineage_arity() const { return layout_->lineage_arity(); }
+
+  int64_t num_rows() const { return num_rows_; }
+  int num_columns() const { return static_cast<int>(columns_.size()); }
+
+  const ColumnData& column(int c) const { return columns_[c]; }
+  ColumnData* mutable_column(int c) { return &columns_[c]; }
+
+  /// Flat row-major lineage: row r, dim d at [r * arity + d].
+  const std::vector<uint64_t>& lineage() const { return lineage_; }
+  std::vector<uint64_t>* mutable_lineage() { return &lineage_; }
+  uint64_t lineage_at(int64_t row, int dim) const {
+    return lineage_[static_cast<size_t>(row) * layout_->lineage_arity() + dim];
+  }
+
+  /// Row `i` decoded to the row-engine representation.
+  Row RowAt(int64_t i) const;
+  LineageRow LineageRowAt(int64_t i) const;
+
+  void Clear();
+  void Reserve(int64_t n);
+
+  /// Appends `len` rows of `src` starting at `begin` (same layout shape).
+  void AppendRangeFrom(const ColumnBatch& src, int64_t begin, int64_t len);
+
+  /// Appends the rows selected by `sel` (indexes into `src`).
+  void GatherFrom(const ColumnBatch& src, const std::vector<int64_t>& sel) {
+    GatherFrom(src, sel.data(), static_cast<int64_t>(sel.size()));
+  }
+
+  /// Pointer-range form: lets pipeline operators gather a sub-range of a
+  /// persistent selection list without allocating a per-batch copy.
+  void GatherFrom(const ColumnBatch& src, const int64_t* sel, int64_t len);
+
+  /// \brief Gathers only the columns flagged in `cols` (others stay
+  /// empty); lineage is not copied.
+  ///
+  /// For evaluator sub-batches feeding an expression with a known column
+  /// footprint — reading an un-gathered column is undefined.
+  void GatherColumnsFrom(const ColumnBatch& src, const int64_t* sel,
+                         int64_t len, const std::vector<char>& cols);
+
+  /// \brief Appends one output row of a join/product: left columns and
+  /// lineage from `left` row `li`, then right ones from `right` row `ri`.
+  /// This batch's layout must be the concatenation of the two inputs'.
+  void AppendConcatRowFrom(const ColumnBatch& left, int64_t li,
+                           const ColumnBatch& right, int64_t ri);
+
+  /// Internal: bump the row count after direct column/lineage writes.
+  void SetNumRows(int64_t n) { num_rows_ = n; }
+
+ private:
+  LayoutPtr layout_;
+  std::vector<ColumnData> columns_;
+  std::vector<uint64_t> lineage_;
+  int64_t num_rows_ = 0;
+};
+
+/// \brief A fully materialized table in columnar layout.
+class ColumnarRelation {
+ public:
+  ColumnarRelation() = default;
+  explicit ColumnarRelation(LayoutPtr layout) : data_(std::move(layout)) {}
+
+  /// \brief Lossless conversion from the row representation.
+  ///
+  /// Fails with TypeError if a row Value does not match its declared column
+  /// type (the row engine never checks; the columnar one cannot avoid it).
+  static Result<ColumnarRelation> FromRelation(const Relation& rel);
+
+  /// Lossless conversion back to the row representation.
+  Relation ToRelation() const;
+
+  const LayoutPtr& layout_ptr() const { return data_.layout_ptr(); }
+  const BatchLayout& layout() const { return data_.layout(); }
+  const Schema& schema() const { return data_.schema(); }
+  const std::vector<std::string>& lineage_schema() const {
+    return data_.lineage_schema();
+  }
+
+  int64_t num_rows() const { return data_.num_rows(); }
+  const ColumnBatch& data() const { return data_; }
+  ColumnBatch* mutable_data() { return &data_; }
+
+  void AppendBatch(const ColumnBatch& batch) {
+    data_.AppendRangeFrom(batch, 0, batch.num_rows());
+  }
+
+  /// Copies rows [begin, begin+len) into `out` (cleared first).
+  void EmitSlice(int64_t begin, int64_t len, ColumnBatch* out) const;
+
+ private:
+  ColumnBatch data_;
+};
+
+/// \brief Consumer of a batch stream (the push end of a pipeline).
+class BatchSink {
+ public:
+  virtual ~BatchSink() = default;
+  virtual Status Consume(const ColumnBatch& batch) = 0;
+};
+
+}  // namespace gus
+
+#endif  // GUS_REL_COLUMN_BATCH_H_

@@ -21,7 +21,11 @@ bool IsBinaryOp(ExprOp op) {
   }
 }
 
-const char* OpSymbol(ExprOp op) {
+const char* OpSymbol(ExprOp op) { return ExprOpSymbol(op); }
+
+}  // namespace
+
+const char* ExprOpSymbol(ExprOp op) {
   switch (op) {
     case ExprOp::kAdd: return "+";
     case ExprOp::kSub: return "-";
@@ -40,6 +44,8 @@ const char* OpSymbol(ExprOp op) {
     default: return "?";
   }
 }
+
+namespace {
 
 Result<Value> NumericBinary(ExprOp op, const Value& l, const Value& r) {
   if (!l.is_numeric() || !r.is_numeric()) {

@@ -38,6 +38,9 @@ class Expr {
  public:
   ExprOp op() const { return op_; }
   const std::string& column_name() const { return column_; }
+  /// Resolved column position (>= 0 once bound, -1 before). The vectorized
+  /// evaluator (plan/vector_eval.h) reads this on bound expressions.
+  int column_index() const { return column_index_; }
   const Value& literal() const { return literal_; }
   const ExprPtr& left() const { return args_[0]; }
   const ExprPtr& right() const { return args_[1]; }
@@ -72,6 +75,10 @@ class Expr {
   Value literal_;
   ExprPtr args_[2];
 };
+
+/// Printable symbol of an operator ("+", "AND", ...), shared by the row and
+/// vectorized evaluators' diagnostics.
+const char* ExprOpSymbol(ExprOp op);
 
 /// Column reference.
 ExprPtr Col(std::string name);

@@ -48,9 +48,7 @@ Row ConcatRows(const Row& a, const Row& b) {
 }
 
 uint64_t HashLineage(const LineageRow& lin) {
-  uint64_t h = 0x6a09e667f3bcc908ULL;
-  for (uint64_t id : lin) h = HashCombine(h, id);
-  return h;
+  return HashLineageRow(lin.data(), lin.size());
 }
 
 }  // namespace
@@ -116,19 +114,24 @@ Result<Relation> HashJoin(const Relation& left, const Relation& right,
   const int bk = build_left ? lk : rk;
   const int pk = build_left ? rk : lk;
 
-  std::unordered_multimap<uint64_t, int64_t> table;
+  // Hash -> build-row indexes in input order. The explicit vector (rather
+  // than an unordered_multimap) pins the match order to build input order,
+  // making the output deterministic and identical across both execution
+  // engines. Key matching uses KeyEquals, so equal numeric keys join even
+  // when the two columns differ in type (int64 vs float64).
+  std::unordered_map<uint64_t, std::vector<int64_t>> table;
   table.reserve(static_cast<size_t>(build.num_rows()));
   for (int64_t i = 0; i < build.num_rows(); ++i) {
-    table.emplace(build.row(i)[bk].Hash(), i);
+    table[build.row(i)[bk].Hash()].push_back(i);
   }
 
   Relation out(std::move(schema), ConcatLineageSchema(left, right));
   for (int64_t j = 0; j < probe.num_rows(); ++j) {
     const Value& key = probe.row(j)[pk];
-    auto range = table.equal_range(key.Hash());
-    for (auto it = range.first; it != range.second; ++it) {
-      const int64_t i = it->second;
-      if (!(build.row(i)[bk] == key)) continue;  // hash collision
+    auto it = table.find(key.Hash());
+    if (it == table.end()) continue;
+    for (const int64_t i : it->second) {
+      if (!build.row(i)[bk].KeyEquals(key)) continue;  // hash collision
       const Row& lrow = build_left ? build.row(i) : probe.row(j);
       const Row& rrow = build_left ? probe.row(j) : build.row(i);
       const LineageRow& llin = build_left ? build.lineage(i) : probe.lineage(j);

@@ -8,10 +8,30 @@
 namespace gus {
 
 void Relation::AppendRow(Row row, LineageRow lineage) {
-  GUS_DCHECK(static_cast<int>(row.size()) == schema_.num_columns());
-  GUS_DCHECK(lineage.size() == lineage_schema_.size());
+  GUS_CHECK(static_cast<int>(row.size()) == schema_.num_columns() &&
+            "row arity must match the column schema");
+  GUS_CHECK(lineage.size() == lineage_schema_.size() &&
+            "lineage arity must match the lineage schema");
   rows_.push_back(std::move(row));
   lineage_.push_back(std::move(lineage));
+}
+
+Status Relation::AppendRowChecked(Row row, LineageRow lineage) {
+  if (static_cast<int>(row.size()) != schema_.num_columns()) {
+    return Status::InvalidArgument(
+        "row arity " + std::to_string(row.size()) +
+        " does not match the column schema arity " +
+        std::to_string(schema_.num_columns()));
+  }
+  if (lineage.size() != lineage_schema_.size()) {
+    return Status::InvalidArgument(
+        "lineage arity " + std::to_string(lineage.size()) +
+        " does not match the lineage schema arity " +
+        std::to_string(lineage_schema_.size()));
+  }
+  rows_.push_back(std::move(row));
+  lineage_.push_back(std::move(lineage));
+  return Status::OK();
 }
 
 Relation Relation::MakeBase(const std::string& name, Schema schema,

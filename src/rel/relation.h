@@ -24,12 +24,23 @@
 
 #include "rel/schema.h"
 #include "rel/value.h"
+#include "util/hash.h"
 #include "util/status.h"
 
 namespace gus {
 
 /// Per-row lineage: one base-tuple id per lineage-schema entry.
 using LineageRow = std::vector<uint64_t>;
+
+/// \brief Order-sensitive hash of one row's lineage ids.
+///
+/// Shared by the row and columnar engines (union dedup keys on it), so the
+/// two must keep using the identical function.
+inline uint64_t HashLineageRow(const uint64_t* ids, size_t n) {
+  uint64_t h = 0x6a09e667f3bcc908ULL;
+  for (size_t i = 0; i < n; ++i) h = HashCombine(h, ids[i]);
+  return h;
+}
 
 /// \brief A table with schema, rows, and lineage.
 class Relation {
@@ -52,8 +63,17 @@ class Relation {
   const std::vector<Row>& rows() const { return rows_; }
   const std::vector<LineageRow>& lineages() const { return lineage_; }
 
-  /// Appends a row with its lineage; arities must match the schemas.
+  /// \brief Appends a row with its lineage.
+  ///
+  /// Arities must match the column and lineage schemas; a mismatch is a
+  /// programming error and aborts via GUS_CHECK (per the Status-model
+  /// convention: user input errors surface as Status, invariant violations
+  /// check). Callers holding unvalidated data use AppendRowChecked.
   void AppendRow(Row row, LineageRow lineage);
+
+  /// Status-returning variant for unvalidated input: fails with
+  /// InvalidArgument instead of aborting on an arity mismatch.
+  Status AppendRowChecked(Row row, LineageRow lineage);
 
   void Reserve(int64_t n) {
     rows_.reserve(n);

@@ -3,6 +3,7 @@
 #ifndef GUS_REL_VALUE_H_
 #define GUS_REL_VALUE_H_
 
+#include <cmath>
 #include <cstdint>
 #include <string>
 #include <variant>
@@ -21,7 +22,45 @@ inline const char* ValueTypeName(ValueType t) {
     case ValueType::kFloat64: return "float64";
     case ValueType::kString: return "string";
   }
-  return "?";
+  GUS_CHECK(false && "unhandled ValueType");
+  return "";
+}
+
+/// \brief True if `d` is an integer exactly representable as int64 (sets
+/// *out). Rejects NaN, infinities, fractional and out-of-range values.
+inline bool Float64AsExactInt64(double d, int64_t* out) {
+  // -0x1p63 is exactly int64 min; 0x1p63 is one past int64 max.
+  if (!(d >= -0x1p63 && d < 0x1p63)) return false;
+  if (d != std::trunc(d)) return false;
+  *out = static_cast<int64_t>(d);
+  return true;
+}
+
+// Key-hash primitives shared by Value::Hash and the columnar engine's
+// vectorized join kernels; both must agree bit-for-bit.
+inline uint64_t HashInt64Key(int64_t v) {
+  return Mix64(static_cast<uint64_t>(v));
+}
+
+/// Integral float64 values hash like the int64 they promote from, so join
+/// and group keys that compare equal across the two numeric types also hash
+/// equal. Non-integral values hash their bit pattern (±0.0 both take the
+/// integral path and agree).
+inline uint64_t HashFloat64Key(double d) {
+  int64_t as_int;
+  if (Float64AsExactInt64(d, &as_int)) return HashInt64Key(as_int);
+  uint64_t bits;
+  static_assert(sizeof(bits) == sizeof(d));
+  __builtin_memcpy(&bits, &d, sizeof(bits));
+  return Mix64(bits ^ 0x8000000000000001ULL);
+}
+
+inline uint64_t HashStringKey(const std::string& s) {
+  uint64_t h = 0x243f6a8885a308d3ULL;
+  for (char c : s) {
+    h = HashCombine(h, static_cast<uint64_t>(static_cast<uint8_t>(c)));
+  }
+  return h;
 }
 
 /// \brief A dynamically-typed scalar: int64, float64 or string.
@@ -66,29 +105,38 @@ class Value {
                                        : AsFloat64();
   }
 
+  /// Strict equality: type-sensitive (int64 3 != float64 3.0). The relaxed
+  /// relation joins and grouping use is KeyEquals below.
   bool operator==(const Value& other) const { return data_ == other.data_; }
   bool operator!=(const Value& other) const { return !(*this == other); }
 
-  /// Hash suitable for join/group keys (type-sensitive for exact equality).
+  /// \brief Join/group-key equality: numeric values compare by promoted
+  /// value (int64 3 equals float64 3.0), strings by content.
+  ///
+  /// Hash() is consistent with this relation — KeyEquals(a, b) implies
+  /// a.Hash() == b.Hash() — so mixed-type numeric key columns join.
+  bool KeyEquals(const Value& other) const {
+    if (type() == other.type()) return data_ == other.data_;
+    if (!is_numeric() || !other.is_numeric()) return false;
+    // One int64, one float64: equal iff the float is exactly that integer
+    // (comparing as double would conflate int64s beyond 2^53).
+    const double d = type() == ValueType::kFloat64 ? AsFloat64()
+                                                   : other.AsFloat64();
+    const int64_t i = type() == ValueType::kInt64 ? AsInt64()
+                                                  : other.AsInt64();
+    int64_t as_int;
+    return Float64AsExactInt64(d, &as_int) && as_int == i;
+  }
+
+  /// Hash suitable for join/group keys; consistent with KeyEquals (integral
+  /// float64 hashes like the int64 it promotes from).
   uint64_t Hash() const {
     switch (type()) {
-      case ValueType::kInt64:
-        return Mix64(static_cast<uint64_t>(AsInt64()));
-      case ValueType::kFloat64: {
-        double d = AsFloat64();
-        uint64_t bits;
-        static_assert(sizeof(bits) == sizeof(d));
-        __builtin_memcpy(&bits, &d, sizeof(bits));
-        return Mix64(bits ^ 0x8000000000000001ULL);
-      }
-      case ValueType::kString: {
-        uint64_t h = 0x243f6a8885a308d3ULL;
-        for (char c : AsString()) {
-          h = HashCombine(h, static_cast<uint64_t>(static_cast<uint8_t>(c)));
-        }
-        return h;
-      }
+      case ValueType::kInt64: return HashInt64Key(AsInt64());
+      case ValueType::kFloat64: return HashFloat64Key(AsFloat64());
+      case ValueType::kString: return HashStringKey(AsString());
     }
+    GUS_CHECK(false && "unhandled ValueType");
     return 0;
   }
 
@@ -98,7 +146,8 @@ class Value {
       case ValueType::kFloat64: return std::to_string(AsFloat64());
       case ValueType::kString: return AsString();
     }
-    return "?";
+    GUS_CHECK(false && "unhandled ValueType");
+    return "";
   }
 
  private:

@@ -28,42 +28,46 @@ Relation TakeRows(const Relation& input, const std::vector<int64_t>& indexes) {
 
 }  // namespace
 
-Result<Relation> BernoulliSample(const Relation& input, double p, Rng* rng) {
+// ---- Index-selection cores -------------------------------------------------
+
+Result<std::vector<int64_t>> BernoulliKeepIndices(int64_t num_rows, double p,
+                                                  Rng* rng) {
   if (!(p >= 0.0 && p <= 1.0)) {
     return Status::InvalidArgument("Bernoulli p must be in [0,1]");
   }
-  Relation out = EmptyLike(input);
-  for (int64_t i = 0; i < input.num_rows(); ++i) {
-    if (rng->Bernoulli(p)) out.AppendRow(input.row(i), input.lineage(i));
+  std::vector<int64_t> keep;
+  for (int64_t i = 0; i < num_rows; ++i) {
+    if (rng->Bernoulli(p)) keep.push_back(i);
   }
-  return out;
+  return keep;
 }
 
-Result<Relation> WorSample(const Relation& input, int64_t n, Rng* rng) {
-  const int64_t total = input.num_rows();
-  if (n < 0 || n > total) {
+Result<std::vector<int64_t>> WorKeepIndices(int64_t num_rows, int64_t n,
+                                            Rng* rng) {
+  if (n < 0 || n > num_rows) {
     return Status::InvalidArgument("WOR sample size must be in [0, N]");
   }
-  std::vector<int64_t> idx(total);
+  std::vector<int64_t> idx(num_rows);
   std::iota(idx.begin(), idx.end(), int64_t{0});
   for (int64_t i = 0; i < n; ++i) {
     const int64_t j =
-        i + static_cast<int64_t>(rng->UniformInt(static_cast<uint64_t>(total - i)));
+        i + static_cast<int64_t>(
+                rng->UniformInt(static_cast<uint64_t>(num_rows - i)));
     std::swap(idx[i], idx[j]);
   }
   idx.resize(n);
   std::sort(idx.begin(), idx.end());  // Preserve input order in the output.
-  return TakeRows(input, idx);
+  return idx;
 }
 
-Result<Relation> ReservoirSample(const Relation& input, int64_t n, Rng* rng) {
-  const int64_t total = input.num_rows();
-  if (n < 0 || n > total) {
+Result<std::vector<int64_t>> ReservoirKeepIndices(int64_t num_rows, int64_t n,
+                                                  Rng* rng) {
+  if (n < 0 || n > num_rows) {
     return Status::InvalidArgument("reservoir sample size must be in [0, N]");
   }
   std::vector<int64_t> reservoir;
   reservoir.reserve(n);
-  for (int64_t i = 0; i < total; ++i) {
+  for (int64_t i = 0; i < num_rows; ++i) {
     if (i < n) {
       reservoir.push_back(i);
     } else {
@@ -73,22 +77,146 @@ Result<Relation> ReservoirSample(const Relation& input, int64_t n, Rng* rng) {
     }
   }
   std::sort(reservoir.begin(), reservoir.end());
-  return TakeRows(input, reservoir);
+  return reservoir;
 }
 
-Result<Relation> WrDistinctSample(const Relation& input, int64_t n, Rng* rng) {
+Result<std::vector<int64_t>> WrDistinctKeepIndices(int64_t num_rows, int64_t n,
+                                                   Rng* rng) {
   if (n < 0) return Status::InvalidArgument("sample size must be >= 0");
-  const int64_t total = input.num_rows();
-  if (total == 0) return EmptyLike(input);
+  if (num_rows == 0) return std::vector<int64_t>{};
   std::unordered_set<int64_t> chosen;
   chosen.reserve(static_cast<size_t>(n));
   for (int64_t draw = 0; draw < n; ++draw) {
     chosen.insert(
-        static_cast<int64_t>(rng->UniformInt(static_cast<uint64_t>(total))));
+        static_cast<int64_t>(rng->UniformInt(static_cast<uint64_t>(num_rows))));
   }
   std::vector<int64_t> idx(chosen.begin(), chosen.end());
   std::sort(idx.begin(), idx.end());
-  return TakeRows(input, idx);
+  return idx;
+}
+
+Result<std::vector<int64_t>> BlockBernoulliKeepIndices(
+    int64_t num_rows, double p, const LineageIdFn& block_of, Rng* rng) {
+  if (!(p >= 0.0 && p <= 1.0)) {
+    return Status::InvalidArgument("block Bernoulli p must be in [0,1]");
+  }
+  // One decision per distinct block, drawn at its first occurrence.
+  std::unordered_map<uint64_t, bool> decision;
+  std::vector<int64_t> keep;
+  for (int64_t i = 0; i < num_rows; ++i) {
+    const uint64_t block = block_of(i);
+    auto it = decision.find(block);
+    if (it == decision.end()) {
+      it = decision.emplace(block, rng->Bernoulli(p)).first;
+    }
+    if (it->second) keep.push_back(i);
+  }
+  return keep;
+}
+
+Result<std::vector<int64_t>> LineageBernoulliKeepIndices(
+    int64_t num_rows, double p, uint64_t seed, const LineageIdFn& id_of) {
+  if (!(p >= 0.0 && p <= 1.0)) {
+    return Status::InvalidArgument("lineage Bernoulli p must be in [0,1]");
+  }
+  std::vector<int64_t> keep;
+  for (int64_t i = 0; i < num_rows; ++i) {
+    if (LineageUnitValue(seed, id_of(i)) < p) keep.push_back(i);
+  }
+  return keep;
+}
+
+Result<SamplingDecision> DecideSampling(
+    const SamplingSpec& spec, int64_t num_rows,
+    const std::vector<std::string>& lineage_schema,
+    const std::function<uint64_t(int64_t, int)>& lineage_at, Rng* rng) {
+  GUS_RETURN_NOT_OK(spec.Validate());
+  SamplingDecision d;
+  switch (spec.method) {
+    case SamplingMethod::kBernoulli: {
+      GUS_ASSIGN_OR_RETURN(d.keep, BernoulliKeepIndices(num_rows, spec.p, rng));
+      return d;
+    }
+    case SamplingMethod::kWithoutReplacement: {
+      if (spec.population != num_rows) {
+        return Status::InvalidArgument(
+            "WOR spec population does not match the input cardinality");
+      }
+      GUS_ASSIGN_OR_RETURN(d.keep, WorKeepIndices(num_rows, spec.n, rng));
+      return d;
+    }
+    case SamplingMethod::kWithReplacementDistinct: {
+      if (spec.population != num_rows) {
+        return Status::InvalidArgument(
+            "WR spec population does not match the input cardinality");
+      }
+      GUS_ASSIGN_OR_RETURN(d.keep,
+                           WrDistinctKeepIndices(num_rows, spec.n, rng));
+      return d;
+    }
+    case SamplingMethod::kBlockBernoulli: {
+      if (spec.block_size <= 0) {
+        return Status::InvalidArgument("block_size must be positive");
+      }
+      if (lineage_schema.size() != 1) {
+        return Status::InvalidArgument(
+            "block lineage applies to base (single-lineage) relations");
+      }
+      const int64_t block_size = spec.block_size;
+      GUS_ASSIGN_OR_RETURN(
+          d.keep, BlockBernoulliKeepIndices(
+                      num_rows, spec.p,
+                      [block_size](int64_t i) {
+                        return static_cast<uint64_t>(i / block_size);
+                      },
+                      rng));
+      d.rekey_block_lineage = true;
+      return d;
+    }
+    case SamplingMethod::kLineageBernoulli: {
+      const auto it = std::find(lineage_schema.begin(), lineage_schema.end(),
+                                spec.lineage_relation);
+      if (it == lineage_schema.end()) {
+        return Status::KeyError("relation '" + spec.lineage_relation +
+                                "' not in the input's lineage schema");
+      }
+      const int dim = static_cast<int>(it - lineage_schema.begin());
+      GUS_ASSIGN_OR_RETURN(
+          d.keep, LineageBernoulliKeepIndices(
+                      num_rows, spec.p, spec.seed,
+                      [&lineage_at, dim](int64_t i) {
+                        return lineage_at(i, dim);
+                      }));
+      return d;
+    }
+  }
+  return Status::Internal("unknown sampling method");
+}
+
+// ---- Row-engine physical samplers -----------------------------------------
+
+Result<Relation> BernoulliSample(const Relation& input, double p, Rng* rng) {
+  GUS_ASSIGN_OR_RETURN(std::vector<int64_t> keep,
+                       BernoulliKeepIndices(input.num_rows(), p, rng));
+  return TakeRows(input, keep);
+}
+
+Result<Relation> WorSample(const Relation& input, int64_t n, Rng* rng) {
+  GUS_ASSIGN_OR_RETURN(std::vector<int64_t> keep,
+                       WorKeepIndices(input.num_rows(), n, rng));
+  return TakeRows(input, keep);
+}
+
+Result<Relation> ReservoirSample(const Relation& input, int64_t n, Rng* rng) {
+  GUS_ASSIGN_OR_RETURN(std::vector<int64_t> keep,
+                       ReservoirKeepIndices(input.num_rows(), n, rng));
+  return TakeRows(input, keep);
+}
+
+Result<Relation> WrDistinctSample(const Relation& input, int64_t n, Rng* rng) {
+  GUS_ASSIGN_OR_RETURN(std::vector<int64_t> keep,
+                       WrDistinctKeepIndices(input.num_rows(), n, rng));
+  return TakeRows(input, keep);
 }
 
 Result<Relation> AssignBlockLineage(const Relation& input,
@@ -111,33 +239,21 @@ Result<Relation> AssignBlockLineage(const Relation& input,
 
 Result<Relation> BlockBernoulliSample(const Relation& input, double p,
                                       Rng* rng) {
-  if (!(p >= 0.0 && p <= 1.0)) {
-    return Status::InvalidArgument("block Bernoulli p must be in [0,1]");
-  }
   if (input.lineage_schema().size() != 1) {
     return Status::InvalidArgument(
         "block sampling applies to base (single-lineage) relations");
   }
-  // One decision per distinct block (lineage id), applied to all its rows.
-  std::unordered_map<uint64_t, bool> decision;
-  Relation out = EmptyLike(input);
-  for (int64_t i = 0; i < input.num_rows(); ++i) {
-    const uint64_t block = input.lineage(i)[0];
-    auto it = decision.find(block);
-    if (it == decision.end()) {
-      it = decision.emplace(block, rng->Bernoulli(p)).first;
-    }
-    if (it->second) out.AppendRow(input.row(i), input.lineage(i));
-  }
-  return out;
+  GUS_ASSIGN_OR_RETURN(
+      std::vector<int64_t> keep,
+      BlockBernoulliKeepIndices(
+          input.num_rows(), p,
+          [&input](int64_t i) { return input.lineage(i)[0]; }, rng));
+  return TakeRows(input, keep);
 }
 
 Result<Relation> LineageBernoulliSample(const Relation& input,
                                         const std::string& relation, double p,
                                         uint64_t seed) {
-  if (!(p >= 0.0 && p <= 1.0)) {
-    return Status::InvalidArgument("lineage Bernoulli p must be in [0,1]");
-  }
   const auto& ls = input.lineage_schema();
   const auto it = std::find(ls.begin(), ls.end(), relation);
   if (it == ls.end()) {
@@ -145,43 +261,29 @@ Result<Relation> LineageBernoulliSample(const Relation& input,
                             "' not in the input's lineage schema");
   }
   const auto dim = static_cast<size_t>(it - ls.begin());
-  Relation out = EmptyLike(input);
-  for (int64_t i = 0; i < input.num_rows(); ++i) {
-    if (LineageUnitValue(seed, input.lineage(i)[dim]) < p) {
-      out.AppendRow(input.row(i), input.lineage(i));
-    }
-  }
-  return out;
+  GUS_ASSIGN_OR_RETURN(
+      std::vector<int64_t> keep,
+      LineageBernoulliKeepIndices(
+          input.num_rows(), p, seed,
+          [&input, dim](int64_t i) { return input.lineage(i)[dim]; }));
+  return TakeRows(input, keep);
 }
 
 Result<Relation> ApplySampling(const Relation& input, const SamplingSpec& spec,
                                Rng* rng) {
-  GUS_RETURN_NOT_OK(spec.Validate());
-  switch (spec.method) {
-    case SamplingMethod::kBernoulli:
-      return BernoulliSample(input, spec.p, rng);
-    case SamplingMethod::kWithoutReplacement:
-      if (spec.population != input.num_rows()) {
-        return Status::InvalidArgument(
-            "WOR spec population does not match the input cardinality");
-      }
-      return WorSample(input, spec.n, rng);
-    case SamplingMethod::kWithReplacementDistinct:
-      if (spec.population != input.num_rows()) {
-        return Status::InvalidArgument(
-            "WR spec population does not match the input cardinality");
-      }
-      return WrDistinctSample(input, spec.n, rng);
-    case SamplingMethod::kBlockBernoulli: {
-      GUS_ASSIGN_OR_RETURN(Relation blocked,
-                           AssignBlockLineage(input, spec.block_size));
-      return BlockBernoulliSample(blocked, spec.p, rng);
-    }
-    case SamplingMethod::kLineageBernoulli:
-      return LineageBernoulliSample(input, spec.lineage_relation, spec.p,
-                                    spec.seed);
+  GUS_ASSIGN_OR_RETURN(
+      SamplingDecision d,
+      DecideSampling(spec, input.num_rows(), input.lineage_schema(),
+                     [&input](int64_t r, int dim) {
+                       return input.lineage(r)[dim];
+                     },
+                     rng));
+  if (d.rekey_block_lineage) {
+    GUS_ASSIGN_OR_RETURN(Relation blocked,
+                         AssignBlockLineage(input, spec.block_size));
+    return TakeRows(blocked, d.keep);
   }
-  return Status::Internal("unknown sampling method");
+  return TakeRows(input, d.keep);
 }
 
 }  // namespace gus

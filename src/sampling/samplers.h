@@ -8,6 +8,8 @@
 #define GUS_SAMPLING_SAMPLERS_H_
 
 #include <cstdint>
+#include <functional>
+#include <vector>
 
 #include "rel/relation.h"
 #include "sampling/spec.h"
@@ -15,6 +17,63 @@
 #include "util/status.h"
 
 namespace gus {
+
+// ---- Index-selection cores -------------------------------------------------
+//
+// Every sampler first decides *which rows to keep* as a pure function of
+// (row count, lineage, Rng) and only then touches tuple data. The decision
+// functions below are that first half, shared by the row-at-a-time and
+// columnar engines: both consume the Rng in the identical order, so the two
+// engines draw bit-identical samples from identical seeds.
+
+/// Reads a lineage id for a row (dimension fixed by the caller).
+using LineageIdFn = std::function<uint64_t(int64_t row)>;
+
+/// One Bernoulli(p) draw per row, in row order.
+Result<std::vector<int64_t>> BernoulliKeepIndices(int64_t num_rows, double p,
+                                                  Rng* rng);
+
+/// Partial Fisher-Yates WOR draw of n rows; kept indexes ascending.
+Result<std::vector<int64_t>> WorKeepIndices(int64_t num_rows, int64_t n,
+                                            Rng* rng);
+
+/// Streaming reservoir WOR draw; kept indexes ascending.
+Result<std::vector<int64_t>> ReservoirKeepIndices(int64_t num_rows, int64_t n,
+                                                  Rng* rng);
+
+/// n with-replacement draws, duplicates discarded; kept indexes ascending.
+Result<std::vector<int64_t>> WrDistinctKeepIndices(int64_t num_rows, int64_t n,
+                                                   Rng* rng);
+
+/// One draw per *distinct block* in first-occurrence order; `block_of`
+/// reads the block id of a row.
+Result<std::vector<int64_t>> BlockBernoulliKeepIndices(
+    int64_t num_rows, double p, const LineageIdFn& block_of, Rng* rng);
+
+/// Deterministic lineage-seeded Bernoulli (Section 7); consumes no Rng.
+Result<std::vector<int64_t>> LineageBernoulliKeepIndices(
+    int64_t num_rows, double p, uint64_t seed, const LineageIdFn& id_of);
+
+/// \brief The outcome of dispatching a SamplingSpec on an input shape.
+struct SamplingDecision {
+  /// Kept row indexes, in output order.
+  std::vector<int64_t> keep;
+  /// kBlockBernoulli only: the output's (single-dimension) lineage must be
+  /// re-keyed to block granularity — id = input row index / spec.block_size.
+  bool rekey_block_lineage = false;
+};
+
+/// \brief Validates `spec` against the input shape and draws the kept rows.
+///
+/// `lineage_schema` and `lineage_at(row, dim)` describe the input's lineage
+/// without committing to a storage layout; both engines route their
+/// sampling through this single function.
+Result<SamplingDecision> DecideSampling(
+    const SamplingSpec& spec, int64_t num_rows,
+    const std::vector<std::string>& lineage_schema,
+    const std::function<uint64_t(int64_t, int)>& lineage_at, Rng* rng);
+
+// ---- Row-engine physical samplers -----------------------------------------
 
 /// Independent coin per row with probability p.
 Result<Relation> BernoulliSample(const Relation& input, double p, Rng* rng);

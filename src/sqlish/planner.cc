@@ -8,6 +8,8 @@
 #include "est/confidence.h"
 #include "est/group_by.h"
 #include "est/ratio.h"
+#include "est/streaming.h"
+#include "plan/columnar_executor.h"
 #include "plan/soa_transform.h"
 
 namespace gus {
@@ -189,16 +191,124 @@ std::string ApproxResult::ToString() const {
   return out.str();
 }
 
+namespace {
+
+/// One select item's estimate from its (lineage, f) view — shared by the
+/// materializing and streaming paths.
+Result<ApproxValue> EstimateItem(const SelectItem& item, const GusParams& top,
+                                 const SampleView& view,
+                                 const SboxOptions& options) {
+  ApproxValue value;
+  switch (item.kind) {
+    case AggKind::kSum: {
+      GUS_ASSIGN_OR_RETURN(SboxReport report,
+                           SboxEstimate(top, view, options));
+      value.label = "SUM(" + item.expr->ToString() + ")";
+      value.value = report.estimate;
+      value.stddev = report.stddev;
+      value.lo = report.interval.lo;
+      value.hi = report.interval.hi;
+      break;
+    }
+    case AggKind::kCount: {
+      GUS_ASSIGN_OR_RETURN(
+          CountReport report,
+          CountEstimate(top, view, options.confidence_level,
+                        options.bound_kind));
+      value.label = "COUNT(*)";
+      value.value = report.estimate;
+      value.stddev = report.stddev;
+      value.lo = report.interval.lo;
+      value.hi = report.interval.hi;
+      break;
+    }
+    case AggKind::kAvg: {
+      GUS_ASSIGN_OR_RETURN(
+          RatioReport report,
+          AvgEstimate(top, view, options.confidence_level,
+                      options.bound_kind));
+      value.label = "AVG(" + item.expr->ToString() + ")";
+      value.value = report.estimate;
+      value.stddev = report.stddev;
+      value.lo = report.interval.lo;
+      value.hi = report.interval.hi;
+      break;
+    }
+    case AggKind::kQuantile: {
+      GUS_ASSIGN_OR_RETURN(SboxReport report,
+                           SboxEstimate(top, view, options));
+      GUS_ASSIGN_OR_RETURN(
+          double q, EstimateQuantile(report.estimate, report.variance,
+                                     item.quantile, options.bound_kind));
+      std::ostringstream label;
+      label << "QUANTILE(SUM(" << item.expr->ToString() << "), "
+            << item.quantile << ")";
+      value.label = label.str();
+      value.value = q;
+      value.lo = q;
+      value.hi = q;
+      break;
+    }
+  }
+  return value;
+}
+
+/// Ungrouped columnar path: one pipeline pass fans the batch stream out to
+/// every item's SampleViewBuilder; the result is never materialized.
+Result<ApproxResult> RunUngroupedStreaming(const PlannedQuery& planned,
+                                           const SoaResult& soa,
+                                           const Catalog& catalog, Rng* rng,
+                                           const SboxOptions& options) {
+  ColumnarCatalog columnar(&catalog);
+  GUS_ASSIGN_OR_RETURN(
+      std::unique_ptr<BatchSource> pipeline,
+      CompileBatchPipeline(planned.plan, &columnar, rng, ExecMode::kSampled));
+  std::vector<SampleViewBuilder> builders;
+  builders.reserve(planned.items.size());
+  for (const SelectItem& item : planned.items) {
+    GUS_ASSIGN_OR_RETURN(
+        SampleViewBuilder builder,
+        SampleViewBuilder::Make(*pipeline->layout(), item.expr,
+                                soa.top.schema()));
+    builders.push_back(std::move(builder));
+  }
+  ApproxResult result;
+  ColumnBatch batch;
+  while (true) {
+    GUS_ASSIGN_OR_RETURN(bool more, pipeline->Next(&batch));
+    if (!more) break;
+    if (batch.num_rows() == 0) continue;
+    result.sample_rows += batch.num_rows();
+    for (SampleViewBuilder& builder : builders) {
+      GUS_RETURN_NOT_OK(builder.Consume(batch));
+    }
+  }
+  for (size_t i = 0; i < planned.items.size(); ++i) {
+    GUS_ASSIGN_OR_RETURN(ApproxValue value,
+                         EstimateItem(planned.items[i], soa.top,
+                                      builders[i].view(), options));
+    result.values.push_back(std::move(value));
+  }
+  return result;
+}
+
+}  // namespace
+
 Result<ApproxResult> RunApproxQuery(const std::string& sql,
                                     const Catalog& catalog, uint64_t seed,
-                                    const SboxOptions& options) {
+                                    const SboxOptions& options,
+                                    ExecEngine engine) {
   GUS_ASSIGN_OR_RETURN(ParsedQuery parsed, ParseQuery(sql));
   GUS_ASSIGN_OR_RETURN(PlannedQuery planned, PlanQuery(parsed, catalog));
   GUS_ASSIGN_OR_RETURN(SoaResult soa, SoaTransform(planned.plan));
 
   Rng rng(seed);
-  GUS_ASSIGN_OR_RETURN(Relation sample,
-                       ExecutePlan(planned.plan, catalog, &rng));
+  if (engine == ExecEngine::kColumnar && planned.group_by.empty()) {
+    return RunUngroupedStreaming(planned, soa, catalog, &rng, options);
+  }
+  GUS_ASSIGN_OR_RETURN(
+      Relation sample,
+      ExecutePlan(planned.plan, catalog, &rng, ExecMode::kSampled, engine));
 
   ApproxResult result;
   result.sample_rows = sample.num_rows();
@@ -226,58 +336,8 @@ Result<ApproxResult> RunApproxQuery(const std::string& sql,
     GUS_ASSIGN_OR_RETURN(
         SampleView view,
         SampleView::FromRelation(sample, item.expr, soa.top.schema()));
-    ApproxValue value;
-    switch (item.kind) {
-      case AggKind::kSum: {
-        GUS_ASSIGN_OR_RETURN(SboxReport report,
-                             SboxEstimate(soa.top, view, options));
-        value.label = "SUM(" + item.expr->ToString() + ")";
-        value.value = report.estimate;
-        value.stddev = report.stddev;
-        value.lo = report.interval.lo;
-        value.hi = report.interval.hi;
-        break;
-      }
-      case AggKind::kCount: {
-        GUS_ASSIGN_OR_RETURN(
-            CountReport report,
-            CountEstimate(soa.top, view, options.confidence_level,
-                          options.bound_kind));
-        value.label = "COUNT(*)";
-        value.value = report.estimate;
-        value.stddev = report.stddev;
-        value.lo = report.interval.lo;
-        value.hi = report.interval.hi;
-        break;
-      }
-      case AggKind::kAvg: {
-        GUS_ASSIGN_OR_RETURN(
-            RatioReport report,
-            AvgEstimate(soa.top, view, options.confidence_level,
-                        options.bound_kind));
-        value.label = "AVG(" + item.expr->ToString() + ")";
-        value.value = report.estimate;
-        value.stddev = report.stddev;
-        value.lo = report.interval.lo;
-        value.hi = report.interval.hi;
-        break;
-      }
-      case AggKind::kQuantile: {
-        GUS_ASSIGN_OR_RETURN(SboxReport report,
-                             SboxEstimate(soa.top, view, options));
-        GUS_ASSIGN_OR_RETURN(
-            double q, EstimateQuantile(report.estimate, report.variance,
-                                       item.quantile, options.bound_kind));
-        std::ostringstream label;
-        label << "QUANTILE(SUM(" << item.expr->ToString() << "), "
-              << item.quantile << ")";
-        value.label = label.str();
-        value.value = q;
-        value.lo = q;
-        value.hi = q;
-        break;
-      }
-    }
+    GUS_ASSIGN_OR_RETURN(ApproxValue value,
+                         EstimateItem(item, soa.top, view, options));
     result.values.push_back(std::move(value));
   }
   return result;

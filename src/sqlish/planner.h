@@ -60,10 +60,14 @@ struct ApproxResult {
 /// \brief Parses, plans, executes and estimates in one call.
 ///
 /// `seed` drives the samplers; `options` control interval kind/level and
-/// Section 7 sub-sampling.
+/// Section 7 sub-sampling. With ExecEngine::kColumnar, ungrouped queries
+/// run on the batch pipeline and stream (lineage, f) straight into the
+/// per-item estimators — the result relation is never materialized; both
+/// engines return identical results for identical seeds.
 Result<ApproxResult> RunApproxQuery(const std::string& sql,
                                     const Catalog& catalog, uint64_t seed,
-                                    const SboxOptions& options = {});
+                                    const SboxOptions& options = {},
+                                    ExecEngine engine = ExecEngine::kRowAtATime);
 
 }  // namespace sqlish
 }  // namespace gus

@@ -1,0 +1,339 @@
+// Row vs columnar engine parity: for identical (plan, catalog, seed, mode)
+// the two engines must produce identical rows and lineage — in exact mode
+// AND in sampled mode, because both draw through the shared index-selection
+// core in the same order. Covers every plan shape of executor_test plus the
+// integration workloads (Query 1, Example 4) and the sqlish surface.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "data/tpch_gen.h"
+#include "data/workload.h"
+#include "plan/columnar_executor.h"
+#include "plan/executor.h"
+#include "rel/column_batch.h"
+#include "sqlish/planner.h"
+#include "test_util.h"
+
+namespace gus {
+namespace {
+
+using ::gus::testing::MakeTinyJoin;
+using ::gus::testing::TinyJoinData;
+
+void ExpectIdentical(const Relation& row_result, const Relation& col_result) {
+  ASSERT_TRUE(row_result.schema() == col_result.schema());
+  ASSERT_EQ(row_result.lineage_schema(), col_result.lineage_schema());
+  ASSERT_EQ(row_result.num_rows(), col_result.num_rows());
+  for (int64_t i = 0; i < row_result.num_rows(); ++i) {
+    const Row& a = row_result.row(i);
+    const Row& b = col_result.row(i);
+    ASSERT_EQ(a.size(), b.size()) << "row " << i;
+    for (size_t c = 0; c < a.size(); ++c) {
+      EXPECT_EQ(a[c].type(), b[c].type()) << "row " << i << " col " << c;
+      EXPECT_TRUE(a[c] == b[c])
+          << "row " << i << " col " << c << ": " << a[c].ToString() << " vs "
+          << b[c].ToString();
+    }
+    EXPECT_EQ(row_result.lineage(i), col_result.lineage(i)) << "row " << i;
+  }
+}
+
+void ExpectEnginesAgree(const PlanPtr& plan, const Catalog& catalog,
+                        uint64_t seed, ExecMode mode) {
+  Rng row_rng(seed);
+  auto row_result = ExecutePlan(plan, catalog, &row_rng, mode);
+  Rng col_rng(seed);
+  auto col_result = ExecutePlan(plan, catalog, &col_rng, mode,
+                                ExecEngine::kColumnar);
+  ASSERT_EQ(row_result.ok(), col_result.ok())
+      << row_result.status().ToString() << " vs "
+      << col_result.status().ToString();
+  if (!row_result.ok()) {
+    EXPECT_EQ(row_result.status().code(), col_result.status().code());
+    return;
+  }
+  ExpectIdentical(*row_result, *col_result);
+}
+
+void ExpectEnginesAgreeBothModes(const PlanPtr& plan, const Catalog& catalog,
+                                 uint64_t seed) {
+  {
+    SCOPED_TRACE("exact");
+    ExpectEnginesAgree(plan, catalog, seed, ExecMode::kExact);
+  }
+  {
+    SCOPED_TRACE("sampled");
+    ExpectEnginesAgree(plan, catalog, seed, ExecMode::kSampled);
+  }
+}
+
+TEST(EngineParityTest, Scan) {
+  Catalog catalog = MakeTinyJoin(5, 3).MakeCatalog();
+  ExpectEnginesAgreeBothModes(PlanNode::Scan("F"), catalog, 1);
+}
+
+TEST(EngineParityTest, MissingRelation) {
+  Catalog catalog;
+  ExpectEnginesAgreeBothModes(PlanNode::Scan("nope"), catalog, 1);
+}
+
+TEST(EngineParityTest, BernoulliSample) {
+  Catalog catalog = MakeTinyJoin(10, 10).MakeCatalog();
+  ExpectEnginesAgreeBothModes(
+      PlanNode::Sample(SamplingSpec::Bernoulli(0.3), PlanNode::Scan("F")),
+      catalog, 2);
+}
+
+TEST(EngineParityTest, WorSample) {
+  Catalog catalog = MakeTinyJoin(10, 10).MakeCatalog();
+  ExpectEnginesAgreeBothModes(
+      PlanNode::Sample(SamplingSpec::WithoutReplacement(37, 100),
+                       PlanNode::Scan("F")),
+      catalog, 3);
+}
+
+TEST(EngineParityTest, WorPopulationMismatchAgrees) {
+  Catalog catalog = MakeTinyJoin(10, 10).MakeCatalog();
+  PlanPtr plan = PlanNode::Sample(SamplingSpec::WithoutReplacement(37, 999),
+                                  PlanNode::Scan("F"));
+  ExpectEnginesAgree(plan, catalog, 3, ExecMode::kSampled);
+}
+
+TEST(EngineParityTest, WrDistinctSample) {
+  Catalog catalog = MakeTinyJoin(10, 10).MakeCatalog();
+  ExpectEnginesAgreeBothModes(
+      PlanNode::Sample(SamplingSpec::WithReplacementDistinct(40, 100),
+                       PlanNode::Scan("F")),
+      catalog, 4);
+}
+
+TEST(EngineParityTest, BlockBernoulliSample) {
+  Catalog catalog = MakeTinyJoin(16, 1).MakeCatalog();
+  ExpectEnginesAgreeBothModes(
+      PlanNode::Sample(SamplingSpec::BlockBernoulli(0.5, 4),
+                       PlanNode::Scan("D")),
+      catalog, 5);
+}
+
+TEST(EngineParityTest, LineageBernoulliSample) {
+  Catalog catalog = MakeTinyJoin(10, 10).MakeCatalog();
+  ExpectEnginesAgreeBothModes(
+      PlanNode::Sample(SamplingSpec::LineageBernoulli("F", 0.4, 77),
+                       PlanNode::Scan("F")),
+      catalog, 6);
+}
+
+TEST(EngineParityTest, Select) {
+  Catalog catalog = MakeTinyJoin(4, 2).MakeCatalog();
+  ExpectEnginesAgreeBothModes(
+      PlanNode::SelectNode(Ge(Col("pk"), Lit(Value(int64_t{2}))),
+                           PlanNode::Scan("D")),
+      catalog, 7);
+}
+
+TEST(EngineParityTest, Join) {
+  Catalog catalog = MakeTinyJoin(5, 3).MakeCatalog();
+  ExpectEnginesAgreeBothModes(
+      PlanNode::Join(PlanNode::Scan("F"), PlanNode::Scan("D"), "fk", "pk"),
+      catalog, 8);
+}
+
+TEST(EngineParityTest, JoinOfSamples) {
+  Catalog catalog = MakeTinyJoin(8, 6).MakeCatalog();
+  PlanPtr plan = PlanNode::Join(
+      PlanNode::Sample(SamplingSpec::Bernoulli(0.6), PlanNode::Scan("F")),
+      PlanNode::Sample(SamplingSpec::WithoutReplacement(5, 8),
+                       PlanNode::Scan("D")),
+      "fk", "pk");
+  ExpectEnginesAgreeBothModes(plan, catalog, 9);
+}
+
+TEST(EngineParityTest, SelectOverJoin) {
+  Catalog catalog = MakeTinyJoin(6, 4).MakeCatalog();
+  PlanPtr join =
+      PlanNode::Join(PlanNode::Scan("F"), PlanNode::Scan("D"), "fk", "pk");
+  ExpectEnginesAgreeBothModes(
+      PlanNode::SelectNode(Gt(Mul(Col("v"), Col("w")), Lit(20.0)), join),
+      catalog, 10);
+}
+
+TEST(EngineParityTest, Product) {
+  Catalog catalog = MakeTinyJoin(3, 2).MakeCatalog();
+  ExpectEnginesAgreeBothModes(
+      PlanNode::Product(PlanNode::Scan("F"), PlanNode::Scan("D")), catalog,
+      11);
+}
+
+TEST(EngineParityTest, UnionOfSamples) {
+  Catalog catalog = MakeTinyJoin(12, 1).MakeCatalog();
+  PlanPtr scan = PlanNode::Scan("D");
+  PlanPtr plan = PlanNode::Union(
+      PlanNode::Sample(SamplingSpec::Bernoulli(0.5), scan),
+      PlanNode::Sample(SamplingSpec::Bernoulli(0.5), scan));
+  ExpectEnginesAgreeBothModes(plan, catalog, 12);
+}
+
+TEST(EngineParityTest, ExactUnionRightBranchErrorSurfaces) {
+  // Exact mode only keeps the left union branch's rows, but the right
+  // branch still runs, so its errors surface like the row engine's (which
+  // executes both). Static error: unknown relation.
+  Catalog catalog = MakeTinyJoin(4, 1).MakeCatalog();
+  PlanPtr plan =
+      PlanNode::Union(PlanNode::Scan("D"), PlanNode::Scan("nope"));
+  ExpectEnginesAgree(plan, catalog, 18, ExecMode::kExact);
+  // Runtime (data-dependent) error: division by zero in the right
+  // branch's predicate — pk takes the value 0 in row 0.
+  PlanPtr runtime_err = PlanNode::Union(
+      PlanNode::Scan("D"),
+      PlanNode::SelectNode(Gt(Div(Lit(1.0), Col("pk")), Lit(0.0)),
+                           PlanNode::Scan("D")));
+  ExpectEnginesAgree(runtime_err, catalog, 18, ExecMode::kExact);
+}
+
+TEST(EngineParityTest, ShortCircuitGuardPredicate) {
+  // `fk <> 0 AND v/fk > small` over rows where fk == 0: the guard must
+  // short-circuit at row level in both engines (no division-by-zero).
+  Catalog catalog = MakeTinyJoin(5, 2).MakeCatalog();
+  PlanPtr plan = PlanNode::SelectNode(
+      And(Ne(Col("fk"), Lit(Value(int64_t{0}))),
+          Gt(Div(Col("v"), Col("fk")), Lit(0.4))),
+      PlanNode::Scan("F"));
+  ExpectEnginesAgreeBothModes(plan, catalog, 19);
+  Rng rng(19);
+  ASSERT_OK_AND_ASSIGN(Relation out,
+                       ExecutePlan(plan, catalog, &rng, ExecMode::kExact,
+                                   ExecEngine::kColumnar));
+  EXPECT_GT(out.num_rows(), 0);  // the guarded predicate really ran
+}
+
+TEST(EngineParityTest, TwoSamplersInOneChain) {
+  // Two Rng-consuming samplers stacked: the breaker discipline must
+  // reproduce the row engine's draw order exactly.
+  Catalog catalog = MakeTinyJoin(10, 10).MakeCatalog();
+  PlanPtr plan = PlanNode::Sample(
+      SamplingSpec::Bernoulli(0.7),
+      PlanNode::Sample(SamplingSpec::Bernoulli(0.5), PlanNode::Scan("F")));
+  ExpectEnginesAgreeBothModes(plan, catalog, 13);
+}
+
+TEST(EngineParityTest, Query1OverTpch) {
+  TpchConfig config;
+  config.num_orders = 300;
+  config.num_customers = 40;
+  config.num_parts = 30;
+  TpchData data = GenerateTpch(config);
+  Catalog catalog = data.MakeCatalog();
+  Query1Params params;
+  params.lineitem_p = 0.4;
+  params.orders_n = 120;
+  params.orders_population = 300;
+  Workload q1 = MakeQuery1(params);
+  ExpectEnginesAgreeBothModes(q1.plan, catalog, 14);
+}
+
+TEST(EngineParityTest, Example4OverTpch) {
+  TpchConfig config;
+  config.num_orders = 200;
+  config.num_customers = 30;
+  config.num_parts = 25;
+  TpchData data = GenerateTpch(config);
+  Catalog catalog = data.MakeCatalog();
+  Example4Params params;
+  params.lineitem_p = 0.5;
+  params.orders_n = 100;
+  params.orders_population = 200;
+  params.part_p = 0.5;
+  Workload e4 = MakeExample4(params);
+  ExpectEnginesAgreeBothModes(e4.plan, catalog, 15);
+}
+
+TEST(EngineParityTest, StringKeyJoin) {
+  // Dictionary-coded string join keys across two relations (distinct
+  // dictionaries) must behave exactly like row-engine string equality.
+  std::vector<Row> facts, dims;
+  const char* keys[] = {"ab", "cd", "ef", "gh"};
+  for (int i = 0; i < 12; ++i) {
+    facts.push_back(Row{Value(keys[i % 4]), Value(1.5 * i)});
+  }
+  for (int i = 0; i < 3; ++i) {
+    dims.push_back(Row{Value(keys[i]), Value(int64_t{100 + i})});
+  }
+  Catalog catalog;
+  catalog.emplace("SF", Relation::MakeBase(
+                            "SF",
+                            Schema({{"sk", ValueType::kString},
+                                    {"v", ValueType::kFloat64}}),
+                            std::move(facts)));
+  catalog.emplace("SD", Relation::MakeBase(
+                            "SD",
+                            Schema({{"dk", ValueType::kString},
+                                    {"w", ValueType::kInt64}}),
+                            std::move(dims)));
+  ExpectEnginesAgreeBothModes(
+      PlanNode::Join(PlanNode::Scan("SF"), PlanNode::Scan("SD"), "sk", "dk"),
+      catalog, 16);
+}
+
+TEST(EngineParityTest, MixedNumericKeyJoin) {
+  // int64 fact keys against float64 dim keys: KeyEquals-based joins match
+  // them, identically in both engines.
+  std::vector<Row> facts, dims;
+  for (int i = 0; i < 10; ++i) {
+    facts.push_back(Row{Value(int64_t{i % 4}), Value(0.5 * i)});
+  }
+  for (int i = 0; i < 4; ++i) {
+    dims.push_back(Row{Value(static_cast<double>(i)), Value(int64_t{i})});
+  }
+  Catalog catalog;
+  catalog.emplace("MF", Relation::MakeBase(
+                            "MF",
+                            Schema({{"mk", ValueType::kInt64},
+                                    {"v", ValueType::kFloat64}}),
+                            std::move(facts)));
+  catalog.emplace("MD", Relation::MakeBase(
+                            "MD",
+                            Schema({{"dk", ValueType::kFloat64},
+                                    {"w", ValueType::kInt64}}),
+                            std::move(dims)));
+  PlanPtr plan =
+      PlanNode::Join(PlanNode::Scan("MF"), PlanNode::Scan("MD"), "mk", "dk");
+  // The join must actually match rows (10 fact rows each hit one dim row).
+  Rng rng(17);
+  ASSERT_OK_AND_ASSIGN(Relation joined, ExecutePlan(plan, catalog, &rng));
+  EXPECT_EQ(10, joined.num_rows());
+  ExpectEnginesAgreeBothModes(plan, catalog, 17);
+}
+
+TEST(EngineParityTest, SqlishApproxQueryAgrees) {
+  TpchConfig config;
+  config.num_orders = 300;
+  config.num_customers = 40;
+  config.num_parts = 30;
+  TpchData data = GenerateTpch(config);
+  Catalog catalog = data.MakeCatalog();
+  const std::string sql =
+      "SELECT SUM(l_discount * o_totalprice), COUNT(*), AVG(l_quantity) "
+      "FROM l TABLESAMPLE (40 PERCENT), o TABLESAMPLE (150 ROWS) "
+      "WHERE l_orderkey = o_orderkey";
+  ASSERT_OK_AND_ASSIGN(sqlish::ApproxResult row_result,
+                       sqlish::RunApproxQuery(sql, catalog, 99));
+  ASSERT_OK_AND_ASSIGN(
+      sqlish::ApproxResult col_result,
+      sqlish::RunApproxQuery(sql, catalog, 99, {}, ExecEngine::kColumnar));
+  ASSERT_EQ(row_result.values.size(), col_result.values.size());
+  EXPECT_EQ(row_result.sample_rows, col_result.sample_rows);
+  for (size_t i = 0; i < row_result.values.size(); ++i) {
+    EXPECT_EQ(row_result.values[i].label, col_result.values[i].label);
+    EXPECT_DOUBLE_EQ(row_result.values[i].value, col_result.values[i].value);
+    EXPECT_DOUBLE_EQ(row_result.values[i].stddev,
+                     col_result.values[i].stddev);
+    EXPECT_DOUBLE_EQ(row_result.values[i].lo, col_result.values[i].lo);
+    EXPECT_DOUBLE_EQ(row_result.values[i].hi, col_result.values[i].hi);
+  }
+}
+
+}  // namespace
+}  // namespace gus

@@ -43,6 +43,27 @@ TEST(ValueTest, HashAgreesWithEquality) {
   EXPECT_NE(Value("key").Hash(), Value("kez").Hash());
 }
 
+TEST(ValueTest, KeyEqualsPromotesAcrossNumericTypes) {
+  EXPECT_TRUE(Value(int64_t{5}).KeyEquals(Value(5.0)));
+  EXPECT_TRUE(Value(5.0).KeyEquals(Value(int64_t{5})));
+  EXPECT_FALSE(Value(int64_t{5}).KeyEquals(Value(5.5)));
+  EXPECT_FALSE(Value(int64_t{5}).KeyEquals(Value("5")));
+  EXPECT_TRUE(Value("x").KeyEquals(Value("x")));
+  // Beyond 2^53 a double cannot represent every integer; KeyEquals must not
+  // conflate neighbors that merely round to the same double.
+  const int64_t big = (int64_t{1} << 53) + 1;
+  EXPECT_FALSE(Value(big).KeyEquals(Value(static_cast<double>(big))));
+}
+
+TEST(ValueTest, HashConsistentWithKeyEquals) {
+  // Integral float64 hashes like the int64 it promotes from, so
+  // mixed-type join keys that compare equal also hash equal.
+  EXPECT_EQ(Value(int64_t{5}).Hash(), Value(5.0).Hash());
+  EXPECT_EQ(Value(int64_t{-3}).Hash(), Value(-3.0).Hash());
+  EXPECT_EQ(Value(0.0).Hash(), Value(-0.0).Hash());  // -0.0 == 0.0
+  EXPECT_NE(Value(5.5).Hash(), Value(int64_t{5}).Hash());
+}
+
 TEST(ValueTest, ToString) {
   EXPECT_EQ("42", Value(int64_t{42}).ToString());
   EXPECT_EQ("abc", Value("abc").ToString());
@@ -109,6 +130,25 @@ TEST(RelationTest, LineageDisjoint) {
   Relation a2 = MakeSingleTable(2, "A");
   EXPECT_TRUE(Relation::LineageDisjoint(a, b));
   EXPECT_FALSE(Relation::LineageDisjoint(a, a2));
+}
+
+TEST(RelationTest, AppendRowEnforcesArities) {
+  Relation r(Schema({{"v", ValueType::kFloat64}}), {"R"});
+  EXPECT_DEATH(r.AppendRow(Row{Value(1.0), Value(2.0)}, LineageRow{0}),
+               "row arity");
+  EXPECT_DEATH(r.AppendRow(Row{Value(1.0)}, LineageRow{0, 1}),
+               "lineage arity");
+}
+
+TEST(RelationTest, AppendRowCheckedSurfacesStatus) {
+  Relation r(Schema({{"v", ValueType::kFloat64}}), {"R"});
+  EXPECT_STATUS_CODE(kInvalidArgument,
+                     r.AppendRowChecked(Row{Value(1.0), Value(2.0)},
+                                        LineageRow{0}));
+  EXPECT_STATUS_CODE(kInvalidArgument,
+                     r.AppendRowChecked(Row{Value(1.0)}, LineageRow{0, 1}));
+  ASSERT_OK(r.AppendRowChecked(Row{Value(1.0)}, LineageRow{7}));
+  EXPECT_EQ(1, r.num_rows());
 }
 
 TEST(RelationTest, ToStringShowsRowsAndLineage) {

@@ -12,7 +12,10 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "util/status.h"
 
@@ -39,10 +42,86 @@ inline void PrintHeader(const std::string& id, const std::string& title) {
   std::printf("================================================================\n");
 }
 
-/// Standard bench main: print the reproduction section, then run timings.
+/// \brief Machine-readable benchmark output.
+///
+/// Reproduction sections record their measurements here alongside the
+/// printed tables; with `--json out.json` the bench main serializes every
+/// record, so perf trajectories can be tracked without screen-scraping.
+/// Records are {section, name, metric -> double} triples.
+class JsonReporter {
+ public:
+  static JsonReporter& Global() {
+    static JsonReporter reporter;
+    return reporter;
+  }
+
+  void Add(std::string section, std::string name,
+           std::vector<std::pair<std::string, double>> metrics) {
+    records_.push_back(
+        {std::move(section), std::move(name), std::move(metrics)});
+  }
+
+  bool empty() const { return records_.empty(); }
+
+  /// Writes all records as a JSON array; returns false on I/O failure.
+  bool WriteTo(const std::string& path) const {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) return false;
+    std::fprintf(f, "[\n");
+    for (size_t i = 0; i < records_.size(); ++i) {
+      const Record& r = records_[i];
+      std::fprintf(f, "  {\"section\": \"%s\", \"name\": \"%s\"",
+                   r.section.c_str(), r.name.c_str());
+      for (const auto& [key, value] : r.metrics) {
+        std::fprintf(f, ", \"%s\": %.17g", key.c_str(), value);
+      }
+      std::fprintf(f, "}%s\n", i + 1 < records_.size() ? "," : "");
+    }
+    std::fprintf(f, "]\n");
+    return std::fclose(f) == 0;
+  }
+
+ private:
+  struct Record {
+    std::string section;
+    std::string name;
+    std::vector<std::pair<std::string, double>> metrics;
+  };
+  std::vector<Record> records_;
+};
+
+/// \brief Strips `--json PATH` (or `--json=PATH`) from argv, returning PATH
+/// ("" when absent) — consumed before google-benchmark sees the args.
+inline std::string ConsumeJsonFlag(int* argc, char** argv) {
+  std::string path;
+  int w = 1;
+  for (int i = 1; i < *argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < *argc) {
+      path = argv[++i];
+    } else if (std::strncmp(argv[i], "--json=", 7) == 0) {
+      path = argv[i] + 7;
+    } else {
+      argv[w++] = argv[i];
+    }
+  }
+  *argc = w;
+  return path;
+}
+
+/// Standard bench main: print the reproduction section (which may record
+/// JsonReporter entries), serialize them if --json was given, then run the
+/// google-benchmark timings.
 #define GUS_BENCH_MAIN(print_fn)                    \
   int main(int argc, char** argv) {                 \
+    const std::string gus_json_path =               \
+        ::gus::bench::ConsumeJsonFlag(&argc, argv); \
     print_fn();                                     \
+    if (!gus_json_path.empty() &&                   \
+        !::gus::bench::JsonReporter::Global().WriteTo(gus_json_path)) { \
+      std::fprintf(stderr, "[bench] cannot write %s\n",                 \
+                   gus_json_path.c_str());          \
+      return 1;                                     \
+    }                                               \
     ::benchmark::Initialize(&argc, argv);           \
     if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1; \
     ::benchmark::RunSpecifiedBenchmarks();          \

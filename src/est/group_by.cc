@@ -2,14 +2,50 @@
 
 #include <algorithm>
 #include <cmath>
-#include <map>
 #include <unordered_map>
 
 #include "est/unbiased.h"
 #include "est/variance.h"
 #include "est/ys.h"
+#include "plan/vector_eval.h"
 
 namespace gus {
+
+namespace {
+
+/// One group's full Theorem-1 treatment; shared by the relation-based and
+/// streaming paths so their numbers agree bit for bit.
+Result<GroupEstimate> EstimateGroup(const GusParams& gus, const Value& key,
+                                    const SampleView& gview,
+                                    double confidence_level, BoundKind kind) {
+  GroupEstimate ge;
+  ge.key = key;
+  ge.sample_rows = gview.num_rows();
+  GUS_ASSIGN_OR_RETURN(ge.estimate, PointEstimate(gus, gview));
+  const std::vector<double> Y = ComputeAllYS(gview);
+  GUS_ASSIGN_OR_RETURN(std::vector<double> y_hat, UnbiasedYEstimates(gus, Y));
+  GUS_ASSIGN_OR_RETURN(double var, VarianceFromY(gus, y_hat));
+  ge.variance = std::max(0.0, var);
+  ge.stddev = std::sqrt(ge.variance);
+  GUS_ASSIGN_OR_RETURN(
+      ge.interval,
+      MakeInterval(ge.estimate, ge.variance, confidence_level, kind));
+  return ge;
+}
+
+/// Deterministic output order: by key (numeric-aware enough for tests and
+/// display).
+void SortByKey(std::vector<GroupEstimate>* out) {
+  std::sort(out->begin(), out->end(),
+            [](const GroupEstimate& a, const GroupEstimate& b) {
+              if (a.key.is_numeric() && b.key.is_numeric()) {
+                return a.key.ToDouble() < b.key.ToDouble();
+              }
+              return a.key.ToString() < b.key.ToString();
+            });
+}
+
+}  // namespace
 
 Result<std::vector<GroupEstimate>> GroupedSumEstimate(
     const GusParams& gus, const Relation& rel, const ExprPtr& f_expr,
@@ -29,7 +65,13 @@ Result<std::vector<GroupEstimate>> GroupedSumEstimate(
     const Value& key = rel.row(i)[key_idx];
     const uint64_t h = key.Hash();
     groups[h].push_back(i);
-    keys.emplace(h, key);
+    auto [it, inserted] = keys.emplace(h, key);
+    if (!inserted && !it->second.KeyEquals(key)) {
+      // Refuse to silently fuse distinct keys on a 64-bit hash collision.
+      return Status::Internal("group-by key hash collision between '" +
+                              it->second.ToString() + "' and '" +
+                              key.ToString() + "'");
+    }
   }
 
   std::vector<GroupEstimate> out;
@@ -47,30 +89,93 @@ Result<std::vector<GroupEstimate>> GroupedSumEstimate(
         gview.lineage[d].push_back(view.lineage[d][i]);
       }
     }
-    GroupEstimate ge;
-    ge.key = keys.at(h);
-    ge.sample_rows = static_cast<int64_t>(rows.size());
-    GUS_ASSIGN_OR_RETURN(ge.estimate, PointEstimate(gus, gview));
-    const std::vector<double> Y = ComputeAllYS(gview);
-    GUS_ASSIGN_OR_RETURN(std::vector<double> y_hat,
-                         UnbiasedYEstimates(gus, Y));
-    GUS_ASSIGN_OR_RETURN(double var, VarianceFromY(gus, y_hat));
-    ge.variance = std::max(0.0, var);
-    ge.stddev = std::sqrt(ge.variance);
     GUS_ASSIGN_OR_RETURN(
-        ge.interval,
-        MakeInterval(ge.estimate, ge.variance, confidence_level, kind));
+        GroupEstimate ge,
+        EstimateGroup(gus, keys.at(h), gview, confidence_level, kind));
     out.push_back(std::move(ge));
   }
-  // Deterministic output order: by key string (numeric-aware enough for
-  // tests and display).
-  std::sort(out.begin(), out.end(),
-            [](const GroupEstimate& a, const GroupEstimate& b) {
-              if (a.key.is_numeric() && b.key.is_numeric()) {
-                return a.key.ToDouble() < b.key.ToDouble();
-              }
-              return a.key.ToString() < b.key.ToString();
-            });
+  SortByKey(&out);
+  return out;
+}
+
+Result<GroupedSumBuilder> GroupedSumBuilder::Make(const BatchLayout& layout,
+                                                  const ExprPtr& f_expr,
+                                                  const std::string& key_column,
+                                                  const LineageSchema& schema) {
+  GroupedSumBuilder builder;
+  GUS_ASSIGN_OR_RETURN(builder.source_,
+                       MapAnalysisDims(layout.lineage_schema, schema));
+  GUS_ASSIGN_OR_RETURN(builder.bound_, f_expr->Bind(layout.schema));
+  GUS_ASSIGN_OR_RETURN(builder.key_idx_, layout.schema.IndexOf(key_column));
+  builder.schema_ = schema;
+  return builder;
+}
+
+Status GroupedSumBuilder::Consume(const ColumnBatch& batch) {
+  f_scratch_.clear();
+  GUS_RETURN_NOT_OK(EvalExprBatchToDoubles(
+      bound_, batch, "aggregate expression must be numeric", &f_scratch_));
+  const ColumnData& key_col = batch.column(key_idx_);
+  const int n = static_cast<int>(source_.size());
+  for (int64_t i = 0; i < batch.num_rows(); ++i) {
+    const Value key = key_col.ValueAt(i);
+    auto [it, inserted] = groups_.try_emplace(key.Hash());
+    Group& group = it->second;
+    if (inserted) {
+      group.key = key;
+      group.view.schema = schema_;
+      group.view.lineage.assign(n, {});
+    } else if (!group.key.KeyEquals(key)) {
+      // Refuse to silently fuse distinct keys on a 64-bit hash collision.
+      return Status::Internal("group-by key hash collision between '" +
+                              group.key.ToString() + "' and '" +
+                              key.ToString() + "'");
+    }
+    group.view.f.push_back(f_scratch_[i]);
+    for (int d = 0; d < n; ++d) {
+      group.view.lineage[d].push_back(batch.lineage_at(i, source_[d]));
+    }
+  }
+  return Status::OK();
+}
+
+Status GroupedSumBuilder::Merge(GroupedSumBuilder&& other) {
+  if (source_ != other.source_ || key_idx_ != other.key_idx_ ||
+      !(schema_ == other.schema_)) {
+    return Status::InvalidArgument(
+        "cannot merge GroupedSumBuilders over different layouts");
+  }
+  for (auto& [h, group] : other.groups_) {
+    auto it = groups_.find(h);
+    if (it == groups_.end()) {
+      groups_.emplace(h, std::move(group));
+    } else if (!it->second.key.KeyEquals(group.key)) {
+      return Status::Internal("group-by key hash collision between '" +
+                              it->second.key.ToString() + "' and '" +
+                              group.key.ToString() + "'");
+    } else {
+      GUS_RETURN_NOT_OK(it->second.view.Merge(std::move(group.view)));
+    }
+  }
+  return Status::OK();
+}
+
+Result<std::vector<GroupEstimate>> GroupedSumBuilder::Finish(
+    const GusParams& gus, double confidence_level, BoundKind kind) const {
+  if (!(gus.schema() == schema_)) {
+    return Status::InvalidArgument(
+        "GusParams schema does not match the builder's analysis schema");
+  }
+  std::vector<GroupEstimate> out;
+  out.reserve(groups_.size());
+  for (const auto& entry : groups_) {
+    const Group& group = entry.second;
+    GUS_ASSIGN_OR_RETURN(
+        GroupEstimate ge,
+        EstimateGroup(gus, group.key, group.view, confidence_level, kind));
+    out.push_back(std::move(ge));
+  }
+  SortByKey(&out);
   return out;
 }
 

@@ -11,11 +11,14 @@
 #define GUS_EST_GROUP_BY_H_
 
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "algebra/gus_params.h"
 #include "est/confidence.h"
 #include "est/sample_view.h"
+#include "rel/column_batch.h"
+#include "rel/expression.h"
 #include "rel/relation.h"
 #include "util/status.h"
 
@@ -42,6 +45,50 @@ Result<std::vector<GroupEstimate>> GroupedSumEstimate(
     const GusParams& gus, const Relation& rel, const ExprPtr& f_expr,
     const std::string& key_column, double confidence_level = 0.95,
     BoundKind kind = BoundKind::kNormal);
+
+/// \brief Batch-incremental grouped-SUM state: a hash table of per-group
+/// SampleViews fed from column batches, mergeable across partitions.
+///
+/// Consuming a batch stream and calling Finish is bit-identical to
+/// GroupedSumEstimate over the materialized relation; merging split
+/// builders in partition order is bit-identical to the unsplit builder
+/// (per-group rows concatenate in partition order; group discovery order
+/// never affects the estimates, and Finish sorts the output by key).
+class GroupedSumBuilder final : public BatchSink {
+ public:
+  static Result<GroupedSumBuilder> Make(const BatchLayout& layout,
+                                        const ExprPtr& f_expr,
+                                        const std::string& key_column,
+                                        const LineageSchema& schema);
+
+  Status Consume(const ColumnBatch& batch) override;
+
+  /// Folds a later partition's builder into this one: groups present in
+  /// both merge their views, new groups are adopted.
+  Status Merge(GroupedSumBuilder&& other);
+
+  /// Per-group estimates (sorted by key), exactly as GroupedSumEstimate.
+  Result<std::vector<GroupEstimate>> Finish(
+      const GusParams& gus, double confidence_level = 0.95,
+      BoundKind kind = BoundKind::kNormal) const;
+
+  int64_t num_groups() const { return static_cast<int64_t>(groups_.size()); }
+
+ private:
+  GroupedSumBuilder() = default;
+
+  struct Group {
+    Value key;
+    SampleView view;
+  };
+
+  std::vector<int> source_;  // analysis dim -> layout lineage column
+  ExprPtr bound_;
+  int key_idx_ = 0;
+  LineageSchema schema_;
+  std::vector<double> f_scratch_;
+  std::unordered_map<uint64_t, Group> groups_;  // keyed by Value::Hash
+};
 
 }  // namespace gus
 

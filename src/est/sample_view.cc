@@ -55,6 +55,23 @@ Result<SampleView> SampleView::FromRelation(const Relation& rel,
   return view;
 }
 
+Status SampleView::Merge(SampleView&& other) {
+  if (!(schema == other.schema)) {
+    return Status::InvalidArgument(
+        "cannot merge SampleViews with different lineage schemas");
+  }
+  if (f.empty()) {
+    *this = std::move(other);
+    return Status::OK();
+  }
+  f.insert(f.end(), other.f.begin(), other.f.end());
+  for (size_t d = 0; d < lineage.size(); ++d) {
+    lineage[d].insert(lineage[d].end(), other.lineage[d].begin(),
+                      other.lineage[d].end());
+  }
+  return Status::OK();
+}
+
 double SampleView::SumF() const {
   double s = 0.0;
   for (double v : f) s += v;

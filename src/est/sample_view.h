@@ -40,6 +40,14 @@ struct SampleView {
 
   /// Sum of f (the un-scaled sample aggregate).
   double SumF() const;
+
+  /// \brief Appends `other`'s rows after this view's (same schema).
+  ///
+  /// The SBox inputs are partition-mergeable by construction: a view of a
+  /// partitioned result is exactly the concatenation of the partitions'
+  /// views, so merging split views in partition order reproduces the
+  /// unsplit view row for row.
+  Status Merge(SampleView&& other);
 };
 
 /// \brief Maps analysis-schema dimensions onto a lineage schema's columns.

@@ -8,6 +8,7 @@
 #include "est/unbiased.h"
 #include "est/variance.h"
 #include "est/ys.h"
+#include "plan/parallel_executor.h"
 #include "plan/vector_eval.h"
 #include "util/hash.h"
 
@@ -44,6 +45,14 @@ Status SampleViewBuilder::Consume(const ColumnBatch& batch) {
     }
   }
   return Status::OK();
+}
+
+Status SampleViewBuilder::Merge(SampleViewBuilder&& other) {
+  if (source_ != other.source_) {
+    return Status::InvalidArgument(
+        "cannot merge SampleViewBuilders over different layouts");
+  }
+  return view_.Merge(std::move(other.view_));
 }
 
 Result<StreamingSboxEstimator> StreamingSboxEstimator::Make(
@@ -132,6 +141,34 @@ Status StreamingSboxEstimator::Consume(const ColumnBatch& batch) {
   return Status::OK();
 }
 
+Status StreamingSboxEstimator::Merge(StreamingSboxEstimator&& other) {
+  if (!(gus_.schema() == other.gus_.schema()) ||
+      source_ != other.source_) {
+    return Status::InvalidArgument(
+        "cannot merge estimators with different analysis schemas");
+  }
+  const bool subsampling = options_.subsample.has_value();
+  if (subsampling != other.options_.subsample.has_value() ||
+      (subsampling &&
+       (options_.subsample->target_rows != other.options_.subsample->target_rows ||
+        options_.subsample->seed != other.options_.subsample->seed))) {
+    return Status::InvalidArgument(
+        "cannot merge estimators with different subsample configurations");
+  }
+  rows_seen_ += other.rows_seen_;
+  sum_f_ += other.sum_f_;
+  GUS_RETURN_NOT_OK(retained_.Merge(std::move(other.retained_)));
+  if (subsampling) {
+    ustar_.insert(ustar_.end(), other.ustar_.begin(), other.ustar_.end());
+    // The merged stream is longer, so the interim threshold tightened;
+    // re-prune under the same bound discipline as Consume.
+    const int64_t bound =
+        std::max<int64_t>(2 * options_.subsample->target_rows, 1024);
+    if (retained_.num_rows() > bound) Prune();
+  }
+  return Status::OK();
+}
+
 Result<SboxReport> StreamingSboxEstimator::Finish() {
   if (gus_.a() <= 0.0) {
     return Status::InvalidArgument("estimator needs a > 0");
@@ -184,14 +221,61 @@ Result<SboxReport> StreamingSboxEstimator::Finish() {
   return report;
 }
 
+namespace {
+
+/// Adapts StreamingSboxEstimator to the morsel executor's sink protocol.
+class SboxEstimatorSink final : public MergeableBatchSink {
+ public:
+  explicit SboxEstimatorSink(StreamingSboxEstimator est)
+      : est_(std::move(est)) {}
+
+  Status Consume(const ColumnBatch& batch) override {
+    return est_.Consume(batch);
+  }
+
+  Status MergeFrom(BatchSink* other) override {
+    return est_.Merge(std::move(static_cast<SboxEstimatorSink*>(other)->est_));
+  }
+
+  StreamingSboxEstimator* estimator() { return &est_; }
+
+ private:
+  StreamingSboxEstimator est_;
+};
+
+}  // namespace
+
+Result<SboxReport> EstimatePlanParallel(const PlanPtr& plan,
+                                        ColumnarCatalog* catalog, Rng* rng,
+                                        const ExprPtr& f_expr,
+                                        const GusParams& gus,
+                                        const SboxOptions& options,
+                                        ExecMode mode,
+                                        const ExecOptions& exec) {
+  std::unique_ptr<MergeableBatchSink> sink;
+  GUS_RETURN_NOT_OK(ParallelExecutePlanToSink(
+      plan, catalog, rng, mode, exec,
+      [&](const BatchLayout& layout)
+          -> Result<std::unique_ptr<MergeableBatchSink>> {
+        GUS_ASSIGN_OR_RETURN(
+            StreamingSboxEstimator est,
+            StreamingSboxEstimator::Make(layout, f_expr, gus, options));
+        return std::unique_ptr<MergeableBatchSink>(
+            new SboxEstimatorSink(std::move(est)));
+      },
+      &sink));
+  return static_cast<SboxEstimatorSink*>(sink.get())->estimator()->Finish();
+}
+
 Result<SboxReport> EstimatePlanStreaming(const PlanPtr& plan,
                                          ColumnarCatalog* catalog, Rng* rng,
                                          const ExprPtr& f_expr,
                                          const GusParams& gus,
                                          const SboxOptions& options,
-                                         ExecMode mode) {
-  GUS_ASSIGN_OR_RETURN(std::unique_ptr<BatchSource> pipeline,
-                       CompileBatchPipeline(plan, catalog, rng, mode));
+                                         ExecMode mode, int64_t batch_rows) {
+  GUS_ASSIGN_OR_RETURN(
+      std::unique_ptr<BatchSource> pipeline,
+      CompileBatchPipeline(plan, catalog, rng, mode, batch_rows));
   GUS_ASSIGN_OR_RETURN(
       StreamingSboxEstimator est,
       StreamingSboxEstimator::Make(*pipeline->layout(), f_expr, gus, options));

@@ -53,6 +53,13 @@ class SampleViewBuilder final : public BatchSink {
 
   Status Consume(const ColumnBatch& batch) override;
 
+  /// \brief Folds a later partition's builder into this one (same layout
+  /// and analysis schema required).
+  ///
+  /// Merging split builders in partition order is bit-identical to one
+  /// builder consuming the concatenated stream.
+  Status Merge(SampleViewBuilder&& other);
+
   const SampleView& view() const { return view_; }
   SampleView TakeView() { return std::move(view_); }
 
@@ -73,6 +80,16 @@ class StreamingSboxEstimator final : public BatchSink {
                                              const SboxOptions& options = {});
 
   Status Consume(const ColumnBatch& batch) override;
+
+  /// \brief Folds a later partition's estimator into this one.
+  ///
+  /// Running sums add; the Section 7 retained sets concatenate and
+  /// re-prune under the merged (tighter) interim threshold — the filter is
+  /// monotone in p, so the merged retained set is exactly what one
+  /// estimator would have retained over the concatenated stream, and
+  /// Finish() after a partition-ordered merge reproduces the unsplit run.
+  /// Requires matching analysis schema and options.
+  Status Merge(StreamingSboxEstimator&& other);
 
   /// Completes the estimation; bit-identical to SboxEstimate over the
   /// materialized view.
@@ -116,7 +133,23 @@ Result<SboxReport> EstimatePlanStreaming(const PlanPtr& plan,
                                          const ExprPtr& f_expr,
                                          const GusParams& gus,
                                          const SboxOptions& options = {},
-                                         ExecMode mode = ExecMode::kSampled);
+                                         ExecMode mode = ExecMode::kSampled,
+                                         int64_t batch_rows = kDefaultBatchRows);
+
+/// \brief Morsel-parallel EstimatePlanStreaming.
+///
+/// Each partition streams into its own StreamingSboxEstimator on whatever
+/// worker runs it; the per-partition estimators merge in morsel order, so
+/// the report is bit-deterministic in (plan, catalog, seed, exec options)
+/// and identical across num_threads values (see plan/parallel_executor.h
+/// for the sampling-design caveats vs the serial engines).
+Result<SboxReport> EstimatePlanParallel(const PlanPtr& plan,
+                                        ColumnarCatalog* catalog, Rng* rng,
+                                        const ExprPtr& f_expr,
+                                        const GusParams& gus,
+                                        const SboxOptions& options,
+                                        ExecMode mode,
+                                        const ExecOptions& exec);
 
 }  // namespace gus
 

@@ -24,9 +24,7 @@ Result<const ColumnarRelation*> ColumnarCatalog::Get(const std::string& name) {
   return &cache_.emplace(name, std::move(col)).first->second;
 }
 
-namespace {
-
-void PrepareOut(const LayoutPtr& layout, ColumnBatch* out) {
+void PrepareBatch(const LayoutPtr& layout, ColumnBatch* out) {
   if (out->layout_ptr() != layout) {
     out->ResetLayout(layout);
   } else {
@@ -34,8 +32,7 @@ void PrepareOut(const LayoutPtr& layout, ColumnBatch* out) {
   }
 }
 
-/// Fully drains a source into a materialized columnar relation.
-Result<ColumnarRelation> Drain(BatchSource* src) {
+Result<ColumnarRelation> DrainSource(BatchSource* src) {
   ColumnarRelation out(src->layout());
   ColumnBatch scratch;
   while (true) {
@@ -46,10 +43,8 @@ Result<ColumnarRelation> Drain(BatchSource* src) {
   return out;
 }
 
-/// Concatenated layout of two join/product inputs; fails on column-name or
-/// lineage overlap with the row engine's diagnostics.
-Result<LayoutPtr> ConcatLayout(const BatchLayout& left,
-                               const BatchLayout& right) {
+Result<LayoutPtr> ConcatBatchLayouts(const BatchLayout& left,
+                                     const BatchLayout& right) {
   for (const auto& name : left.lineage_schema) {
     for (const auto& other : right.lineage_schema) {
       if (name == other) {
@@ -115,14 +110,22 @@ bool KeyEqualsAt(const ColumnData& a, int64_t i, const ColumnData& b,
 
 // ---- Sources ---------------------------------------------------------------
 
+namespace {
+
 class ScanSource final : public BatchSource {
  public:
-  explicit ScanSource(const ColumnarRelation* rel)
-      : BatchSource(rel->layout_ptr()), rel_(rel) {}
+  ScanSource(const ColumnarRelation* rel, int64_t batch_rows, int64_t begin,
+             int64_t len)
+      : BatchSource(rel->layout_ptr()),
+        rel_(rel),
+        batch_rows_(batch_rows),
+        pos_(begin),
+        end_(len < 0 ? rel->num_rows()
+                     : std::min(begin + len, rel->num_rows())) {}
 
   Result<bool> Next(ColumnBatch* out) override {
-    if (pos_ >= rel_->num_rows()) return false;
-    const int64_t len = std::min(kBatchRows, rel_->num_rows() - pos_);
+    if (pos_ >= end_) return false;
+    const int64_t len = std::min(batch_rows_, end_ - pos_);
     rel_->EmitSlice(pos_, len, out);
     pos_ += len;
     return true;
@@ -130,7 +133,9 @@ class ScanSource final : public BatchSource {
 
  private:
   const ColumnarRelation* rel_;
-  int64_t pos_ = 0;
+  int64_t batch_rows_;
+  int64_t pos_;
+  int64_t end_;
 };
 
 class SelectSource final : public BatchSource {
@@ -141,7 +146,7 @@ class SelectSource final : public BatchSource {
         bound_(std::move(bound)) {}
 
   Result<bool> Next(ColumnBatch* out) override {
-    PrepareOut(layout_, out);
+    PrepareBatch(layout_, out);
     GUS_ASSIGN_OR_RETURN(bool more, child_->Next(&scratch_));
     if (!more) return false;
     GUS_RETURN_NOT_OK(EvalPredicateBatch(bound_, scratch_, &sel_));
@@ -186,15 +191,16 @@ class BlockRekeySource final : public BatchSource {
 class SampleBreakerSource final : public BatchSource {
  public:
   SampleBreakerSource(std::unique_ptr<BatchSource> child, SamplingSpec spec,
-                      Rng* rng)
+                      Rng* rng, int64_t batch_rows)
       : BatchSource(child->layout()),
         child_(std::move(child)),
         spec_(std::move(spec)),
-        rng_(rng) {}
+        rng_(rng),
+        batch_rows_(batch_rows) {}
 
   Result<bool> Next(ColumnBatch* out) override {
     if (!drained_) {
-      GUS_ASSIGN_OR_RETURN(mat_, Drain(child_.get()));
+      GUS_ASSIGN_OR_RETURN(mat_, DrainSource(child_.get()));
       const ColumnBatch& data = mat_.data();
       GUS_ASSIGN_OR_RETURN(
           SamplingDecision d,
@@ -208,9 +214,9 @@ class SampleBreakerSource final : public BatchSource {
       drained_ = true;
     }
     if (pos_ >= static_cast<int64_t>(keep_.size())) return false;
-    PrepareOut(layout_, out);
+    PrepareBatch(layout_, out);
     const int64_t len =
-        std::min(kBatchRows, static_cast<int64_t>(keep_.size()) - pos_);
+        std::min(batch_rows_, static_cast<int64_t>(keep_.size()) - pos_);
     const int64_t* sel = keep_.data() + pos_;
     out->GatherFrom(mat_.data(), sel, len);
     if (rekey_) {
@@ -228,6 +234,7 @@ class SampleBreakerSource final : public BatchSource {
   std::unique_ptr<BatchSource> child_;
   SamplingSpec spec_;
   Rng* rng_;
+  int64_t batch_rows_;
   bool drained_ = false;
   ColumnarRelation mat_;
   std::vector<int64_t> keep_;
@@ -240,21 +247,23 @@ class SampleBreakerSource final : public BatchSource {
 class JoinSource final : public BatchSource {
  public:
   JoinSource(LayoutPtr layout, std::unique_ptr<BatchSource> left,
-             std::unique_ptr<BatchSource> right, int left_key, int right_key)
+             std::unique_ptr<BatchSource> right, int left_key, int right_key,
+             int64_t batch_rows)
       : BatchSource(std::move(layout)),
         left_(std::move(left)),
         right_(std::move(right)),
         left_key_(left_key),
-        right_key_(right_key) {}
+        right_key_(right_key),
+        batch_rows_(batch_rows) {}
 
   Result<bool> Next(ColumnBatch* out) override {
     if (!drained_) GUS_RETURN_NOT_OK(DrainAndBuild());
     const ColumnBatch& probe = probe_mat_->data();
     if (probe_pos_ >= probe.num_rows() && cands_ == nullptr) return false;
-    PrepareOut(layout_, out);
+    PrepareBatch(layout_, out);
     const ColumnData& probe_key = probe.column(probe_key_);
     const ColumnData& build_key = build_mat_->data().column(build_key_);
-    while (out->num_rows() < kBatchRows) {
+    while (out->num_rows() < batch_rows_) {
       if (cands_ == nullptr) {
         if (probe_pos_ >= probe.num_rows()) break;
         const uint64_t h =
@@ -267,7 +276,7 @@ class JoinSource final : public BatchSource {
         cands_ = &it->second;
         cand_pos_ = 0;
       }
-      while (cand_pos_ < cands_->size() && out->num_rows() < kBatchRows) {
+      while (cand_pos_ < cands_->size() && out->num_rows() < batch_rows_) {
         const int64_t b = (*cands_)[cand_pos_++];
         if (!KeyEqualsAt(build_key, b, probe_key, probe_pos_)) continue;
         const int64_t li = build_left_ ? b : probe_pos_;
@@ -284,8 +293,8 @@ class JoinSource final : public BatchSource {
 
  private:
   Status DrainAndBuild() {
-    GUS_ASSIGN_OR_RETURN(left_mat_, Drain(left_.get()));
-    GUS_ASSIGN_OR_RETURN(right_mat_, Drain(right_.get()));
+    GUS_ASSIGN_OR_RETURN(left_mat_, DrainSource(left_.get()));
+    GUS_ASSIGN_OR_RETURN(right_mat_, DrainSource(right_.get()));
     // Build on the smaller input — the row engine's rule, bit for bit.
     build_left_ = left_mat_.num_rows() <= right_mat_.num_rows();
     build_mat_ = build_left_ ? &left_mat_ : &right_mat_;
@@ -307,6 +316,7 @@ class JoinSource final : public BatchSource {
   std::unique_ptr<BatchSource> right_;
   int left_key_;
   int right_key_;
+  int64_t batch_rows_;
   bool drained_ = false;
   ColumnarRelation left_mat_, right_mat_;
   bool build_left_ = true;
@@ -324,22 +334,23 @@ class JoinSource final : public BatchSource {
 class ProductSource final : public BatchSource {
  public:
   ProductSource(LayoutPtr layout, std::unique_ptr<BatchSource> left,
-                std::unique_ptr<BatchSource> right)
+                std::unique_ptr<BatchSource> right, int64_t batch_rows)
       : BatchSource(std::move(layout)),
         left_(std::move(left)),
-        right_(std::move(right)) {}
+        right_(std::move(right)),
+        batch_rows_(batch_rows) {}
 
   Result<bool> Next(ColumnBatch* out) override {
     if (!drained_) {
-      GUS_ASSIGN_OR_RETURN(left_mat_, Drain(left_.get()));
-      GUS_ASSIGN_OR_RETURN(right_mat_, Drain(right_.get()));
+      GUS_ASSIGN_OR_RETURN(left_mat_, DrainSource(left_.get()));
+      GUS_ASSIGN_OR_RETURN(right_mat_, DrainSource(right_.get()));
       drained_ = true;
     }
     if (i_ >= left_mat_.num_rows() || right_mat_.num_rows() == 0) {
       return false;
     }
-    PrepareOut(layout_, out);
-    while (out->num_rows() < kBatchRows && i_ < left_mat_.num_rows()) {
+    PrepareBatch(layout_, out);
+    while (out->num_rows() < batch_rows_ && i_ < left_mat_.num_rows()) {
       out->AppendConcatRowFrom(left_mat_.data(), i_, right_mat_.data(), j_);
       if (++j_ >= right_mat_.num_rows()) {
         j_ = 0;
@@ -352,6 +363,7 @@ class ProductSource final : public BatchSource {
  private:
   std::unique_ptr<BatchSource> left_;
   std::unique_ptr<BatchSource> right_;
+  int64_t batch_rows_;
   bool drained_ = false;
   ColumnarRelation left_mat_, right_mat_;
   int64_t i_ = 0, j_ = 0;
@@ -396,19 +408,20 @@ class ExactUnionSource final : public BatchSource {
 class UnionSource final : public BatchSource {
  public:
   UnionSource(std::unique_ptr<BatchSource> left,
-              std::unique_ptr<BatchSource> right)
+              std::unique_ptr<BatchSource> right, int64_t batch_rows)
       : BatchSource(left->layout()),
         left_(std::move(left)),
-        right_(std::move(right)) {}
+        right_(std::move(right)),
+        batch_rows_(batch_rows) {}
 
   Result<bool> Next(ColumnBatch* out) override {
     if (!drained_) GUS_RETURN_NOT_OK(DrainAndDedup());
     const int64_t total_a = static_cast<int64_t>(sel_a_.size());
     const int64_t total_b = static_cast<int64_t>(sel_b_.size());
     if (pos_ >= total_a + total_b) return false;
-    PrepareOut(layout_, out);
-    while (out->num_rows() < kBatchRows && pos_ < total_a + total_b) {
-      const int64_t want = kBatchRows - out->num_rows();
+    PrepareBatch(layout_, out);
+    while (out->num_rows() < batch_rows_ && pos_ < total_a + total_b) {
+      const int64_t want = batch_rows_ - out->num_rows();
       if (pos_ < total_a) {
         const int64_t len = std::min(want, total_a - pos_);
         out->GatherFrom(a_mat_.data(), sel_a_.data() + pos_, len);
@@ -425,8 +438,8 @@ class UnionSource final : public BatchSource {
 
  private:
   Status DrainAndDedup() {
-    GUS_ASSIGN_OR_RETURN(a_mat_, Drain(left_.get()));
-    GUS_ASSIGN_OR_RETURN(b_mat_, Drain(right_.get()));
+    GUS_ASSIGN_OR_RETURN(a_mat_, DrainSource(left_.get()));
+    GUS_ASSIGN_OR_RETURN(b_mat_, DrainSource(right_.get()));
     const int arity = layout_->lineage_arity();
     std::unordered_set<uint64_t> seen;
     seen.reserve(
@@ -448,6 +461,7 @@ class UnionSource final : public BatchSource {
 
   std::unique_ptr<BatchSource> left_;
   std::unique_ptr<BatchSource> right_;
+  int64_t batch_rows_;
   bool drained_ = false;
   ColumnarRelation a_mat_, b_mat_;
   std::vector<int64_t> sel_a_, sel_b_;
@@ -456,18 +470,44 @@ class UnionSource final : public BatchSource {
 
 }  // namespace
 
+std::unique_ptr<BatchSource> MakeScanSource(const ColumnarRelation* rel,
+                                            int64_t batch_rows, int64_t begin,
+                                            int64_t len) {
+  return std::unique_ptr<BatchSource>(
+      new ScanSource(rel, batch_rows, begin, len));
+}
+
+Result<std::unique_ptr<BatchSource>> MakeSelectSource(
+    std::unique_ptr<BatchSource> child, const ExprPtr& predicate) {
+  GUS_ASSIGN_OR_RETURN(ExprPtr bound,
+                       predicate->Bind(child->layout()->schema));
+  return std::unique_ptr<BatchSource>(
+      new SelectSource(std::move(child), std::move(bound)));
+}
+
+Result<std::unique_ptr<BatchSource>> MakeSampleSource(
+    std::unique_ptr<BatchSource> child, const SamplingSpec& spec, Rng* rng,
+    int64_t batch_rows) {
+  return std::unique_ptr<BatchSource>(
+      new SampleBreakerSource(std::move(child), spec, rng, batch_rows));
+}
+
 Result<std::unique_ptr<BatchSource>> CompileBatchPipeline(
-    const PlanPtr& plan, ColumnarCatalog* catalog, Rng* rng, ExecMode mode) {
+    const PlanPtr& plan, ColumnarCatalog* catalog, Rng* rng, ExecMode mode,
+    int64_t batch_rows) {
+  if (batch_rows < 1) {
+    return Status::InvalidArgument("batch_rows must be >= 1");
+  }
   switch (plan->op()) {
     case PlanOp::kScan: {
       GUS_ASSIGN_OR_RETURN(const ColumnarRelation* rel,
                            catalog->Get(plan->relation()));
-      return std::unique_ptr<BatchSource>(new ScanSource(rel));
+      return MakeScanSource(rel, batch_rows);
     }
     case PlanOp::kSample: {
       GUS_ASSIGN_OR_RETURN(
           std::unique_ptr<BatchSource> child,
-          CompileBatchPipeline(plan->child(), catalog, rng, mode));
+          CompileBatchPipeline(plan->child(), catalog, rng, mode, batch_rows));
       if (mode == ExecMode::kExact) {
         // Sampling is a no-op in exact mode, but block sampling still
         // re-keys lineage so both modes agree on lineage granularity.
@@ -484,13 +524,13 @@ Result<std::unique_ptr<BatchSource>> CompileBatchPipeline(
         }
         return child;
       }
-      return std::unique_ptr<BatchSource>(
-          new SampleBreakerSource(std::move(child), plan->spec(), rng));
+      return std::unique_ptr<BatchSource>(new SampleBreakerSource(
+          std::move(child), plan->spec(), rng, batch_rows));
     }
     case PlanOp::kSelect: {
       GUS_ASSIGN_OR_RETURN(
           std::unique_ptr<BatchSource> child,
-          CompileBatchPipeline(plan->child(), catalog, rng, mode));
+          CompileBatchPipeline(plan->child(), catalog, rng, mode, batch_rows));
       GUS_ASSIGN_OR_RETURN(ExprPtr bound,
                            plan->predicate()->Bind(child->layout()->schema));
       return std::unique_ptr<BatchSource>(
@@ -499,38 +539,41 @@ Result<std::unique_ptr<BatchSource>> CompileBatchPipeline(
     case PlanOp::kJoin: {
       GUS_ASSIGN_OR_RETURN(
           std::unique_ptr<BatchSource> left,
-          CompileBatchPipeline(plan->left(), catalog, rng, mode));
+          CompileBatchPipeline(plan->left(), catalog, rng, mode, batch_rows));
       GUS_ASSIGN_OR_RETURN(
           std::unique_ptr<BatchSource> right,
-          CompileBatchPipeline(plan->right(), catalog, rng, mode));
-      GUS_ASSIGN_OR_RETURN(LayoutPtr layout,
-                           ConcatLayout(*left->layout(), *right->layout()));
+          CompileBatchPipeline(plan->right(), catalog, rng, mode, batch_rows));
+      GUS_ASSIGN_OR_RETURN(
+          LayoutPtr layout,
+          ConcatBatchLayouts(*left->layout(), *right->layout()));
       GUS_ASSIGN_OR_RETURN(int lk,
                            left->layout()->schema.IndexOf(plan->left_key()));
       GUS_ASSIGN_OR_RETURN(int rk,
                            right->layout()->schema.IndexOf(plan->right_key()));
-      return std::unique_ptr<BatchSource>(new JoinSource(
-          std::move(layout), std::move(left), std::move(right), lk, rk));
+      return std::unique_ptr<BatchSource>(
+          new JoinSource(std::move(layout), std::move(left), std::move(right),
+                         lk, rk, batch_rows));
     }
     case PlanOp::kProduct: {
       GUS_ASSIGN_OR_RETURN(
           std::unique_ptr<BatchSource> left,
-          CompileBatchPipeline(plan->left(), catalog, rng, mode));
+          CompileBatchPipeline(plan->left(), catalog, rng, mode, batch_rows));
       GUS_ASSIGN_OR_RETURN(
           std::unique_ptr<BatchSource> right,
-          CompileBatchPipeline(plan->right(), catalog, rng, mode));
-      GUS_ASSIGN_OR_RETURN(LayoutPtr layout,
-                           ConcatLayout(*left->layout(), *right->layout()));
+          CompileBatchPipeline(plan->right(), catalog, rng, mode, batch_rows));
+      GUS_ASSIGN_OR_RETURN(
+          LayoutPtr layout,
+          ConcatBatchLayouts(*left->layout(), *right->layout()));
       return std::unique_ptr<BatchSource>(new ProductSource(
-          std::move(layout), std::move(left), std::move(right)));
+          std::move(layout), std::move(left), std::move(right), batch_rows));
     }
     case PlanOp::kUnion: {
       GUS_ASSIGN_OR_RETURN(
           std::unique_ptr<BatchSource> left,
-          CompileBatchPipeline(plan->left(), catalog, rng, mode));
+          CompileBatchPipeline(plan->left(), catalog, rng, mode, batch_rows));
       GUS_ASSIGN_OR_RETURN(
           std::unique_ptr<BatchSource> right,
-          CompileBatchPipeline(plan->right(), catalog, rng, mode));
+          CompileBatchPipeline(plan->right(), catalog, rng, mode, batch_rows));
       if (mode == ExecMode::kExact) {
         // No sampler below consumes the Rng in exact mode, so only the
         // left branch's rows are needed; the right branch runs for its
@@ -548,7 +591,7 @@ Result<std::unique_ptr<BatchSource>> CompileBatchPipeline(
             "expression, paper Prop. 7)");
       }
       return std::unique_ptr<BatchSource>(
-          new UnionSource(std::move(left), std::move(right)));
+          new UnionSource(std::move(left), std::move(right), batch_rows));
     }
   }
   return Status::Internal("unknown plan op");
@@ -556,16 +599,20 @@ Result<std::unique_ptr<BatchSource>> CompileBatchPipeline(
 
 Result<ColumnarRelation> ExecutePlanColumnar(const PlanPtr& plan,
                                              ColumnarCatalog* catalog,
-                                             Rng* rng, ExecMode mode) {
-  GUS_ASSIGN_OR_RETURN(std::unique_ptr<BatchSource> pipeline,
-                       CompileBatchPipeline(plan, catalog, rng, mode));
-  return Drain(pipeline.get());
+                                             Rng* rng, ExecMode mode,
+                                             int64_t batch_rows) {
+  GUS_ASSIGN_OR_RETURN(
+      std::unique_ptr<BatchSource> pipeline,
+      CompileBatchPipeline(plan, catalog, rng, mode, batch_rows));
+  return DrainSource(pipeline.get());
 }
 
 Status ExecutePlanToSink(const PlanPtr& plan, ColumnarCatalog* catalog,
-                         Rng* rng, ExecMode mode, BatchSink* sink) {
-  GUS_ASSIGN_OR_RETURN(std::unique_ptr<BatchSource> pipeline,
-                       CompileBatchPipeline(plan, catalog, rng, mode));
+                         Rng* rng, ExecMode mode, BatchSink* sink,
+                         int64_t batch_rows) {
+  GUS_ASSIGN_OR_RETURN(
+      std::unique_ptr<BatchSource> pipeline,
+      CompileBatchPipeline(plan, catalog, rng, mode, batch_rows));
   ColumnBatch batch;
   while (true) {
     GUS_ASSIGN_OR_RETURN(bool more, pipeline->Next(&batch));

@@ -14,7 +14,8 @@
 //   product/union   breakers; union dedups by lineage hash, streaming out
 //
 // Only breakers materialize; chains of scan/select/exact-sample/join-probe
-// stream ColumnBatches of kBatchRows rows. The top of the pipeline either
+// stream ColumnBatches of ExecOptions::batch_rows rows (default
+// kDefaultBatchRows). The top of the pipeline either
 // materializes into a ColumnarRelation (ExecutePlanColumnar) or pushes
 // straight into a BatchSink (ExecutePlanToSink) — the latter is how the
 // estimators consume the (lineage, f) stream without ever materializing
@@ -31,6 +32,7 @@
 #include <map>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "plan/executor.h"
 #include "plan/plan_node.h"
@@ -39,9 +41,6 @@
 #include "util/status.h"
 
 namespace gus {
-
-/// Rows per pipeline batch.
-inline constexpr int64_t kBatchRows = 2048;
 
 /// \brief Lazy cache of row-engine catalog relations in columnar form.
 ///
@@ -79,23 +78,70 @@ class BatchSource {
   LayoutPtr layout_;
 };
 
+// ---- Shared pipeline building blocks ---------------------------------------
+//
+// Used by CompileBatchPipeline and by the morsel-parallel executor
+// (plan/parallel_executor.cc), which composes per-partition pipelines from
+// the same physical operators.
+
+/// Streams rows [begin, begin + len) of `rel` (len < 0 means "to the end").
+std::unique_ptr<BatchSource> MakeScanSource(const ColumnarRelation* rel,
+                                            int64_t batch_rows,
+                                            int64_t begin = 0,
+                                            int64_t len = -1);
+
+/// Vectorized select over `child`; binds `predicate` against the child
+/// layout.
+Result<std::unique_ptr<BatchSource>> MakeSelectSource(
+    std::unique_ptr<BatchSource> child, const ExprPtr& predicate);
+
+/// Sampled-mode sampler over `child` (pipeline breaker routed through the
+/// shared index-selection core; `rng` must outlive the source).
+Result<std::unique_ptr<BatchSource>> MakeSampleSource(
+    std::unique_ptr<BatchSource> child, const SamplingSpec& spec, Rng* rng,
+    int64_t batch_rows);
+
+/// Fully drains a source into a materialized columnar relation.
+Result<ColumnarRelation> DrainSource(BatchSource* src);
+
+/// Concatenated layout of two join/product inputs; fails on column-name or
+/// lineage overlap.
+Result<LayoutPtr> ConcatBatchLayouts(const BatchLayout& left,
+                                     const BatchLayout& right);
+
+/// Per-dictionary key hashes for a string column (agrees with Value::Hash);
+/// empty for non-string columns.
+std::vector<uint64_t> DictKeyHashes(const ColumnData& col);
+
+/// Join-key hash of row `i` (dict_hashes from DictKeyHashes for strings).
+uint64_t KeyHashAt(const ColumnData& col, int64_t i,
+                   const std::vector<uint64_t>& dict_hashes);
+
+/// Typed join-key equality mirroring Value::KeyEquals.
+bool KeyEqualsAt(const ColumnData& a, int64_t i, const ColumnData& b,
+                 int64_t j);
+
+/// Resets `out` to `layout` (or just clears it when already laid out).
+void PrepareBatch(const LayoutPtr& layout, ColumnBatch* out);
+
 /// \brief Compiles `plan` into a batch pipeline (static checks — unknown
-/// relations, schema overlap — surface here).
+/// relations, schema overlap, batch_rows < 1 — surface here).
 Result<std::unique_ptr<BatchSource>> CompileBatchPipeline(
-    const PlanPtr& plan, ColumnarCatalog* catalog, Rng* rng, ExecMode mode);
+    const PlanPtr& plan, ColumnarCatalog* catalog, Rng* rng, ExecMode mode,
+    int64_t batch_rows = kDefaultBatchRows);
 
 /// Runs the pipeline to completion, materializing the result.
-Result<ColumnarRelation> ExecutePlanColumnar(const PlanPtr& plan,
-                                             ColumnarCatalog* catalog,
-                                             Rng* rng,
-                                             ExecMode mode = ExecMode::kSampled);
+Result<ColumnarRelation> ExecutePlanColumnar(
+    const PlanPtr& plan, ColumnarCatalog* catalog, Rng* rng,
+    ExecMode mode = ExecMode::kSampled, int64_t batch_rows = kDefaultBatchRows);
 
 /// \brief Runs the pipeline, pushing every output batch into `sink`.
 ///
 /// The result relation is never materialized; this is the streaming path
 /// the estimators build on.
 Status ExecutePlanToSink(const PlanPtr& plan, ColumnarCatalog* catalog,
-                         Rng* rng, ExecMode mode, BatchSink* sink);
+                         Rng* rng, ExecMode mode, BatchSink* sink,
+                         int64_t batch_rows = kDefaultBatchRows);
 
 }  // namespace gus
 

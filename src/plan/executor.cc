@@ -1,6 +1,7 @@
 #include "plan/executor.h"
 
 #include "plan/columnar_executor.h"
+#include "plan/parallel_executor.h"
 #include "rel/operators.h"
 #include "sampling/samplers.h"
 
@@ -72,13 +73,35 @@ Result<Relation> ExecutePlanRow(const PlanPtr& plan, const Catalog& catalog,
 
 Result<Relation> ExecutePlan(const PlanPtr& plan, const Catalog& catalog,
                              Rng* rng, ExecMode mode, ExecEngine engine) {
-  if (engine == ExecEngine::kColumnar) {
-    ColumnarCatalog columnar(&catalog);
-    GUS_ASSIGN_OR_RETURN(ColumnarRelation result,
-                         ExecutePlanColumnar(plan, &columnar, rng, mode));
-    return result.ToRelation();
+  ExecOptions options;
+  options.engine = engine;
+  return ExecutePlan(plan, catalog, rng, mode, options);
+}
+
+Result<Relation> ExecutePlan(const PlanPtr& plan, const Catalog& catalog,
+                             Rng* rng, ExecMode mode,
+                             const ExecOptions& options) {
+  GUS_RETURN_NOT_OK(options.Validate());
+  switch (options.engine) {
+    case ExecEngine::kRowAtATime:
+      return ExecutePlanRow(plan, catalog, rng, mode);
+    case ExecEngine::kColumnar: {
+      ColumnarCatalog columnar(&catalog);
+      GUS_ASSIGN_OR_RETURN(
+          ColumnarRelation result,
+          ExecutePlanColumnar(plan, &columnar, rng, mode,
+                              options.batch_rows));
+      return result.ToRelation();
+    }
+    case ExecEngine::kMorselParallel: {
+      ColumnarCatalog columnar(&catalog);
+      GUS_ASSIGN_OR_RETURN(
+          ColumnarRelation result,
+          ExecutePlanMorsel(plan, &columnar, rng, mode, options));
+      return result.ToRelation();
+    }
   }
-  return ExecutePlanRow(plan, catalog, rng, mode);
+  return Status::Internal("unknown execution engine");
 }
 
 }  // namespace gus

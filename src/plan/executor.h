@@ -27,12 +27,52 @@ enum class ExecMode { kSampled, kExact };
 
 /// \brief Which physical engine runs the plan.
 ///
-/// Both engines draw their samples through the shared index-selection core
-/// (sampling/samplers.h) and consume the Rng in the same order, so for a
-/// given (plan, catalog, seed, mode) they produce identical rows and
-/// lineage — the columnar engine just gets there without materializing
-/// row-at-a-time intermediates (see plan/columnar_executor.h).
-enum class ExecEngine { kRowAtATime, kColumnar };
+/// kRowAtATime and kColumnar draw their samples through the shared
+/// index-selection core (sampling/samplers.h) and consume the Rng in the
+/// same order, so for a given (plan, catalog, seed, mode) they produce
+/// identical rows and lineage — the columnar engine just gets there without
+/// materializing row-at-a-time intermediates (see
+/// plan/columnar_executor.h).
+///
+/// kMorselParallel splits one base scan into fixed-size morsels and runs
+/// the columnar pipeline per partition with independently forked Rng
+/// streams (see plan/parallel_executor.h). Its result is drawn from the
+/// same sampling design but is a *different* (equally valid) draw than the
+/// serial engines'; it is bit-deterministic in (plan, catalog, seed) and
+/// — because the morsel split and merge order never depend on the worker
+/// count — identical across num_threads values.
+enum class ExecEngine { kRowAtATime, kColumnar, kMorselParallel };
+
+/// Default rows per columnar pipeline batch.
+inline constexpr int64_t kDefaultBatchRows = 2048;
+
+/// Default rows per parallel-execution morsel (thread-count independent).
+inline constexpr int64_t kDefaultMorselRows = 32768;
+
+/// \brief Execution knobs shared by every engine entry point.
+struct ExecOptions {
+  ExecEngine engine = ExecEngine::kRowAtATime;
+  /// Worker threads for kMorselParallel (ignored by the serial engines).
+  int num_threads = 1;
+  /// Rows per columnar pipeline batch (>= 1).
+  int64_t batch_rows = kDefaultBatchRows;
+  /// Rows per morsel for kMorselParallel (>= 1). Part of the result's
+  /// identity: changing it changes which forked Rng stream draws each row.
+  int64_t morsel_rows = kDefaultMorselRows;
+
+  Status Validate() const {
+    if (batch_rows < 1) {
+      return Status::InvalidArgument("ExecOptions::batch_rows must be >= 1");
+    }
+    if (morsel_rows < 1) {
+      return Status::InvalidArgument("ExecOptions::morsel_rows must be >= 1");
+    }
+    if (num_threads < 1) {
+      return Status::InvalidArgument("ExecOptions::num_threads must be >= 1");
+    }
+    return Status::OK();
+  }
+};
 
 /// \brief Executes `plan` against `catalog`.
 ///
@@ -48,6 +88,12 @@ enum class ExecEngine { kRowAtATime, kColumnar };
 Result<Relation> ExecutePlan(const PlanPtr& plan, const Catalog& catalog,
                              Rng* rng, ExecMode mode = ExecMode::kSampled,
                              ExecEngine engine = ExecEngine::kRowAtATime);
+
+/// Full-options overload: engine, thread count, and batch/morsel sizing all
+/// come from `options`.
+Result<Relation> ExecutePlan(const PlanPtr& plan, const Catalog& catalog,
+                             Rng* rng, ExecMode mode,
+                             const ExecOptions& options);
 
 }  // namespace gus
 

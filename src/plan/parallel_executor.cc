@@ -1,0 +1,589 @@
+#include "plan/parallel_executor.h"
+
+#include <algorithm>
+#include <map>
+#include <mutex>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "util/logging.h"
+#include "util/thread_pool.h"
+
+namespace gus {
+
+namespace {
+
+/// Is this sampler a per-row (or per-lineage) decision that independent
+/// per-morsel Rng streams reproduce as the same design?
+bool SamplerIsPartitionSafe(const SamplingSpec& spec, ExecMode mode) {
+  switch (spec.method) {
+    case SamplingMethod::kBernoulli:
+    case SamplingMethod::kLineageBernoulli:
+      return true;
+    case SamplingMethod::kWithoutReplacement:
+    case SamplingMethod::kWithReplacementDistinct:
+      // Fixed-size draws need the whole input; in exact mode they are
+      // no-ops and the path stays safe.
+      return mode == ExecMode::kExact;
+    case SamplingMethod::kBlockBernoulli:
+      // Blocks may span morsel boundaries (and exact mode re-keys lineage
+      // with global offsets); keep the serial discipline.
+      return false;
+  }
+  return false;
+}
+
+/// One operator on the path from the pivot scan up to the root.
+struct PathStep {
+  PlanOp op = PlanOp::kSelect;
+  const PlanNode* node = nullptr;
+  /// kJoin / kProduct: is the pivot the node's left input?
+  bool pivot_is_left = true;
+};
+
+/// A candidate pivot: the scan node plus its root-to-scan operator path.
+struct PivotCandidate {
+  const PlanNode* scan = nullptr;
+  /// Steps ordered from the scan upward (path[0] is the scan's parent).
+  std::vector<PathStep> path;
+};
+
+/// Collects every scan whose path to the root is partition-safe.
+/// `path_to_here` holds the steps from the root down to `plan`'s parent.
+void CollectPivots(const PlanPtr& plan, ExecMode mode,
+                   std::vector<PathStep>* path_to_here,
+                   std::vector<PivotCandidate>* out) {
+  switch (plan->op()) {
+    case PlanOp::kScan: {
+      PivotCandidate cand;
+      cand.scan = plan.get();
+      cand.path.assign(path_to_here->rbegin(), path_to_here->rend());
+      out->push_back(std::move(cand));
+      return;
+    }
+    case PlanOp::kSample:
+      if (!SamplerIsPartitionSafe(plan->spec(), mode)) return;
+      [[fallthrough]];
+    case PlanOp::kSelect: {
+      path_to_here->push_back({plan->op(), plan.get(), true});
+      CollectPivots(plan->child(), mode, path_to_here, out);
+      path_to_here->pop_back();
+      return;
+    }
+    case PlanOp::kJoin:
+    case PlanOp::kProduct: {
+      path_to_here->push_back({plan->op(), plan.get(), true});
+      CollectPivots(plan->left(), mode, path_to_here, out);
+      path_to_here->back().pivot_is_left = false;
+      CollectPivots(plan->right(), mode, path_to_here, out);
+      path_to_here->pop_back();
+      return;
+    }
+    case PlanOp::kUnion:
+      // Union dedups by lineage across its whole input — not partitionable
+      // from below.
+      return;
+  }
+}
+
+/// Shared, read-only per-join state probed concurrently by every morsel.
+struct SharedJoinBuild {
+  ColumnarRelation build_mat;  // the non-pivot side, materialized once
+  std::unordered_map<uint64_t, std::vector<int64_t>> table;
+  std::vector<uint64_t> build_dict_hashes;
+  int build_key = 0;  // key column within build_mat's schema
+  int probe_key = 0;  // key column within the pivot-side layout
+  bool pivot_is_left = true;
+  LayoutPtr out_layout;
+};
+
+/// Shared non-pivot side of a product step.
+struct SharedProductSide {
+  ColumnarRelation other_mat;
+  bool pivot_is_left = true;
+  LayoutPtr out_layout;
+};
+
+/// A compiled step of the per-morsel pipeline template.
+struct CompiledStep {
+  PlanOp op = PlanOp::kSelect;
+  const PlanNode* node = nullptr;              // kSelect / kSample
+  std::shared_ptr<SharedJoinBuild> join;       // kJoin
+  std::shared_ptr<SharedProductSide> product;  // kProduct
+};
+
+/// \brief Streams the probe (pivot) side of a morsel through a shared,
+/// pre-built hash table.
+///
+/// Mirrors JoinSource's probe loop, but the build side is fixed to the
+/// non-pivot input (whatever its size) so it can be shared read-only by
+/// every worker; output rows keep the plan's left++right column order.
+class SharedJoinProbeSource final : public BatchSource {
+ public:
+  SharedJoinProbeSource(std::unique_ptr<BatchSource> child,
+                        std::shared_ptr<SharedJoinBuild> build,
+                        int64_t batch_rows)
+      : BatchSource(build->out_layout),
+        child_(std::move(child)),
+        build_(std::move(build)),
+        batch_rows_(batch_rows) {}
+
+  Result<bool> Next(ColumnBatch* out) override {
+    if (done_) return false;
+    PrepareBatch(layout_, out);
+    const ColumnBatch& build_data = build_->build_mat.data();
+    const ColumnData& build_key = build_data.column(build_->build_key);
+    while (out->num_rows() < batch_rows_) {
+      if (probe_pos_ >= probe_.num_rows()) {
+        GUS_ASSIGN_OR_RETURN(bool more, child_->Next(&probe_));
+        if (!more) {
+          done_ = true;
+          break;
+        }
+        probe_pos_ = 0;
+        const ColumnData& key = probe_.column(build_->probe_key);
+        if (key.type == ValueType::kString && key.dict != probe_dict_) {
+          probe_dict_ = key.dict;
+          probe_dict_hashes_ = DictKeyHashes(key);
+        }
+        continue;
+      }
+      const ColumnData& probe_key = probe_.column(build_->probe_key);
+      const uint64_t h = KeyHashAt(probe_key, probe_pos_, probe_dict_hashes_);
+      auto it = build_->table.find(h);
+      if (it != build_->table.end()) {
+        for (const int64_t b : it->second) {
+          if (!KeyEqualsAt(build_key, b, probe_key, probe_pos_)) continue;
+          if (build_->pivot_is_left) {
+            out->AppendConcatRowFrom(probe_, probe_pos_, build_data, b);
+          } else {
+            out->AppendConcatRowFrom(build_data, b, probe_, probe_pos_);
+          }
+        }
+      }
+      ++probe_pos_;
+    }
+    if (done_ && out->num_rows() == 0) return false;
+    return true;
+  }
+
+ private:
+  std::unique_ptr<BatchSource> child_;
+  std::shared_ptr<SharedJoinBuild> build_;
+  int64_t batch_rows_;
+  ColumnBatch probe_;
+  int64_t probe_pos_ = 0;
+  DictPtr probe_dict_;
+  std::vector<uint64_t> probe_dict_hashes_;
+  bool done_ = false;
+};
+
+/// Cross product of the streaming pivot side with the shared other side.
+class SharedProductSource final : public BatchSource {
+ public:
+  SharedProductSource(std::unique_ptr<BatchSource> child,
+                      std::shared_ptr<SharedProductSide> side,
+                      int64_t batch_rows)
+      : BatchSource(side->out_layout),
+        child_(std::move(child)),
+        side_(std::move(side)),
+        batch_rows_(batch_rows) {}
+
+  Result<bool> Next(ColumnBatch* out) override {
+    if (done_) return false;
+    PrepareBatch(layout_, out);
+    const ColumnBatch& other = side_->other_mat.data();
+    const int64_t n_other = other.num_rows();
+    while (out->num_rows() < batch_rows_) {
+      if (i_ >= pivot_.num_rows()) {
+        GUS_ASSIGN_OR_RETURN(bool more, child_->Next(&pivot_));
+        if (!more) {
+          done_ = true;
+          break;
+        }
+        i_ = 0;
+        j_ = 0;
+        continue;
+      }
+      if (n_other == 0) {
+        i_ = pivot_.num_rows();
+        continue;
+      }
+      if (side_->pivot_is_left) {
+        out->AppendConcatRowFrom(pivot_, i_, other, j_);
+      } else {
+        out->AppendConcatRowFrom(other, j_, pivot_, i_);
+      }
+      if (++j_ >= n_other) {
+        j_ = 0;
+        ++i_;
+      }
+    }
+    if (done_ && out->num_rows() == 0) return false;
+    return true;
+  }
+
+ private:
+  std::unique_ptr<BatchSource> child_;
+  std::shared_ptr<SharedProductSide> side_;
+  int64_t batch_rows_;
+  ColumnBatch pivot_;
+  int64_t i_ = 0, j_ = 0;
+  bool done_ = false;
+};
+
+/// \brief The prepared morsel execution: shared state built once, then one
+/// pipeline instantiation per morsel.
+struct MorselPlan {
+  const ColumnarRelation* pivot_rel = nullptr;
+  std::vector<CompiledStep> steps;  // from the scan upward
+  LayoutPtr out_layout;
+  int64_t morsel_rows = kDefaultMorselRows;
+  int64_t batch_rows = kDefaultBatchRows;
+  ExecMode mode = ExecMode::kSampled;
+
+  int64_t num_morsels() const {
+    return (pivot_rel->num_rows() + morsel_rows - 1) / morsel_rows;
+  }
+
+  /// Builds morsel `m`'s pipeline; `rng` must outlive the returned source.
+  Result<std::unique_ptr<BatchSource>> MakeMorselPipeline(int64_t m,
+                                                          Rng* rng) const {
+    const int64_t begin = m * morsel_rows;
+    const int64_t len = std::min(morsel_rows, pivot_rel->num_rows() - begin);
+    std::unique_ptr<BatchSource> src =
+        MakeScanSource(pivot_rel, batch_rows, begin, len);
+    for (const CompiledStep& step : steps) {
+      switch (step.op) {
+        case PlanOp::kSelect: {
+          GUS_ASSIGN_OR_RETURN(
+              src, MakeSelectSource(std::move(src), step.node->predicate()));
+          break;
+        }
+        case PlanOp::kSample: {
+          if (mode == ExecMode::kExact) break;  // no-op (safe methods only)
+          GUS_ASSIGN_OR_RETURN(
+              src, MakeSampleSource(std::move(src), step.node->spec(), rng,
+                                    batch_rows));
+          break;
+        }
+        case PlanOp::kJoin:
+          src = std::unique_ptr<BatchSource>(new SharedJoinProbeSource(
+              std::move(src), step.join, batch_rows));
+          break;
+        case PlanOp::kProduct:
+          src = std::unique_ptr<BatchSource>(new SharedProductSource(
+              std::move(src), step.product, batch_rows));
+          break;
+        default:
+          return Status::Internal("unexpected morsel path step");
+      }
+    }
+    return src;
+  }
+};
+
+/// Picks the candidate scanning the largest base relation (first in
+/// traversal order on ties — deterministic).
+Result<const PivotCandidate*> ChoosePivot(
+    const std::vector<PivotCandidate>& cands, ColumnarCatalog* catalog) {
+  const PivotCandidate* best = nullptr;
+  int64_t best_rows = -1;
+  for (const PivotCandidate& cand : cands) {
+    GUS_ASSIGN_OR_RETURN(const ColumnarRelation* rel,
+                         catalog->Get(cand.scan->relation()));
+    if (rel->num_rows() > best_rows) {
+      best_rows = rel->num_rows();
+      best = &cand;
+    }
+  }
+  return best;
+}
+
+/// \brief Builds the shared morsel-plan state: resolves the pivot relation,
+/// executes every non-pivot subtree serially with `rng`, binds predicates,
+/// and pre-builds join hash tables.
+Result<MorselPlan> PrepareMorselPlan(const PivotCandidate& pivot,
+                                     ColumnarCatalog* catalog, Rng* rng,
+                                     ExecMode mode,
+                                     const ExecOptions& options) {
+  MorselPlan plan;
+  plan.morsel_rows = options.morsel_rows;
+  plan.batch_rows = options.batch_rows;
+  plan.mode = mode;
+  GUS_ASSIGN_OR_RETURN(plan.pivot_rel,
+                       catalog->Get(pivot.scan->relation()));
+
+  LayoutPtr layout = plan.pivot_rel->layout_ptr();
+  for (const PathStep& step : pivot.path) {
+    CompiledStep compiled;
+    compiled.op = step.op;
+    switch (step.op) {
+      case PlanOp::kSelect: {
+        compiled.node = step.node;
+        // Static resolution errors surface here, not on a worker.
+        GUS_RETURN_NOT_OK(
+            step.node->predicate()->Bind(layout->schema).status());
+        break;
+      }
+      case PlanOp::kSample: {
+        compiled.node = step.node;
+        GUS_RETURN_NOT_OK(step.node->spec().Validate());
+        break;
+      }
+      case PlanOp::kJoin: {
+        const PlanPtr& other =
+            step.pivot_is_left ? step.node->right() : step.node->left();
+        auto build = std::make_shared<SharedJoinBuild>();
+        GUS_ASSIGN_OR_RETURN(
+            build->build_mat,
+            ExecutePlanColumnar(other, catalog, rng, mode,
+                                options.batch_rows));
+        const BatchLayout& pivot_side = *layout;
+        const BatchLayout& build_side = build->build_mat.layout();
+        const std::string& pivot_key = step.pivot_is_left
+                                           ? step.node->left_key()
+                                           : step.node->right_key();
+        const std::string& build_key = step.pivot_is_left
+                                           ? step.node->right_key()
+                                           : step.node->left_key();
+        GUS_ASSIGN_OR_RETURN(build->probe_key,
+                             pivot_side.schema.IndexOf(pivot_key));
+        GUS_ASSIGN_OR_RETURN(build->build_key,
+                             build_side.schema.IndexOf(build_key));
+        build->pivot_is_left = step.pivot_is_left;
+        GUS_ASSIGN_OR_RETURN(
+            build->out_layout,
+            step.pivot_is_left ? ConcatBatchLayouts(pivot_side, build_side)
+                               : ConcatBatchLayouts(build_side, pivot_side));
+        const ColumnData& key =
+            build->build_mat.data().column(build->build_key);
+        build->build_dict_hashes = DictKeyHashes(key);
+        build->table.reserve(
+            static_cast<size_t>(build->build_mat.num_rows()));
+        for (int64_t i = 0; i < build->build_mat.num_rows(); ++i) {
+          build->table[KeyHashAt(key, i, build->build_dict_hashes)]
+              .push_back(i);
+        }
+        layout = build->out_layout;
+        compiled.join = std::move(build);
+        break;
+      }
+      case PlanOp::kProduct: {
+        const PlanPtr& other =
+            step.pivot_is_left ? step.node->right() : step.node->left();
+        auto side = std::make_shared<SharedProductSide>();
+        GUS_ASSIGN_OR_RETURN(
+            side->other_mat,
+            ExecutePlanColumnar(other, catalog, rng, mode,
+                                options.batch_rows));
+        side->pivot_is_left = step.pivot_is_left;
+        GUS_ASSIGN_OR_RETURN(
+            side->out_layout,
+            step.pivot_is_left
+                ? ConcatBatchLayouts(*layout, side->other_mat.layout())
+                : ConcatBatchLayouts(side->other_mat.layout(), *layout));
+        layout = side->out_layout;
+        compiled.product = std::move(side);
+        break;
+      }
+      default:
+        return Status::Internal("unexpected morsel path step");
+    }
+    plan.steps.push_back(std::move(compiled));
+  }
+  plan.out_layout = layout;
+  return plan;
+}
+
+/// Materializing sink for ExecutePlanMorsel.
+class RelationSink final : public MergeableBatchSink {
+ public:
+  explicit RelationSink(LayoutPtr layout) : rel_(std::move(layout)) {}
+
+  Status Consume(const ColumnBatch& batch) override {
+    rel_.AppendBatch(batch);
+    return Status::OK();
+  }
+
+  Status MergeFrom(BatchSink* other) override {
+    auto* o = static_cast<RelationSink*>(other);
+    rel_.AppendBatch(o->rel_.data());
+    return Status::OK();
+  }
+
+  ColumnarRelation TakeRelation() { return std::move(rel_); }
+
+ private:
+  ColumnarRelation rel_;
+};
+
+}  // namespace
+
+bool PlanIsPartitionable(const PlanPtr& plan, ExecMode mode) {
+  std::vector<PathStep> path;
+  std::vector<PivotCandidate> cands;
+  CollectPivots(plan, mode, &path, &cands);
+  return !cands.empty();
+}
+
+Status ParallelExecutePlanToSink(const PlanPtr& plan, ColumnarCatalog* catalog,
+                                 Rng* rng, ExecMode mode,
+                                 const ExecOptions& options,
+                                 const MorselSinkFactory& make_sink,
+                                 std::unique_ptr<MergeableBatchSink>* out) {
+  GUS_RETURN_NOT_OK(options.Validate());
+  std::vector<PathStep> path;
+  std::vector<PivotCandidate> cands;
+  CollectPivots(plan, mode, &path, &cands);
+  if (cands.empty()) {
+    // Serial fallback: the standard columnar pipeline into one sink.
+    GUS_ASSIGN_OR_RETURN(
+        std::unique_ptr<BatchSource> pipeline,
+        CompileBatchPipeline(plan, catalog, rng, mode, options.batch_rows));
+    GUS_ASSIGN_OR_RETURN(std::unique_ptr<MergeableBatchSink> sink,
+                         make_sink(*pipeline->layout()));
+    ColumnBatch batch;
+    while (true) {
+      GUS_ASSIGN_OR_RETURN(bool more, pipeline->Next(&batch));
+      if (!more) break;
+      if (batch.num_rows() == 0) continue;
+      GUS_RETURN_NOT_OK(sink->Consume(batch));
+    }
+    *out = std::move(sink);
+    return Status::OK();
+  }
+
+  GUS_ASSIGN_OR_RETURN(const PivotCandidate* pivot,
+                       ChoosePivot(cands, catalog));
+  GUS_ASSIGN_OR_RETURN(MorselPlan morsel_plan,
+                       PrepareMorselPlan(*pivot, catalog, rng, mode, options));
+  // One draw seeds every morsel stream; consumed after the serial subtrees
+  // so the whole consumption order is a pure function of (plan, seed).
+  const uint64_t stream_base = rng->Next();
+
+  const int64_t num_morsels = morsel_plan.num_morsels();
+  if (num_morsels == 0) {
+    GUS_ASSIGN_OR_RETURN(*out, make_sink(*morsel_plan.out_layout));
+    return Status::OK();
+  }
+
+  // Ordered fold: per-morsel sinks merge in strictly ascending morsel
+  // index, regardless of completion order, so the result never depends on
+  // scheduling or worker count. The fold itself runs *outside* the mutex
+  // (merges can be large — a materializing sink copies whole partitions);
+  // `merging` guarantees a single folder at a time, so `merged` needs no
+  // lock of its own and the fold order stays strictly sequential.
+  std::mutex mu;
+  std::map<int64_t, std::unique_ptr<MergeableBatchSink>> pending;
+  int64_t next_merge = 0;
+  bool merging = false;
+  std::unique_ptr<MergeableBatchSink> merged;
+  Status error;
+
+  const int workers = static_cast<int>(
+      std::min<int64_t>(std::max(1, options.num_threads), num_morsels));
+  ThreadPool pool(workers);
+  pool.ParallelFor(num_morsels, [&](int64_t m) {
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      if (!error.ok()) return;
+    }
+    Rng morsel_rng = Rng::ForkStream(stream_base, static_cast<uint64_t>(m));
+    Status status;
+    std::unique_ptr<MergeableBatchSink> sink;
+    do {
+      auto sink_or = make_sink(*morsel_plan.out_layout);
+      if (!sink_or.ok()) {
+        status = sink_or.status();
+        break;
+      }
+      sink = std::move(sink_or).ValueOrDie();
+      auto pipeline_or = morsel_plan.MakeMorselPipeline(m, &morsel_rng);
+      if (!pipeline_or.ok()) {
+        status = pipeline_or.status();
+        break;
+      }
+      std::unique_ptr<BatchSource> pipeline =
+          std::move(pipeline_or).ValueOrDie();
+      ColumnBatch batch;
+      while (true) {
+        auto more_or = pipeline->Next(&batch);
+        if (!more_or.ok()) {
+          status = more_or.status();
+          break;
+        }
+        if (!more_or.ValueOrDie()) break;
+        if (batch.num_rows() == 0) continue;
+        status = sink->Consume(batch);
+        if (!status.ok()) break;
+      }
+    } while (false);
+
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      if (!error.ok()) return;
+      if (!status.ok()) {
+        error = status;
+        return;
+      }
+      pending.emplace(m, std::move(sink));
+      if (merging) return;  // the active folder will pick this sink up
+      merging = true;
+    }
+    std::vector<std::unique_ptr<MergeableBatchSink>> ready;
+    while (true) {
+      ready.clear();
+      {
+        std::lock_guard<std::mutex> lock(mu);
+        auto it = pending.find(next_merge);
+        while (it != pending.end()) {
+          ready.push_back(std::move(it->second));
+          pending.erase(it);
+          it = pending.find(++next_merge);
+        }
+        if (ready.empty() || !error.ok()) {
+          merging = false;
+          return;
+        }
+      }
+      for (std::unique_ptr<MergeableBatchSink>& next : ready) {
+        if (merged == nullptr) {
+          merged = std::move(next);
+          continue;
+        }
+        Status st = merged->MergeFrom(next.get());
+        if (!st.ok()) {
+          std::lock_guard<std::mutex> lock(mu);
+          error = st;
+          merging = false;
+          return;
+        }
+      }
+    }
+  });
+
+  GUS_RETURN_NOT_OK(error);
+  GUS_CHECK(merged != nullptr);
+  *out = std::move(merged);
+  return Status::OK();
+}
+
+Result<ColumnarRelation> ExecutePlanMorsel(const PlanPtr& plan,
+                                           ColumnarCatalog* catalog, Rng* rng,
+                                           ExecMode mode,
+                                           const ExecOptions& options) {
+  std::unique_ptr<MergeableBatchSink> sink;
+  GUS_RETURN_NOT_OK(ParallelExecutePlanToSink(
+      plan, catalog, rng, mode, options,
+      [](const BatchLayout& layout) -> Result<std::unique_ptr<MergeableBatchSink>> {
+        auto ptr = std::make_shared<BatchLayout>(layout);
+        return std::unique_ptr<MergeableBatchSink>(
+            new RelationSink(LayoutPtr(std::move(ptr))));
+      },
+      &sink));
+  return static_cast<RelationSink*>(sink.get())->TakeRelation();
+}
+
+}  // namespace gus

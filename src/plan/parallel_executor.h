@@ -1,0 +1,98 @@
+// Morsel-driven partition-parallel plan execution.
+//
+// The engine picks one base scan of the plan — the *pivot* — whose path to
+// the root crosses only partition-safe operators, and splits that relation
+// into fixed-size morsels (ExecOptions::morsel_rows). Everything hanging
+// off the pivot path (join build sides, product counterparts) executes once,
+// serially, with the caller's Rng, exactly like the serial columnar engine;
+// each morsel then runs the remaining pipeline — scan slice, vectorized
+// selects, per-partition samplers, probes against the shared join hash
+// tables — on whatever worker picks it up, drawing randomness from
+// Rng::ForkStream(base, morsel_index).
+//
+// Partition-safe path operators:
+//   * select — stateless per row;
+//   * Bernoulli / lineage-seeded Bernoulli samplers — per-row (resp.
+//     per-lineage) decisions, so independent per-morsel streams draw from
+//     exactly the same sampling design as one serial stream;
+//   * join / product — the non-pivot side is shared read-only;
+//   * in exact mode additionally WOR / WR-distinct samplers (no-ops there).
+// Fixed-size samplers in sampled mode, block sampling, and unions are not
+// partition-safe; a plan with no safe pivot falls back to the serial
+// columnar pipeline (same results as ExecEngine::kColumnar).
+//
+// Determinism: the morsel split depends only on (catalog, morsel_rows), the
+// per-morsel Rng only on (seed, morsel index), and per-morsel sinks are
+// folded in strictly ascending morsel order — so for a fixed (plan,
+// catalog, seed, options) the merged result is bit-identical across
+// repeated runs AND across num_threads values. The draw differs from the
+// serial engines' (different Rng streams) but follows the same design, so
+// estimator unbiasedness and the Theorem 1 analysis are unaffected.
+
+#ifndef GUS_PLAN_PARALLEL_EXECUTOR_H_
+#define GUS_PLAN_PARALLEL_EXECUTOR_H_
+
+#include <functional>
+#include <memory>
+
+#include "plan/columnar_executor.h"
+#include "plan/executor.h"
+#include "plan/plan_node.h"
+#include "rel/column_batch.h"
+#include "util/random.h"
+#include "util/status.h"
+
+namespace gus {
+
+/// \brief A batch sink whose state can absorb another instance's.
+///
+/// The parallel executor gives every morsel its own sink and folds them in
+/// ascending morsel order; MergeFrom must treat `other` as the state of the
+/// partitions immediately *after* this sink's (order matters for
+/// floating-point sums and row order, and the executor guarantees it).
+class MergeableBatchSink : public BatchSink {
+ public:
+  /// Absorbs `other` (same concrete type; consumed). The executor never
+  /// passes a sink produced by a different factory.
+  virtual Status MergeFrom(BatchSink* other) = 0;
+};
+
+/// \brief Creates one per-morsel sink for the pipeline's output `layout`.
+///
+/// Invoked concurrently from worker threads (one call per morsel, on
+/// whichever worker claims it): the factory must be thread-safe — capture
+/// shared state by const reference only, and put anything mutable inside
+/// the sink it returns.
+using MorselSinkFactory =
+    std::function<Result<std::unique_ptr<MergeableBatchSink>>(
+        const BatchLayout&)>;
+
+/// \brief True when the morsel engine can partition `plan` (some scan has a
+/// partition-safe path to the root) under `mode`.
+///
+/// Purely structural — no catalog needed. When false the engine still
+/// executes the plan, via the serial fallback.
+bool PlanIsPartitionable(const PlanPtr& plan, ExecMode mode);
+
+/// \brief Executes `plan` morsel-parallel, fanning batches into per-morsel
+/// sinks from `make_sink` and folding them into `*out` in morsel order.
+///
+/// `rng` drives the serially-executed non-pivot subtrees and seeds the
+/// per-morsel streams. On the fallback path (no safe pivot) a single sink
+/// consumes the serial columnar pipeline.
+Status ParallelExecutePlanToSink(const PlanPtr& plan, ColumnarCatalog* catalog,
+                                 Rng* rng, ExecMode mode,
+                                 const ExecOptions& options,
+                                 const MorselSinkFactory& make_sink,
+                                 std::unique_ptr<MergeableBatchSink>* out);
+
+/// Morsel-parallel execution materializing the merged result (per-morsel
+/// relations concatenate in morsel order, unifying string dictionaries).
+Result<ColumnarRelation> ExecutePlanMorsel(const PlanPtr& plan,
+                                           ColumnarCatalog* catalog, Rng* rng,
+                                           ExecMode mode,
+                                           const ExecOptions& options);
+
+}  // namespace gus
+
+#endif  // GUS_PLAN_PARALLEL_EXECUTOR_H_

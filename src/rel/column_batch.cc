@@ -1,6 +1,32 @@
 #include "rel/column_batch.h"
 
+#include <algorithm>
+
 namespace gus {
+
+namespace {
+
+/// Amortized reserve: geometric growth even when callers append in many
+/// small batches, so repeated AppendRangeFrom/GatherFrom stay O(n) total.
+template <typename T>
+void GrowFor(std::vector<T>* v, size_t additional) {
+  const size_t need = v->size() + additional;
+  if (need > v->capacity()) v->reserve(std::max(need, v->capacity() * 2));
+}
+
+/// \brief Code translation table from `src`'s dictionary into `dst`'s,
+/// interning misses.
+///
+/// Unifying dictionaries once per append is O(|src dict|) string work
+/// instead of O(rows); the bulk copy then remaps integer codes.
+std::vector<uint32_t> BuildDictRemap(StringDict* dst, const StringDict& src) {
+  std::vector<uint32_t> remap;
+  remap.reserve(src.values.size());
+  for (const std::string& s : src.values) remap.push_back(dst->Intern(s));
+  return remap;
+}
+
+}  // namespace
 
 void ColumnData::Clear() {
   i64.clear();
@@ -129,8 +155,14 @@ void ColumnBatch::AppendRangeFrom(const ColumnBatch& src, int64_t begin,
           dst.codes.insert(dst.codes.end(), from.codes.begin() + begin,
                            from.codes.begin() + begin + len);
         } else {
+          // Concatenating relations with distinct dictionaries (e.g.
+          // per-partition results merging): unify the dictionaries once,
+          // then bulk-remap the integer codes.
+          const std::vector<uint32_t> remap =
+              BuildDictRemap(dst.dict.get(), *from.dict);
+          GrowFor(&dst.codes, static_cast<size_t>(len));
           for (int64_t i = 0; i < len; ++i) {
-            dst.codes.push_back(dst.dict->Intern(from.StringAt(begin + i)));
+            dst.codes.push_back(remap[from.codes[begin + i]]);
           }
         }
         break;
@@ -151,17 +183,20 @@ void GatherColumn(ColumnData* dst, const ColumnData& from, const int64_t* sel,
   const int64_t* end = sel + len;
   switch (dst->type) {
     case ValueType::kInt64:
+      GrowFor(&dst->i64, static_cast<size_t>(len));
       for (const int64_t* p = sel; p != end; ++p) {
         dst->i64.push_back(from.i64[*p]);
       }
       break;
     case ValueType::kFloat64:
+      GrowFor(&dst->f64, static_cast<size_t>(len));
       for (const int64_t* p = sel; p != end; ++p) {
         dst->f64.push_back(from.f64[*p]);
       }
       break;
     case ValueType::kString:
       if (dst->dict == nullptr || dst->codes.empty()) dst->dict = from.dict;
+      GrowFor(&dst->codes, static_cast<size_t>(len));
       if (dst->dict == from.dict) {
         for (const int64_t* p = sel; p != end; ++p) {
           dst->codes.push_back(from.codes[*p]);
@@ -185,6 +220,7 @@ void ColumnBatch::GatherFrom(const ColumnBatch& src, const int64_t* sel,
     GatherColumn(&columns_[c], src.columns_[c], sel, len);
   }
   const int arity = lineage_arity();
+  GrowFor(&lineage_, static_cast<size_t>(len) * arity);
   const int64_t* end = sel + len;
   for (const int64_t* p = sel; p != end; ++p) {
     const auto* base = src.lineage_.data() + static_cast<size_t>(*p) * arity;

@@ -56,6 +56,7 @@ uint64_t HashLineage(const LineageRow& lin) {
 Result<Relation> Select(const Relation& input, const ExprPtr& predicate) {
   GUS_ASSIGN_OR_RETURN(ExprPtr bound, predicate->Bind(input.schema()));
   Relation out(input.schema(), input.lineage_schema());
+  out.Reserve(input.num_rows());
   for (int64_t i = 0; i < input.num_rows(); ++i) {
     GUS_ASSIGN_OR_RETURN(bool keep, EvalPredicate(bound, input.row(i)));
     if (keep) out.AppendRow(input.row(i), input.lineage(i));
@@ -126,6 +127,9 @@ Result<Relation> HashJoin(const Relation& left, const Relation& right,
   }
 
   Relation out(std::move(schema), ConcatLineageSchema(left, right));
+  // Most probe rows match ~1 build row in the paper's workloads; a
+  // probe-sized reservation removes the bulk of the growth reallocations.
+  out.Reserve(probe.num_rows());
   for (int64_t j = 0; j < probe.num_rows(); ++j) {
     const Value& key = probe.row(j)[pk];
     auto it = table.find(key.Hash());
@@ -173,6 +177,7 @@ Result<Relation> UnionDistinctLineage(const Relation& a, const Relation& b) {
         "expression, paper Prop. 7)");
   }
   Relation out(a.schema(), a.lineage_schema());
+  out.Reserve(a.num_rows() + b.num_rows());
   std::unordered_set<uint64_t> seen;
   seen.reserve(static_cast<size_t>(a.num_rows() + b.num_rows()));
   auto add_all = [&](const Relation& rel) {

@@ -10,6 +10,7 @@
 #include "est/ratio.h"
 #include "est/streaming.h"
 #include "plan/columnar_executor.h"
+#include "plan/parallel_executor.h"
 #include "plan/soa_transform.h"
 
 namespace gus {
@@ -258,11 +259,13 @@ Result<ApproxValue> EstimateItem(const SelectItem& item, const GusParams& top,
 Result<ApproxResult> RunUngroupedStreaming(const PlannedQuery& planned,
                                            const SoaResult& soa,
                                            const Catalog& catalog, Rng* rng,
-                                           const SboxOptions& options) {
+                                           const SboxOptions& options,
+                                           int64_t batch_rows) {
   ColumnarCatalog columnar(&catalog);
   GUS_ASSIGN_OR_RETURN(
       std::unique_ptr<BatchSource> pipeline,
-      CompileBatchPipeline(planned.plan, &columnar, rng, ExecMode::kSampled));
+      CompileBatchPipeline(planned.plan, &columnar, rng, ExecMode::kSampled,
+                           batch_rows));
   std::vector<SampleViewBuilder> builders;
   builders.reserve(planned.items.size());
   for (const SelectItem& item : planned.items) {
@@ -292,23 +295,147 @@ Result<ApproxResult> RunUngroupedStreaming(const PlannedQuery& planned,
   return result;
 }
 
+/// \brief Per-morsel fan-out sink: one SampleViewBuilder per select item
+/// (ungrouped) or one GroupedSumBuilder per item (grouped), plus the row
+/// count; merges element-wise in morsel order.
+class ItemFanoutSink final : public MergeableBatchSink {
+ public:
+  static Result<std::unique_ptr<ItemFanoutSink>> Make(
+      const BatchLayout& layout, const std::vector<SelectItem>& items,
+      const LineageSchema& schema, const std::string& group_by) {
+    auto sink = std::unique_ptr<ItemFanoutSink>(new ItemFanoutSink());
+    for (const SelectItem& item : items) {
+      if (group_by.empty()) {
+        GUS_ASSIGN_OR_RETURN(SampleViewBuilder builder,
+                             SampleViewBuilder::Make(layout, item.expr,
+                                                     schema));
+        sink->views_.push_back(std::move(builder));
+      } else {
+        GUS_ASSIGN_OR_RETURN(
+            GroupedSumBuilder builder,
+            GroupedSumBuilder::Make(layout, item.expr, group_by, schema));
+        sink->groups_.push_back(std::move(builder));
+      }
+    }
+    return sink;
+  }
+
+  Status Consume(const ColumnBatch& batch) override {
+    sample_rows_ += batch.num_rows();
+    for (SampleViewBuilder& builder : views_) {
+      GUS_RETURN_NOT_OK(builder.Consume(batch));
+    }
+    for (GroupedSumBuilder& builder : groups_) {
+      GUS_RETURN_NOT_OK(builder.Consume(batch));
+    }
+    return Status::OK();
+  }
+
+  Status MergeFrom(BatchSink* other) override {
+    auto* o = static_cast<ItemFanoutSink*>(other);
+    sample_rows_ += o->sample_rows_;
+    for (size_t i = 0; i < views_.size(); ++i) {
+      GUS_RETURN_NOT_OK(views_[i].Merge(std::move(o->views_[i])));
+    }
+    for (size_t i = 0; i < groups_.size(); ++i) {
+      GUS_RETURN_NOT_OK(groups_[i].Merge(std::move(o->groups_[i])));
+    }
+    return Status::OK();
+  }
+
+  int64_t sample_rows() const { return sample_rows_; }
+  std::vector<SampleViewBuilder>* views() { return &views_; }
+  std::vector<GroupedSumBuilder>* groups() { return &groups_; }
+
+ private:
+  ItemFanoutSink() = default;
+
+  int64_t sample_rows_ = 0;
+  std::vector<SampleViewBuilder> views_;
+  std::vector<GroupedSumBuilder> groups_;
+};
+
+/// Morsel-parallel path, grouped or not: one parallel pass fans every
+/// partition's stream into per-item builders, merged in morsel order.
+Result<ApproxResult> RunMorselParallel(const PlannedQuery& planned,
+                                       const SoaResult& soa,
+                                       const Catalog& catalog, Rng* rng,
+                                       const SboxOptions& options,
+                                       const ExecOptions& exec) {
+  ColumnarCatalog columnar(&catalog);
+  std::unique_ptr<MergeableBatchSink> sink;
+  GUS_RETURN_NOT_OK(ParallelExecutePlanToSink(
+      planned.plan, &columnar, rng, ExecMode::kSampled, exec,
+      [&](const BatchLayout& layout)
+          -> Result<std::unique_ptr<MergeableBatchSink>> {
+        GUS_ASSIGN_OR_RETURN(std::unique_ptr<ItemFanoutSink> fanout,
+                             ItemFanoutSink::Make(layout, planned.items,
+                                                  soa.top.schema(),
+                                                  planned.group_by));
+        return std::unique_ptr<MergeableBatchSink>(std::move(fanout));
+      },
+      &sink));
+  auto* fanout = static_cast<ItemFanoutSink*>(sink.get());
+  ApproxResult result;
+  result.sample_rows = fanout->sample_rows();
+  for (size_t i = 0; i < planned.items.size(); ++i) {
+    if (planned.group_by.empty()) {
+      GUS_ASSIGN_OR_RETURN(
+          ApproxValue value,
+          EstimateItem(planned.items[i], soa.top,
+                       (*fanout->views())[i].view(), options));
+      result.values.push_back(std::move(value));
+    } else {
+      GUS_ASSIGN_OR_RETURN(
+          auto groups,
+          (*fanout->groups())[i].Finish(soa.top, options.confidence_level,
+                                        options.bound_kind));
+      for (const GroupEstimate& ge : groups) {
+        ApproxValue value;
+        value.label = "SUM(" + planned.items[i].expr->ToString() + ")";
+        value.group = planned.group_by + "=" + ge.key.ToString();
+        value.value = ge.estimate;
+        value.stddev = ge.stddev;
+        value.lo = ge.interval.lo;
+        value.hi = ge.interval.hi;
+        result.values.push_back(std::move(value));
+      }
+    }
+  }
+  return result;
+}
+
 }  // namespace
 
 Result<ApproxResult> RunApproxQuery(const std::string& sql,
                                     const Catalog& catalog, uint64_t seed,
                                     const SboxOptions& options,
                                     ExecEngine engine) {
+  ExecOptions exec;
+  exec.engine = engine;
+  return RunApproxQuery(sql, catalog, seed, options, exec);
+}
+
+Result<ApproxResult> RunApproxQuery(const std::string& sql,
+                                    const Catalog& catalog, uint64_t seed,
+                                    const SboxOptions& options,
+                                    const ExecOptions& exec) {
+  GUS_RETURN_NOT_OK(exec.Validate());
   GUS_ASSIGN_OR_RETURN(ParsedQuery parsed, ParseQuery(sql));
   GUS_ASSIGN_OR_RETURN(PlannedQuery planned, PlanQuery(parsed, catalog));
   GUS_ASSIGN_OR_RETURN(SoaResult soa, SoaTransform(planned.plan));
 
   Rng rng(seed);
-  if (engine == ExecEngine::kColumnar && planned.group_by.empty()) {
-    return RunUngroupedStreaming(planned, soa, catalog, &rng, options);
+  if (exec.engine == ExecEngine::kMorselParallel) {
+    return RunMorselParallel(planned, soa, catalog, &rng, options, exec);
+  }
+  if (exec.engine == ExecEngine::kColumnar && planned.group_by.empty()) {
+    return RunUngroupedStreaming(planned, soa, catalog, &rng, options,
+                                 exec.batch_rows);
   }
   GUS_ASSIGN_OR_RETURN(
       Relation sample,
-      ExecutePlan(planned.plan, catalog, &rng, ExecMode::kSampled, engine));
+      ExecutePlan(planned.plan, catalog, &rng, ExecMode::kSampled, exec));
 
   ApproxResult result;
   result.sample_rows = sample.num_rows();

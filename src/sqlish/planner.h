@@ -62,12 +62,24 @@ struct ApproxResult {
 /// `seed` drives the samplers; `options` control interval kind/level and
 /// Section 7 sub-sampling. With ExecEngine::kColumnar, ungrouped queries
 /// run on the batch pipeline and stream (lineage, f) straight into the
-/// per-item estimators — the result relation is never materialized; both
-/// engines return identical results for identical seeds.
+/// per-item estimators — the result relation is never materialized; the
+/// row and columnar engines return identical results for identical seeds.
 Result<ApproxResult> RunApproxQuery(const std::string& sql,
                                     const Catalog& catalog, uint64_t seed,
                                     const SboxOptions& options = {},
                                     ExecEngine engine = ExecEngine::kRowAtATime);
+
+/// \brief Full-options overload: ExecEngine::kMorselParallel runs the plan
+/// partition-parallel with exec.num_threads workers.
+///
+/// Ungrouped queries fan the batch stream into per-item SampleViewBuilders
+/// per partition; grouped queries into per-item GroupedSumBuilders; both
+/// merge in morsel order, so the result is bit-deterministic in (sql,
+/// catalog, seed, exec) and identical across num_threads values.
+Result<ApproxResult> RunApproxQuery(const std::string& sql,
+                                    const Catalog& catalog, uint64_t seed,
+                                    const SboxOptions& options,
+                                    const ExecOptions& exec);
 
 }  // namespace sqlish
 }  // namespace gus

@@ -95,6 +95,18 @@ class Rng {
     return Rng(HashCombine(Next(), Mix64(stream)));
   }
 
+  /// \brief Pure SplitMix64 derivation of an independent stream from
+  /// (seed, stream_id).
+  ///
+  /// Unlike Fork, no generator state is consumed: the result depends only on
+  /// the two arguments. Morsel-parallel execution derives each partition's
+  /// generator as ForkStream(base, morsel_index), so a partition's draws
+  /// reproduce for a fixed (seed, partition) regardless of which worker runs
+  /// it or in what order.
+  static Rng ForkStream(uint64_t seed, uint64_t stream) {
+    return Rng(Mix64(HashCombine(Mix64(seed), Mix64(stream))));
+  }
+
  private:
   static uint64_t Rotl(uint64_t x, int k) {
     return (x << k) | (x >> (64 - k));

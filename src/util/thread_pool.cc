@@ -1,0 +1,66 @@
+#include "util/thread_pool.h"
+
+#include <algorithm>
+
+namespace gus {
+
+ThreadPool::ThreadPool(int num_threads) {
+  const int n = std::max(1, num_threads);
+  threads_.reserve(n);
+  for (int i = 0; i < n; ++i) {
+    threads_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+int ThreadPool::HardwareThreads() {
+  const unsigned n = std::thread::hardware_concurrency();
+  return n == 0 ? 1 : static_cast<int>(n);
+}
+
+void ThreadPool::ParallelFor(int64_t n, const std::function<void(int64_t)>& fn) {
+  if (n <= 0) return;
+  std::unique_lock<std::mutex> lock(mu_);
+  // Serialize batches: wait until no batch is active.
+  done_cv_.wait(lock, [this] { return fn_ == nullptr && in_flight_ == 0; });
+  fn_ = &fn;
+  next_ = 0;
+  limit_ = n;
+  ++epoch_;
+  work_cv_.notify_all();
+  done_cv_.wait(lock, [this] { return next_ >= limit_ && in_flight_ == 0; });
+  fn_ = nullptr;
+  done_cv_.notify_all();  // wake any queued ParallelFor caller
+}
+
+void ThreadPool::WorkerLoop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  uint64_t seen_epoch = 0;
+  while (true) {
+    work_cv_.wait(lock, [&] {
+      return shutdown_ || (fn_ != nullptr && epoch_ != seen_epoch);
+    });
+    if (shutdown_) return;
+    seen_epoch = epoch_;
+    while (fn_ != nullptr && next_ < limit_) {
+      const int64_t i = next_++;
+      ++in_flight_;
+      const std::function<void(int64_t)>* fn = fn_;
+      lock.unlock();
+      (*fn)(i);
+      lock.lock();
+      --in_flight_;
+      if (next_ >= limit_ && in_flight_ == 0) done_cv_.notify_all();
+    }
+  }
+}
+
+}  // namespace gus

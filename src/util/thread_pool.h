@@ -1,0 +1,63 @@
+// A small fixed-size thread pool with a deterministic-friendly ParallelFor.
+//
+// Deliberately work-stealing-free: tasks are claimed from a single atomic
+// counter in index order. The pool never imposes an ordering on *results* —
+// callers that need determinism (the morsel-parallel executor) key every
+// task's randomness and merge order on the task index, which is scheduling-
+// independent by construction.
+
+#ifndef GUS_UTIL_THREAD_POOL_H_
+#define GUS_UTIL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace gus {
+
+/// \brief Fixed set of worker threads executing indexed task batches.
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (clamped to >= 1). With one thread the
+  /// pool still spawns a worker, so behavior differences between inline and
+  /// pooled execution cannot hide (there are none by design).
+  explicit ThreadPool(int num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int num_threads() const { return static_cast<int>(threads_.size()); }
+
+  /// \brief Runs fn(i) for every i in [0, n), distributed over the workers,
+  /// and blocks until all calls return.
+  ///
+  /// `fn` must be safe to call concurrently from multiple threads. Indexes
+  /// are claimed in increasing order but may complete in any order. One
+  /// ParallelFor runs at a time (calls serialize).
+  void ParallelFor(int64_t n, const std::function<void(int64_t)>& fn);
+
+  /// std::thread::hardware_concurrency with a >= 1 floor.
+  static int HardwareThreads();
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;   // workers wait for a batch
+  std::condition_variable done_cv_;   // ParallelFor waits for completion
+  const std::function<void(int64_t)>* fn_ = nullptr;  // active batch
+  int64_t next_ = 0;       // next unclaimed index
+  int64_t limit_ = 0;      // batch size
+  int64_t in_flight_ = 0;  // claimed but not yet finished
+  uint64_t epoch_ = 0;     // bumped per batch so workers don't re-enter
+  bool shutdown_ = false;
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace gus
+
+#endif  // GUS_UTIL_THREAD_POOL_H_

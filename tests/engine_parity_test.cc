@@ -307,6 +307,94 @@ TEST(EngineParityTest, MixedNumericKeyJoin) {
   ExpectEnginesAgreeBothModes(plan, catalog, 17);
 }
 
+// -- Morsel engine: thread-count parity ------------------------------------
+//
+// The morsel-parallel engine draws a *different* (equally valid) sample
+// than the serial engines, but its own results must be bit-identical across
+// worker counts: the morsel split, per-morsel Rng streams, and merge order
+// are all independent of num_threads.
+
+ExecOptions MorselWithThreads(int num_threads) {
+  ExecOptions options;
+  options.engine = ExecEngine::kMorselParallel;
+  options.num_threads = num_threads;
+  options.morsel_rows = 32;
+  return options;
+}
+
+void ExpectMorselThreadParity(const PlanPtr& plan, const Catalog& catalog,
+                              uint64_t seed, ExecMode mode) {
+  Rng rng1(seed);
+  auto one = ExecutePlan(plan, catalog, &rng1, mode, MorselWithThreads(1));
+  Rng rng4(seed);
+  auto four = ExecutePlan(plan, catalog, &rng4, mode, MorselWithThreads(4));
+  ASSERT_EQ(one.ok(), four.ok())
+      << one.status().ToString() << " vs " << four.status().ToString();
+  if (!one.ok()) {
+    EXPECT_EQ(one.status().code(), four.status().code());
+    return;
+  }
+  ExpectIdentical(*one, *four);
+}
+
+TEST(EngineParityTest, MorselThreadParityBothModes) {
+  TpchConfig config;
+  config.num_orders = 250;
+  config.num_customers = 30;
+  config.num_parts = 25;
+  TpchData data = GenerateTpch(config);
+  Catalog catalog = data.MakeCatalog();
+  Query1Params params;
+  params.lineitem_p = 0.4;
+  params.orders_n = 100;
+  params.orders_population = 250;
+  Workload q1 = MakeQuery1(params);
+  {
+    SCOPED_TRACE("exact");
+    ExpectMorselThreadParity(q1.plan, catalog, 23, ExecMode::kExact);
+  }
+  {
+    SCOPED_TRACE("sampled");
+    ExpectMorselThreadParity(q1.plan, catalog, 23, ExecMode::kSampled);
+  }
+}
+
+TEST(EngineParityTest, SqlishMorselThreadParity) {
+  TpchConfig config;
+  config.num_orders = 250;
+  config.num_customers = 30;
+  config.num_parts = 25;
+  TpchData data = GenerateTpch(config);
+  Catalog catalog = data.MakeCatalog();
+  // Ungrouped and grouped (hash-table merge) surfaces, threads 1 vs 4.
+  for (const char* sql :
+       {"SELECT SUM(l_discount * o_totalprice), COUNT(*) "
+        "FROM l TABLESAMPLE (40 PERCENT), o "
+        "WHERE l_orderkey = o_orderkey",
+        "SELECT SUM(l_quantity) "
+        "FROM l TABLESAMPLE (50 PERCENT), o "
+        "WHERE l_orderkey = o_orderkey GROUP BY o_custkey"}) {
+    SCOPED_TRACE(sql);
+    ASSERT_OK_AND_ASSIGN(
+        sqlish::ApproxResult one,
+        sqlish::RunApproxQuery(sql, catalog, 31, {}, MorselWithThreads(1)));
+    ASSERT_OK_AND_ASSIGN(
+        sqlish::ApproxResult four,
+        sqlish::RunApproxQuery(sql, catalog, 31, {}, MorselWithThreads(4)));
+    ASSERT_EQ(one.values.size(), four.values.size());
+    EXPECT_GT(one.values.size(), 0u);
+    EXPECT_EQ(one.sample_rows, four.sample_rows);
+    for (size_t i = 0; i < one.values.size(); ++i) {
+      EXPECT_EQ(one.values[i].label, four.values[i].label);
+      EXPECT_EQ(one.values[i].group, four.values[i].group);
+      EXPECT_EQ(one.values[i].value, four.values[i].value);
+      EXPECT_EQ(one.values[i].stddev, four.values[i].stddev);
+      EXPECT_EQ(one.values[i].lo, four.values[i].lo);
+      EXPECT_EQ(one.values[i].hi, four.values[i].hi);
+    }
+  }
+}
+
 TEST(EngineParityTest, SqlishApproxQueryAgrees) {
   TpchConfig config;
   config.num_orders = 300;

@@ -1,0 +1,238 @@
+// The partition-merge layer: merging split SampleViews / streaming builders
+// / estimators / grouped builders in partition order must be bit-identical
+// to the corresponding unsplit run. (Test data uses dyadic-rational f
+// values, so every floating-point sum is exact and association-free —
+// bit-identity is then a property of the merge logic, not luck.)
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "algebra/translate.h"
+#include "est/group_by.h"
+#include "est/sample_view.h"
+#include "est/sbox.h"
+#include "est/streaming.h"
+#include "rel/column_batch.h"
+#include "rel/expression.h"
+#include "test_util.h"
+#include "util/random.h"
+
+namespace gus {
+namespace {
+
+using ::gus::testing::MakeTinyJoin;
+
+/// A synthetic single-lineage batch layout {f: float64} / lineage {"R"}.
+LayoutPtr MakeLayout() {
+  auto layout = std::make_shared<BatchLayout>();
+  layout->schema = Schema({{"f", ValueType::kFloat64}});
+  layout->lineage_schema = {"R"};
+  return layout;
+}
+
+/// Batch of rows [begin, end) with f(i) = (i % 97) / 4.0 (dyadic, exact)
+/// and lineage id = i.
+ColumnBatch MakeBatch(const LayoutPtr& layout, int64_t begin, int64_t end) {
+  ColumnBatch batch(layout);
+  for (int64_t i = begin; i < end; ++i) {
+    EXPECT_TRUE(batch.mutable_column(0)
+                    ->AppendValue(Value(static_cast<double>(i % 97) / 4.0))
+                    .ok());
+    batch.mutable_lineage()->push_back(static_cast<uint64_t>(i));
+  }
+  batch.SetNumRows(end - begin);
+  return batch;
+}
+
+SampleView MakeView(int64_t begin, int64_t end) {
+  SampleView view;
+  view.schema = LineageSchema::Make({"R"}).ValueOrDie();
+  view.lineage.assign(1, {});
+  for (int64_t i = begin; i < end; ++i) {
+    view.f.push_back(static_cast<double>(i % 97) / 4.0);
+    view.lineage[0].push_back(static_cast<uint64_t>(i));
+  }
+  return view;
+}
+
+TEST(MergeTest, SampleViewMergeIsConcatenation) {
+  for (const int64_t split : {0L, 1L, 100L, 499L, 500L}) {
+    SampleView whole = MakeView(0, 500);
+    SampleView a = MakeView(0, split);
+    SampleView b = MakeView(split, 500);
+    ASSERT_OK(a.Merge(std::move(b)));
+    EXPECT_EQ(whole.f, a.f);
+    EXPECT_EQ(whole.lineage, a.lineage);
+  }
+}
+
+TEST(MergeTest, SampleViewMergeRejectsSchemaMismatch) {
+  SampleView a = MakeView(0, 3);
+  SampleView b;
+  b.schema = LineageSchema::Make({"S"}).ValueOrDie();
+  b.lineage.assign(1, {});
+  EXPECT_FALSE(a.Merge(std::move(b)).ok());
+}
+
+TEST(MergeTest, SampleViewBuilderMergeMatchesUnsplit) {
+  LayoutPtr layout = MakeLayout();
+  LineageSchema schema = LineageSchema::Make({"R"}).ValueOrDie();
+  ExprPtr f = Col("f");
+
+  ASSERT_OK_AND_ASSIGN(SampleViewBuilder whole,
+                       SampleViewBuilder::Make(*layout, f, schema));
+  ASSERT_OK(whole.Consume(MakeBatch(layout, 0, 700)));
+  ASSERT_OK(whole.Consume(MakeBatch(layout, 700, 1000)));
+
+  ASSERT_OK_AND_ASSIGN(SampleViewBuilder a,
+                       SampleViewBuilder::Make(*layout, f, schema));
+  ASSERT_OK_AND_ASSIGN(SampleViewBuilder b,
+                       SampleViewBuilder::Make(*layout, f, schema));
+  ASSERT_OK(a.Consume(MakeBatch(layout, 0, 400)));
+  ASSERT_OK(b.Consume(MakeBatch(layout, 400, 700)));
+  ASSERT_OK(b.Consume(MakeBatch(layout, 700, 1000)));
+  ASSERT_OK(a.Merge(std::move(b)));
+
+  EXPECT_EQ(whole.view().f, a.view().f);
+  EXPECT_EQ(whole.view().lineage, a.view().lineage);
+}
+
+void ExpectReportsIdentical(const SboxReport& x, const SboxReport& y) {
+  EXPECT_EQ(x.estimate, y.estimate);
+  EXPECT_EQ(x.variance, y.variance);
+  EXPECT_EQ(x.stddev, y.stddev);
+  EXPECT_EQ(x.interval.lo, y.interval.lo);
+  EXPECT_EQ(x.interval.hi, y.interval.hi);
+  EXPECT_EQ(x.sample_rows, y.sample_rows);
+  EXPECT_EQ(x.variance_rows, y.variance_rows);
+  EXPECT_EQ(x.y_hat, y.y_hat);
+}
+
+TEST(MergeTest, StreamingEstimatorMergeMatchesUnsplitWithSubsample) {
+  LayoutPtr layout = MakeLayout();
+  LineageSchema schema = LineageSchema::Make({"R"}).ValueOrDie();
+  ExprPtr f = Col("f");
+  GusParams gus =
+      MultiDimBernoulliGus(schema, {{"R", 0.5}}).ValueOrDie();
+  SboxOptions options;
+  options.subsample = SubsampleConfig{};
+  options.subsample->target_rows = 64;  // force interim pruning
+  const int64_t n = 2000;
+
+  ASSERT_OK_AND_ASSIGN(
+      StreamingSboxEstimator whole,
+      StreamingSboxEstimator::Make(*layout, f, gus, options));
+  for (int64_t at = 0; at < n; at += 300) {
+    ASSERT_OK(whole.Consume(MakeBatch(layout, at, std::min(at + 300, n))));
+  }
+  ASSERT_OK_AND_ASSIGN(SboxReport whole_report, whole.Finish());
+  EXPECT_LT(whole_report.variance_rows, n);  // subsample really engaged
+
+  for (const int64_t split : {1L, 512L, 1999L}) {
+    ASSERT_OK_AND_ASSIGN(
+        StreamingSboxEstimator a,
+        StreamingSboxEstimator::Make(*layout, f, gus, options));
+    ASSERT_OK_AND_ASSIGN(
+        StreamingSboxEstimator b,
+        StreamingSboxEstimator::Make(*layout, f, gus, options));
+    ASSERT_OK(a.Consume(MakeBatch(layout, 0, split)));
+    ASSERT_OK(b.Consume(MakeBatch(layout, split, n)));
+    ASSERT_OK(a.Merge(std::move(b)));
+    ASSERT_OK_AND_ASSIGN(SboxReport merged_report, a.Finish());
+    ExpectReportsIdentical(whole_report, merged_report);
+  }
+}
+
+TEST(MergeTest, StreamingEstimatorMergeMatchesUnsplitWithoutSubsample) {
+  LayoutPtr layout = MakeLayout();
+  LineageSchema schema = LineageSchema::Make({"R"}).ValueOrDie();
+  ExprPtr f = Col("f");
+  GusParams gus =
+      MultiDimBernoulliGus(schema, {{"R", 0.5}}).ValueOrDie();
+
+  ASSERT_OK_AND_ASSIGN(StreamingSboxEstimator whole,
+                       StreamingSboxEstimator::Make(*layout, f, gus, {}));
+  ASSERT_OK(whole.Consume(MakeBatch(layout, 0, 300)));
+  ASSERT_OK_AND_ASSIGN(SboxReport whole_report, whole.Finish());
+
+  ASSERT_OK_AND_ASSIGN(StreamingSboxEstimator a,
+                       StreamingSboxEstimator::Make(*layout, f, gus, {}));
+  ASSERT_OK_AND_ASSIGN(StreamingSboxEstimator b,
+                       StreamingSboxEstimator::Make(*layout, f, gus, {}));
+  ASSERT_OK(a.Consume(MakeBatch(layout, 0, 128)));
+  ASSERT_OK(b.Consume(MakeBatch(layout, 128, 300)));
+  ASSERT_OK(a.Merge(std::move(b)));
+  ASSERT_OK_AND_ASSIGN(SboxReport merged_report, a.Finish());
+  ExpectReportsIdentical(whole_report, merged_report);
+}
+
+TEST(MergeTest, StreamingEstimatorMergeRejectsMismatchedOptions) {
+  LayoutPtr layout = MakeLayout();
+  LineageSchema schema = LineageSchema::Make({"R"}).ValueOrDie();
+  GusParams gus =
+      MultiDimBernoulliGus(schema, {{"R", 0.5}}).ValueOrDie();
+  SboxOptions with_sub;
+  with_sub.subsample = SubsampleConfig{};
+  ASSERT_OK_AND_ASSIGN(
+      StreamingSboxEstimator a,
+      StreamingSboxEstimator::Make(*layout, Col("f"), gus, with_sub));
+  ASSERT_OK_AND_ASSIGN(
+      StreamingSboxEstimator b,
+      StreamingSboxEstimator::Make(*layout, Col("f"), gus, {}));
+  EXPECT_FALSE(a.Merge(std::move(b)).ok());
+}
+
+TEST(MergeTest, GroupedBuilderMergeMatchesRelationPath) {
+  // Joined fact ⋈ dim relation grouped by the dim key: the streaming
+  // builder fed in two splits must reproduce GroupedSumEstimate over the
+  // materialized relation bit for bit.
+  testing::TinyJoinData data = MakeTinyJoin(6, 4);
+  Catalog catalog = data.MakeCatalog();
+  Rng rng(7);
+  ASSERT_OK_AND_ASSIGN(
+      Relation joined,
+      ExecutePlan(PlanNode::Join(PlanNode::Scan("F"), PlanNode::Scan("D"),
+                                 "fk", "pk"),
+                  catalog, &rng, ExecMode::kExact));
+  LineageSchema schema = LineageSchema::Make({"F", "D"}).ValueOrDie();
+  GusParams gus =
+      MultiDimBernoulliGus(schema, {{"F", 0.5}, {"D", 0.5}}).ValueOrDie();
+  ExprPtr f = Col("v");
+
+  ASSERT_OK_AND_ASSIGN(auto expected,
+                       GroupedSumEstimate(gus, joined, f, "pk"));
+
+  ASSERT_OK_AND_ASSIGN(ColumnarRelation columnar,
+                       ColumnarRelation::FromRelation(joined));
+  ASSERT_OK_AND_ASSIGN(
+      GroupedSumBuilder a,
+      GroupedSumBuilder::Make(columnar.layout(), f, "pk", schema));
+  ASSERT_OK_AND_ASSIGN(
+      GroupedSumBuilder b,
+      GroupedSumBuilder::Make(columnar.layout(), f, "pk", schema));
+  const int64_t split = columnar.num_rows() / 3;
+  ColumnBatch batch;
+  columnar.EmitSlice(0, split, &batch);
+  ASSERT_OK(a.Consume(batch));
+  columnar.EmitSlice(split, columnar.num_rows() - split, &batch);
+  ASSERT_OK(b.Consume(batch));
+  ASSERT_OK(a.Merge(std::move(b)));
+  ASSERT_OK_AND_ASSIGN(auto merged, a.Finish(gus));
+
+  ASSERT_EQ(expected.size(), merged.size());
+  for (size_t g = 0; g < expected.size(); ++g) {
+    EXPECT_TRUE(expected[g].key == merged[g].key);
+    EXPECT_EQ(expected[g].estimate, merged[g].estimate);
+    EXPECT_EQ(expected[g].variance, merged[g].variance);
+    EXPECT_EQ(expected[g].interval.lo, merged[g].interval.lo);
+    EXPECT_EQ(expected[g].interval.hi, merged[g].interval.hi);
+    EXPECT_EQ(expected[g].sample_rows, merged[g].sample_rows);
+  }
+}
+
+}  // namespace
+}  // namespace gus

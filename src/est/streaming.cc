@@ -279,13 +279,9 @@ Result<SboxReport> EstimatePlanStreaming(const PlanPtr& plan,
   GUS_ASSIGN_OR_RETURN(
       StreamingSboxEstimator est,
       StreamingSboxEstimator::Make(*pipeline->layout(), f_expr, gus, options));
-  ColumnBatch batch;
-  while (true) {
-    GUS_ASSIGN_OR_RETURN(bool more, pipeline->Next(&batch));
-    if (!more) break;
-    if (batch.num_rows() == 0) continue;
-    GUS_RETURN_NOT_OK(est.Consume(batch));
-  }
+  // PumpToSink hands whole producer-owned batches through without a copy
+  // and gathers fused selection views exactly once, at this sink boundary.
+  GUS_RETURN_NOT_OK(PumpToSink(pipeline.get(), &est));
   return est.Finish();
 }
 

@@ -1,0 +1,151 @@
+#include "kernels/join_hash_table.h"
+
+#include <algorithm>
+#include <string>
+
+#include "kernels/key_hash.h"
+
+namespace gus {
+
+namespace {
+
+/// Smallest power of two >= 4n: a load factor of at most 0.25 keeps
+/// linear-probe runs near one slot (16 bytes per extra slot is cheap
+/// next to the probe stalls it avoids), with a minimum that keeps tiny
+/// builds cheap.
+uint64_t DirectoryCapacity(int64_t n) {
+  uint64_t cap = 16;
+  while (cap < static_cast<uint64_t>(n) * 4) cap <<= 1;
+  return cap;
+}
+
+}  // namespace
+
+Status JoinHashTable::Build(const uint64_t* hashes, int64_t num_rows,
+                            const KeyEqFn& eq) {
+  slots_.clear();
+  entries_.clear();
+  row_ids_.clear();
+  if (num_rows == 0) return Status::OK();
+
+  slots_.assign(DirectoryCapacity(num_rows), Slot{});
+  entries_.reserve(static_cast<size_t>(num_rows));
+  const uint64_t mask = slots_.size() - 1;
+
+  // Pass 1: assign every row to a distinct-hash entry (created at first
+  // occurrence), counting the entry's rows in Entry::end. Each entry's
+  // first row id is kept in row_ids_ (scratch until pass 2) for the
+  // collision check.
+  std::vector<int64_t> entry_of_row(static_cast<size_t>(num_rows));
+  for (int64_t i = 0; i < num_rows; ++i) {
+    const uint64_t h = hashes[i];
+    uint64_t s = h & mask;
+    while (true) {
+      Slot& slot = slots_[s];
+      int64_t e = slot.entry;
+      if (e == kEmptySlot) {
+        e = static_cast<int64_t>(entries_.size());
+        entries_.push_back({0, 0});
+        row_ids_.push_back(i);
+        slot.hash = h;
+        slot.entry = e;
+      } else if (slot.hash != h) {
+        s = (s + 1) & mask;
+        continue;
+      } else if (eq != nullptr) {
+        // Same hash as an earlier row: a differing key is a true 64-bit
+        // collision — refuse to build a merged candidate list silently.
+        const int64_t first = row_ids_[e];
+        if (!eq(first, i)) {
+          return Status::Internal(
+              "join build key hash collision between rows " +
+              std::to_string(first) + " and " + std::to_string(i));
+        }
+      }
+      entry_of_row[i] = e;
+      ++entries_[e].end;
+      break;
+    }
+  }
+
+  // Pass 2: prefix-sum the counts into [begin, end) offsets, then scatter
+  // row ids grouped by entry, preserving input order within each group.
+  int64_t total = 0;
+  for (Entry& e : entries_) {
+    e.begin = total;
+    total += e.end;
+    e.end = e.begin;  // reused as the scatter cursor below
+  }
+  row_ids_.assign(static_cast<size_t>(num_rows), 0);
+  for (int64_t i = 0; i < num_rows; ++i) {
+    row_ids_[entries_[entry_of_row[i]].end++] = i;
+  }
+  return Status::OK();
+}
+
+Status JoinHashTable::BuildFrom(const ColumnData& key, int64_t num_rows) {
+  const std::vector<uint64_t> hashes = ColumnKeyHashes(key, num_rows);
+  return Build(hashes.data(), num_rows, [&key](int64_t i, int64_t j) {
+    return JoinBuildKeysCompatible(key, i, j);
+  });
+}
+
+void JoinHashTable::ProbeBatch(const uint64_t* hashes, int64_t num_rows,
+                               std::vector<int64_t>* probe_idx,
+                               std::vector<int64_t>* build_idx) const {
+  if (slots_.empty() || num_rows == 0) return;
+  // Probes are memory-latency-bound. Two-stage software pipeline over the
+  // dependent load chain slot -> entry: the home slot is prefetched
+  // kSlotAhead iterations out; at kEntryAhead the now-cached home slot is
+  // peeked and, on a hash match, its entry prefetched — so by the time
+  // Find runs, both levels are usually resident.
+  constexpr int64_t kSlotAhead = 24;
+  constexpr int64_t kEntryAhead = 8;
+  const uint64_t mask = slots_.size() - 1;
+  probe_idx->reserve(probe_idx->size() + static_cast<size_t>(num_rows));
+  build_idx->reserve(build_idx->size() + static_cast<size_t>(num_rows));
+  for (int64_t j = 0; j < num_rows; ++j) {
+    if (j + kSlotAhead < num_rows) {
+      __builtin_prefetch(&slots_[hashes[j + kSlotAhead] & mask]);
+    }
+    if (j + kEntryAhead < num_rows) {
+      const uint64_t h2 = hashes[j + kEntryAhead];
+      const Slot& peek = slots_[h2 & mask];
+      if (peek.entry != kEmptySlot && peek.hash == h2) {
+        __builtin_prefetch(&entries_[peek.entry]);
+      }
+    }
+    const Range r = Find(hashes[j]);
+    for (const int64_t* p = r.begin; p != r.end; ++p) {
+      probe_idx->push_back(j);
+      build_idx->push_back(*p);
+    }
+  }
+}
+
+std::vector<uint64_t> ColumnKeyHashes(const ColumnData& col,
+                                      int64_t num_rows) {
+  std::vector<uint64_t> hashes(static_cast<size_t>(num_rows));
+  switch (col.type) {
+    case ValueType::kInt64:
+      for (int64_t i = 0; i < num_rows; ++i) {
+        hashes[i] = HashInt64Key(col.i64[i]);
+      }
+      break;
+    case ValueType::kFloat64:
+      for (int64_t i = 0; i < num_rows; ++i) {
+        hashes[i] = HashFloat64Key(col.f64[i]);
+      }
+      break;
+    case ValueType::kString: {
+      const std::vector<uint64_t> dict_hashes = DictKeyHashes(col);
+      for (int64_t i = 0; i < num_rows; ++i) {
+        hashes[i] = dict_hashes[col.codes[i]];
+      }
+      break;
+    }
+  }
+  return hashes;
+}
+
+}  // namespace gus

@@ -1,0 +1,117 @@
+// Flat open-addressing hash table for equi-join builds.
+//
+// Layout (all contiguous arrays, no per-key heap allocations):
+//
+//   slots_      power-of-two open-addressing directory, linear probing;
+//               each slot stores the key hash *inline* next to its entry
+//               index, so a probe miss costs a single 16-byte load and a
+//               hit needs exactly one more (the entry's offset pair)
+//   entries_    one [begin, end) offset pair per *distinct* key hash into
+//               row_ids_
+//   row_ids_    build-row ids packed by entry, each group in build input
+//               order — so probing yields candidates in exactly the order
+//               the row engine's unordered_map-of-vectors produced them,
+//               keeping join outputs bit-identical across engines
+//
+// The table is keyed by the 64-bit key hash alone. Probes therefore return
+// *candidates*: callers re-check real key equality (KeyEqualsAt /
+// Value::KeyEquals) before emitting a match, exactly like the previous
+// unordered_map paths. On the build side a true collision — two build rows
+// whose hashes agree but whose keys differ — would make every later probe
+// pay for the mixed candidate list, and (worse) silently merges keys in
+// hash-only consumers; Build with a key-equality callback refuses loudly
+// instead, mirroring the group-by builder's collision semantics.
+//
+// After Build the table is immutable, so it can be shared read-only across
+// morsel workers without synchronization.
+
+#ifndef GUS_KERNELS_JOIN_HASH_TABLE_H_
+#define GUS_KERNELS_JOIN_HASH_TABLE_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "rel/column_batch.h"
+#include "util/status.h"
+
+namespace gus {
+
+class JoinHashTable {
+ public:
+  /// Candidate build-row ids for one probe hash, in build input order.
+  struct Range {
+    const int64_t* begin = nullptr;
+    const int64_t* end = nullptr;
+    bool empty() const { return begin == end; }
+    int64_t size() const { return end - begin; }
+  };
+
+  /// True when rows i and j carry equal join keys (used to detect true
+  /// hash collisions on the build side).
+  using KeyEqFn = std::function<bool(int64_t i, int64_t j)>;
+
+  JoinHashTable() = default;
+
+  /// \brief Builds from precomputed per-row key hashes.
+  ///
+  /// With a non-null `eq`, two rows with equal hashes but unequal keys fail
+  /// loudly (Status::Internal) instead of producing a merged candidate
+  /// list. Passing nullptr skips the check (hash-only semantics).
+  Status Build(const uint64_t* hashes, int64_t num_rows,
+               const KeyEqFn& eq = nullptr);
+
+  /// Convenience build straight from a key column (hashes via KeyHashAt,
+  /// collision check via KeyEqualsAt).
+  Status BuildFrom(const ColumnData& key, int64_t num_rows);
+
+  /// Candidates whose build hash equals `hash` (empty range on miss).
+  Range Find(uint64_t hash) const {
+    if (slots_.empty()) return {};
+    const uint64_t mask = slots_.size() - 1;
+    for (uint64_t s = hash & mask;; s = (s + 1) & mask) {
+      const Slot& slot = slots_[s];
+      if (slot.entry == kEmptySlot) return {};
+      if (slot.hash == hash) {
+        const Entry& e = entries_[slot.entry];
+        return {row_ids_.data() + e.begin, row_ids_.data() + e.end};
+      }
+    }
+  }
+
+  /// \brief Batch probe: for each probe row, appends one (probe, build)
+  /// pair per candidate to the two output vectors (not cleared).
+  ///
+  /// Candidates are hash matches only — callers still re-check key
+  /// equality when the key space can collide.
+  void ProbeBatch(const uint64_t* hashes, int64_t num_rows,
+                  std::vector<int64_t>* probe_idx,
+                  std::vector<int64_t>* build_idx) const;
+
+  int64_t num_build_rows() const {
+    return static_cast<int64_t>(row_ids_.size());
+  }
+  int64_t num_distinct_hashes() const {
+    return static_cast<int64_t>(entries_.size());
+  }
+
+ private:
+  static constexpr int64_t kEmptySlot = -1;
+
+  struct Slot {
+    uint64_t hash = 0;
+    int64_t entry = kEmptySlot;
+  };
+  struct Entry {
+    int64_t begin = 0;  // offsets into row_ids_
+    int64_t end = 0;
+  };
+
+  std::vector<Slot> slots_;
+  std::vector<Entry> entries_;
+  std::vector<int64_t> row_ids_;
+};
+
+}  // namespace gus
+
+#endif  // GUS_KERNELS_JOIN_HASH_TABLE_H_

@@ -1,0 +1,127 @@
+#include "kernels/sampling_kernels.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/hash.h"
+#include "util/logging.h"
+
+namespace gus {
+
+namespace {
+
+/// Positions never reach this; used to park the cursor "past any stream"
+/// when a drawn skip is astronomically large, without risking overflow.
+constexpr int64_t kFarAway = int64_t{1} << 62;
+
+}  // namespace
+
+SkipBernoulliState::SkipBernoulliState(double p) : p_(p) {
+  if (p_ > 0.0 && p_ < 1.0) inv_log_q_ = 1.0 / std::log1p(-p_);
+}
+
+void SkipBernoulliState::Advance(Rng* rng) {
+  // u in (0, 1]: log(u) is finite and <= 0, so skip >= 0 always.
+  const double u = 1.0 - rng->Uniform();
+  const double skip = std::floor(std::log(u) * inv_log_q_);
+  if (!(skip < static_cast<double>(kFarAway)) || next_ >= kFarAway) {
+    next_ = kFarAway;
+  } else {
+    next_ += 1 + static_cast<int64_t>(skip);
+  }
+}
+
+void SkipBernoulliState::NextSpan(int64_t len, Rng* rng,
+                                  std::vector<int64_t>* keep) {
+  if (len <= 0 || p_ <= 0.0) {
+    consumed_ += len > 0 ? len : 0;
+    return;
+  }
+  const int64_t begin = consumed_;
+  const int64_t end = consumed_ + len;
+  if (p_ >= 1.0) {
+    for (int64_t i = 0; i < len; ++i) keep->push_back(i);
+    consumed_ = end;
+    return;
+  }
+  if (!drawn_) {
+    // First row of the stream: position the cursor with the first skip.
+    drawn_ = true;
+    next_ = begin - 1;
+    Advance(rng);
+  }
+  while (next_ < end) {
+    keep->push_back(next_ - begin);
+    Advance(rng);
+  }
+  consumed_ = end;
+}
+
+void SkipBernoulliKeepIndices(int64_t num_rows, double p, Rng* rng,
+                              std::vector<int64_t>* keep) {
+  keep->reserve(keep->size() + static_cast<size_t>(p * num_rows) + 16);
+  SkipBernoulliState state(p);
+  state.NextSpan(num_rows, rng, keep);
+}
+
+void LineageBernoulliDense(double p, uint64_t seed, const uint64_t* lineage,
+                           int arity, int dim, int64_t begin, int64_t len,
+                           std::vector<int64_t>* keep) {
+  const size_t base = keep->size();
+  keep->resize(base + static_cast<size_t>(len));
+  int64_t* out = keep->data() + base;
+  size_t n = 0;
+  const uint64_t* ids = lineage + static_cast<size_t>(begin) * arity + dim;
+  for (int64_t i = 0; i < len; ++i) {
+    out[n] = begin + i;
+    n += LineageUnitValue(seed, ids[static_cast<size_t>(i) * arity]) < p;
+  }
+  keep->resize(base + n);
+}
+
+void LineageBernoulliGather(double p, uint64_t seed, const uint64_t* lineage,
+                            int arity, int dim, const int64_t* sel,
+                            int64_t len, std::vector<int64_t>* keep) {
+  const size_t base = keep->size();
+  keep->resize(base + static_cast<size_t>(len));
+  int64_t* out = keep->data() + base;
+  size_t n = 0;
+  for (int64_t k = 0; k < len; ++k) {
+    const int64_t r = sel[k];
+    const uint64_t id = lineage[static_cast<size_t>(r) * arity + dim];
+    out[n] = r;
+    n += LineageUnitValue(seed, id) < p;
+  }
+  keep->resize(base + n);
+}
+
+bool BlockDecisionCache::Decide(uint64_t block, double p, Rng* rng) {
+  if (block < kDenseCap) {
+    if (block >= dense_.size()) {
+      dense_.resize(static_cast<size_t>(block) + 1, 0);
+    }
+    uint32_t& slot = dense_[block];
+    if ((slot >> 1) != epoch_) {
+      slot = (epoch_ << 1) | (rng->Bernoulli(p) ? 1u : 0u);
+    }
+    return (slot & 1u) != 0;
+  }
+  auto it = sparse_.find(block);
+  if (it == sparse_.end()) {
+    it = sparse_.emplace(block, rng->Bernoulli(p)).first;
+  }
+  return it->second;
+}
+
+void BlockDecisionCache::Reset() {
+  // Epoch bump invalidates every dense decision in O(1). The epoch field
+  // is 31 bits; on wraparound, fall back to one full clear.
+  epoch_ = (epoch_ + 1) & 0x7fffffffu;
+  if (epoch_ == 0) {
+    std::fill(dense_.begin(), dense_.end(), 0u);
+    epoch_ = 1;
+  }
+  sparse_.clear();
+}
+
+}  // namespace gus

@@ -1,0 +1,113 @@
+// Batch sampling kernels — the per-row hot loops behind the samplers in
+// sampling/samplers.h.
+//
+// Geometric-skip Bernoulli (Vitter-style): instead of one Rng draw per
+// input row, draw the gap to the next kept row directly from the geometric
+// distribution, skip = floor(log(u) / log(1-p)) with u uniform in (0, 1].
+// A Bernoulli(p) scan then costs ~pN + 1 draws instead of N. The state is
+// resumable across spans: feeding the same Rng through any partition of a
+// row stream into spans consumes the identical draw sequence and yields
+// the identical keep-set as one span of the whole stream — the property
+// that lets the fused streaming sampler (plan/columnar_executor.cc) stay
+// bit-identical to the one-shot DecideSampling path used by the row
+// engine and by pipeline-breaker samplers.
+//
+// Draw discipline (what makes the equivalence exact): the first skip is
+// drawn when the first row arrives (never for an empty stream), and after
+// emitting a kept row the next skip is drawn immediately. Total draws:
+// 0 for an empty stream, #kept + 1 otherwise. p <= 0 and p >= 1 are
+// handled without any draws (keep nothing / keep everything).
+//
+// The lineage-Bernoulli kernel is the Section 7 filter over flat lineage
+// arrays: it hashes (seed, id) in a tight branch-free loop — no per-row
+// Value boxing, no std::function dispatch — and consumes no Rng, so it is
+// trivially identical between streaming and one-shot evaluation.
+
+#ifndef GUS_KERNELS_SAMPLING_KERNELS_H_
+#define GUS_KERNELS_SAMPLING_KERNELS_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "util/random.h"
+
+namespace gus {
+
+/// \brief Resumable geometric-skip Bernoulli(p) position generator.
+///
+/// Positions are indexes into the logical row stream fed through
+/// NextSpan; the caller maps them onto storage (selection vectors,
+/// absolute batch offsets) as needed.
+class SkipBernoulliState {
+ public:
+  explicit SkipBernoulliState(double p);
+
+  /// \brief Advances over the next `len` logical rows, appending the kept
+  /// offsets *relative to this span's start* (in [0, len)) to `keep`.
+  void NextSpan(int64_t len, Rng* rng, std::vector<int64_t>* keep);
+
+ private:
+  void Advance(Rng* rng);  // draws one skip, moves next_ past it
+
+  double p_;
+  double inv_log_q_ = 0.0;  // 1 / log(1 - p) for 0 < p < 1
+  bool drawn_ = false;      // first skip drawn yet?
+  int64_t next_ = 0;        // absolute logical index of the next kept row
+  int64_t consumed_ = 0;    // logical rows consumed so far
+};
+
+/// \brief One-shot geometric-skip Bernoulli keep-set over `num_rows` rows.
+///
+/// Bit-identical (same keeps, same Rng consumption) to streaming the rows
+/// through SkipBernoulliState in arbitrary spans.
+void SkipBernoulliKeepIndices(int64_t num_rows, double p, Rng* rng,
+                              std::vector<int64_t>* keep);
+
+/// \brief Lineage-seeded Bernoulli over a flat row-major lineage matrix.
+///
+/// Appends row indexes r in [begin, begin + len) with
+/// LineageUnitValue(seed, lineage[r * arity + dim]) < p. Branch-free
+/// append (no per-row conditional push).
+void LineageBernoulliDense(double p, uint64_t seed, const uint64_t* lineage,
+                           int arity, int dim, int64_t begin, int64_t len,
+                           std::vector<int64_t>* keep);
+
+/// Selection-vector variant: tests rows sel[0..len) of the lineage matrix
+/// and appends the surviving sel values (composes selections in place).
+void LineageBernoulliGather(double p, uint64_t seed, const uint64_t* lineage,
+                            int arity, int dim, const int64_t* sel,
+                            int64_t len, std::vector<int64_t>* keep);
+
+/// \brief One keep/drop decision per distinct block id, drawn at first
+/// occurrence.
+///
+/// Flat vector of states for the dense id range (block ids are row-index /
+/// block-size or base-table lineage, both small dense integers), with a
+/// hash-map spill for pathological ids beyond the dense cap. Reusable
+/// across calls via Reset(), which is O(1): each dense slot carries the
+/// epoch it was decided in, so stale decisions from earlier calls expire
+/// by epoch bump rather than by re-zeroing the whole vector — repeated
+/// block-sampled scans pay neither re-allocation nor an
+/// O(historical max block id) clear.
+class BlockDecisionCache {
+ public:
+  /// The block's decision, drawing it on first occurrence.
+  bool Decide(uint64_t block, double p, Rng* rng);
+
+  /// Forgets all decisions (keeps allocated capacity; O(1)).
+  void Reset();
+
+ private:
+  static constexpr uint64_t kDenseCap = uint64_t{1} << 22;
+
+  /// Dense slot: (epoch << 1) | keep. Decided this epoch iff the stored
+  /// epoch matches epoch_.
+  std::vector<uint32_t> dense_;
+  uint32_t epoch_ = 1;  // slots default to 0 = "decided in epoch 0" = stale
+  std::unordered_map<uint64_t, bool> sparse_;  // rare: ids >= kDenseCap
+};
+
+}  // namespace gus
+
+#endif  // GUS_KERNELS_SAMPLING_KERNELS_H_

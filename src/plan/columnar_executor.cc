@@ -1,16 +1,40 @@
 #include "plan/columnar_executor.h"
 
-#include <unordered_map>
+#include <algorithm>
 #include <unordered_set>
 #include <utility>
 #include <vector>
 
+#include "kernels/join_hash_table.h"
+#include "kernels/key_hash.h"
+#include "kernels/sampling_kernels.h"
 #include "plan/vector_eval.h"
 #include "sampling/samplers.h"
 #include "util/hash.h"
 #include "util/logging.h"
 
 namespace gus {
+
+Result<bool> BatchSource::Next(ColumnBatch* out) {
+  SelView view;
+  GUS_ASSIGN_OR_RETURN(bool more, NextView(&view));
+  if (!more) return false;
+  PrepareBatch(layout_, out);
+  if (view.num_rows() == 0) return true;
+  if (view.contiguous()) {
+    out->AppendRangeFrom(*view.data, view.begin, view.len);
+  } else {
+    out->GatherFrom(*view.data, view.sel, view.sel_len);
+  }
+  return true;
+}
+
+Result<bool> BatchSource::NextView(SelView* out) {
+  GUS_ASSIGN_OR_RETURN(bool more, Next(&view_scratch_));
+  if (!more) return false;
+  *out = SelView::Whole(&view_scratch_);
+  return true;
+}
 
 Result<const ColumnarRelation*> ColumnarCatalog::Get(const std::string& name) {
   auto cached = cache_.find(name);
@@ -34,13 +58,40 @@ void PrepareBatch(const LayoutPtr& layout, ColumnBatch* out) {
 
 Result<ColumnarRelation> DrainSource(BatchSource* src) {
   ColumnarRelation out(src->layout());
-  ColumnBatch scratch;
+  SelView view;
   while (true) {
-    GUS_ASSIGN_OR_RETURN(bool more, src->Next(&scratch));
+    GUS_ASSIGN_OR_RETURN(bool more, src->NextView(&view));
     if (!more) break;
-    out.AppendBatch(scratch);
+    if (view.num_rows() == 0) continue;
+    if (view.contiguous()) {
+      out.mutable_data()->AppendRangeFrom(*view.data, view.begin, view.len);
+    } else {
+      out.mutable_data()->GatherFrom(*view.data, view.sel, view.sel_len);
+    }
   }
   return out;
+}
+
+Status PumpToSink(BatchSource* pipeline, BatchSink* sink) {
+  SelView view;
+  ColumnBatch scratch;
+  while (true) {
+    GUS_ASSIGN_OR_RETURN(bool more, pipeline->NextView(&view));
+    if (!more) break;
+    if (view.num_rows() == 0) continue;
+    if (view.whole_batch()) {
+      GUS_RETURN_NOT_OK(sink->Consume(*view.data));
+      continue;
+    }
+    PrepareBatch(pipeline->layout(), &scratch);
+    if (view.contiguous()) {
+      scratch.AppendRangeFrom(*view.data, view.begin, view.len);
+    } else {
+      scratch.GatherFrom(*view.data, view.sel, view.sel_len);
+    }
+    GUS_RETURN_NOT_OK(sink->Consume(scratch));
+  }
+  return Status::OK();
 }
 
 Result<LayoutPtr> ConcatBatchLayouts(const BatchLayout& left,
@@ -64,54 +115,12 @@ Result<LayoutPtr> ConcatBatchLayouts(const BatchLayout& left,
   return LayoutPtr(layout);
 }
 
-/// Per-dictionary key hashes (must agree with Value::Hash — see
-/// HashStringKey).
-std::vector<uint64_t> DictKeyHashes(const ColumnData& col) {
-  std::vector<uint64_t> hashes;
-  if (col.type != ValueType::kString || col.dict == nullptr) return hashes;
-  hashes.reserve(col.dict->values.size());
-  for (const auto& s : col.dict->values) hashes.push_back(HashStringKey(s));
-  return hashes;
-}
-
-uint64_t KeyHashAt(const ColumnData& col, int64_t i,
-                   const std::vector<uint64_t>& dict_hashes) {
-  switch (col.type) {
-    case ValueType::kInt64: return HashInt64Key(col.i64[i]);
-    case ValueType::kFloat64: return HashFloat64Key(col.f64[i]);
-    case ValueType::kString: return dict_hashes[col.codes[i]];
-  }
-  GUS_CHECK(false && "unhandled ValueType");
-  return 0;
-}
-
-/// Typed key equality mirroring Value::KeyEquals (mixed numeric types
-/// compare by exact promoted value).
-bool KeyEqualsAt(const ColumnData& a, int64_t i, const ColumnData& b,
-                 int64_t j) {
-  if (a.type == b.type) {
-    switch (a.type) {
-      case ValueType::kInt64: return a.i64[i] == b.i64[j];
-      case ValueType::kFloat64: return a.f64[i] == b.f64[j];
-      case ValueType::kString:
-        if (a.dict == b.dict) return a.codes[i] == b.codes[j];
-        return a.StringAt(i) == b.StringAt(j);
-    }
-    GUS_CHECK(false && "unhandled ValueType");
-  }
-  if (a.type == ValueType::kString || b.type == ValueType::kString) {
-    return false;
-  }
-  const double d = a.type == ValueType::kFloat64 ? a.f64[i] : b.f64[j];
-  const int64_t v = a.type == ValueType::kInt64 ? a.i64[i] : b.i64[j];
-  int64_t as_int;
-  return Float64AsExactInt64(d, &as_int) && as_int == v;
-}
-
 // ---- Sources ---------------------------------------------------------------
 
 namespace {
 
+/// Zero-copy scan: emits range views straight over the resident columnar
+/// relation — no per-batch slice copies.
 class ScanSource final : public BatchSource {
  public:
   ScanSource(const ColumnarRelation* rel, int64_t batch_rows, int64_t begin,
@@ -123,10 +132,10 @@ class ScanSource final : public BatchSource {
         end_(len < 0 ? rel->num_rows()
                      : std::min(begin + len, rel->num_rows())) {}
 
-  Result<bool> Next(ColumnBatch* out) override {
+  Result<bool> NextView(SelView* out) override {
     if (pos_ >= end_) return false;
     const int64_t len = std::min(batch_rows_, end_ - pos_);
-    rel_->EmitSlice(pos_, len, out);
+    *out = SelView::Range(&rel_->data(), pos_, len);
     pos_ += len;
     return true;
   }
@@ -138,26 +147,113 @@ class ScanSource final : public BatchSource {
   int64_t end_;
 };
 
+/// Fused select: composes the child view's selection with the predicate's
+/// truthy rows; only the predicate's column footprint is gathered.
 class SelectSource final : public BatchSource {
  public:
   SelectSource(std::unique_ptr<BatchSource> child, ExprPtr bound)
       : BatchSource(child->layout()),
         child_(std::move(child)),
-        bound_(std::move(bound)) {}
+        bound_(std::move(bound)) {
+    ExprColumnFootprint(bound_, layout_->schema.num_columns(), &footprint_);
+  }
 
-  Result<bool> Next(ColumnBatch* out) override {
-    PrepareBatch(layout_, out);
-    GUS_ASSIGN_OR_RETURN(bool more, child_->Next(&scratch_));
+  Result<bool> NextView(SelView* out) override {
+    SelView in;
+    GUS_ASSIGN_OR_RETURN(bool more, child_->NextView(&in));
     if (!more) return false;
-    GUS_RETURN_NOT_OK(EvalPredicateBatch(bound_, scratch_, &sel_));
-    out->GatherFrom(scratch_, sel_);
+    GUS_RETURN_NOT_OK(EvalPredicateView(bound_, in, footprint_,
+                                        &eval_scratch_, &range_scratch_,
+                                        &sel_));
+    *out = SelView::Selection(in.data, sel_);
     return true;
   }
 
  private:
   std::unique_ptr<BatchSource> child_;
   ExprPtr bound_;
-  ColumnBatch scratch_;
+  std::vector<char> footprint_;
+  ColumnBatch eval_scratch_;
+  std::vector<int64_t> range_scratch_;
+  std::vector<int64_t> sel_;
+};
+
+/// \brief Fused Bernoulli sampler: advances the resumable geometric-skip
+/// kernel over the child's logical row stream and composes the kept rows
+/// into the selection — no materialization, ~p rows' worth of Rng draws.
+///
+/// Only instantiated when no other streaming Rng consumer shares the
+/// fragment (see FragmentHasStreamingRngSampler), so the draw order —
+/// hence the keep-set — is bit-identical to the one-shot
+/// BernoulliKeepIndices the row engine and breaker paths use.
+class FusedBernoulliSource final : public BatchSource {
+ public:
+  FusedBernoulliSource(std::unique_ptr<BatchSource> child, double p, Rng* rng)
+      : BatchSource(child->layout()),
+        child_(std::move(child)),
+        state_(p),
+        rng_(rng) {}
+
+  Result<bool> NextView(SelView* out) override {
+    SelView in;
+    GUS_ASSIGN_OR_RETURN(bool more, child_->NextView(&in));
+    if (!more) return false;
+    local_.clear();
+    state_.NextSpan(in.num_rows(), rng_, &local_);
+    sel_.clear();
+    sel_.reserve(local_.size());
+    if (in.contiguous()) {
+      for (const int64_t off : local_) sel_.push_back(in.begin + off);
+    } else {
+      for (const int64_t off : local_) sel_.push_back(in.sel[off]);
+    }
+    *out = SelView::Selection(in.data, sel_);
+    return true;
+  }
+
+ private:
+  std::unique_ptr<BatchSource> child_;
+  SkipBernoulliState state_;
+  Rng* rng_;
+  std::vector<int64_t> local_;
+  std::vector<int64_t> sel_;
+};
+
+/// Fused Section-7 sub-sampler: lineage-hash filter composed into the
+/// selection in one tight loop (no Rng, no Value boxing).
+class FusedLineageBernoulliSource final : public BatchSource {
+ public:
+  FusedLineageBernoulliSource(std::unique_ptr<BatchSource> child, double p,
+                              uint64_t seed, int dim)
+      : BatchSource(child->layout()),
+        child_(std::move(child)),
+        p_(p),
+        seed_(seed),
+        dim_(dim) {}
+
+  Result<bool> NextView(SelView* out) override {
+    SelView in;
+    GUS_ASSIGN_OR_RETURN(bool more, child_->NextView(&in));
+    if (!more) return false;
+    sel_.clear();
+    const int arity = layout_->lineage_arity();
+    const uint64_t* lineage = in.data->lineage().data();
+    if (in.contiguous()) {
+      LineageBernoulliDense(p_, seed_, lineage, arity, dim_, in.begin, in.len,
+                            &sel_);
+    } else {
+      LineageBernoulliGather(p_, seed_, lineage, arity, dim_, in.sel,
+                             in.sel_len, &sel_);
+    }
+    *out = SelView::Selection(in.data, sel_);
+    return true;
+  }
+
+ private:
+  std::unique_ptr<BatchSource> child_;
+  double p_;
+  uint64_t seed_;
+  int dim_;
   std::vector<int64_t> sel_;
 };
 
@@ -198,7 +294,7 @@ class SampleBreakerSource final : public BatchSource {
         rng_(rng),
         batch_rows_(batch_rows) {}
 
-  Result<bool> Next(ColumnBatch* out) override {
+  Result<bool> NextView(SelView* out) override {
     if (!drained_) {
       GUS_ASSIGN_OR_RETURN(mat_, DrainSource(child_.get()));
       const ColumnBatch& data = mat_.data();
@@ -214,17 +310,25 @@ class SampleBreakerSource final : public BatchSource {
       drained_ = true;
     }
     if (pos_ >= static_cast<int64_t>(keep_.size())) return false;
-    PrepareBatch(layout_, out);
     const int64_t len =
         std::min(batch_rows_, static_cast<int64_t>(keep_.size()) - pos_);
     const int64_t* sel = keep_.data() + pos_;
-    out->GatherFrom(mat_.data(), sel, len);
     if (rekey_) {
-      // Block lineage: id = pre-filter row index / block size.
-      auto& lineage = *out->mutable_lineage();
+      // Block lineage re-key (id = pre-filter row index / block size)
+      // mutates rows, so this path gathers into an owned batch.
+      PrepareBatch(layout_, &rekey_scratch_);
+      rekey_scratch_.GatherFrom(mat_.data(), sel, len);
+      auto& lineage = *rekey_scratch_.mutable_lineage();
       for (int64_t k = 0; k < len; ++k) {
         lineage[k] = static_cast<uint64_t>(sel[k] / spec_.block_size);
       }
+      *out = SelView::Whole(&rekey_scratch_);
+    } else {
+      SelView v;
+      v.data = &mat_.data();
+      v.sel = sel;
+      v.sel_len = len;
+      *out = v;
     }
     pos_ += len;
     return true;
@@ -239,6 +343,7 @@ class SampleBreakerSource final : public BatchSource {
   ColumnarRelation mat_;
   std::vector<int64_t> keep_;
   bool rekey_ = false;
+  ColumnBatch rekey_scratch_;
   int64_t pos_ = 0;
 };
 
@@ -259,34 +364,29 @@ class JoinSource final : public BatchSource {
   Result<bool> Next(ColumnBatch* out) override {
     if (!drained_) GUS_RETURN_NOT_OK(DrainAndBuild());
     const ColumnBatch& probe = probe_mat_->data();
-    if (probe_pos_ >= probe.num_rows() && cands_ == nullptr) return false;
+    if (probe_pos_ >= probe.num_rows() && cands_.empty()) return false;
     PrepareBatch(layout_, out);
     const ColumnData& probe_key = probe.column(probe_key_);
     const ColumnData& build_key = build_mat_->data().column(build_key_);
     while (out->num_rows() < batch_rows_) {
-      if (cands_ == nullptr) {
+      if (cands_.empty()) {
         if (probe_pos_ >= probe.num_rows()) break;
         const uint64_t h =
             KeyHashAt(probe_key, probe_pos_, probe_dict_hashes_);
-        auto it = table_.find(h);
-        if (it == table_.end()) {
+        cands_ = table_.Find(h);
+        if (cands_.empty()) {
           ++probe_pos_;
           continue;
         }
-        cands_ = &it->second;
-        cand_pos_ = 0;
       }
-      while (cand_pos_ < cands_->size() && out->num_rows() < batch_rows_) {
-        const int64_t b = (*cands_)[cand_pos_++];
+      while (!cands_.empty() && out->num_rows() < batch_rows_) {
+        const int64_t b = *cands_.begin++;
         if (!KeyEqualsAt(build_key, b, probe_key, probe_pos_)) continue;
         const int64_t li = build_left_ ? b : probe_pos_;
         const int64_t ri = build_left_ ? probe_pos_ : b;
         out->AppendConcatRowFrom(left_mat_.data(), li, right_mat_.data(), ri);
       }
-      if (cand_pos_ >= cands_->size()) {
-        cands_ = nullptr;
-        ++probe_pos_;
-      }
+      if (cands_.empty()) ++probe_pos_;
     }
     return true;
   }
@@ -302,12 +402,8 @@ class JoinSource final : public BatchSource {
     build_key_ = build_left_ ? left_key_ : right_key_;
     probe_key_ = build_left_ ? right_key_ : left_key_;
     const ColumnData& key = build_mat_->data().column(build_key_);
-    build_dict_hashes_ = DictKeyHashes(key);
     probe_dict_hashes_ = DictKeyHashes(probe_mat_->data().column(probe_key_));
-    table_.reserve(static_cast<size_t>(build_mat_->num_rows()));
-    for (int64_t i = 0; i < build_mat_->num_rows(); ++i) {
-      table_[KeyHashAt(key, i, build_dict_hashes_)].push_back(i);
-    }
+    GUS_RETURN_NOT_OK(table_.BuildFrom(key, build_mat_->num_rows()));
     drained_ = true;
     return Status::OK();
   }
@@ -323,11 +419,10 @@ class JoinSource final : public BatchSource {
   const ColumnarRelation* build_mat_ = nullptr;
   const ColumnarRelation* probe_mat_ = nullptr;
   int build_key_ = 0, probe_key_ = 0;
-  std::vector<uint64_t> build_dict_hashes_, probe_dict_hashes_;
-  std::unordered_map<uint64_t, std::vector<int64_t>> table_;
+  std::vector<uint64_t> probe_dict_hashes_;
+  JoinHashTable table_;
   int64_t probe_pos_ = 0;
-  const std::vector<int64_t>* cands_ = nullptr;
-  size_t cand_pos_ = 0;
+  JoinHashTable::Range cands_;
 };
 
 /// Cross product: breaker on both inputs, left-major streaming output.
@@ -487,9 +582,60 @@ Result<std::unique_ptr<BatchSource>> MakeSelectSource(
 
 Result<std::unique_ptr<BatchSource>> MakeSampleSource(
     std::unique_ptr<BatchSource> child, const SamplingSpec& spec, Rng* rng,
-    int64_t batch_rows) {
+    int64_t batch_rows, bool stream_ok) {
+  GUS_RETURN_NOT_OK(spec.Validate());
+  switch (spec.method) {
+    case SamplingMethod::kLineageBernoulli: {
+      // Pure function of (seed, lineage id): always fuses.
+      const auto& ls = child->layout()->lineage_schema;
+      const auto it = std::find(ls.begin(), ls.end(), spec.lineage_relation);
+      if (it == ls.end()) {
+        return Status::KeyError("relation '" + spec.lineage_relation +
+                                "' not in the input's lineage schema");
+      }
+      const int dim = static_cast<int>(it - ls.begin());
+      return std::unique_ptr<BatchSource>(new FusedLineageBernoulliSource(
+          std::move(child), spec.p, spec.seed, dim));
+    }
+    case SamplingMethod::kBernoulli:
+      if (stream_ok) {
+        return std::unique_ptr<BatchSource>(
+            new FusedBernoulliSource(std::move(child), spec.p, rng));
+      }
+      break;
+    default:
+      break;
+  }
   return std::unique_ptr<BatchSource>(
       new SampleBreakerSource(std::move(child), spec, rng, batch_rows));
+}
+
+bool FragmentHasStreamingRngSampler(const PlanPtr& plan, ExecMode mode) {
+  if (mode == ExecMode::kExact) return false;  // samplers are no-ops
+  switch (plan->op()) {
+    case PlanOp::kScan:
+      return false;
+    case PlanOp::kSelect:
+      return FragmentHasStreamingRngSampler(plan->child(), mode);
+    case PlanOp::kSample:
+      switch (plan->spec().method) {
+        case SamplingMethod::kLineageBernoulli:
+          // Streams but consumes no Rng: transparent to the fragment.
+          return FragmentHasStreamingRngSampler(plan->child(), mode);
+        case SamplingMethod::kBernoulli:
+          // Streams iff nothing below already does; otherwise it runs as
+          // a breaker, which resets the fragment above it.
+          return !FragmentHasStreamingRngSampler(plan->child(), mode);
+        default:
+          return false;  // fixed-size / block samplers are breakers
+      }
+    case PlanOp::kJoin:
+    case PlanOp::kProduct:
+    case PlanOp::kUnion:
+      // Breakers drain their subtrees (all draws done) before emitting.
+      return false;
+  }
+  return false;
 }
 
 Result<std::unique_ptr<BatchSource>> CompileBatchPipeline(
@@ -524,8 +670,10 @@ Result<std::unique_ptr<BatchSource>> CompileBatchPipeline(
         }
         return child;
       }
-      return std::unique_ptr<BatchSource>(new SampleBreakerSource(
-          std::move(child), plan->spec(), rng, batch_rows));
+      const bool stream_ok =
+          !FragmentHasStreamingRngSampler(plan->child(), mode);
+      return MakeSampleSource(std::move(child), plan->spec(), rng,
+                              batch_rows, stream_ok);
     }
     case PlanOp::kSelect: {
       GUS_ASSIGN_OR_RETURN(
@@ -613,14 +761,7 @@ Status ExecutePlanToSink(const PlanPtr& plan, ColumnarCatalog* catalog,
   GUS_ASSIGN_OR_RETURN(
       std::unique_ptr<BatchSource> pipeline,
       CompileBatchPipeline(plan, catalog, rng, mode, batch_rows));
-  ColumnBatch batch;
-  while (true) {
-    GUS_ASSIGN_OR_RETURN(bool more, pipeline->Next(&batch));
-    if (!more) break;
-    if (batch.num_rows() == 0) continue;
-    GUS_RETURN_NOT_OK(sink->Consume(batch));
-  }
-  return Status::OK();
+  return PumpToSink(pipeline.get(), sink);
 }
 
 }  // namespace gus

@@ -2,29 +2,40 @@
 //
 // The plan compiles into a pull-based pipeline of batch operators:
 //
-//   scan            streams slices of the (cached) columnar base relation
-//   select          vectorized predicate -> selection vector -> gather
+//   scan            zero-copy range views over the (cached) columnar base
+//                   relation
+//   select          vectorized predicate over the incoming view's rows ->
+//                   composed selection vector (only the predicate's column
+//                   footprint is ever gathered)
 //   sample          exact mode: pass-through (block sampling re-keys
-//                   lineage on the fly); sampled mode: pipeline breaker —
-//                   the child materializes, the shared index-selection core
-//                   (sampling/samplers.h) draws the kept rows, and the
-//                   output streams again
+//                   lineage on the fly); sampled mode: Bernoulli and
+//                   lineage-Bernoulli fuse as streaming selection
+//                   composers over the geometric-skip / lineage-hash
+//                   kernels (kernels/sampling_kernels.h); fixed-size and
+//                   block samplers stay pipeline breakers through the
+//                   shared index-selection core (sampling/samplers.h)
 //   join            breaker on both inputs (build on the smaller, exactly
-//                   like the row engine), streaming probe output
+//                   like the row engine) into a flat open-addressing
+//                   JoinHashTable (kernels/join_hash_table.h), streaming
+//                   probe output
 //   product/union   breakers; union dedups by lineage hash, streaming out
 //
-// Only breakers materialize; chains of scan/select/exact-sample/join-probe
-// stream ColumnBatches of ExecOptions::batch_rows rows (default
-// kDefaultBatchRows). The top of the pipeline either
-// materializes into a ColumnarRelation (ExecutePlanColumnar) or pushes
-// straight into a BatchSink (ExecutePlanToSink) — the latter is how the
-// estimators consume the (lineage, f) stream without ever materializing
-// the final relation (est/streaming.h).
+// Fused chains of scan/select/streaming-sample exchange SelViews —
+// selection vectors over borrowed batches — and gather exactly once, at
+// the next breaker or at the sink (see BatchSource::NextView). The top of
+// the pipeline either materializes into a ColumnarRelation
+// (ExecutePlanColumnar) or pushes straight into a BatchSink
+// (ExecutePlanToSink) — the latter is how the estimators consume the
+// (lineage, f) stream without ever materializing the final relation
+// (est/streaming.h).
 //
-// Engine parity: because sampling decisions come from the shared index
-// core and the pipeline drains sub-plans in the row engine's post-order
-// (left fully before right, children before samplers), a (plan, catalog,
-// seed, mode) pair produces identical rows and lineage under both engines.
+// Engine parity: sampling decisions come from the shared kernels, the
+// pipeline drains sub-plans in the row engine's post-order (left fully
+// before right, children before breaker samplers), and a Bernoulli
+// sampler only fuses when no other streaming Rng consumer shares its
+// fragment (FragmentHasStreamingRngSampler) — so the Rng consumption
+// order, and therefore every row and lineage value, is identical across
+// both engines for a (plan, catalog, seed, mode) pair.
 
 #ifndef GUS_PLAN_COLUMNAR_EXECUTOR_H_
 #define GUS_PLAN_COLUMNAR_EXECUTOR_H_
@@ -34,6 +45,7 @@
 #include <string>
 #include <vector>
 
+#include "kernels/key_hash.h"
 #include "plan/executor.h"
 #include "plan/plan_node.h"
 #include "rel/column_batch.h"
@@ -60,6 +72,20 @@ class ColumnarCatalog {
 };
 
 /// \brief Pull iterator over a stream of column batches.
+///
+/// Two pull surfaces, each with a default implemented via the other (a
+/// concrete source overrides at least one):
+///
+///   * Next(out)     — the classic materializing pull: rows gathered into
+///                     a caller-owned batch.
+///   * NextView(out) — the fused pull: a SelView over producer-owned data.
+///                     Selection-composing operators (scan, select,
+///                     streaming samplers) override this one and never
+///                     gather; consumers that need materialized rows
+///                     (breakers, sinks) gather once, at their boundary.
+///
+/// A returned view borrows the producer's storage and stays valid until
+/// the next pull on this source.
 class BatchSource {
  public:
   virtual ~BatchSource() = default;
@@ -70,12 +96,22 @@ class BatchSource {
   ///
   /// Returns false when the stream is exhausted; a true return may carry an
   /// empty batch (e.g. a fully-filtered chunk) and callers keep pulling.
-  virtual Result<bool> Next(ColumnBatch* out) = 0;
+  /// Default: NextView + one gather.
+  virtual Result<bool> Next(ColumnBatch* out);
+
+  /// \brief Pulls the next rows as a selection view (see class comment).
+  ///
+  /// Same exhaustion protocol as Next; a true return may carry an empty
+  /// view. Default: Next into an internal scratch batch, viewed whole.
+  virtual Result<bool> NextView(SelView* out);
 
  protected:
   explicit BatchSource(LayoutPtr layout) : layout_(std::move(layout)) {}
 
   LayoutPtr layout_;
+
+ private:
+  ColumnBatch view_scratch_;  // backs the default NextView only
 };
 
 // ---- Shared pipeline building blocks ---------------------------------------
@@ -95,31 +131,45 @@ std::unique_ptr<BatchSource> MakeScanSource(const ColumnarRelation* rel,
 Result<std::unique_ptr<BatchSource>> MakeSelectSource(
     std::unique_ptr<BatchSource> child, const ExprPtr& predicate);
 
-/// Sampled-mode sampler over `child` (pipeline breaker routed through the
-/// shared index-selection core; `rng` must outlive the source).
+/// \brief Sampled-mode sampler over `child`.
+///
+/// Lineage-seeded Bernoulli always fuses (selection-composing, consumes no
+/// Rng). Plain Bernoulli fuses when `stream_ok` — the caller asserts no
+/// other *streaming* Rng-consuming sampler is live below in the same
+/// pipeline fragment, so the geometric-skip draws interleave with nothing
+/// and match the one-shot order (see FragmentHasStreamingRngSampler).
+/// Everything else is a pipeline breaker routed through the shared
+/// index-selection core. `rng` must outlive the source.
 Result<std::unique_ptr<BatchSource>> MakeSampleSource(
     std::unique_ptr<BatchSource> child, const SamplingSpec& spec, Rng* rng,
-    int64_t batch_rows);
+    int64_t batch_rows, bool stream_ok);
 
-/// Fully drains a source into a materialized columnar relation.
+/// \brief True when `plan`'s subtree, within the current streaming
+/// fragment (stopping at pipeline breakers), contains a sampler that will
+/// execute as a *streaming* Rng consumer.
+///
+/// A plain-Bernoulli sampler may fuse only when this is false for its
+/// child: two streaming Rng consumers in one fragment would interleave
+/// their draws batch-by-batch, diverging from the row engine's post-order
+/// consumption. Breakers (joins, products, unions, fixed-size and block
+/// samplers — and a Bernoulli that itself broke) drain everything below
+/// them before emitting a row, so they reset the fragment.
+bool FragmentHasStreamingRngSampler(const PlanPtr& plan, ExecMode mode);
+
+/// Fully drains a source into a materialized columnar relation (one gather
+/// per pulled view).
 Result<ColumnarRelation> DrainSource(BatchSource* src);
+
+/// \brief Runs `pipeline` to exhaustion, pushing batches into `sink`.
+///
+/// Views that already cover a whole producer-owned batch pass through
+/// without a copy; everything else gathers once into an internal scratch.
+Status PumpToSink(BatchSource* pipeline, BatchSink* sink);
 
 /// Concatenated layout of two join/product inputs; fails on column-name or
 /// lineage overlap.
 Result<LayoutPtr> ConcatBatchLayouts(const BatchLayout& left,
                                      const BatchLayout& right);
-
-/// Per-dictionary key hashes for a string column (agrees with Value::Hash);
-/// empty for non-string columns.
-std::vector<uint64_t> DictKeyHashes(const ColumnData& col);
-
-/// Join-key hash of row `i` (dict_hashes from DictKeyHashes for strings).
-uint64_t KeyHashAt(const ColumnData& col, int64_t i,
-                   const std::vector<uint64_t>& dict_hashes);
-
-/// Typed join-key equality mirroring Value::KeyEquals.
-bool KeyEqualsAt(const ColumnData& a, int64_t i, const ColumnData& b,
-                 int64_t j);
 
 /// Resets `out` to `layout` (or just clears it when already laid out).
 void PrepareBatch(const LayoutPtr& layout, ColumnBatch* out);

@@ -46,8 +46,13 @@ enum class ExecEngine { kRowAtATime, kColumnar, kMorselParallel };
 /// Default rows per columnar pipeline batch.
 inline constexpr int64_t kDefaultBatchRows = 2048;
 
-/// Default rows per parallel-execution morsel (thread-count independent).
+/// Fallback rows per parallel-execution morsel (used by callers that want
+/// a fixed, thread-count-independent split without auto sizing).
 inline constexpr int64_t kDefaultMorselRows = 32768;
+
+/// Clamp bounds for auto morsel sizing (ExecOptions::morsel_rows == 0).
+inline constexpr int64_t kMinAutoMorselRows = 8192;
+inline constexpr int64_t kMaxAutoMorselRows = 131072;
 
 /// \brief Execution knobs shared by every engine entry point.
 struct ExecOptions {
@@ -56,16 +61,24 @@ struct ExecOptions {
   int num_threads = 1;
   /// Rows per columnar pipeline batch (>= 1).
   int64_t batch_rows = kDefaultBatchRows;
-  /// Rows per morsel for kMorselParallel (>= 1). Part of the result's
-  /// identity: changing it changes which forked Rng stream draws each row.
-  int64_t morsel_rows = kDefaultMorselRows;
+  /// \brief Rows per morsel for kMorselParallel.
+  ///
+  /// 0 (the default) sizes morsels automatically from the pivot relation's
+  /// row count and num_threads (at least four morsels per worker, clamped
+  /// to [kMinAutoMorselRows, kMaxAutoMorselRows]). An explicit value >= 1
+  /// is authoritative and part of the result's identity: it fixes which
+  /// forked Rng stream draws each row, making results reproducible across
+  /// thread counts — auto-sized runs reproduce only at a fixed
+  /// num_threads, because the heuristic reads it.
+  int64_t morsel_rows = 0;
 
   Status Validate() const {
     if (batch_rows < 1) {
       return Status::InvalidArgument("ExecOptions::batch_rows must be >= 1");
     }
-    if (morsel_rows < 1) {
-      return Status::InvalidArgument("ExecOptions::morsel_rows must be >= 1");
+    if (morsel_rows < 0) {
+      return Status::InvalidArgument(
+          "ExecOptions::morsel_rows must be >= 1, or 0 for auto sizing");
     }
     if (num_threads < 1) {
       return Status::InvalidArgument("ExecOptions::num_threads must be >= 1");

@@ -3,10 +3,11 @@
 #include <algorithm>
 #include <map>
 #include <mutex>
-#include <unordered_map>
 #include <utility>
 #include <vector>
 
+#include "kernels/join_hash_table.h"
+#include "kernels/key_hash.h"
 #include "util/logging.h"
 #include "util/thread_pool.h"
 
@@ -87,11 +88,11 @@ void CollectPivots(const PlanPtr& plan, ExecMode mode,
   }
 }
 
-/// Shared, read-only per-join state probed concurrently by every morsel.
+/// Shared, read-only per-join state probed concurrently by every morsel
+/// (the JoinHashTable is immutable after Build — no synchronization).
 struct SharedJoinBuild {
   ColumnarRelation build_mat;  // the non-pivot side, materialized once
-  std::unordered_map<uint64_t, std::vector<int64_t>> table;
-  std::vector<uint64_t> build_dict_hashes;
+  JoinHashTable table;
   int build_key = 0;  // key column within build_mat's schema
   int probe_key = 0;  // key column within the pivot-side layout
   bool pivot_is_left = true;
@@ -136,30 +137,32 @@ class SharedJoinProbeSource final : public BatchSource {
     const ColumnData& build_key = build_data.column(build_->build_key);
     while (out->num_rows() < batch_rows_) {
       if (probe_pos_ >= probe_.num_rows()) {
-        GUS_ASSIGN_OR_RETURN(bool more, child_->Next(&probe_));
+        // Fused pull: the probe rows arrive as a selection view over the
+        // child's storage — no gather of the pivot chain's output.
+        GUS_ASSIGN_OR_RETURN(bool more, child_->NextView(&probe_));
         if (!more) {
           done_ = true;
           break;
         }
         probe_pos_ = 0;
-        const ColumnData& key = probe_.column(build_->probe_key);
+        const ColumnData& key = probe_.data->column(build_->probe_key);
         if (key.type == ValueType::kString && key.dict != probe_dict_) {
           probe_dict_ = key.dict;
           probe_dict_hashes_ = DictKeyHashes(key);
         }
         continue;
       }
-      const ColumnData& probe_key = probe_.column(build_->probe_key);
-      const uint64_t h = KeyHashAt(probe_key, probe_pos_, probe_dict_hashes_);
-      auto it = build_->table.find(h);
-      if (it != build_->table.end()) {
-        for (const int64_t b : it->second) {
-          if (!KeyEqualsAt(build_key, b, probe_key, probe_pos_)) continue;
-          if (build_->pivot_is_left) {
-            out->AppendConcatRowFrom(probe_, probe_pos_, build_data, b);
-          } else {
-            out->AppendConcatRowFrom(build_data, b, probe_, probe_pos_);
-          }
+      const ColumnData& probe_key = probe_.data->column(build_->probe_key);
+      const int64_t row = probe_.row(probe_pos_);
+      const uint64_t h = KeyHashAt(probe_key, row, probe_dict_hashes_);
+      const JoinHashTable::Range cands = build_->table.Find(h);
+      for (const int64_t* p = cands.begin; p != cands.end; ++p) {
+        const int64_t b = *p;
+        if (!KeyEqualsAt(build_key, b, probe_key, row)) continue;
+        if (build_->pivot_is_left) {
+          out->AppendConcatRowFrom(*probe_.data, row, build_data, b);
+        } else {
+          out->AppendConcatRowFrom(build_data, b, *probe_.data, row);
         }
       }
       ++probe_pos_;
@@ -172,7 +175,7 @@ class SharedJoinProbeSource final : public BatchSource {
   std::unique_ptr<BatchSource> child_;
   std::shared_ptr<SharedJoinBuild> build_;
   int64_t batch_rows_;
-  ColumnBatch probe_;
+  SelView probe_;
   int64_t probe_pos_ = 0;
   DictPtr probe_dict_;
   std::vector<uint64_t> probe_dict_hashes_;
@@ -197,7 +200,7 @@ class SharedProductSource final : public BatchSource {
     const int64_t n_other = other.num_rows();
     while (out->num_rows() < batch_rows_) {
       if (i_ >= pivot_.num_rows()) {
-        GUS_ASSIGN_OR_RETURN(bool more, child_->Next(&pivot_));
+        GUS_ASSIGN_OR_RETURN(bool more, child_->NextView(&pivot_));
         if (!more) {
           done_ = true;
           break;
@@ -210,10 +213,11 @@ class SharedProductSource final : public BatchSource {
         i_ = pivot_.num_rows();
         continue;
       }
+      const int64_t row = pivot_.row(i_);
       if (side_->pivot_is_left) {
-        out->AppendConcatRowFrom(pivot_, i_, other, j_);
+        out->AppendConcatRowFrom(*pivot_.data, row, other, j_);
       } else {
-        out->AppendConcatRowFrom(other, j_, pivot_, i_);
+        out->AppendConcatRowFrom(other, j_, *pivot_.data, row);
       }
       if (++j_ >= n_other) {
         j_ = 0;
@@ -228,7 +232,7 @@ class SharedProductSource final : public BatchSource {
   std::unique_ptr<BatchSource> child_;
   std::shared_ptr<SharedProductSide> side_;
   int64_t batch_rows_;
-  ColumnBatch pivot_;
+  SelView pivot_;
   int64_t i_ = 0, j_ = 0;
   bool done_ = false;
 };
@@ -254,6 +258,11 @@ struct MorselPlan {
     const int64_t len = std::min(morsel_rows, pivot_rel->num_rows() - begin);
     std::unique_ptr<BatchSource> src =
         MakeScanSource(pivot_rel, batch_rows, begin, len);
+    // Same fragment discipline as the serial engine: at most one streaming
+    // Rng-consuming sampler per fragment, later ones break. (Per-morsel
+    // determinism would tolerate interleaved streams, but one rule
+    // everywhere keeps the draw-order reasoning uniform.)
+    bool streaming_rng_live = false;
     for (const CompiledStep& step : steps) {
       switch (step.op) {
         case PlanOp::kSelect: {
@@ -263,9 +272,18 @@ struct MorselPlan {
         }
         case PlanOp::kSample: {
           if (mode == ExecMode::kExact) break;  // no-op (safe methods only)
+          const bool is_bernoulli =
+              step.node->spec().method == SamplingMethod::kBernoulli;
+          const bool stream_ok = !streaming_rng_live;
           GUS_ASSIGN_OR_RETURN(
               src, MakeSampleSource(std::move(src), step.node->spec(), rng,
-                                    batch_rows));
+                                    batch_rows, stream_ok));
+          if (is_bernoulli) {
+            // Streamed: the fragment now has a live Rng consumer. Broke:
+            // everything below (this sampler included) finishes its draws
+            // before a row leaves the breaker, so the fragment resets.
+            streaming_rng_live = stream_ok;
+          }
           break;
         }
         case PlanOp::kJoin:
@@ -301,6 +319,20 @@ Result<const PivotCandidate*> ChoosePivot(
   return best;
 }
 
+/// \brief Auto morsel sizing (ExecOptions::morsel_rows == 0): at least
+/// four morsels per worker for scheduling slack, clamped to
+/// [kMinAutoMorselRows, kMaxAutoMorselRows].
+///
+/// Deterministic in (pivot rows, num_threads) — but because it reads
+/// num_threads, auto-sized results are only reproducible at a fixed
+/// thread count; callers needing thread-count-invariant draws set
+/// morsel_rows explicitly (the knob stays authoritative).
+int64_t AutoMorselRows(int64_t pivot_rows, int num_threads) {
+  const int64_t morsels_wanted = int64_t{4} * std::max(1, num_threads);
+  const int64_t rows = (pivot_rows + morsels_wanted - 1) / morsels_wanted;
+  return std::clamp(rows, kMinAutoMorselRows, kMaxAutoMorselRows);
+}
+
 /// \brief Builds the shared morsel-plan state: resolves the pivot relation,
 /// executes every non-pivot subtree serially with `rng`, binds predicates,
 /// and pre-builds join hash tables.
@@ -309,11 +341,14 @@ Result<MorselPlan> PrepareMorselPlan(const PivotCandidate& pivot,
                                      ExecMode mode,
                                      const ExecOptions& options) {
   MorselPlan plan;
-  plan.morsel_rows = options.morsel_rows;
   plan.batch_rows = options.batch_rows;
   plan.mode = mode;
   GUS_ASSIGN_OR_RETURN(plan.pivot_rel,
                        catalog->Get(pivot.scan->relation()));
+  plan.morsel_rows =
+      options.morsel_rows > 0
+          ? options.morsel_rows
+          : AutoMorselRows(plan.pivot_rel->num_rows(), options.num_threads);
 
   LayoutPtr layout = plan.pivot_rel->layout_ptr();
   for (const PathStep& step : pivot.path) {
@@ -359,13 +394,8 @@ Result<MorselPlan> PrepareMorselPlan(const PivotCandidate& pivot,
                                : ConcatBatchLayouts(build_side, pivot_side));
         const ColumnData& key =
             build->build_mat.data().column(build->build_key);
-        build->build_dict_hashes = DictKeyHashes(key);
-        build->table.reserve(
-            static_cast<size_t>(build->build_mat.num_rows()));
-        for (int64_t i = 0; i < build->build_mat.num_rows(); ++i) {
-          build->table[KeyHashAt(key, i, build->build_dict_hashes)]
-              .push_back(i);
-        }
+        GUS_RETURN_NOT_OK(
+            build->table.BuildFrom(key, build->build_mat.num_rows()));
         layout = build->out_layout;
         compiled.join = std::move(build);
         break;
@@ -444,13 +474,7 @@ Status ParallelExecutePlanToSink(const PlanPtr& plan, ColumnarCatalog* catalog,
         CompileBatchPipeline(plan, catalog, rng, mode, options.batch_rows));
     GUS_ASSIGN_OR_RETURN(std::unique_ptr<MergeableBatchSink> sink,
                          make_sink(*pipeline->layout()));
-    ColumnBatch batch;
-    while (true) {
-      GUS_ASSIGN_OR_RETURN(bool more, pipeline->Next(&batch));
-      if (!more) break;
-      if (batch.num_rows() == 0) continue;
-      GUS_RETURN_NOT_OK(sink->Consume(batch));
-    }
+    GUS_RETURN_NOT_OK(PumpToSink(pipeline.get(), sink.get()));
     *out = std::move(sink);
     return Status::OK();
   }
@@ -507,18 +531,7 @@ Status ParallelExecutePlanToSink(const PlanPtr& plan, ColumnarCatalog* catalog,
       }
       std::unique_ptr<BatchSource> pipeline =
           std::move(pipeline_or).ValueOrDie();
-      ColumnBatch batch;
-      while (true) {
-        auto more_or = pipeline->Next(&batch);
-        if (!more_or.ok()) {
-          status = more_or.status();
-          break;
-        }
-        if (!more_or.ValueOrDie()) break;
-        if (batch.num_rows() == 0) continue;
-        status = sink->Consume(batch);
-        if (!status.ok()) break;
-      }
+      status = PumpToSink(pipeline.get(), sink.get());
     } while (false);
 
     {

@@ -25,9 +25,12 @@
 // per-morsel Rng only on (seed, morsel index), and per-morsel sinks are
 // folded in strictly ascending morsel order — so for a fixed (plan,
 // catalog, seed, options) the merged result is bit-identical across
-// repeated runs AND across num_threads values. The draw differs from the
-// serial engines' (different Rng streams) but follows the same design, so
-// estimator unbiasedness and the Theorem 1 analysis are unaffected.
+// repeated runs AND, with an explicit morsel_rows, across num_threads
+// values (auto sizing — morsel_rows = 0 — derives the split from the
+// thread count, so it reproduces only at a fixed num_threads). The draw
+// differs from the serial engines' (different Rng streams) but follows
+// the same design, so estimator unbiasedness and the Theorem 1 analysis
+// are unaffected.
 
 #ifndef GUS_PLAN_PARALLEL_EXECUTOR_H_
 #define GUS_PLAN_PARALLEL_EXECUTOR_H_

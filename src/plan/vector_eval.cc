@@ -313,6 +313,45 @@ Status EvalPredicateBatch(const ExprPtr& bound, const ColumnBatch& batch,
   return Status::OK();
 }
 
+void ExprColumnFootprint(const ExprPtr& bound, int num_columns,
+                         std::vector<char>* out) {
+  out->assign(static_cast<size_t>(num_columns), 0);
+  CollectColumns(*bound, out);
+}
+
+Status EvalPredicateView(const ExprPtr& bound, const SelView& view,
+                         const std::vector<char>& footprint,
+                         ColumnBatch* scratch,
+                         std::vector<int64_t>* range_scratch,
+                         std::vector<int64_t>* sel_out) {
+  sel_out->clear();
+  if (view.num_rows() == 0) return Status::OK();
+  if (view.whole_batch()) {
+    // The view is a whole batch already: no gather, indexes line up.
+    return EvalPredicateBatch(bound, *view.data, sel_out);
+  }
+  const int64_t* sel = view.sel;
+  int64_t len = view.sel_len;
+  if (view.contiguous()) {
+    range_scratch->resize(static_cast<size_t>(view.len));
+    for (int64_t i = 0; i < view.len; ++i) {
+      (*range_scratch)[i] = view.begin + i;
+    }
+    sel = range_scratch->data();
+    len = view.len;
+  }
+  if (scratch->layout_ptr() != view.data->layout_ptr()) {
+    scratch->ResetLayout(view.data->layout_ptr());
+  } else {
+    scratch->Clear();
+  }
+  scratch->GatherColumnsFrom(*view.data, sel, len, footprint);
+  GUS_RETURN_NOT_OK(EvalPredicateBatch(bound, *scratch, sel_out));
+  // Remap scratch-local positions back to underlying row indexes in place.
+  for (int64_t& k : *sel_out) k = sel[k];
+  return Status::OK();
+}
+
 Status EvalExprBatchToDoubles(const ExprPtr& bound, const ColumnBatch& batch,
                               const char* type_error_message,
                               std::vector<double>* out) {

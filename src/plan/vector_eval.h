@@ -31,6 +31,25 @@ Result<ColumnData> EvalExprBatch(const ExprPtr& bound, const ColumnBatch& batch)
 Status EvalPredicateBatch(const ExprPtr& bound, const ColumnBatch& batch,
                           std::vector<int64_t>* sel);
 
+/// Marks the columns a *bound* expression reads (out[i] = 1); `out` is
+/// sized to `num_columns` and zeroed first.
+void ExprColumnFootprint(const ExprPtr& bound, int num_columns,
+                         std::vector<char>* out);
+
+/// \brief Fused-select core: evaluates a bound predicate over the rows of
+/// `view` and appends the truthy rows' *underlying* indexes (into
+/// view.data) to `sel_out` (cleared first).
+///
+/// Only the predicate's column footprint is gathered (into `scratch`,
+/// reused across calls); the full-width row is never copied. Row-level
+/// semantics — promotion, short-circuit, error messages — are exactly
+/// EvalPredicateBatch's, applied to the view's row sequence.
+Status EvalPredicateView(const ExprPtr& bound, const SelView& view,
+                         const std::vector<char>& footprint,
+                         ColumnBatch* scratch,
+                         std::vector<int64_t>* range_scratch,
+                         std::vector<int64_t>* sel_out);
+
 /// \brief Evaluates a bound numeric expression and *appends* each row's
 /// value, widened to double, to `out` — no intermediate column copies
 /// (the streaming estimators' hot path). Fails with

@@ -185,6 +185,53 @@ class ColumnBatch {
   int64_t num_rows_ = 0;
 };
 
+/// \brief A selection of rows over a borrowed ColumnBatch — the unit the
+/// fused pipeline operators exchange instead of gathered batches.
+///
+/// Two shapes: a contiguous range [begin, begin + len) when `sel` is null
+/// (scans, whole materialized batches), or an explicit selection vector
+/// sel[0..sel_len) of row indexes into `data` (post-filter, post-sampler).
+/// Selection-composing operators (select, streaming samplers) intersect
+/// selections without copying column data; the gather happens once, at a
+/// pipeline breaker or at the sink. Both `data` and `sel` are borrowed:
+/// they stay valid until the producing source's next pull.
+struct SelView {
+  const ColumnBatch* data = nullptr;
+  int64_t begin = 0;
+  int64_t len = 0;
+  const int64_t* sel = nullptr;
+  int64_t sel_len = 0;
+
+  bool contiguous() const { return sel == nullptr; }
+  int64_t num_rows() const { return contiguous() ? len : sel_len; }
+  /// Underlying row index of the view's k-th row.
+  int64_t row(int64_t k) const { return contiguous() ? begin + k : sel[k]; }
+  /// True when the view covers `data` in full (pass-through shortcut).
+  bool whole_batch() const {
+    return contiguous() && begin == 0 && data != nullptr &&
+           len == data->num_rows();
+  }
+
+  static SelView Range(const ColumnBatch* batch, int64_t begin, int64_t len) {
+    SelView v;
+    v.data = batch;
+    v.begin = begin;
+    v.len = len;
+    return v;
+  }
+  static SelView Whole(const ColumnBatch* batch) {
+    return Range(batch, 0, batch->num_rows());
+  }
+  static SelView Selection(const ColumnBatch* batch,
+                           const std::vector<int64_t>& sel) {
+    SelView v;
+    v.data = batch;
+    v.sel = sel.data();
+    v.sel_len = static_cast<int64_t>(sel.size());
+    return v;
+  }
+};
+
 /// \brief A fully materialized table in columnar layout.
 class ColumnarRelation {
  public:

@@ -1,8 +1,8 @@
 #include "rel/operators.h"
 
-#include <unordered_map>
 #include <unordered_set>
 
+#include "kernels/join_hash_table.h"
 #include "util/hash.h"
 #include "util/logging.h"
 
@@ -115,16 +115,35 @@ Result<Relation> HashJoin(const Relation& left, const Relation& right,
   const int bk = build_left ? lk : rk;
   const int pk = build_left ? rk : lk;
 
-  // Hash -> build-row indexes in input order. The explicit vector (rather
-  // than an unordered_multimap) pins the match order to build input order,
-  // making the output deterministic and identical across both execution
-  // engines. Key matching uses KeyEquals, so equal numeric keys join even
-  // when the two columns differ in type (int64 vs float64).
-  std::unordered_map<uint64_t, std::vector<int64_t>> table;
-  table.reserve(static_cast<size_t>(build.num_rows()));
+  // Flat open-addressing build (kernels/join_hash_table.h): candidates per
+  // hash come back in build input order, pinning the match order and
+  // keeping the output deterministic and identical across all engines.
+  // Key matching uses KeyEquals, so equal numeric keys join even when the
+  // two columns differ in type (int64 vs float64); a true 64-bit collision
+  // between distinct build keys fails loudly at build.
+  std::vector<uint64_t> hashes(static_cast<size_t>(build.num_rows()));
   for (int64_t i = 0; i < build.num_rows(); ++i) {
-    table[build.row(i)[bk].Hash()].push_back(i);
+    hashes[i] = build.row(i)[bk].Hash();
   }
+  JoinHashTable table;
+  GUS_RETURN_NOT_OK(table.Build(
+      hashes.data(), build.num_rows(), [&build, bk](int64_t i, int64_t j) {
+        // Not a true collision when the keys compare equal OR are
+        // bit-identical floats (e.g. two NaNs — same hash input, but
+        // unequal under ==; they simply never match at probe time).
+        const Value& a = build.row(i)[bk];
+        const Value& b = build.row(j)[bk];
+        if (a.KeyEquals(b)) return true;
+        if (a.type() == ValueType::kFloat64 &&
+            b.type() == ValueType::kFloat64) {
+          uint64_t ab, bb;
+          const double ad = a.AsFloat64(), bd = b.AsFloat64();
+          __builtin_memcpy(&ab, &ad, sizeof(ab));
+          __builtin_memcpy(&bb, &bd, sizeof(bb));
+          return ab == bb;
+        }
+        return false;
+      }));
 
   Relation out(std::move(schema), ConcatLineageSchema(left, right));
   // Most probe rows match ~1 build row in the paper's workloads; a
@@ -132,10 +151,10 @@ Result<Relation> HashJoin(const Relation& left, const Relation& right,
   out.Reserve(probe.num_rows());
   for (int64_t j = 0; j < probe.num_rows(); ++j) {
     const Value& key = probe.row(j)[pk];
-    auto it = table.find(key.Hash());
-    if (it == table.end()) continue;
-    for (const int64_t i : it->second) {
-      if (!build.row(i)[bk].KeyEquals(key)) continue;  // hash collision
+    const JoinHashTable::Range cands = table.Find(key.Hash());
+    for (const int64_t* p = cands.begin; p != cands.end; ++p) {
+      const int64_t i = *p;
+      if (!build.row(i)[bk].KeyEquals(key)) continue;  // cross-type recheck
       const Row& lrow = build_left ? build.row(i) : probe.row(j);
       const Row& rrow = build_left ? probe.row(j) : build.row(i);
       const LineageRow& llin = build_left ? build.lineage(i) : probe.lineage(j);

@@ -2,10 +2,10 @@
 
 #include <algorithm>
 #include <numeric>
-#include <unordered_map>
 #include <unordered_set>
 #include <vector>
 
+#include "kernels/sampling_kernels.h"
 #include "util/hash.h"
 #include "util/logging.h"
 
@@ -35,10 +35,11 @@ Result<std::vector<int64_t>> BernoulliKeepIndices(int64_t num_rows, double p,
   if (!(p >= 0.0 && p <= 1.0)) {
     return Status::InvalidArgument("Bernoulli p must be in [0,1]");
   }
+  // Geometric-skip kernel: ~pN + 1 draws instead of N. Every engine draws
+  // through this one kernel (one-shot here, span-resumed in the fused
+  // streaming sampler), so keep-sets stay bit-identical across engines.
   std::vector<int64_t> keep;
-  for (int64_t i = 0; i < num_rows; ++i) {
-    if (rng->Bernoulli(p)) keep.push_back(i);
-  }
+  SkipBernoulliKeepIndices(num_rows, p, rng, &keep);
   return keep;
 }
 
@@ -100,16 +101,16 @@ Result<std::vector<int64_t>> BlockBernoulliKeepIndices(
   if (!(p >= 0.0 && p <= 1.0)) {
     return Status::InvalidArgument("block Bernoulli p must be in [0,1]");
   }
-  // One decision per distinct block, drawn at its first occurrence.
-  std::unordered_map<uint64_t, bool> decision;
+  // One decision per distinct block, drawn at its first occurrence. The
+  // flat cache replaces the per-call unordered_map: block ids are dense
+  // small integers (row index / block size, or base-table lineage), so a
+  // vector lookup decides each row.
+  thread_local BlockDecisionCache cache;
+  cache.Reset();
   std::vector<int64_t> keep;
+  keep.reserve(static_cast<size_t>(p * num_rows) + 16);
   for (int64_t i = 0; i < num_rows; ++i) {
-    const uint64_t block = block_of(i);
-    auto it = decision.find(block);
-    if (it == decision.end()) {
-      it = decision.emplace(block, rng->Bernoulli(p)).first;
-    }
-    if (it->second) keep.push_back(i);
+    if (cache.Decide(block_of(i), p, rng)) keep.push_back(i);
   }
   return keep;
 }
@@ -120,6 +121,7 @@ Result<std::vector<int64_t>> LineageBernoulliKeepIndices(
     return Status::InvalidArgument("lineage Bernoulli p must be in [0,1]");
   }
   std::vector<int64_t> keep;
+  keep.reserve(static_cast<size_t>(p * num_rows) + 16);
   for (int64_t i = 0; i < num_rows; ++i) {
     if (LineageUnitValue(seed, id_of(i)) < p) keep.push_back(i);
   }

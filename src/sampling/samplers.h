@@ -29,7 +29,12 @@ namespace gus {
 /// Reads a lineage id for a row (dimension fixed by the caller).
 using LineageIdFn = std::function<uint64_t(int64_t row)>;
 
-/// One Bernoulli(p) draw per row, in row order.
+/// \brief Bernoulli(p) keep-set via the geometric-skip kernel
+/// (kernels/sampling_kernels.h): ~pN + 1 Rng draws instead of N.
+///
+/// Equivalent in distribution to a per-row coin; the keep-set is a pure
+/// function of (num_rows, p, Rng state) and identical to streaming the
+/// rows through SkipBernoulliState in any span partition.
 Result<std::vector<int64_t>> BernoulliKeepIndices(int64_t num_rows, double p,
                                                   Rng* rng);
 

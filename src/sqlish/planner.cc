@@ -276,16 +276,26 @@ Result<ApproxResult> RunUngroupedStreaming(const PlannedQuery& planned,
     builders.push_back(std::move(builder));
   }
   ApproxResult result;
-  ColumnBatch batch;
-  while (true) {
-    GUS_ASSIGN_OR_RETURN(bool more, pipeline->Next(&batch));
-    if (!more) break;
-    if (batch.num_rows() == 0) continue;
-    result.sample_rows += batch.num_rows();
-    for (SampleViewBuilder& builder : builders) {
-      GUS_RETURN_NOT_OK(builder.Consume(batch));
+  // Adapter so the fused pipeline gathers once here, at the sink, and fans
+  // the gathered batch to every item's builder.
+  class FanoutSink final : public BatchSink {
+   public:
+    FanoutSink(std::vector<SampleViewBuilder>* builders, int64_t* rows)
+        : builders_(builders), rows_(rows) {}
+    Status Consume(const ColumnBatch& batch) override {
+      *rows_ += batch.num_rows();
+      for (SampleViewBuilder& builder : *builders_) {
+        GUS_RETURN_NOT_OK(builder.Consume(batch));
+      }
+      return Status::OK();
     }
-  }
+
+   private:
+    std::vector<SampleViewBuilder>* builders_;
+    int64_t* rows_;
+  };
+  FanoutSink fanout(&builders, &result.sample_rows);
+  GUS_RETURN_NOT_OK(PumpToSink(pipeline.get(), &fanout));
   for (size_t i = 0; i < planned.items.size(); ++i) {
     GUS_ASSIGN_OR_RETURN(ApproxValue value,
                          EstimateItem(planned.items[i], soa.top,

@@ -30,6 +30,7 @@ class Rng {
 
   /// Next raw 64-bit value.
   uint64_t Next() {
+    ++num_draws_;
     const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
     const uint64_t t = s_[1] << 17;
     s_[2] ^= s_[0];
@@ -107,12 +108,22 @@ class Rng {
     return Rng(Mix64(HashCombine(Mix64(seed), Mix64(stream))));
   }
 
+  /// \brief Raw 64-bit values drawn since construction (or the last
+  /// ResetDrawCount).
+  ///
+  /// Every public draw ultimately calls Next() exactly once per raw value,
+  /// so this counts generator work — the benchmarks use it to verify the
+  /// geometric-skip samplers' O(pN) draw bound.
+  uint64_t num_draws() const { return num_draws_; }
+  void ResetDrawCount() { num_draws_ = 0; }
+
  private:
   static uint64_t Rotl(uint64_t x, int k) {
     return (x << k) | (x >> (64 - k));
   }
 
   uint64_t s_[4];
+  uint64_t num_draws_ = 0;
 };
 
 }  // namespace gus

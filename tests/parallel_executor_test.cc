@@ -272,12 +272,19 @@ TEST(ParallelExecutorTest, ExecOptionsValidation) {
   EXPECT_FALSE(
       ExecutePlan(PlanNode::Scan("F"), catalog, &rng, ExecMode::kSampled, bad)
           .ok());
+  // morsel_rows = 0 means "auto-size" and is valid; negatives are not.
   bad = ExecOptions();
   bad.engine = ExecEngine::kMorselParallel;
-  bad.morsel_rows = 0;
+  bad.morsel_rows = -1;
   EXPECT_FALSE(
       ExecutePlan(PlanNode::Scan("F"), catalog, &rng, ExecMode::kSampled, bad)
           .ok());
+  ExecOptions auto_sized;
+  auto_sized.engine = ExecEngine::kMorselParallel;
+  auto_sized.morsel_rows = 0;
+  EXPECT_TRUE(ExecutePlan(PlanNode::Scan("F"), catalog, &rng,
+                          ExecMode::kSampled, auto_sized)
+                  .ok());
 }
 
 TEST(ParallelExecutorTest, Query1OverTpchRunsAndIsThreadCountInvariant) {

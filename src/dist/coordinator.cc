@@ -1,0 +1,121 @@
+#include "dist/coordinator.h"
+
+#include <optional>
+#include <vector>
+
+#include "dist/worker.h"
+#include "est/streaming.h"
+#include "est/wire.h"
+#include "plan/parallel_executor.h"
+
+namespace gus {
+
+Result<std::vector<WireSectionView>> ReceiveShardSections(
+    ShardTransport* transport, int shard_index, std::vector<ShardMeta>* metas,
+    std::string* rng_fingerprint, std::string* bundle_storage) {
+  GUS_ASSIGN_OR_RETURN(*bundle_storage, transport->Receive(shard_index));
+  GUS_ASSIGN_OR_RETURN(std::vector<WireSectionView> sections,
+                       ParseWireBundle(*bundle_storage));
+  GUS_ASSIGN_OR_RETURN(WireSectionView meta_section,
+                       FindWireSection(sections, WireTag::kMeta));
+  GUS_ASSIGN_OR_RETURN(ShardMeta meta,
+                       ShardMetaFromBytes(meta_section.payload));
+  metas->push_back(meta);
+  GUS_ASSIGN_OR_RETURN(WireSectionView rng_section,
+                       FindWireSection(sections, WireTag::kRngState));
+  if (rng_fingerprint->empty()) {
+    rng_fingerprint->assign(rng_section.payload);
+  } else if (rng_section.payload != *rng_fingerprint) {
+    return Status::InvalidArgument(
+        "shard " + std::to_string(shard_index) +
+        " started from a different Rng stream than shard 0 (seed "
+        "mismatch); refusing to merge");
+  }
+  return sections;
+}
+
+Result<SboxReport> GatherSboxEstimate(ShardTransport* transport,
+                                      int num_shards) {
+  if (num_shards < 1) {
+    return Status::InvalidArgument("num_shards must be >= 1");
+  }
+  std::vector<ShardMeta> metas;
+  metas.reserve(num_shards);
+  std::optional<StreamingSboxEstimator> merged;
+  std::string rng_fingerprint;
+  for (int k = 0; k < num_shards; ++k) {
+    std::string bundle;
+    GUS_ASSIGN_OR_RETURN(
+        std::vector<WireSectionView> sections,
+        ReceiveShardSections(transport, k, &metas, &rng_fingerprint,
+                             &bundle));
+    GUS_ASSIGN_OR_RETURN(WireSectionView state,
+                         FindWireSection(sections, WireTag::kSboxState));
+    GUS_ASSIGN_OR_RETURN(StreamingSboxEstimator est,
+                         StreamingSboxEstimator::DeserializeState(
+                             state.payload));
+    if (!merged.has_value()) {
+      merged.emplace(std::move(est));
+    } else {
+      GUS_RETURN_NOT_OK(merged->Merge(std::move(est)));
+    }
+  }
+  GUS_RETURN_NOT_OK(ValidateShardMetas(metas));
+  return merged->Finish();
+}
+
+Result<SboxReport> ShardedSboxEstimate(const PlanPtr& plan,
+                                       const Catalog& catalog, uint64_t seed,
+                                       ExecMode mode, const ExecOptions& exec,
+                                       int num_shards, const ExprPtr& f_expr,
+                                       const GusParams& gus,
+                                       const SboxOptions& options,
+                                       ShardTransport* transport) {
+  LocalTransport local;
+  if (transport == nullptr) transport = &local;
+  // In-process workers share one columnar catalog (its conversion cache is
+  // written only on first use of each relation, and the workers run
+  // sequentially); real multi-process workers each hold their own, which
+  // changes nothing observable — execution reads the catalog immutably.
+  ColumnarCatalog columnar(&catalog);
+  for (int k = 0; k < num_shards; ++k) {
+    GUS_ASSIGN_OR_RETURN(
+        std::string bundle,
+        RunShardSbox(plan, &columnar, seed, mode, exec, k, num_shards,
+                     f_expr, gus, options));
+    GUS_RETURN_NOT_OK(transport->Send(k, std::move(bundle)));
+  }
+  return GatherSboxEstimate(transport, num_shards);
+}
+
+Result<ColumnarRelation> ExecutePlanSharded(const PlanPtr& plan,
+                                            ColumnarCatalog* catalog,
+                                            Rng* rng, ExecMode mode,
+                                            const ExecOptions& options) {
+  GUS_RETURN_NOT_OK(options.Validate());
+  const ExecOptions normalized = ShardedExecOptions(options);
+  GUS_ASSIGN_OR_RETURN(
+      ShardPlan sp,
+      PlanShards(plan, catalog, mode, normalized, options.num_shards));
+  // Every shard starts from the identical stream position; shard 0 runs on
+  // the caller's generator so `rng` advances exactly as one full morsel
+  // run would (serial subtrees + the stream-base draw).
+  const Rng initial = *rng;
+  std::optional<ColumnarRelation> merged;
+  for (const ShardSpec& spec : sp.shards) {
+    Rng worker = initial;
+    Rng* use = spec.shard_index == 0 ? rng : &worker;
+    GUS_ASSIGN_OR_RETURN(
+        ColumnarRelation part,
+        ExecutePlanMorselRange(plan, catalog, use, mode, normalized,
+                               spec.unit_begin, spec.unit_end));
+    if (!merged.has_value()) {
+      merged.emplace(std::move(part));
+    } else {
+      merged->AppendBatch(part.data());
+    }
+  }
+  return std::move(merged).value();
+}
+
+}  // namespace gus

@@ -1,0 +1,91 @@
+// Gather coordination for shared-nothing distributed estimation.
+//
+// The coordinator never sees tuples — only the serialized partial
+// estimator states the shard workers produced (dist/worker.h). Gathering
+// is: receive bundle k for k = 0..N-1 from a ShardTransport, validate the
+// META/RNGS consistency fingerprints, deserialize, and fold the states in
+// ascending shard (= global unit) order with the est/ Merge family. The
+// ordered fold is what makes the result bit-identical to a single-process
+// run: merge order is part of the floating-point result's identity.
+//
+// ShardedSboxEstimate is the one-call form (scatter in-process workers,
+// gather, finish); GatherSboxEstimate is the half the coordinator of a
+// multi-process deployment runs after external workers populated the
+// transport (see examples/sharded_estimate.cc for both shapes).
+
+#ifndef GUS_DIST_COORDINATOR_H_
+#define GUS_DIST_COORDINATOR_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "algebra/gus_params.h"
+#include "dist/shard.h"
+#include "dist/transport.h"
+#include "est/sbox.h"
+#include "est/wire.h"
+#include "plan/columnar_executor.h"
+#include "plan/executor.h"
+#include "rel/expression.h"
+#include "util/status.h"
+
+namespace gus {
+
+/// \brief The shared first half of every gather step: receive shard
+/// `shard_index`'s bundle, parse and checksum it, record its META in
+/// `*metas`, and enforce the RNGS seed fingerprint against
+/// `*rng_fingerprint` (adopted from the first bundle when empty).
+///
+/// Every gather (SBox here, per-item sqlish in sqlish/planner.cc) goes
+/// through this one implementation so a hardened consistency contract
+/// applies everywhere at once. The returned section views borrow
+/// `*bundle_storage`, which receives the raw bundle bytes and must
+/// outlive them. Callers finish with ValidateShardMetas once all shards
+/// are in.
+Result<std::vector<WireSectionView>> ReceiveShardSections(
+    ShardTransport* transport, int shard_index, std::vector<ShardMeta>* metas,
+    std::string* rng_fingerprint, std::string* bundle_storage);
+
+/// \brief Receives and merges `num_shards` SBox shard bundles from
+/// `transport` (shards 0..N-1, merged in that order) and finishes the
+/// estimation.
+///
+/// Fails loudly on missing shards, corrupt or version-skewed bundles, and
+/// on any consistency-fingerprint mismatch (divergent seed, catalog, or
+/// shard plan) — merging incompatible partial states would silently bias
+/// the estimate, so nothing is ever skipped or coerced.
+Result<SboxReport> GatherSboxEstimate(ShardTransport* transport,
+                                      int num_shards);
+
+/// \brief One-call scatter/gather: runs every shard worker in-process
+/// (sequentially, each from its own Rng(seed)) through `transport` —
+/// defaulting to a process-local mailbox when null — then gathers.
+///
+/// For a fixed (plan, catalog, seed, morsel_rows) the report is
+/// bit-identical across num_shards AND to EstimatePlanParallel at the
+/// same options: shards are contiguous ranges of the same global unit
+/// sequence, merged in the same order.
+Result<SboxReport> ShardedSboxEstimate(const PlanPtr& plan,
+                                       const Catalog& catalog, uint64_t seed,
+                                       ExecMode mode, const ExecOptions& exec,
+                                       int num_shards, const ExprPtr& f_expr,
+                                       const GusParams& gus,
+                                       const SboxOptions& options,
+                                       ShardTransport* transport = nullptr);
+
+/// \brief The materializing sharded engine behind ExecEngine::kSharded:
+/// every shard executes its unit range (shard 0 advancing `rng` exactly
+/// like a full morsel run; the rest from copies of the initial stream)
+/// and the per-shard relations concatenate in shard order.
+///
+/// Bit-identical across num_shards and to ExecutePlanMorsel at the same
+/// (seed, morsel_rows).
+Result<ColumnarRelation> ExecutePlanSharded(const PlanPtr& plan,
+                                            ColumnarCatalog* catalog,
+                                            Rng* rng, ExecMode mode,
+                                            const ExecOptions& options);
+
+}  // namespace gus
+
+#endif  // GUS_DIST_COORDINATOR_H_

@@ -1,0 +1,118 @@
+#include "dist/shard.h"
+
+#include "est/wire.h"
+
+namespace gus {
+
+ExecOptions ShardedExecOptions(const ExecOptions& exec) {
+  ExecOptions normalized = exec;
+  if (normalized.morsel_rows == 0) normalized.morsel_rows = kDefaultMorselRows;
+  return normalized;
+}
+
+Result<ShardPlan> PlanShards(const PlanPtr& plan, ColumnarCatalog* catalog,
+                             ExecMode mode, const ExecOptions& exec,
+                             int num_shards) {
+  if (num_shards < 1) {
+    return Status::InvalidArgument("num_shards must be >= 1");
+  }
+  ShardPlan sp;
+  sp.num_shards = num_shards;
+  GUS_ASSIGN_OR_RETURN(sp.split, AnalyzeMorselSplit(plan, catalog, mode, exec));
+  const int64_t units = sp.split.num_units;
+  sp.shards.reserve(num_shards);
+  for (int k = 0; k < num_shards; ++k) {
+    ShardSpec spec;
+    spec.shard_index = k;
+    spec.num_shards = num_shards;
+    spec.unit_begin = units * k / num_shards;
+    spec.unit_end = units * (k + 1) / num_shards;
+    sp.shards.push_back(spec);
+  }
+  return sp;
+}
+
+std::string ShardMetaToBytes(const ShardMeta& meta) {
+  WireWriter w;
+  w.PutU32(meta.shard_index);
+  w.PutU32(meta.num_shards);
+  w.PutI64(meta.unit_begin);
+  w.PutI64(meta.unit_end);
+  w.PutI64(meta.num_units);
+  w.PutI64(meta.morsel_rows);
+  w.PutU64(meta.seed);
+  w.PutU64(meta.stream_base);
+  w.PutI64(meta.rows);
+  return w.Take();
+}
+
+Result<ShardMeta> ShardMetaFromBytes(std::string_view payload) {
+  WireReader r(payload);
+  ShardMeta meta;
+  GUS_RETURN_NOT_OK(r.ReadU32(&meta.shard_index));
+  GUS_RETURN_NOT_OK(r.ReadU32(&meta.num_shards));
+  GUS_RETURN_NOT_OK(r.ReadI64(&meta.unit_begin));
+  GUS_RETURN_NOT_OK(r.ReadI64(&meta.unit_end));
+  GUS_RETURN_NOT_OK(r.ReadI64(&meta.num_units));
+  GUS_RETURN_NOT_OK(r.ReadI64(&meta.morsel_rows));
+  GUS_RETURN_NOT_OK(r.ReadU64(&meta.seed));
+  GUS_RETURN_NOT_OK(r.ReadU64(&meta.stream_base));
+  GUS_RETURN_NOT_OK(r.ReadI64(&meta.rows));
+  GUS_RETURN_NOT_OK(r.ExpectEnd());
+  return meta;
+}
+
+Status ValidateShardMetas(const std::vector<ShardMeta>& metas) {
+  if (metas.empty()) {
+    return Status::InvalidArgument("gather received no shard states");
+  }
+  const ShardMeta& first = metas[0];
+  if (first.num_shards != metas.size()) {
+    return Status::InvalidArgument(
+        "gather received " + std::to_string(metas.size()) +
+        " shard states but the shards report num_shards = " +
+        std::to_string(first.num_shards));
+  }
+  int64_t covered = 0;
+  for (size_t k = 0; k < metas.size(); ++k) {
+    const ShardMeta& meta = metas[k];
+    if (meta.shard_index != k) {
+      return Status::InvalidArgument(
+          "shard state " + std::to_string(k) + " reports shard_index " +
+          std::to_string(meta.shard_index) + " (out-of-order gather?)");
+    }
+    if (meta.num_shards != first.num_shards ||
+        meta.num_units != first.num_units ||
+        meta.morsel_rows != first.morsel_rows) {
+      return Status::InvalidArgument(
+          "shard " + std::to_string(k) +
+          " ran a different shard plan than shard 0 (divergent exec "
+          "options?)");
+    }
+    if (meta.seed != first.seed || meta.stream_base != first.stream_base) {
+      // The stream base fingerprints (plan, catalog, seed): merging states
+      // drawn from divergent streams would be statistically invalid.
+      return Status::InvalidArgument(
+          "shard " + std::to_string(k) +
+          " executed with a divergent seed or catalog (stream base "
+          "mismatch); refusing to merge");
+    }
+    if (meta.unit_begin != covered || meta.unit_end < meta.unit_begin) {
+      return Status::InvalidArgument(
+          "shard " + std::to_string(k) + " covers units [" +
+          std::to_string(meta.unit_begin) + ", " +
+          std::to_string(meta.unit_end) +
+          ") which does not continue the tiling at " +
+          std::to_string(covered));
+    }
+    covered = meta.unit_end;
+  }
+  if (covered != first.num_units) {
+    return Status::InvalidArgument(
+        "gathered shards cover " + std::to_string(covered) + " of " +
+        std::to_string(first.num_units) + " execution units");
+  }
+  return Status::OK();
+}
+
+}  // namespace gus

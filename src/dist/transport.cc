@@ -1,0 +1,136 @@
+#include "dist/transport.h"
+
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <istream>
+#include <ostream>
+
+#include "est/wire.h"
+
+namespace gus {
+
+namespace {
+
+constexpr char kFrameMagic[4] = {'G', 'U', 'S', 'F'};
+
+/// Same corruption-allocation guard as the bundle parser.
+constexpr uint64_t kSaneFrameBytes = uint64_t{1} << 40;
+
+}  // namespace
+
+Status WriteFrame(std::ostream* out, std::string_view payload) {
+  out->write(kFrameMagic, sizeof(kFrameMagic));
+  WireWriter header;
+  header.PutU64(payload.size());
+  out->write(header.buffer().data(),
+             static_cast<std::streamsize>(header.buffer().size()));
+  out->write(payload.data(), static_cast<std::streamsize>(payload.size()));
+  WireWriter tail;
+  tail.PutU64(WireChecksum(payload));
+  out->write(tail.buffer().data(),
+             static_cast<std::streamsize>(tail.buffer().size()));
+  if (!out->good()) return Status::Internal("frame write failed");
+  return Status::OK();
+}
+
+Result<std::string> ReadFrame(std::istream* in) {
+  char magic[sizeof(kFrameMagic)];
+  in->read(magic, sizeof(magic));
+  if (in->gcount() != sizeof(magic) ||
+      std::memcmp(magic, kFrameMagic, sizeof(magic)) != 0) {
+    return Status::InvalidArgument("not a GUS frame (missing GUSF magic)");
+  }
+  char len_bytes[8];
+  in->read(len_bytes, sizeof(len_bytes));
+  if (in->gcount() != sizeof(len_bytes)) {
+    return Status::InvalidArgument("truncated frame header");
+  }
+  uint64_t len = 0;
+  {
+    WireReader r(std::string_view(len_bytes, sizeof(len_bytes)));
+    GUS_RETURN_NOT_OK(r.ReadU64(&len));
+  }
+  if (len > kSaneFrameBytes) {
+    return Status::InvalidArgument("implausible frame length (corrupt?)");
+  }
+  std::string payload(len, '\0');
+  in->read(payload.data(), static_cast<std::streamsize>(len));
+  if (static_cast<uint64_t>(in->gcount()) != len) {
+    return Status::InvalidArgument("truncated frame payload");
+  }
+  char sum_bytes[8];
+  in->read(sum_bytes, sizeof(sum_bytes));
+  if (in->gcount() != sizeof(sum_bytes)) {
+    return Status::InvalidArgument("truncated frame checksum");
+  }
+  uint64_t stored = 0;
+  {
+    WireReader r(std::string_view(sum_bytes, sizeof(sum_bytes)));
+    GUS_RETURN_NOT_OK(r.ReadU64(&stored));
+  }
+  if (stored != WireChecksum(payload)) {
+    return Status::InvalidArgument("frame checksum mismatch (corrupt)");
+  }
+  return payload;
+}
+
+Status LocalTransport::Send(int shard_index, std::string payload) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!inbox_.emplace(shard_index, std::move(payload)).second) {
+    return Status::InvalidArgument("shard " + std::to_string(shard_index) +
+                                   " already sent its state");
+  }
+  return Status::OK();
+}
+
+Result<std::string> LocalTransport::Receive(int shard_index) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = inbox_.find(shard_index);
+  if (it == inbox_.end()) {
+    return Status::KeyError("no state received for shard " +
+                            std::to_string(shard_index));
+  }
+  // Consume the payload: bundles can carry megabytes of retained-set
+  // state and every gather reads each shard exactly once, so keeping a
+  // second copy in the mailbox would double the coordinator's peak
+  // memory for nothing.
+  std::string payload = std::move(it->second);
+  inbox_.erase(it);
+  return payload;
+}
+
+std::string FileTransport::ShardPath(int shard_index) const {
+  return dir_ + "/shard-" + std::to_string(shard_index) + ".gusb";
+}
+
+Status FileTransport::Send(int shard_index, std::string payload) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir_, ec);
+  if (ec) {
+    return Status::Internal("cannot create transport directory '" + dir_ +
+                            "': " + ec.message());
+  }
+  std::ofstream out(ShardPath(shard_index),
+                    std::ios::binary | std::ios::trunc);
+  if (!out) {
+    return Status::Internal("cannot open '" + ShardPath(shard_index) +
+                            "' for writing");
+  }
+  GUS_RETURN_NOT_OK(WriteFrame(&out, payload));
+  out.close();
+  if (!out) return Status::Internal("frame flush failed");
+  return Status::OK();
+}
+
+Result<std::string> FileTransport::Receive(int shard_index) {
+  std::ifstream in(ShardPath(shard_index), std::ios::binary);
+  if (!in) {
+    return Status::KeyError("no state file for shard " +
+                            std::to_string(shard_index) + " at '" +
+                            ShardPath(shard_index) + "'");
+  }
+  return ReadFrame(&in);
+}
+
+}  // namespace gus

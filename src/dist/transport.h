@@ -1,0 +1,90 @@
+// Shard-state transports: how serialized estimator bundles travel from
+// workers to the gather coordinator.
+//
+// Two implementations of one tiny contract:
+//   * LocalTransport — an in-memory mailbox for single-binary runs (and
+//     tests): scatter and gather share a process.
+//   * FileTransport  — a socket-free multi-process fabric: each worker
+//     writes its bundle as a length-prefixed, checksummed frame to
+//     <dir>/shard-<k>.gusb, and the coordinator (a separate process,
+//     possibly later in time) reads them back. The frame codec works over
+//     any std::iostream, so the same bytes travel over a pipe unchanged.
+//
+// Frame layout (little-endian): "GUSF" | u64 payload_len | payload |
+// u64 fnv1a64(payload). Truncation and corruption both fail loudly on
+// read; nothing is ever silently skipped.
+
+#ifndef GUS_DIST_TRANSPORT_H_
+#define GUS_DIST_TRANSPORT_H_
+
+#include <iosfwd>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+#include "util/status.h"
+
+namespace gus {
+
+/// Writes one frame (see file comment for the layout).
+Status WriteFrame(std::ostream* out, std::string_view payload);
+
+/// Reads and validates one frame; fails on bad magic, truncation, or a
+/// checksum mismatch.
+Result<std::string> ReadFrame(std::istream* in);
+
+/// \brief Moves one opaque payload per shard from workers to the gatherer.
+///
+/// Implementations must allow Send from concurrent workers; Receive is
+/// coordinator-side and called after the sends it waits for.
+class ShardTransport {
+ public:
+  virtual ~ShardTransport() = default;
+
+  /// Stores shard `shard_index`'s serialized state (exactly once).
+  virtual Status Send(int shard_index, std::string payload) = 0;
+
+  /// Retrieves shard `shard_index`'s state; fails if it never arrived.
+  virtual Result<std::string> Receive(int shard_index) = 0;
+};
+
+/// \brief In-memory mailbox (thread-safe) for single-process
+/// scatter/gather.
+///
+/// Receive consumes: each shard's payload can be read exactly once (a
+/// second Receive fails), mirroring the exactly-once Send contract and
+/// keeping only one copy of the state in memory.
+class LocalTransport final : public ShardTransport {
+ public:
+  Status Send(int shard_index, std::string payload) override;
+  Result<std::string> Receive(int shard_index) override;
+
+ private:
+  std::mutex mu_;
+  std::map<int, std::string> inbox_;
+};
+
+/// \brief File-based transport: one framed file per shard under `dir`
+/// (created if missing).
+///
+/// Send and Receive may run in different processes; the directory is the
+/// rendezvous. Re-sending a shard overwrites its file (workers may be
+/// retried).
+class FileTransport final : public ShardTransport {
+ public:
+  explicit FileTransport(std::string dir) : dir_(std::move(dir)) {}
+
+  /// The frame file for one shard: <dir>/shard-<k>.gusb.
+  std::string ShardPath(int shard_index) const;
+
+  Status Send(int shard_index, std::string payload) override;
+  Result<std::string> Receive(int shard_index) override;
+
+ private:
+  std::string dir_;
+};
+
+}  // namespace gus
+
+#endif  // GUS_DIST_TRANSPORT_H_

@@ -1,0 +1,108 @@
+#include "dist/worker.h"
+
+#include "est/streaming.h"
+#include "util/random.h"
+
+namespace gus {
+
+namespace {
+
+/// Adapts StreamingSboxEstimator to the morsel sink protocol (the dist
+/// twin of the adapter inside est/streaming.cc).
+class SboxShardSink final : public MergeableBatchSink {
+ public:
+  explicit SboxShardSink(StreamingSboxEstimator est) : est_(std::move(est)) {}
+
+  Status Consume(const ColumnBatch& batch) override {
+    return est_.Consume(batch);
+  }
+
+  Status MergeFrom(BatchSink* other) override {
+    return est_.Merge(std::move(static_cast<SboxShardSink*>(other)->est_));
+  }
+
+  StreamingSboxEstimator* estimator() { return &est_; }
+
+ private:
+  StreamingSboxEstimator est_;
+};
+
+}  // namespace
+
+std::string BuildShardBundle(
+    const ShardMeta& meta,
+    const std::vector<std::pair<WireTag, std::string>>& extra) {
+  WireBundleWriter bundle;
+  bundle.AddSection(WireTag::kMeta, ShardMetaToBytes(meta));
+  // The RNGS fingerprint is the worker's *initial* stream position,
+  // Rng(seed): byte-equality across shards proves every worker started
+  // from the same seed (the META stream base then proves they also agreed
+  // on plan and catalog).
+  bundle.AddSection(WireTag::kRngState, RngStateToBytes(Rng(meta.seed)));
+  for (const auto& [tag, payload] : extra) {
+    bundle.AddSection(tag, payload);
+  }
+  return bundle.Finish();
+}
+
+Status RunShardToSink(const PlanPtr& plan, ColumnarCatalog* catalog,
+                      uint64_t seed, ExecMode mode, const ExecOptions& exec,
+                      int shard_index, int num_shards,
+                      const MorselSinkFactory& make_sink,
+                      std::unique_ptr<MergeableBatchSink>* out,
+                      ShardMeta* meta) {
+  if (shard_index < 0 || shard_index >= num_shards) {
+    return Status::InvalidArgument(
+        "shard_index " + std::to_string(shard_index) +
+        " outside [0, " + std::to_string(num_shards) + ")");
+  }
+  const ExecOptions normalized = ShardedExecOptions(exec);
+  GUS_ASSIGN_OR_RETURN(
+      ShardPlan sp, PlanShards(plan, catalog, mode, normalized, num_shards));
+  const ShardSpec& spec = sp.shards[shard_index];
+
+  Rng rng(seed);
+  uint64_t stream_base = 0;
+  GUS_RETURN_NOT_OK(ParallelExecuteUnitRangeToSink(
+      plan, catalog, &rng, mode, normalized, spec.unit_begin, spec.unit_end,
+      make_sink, out, &stream_base));
+
+  meta->shard_index = static_cast<uint32_t>(shard_index);
+  meta->num_shards = static_cast<uint32_t>(num_shards);
+  meta->unit_begin = spec.unit_begin;
+  meta->unit_end = spec.unit_end;
+  meta->num_units = sp.split.num_units;
+  meta->morsel_rows = sp.split.partitionable ? sp.split.morsel_rows : 0;
+  meta->seed = seed;
+  meta->stream_base = stream_base;
+  meta->rows = 0;  // sink-dependent; the caller fills it in
+  return Status::OK();
+}
+
+Result<std::string> RunShardSbox(const PlanPtr& plan,
+                                 ColumnarCatalog* catalog, uint64_t seed,
+                                 ExecMode mode, const ExecOptions& exec,
+                                 int shard_index, int num_shards,
+                                 const ExprPtr& f_expr, const GusParams& gus,
+                                 const SboxOptions& options) {
+  std::unique_ptr<MergeableBatchSink> sink;
+  ShardMeta meta;
+  GUS_RETURN_NOT_OK(RunShardToSink(
+      plan, catalog, seed, mode, exec, shard_index, num_shards,
+      [&](const BatchLayout& layout)
+          -> Result<std::unique_ptr<MergeableBatchSink>> {
+        GUS_ASSIGN_OR_RETURN(
+            StreamingSboxEstimator est,
+            StreamingSboxEstimator::Make(layout, f_expr, gus, options));
+        return std::unique_ptr<MergeableBatchSink>(
+            new SboxShardSink(std::move(est)));
+      },
+      &sink, &meta));
+  StreamingSboxEstimator* est =
+      static_cast<SboxShardSink*>(sink.get())->estimator();
+  meta.rows = est->rows_seen();
+  return BuildShardBundle(meta, {{WireTag::kSboxState,
+                                  est->SerializeState()}});
+}
+
+}  // namespace gus

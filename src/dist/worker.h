@@ -1,0 +1,69 @@
+// Shard workers: execute one shard's slice of a query and serialize the
+// partial estimator state for the gather coordinator.
+//
+// A worker is shared-nothing by construction: it needs only (plan,
+// catalog, seed, shard_index, num_shards) — all small or locally resident
+// — recomputes the deterministic shard plan itself (dist/shard.h), runs
+// its unit range through the morsel-range executor, and emits one
+// est/wire.h bundle. Every worker executes the serial non-pivot subtrees
+// (join builds etc.) locally from the same seed; that redundancy is the
+// price of zero cross-worker coordination, and it is what makes the
+// stream-base fingerprint in the META section meaningful.
+
+#ifndef GUS_DIST_WORKER_H_
+#define GUS_DIST_WORKER_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "algebra/gus_params.h"
+#include "dist/shard.h"
+#include "est/sbox.h"
+#include "est/wire.h"
+#include "plan/columnar_executor.h"
+#include "plan/parallel_executor.h"
+#include "rel/expression.h"
+#include "util/status.h"
+
+namespace gus {
+
+/// \brief Serializes a shard run's common sections (META + the worker's
+/// seed-derived RNGS fingerprint) plus caller-provided payload sections.
+///
+/// `extra` are (tag, payload) pairs appended after META/RNGS in order.
+std::string BuildShardBundle(
+    const ShardMeta& meta,
+    const std::vector<std::pair<WireTag, std::string>>& extra);
+
+/// \brief Executes shard `shard_index` of `plan` and streams its slice
+/// into a StreamingSboxEstimator; returns the serialized bundle
+/// (META + RNGS + SBOX).
+///
+/// `exec` must already be normalized via ShardedExecOptions (RunShardSbox
+/// normalizes defensively). The returned bytes are what a remote worker
+/// would put on the wire: feed them to any ShardTransport and gather with
+/// GatherSboxEstimate (dist/coordinator.h).
+Result<std::string> RunShardSbox(const PlanPtr& plan,
+                                 ColumnarCatalog* catalog, uint64_t seed,
+                                 ExecMode mode, const ExecOptions& exec,
+                                 int shard_index, int num_shards,
+                                 const ExprPtr& f_expr, const GusParams& gus,
+                                 const SboxOptions& options);
+
+/// \brief Generic shard execution: runs the unit range into sinks from
+/// `make_sink` and returns (merged sink, filled META) for the caller to
+/// serialize. The sqlish kSharded path builds its per-item bundles on
+/// this.
+Status RunShardToSink(const PlanPtr& plan, ColumnarCatalog* catalog,
+                      uint64_t seed, ExecMode mode, const ExecOptions& exec,
+                      int shard_index, int num_shards,
+                      const MorselSinkFactory& make_sink,
+                      std::unique_ptr<MergeableBatchSink>* out,
+                      ShardMeta* meta);
+
+}  // namespace gus
+
+#endif  // GUS_DIST_WORKER_H_

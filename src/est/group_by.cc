@@ -6,6 +6,7 @@
 
 #include "est/unbiased.h"
 #include "est/variance.h"
+#include "est/wire.h"
 #include "est/ys.h"
 #include "plan/vector_eval.h"
 
@@ -112,6 +113,11 @@ Result<GroupedSumBuilder> GroupedSumBuilder::Make(const BatchLayout& layout,
 }
 
 Status GroupedSumBuilder::Consume(const ColumnBatch& batch) {
+  if (bound_ == nullptr) {
+    return Status::InvalidArgument(
+        "deserialized GroupedSumBuilder state is merge/finish-only (the "
+        "bound aggregate expression does not travel on the wire)");
+  }
   f_scratch_.clear();
   GUS_RETURN_NOT_OK(EvalExprBatchToDoubles(
       bound_, batch, "aggregate expression must be numeric", &f_scratch_));
@@ -158,6 +164,190 @@ Status GroupedSumBuilder::Merge(GroupedSumBuilder&& other) {
     }
   }
   return Status::OK();
+}
+
+namespace {
+
+/// Canonical serialization order over group keys: a total order so equal
+/// logical state always produces equal bytes. Numerics sort before strings
+/// (by promoted value, then type tag for int64-vs-float64 ties beyond
+/// 2^53); strings sort lexicographically; the key hash is a final
+/// tiebreak. Distinct-by-KeyEquals keys never compare equal here.
+bool CanonicalKeyLess(const Value& a, const Value& b) {
+  const bool an = a.is_numeric(), bn = b.is_numeric();
+  if (an != bn) return an;
+  if (an) {
+    const double da = a.ToDouble(), db = b.ToDouble();
+    if (da != db) return da < db;
+    const int ta = static_cast<int>(a.type()), tb = static_cast<int>(b.type());
+    if (ta != tb) return ta < tb;
+  } else {
+    if (a.AsString() != b.AsString()) return a.AsString() < b.AsString();
+  }
+  return a.Hash() < b.Hash();
+}
+
+/// Key wire tags (docs/WIRE_FORMAT.md, GRUP section).
+constexpr uint8_t kKeyInt64 = 0;
+constexpr uint8_t kKeyFloat64 = 1;
+constexpr uint8_t kKeyString = 2;
+
+}  // namespace
+
+std::string GroupedSumBuilder::SerializeState() const {
+  WireWriter w;
+  w.PutU32(static_cast<uint32_t>(schema_.arity()));
+  for (const std::string& rel : schema_.relations()) w.PutString(rel);
+  EncodeSourceMap(source_, &w);
+  w.PutI32(key_idx_);
+
+  std::vector<const Group*> ordered;
+  ordered.reserve(groups_.size());
+  for (const auto& entry : groups_) ordered.push_back(&entry.second);
+  std::sort(ordered.begin(), ordered.end(),
+            [](const Group* a, const Group* b) {
+              return CanonicalKeyLess(a->key, b->key);
+            });
+
+  // String keys are dictionary-coded: distinct strings once, in
+  // first-use (canonical) order; groups then reference codes. Codes are
+  // local to this payload — the decoder resolves them back to strings, so
+  // two shards assigning the same code to different strings merge
+  // correctly by content.
+  std::unordered_map<std::string, uint32_t> dict_codes;
+  std::vector<const std::string*> dict;
+  for (const Group* group : ordered) {
+    if (group->key.type() != ValueType::kString) continue;
+    const std::string& s = group->key.AsString();
+    if (dict_codes.emplace(s, static_cast<uint32_t>(dict.size())).second) {
+      dict.push_back(&s);
+    }
+  }
+  w.PutU32(static_cast<uint32_t>(dict.size()));
+  for (const std::string* s : dict) w.PutString(*s);
+
+  w.PutU64(ordered.size());
+  for (const Group* group : ordered) {
+    switch (group->key.type()) {
+      case ValueType::kInt64:
+        w.PutU8(kKeyInt64);
+        w.PutI64(group->key.AsInt64());
+        break;
+      case ValueType::kFloat64:
+        w.PutU8(kKeyFloat64);
+        w.PutDouble(group->key.AsFloat64());
+        break;
+      case ValueType::kString:
+        w.PutU8(kKeyString);
+        w.PutU32(dict_codes.at(group->key.AsString()));
+        break;
+    }
+    // Per-group views share the builder's analysis schema, so only the
+    // row data travels (no per-group schema repeat).
+    const SampleView& view = group->view;
+    const int64_t rows = view.num_rows();
+    w.PutU64(static_cast<uint64_t>(rows));
+    for (int d = 0; d < schema_.arity(); ++d) {
+      for (int64_t i = 0; i < rows; ++i) w.PutU64(view.lineage[d][i]);
+    }
+    for (int64_t i = 0; i < rows; ++i) w.PutDouble(view.f[i]);
+  }
+  return w.Take();
+}
+
+Result<GroupedSumBuilder> GroupedSumBuilder::DeserializeState(
+    std::string_view payload) {
+  WireReader r(payload);
+  GroupedSumBuilder builder;
+  uint32_t arity = 0;
+  GUS_RETURN_NOT_OK(r.ReadU32(&arity));
+  if (arity > LineageSchema::kMaxLineageArity) {
+    return Status::InvalidArgument("wire GroupedSumBuilder arity out of range");
+  }
+  std::vector<std::string> rels(arity);
+  for (auto& rel : rels) GUS_RETURN_NOT_OK(r.ReadString(&rel));
+  GUS_ASSIGN_OR_RETURN(builder.schema_, LineageSchema::Make(std::move(rels)));
+  GUS_RETURN_NOT_OK(DecodeSourceMap(&r, &builder.source_));
+  if (builder.source_.size() != arity) {
+    return Status::InvalidArgument(
+        "wire GroupedSumBuilder source map does not match the schema");
+  }
+  GUS_RETURN_NOT_OK(r.ReadI32(&builder.key_idx_));
+
+  uint32_t dict_size = 0;
+  GUS_RETURN_NOT_OK(r.ReadU32(&dict_size));
+  if (dict_size > r.remaining()) {
+    return Status::InvalidArgument("truncated wire GroupedSumBuilder "
+                                   "dictionary");
+  }
+  std::vector<std::string> dict(dict_size);
+  for (auto& s : dict) GUS_RETURN_NOT_OK(r.ReadString(&s));
+
+  uint64_t group_count = 0;
+  GUS_RETURN_NOT_OK(r.ReadU64(&group_count));
+  if (group_count > r.remaining()) {
+    return Status::InvalidArgument("truncated wire GroupedSumBuilder groups");
+  }
+  for (uint64_t g = 0; g < group_count; ++g) {
+    uint8_t key_type = 0;
+    GUS_RETURN_NOT_OK(r.ReadU8(&key_type));
+    Value key;
+    switch (key_type) {
+      case kKeyInt64: {
+        int64_t v = 0;
+        GUS_RETURN_NOT_OK(r.ReadI64(&v));
+        key = Value(v);
+        break;
+      }
+      case kKeyFloat64: {
+        double v = 0.0;
+        GUS_RETURN_NOT_OK(r.ReadDouble(&v));
+        key = Value(v);
+        break;
+      }
+      case kKeyString: {
+        uint32_t code = 0;
+        GUS_RETURN_NOT_OK(r.ReadU32(&code));
+        if (code >= dict.size()) {
+          return Status::InvalidArgument(
+              "wire GroupedSumBuilder key references a dictionary code "
+              "outside the payload's dictionary");
+        }
+        key = Value(dict[code]);
+        break;
+      }
+      default:
+        return Status::InvalidArgument(
+            "wire GroupedSumBuilder has an unknown key type tag");
+    }
+    auto [it, inserted] = builder.groups_.try_emplace(key.Hash());
+    if (!inserted) {
+      return Status::InvalidArgument(
+          "wire GroupedSumBuilder repeats a group key");
+    }
+    Group& group = it->second;
+    group.key = key;
+    group.view.schema = builder.schema_;
+    uint64_t rows = 0;
+    GUS_RETURN_NOT_OK(r.ReadU64(&rows));
+    if (rows > r.remaining() / 8) {
+      return Status::InvalidArgument(
+          "truncated wire GroupedSumBuilder group rows");
+    }
+    group.view.lineage.assign(arity, {});
+    for (uint32_t d = 0; d < arity; ++d) {
+      group.view.lineage[d].resize(rows);
+      for (uint64_t i = 0; i < rows; ++i) {
+        GUS_RETURN_NOT_OK(r.ReadU64(&group.view.lineage[d][i]));
+      }
+    }
+    group.view.f.resize(rows);
+    for (uint64_t i = 0; i < rows; ++i) {
+      GUS_RETURN_NOT_OK(r.ReadDouble(&group.view.f[i]));
+    }
+  }
+  GUS_RETURN_NOT_OK(r.ExpectEnd());
+  return builder;
 }
 
 Result<std::vector<GroupEstimate>> GroupedSumBuilder::Finish(

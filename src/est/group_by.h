@@ -11,6 +11,7 @@
 #define GUS_EST_GROUP_BY_H_
 
 #include <string>
+#include <string_view>
 #include <unordered_map>
 #include <vector>
 
@@ -66,6 +67,21 @@ class GroupedSumBuilder final : public BatchSink {
   /// Folds a later partition's builder into this one: groups present in
   /// both merge their views, new groups are adopted.
   Status Merge(GroupedSumBuilder&& other);
+
+  /// \brief Serializes the partial state as a WireTag::kGroupedSum payload.
+  ///
+  /// String group keys are dictionary-coded: the payload carries the
+  /// distinct strings once and each group references its code, so two
+  /// shards' dictionaries may assign the same code to different strings
+  /// ("colliding dictionaries") — decode resolves codes back to strings,
+  /// which is exactly the remap that makes cross-shard Merge safe. Groups
+  /// are emitted in canonical key order, so equal logical state produces
+  /// equal bytes (golden-buffer testable). Deserialized builders are
+  /// merge/finish-only (Consume fails loudly: the bound expression does
+  /// not travel); merging them in shard order is bit-identical to the
+  /// in-process merge.
+  std::string SerializeState() const;
+  static Result<GroupedSumBuilder> DeserializeState(std::string_view payload);
 
   /// Per-group estimates (sorted by key), exactly as GroupedSumEstimate.
   Result<std::vector<GroupEstimate>> Finish(

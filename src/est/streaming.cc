@@ -7,6 +7,7 @@
 #include "algebra/translate.h"
 #include "est/unbiased.h"
 #include "est/variance.h"
+#include "est/wire.h"
 #include "est/ys.h"
 #include "plan/parallel_executor.h"
 #include "plan/vector_eval.h"
@@ -17,6 +18,9 @@ namespace gus {
 namespace {
 
 constexpr char kNonNumericAggregate[] = "aggregate expression must be numeric";
+constexpr char kMergeOnly[] =
+    "deserialized estimator state is merge/finish-only (the bound aggregate "
+    "expression does not travel on the wire)";
 
 }  // namespace
 
@@ -33,6 +37,7 @@ Result<SampleViewBuilder> SampleViewBuilder::Make(const BatchLayout& layout,
 }
 
 Status SampleViewBuilder::Consume(const ColumnBatch& batch) {
+  if (bound_ == nullptr) return Status::InvalidArgument(kMergeOnly);
   // Appends straight into the view's f column — no intermediate copies.
   GUS_RETURN_NOT_OK(EvalExprBatchToDoubles(bound_, batch,
                                            kNonNumericAggregate, &view_.f));
@@ -53,6 +58,28 @@ Status SampleViewBuilder::Merge(SampleViewBuilder&& other) {
         "cannot merge SampleViewBuilders over different layouts");
   }
   return view_.Merge(std::move(other.view_));
+}
+
+std::string SampleViewBuilder::SerializeState() const {
+  WireWriter w;
+  EncodeSourceMap(source_, &w);
+  EncodeSampleView(view_, &w);
+  return w.Take();
+}
+
+Result<SampleViewBuilder> SampleViewBuilder::DeserializeState(
+    std::string_view payload) {
+  WireReader r(payload);
+  SampleViewBuilder builder;
+  GUS_RETURN_NOT_OK(DecodeSourceMap(&r, &builder.source_));
+  GUS_RETURN_NOT_OK(DecodeSampleView(&r, &builder.view_));
+  GUS_RETURN_NOT_OK(r.ExpectEnd());
+  if (builder.view_.schema.arity() !=
+      static_cast<int>(builder.source_.size())) {
+    return Status::InvalidArgument(
+        "wire SampleViewBuilder source map does not match the view schema");
+  }
+  return builder;
 }
 
 Result<StreamingSboxEstimator> StreamingSboxEstimator::Make(
@@ -100,6 +127,7 @@ void StreamingSboxEstimator::Prune() {
 }
 
 Status StreamingSboxEstimator::Consume(const ColumnBatch& batch) {
+  if (bound_ == nullptr) return Status::InvalidArgument(kMergeOnly);
   f_scratch_.clear();
   GUS_RETURN_NOT_OK(EvalExprBatchToDoubles(bound_, batch,
                                            kNonNumericAggregate,
@@ -114,7 +142,8 @@ Status StreamingSboxEstimator::Consume(const ColumnBatch& batch) {
   // (Finish() applies the exact final p) while avoiding a pow per row.
   const double p_batch = InterimP();
   for (int64_t i = 0; i < batch.num_rows(); ++i) {
-    sum_f_ += f[i];
+    open_sum_ += f[i];
+    ++open_rows_;
     ++rows_seen_;
     double u = 0.0;
     if (subsampling) {
@@ -156,7 +185,13 @@ Status StreamingSboxEstimator::Merge(StreamingSboxEstimator&& other) {
         "cannot merge estimators with different subsample configurations");
   }
   rows_seen_ += other.rows_seen_;
-  sum_f_ += other.sum_f_;
+  // Segments concatenate instead of summing eagerly: the final fold in
+  // Finish then depends only on the global segment sequence, never on how
+  // segments were grouped into workers or shards.
+  SealSegment();
+  other.SealSegment();
+  closed_sums_.insert(closed_sums_.end(), other.closed_sums_.begin(),
+                      other.closed_sums_.end());
   GUS_RETURN_NOT_OK(retained_.Merge(std::move(other.retained_)));
   if (subsampling) {
     ustar_.insert(ustar_.end(), other.ustar_.begin(), other.ustar_.end());
@@ -169,13 +204,108 @@ Status StreamingSboxEstimator::Merge(StreamingSboxEstimator&& other) {
   return Status::OK();
 }
 
+std::string StreamingSboxEstimator::SerializeState() const {
+  WireWriter w;
+  EncodeGusParams(gus_, &w);
+  w.PutDouble(options_.confidence_level);
+  w.PutU8(static_cast<uint8_t>(options_.bound_kind));
+  w.PutU8(options_.subsample.has_value() ? 1 : 0);
+  if (options_.subsample.has_value()) {
+    w.PutI64(options_.subsample->target_rows);
+    w.PutU64(options_.subsample->seed);
+  }
+  EncodeSourceMap(source_, &w);
+  w.PutI64(rows_seen_);
+  const std::vector<double> sums = SegmentSums();
+  w.PutU64(sums.size());
+  for (double s : sums) w.PutDouble(s);
+  EncodeSampleView(retained_, &w);
+  if (options_.subsample.has_value()) {
+    // ustar_ and retained_ are index-aligned; the row count travels once,
+    // inside the view encoding.
+    for (double u : ustar_) w.PutDouble(u);
+  }
+  return w.Take();
+}
+
+Result<StreamingSboxEstimator> StreamingSboxEstimator::DeserializeState(
+    std::string_view payload) {
+  WireReader r(payload);
+  StreamingSboxEstimator est;
+  GUS_RETURN_NOT_OK(DecodeGusParams(&r, &est.gus_));
+  GUS_RETURN_NOT_OK(r.ReadDouble(&est.options_.confidence_level));
+  uint8_t bound_kind = 0, has_subsample = 0;
+  GUS_RETURN_NOT_OK(r.ReadU8(&bound_kind));
+  if (bound_kind > static_cast<uint8_t>(BoundKind::kChebyshev)) {
+    return Status::InvalidArgument("wire SBox state has an unknown BoundKind");
+  }
+  est.options_.bound_kind = static_cast<BoundKind>(bound_kind);
+  GUS_RETURN_NOT_OK(r.ReadU8(&has_subsample));
+  if (has_subsample > 1) {
+    return Status::InvalidArgument("wire SBox state has a malformed "
+                                   "subsample flag");
+  }
+  if (has_subsample == 1) {
+    SubsampleConfig config;
+    GUS_RETURN_NOT_OK(r.ReadI64(&config.target_rows));
+    GUS_RETURN_NOT_OK(r.ReadU64(&config.seed));
+    if (config.target_rows < 1) {
+      return Status::InvalidArgument(
+          "wire SBox state has a non-positive subsample target");
+    }
+    est.options_.subsample = config;
+  }
+  GUS_RETURN_NOT_OK(DecodeSourceMap(&r, &est.source_));
+  GUS_RETURN_NOT_OK(r.ReadI64(&est.rows_seen_));
+  uint64_t num_segments = 0;
+  GUS_RETURN_NOT_OK(r.ReadU64(&num_segments));
+  if (num_segments > r.remaining() / 8) {
+    return Status::InvalidArgument("truncated wire SBox segment sums");
+  }
+  est.closed_sums_.resize(num_segments);
+  for (double& s : est.closed_sums_) GUS_RETURN_NOT_OK(r.ReadDouble(&s));
+  GUS_RETURN_NOT_OK(DecodeSampleView(&r, &est.retained_));
+  if (!(est.retained_.schema == est.gus_.schema())) {
+    return Status::InvalidArgument(
+        "wire SBox state: retained view schema does not match the GUS "
+        "schema");
+  }
+  if (est.rows_seen_ < est.retained_.num_rows()) {
+    return Status::InvalidArgument(
+        "wire SBox state: retained more rows than were seen");
+  }
+  if (has_subsample == 1) {
+    est.ustar_.resize(est.retained_.num_rows());
+    for (double& u : est.ustar_) GUS_RETURN_NOT_OK(r.ReadDouble(&u));
+  }
+  GUS_RETURN_NOT_OK(r.ExpectEnd());
+  return est;
+}
+
+void StreamingSboxEstimator::SealSegment() {
+  if (open_rows_ == 0) return;
+  closed_sums_.push_back(open_sum_);
+  open_sum_ = 0.0;
+  open_rows_ = 0;
+}
+
+std::vector<double> StreamingSboxEstimator::SegmentSums() const {
+  std::vector<double> sums = closed_sums_;
+  if (open_rows_ > 0) sums.push_back(open_sum_);
+  return sums;
+}
+
 Result<SboxReport> StreamingSboxEstimator::Finish() {
   if (gus_.a() <= 0.0) {
     return Status::InvalidArgument("estimator needs a > 0");
   }
   SboxReport report;
   report.sample_rows = rows_seen_;
-  report.estimate = sum_f_ / gus_.a();
+  // Left fold in segment (= stream) order; a lone segment reproduces the
+  // serial single-accumulator sum bit for bit.
+  double sum_f = 0.0;
+  for (double s : SegmentSums()) sum_f += s;
+  report.estimate = sum_f / gus_.a();
 
   // Assemble the variance view + GUS exactly as SboxEstimate does.
   SampleView final_view;

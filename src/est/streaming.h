@@ -27,6 +27,8 @@
 #define GUS_EST_STREAMING_H_
 
 #include <cstdint>
+#include <string>
+#include <string_view>
 #include <vector>
 
 #include "algebra/gus_params.h"
@@ -60,6 +62,17 @@ class SampleViewBuilder final : public BatchSink {
   /// builder consuming the concatenated stream.
   Status Merge(SampleViewBuilder&& other);
 
+  /// \brief Serializes the partial state as a WireTag::kViewBuilder payload
+  /// (see docs/WIRE_FORMAT.md).
+  ///
+  /// DeserializeState(SerializeState()) reproduces the state bit for bit;
+  /// the deserialized builder is merge/read-only (its expression binding
+  /// does not travel — Consume on it fails loudly). Merging deserialized
+  /// shard states in shard order is bit-identical to the in-process merge
+  /// of the original builders.
+  std::string SerializeState() const;
+  static Result<SampleViewBuilder> DeserializeState(std::string_view payload);
+
   const SampleView& view() const { return view_; }
   SampleView TakeView() { return std::move(view_); }
 
@@ -91,6 +104,19 @@ class StreamingSboxEstimator final : public BatchSink {
   /// Requires matching analysis schema and options.
   Status Merge(StreamingSboxEstimator&& other);
 
+  /// \brief Serializes the partial state as a WireTag::kSboxState payload:
+  /// GUS parameters, SBox options, dimension map, running sums, and the
+  /// Section-7 retained set with its unit values.
+  ///
+  /// Round-trip fidelity is bit-exact: Merge / Finish over deserialized
+  /// shard states reproduce the in-process results to the last bit (the
+  /// distributed gather path relies on this; see src/dist/). Deserialized
+  /// estimators are merge/finish-only — Consume fails loudly because the
+  /// bound aggregate expression does not travel.
+  std::string SerializeState() const;
+  static Result<StreamingSboxEstimator> DeserializeState(
+      std::string_view payload);
+
   /// Completes the estimation; bit-identical to SboxEstimate over the
   /// materialized view.
   Result<SboxReport> Finish();
@@ -109,13 +135,31 @@ class StreamingSboxEstimator final : public BatchSink {
   /// Drops retained rows that can no longer survive the final filter.
   void Prune();
 
+  /// Closes the open accumulation segment into closed_sums_ (no-op when
+  /// nothing was consumed since the last seal).
+  void SealSegment();
+  /// closed_sums_ plus the open segment, in stream order.
+  std::vector<double> SegmentSums() const;
+
   GusParams gus_;
   SboxOptions options_;
   std::vector<int> source_;
   ExprPtr bound_;
 
   int64_t rows_seen_ = 0;
-  double sum_f_ = 0.0;
+  /// \brief The point-estimate numerator as per-segment partial sums.
+  ///
+  /// One segment per contiguously-consumed partition (morsel), closed on
+  /// Merge; Finish folds the segments left-to-right. Keeping the
+  /// per-segment sums instead of one eagerly-merged accumulator makes the
+  /// total a pure function of the global segment sequence: however the
+  /// units are grouped into workers or shards, the same segments arrive
+  /// in the same order and the fold produces the same bits. (Eager
+  /// merging would re-associate the floating-point sum differently for
+  /// every shard count.)
+  std::vector<double> closed_sums_;
+  double open_sum_ = 0.0;
+  int64_t open_rows_ = 0;
   std::vector<double> f_scratch_;  // reused per batch
   /// Retained candidate rows with their max-over-dimensions unit value
   /// (a row survives threshold p iff ustar < p).

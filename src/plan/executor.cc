@@ -1,5 +1,6 @@
 #include "plan/executor.h"
 
+#include "dist/coordinator.h"
 #include "plan/columnar_executor.h"
 #include "plan/parallel_executor.h"
 #include "rel/operators.h"
@@ -98,6 +99,13 @@ Result<Relation> ExecutePlan(const PlanPtr& plan, const Catalog& catalog,
       GUS_ASSIGN_OR_RETURN(
           ColumnarRelation result,
           ExecutePlanMorsel(plan, &columnar, rng, mode, options));
+      return result.ToRelation();
+    }
+    case ExecEngine::kSharded: {
+      ColumnarCatalog columnar(&catalog);
+      GUS_ASSIGN_OR_RETURN(
+          ColumnarRelation result,
+          ExecutePlanSharded(plan, &columnar, rng, mode, options));
       return result.ToRelation();
     }
   }

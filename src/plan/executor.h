@@ -41,7 +41,17 @@ enum class ExecMode { kSampled, kExact };
 /// serial engines'; it is bit-deterministic in (plan, catalog, seed) and
 /// — because the morsel split and merge order never depend on the worker
 /// count — identical across num_threads values.
-enum class ExecEngine { kRowAtATime, kColumnar, kMorselParallel };
+///
+/// kSharded carves the same global morsel sequence into
+/// ExecOptions::num_shards contiguous shard ranges, executes each shard
+/// shared-nothing style (every shard re-runs the serial subtrees from the
+/// same seed), and merges the per-shard states in shard order (src/dist/).
+/// Because the unit split, per-unit Rng streams, and merge order are all
+/// shard-count independent, its result is bit-identical across num_shards
+/// values AND to kMorselParallel at the same (seed, morsel_rows); an
+/// unset morsel_rows is pinned to kDefaultMorselRows rather than
+/// auto-sized, so the split never depends on num_threads either.
+enum class ExecEngine { kRowAtATime, kColumnar, kMorselParallel, kSharded };
 
 /// Default rows per columnar pipeline batch.
 inline constexpr int64_t kDefaultBatchRows = 2048;
@@ -71,6 +81,13 @@ struct ExecOptions {
   /// thread counts — auto-sized runs reproduce only at a fixed
   /// num_threads, because the heuristic reads it.
   int64_t morsel_rows = 0;
+  /// \brief Logical shards for kSharded (ignored by the other engines).
+  ///
+  /// Shards are contiguous ranges of the global morsel sequence; the
+  /// result is bit-identical for every value >= 1 (see src/dist/shard.h),
+  /// so this knob trades per-shard work against shard count without
+  /// touching the statistics.
+  int num_shards = 1;
 
   Status Validate() const {
     if (batch_rows < 1) {
@@ -82,6 +99,9 @@ struct ExecOptions {
     }
     if (num_threads < 1) {
       return Status::InvalidArgument("ExecOptions::num_threads must be >= 1");
+    }
+    if (num_shards < 1) {
+      return Status::InvalidArgument("ExecOptions::num_shards must be >= 1");
     }
     return Status::OK();
   }

@@ -1,6 +1,7 @@
 #include "plan/parallel_executor.h"
 
 #include <algorithm>
+#include <limits>
 #include <map>
 #include <mutex>
 #include <utility>
@@ -237,6 +238,9 @@ class SharedProductSource final : public BatchSource {
   bool done_ = false;
 };
 
+int64_t ResolveMorselRows(int64_t pivot_rows, const ExecOptions& options);
+int64_t MorselCount(int64_t pivot_rows, int64_t morsel_rows);
+
 /// \brief The prepared morsel execution: shared state built once, then one
 /// pipeline instantiation per morsel.
 struct MorselPlan {
@@ -248,7 +252,7 @@ struct MorselPlan {
   ExecMode mode = ExecMode::kSampled;
 
   int64_t num_morsels() const {
-    return (pivot_rel->num_rows() + morsel_rows - 1) / morsel_rows;
+    return MorselCount(pivot_rel->num_rows(), morsel_rows);
   }
 
   /// Builds morsel `m`'s pipeline; `rng` must outlive the returned source.
@@ -333,6 +337,21 @@ int64_t AutoMorselRows(int64_t pivot_rows, int num_threads) {
   return std::clamp(rows, kMinAutoMorselRows, kMaxAutoMorselRows);
 }
 
+// The (pivot rows, options) -> split geometry formulas, shared by
+// AnalyzeMorselSplit (shard planning) and PrepareMorselPlan (execution):
+// the dist/ layer's correctness requires the planned and executed unit
+// sequences to be the same, so there is exactly one implementation.
+
+int64_t ResolveMorselRows(int64_t pivot_rows, const ExecOptions& options) {
+  return options.morsel_rows > 0
+             ? options.morsel_rows
+             : AutoMorselRows(pivot_rows, options.num_threads);
+}
+
+int64_t MorselCount(int64_t pivot_rows, int64_t morsel_rows) {
+  return (pivot_rows + morsel_rows - 1) / morsel_rows;
+}
+
 /// \brief Builds the shared morsel-plan state: resolves the pivot relation,
 /// executes every non-pivot subtree serially with `rng`, binds predicates,
 /// and pre-builds join hash tables.
@@ -345,10 +364,7 @@ Result<MorselPlan> PrepareMorselPlan(const PivotCandidate& pivot,
   plan.mode = mode;
   GUS_ASSIGN_OR_RETURN(plan.pivot_rel,
                        catalog->Get(pivot.scan->relation()));
-  plan.morsel_rows =
-      options.morsel_rows > 0
-          ? options.morsel_rows
-          : AutoMorselRows(plan.pivot_rel->num_rows(), options.num_threads);
+  plan.morsel_rows = ResolveMorselRows(plan.pivot_rel->num_rows(), options);
 
   LayoutPtr layout = plan.pivot_rel->layout_ptr();
   for (const PathStep& step : pivot.path) {
@@ -458,23 +474,48 @@ bool PlanIsPartitionable(const PlanPtr& plan, ExecMode mode) {
   return !cands.empty();
 }
 
-Status ParallelExecutePlanToSink(const PlanPtr& plan, ColumnarCatalog* catalog,
-                                 Rng* rng, ExecMode mode,
-                                 const ExecOptions& options,
-                                 const MorselSinkFactory& make_sink,
-                                 std::unique_ptr<MergeableBatchSink>* out) {
+Result<MorselSplit> AnalyzeMorselSplit(const PlanPtr& plan,
+                                       ColumnarCatalog* catalog, ExecMode mode,
+                                       const ExecOptions& options) {
   GUS_RETURN_NOT_OK(options.Validate());
   std::vector<PathStep> path;
   std::vector<PivotCandidate> cands;
   CollectPivots(plan, mode, &path, &cands);
+  MorselSplit split;
+  if (cands.empty()) return split;  // one serial fallback unit
+  GUS_ASSIGN_OR_RETURN(const PivotCandidate* pivot,
+                       ChoosePivot(cands, catalog));
+  GUS_ASSIGN_OR_RETURN(const ColumnarRelation* rel,
+                       catalog->Get(pivot->scan->relation()));
+  split.partitionable = true;
+  split.pivot_rows = rel->num_rows();
+  split.morsel_rows = ResolveMorselRows(split.pivot_rows, options);
+  split.num_units = MorselCount(split.pivot_rows, split.morsel_rows);
+  return split;
+}
+
+Status ParallelExecuteUnitRangeToSink(
+    const PlanPtr& plan, ColumnarCatalog* catalog, Rng* rng, ExecMode mode,
+    const ExecOptions& options, int64_t unit_begin, int64_t unit_end,
+    const MorselSinkFactory& make_sink,
+    std::unique_ptr<MergeableBatchSink>* out, uint64_t* stream_base_out) {
+  GUS_RETURN_NOT_OK(options.Validate());
+  if (stream_base_out != nullptr) *stream_base_out = 0;
+  std::vector<PathStep> path;
+  std::vector<PivotCandidate> cands;
+  CollectPivots(plan, mode, &path, &cands);
   if (cands.empty()) {
-    // Serial fallback: the standard columnar pipeline into one sink.
+    // Serial fallback — one execution unit (index 0), run iff the range
+    // contains it. The pipeline is compiled either way so static errors
+    // and the output layout never depend on the shard's range.
     GUS_ASSIGN_OR_RETURN(
         std::unique_ptr<BatchSource> pipeline,
         CompileBatchPipeline(plan, catalog, rng, mode, options.batch_rows));
     GUS_ASSIGN_OR_RETURN(std::unique_ptr<MergeableBatchSink> sink,
                          make_sink(*pipeline->layout()));
-    GUS_RETURN_NOT_OK(PumpToSink(pipeline.get(), sink.get()));
+    if (unit_begin <= 0 && unit_end > 0) {
+      GUS_RETURN_NOT_OK(PumpToSink(pipeline.get(), sink.get()));
+    }
     *out = std::move(sink);
     return Status::OK();
   }
@@ -484,11 +525,15 @@ Status ParallelExecutePlanToSink(const PlanPtr& plan, ColumnarCatalog* catalog,
   GUS_ASSIGN_OR_RETURN(MorselPlan morsel_plan,
                        PrepareMorselPlan(*pivot, catalog, rng, mode, options));
   // One draw seeds every morsel stream; consumed after the serial subtrees
-  // so the whole consumption order is a pure function of (plan, seed).
+  // so the whole consumption order is a pure function of (plan, seed) —
+  // and therefore identical in every shard worker running this plan.
   const uint64_t stream_base = rng->Next();
+  if (stream_base_out != nullptr) *stream_base_out = stream_base;
 
   const int64_t num_morsels = morsel_plan.num_morsels();
-  if (num_morsels == 0) {
+  unit_begin = std::clamp<int64_t>(unit_begin, 0, num_morsels);
+  unit_end = std::clamp<int64_t>(unit_end, unit_begin, num_morsels);
+  if (unit_begin >= unit_end) {
     GUS_ASSIGN_OR_RETURN(*out, make_sink(*morsel_plan.out_layout));
     return Status::OK();
   }
@@ -501,15 +546,17 @@ Status ParallelExecutePlanToSink(const PlanPtr& plan, ColumnarCatalog* catalog,
   // lock of its own and the fold order stays strictly sequential.
   std::mutex mu;
   std::map<int64_t, std::unique_ptr<MergeableBatchSink>> pending;
-  int64_t next_merge = 0;
+  int64_t next_merge = unit_begin;
   bool merging = false;
   std::unique_ptr<MergeableBatchSink> merged;
   Status error;
 
+  const int64_t range_units = unit_end - unit_begin;
   const int workers = static_cast<int>(
-      std::min<int64_t>(std::max(1, options.num_threads), num_morsels));
+      std::min<int64_t>(std::max(1, options.num_threads), range_units));
   ThreadPool pool(workers);
-  pool.ParallelFor(num_morsels, [&](int64_t m) {
+  pool.ParallelFor(range_units, [&](int64_t i) {
+    const int64_t m = unit_begin + i;
     {
       std::lock_guard<std::mutex> lock(mu);
       if (!error.ok()) return;
@@ -583,20 +630,52 @@ Status ParallelExecutePlanToSink(const PlanPtr& plan, ColumnarCatalog* catalog,
   return Status::OK();
 }
 
-Result<ColumnarRelation> ExecutePlanMorsel(const PlanPtr& plan,
-                                           ColumnarCatalog* catalog, Rng* rng,
-                                           ExecMode mode,
-                                           const ExecOptions& options) {
+Status ParallelExecutePlanToSink(const PlanPtr& plan, ColumnarCatalog* catalog,
+                                 Rng* rng, ExecMode mode,
+                                 const ExecOptions& options,
+                                 const MorselSinkFactory& make_sink,
+                                 std::unique_ptr<MergeableBatchSink>* out) {
+  return ParallelExecuteUnitRangeToSink(
+      plan, catalog, rng, mode, options, 0,
+      std::numeric_limits<int64_t>::max(), make_sink, out);
+}
+
+namespace {
+
+Result<ColumnarRelation> ExecuteRangeToRelation(
+    const PlanPtr& plan, ColumnarCatalog* catalog, Rng* rng, ExecMode mode,
+    const ExecOptions& options, int64_t unit_begin, int64_t unit_end) {
   std::unique_ptr<MergeableBatchSink> sink;
-  GUS_RETURN_NOT_OK(ParallelExecutePlanToSink(
-      plan, catalog, rng, mode, options,
-      [](const BatchLayout& layout) -> Result<std::unique_ptr<MergeableBatchSink>> {
+  GUS_RETURN_NOT_OK(ParallelExecuteUnitRangeToSink(
+      plan, catalog, rng, mode, options, unit_begin, unit_end,
+      [](const BatchLayout& layout)
+          -> Result<std::unique_ptr<MergeableBatchSink>> {
         auto ptr = std::make_shared<BatchLayout>(layout);
         return std::unique_ptr<MergeableBatchSink>(
             new RelationSink(LayoutPtr(std::move(ptr))));
       },
       &sink));
   return static_cast<RelationSink*>(sink.get())->TakeRelation();
+}
+
+}  // namespace
+
+Result<ColumnarRelation> ExecutePlanMorsel(const PlanPtr& plan,
+                                           ColumnarCatalog* catalog, Rng* rng,
+                                           ExecMode mode,
+                                           const ExecOptions& options) {
+  return ExecuteRangeToRelation(plan, catalog, rng, mode, options, 0,
+                                std::numeric_limits<int64_t>::max());
+}
+
+Result<ColumnarRelation> ExecutePlanMorselRange(const PlanPtr& plan,
+                                                ColumnarCatalog* catalog,
+                                                Rng* rng, ExecMode mode,
+                                                const ExecOptions& options,
+                                                int64_t unit_begin,
+                                                int64_t unit_end) {
+  return ExecuteRangeToRelation(plan, catalog, rng, mode, options, unit_begin,
+                                unit_end);
 }
 
 }  // namespace gus

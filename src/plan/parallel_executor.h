@@ -77,6 +77,36 @@ using MorselSinkFactory =
 /// executes the plan, via the serial fallback.
 bool PlanIsPartitionable(const PlanPtr& plan, ExecMode mode);
 
+/// \brief The deterministic execution-unit layout the morsel engine uses
+/// for (plan, catalog, mode, options).
+///
+/// Exposed so the shared-nothing layer (src/dist/) can carve the *same*
+/// global unit sequence into contiguous shard ranges: because the split
+/// depends only on (catalog, morsel_rows) — never on worker or shard
+/// counts — any partition of [0, num_units) into ordered ranges merges
+/// back to the identical result.
+struct MorselSplit {
+  /// False: no partition-safe pivot. The plan still executes, as exactly
+  /// one serial unit (unit 0) on the columnar fallback path.
+  bool partitionable = false;
+  /// Execution units: pivot morsels when partitionable (0 for an empty
+  /// pivot relation), else exactly 1 (the serial fallback unit).
+  int64_t num_units = 1;
+  /// Rows per morsel after auto-sizing (0 when not partitionable). Note
+  /// auto-sizing (ExecOptions::morsel_rows == 0) reads num_threads; pass
+  /// an explicit morsel_rows for a split that is invariant across worker
+  /// AND shard counts.
+  int64_t morsel_rows = 0;
+  /// Pivot relation rows (0 when not partitionable).
+  int64_t pivot_rows = 0;
+};
+
+/// \brief Computes the unit split without executing anything (the pivot
+/// relation is resolved, converting to columnar on first use).
+Result<MorselSplit> AnalyzeMorselSplit(const PlanPtr& plan,
+                                       ColumnarCatalog* catalog, ExecMode mode,
+                                       const ExecOptions& options);
+
 /// \brief Executes `plan` morsel-parallel, fanning batches into per-morsel
 /// sinks from `make_sink` and folding them into `*out` in morsel order.
 ///
@@ -89,12 +119,43 @@ Status ParallelExecutePlanToSink(const PlanPtr& plan, ColumnarCatalog* catalog,
                                  const MorselSinkFactory& make_sink,
                                  std::unique_ptr<MergeableBatchSink>* out);
 
+/// \brief Executes only the global units in [unit_begin, unit_end) of the
+/// AnalyzeMorselSplit layout (clamped to the valid range), folding their
+/// sinks into `*out` in ascending unit order.
+///
+/// This is the shard-worker primitive: unit u always draws from
+/// Rng::ForkStream(stream_base, u) where stream_base is the caller Rng's
+/// next draw *after* the serial non-pivot subtrees execute — so for a
+/// fixed (plan, catalog, seed, morsel_rows) the concatenation of any
+/// ordered range cover reproduces the full run bit for bit, regardless of
+/// how many ranges (shards) or threads execute it. Note the serial phase
+/// runs (and consumes `rng`) even for an empty range: every shard worker
+/// must consume the identical Rng prefix for stream_base to agree. On the
+/// non-partitionable fallback the single serial unit 0 runs iff the range
+/// contains it. `stream_base_out` (optional) receives the stream base
+/// (0 on the fallback path) so callers can cross-check shard consistency.
+Status ParallelExecuteUnitRangeToSink(
+    const PlanPtr& plan, ColumnarCatalog* catalog, Rng* rng, ExecMode mode,
+    const ExecOptions& options, int64_t unit_begin, int64_t unit_end,
+    const MorselSinkFactory& make_sink,
+    std::unique_ptr<MergeableBatchSink>* out,
+    uint64_t* stream_base_out = nullptr);
+
 /// Morsel-parallel execution materializing the merged result (per-morsel
 /// relations concatenate in morsel order, unifying string dictionaries).
 Result<ColumnarRelation> ExecutePlanMorsel(const PlanPtr& plan,
                                            ColumnarCatalog* catalog, Rng* rng,
                                            ExecMode mode,
                                            const ExecOptions& options);
+
+/// ExecutePlanMorsel restricted to units [unit_begin, unit_end) — the
+/// materializing shard-worker path (ExecEngine::kSharded relations).
+Result<ColumnarRelation> ExecutePlanMorselRange(const PlanPtr& plan,
+                                                ColumnarCatalog* catalog,
+                                                Rng* rng, ExecMode mode,
+                                                const ExecOptions& options,
+                                                int64_t unit_begin,
+                                                int64_t unit_end);
 
 }  // namespace gus
 

@@ -5,10 +5,15 @@
 #include <sstream>
 #include <unordered_map>
 
+#include "dist/coordinator.h"
+#include "dist/shard.h"
+#include "dist/transport.h"
+#include "dist/worker.h"
 #include "est/confidence.h"
 #include "est/group_by.h"
 #include "est/ratio.h"
 #include "est/streaming.h"
+#include "est/wire.h"
 #include "plan/columnar_executor.h"
 #include "plan/parallel_executor.h"
 #include "plan/soa_transform.h"
@@ -365,6 +370,42 @@ class ItemFanoutSink final : public MergeableBatchSink {
   std::vector<GroupedSumBuilder> groups_;
 };
 
+/// The estimate tail shared by the morsel-parallel and sharded paths:
+/// per-item estimation over the merged builders (views when ungrouped,
+/// group tables otherwise), exactly one of which is populated.
+Result<ApproxResult> EstimateFromBuilders(
+    const PlannedQuery& planned, const SoaResult& soa,
+    const SboxOptions& options, int64_t sample_rows,
+    std::vector<SampleViewBuilder>* views,
+    std::vector<GroupedSumBuilder>* groups) {
+  ApproxResult result;
+  result.sample_rows = sample_rows;
+  for (size_t i = 0; i < planned.items.size(); ++i) {
+    if (planned.group_by.empty()) {
+      GUS_ASSIGN_OR_RETURN(ApproxValue value,
+                           EstimateItem(planned.items[i], soa.top,
+                                        (*views)[i].view(), options));
+      result.values.push_back(std::move(value));
+    } else {
+      GUS_ASSIGN_OR_RETURN(
+          auto estimates,
+          (*groups)[i].Finish(soa.top, options.confidence_level,
+                              options.bound_kind));
+      for (const GroupEstimate& ge : estimates) {
+        ApproxValue value;
+        value.label = "SUM(" + planned.items[i].expr->ToString() + ")";
+        value.group = planned.group_by + "=" + ge.key.ToString();
+        value.value = ge.estimate;
+        value.stddev = ge.stddev;
+        value.lo = ge.interval.lo;
+        value.hi = ge.interval.hi;
+        result.values.push_back(std::move(value));
+      }
+    }
+  }
+  return result;
+}
+
 /// Morsel-parallel path, grouped or not: one parallel pass fans every
 /// partition's stream into per-item builders, merged in morsel order.
 Result<ApproxResult> RunMorselParallel(const PlannedQuery& planned,
@@ -386,33 +427,117 @@ Result<ApproxResult> RunMorselParallel(const PlannedQuery& planned,
       },
       &sink));
   auto* fanout = static_cast<ItemFanoutSink*>(sink.get());
-  ApproxResult result;
-  result.sample_rows = fanout->sample_rows();
-  for (size_t i = 0; i < planned.items.size(); ++i) {
+  return EstimateFromBuilders(planned, soa, options, fanout->sample_rows(),
+                              fanout->views(), fanout->groups());
+}
+
+/// \brief Sharded path (ExecEngine::kSharded): scatter the query over
+/// num_shards shared-nothing workers, each serializing its per-item
+/// builder states into an est/wire bundle, then gather — deserialize and
+/// merge in shard order — and estimate.
+///
+/// The per-shard states round-trip through the real wire format and a
+/// ShardTransport even in this single-process form, so the cross-node
+/// contract is exercised on every kSharded query, not only in tests.
+Result<ApproxResult> RunSharded(const PlannedQuery& planned,
+                                const SoaResult& soa, const Catalog& catalog,
+                                uint64_t seed, const SboxOptions& options,
+                                const ExecOptions& exec) {
+  ColumnarCatalog columnar(&catalog);
+  LocalTransport transport;
+  const int num_shards = exec.num_shards;
+
+  // Scatter: every worker recomputes the deterministic shard plan and
+  // executes only its contiguous unit range.
+  for (int k = 0; k < num_shards; ++k) {
+    std::unique_ptr<MergeableBatchSink> sink;
+    ShardMeta meta;
+    GUS_RETURN_NOT_OK(RunShardToSink(
+        planned.plan, &columnar, seed, ExecMode::kSampled, exec, k,
+        num_shards,
+        [&](const BatchLayout& layout)
+            -> Result<std::unique_ptr<MergeableBatchSink>> {
+          GUS_ASSIGN_OR_RETURN(std::unique_ptr<ItemFanoutSink> fanout,
+                               ItemFanoutSink::Make(layout, planned.items,
+                                                    soa.top.schema(),
+                                                    planned.group_by));
+          return std::unique_ptr<MergeableBatchSink>(std::move(fanout));
+        },
+        &sink, &meta));
+    auto* fanout = static_cast<ItemFanoutSink*>(sink.get());
+    meta.rows = fanout->sample_rows();
+    std::vector<std::pair<WireTag, std::string>> item_sections;
+    item_sections.reserve(planned.items.size());
     if (planned.group_by.empty()) {
-      GUS_ASSIGN_OR_RETURN(
-          ApproxValue value,
-          EstimateItem(planned.items[i], soa.top,
-                       (*fanout->views())[i].view(), options));
-      result.values.push_back(std::move(value));
+      for (const SampleViewBuilder& builder : *fanout->views()) {
+        item_sections.emplace_back(WireTag::kViewBuilder,
+                                   builder.SerializeState());
+      }
     } else {
-      GUS_ASSIGN_OR_RETURN(
-          auto groups,
-          (*fanout->groups())[i].Finish(soa.top, options.confidence_level,
-                                        options.bound_kind));
-      for (const GroupEstimate& ge : groups) {
-        ApproxValue value;
-        value.label = "SUM(" + planned.items[i].expr->ToString() + ")";
-        value.group = planned.group_by + "=" + ge.key.ToString();
-        value.value = ge.estimate;
-        value.stddev = ge.stddev;
-        value.lo = ge.interval.lo;
-        value.hi = ge.interval.hi;
-        result.values.push_back(std::move(value));
+      for (const GroupedSumBuilder& builder : *fanout->groups()) {
+        item_sections.emplace_back(WireTag::kGroupedSum,
+                                   builder.SerializeState());
       }
     }
+    GUS_RETURN_NOT_OK(
+        transport.Send(k, BuildShardBundle(meta, item_sections)));
   }
-  return result;
+
+  // Gather: deserialize and fold shard states in ascending shard order
+  // (the same global unit order the morsel engine merges in).
+  std::vector<ShardMeta> metas;
+  metas.reserve(num_shards);
+  std::vector<SampleViewBuilder> views;
+  std::vector<GroupedSumBuilder> groups;
+  int64_t sample_rows = 0;
+  std::string rng_fingerprint;
+  const WireTag item_tag = planned.group_by.empty() ? WireTag::kViewBuilder
+                                                    : WireTag::kGroupedSum;
+  for (int k = 0; k < num_shards; ++k) {
+    std::string bundle;
+    GUS_ASSIGN_OR_RETURN(
+        std::vector<WireSectionView> sections,
+        ReceiveShardSections(&transport, k, &metas, &rng_fingerprint,
+                             &bundle));
+    sample_rows += metas.back().rows;
+    size_t matching = 0;
+    for (const WireSectionView& section : sections) {
+      if (section.tag == item_tag) ++matching;
+    }
+    if (matching != planned.items.size()) {
+      return Status::InvalidArgument(
+          "shard " + std::to_string(k) + " bundle carries " +
+          std::to_string(matching) + " item states, expected " +
+          std::to_string(planned.items.size()));
+    }
+    size_t item = 0;
+    for (const WireSectionView& section : sections) {
+      if (section.tag != item_tag) continue;
+      if (planned.group_by.empty()) {
+        GUS_ASSIGN_OR_RETURN(
+            SampleViewBuilder builder,
+            SampleViewBuilder::DeserializeState(section.payload));
+        if (k == 0) {
+          views.push_back(std::move(builder));
+        } else {
+          GUS_RETURN_NOT_OK(views[item].Merge(std::move(builder)));
+        }
+      } else {
+        GUS_ASSIGN_OR_RETURN(
+            GroupedSumBuilder builder,
+            GroupedSumBuilder::DeserializeState(section.payload));
+        if (k == 0) {
+          groups.push_back(std::move(builder));
+        } else {
+          GUS_RETURN_NOT_OK(groups[item].Merge(std::move(builder)));
+        }
+      }
+      ++item;
+    }
+  }
+  GUS_RETURN_NOT_OK(ValidateShardMetas(metas));
+  return EstimateFromBuilders(planned, soa, options, sample_rows, &views,
+                              &groups);
 }
 
 }  // namespace
@@ -436,6 +561,9 @@ Result<ApproxResult> RunApproxQuery(const std::string& sql,
   GUS_ASSIGN_OR_RETURN(SoaResult soa, SoaTransform(planned.plan));
 
   Rng rng(seed);
+  if (exec.engine == ExecEngine::kSharded) {
+    return RunSharded(planned, soa, catalog, seed, options, exec);
+  }
   if (exec.engine == ExecEngine::kMorselParallel) {
     return RunMorselParallel(planned, soa, catalog, &rng, options, exec);
   }

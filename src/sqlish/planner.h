@@ -70,12 +70,17 @@ Result<ApproxResult> RunApproxQuery(const std::string& sql,
                                     ExecEngine engine = ExecEngine::kRowAtATime);
 
 /// \brief Full-options overload: ExecEngine::kMorselParallel runs the plan
-/// partition-parallel with exec.num_threads workers.
+/// partition-parallel with exec.num_threads workers;
+/// ExecEngine::kSharded scatters it over exec.num_shards shared-nothing
+/// workers whose per-item builder states round-trip through the binary
+/// wire format (est/wire.h, docs/WIRE_FORMAT.md) before the gather merge.
 ///
 /// Ungrouped queries fan the batch stream into per-item SampleViewBuilders
 /// per partition; grouped queries into per-item GroupedSumBuilders; both
 /// merge in morsel order, so the result is bit-deterministic in (sql,
-/// catalog, seed, exec) and identical across num_threads values.
+/// catalog, seed, exec) and identical across num_threads values — and,
+/// for kSharded, across num_shards values (shards are contiguous ranges
+/// of the same global morsel sequence; see src/dist/shard.h).
 Result<ApproxResult> RunApproxQuery(const std::string& sql,
                                     const Catalog& catalog, uint64_t seed,
                                     const SboxOptions& options,

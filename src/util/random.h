@@ -117,6 +117,25 @@ class Rng {
   uint64_t num_draws() const { return num_draws_; }
   void ResetDrawCount() { num_draws_ = 0; }
 
+  /// Words of generator state captured by SaveState / RestoreState.
+  static constexpr int kStateWords = 4;
+
+  /// \brief Copies the generator state (4 words) plus the draw counter.
+  ///
+  /// SaveState followed by RestoreState resumes the exact draw sequence —
+  /// the distributed layer ships stream positions across processes this
+  /// way (est/wire.h) and validates that every shard worker's serial phase
+  /// consumed the identical prefix.
+  void SaveState(uint64_t state[kStateWords], uint64_t* draws) const {
+    for (int i = 0; i < kStateWords; ++i) state[i] = s_[i];
+    *draws = num_draws_;
+  }
+
+  void RestoreState(const uint64_t state[kStateWords], uint64_t draws) {
+    for (int i = 0; i < kStateWords; ++i) s_[i] = state[i];
+    num_draws_ = draws;
+  }
+
  private:
   static uint64_t Rotl(uint64_t x, int k) {
     return (x << k) | (x >> (64 - k));

@@ -1,0 +1,453 @@
+// The shared-nothing distributed estimation layer (src/dist/): shard-count
+// invariance of estimates and confidence intervals, parity with the
+// in-process morsel engine and (for Rng-free plans) the serial engines,
+// transport round-trips, and loud failure on every inconsistency the
+// gather coordinator can detect.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "algebra/translate.h"
+#include "data/tpch_gen.h"
+#include "data/workload.h"
+#include "dist/coordinator.h"
+#include "dist/shard.h"
+#include "dist/transport.h"
+#include "dist/worker.h"
+#include "est/streaming.h"
+#include "est/wire.h"
+#include "plan/columnar_executor.h"
+#include "plan/parallel_executor.h"
+#include "plan/soa_transform.h"
+#include "sqlish/planner.h"
+#include "test_util.h"
+
+namespace gus {
+namespace {
+
+using ::gus::testing::MakeTinyJoin;
+
+void ExpectReportsIdentical(const SboxReport& x, const SboxReport& y) {
+  EXPECT_EQ(x.estimate, y.estimate);
+  EXPECT_EQ(x.variance, y.variance);
+  EXPECT_EQ(x.stddev, y.stddev);
+  EXPECT_EQ(x.interval.lo, y.interval.lo);
+  EXPECT_EQ(x.interval.hi, y.interval.hi);
+  EXPECT_EQ(x.sample_rows, y.sample_rows);
+  EXPECT_EQ(x.variance_rows, y.variance_rows);
+  EXPECT_EQ(x.y_hat, y.y_hat);
+}
+
+/// Query 1 at test scale with everything the estimator needs prebuilt.
+struct Query1Fixture {
+  TpchData data;
+  Catalog catalog;
+  Workload q1;
+  SoaResult soa;
+  SboxOptions options;
+  ExecOptions exec;
+
+  Query1Fixture() {
+    TpchConfig config;
+    config.num_orders = 300;
+    config.num_customers = 40;
+    config.num_parts = 30;
+    data = GenerateTpch(config);
+    catalog = data.MakeCatalog();
+    Query1Params params;
+    params.lineitem_p = 0.4;
+    params.orders_n = 120;
+    params.orders_population = 300;
+    q1 = MakeQuery1(params);
+    soa = SoaTransform(q1.plan).ValueOrDie();
+    options.subsample = SubsampleConfig{};
+    options.subsample->target_rows = 200;  // engage Section 7 retention
+    exec.morsel_rows = 64;  // many units at this scale
+  }
+};
+
+TEST(DistTest, ShardPlanTilesTheUnitSequence) {
+  Query1Fixture fx;
+  ColumnarCatalog columnar(&fx.catalog);
+  const ExecOptions normalized = ShardedExecOptions(fx.exec);
+  int64_t units_at_one = -1;
+  for (const int num_shards : {1, 2, 3, 8, 64}) {
+    SCOPED_TRACE(num_shards);
+    ASSERT_OK_AND_ASSIGN(
+        ShardPlan sp, PlanShards(fx.q1.plan, &columnar, ExecMode::kSampled,
+                                 normalized, num_shards));
+    EXPECT_TRUE(sp.split.partitionable);
+    if (units_at_one < 0) units_at_one = sp.split.num_units;
+    // The unit sequence never depends on the shard count.
+    EXPECT_EQ(units_at_one, sp.split.num_units);
+    ASSERT_EQ(static_cast<size_t>(num_shards), sp.shards.size());
+    int64_t covered = 0;
+    for (int k = 0; k < num_shards; ++k) {
+      EXPECT_EQ(covered, sp.shards[k].unit_begin);
+      EXPECT_LE(sp.shards[k].unit_begin, sp.shards[k].unit_end);
+      covered = sp.shards[k].unit_end;
+    }
+    EXPECT_EQ(sp.split.num_units, covered);
+  }
+  EXPECT_GT(units_at_one, 8);  // the fixture really exercises multi-unit shards
+}
+
+TEST(DistTest, EstimateBitIdenticalAcrossShardCounts) {
+  Query1Fixture fx;
+  ASSERT_OK_AND_ASSIGN(
+      SboxReport one,
+      ShardedSboxEstimate(fx.q1.plan, fx.catalog, /*seed=*/17,
+                          ExecMode::kSampled, fx.exec, /*num_shards=*/1,
+                          fx.q1.aggregate, fx.soa.top, fx.options));
+  EXPECT_GT(one.sample_rows, 0);
+  for (const int num_shards : {2, 4, 8}) {
+    SCOPED_TRACE(num_shards);
+    ASSERT_OK_AND_ASSIGN(
+        SboxReport sharded,
+        ShardedSboxEstimate(fx.q1.plan, fx.catalog, 17, ExecMode::kSampled,
+                            fx.exec, num_shards, fx.q1.aggregate, fx.soa.top,
+                            fx.options));
+    ExpectReportsIdentical(one, sharded);
+  }
+}
+
+TEST(DistTest, ShardedMatchesMorselEngine) {
+  // The sharded gather must reproduce EstimatePlanParallel at the same
+  // (seed, morsel_rows) bit for bit — sharding only re-partitions the same
+  // global unit sequence.
+  Query1Fixture fx;
+  ColumnarCatalog columnar(&fx.catalog);
+  const ExecOptions normalized = ShardedExecOptions(fx.exec);
+  for (const int num_threads : {1, 4}) {
+    SCOPED_TRACE(num_threads);
+    ExecOptions exec = normalized;
+    exec.num_threads = num_threads;
+    Rng rng(17);
+    ASSERT_OK_AND_ASSIGN(
+        SboxReport morsel,
+        EstimatePlanParallel(fx.q1.plan, &columnar, &rng, fx.q1.aggregate,
+                             fx.soa.top, fx.options, ExecMode::kSampled,
+                             exec));
+    ASSERT_OK_AND_ASSIGN(
+        SboxReport sharded,
+        ShardedSboxEstimate(fx.q1.plan, fx.catalog, 17, ExecMode::kSampled,
+                            exec, /*num_shards=*/3, fx.q1.aggregate,
+                            fx.soa.top, fx.options));
+    ExpectReportsIdentical(morsel, sharded);
+  }
+}
+
+TEST(DistTest, FileTransportMatchesLocal) {
+  Query1Fixture fx;
+  ASSERT_OK_AND_ASSIGN(
+      SboxReport local,
+      ShardedSboxEstimate(fx.q1.plan, fx.catalog, 23, ExecMode::kSampled,
+                          fx.exec, /*num_shards=*/3, fx.q1.aggregate,
+                          fx.soa.top, fx.options));
+  FileTransport files(::testing::TempDir() + "/gus_dist_test");
+  ASSERT_OK_AND_ASSIGN(
+      SboxReport viafiles,
+      ShardedSboxEstimate(fx.q1.plan, fx.catalog, 23, ExecMode::kSampled,
+                          fx.exec, /*num_shards=*/3, fx.q1.aggregate,
+                          fx.soa.top, fx.options, &files));
+  ExpectReportsIdentical(local, viafiles);
+}
+
+TEST(DistTest, MoreShardsThanUnitsYieldsEmptyShards) {
+  Query1Fixture fx;
+  ExecOptions coarse = fx.exec;
+  coarse.morsel_rows = int64_t{1} << 20;  // one unit for the whole pivot
+  ASSERT_OK_AND_ASSIGN(
+      SboxReport one,
+      ShardedSboxEstimate(fx.q1.plan, fx.catalog, 29, ExecMode::kSampled,
+                          coarse, /*num_shards=*/1, fx.q1.aggregate,
+                          fx.soa.top, fx.options));
+  ASSERT_OK_AND_ASSIGN(
+      SboxReport eight,
+      ShardedSboxEstimate(fx.q1.plan, fx.catalog, 29, ExecMode::kSampled,
+                          coarse, /*num_shards=*/8, fx.q1.aggregate,
+                          fx.soa.top, fx.options));
+  ExpectReportsIdentical(one, eight);
+  EXPECT_GT(one.sample_rows, 0);
+}
+
+TEST(DistTest, SerialFallbackPlanStillShards) {
+  // A union has no partition-safe pivot: the plan executes as one serial
+  // unit on whichever shard owns it, and the result matches the serial
+  // streaming estimator bit for bit (same Rng(seed) consumption).
+  Catalog catalog = MakeTinyJoin(64, 1).MakeCatalog();
+  PlanPtr scan = PlanNode::Scan("D");
+  PlanPtr plan = PlanNode::Union(
+      PlanNode::Sample(SamplingSpec::Bernoulli(0.5), scan),
+      PlanNode::Sample(SamplingSpec::Bernoulli(0.5), scan));
+  ASSERT_OK_AND_ASSIGN(SoaResult soa, SoaTransform(plan));
+  ExprPtr f = Col("w");
+
+  ColumnarCatalog columnar(&catalog);
+  Rng rng(31);
+  ASSERT_OK_AND_ASSIGN(
+      SboxReport serial,
+      EstimatePlanStreaming(plan, &columnar, &rng, f, soa.top, {}));
+  for (const int num_shards : {1, 3}) {
+    SCOPED_TRACE(num_shards);
+    ASSERT_OK_AND_ASSIGN(
+        SboxReport sharded,
+        ShardedSboxEstimate(plan, catalog, 31, ExecMode::kSampled, {},
+                            num_shards, f, soa.top, {}));
+    ExpectReportsIdentical(serial, sharded);
+  }
+}
+
+TEST(DistTest, ExactModeMatchesSerialAndMorsel) {
+  // In exact mode no sampler consumes randomness, so the sharded engine
+  // sees exactly the serial engines' rows. The *estimate* is bit-identical
+  // to the morsel engine (same per-unit summation segments) and agrees
+  // with the serial streaming path up to floating-point summation
+  // association — the serial engine folds one long accumulator while the
+  // partitioned engines fold per-unit partial sums.
+  Query1Fixture fx;
+  ColumnarCatalog columnar(&fx.catalog);
+  Rng serial_rng(37);
+  ASSERT_OK_AND_ASSIGN(
+      SboxReport serial,
+      EstimatePlanStreaming(fx.q1.plan, &columnar, &serial_rng,
+                            fx.q1.aggregate, fx.soa.top, fx.options,
+                            ExecMode::kExact));
+  Rng morsel_rng(37);
+  ASSERT_OK_AND_ASSIGN(
+      SboxReport morsel,
+      EstimatePlanParallel(fx.q1.plan, &columnar, &morsel_rng,
+                           fx.q1.aggregate, fx.soa.top, fx.options,
+                           ExecMode::kExact, ShardedExecOptions(fx.exec)));
+  for (const int num_shards : {1, 4}) {
+    SCOPED_TRACE(num_shards);
+    ASSERT_OK_AND_ASSIGN(
+        SboxReport sharded,
+        ShardedSboxEstimate(fx.q1.plan, fx.catalog, 37, ExecMode::kExact,
+                            fx.exec, num_shards, fx.q1.aggregate, fx.soa.top,
+                            fx.options));
+    ExpectReportsIdentical(morsel, sharded);
+    EXPECT_EQ(serial.sample_rows, sharded.sample_rows);
+    EXPECT_NEAR(serial.estimate, sharded.estimate,
+                1e-12 * std::abs(serial.estimate));
+  }
+}
+
+TEST(DistTest, LineageBernoulliMatchesSerialEngines) {
+  // Lineage-seeded Bernoulli decisions are Rng-free, so the sharded draw
+  // IS the serial draw: estimates agree with the serial engines bitwise
+  // even in sampled mode.
+  Catalog catalog = MakeTinyJoin(128, 4).MakeCatalog();
+  PlanPtr plan = PlanNode::Join(
+      PlanNode::Sample(SamplingSpec::LineageBernoulli("F", 0.4, 77),
+                       PlanNode::Scan("F")),
+      PlanNode::Scan("D"), "fk", "pk");
+  ASSERT_OK_AND_ASSIGN(SoaResult soa, SoaTransform(plan));
+  ExprPtr f = Mul(Col("v"), Col("w"));
+
+  ColumnarCatalog columnar(&catalog);
+  Rng rng(41);
+  ASSERT_OK_AND_ASSIGN(
+      SboxReport serial,
+      EstimatePlanStreaming(plan, &columnar, &rng, f, soa.top, {}));
+  ExecOptions exec;
+  exec.morsel_rows = 64;
+  for (const int num_shards : {1, 3}) {
+    SCOPED_TRACE(num_shards);
+    ASSERT_OK_AND_ASSIGN(
+        SboxReport sharded,
+        ShardedSboxEstimate(plan, catalog, 41, ExecMode::kSampled, exec,
+                            num_shards, f, soa.top, {}));
+    ExpectReportsIdentical(serial, sharded);
+  }
+}
+
+TEST(DistTest, GatherRejectsSeedMismatch) {
+  Query1Fixture fx;
+  ColumnarCatalog columnar(&fx.catalog);
+  LocalTransport transport;
+  ASSERT_OK_AND_ASSIGN(
+      std::string bundle0,
+      RunShardSbox(fx.q1.plan, &columnar, /*seed=*/1, ExecMode::kSampled,
+                   fx.exec, 0, 2, fx.q1.aggregate, fx.soa.top, fx.options));
+  ASSERT_OK_AND_ASSIGN(
+      std::string bundle1,
+      RunShardSbox(fx.q1.plan, &columnar, /*seed=*/2, ExecMode::kSampled,
+                   fx.exec, 1, 2, fx.q1.aggregate, fx.soa.top, fx.options));
+  ASSERT_OK(transport.Send(0, std::move(bundle0)));
+  ASSERT_OK(transport.Send(1, std::move(bundle1)));
+  const Status st = GatherSboxEstimate(&transport, 2).status();
+  EXPECT_STATUS_CODE(kInvalidArgument, st);
+}
+
+TEST(DistTest, GatherRejectsDivergentShardPlan) {
+  // Shard 1 executed with a different morsel_rows: its units are not the
+  // coordinator's units, so merging would double- or zero-count tuples.
+  Query1Fixture fx;
+  ColumnarCatalog columnar(&fx.catalog);
+  LocalTransport transport;
+  ASSERT_OK_AND_ASSIGN(
+      std::string bundle0,
+      RunShardSbox(fx.q1.plan, &columnar, 7, ExecMode::kSampled, fx.exec, 0,
+                   2, fx.q1.aggregate, fx.soa.top, fx.options));
+  ExecOptions other = fx.exec;
+  other.morsel_rows = 128;
+  ASSERT_OK_AND_ASSIGN(
+      std::string bundle1,
+      RunShardSbox(fx.q1.plan, &columnar, 7, ExecMode::kSampled, other, 1, 2,
+                   fx.q1.aggregate, fx.soa.top, fx.options));
+  ASSERT_OK(transport.Send(0, std::move(bundle0)));
+  ASSERT_OK(transport.Send(1, std::move(bundle1)));
+  EXPECT_STATUS_CODE(kInvalidArgument,
+                     GatherSboxEstimate(&transport, 2).status());
+}
+
+TEST(DistTest, GatherRejectsMissingShard) {
+  Query1Fixture fx;
+  ColumnarCatalog columnar(&fx.catalog);
+  LocalTransport transport;
+  ASSERT_OK_AND_ASSIGN(
+      std::string bundle0,
+      RunShardSbox(fx.q1.plan, &columnar, 7, ExecMode::kSampled, fx.exec, 0,
+                   2, fx.q1.aggregate, fx.soa.top, fx.options));
+  ASSERT_OK(transport.Send(0, std::move(bundle0)));
+  EXPECT_FALSE(GatherSboxEstimate(&transport, 2).ok());
+}
+
+TEST(DistTest, TruncatedAndCorruptShardFilesFailLoudly) {
+  Query1Fixture fx;
+  ColumnarCatalog columnar(&fx.catalog);
+  const std::string dir = ::testing::TempDir() + "/gus_dist_corrupt";
+  FileTransport files(dir);
+  ASSERT_OK_AND_ASSIGN(
+      std::string bundle,
+      RunShardSbox(fx.q1.plan, &columnar, 7, ExecMode::kSampled, fx.exec, 0,
+                   1, fx.q1.aggregate, fx.soa.top, fx.options));
+  ASSERT_OK(files.Send(0, bundle));
+  ASSERT_OK(files.Receive(0).status());
+
+  // Truncate the frame file.
+  {
+    std::ifstream in(files.ShardPath(0), std::ios::binary);
+    std::string contents((std::istreambuf_iterator<char>(in)),
+                         std::istreambuf_iterator<char>());
+    std::ofstream out(files.ShardPath(0),
+                      std::ios::binary | std::ios::trunc);
+    out.write(contents.data(),
+              static_cast<std::streamsize>(contents.size() / 2));
+  }
+  EXPECT_STATUS_CODE(kInvalidArgument, files.Receive(0).status());
+
+  // Rewrite intact, then flip one payload byte: the frame checksum trips.
+  ASSERT_OK(files.Send(0, bundle));
+  {
+    std::fstream io(files.ShardPath(0),
+                    std::ios::binary | std::ios::in | std::ios::out);
+    io.seekp(20);  // inside the payload (frame header is 12 bytes)
+    char byte = 0;
+    io.seekg(20);
+    io.read(&byte, 1);
+    byte = static_cast<char>(byte ^ 0x55);
+    io.seekp(20);
+    io.write(&byte, 1);
+  }
+  EXPECT_STATUS_CODE(kInvalidArgument, files.Receive(0).status());
+}
+
+TEST(DistTest, SqlishShardedBitIdenticalAcrossShardCounts) {
+  TpchConfig config;
+  config.num_orders = 250;
+  config.num_customers = 30;
+  config.num_parts = 25;
+  TpchData data = GenerateTpch(config);
+  Catalog catalog = data.MakeCatalog();
+  for (const char* sql :
+       {"SELECT SUM(l_discount * o_totalprice), COUNT(*) "
+        "FROM l TABLESAMPLE (40 PERCENT), o "
+        "WHERE l_orderkey = o_orderkey",
+        "SELECT SUM(l_quantity) "
+        "FROM l TABLESAMPLE (50 PERCENT), o "
+        "WHERE l_orderkey = o_orderkey GROUP BY o_custkey"}) {
+    SCOPED_TRACE(sql);
+    ExecOptions exec;
+    exec.engine = ExecEngine::kSharded;
+    exec.morsel_rows = 64;
+    exec.num_shards = 1;
+    ASSERT_OK_AND_ASSIGN(sqlish::ApproxResult one,
+                         sqlish::RunApproxQuery(sql, catalog, 53, {}, exec));
+    EXPECT_GT(one.values.size(), 0u);
+    for (const int num_shards : {3, 8}) {
+      SCOPED_TRACE(num_shards);
+      exec.num_shards = num_shards;
+      ASSERT_OK_AND_ASSIGN(
+          sqlish::ApproxResult sharded,
+          sqlish::RunApproxQuery(sql, catalog, 53, {}, exec));
+      ASSERT_EQ(one.values.size(), sharded.values.size());
+      EXPECT_EQ(one.sample_rows, sharded.sample_rows);
+      for (size_t i = 0; i < one.values.size(); ++i) {
+        EXPECT_EQ(one.values[i].label, sharded.values[i].label);
+        EXPECT_EQ(one.values[i].group, sharded.values[i].group);
+        EXPECT_EQ(one.values[i].value, sharded.values[i].value);
+        EXPECT_EQ(one.values[i].stddev, sharded.values[i].stddev);
+        EXPECT_EQ(one.values[i].lo, sharded.values[i].lo);
+        EXPECT_EQ(one.values[i].hi, sharded.values[i].hi);
+      }
+    }
+  }
+}
+
+TEST(DistTest, RelationEngineShardCountInvariance) {
+  // ExecutePlan's kSharded engine: identical relations across shard counts
+  // and vs the morsel engine at the same (seed, morsel_rows).
+  Catalog catalog = MakeTinyJoin(100, 3).MakeCatalog();
+  PlanPtr plan = PlanNode::Join(
+      PlanNode::Sample(SamplingSpec::Bernoulli(0.6), PlanNode::Scan("F")),
+      PlanNode::Scan("D"), "fk", "pk");
+  ExecOptions morsel;
+  morsel.engine = ExecEngine::kMorselParallel;
+  morsel.morsel_rows = 32;
+  Rng morsel_rng(59);
+  ASSERT_OK_AND_ASSIGN(
+      Relation expected,
+      ExecutePlan(plan, catalog, &morsel_rng, ExecMode::kSampled, morsel));
+  for (const int num_shards : {1, 3, 8}) {
+    SCOPED_TRACE(num_shards);
+    ExecOptions exec;
+    exec.engine = ExecEngine::kSharded;
+    exec.morsel_rows = 32;
+    exec.num_shards = num_shards;
+    Rng rng(59);
+    ASSERT_OK_AND_ASSIGN(
+        Relation sharded,
+        ExecutePlan(plan, catalog, &rng, ExecMode::kSampled, exec));
+    ASSERT_EQ(expected.num_rows(), sharded.num_rows());
+    for (int64_t i = 0; i < expected.num_rows(); ++i) {
+      EXPECT_EQ(expected.lineage(i), sharded.lineage(i)) << "row " << i;
+      const Row& a = expected.row(i);
+      const Row& b = sharded.row(i);
+      ASSERT_EQ(a.size(), b.size());
+      for (size_t c = 0; c < a.size(); ++c) {
+        EXPECT_TRUE(a[c] == b[c]) << "row " << i << " col " << c;
+      }
+    }
+  }
+}
+
+TEST(DistTest, ValidatesExecOptions) {
+  Query1Fixture fx;
+  ExecOptions bad;
+  bad.num_shards = 0;
+  bad.engine = ExecEngine::kSharded;
+  Rng rng(1);
+  EXPECT_STATUS_CODE(
+      kInvalidArgument,
+      ExecutePlan(fx.q1.plan, fx.catalog, &rng, ExecMode::kSampled, bad)
+          .status());
+}
+
+}  // namespace
+}  // namespace gus

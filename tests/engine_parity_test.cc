@@ -395,6 +395,145 @@ TEST(EngineParityTest, SqlishMorselThreadParity) {
   }
 }
 
+// -- Sharded engine: shard-count parity --------------------------------------
+//
+// ExecEngine::kSharded partitions the same global morsel sequence into
+// shards, so its results are bit-identical across num_shards AND to
+// kMorselParallel at the same (seed, morsel_rows). Against the *serial*
+// engines it draws a different (equally valid) sample — except in exact
+// mode and for Rng-free (lineage-seeded) sampling, where the rows
+// coincide and only floating-point summation association can differ.
+
+ExecOptions ShardedWith(int num_shards) {
+  ExecOptions options;
+  options.engine = ExecEngine::kSharded;
+  options.num_shards = num_shards;
+  options.morsel_rows = 32;
+  return options;
+}
+
+TEST(EngineParityTest, ShardedShardCountParityBothModes) {
+  TpchConfig config;
+  config.num_orders = 250;
+  config.num_customers = 30;
+  config.num_parts = 25;
+  TpchData data = GenerateTpch(config);
+  Catalog catalog = data.MakeCatalog();
+  Query1Params params;
+  params.lineitem_p = 0.4;
+  params.orders_n = 100;
+  params.orders_population = 250;
+  Workload q1 = MakeQuery1(params);
+  for (const ExecMode mode : {ExecMode::kExact, ExecMode::kSampled}) {
+    SCOPED_TRACE(mode == ExecMode::kExact ? "exact" : "sampled");
+    Rng morsel_rng(43);
+    auto morsel =
+        ExecutePlan(q1.plan, catalog, &morsel_rng, mode, MorselWithThreads(4));
+    ASSERT_TRUE(morsel.ok()) << morsel.status().ToString();
+    for (const int num_shards : {1, 3, 8}) {
+      SCOPED_TRACE(num_shards);
+      Rng rng(43);
+      auto sharded =
+          ExecutePlan(q1.plan, catalog, &rng, mode, ShardedWith(num_shards));
+      ASSERT_TRUE(sharded.ok()) << sharded.status().ToString();
+      ExpectIdentical(*morsel, *sharded);
+    }
+  }
+}
+
+TEST(EngineParityTest, ShardedExactModeMatchesSerialRows) {
+  // Exact mode consumes no randomness, so the sharded relation must equal
+  // the serial engines' relation row for row (same rows, same order) for
+  // every shard count.
+  Catalog catalog = MakeTinyJoin(40, 3).MakeCatalog();
+  PlanPtr plan = PlanNode::Join(
+      PlanNode::Sample(SamplingSpec::Bernoulli(0.5), PlanNode::Scan("F")),
+      PlanNode::Scan("D"), "fk", "pk");
+  Rng serial_rng(47);
+  ASSERT_OK_AND_ASSIGN(
+      Relation serial,
+      ExecutePlan(plan, catalog, &serial_rng, ExecMode::kExact,
+                  ExecEngine::kColumnar));
+  for (const int num_shards : {1, 3, 8}) {
+    SCOPED_TRACE(num_shards);
+    Rng rng(47);
+    ASSERT_OK_AND_ASSIGN(Relation sharded,
+                         ExecutePlan(plan, catalog, &rng, ExecMode::kExact,
+                                     ShardedWith(num_shards)));
+    ExpectIdentical(serial, sharded);
+  }
+}
+
+TEST(EngineParityTest, ShardedLineageBernoulliMatchesSerialRows) {
+  // Lineage-seeded sampling is Rng-free: the sharded draw IS the serial
+  // draw, in sampled mode, for every shard count.
+  Catalog catalog = MakeTinyJoin(40, 3).MakeCatalog();
+  PlanPtr plan = PlanNode::Join(
+      PlanNode::Sample(SamplingSpec::LineageBernoulli("F", 0.4, 77),
+                       PlanNode::Scan("F")),
+      PlanNode::Scan("D"), "fk", "pk");
+  Rng serial_rng(48);
+  ASSERT_OK_AND_ASSIGN(
+      Relation serial,
+      ExecutePlan(plan, catalog, &serial_rng, ExecMode::kSampled,
+                  ExecEngine::kColumnar));
+  EXPECT_GT(serial.num_rows(), 0);
+  for (const int num_shards : {1, 3, 8}) {
+    SCOPED_TRACE(num_shards);
+    Rng rng(48);
+    ASSERT_OK_AND_ASSIGN(Relation sharded,
+                         ExecutePlan(plan, catalog, &rng, ExecMode::kSampled,
+                                     ShardedWith(num_shards)));
+    ExpectIdentical(serial, sharded);
+  }
+}
+
+TEST(EngineParityTest, SqlishShardedParity) {
+  TpchConfig config;
+  config.num_orders = 250;
+  config.num_customers = 30;
+  config.num_parts = 25;
+  TpchData data = GenerateTpch(config);
+  Catalog catalog = data.MakeCatalog();
+  const char* sql =
+      "SELECT SUM(l_discount * o_totalprice), COUNT(*) "
+      "FROM l TABLESAMPLE (40 PERCENT), o "
+      "WHERE l_orderkey = o_orderkey";
+  // The serial engine draws a different sample; the sharded estimate must
+  // still land within CI distance of it (same design, same data) while
+  // staying bit-identical across shard counts.
+  ASSERT_OK_AND_ASSIGN(sqlish::ApproxResult serial,
+                       sqlish::RunApproxQuery(sql, catalog, 61));
+  sqlish::ApproxResult first;
+  for (const int num_shards : {1, 3, 8}) {
+    SCOPED_TRACE(num_shards);
+    ASSERT_OK_AND_ASSIGN(
+        sqlish::ApproxResult sharded,
+        sqlish::RunApproxQuery(sql, catalog, 61, {},
+                               ShardedWith(num_shards)));
+    ASSERT_EQ(serial.values.size(), sharded.values.size());
+    for (size_t i = 0; i < serial.values.size(); ++i) {
+      // Within 6 stddev of the serial estimate (different draw, same
+      // design — the diff is statistical, not a bug signature).
+      const double slack =
+          6.0 * std::max(serial.values[i].stddev, sharded.values[i].stddev);
+      EXPECT_NEAR(serial.values[i].value, sharded.values[i].value, slack);
+    }
+    if (num_shards == 1) {
+      first = sharded;
+      continue;
+    }
+    ASSERT_EQ(first.values.size(), sharded.values.size());
+    EXPECT_EQ(first.sample_rows, sharded.sample_rows);
+    for (size_t i = 0; i < first.values.size(); ++i) {
+      EXPECT_EQ(first.values[i].value, sharded.values[i].value);
+      EXPECT_EQ(first.values[i].stddev, sharded.values[i].stddev);
+      EXPECT_EQ(first.values[i].lo, sharded.values[i].lo);
+      EXPECT_EQ(first.values[i].hi, sharded.values[i].hi);
+    }
+  }
+}
+
 TEST(EngineParityTest, SqlishApproxQueryAgrees) {
   TpchConfig config;
   config.num_orders = 300;

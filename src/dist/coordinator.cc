@@ -1,18 +1,49 @@
 #include "dist/coordinator.h"
 
+#include <functional>
 #include <optional>
+#include <utility>
 #include <vector>
 
 #include "dist/worker.h"
 #include "est/streaming.h"
 #include "est/wire.h"
 #include "plan/parallel_executor.h"
+#include "util/thread_pool.h"
 
 namespace gus {
 
+namespace {
+
+/// \brief Converts every base relation `plan` scans into columnar form
+/// ahead of concurrent shard workers.
+///
+/// ColumnarCatalog's caches are lazily written on first use and are not
+/// thread-safe; pre-warming them serially lets the in-process workers
+/// afterwards share the catalog read-only. Callers whose workers also
+/// fingerprint the catalog (the estimator scatter) additionally warm the
+/// fingerprint cache via PlanCatalogFingerprint — deliberately not done
+/// here, because it costs a full pass over the base data.
+Status WarmCatalogForPlan(const PlanPtr& plan, ColumnarCatalog* catalog) {
+  std::function<Status(const PlanPtr&)> walk =
+      [&](const PlanPtr& node) -> Status {
+    if (node->op() == PlanOp::kScan) {
+      return catalog->Get(node->relation()).status();
+    }
+    for (int c = 0; c < node->num_children(); ++c) {
+      GUS_RETURN_NOT_OK(walk(c == 0 ? node->left() : node->right()));
+    }
+    return Status::OK();
+  };
+  return walk(plan);
+}
+
+}  // namespace
+
 Result<std::vector<WireSectionView>> ReceiveShardSections(
     ShardTransport* transport, int shard_index, std::vector<ShardMeta>* metas,
-    std::string* rng_fingerprint, std::string* bundle_storage) {
+    std::string* rng_fingerprint, std::vector<std::string>* sampler_payloads,
+    std::string* bundle_storage) {
   GUS_ASSIGN_OR_RETURN(*bundle_storage, transport->Receive(shard_index));
   GUS_ASSIGN_OR_RETURN(std::vector<WireSectionView> sections,
                        ParseWireBundle(*bundle_storage));
@@ -31,7 +62,27 @@ Result<std::vector<WireSectionView>> ReceiveShardSections(
         " started from a different Rng stream than shard 0 (seed "
         "mismatch); refusing to merge");
   }
+  // The SMPL section must parse (well-formedness); the cross-shard
+  // equality check lives in ValidateShardSamplerStates so callers run it
+  // once over the full gather.
+  GUS_ASSIGN_OR_RETURN(WireSectionView sampler_section,
+                       FindWireSection(sections, WireTag::kSamplerState));
+  GUS_RETURN_NOT_OK(SamplerStateFromBytes(sampler_section.payload).status());
+  sampler_payloads->emplace_back(sampler_section.payload);
   return sections;
+}
+
+Status ValidateShardSamplerStates(
+    const std::vector<std::string>& sampler_payloads) {
+  for (size_t k = 1; k < sampler_payloads.size(); ++k) {
+    if (sampler_payloads[k] != sampler_payloads[0]) {
+      return Status::InvalidArgument(
+          "shard " + std::to_string(k) +
+          " resolved different fixed-size sampler draws than shard 0 "
+          "(SMPL fingerprint mismatch); refusing to merge");
+    }
+  }
+  return Status::OK();
 }
 
 Result<SboxReport> GatherSboxEstimate(ShardTransport* transport,
@@ -41,6 +92,8 @@ Result<SboxReport> GatherSboxEstimate(ShardTransport* transport,
   }
   std::vector<ShardMeta> metas;
   metas.reserve(num_shards);
+  std::vector<std::string> sampler_payloads;
+  sampler_payloads.reserve(num_shards);
   std::optional<StreamingSboxEstimator> merged;
   std::string rng_fingerprint;
   for (int k = 0; k < num_shards; ++k) {
@@ -48,7 +101,7 @@ Result<SboxReport> GatherSboxEstimate(ShardTransport* transport,
     GUS_ASSIGN_OR_RETURN(
         std::vector<WireSectionView> sections,
         ReceiveShardSections(transport, k, &metas, &rng_fingerprint,
-                             &bundle));
+                             &sampler_payloads, &bundle));
     GUS_ASSIGN_OR_RETURN(WireSectionView state,
                          FindWireSection(sections, WireTag::kSboxState));
     GUS_ASSIGN_OR_RETURN(StreamingSboxEstimator est,
@@ -61,6 +114,7 @@ Result<SboxReport> GatherSboxEstimate(ShardTransport* transport,
     }
   }
   GUS_RETURN_NOT_OK(ValidateShardMetas(metas));
+  GUS_RETURN_NOT_OK(ValidateShardSamplerStates(sampler_payloads));
   return merged->Finish();
 }
 
@@ -71,19 +125,39 @@ Result<SboxReport> ShardedSboxEstimate(const PlanPtr& plan,
                                        const GusParams& gus,
                                        const SboxOptions& options,
                                        ShardTransport* transport) {
+  if (num_shards < 1) {
+    return Status::InvalidArgument("num_shards must be >= 1");
+  }
   LocalTransport local;
   if (transport == nullptr) transport = &local;
-  // In-process workers share one columnar catalog (its conversion cache is
-  // written only on first use of each relation, and the workers run
-  // sequentially); real multi-process workers each hold their own, which
-  // changes nothing observable — execution reads the catalog immutably.
+  // In-process workers share one columnar catalog: its conversion and
+  // fingerprint caches are pre-warmed serially, after which concurrent
+  // workers only read it — real multi-process workers each hold their
+  // own, which changes nothing observable.
   ColumnarCatalog columnar(&catalog);
+  GUS_RETURN_NOT_OK(WarmCatalogForPlan(plan, &columnar));
+  GUS_ASSIGN_OR_RETURN(const uint64_t expected_fingerprint,
+                       PlanCatalogFingerprint(plan, &columnar));
+  // Scatter: the workers are shared-nothing (each re-runs the serial
+  // prepare phase from its own Rng(seed)), so they run concurrently;
+  // bundles land on the transport in shard order afterwards, keeping the
+  // gather's fold order deterministic.
+  std::vector<Result<std::string>> bundles(
+      static_cast<size_t>(num_shards),
+      Result<std::string>(Status::Internal("shard worker did not run")));
+  {
+    ThreadPool pool(std::min(num_shards, ThreadPool::HardwareThreads()));
+    pool.ParallelFor(num_shards, [&](int64_t k) {
+      bundles[static_cast<size_t>(k)] =
+          RunShardSbox(plan, &columnar, seed, mode, exec,
+                       static_cast<int>(k), num_shards, f_expr, gus, options,
+                       expected_fingerprint);
+    });
+  }
   for (int k = 0; k < num_shards; ++k) {
-    GUS_ASSIGN_OR_RETURN(
-        std::string bundle,
-        RunShardSbox(plan, &columnar, seed, mode, exec, k, num_shards,
-                     f_expr, gus, options));
-    GUS_RETURN_NOT_OK(transport->Send(k, std::move(bundle)));
+    GUS_RETURN_NOT_OK(bundles[k].status());
+    GUS_RETURN_NOT_OK(
+        transport->Send(k, std::move(bundles[k]).ValueOrDie()));
   }
   return GatherSboxEstimate(transport, num_shards);
 }
@@ -94,21 +168,35 @@ Result<ColumnarRelation> ExecutePlanSharded(const PlanPtr& plan,
                                             const ExecOptions& options) {
   GUS_RETURN_NOT_OK(options.Validate());
   const ExecOptions normalized = ShardedExecOptions(options);
+  GUS_RETURN_NOT_OK(WarmCatalogForPlan(plan, catalog));
   GUS_ASSIGN_OR_RETURN(
       ShardPlan sp,
       PlanShards(plan, catalog, mode, normalized, options.num_shards));
   // Every shard starts from the identical stream position; shard 0 runs on
   // the caller's generator so `rng` advances exactly as one full morsel
-  // run would (serial subtrees + the stream-base draw).
+  // run would (serial prepare + the stream-base draw). Shards execute
+  // concurrently — each on its own generator copy — and their relations
+  // concatenate in shard order.
   const Rng initial = *rng;
+  const int num_shards = static_cast<int>(sp.shards.size());
+  std::vector<Rng> worker_rngs(static_cast<size_t>(num_shards), initial);
+  std::vector<Result<ColumnarRelation>> parts(
+      static_cast<size_t>(num_shards),
+      Result<ColumnarRelation>(Status::Internal("shard did not run")));
+  {
+    ThreadPool pool(std::min(num_shards, ThreadPool::HardwareThreads()));
+    pool.ParallelFor(num_shards, [&](int64_t k) {
+      const ShardSpec& spec = sp.shards[static_cast<size_t>(k)];
+      Rng* use = spec.shard_index == 0 ? rng : &worker_rngs[k];
+      parts[static_cast<size_t>(k)] =
+          ExecutePlanMorselRange(plan, catalog, use, mode, normalized,
+                                 spec.unit_begin, spec.unit_end);
+    });
+  }
   std::optional<ColumnarRelation> merged;
-  for (const ShardSpec& spec : sp.shards) {
-    Rng worker = initial;
-    Rng* use = spec.shard_index == 0 ? rng : &worker;
-    GUS_ASSIGN_OR_RETURN(
-        ColumnarRelation part,
-        ExecutePlanMorselRange(plan, catalog, use, mode, normalized,
-                               spec.unit_begin, spec.unit_end));
+  for (int k = 0; k < num_shards; ++k) {
+    GUS_RETURN_NOT_OK(parts[k].status());
+    ColumnarRelation part = std::move(parts[k]).ValueOrDie();
     if (!merged.has_value()) {
       merged.emplace(std::move(part));
     } else {

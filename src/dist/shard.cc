@@ -1,6 +1,10 @@
 #include "dist/shard.h"
 
+#include <algorithm>
+#include <functional>
+
 #include "est/wire.h"
+#include "util/hash.h"
 
 namespace gus {
 
@@ -42,6 +46,7 @@ std::string ShardMetaToBytes(const ShardMeta& meta) {
   w.PutI64(meta.morsel_rows);
   w.PutU64(meta.seed);
   w.PutU64(meta.stream_base);
+  w.PutU64(meta.catalog_fingerprint);
   w.PutI64(meta.rows);
   return w.Take();
 }
@@ -57,9 +62,67 @@ Result<ShardMeta> ShardMetaFromBytes(std::string_view payload) {
   GUS_RETURN_NOT_OK(r.ReadI64(&meta.morsel_rows));
   GUS_RETURN_NOT_OK(r.ReadU64(&meta.seed));
   GUS_RETURN_NOT_OK(r.ReadU64(&meta.stream_base));
+  GUS_RETURN_NOT_OK(r.ReadU64(&meta.catalog_fingerprint));
   GUS_RETURN_NOT_OK(r.ReadI64(&meta.rows));
   GUS_RETURN_NOT_OK(r.ExpectEnd());
   return meta;
+}
+
+Result<uint64_t> PlanCatalogFingerprint(const PlanPtr& plan,
+                                        ColumnarCatalog* catalog) {
+  std::vector<std::string> names;
+  std::function<void(const PlanPtr&)> walk = [&](const PlanPtr& node) {
+    if (node->op() == PlanOp::kScan) {
+      names.push_back(node->relation());
+      return;
+    }
+    for (int c = 0; c < node->num_children(); ++c) {
+      walk(c == 0 ? node->left() : node->right());
+    }
+  };
+  walk(plan);
+  std::sort(names.begin(), names.end());
+  names.erase(std::unique(names.begin(), names.end()), names.end());
+  uint64_t h = Mix64(0x47534643ULL);  // "CFSG"
+  for (const std::string& name : names) {
+    GUS_ASSIGN_OR_RETURN(const uint64_t rel_fp, catalog->Fingerprint(name));
+    h = HashCombine(h, static_cast<uint64_t>(name.size()));
+    for (const char c : name) {
+      h = HashCombine(h, static_cast<uint64_t>(static_cast<unsigned char>(c)));
+    }
+    h = HashCombine(h, rel_fp);
+  }
+  return h;
+}
+
+std::string SamplerStateToBytes(
+    const std::vector<ResolvedPivotSampler>& samplers) {
+  WireWriter w;
+  w.PutU32(static_cast<uint32_t>(samplers.size()));
+  for (const ResolvedPivotSampler& s : samplers) {
+    w.PutU8(s.method);
+    w.PutU64(s.seed);
+    w.PutU64(s.fingerprint);
+  }
+  return w.Take();
+}
+
+Result<std::vector<ResolvedPivotSampler>> SamplerStateFromBytes(
+    std::string_view payload) {
+  WireReader r(payload);
+  uint32_t count = 0;
+  GUS_RETURN_NOT_OK(r.ReadU32(&count));
+  if (count > r.remaining() / 17) {
+    return Status::InvalidArgument("truncated wire sampler state");
+  }
+  std::vector<ResolvedPivotSampler> samplers(count);
+  for (ResolvedPivotSampler& s : samplers) {
+    GUS_RETURN_NOT_OK(r.ReadU8(&s.method));
+    GUS_RETURN_NOT_OK(r.ReadU64(&s.seed));
+    GUS_RETURN_NOT_OK(r.ReadU64(&s.fingerprint));
+  }
+  GUS_RETURN_NOT_OK(r.ExpectEnd());
+  return samplers;
 }
 
 Status ValidateShardMetas(const std::vector<ShardMeta>& metas) {
@@ -95,6 +158,12 @@ Status ValidateShardMetas(const std::vector<ShardMeta>& metas) {
       return Status::InvalidArgument(
           "shard " + std::to_string(k) +
           " executed with a divergent seed or catalog (stream base "
+          "mismatch); refusing to merge");
+    }
+    if (meta.catalog_fingerprint != first.catalog_fingerprint) {
+      return Status::InvalidArgument(
+          "shard " + std::to_string(k) +
+          " executed against divergent base data (catalog fingerprint "
           "mismatch); refusing to merge");
     }
     if (meta.unit_begin != covered || meta.unit_end < meta.unit_begin) {

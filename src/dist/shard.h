@@ -80,6 +80,11 @@ struct ShardMeta {
   int64_t morsel_rows = 0;
   uint64_t seed = 0;
   uint64_t stream_base = 0;
+  /// Content fingerprint of the base relations the plan scans
+  /// (PlanCatalogFingerprint): workers executing against divergent base
+  /// data are rejected at gather (and, when the coordinator passes the
+  /// expected value down, before they execute at all).
+  uint64_t catalog_fingerprint = 0;
   /// Sink-dependent row count (e.g. sample rows that reached the sink).
   int64_t rows = 0;
 };
@@ -88,8 +93,30 @@ std::string ShardMetaToBytes(const ShardMeta& meta);
 Result<ShardMeta> ShardMetaFromBytes(std::string_view payload);
 
 /// \brief Validates a gathered set of metas: one per shard in index order,
-/// identical geometry and stream base, ranges tiling [0, num_units).
+/// identical geometry, stream base, and catalog fingerprint, ranges tiling
+/// [0, num_units).
 Status ValidateShardMetas(const std::vector<ShardMeta>& metas);
+
+/// \brief Combined content fingerprint of every base relation `plan`
+/// scans (names sorted + deduplicated, each hashed with its
+/// ColumnarCatalog::Fingerprint).
+///
+/// Deterministic in (plan's scan set, catalog content) — two workers agree
+/// iff they hold content-equivalent copies of the scanned base data.
+Result<uint64_t> PlanCatalogFingerprint(const PlanPtr& plan,
+                                        ColumnarCatalog* catalog);
+
+/// \brief WireTag::kSamplerState payload: the pivot-path fixed-size
+/// samplers a worker resolved during its serial prepare phase
+/// (method, seed, keep-set fingerprint each).
+///
+/// Byte-equality across shard bundles proves every worker resolved the
+/// identical global fixed-size draws before the partial states merge —
+/// the mergeable-sampler analogue of the RNGS seed fingerprint.
+std::string SamplerStateToBytes(
+    const std::vector<ResolvedPivotSampler>& samplers);
+Result<std::vector<ResolvedPivotSampler>> SamplerStateFromBytes(
+    std::string_view payload);
 
 }  // namespace gus
 

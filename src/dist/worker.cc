@@ -30,7 +30,7 @@ class SboxShardSink final : public MergeableBatchSink {
 }  // namespace
 
 std::string BuildShardBundle(
-    const ShardMeta& meta,
+    const ShardMeta& meta, const std::vector<ResolvedPivotSampler>& samplers,
     const std::vector<std::pair<WireTag, std::string>>& extra) {
   WireBundleWriter bundle;
   bundle.AddSection(WireTag::kMeta, ShardMetaToBytes(meta));
@@ -39,22 +39,38 @@ std::string BuildShardBundle(
   // from the same seed (the META stream base then proves they also agreed
   // on plan and catalog).
   bundle.AddSection(WireTag::kRngState, RngStateToBytes(Rng(meta.seed)));
+  // The SMPL section pins the resolved pivot-path fixed-size samplers:
+  // byte-equality proves the workers agreed on the global WOR / WR /
+  // block draws their slices were filtered against.
+  bundle.AddSection(WireTag::kSamplerState, SamplerStateToBytes(samplers));
   for (const auto& [tag, payload] : extra) {
     bundle.AddSection(tag, payload);
   }
   return bundle.Finish();
 }
 
-Status RunShardToSink(const PlanPtr& plan, ColumnarCatalog* catalog,
-                      uint64_t seed, ExecMode mode, const ExecOptions& exec,
-                      int shard_index, int num_shards,
-                      const MorselSinkFactory& make_sink,
-                      std::unique_ptr<MergeableBatchSink>* out,
-                      ShardMeta* meta) {
+Status RunShardToSink(
+    const PlanPtr& plan, ColumnarCatalog* catalog, uint64_t seed,
+    ExecMode mode, const ExecOptions& exec, int shard_index, int num_shards,
+    const MorselSinkFactory& make_sink,
+    std::unique_ptr<MergeableBatchSink>* out, ShardMeta* meta,
+    std::vector<ResolvedPivotSampler>* samplers,
+    const std::optional<uint64_t>& expected_catalog_fingerprint) {
   if (shard_index < 0 || shard_index >= num_shards) {
     return Status::InvalidArgument(
         "shard_index " + std::to_string(shard_index) +
         " outside [0, " + std::to_string(num_shards) + ")");
+  }
+  GUS_ASSIGN_OR_RETURN(const uint64_t catalog_fingerprint,
+                       PlanCatalogFingerprint(plan, catalog));
+  if (expected_catalog_fingerprint.has_value() &&
+      *expected_catalog_fingerprint != catalog_fingerprint) {
+    // Divergent base data caught BEFORE executing a single unit — the
+    // partial state this worker would produce could never merge validly.
+    return Status::InvalidArgument(
+        "shard " + std::to_string(shard_index) +
+        " holds divergent base data (local catalog fingerprint does not "
+        "match the coordinator's); refusing to execute");
   }
   const ExecOptions normalized = ShardedExecOptions(exec);
   GUS_ASSIGN_OR_RETURN(
@@ -63,9 +79,11 @@ Status RunShardToSink(const PlanPtr& plan, ColumnarCatalog* catalog,
 
   Rng rng(seed);
   uint64_t stream_base = 0;
+  std::vector<ResolvedPivotSampler> resolved;
   GUS_RETURN_NOT_OK(ParallelExecuteUnitRangeToSink(
       plan, catalog, &rng, mode, normalized, spec.unit_begin, spec.unit_end,
-      make_sink, out, &stream_base));
+      make_sink, out, &stream_base, &resolved));
+  if (samplers != nullptr) *samplers = resolved;
 
   meta->shard_index = static_cast<uint32_t>(shard_index);
   meta->num_shards = static_cast<uint32_t>(num_shards);
@@ -75,18 +93,19 @@ Status RunShardToSink(const PlanPtr& plan, ColumnarCatalog* catalog,
   meta->morsel_rows = sp.split.partitionable ? sp.split.morsel_rows : 0;
   meta->seed = seed;
   meta->stream_base = stream_base;
+  meta->catalog_fingerprint = catalog_fingerprint;
   meta->rows = 0;  // sink-dependent; the caller fills it in
   return Status::OK();
 }
 
-Result<std::string> RunShardSbox(const PlanPtr& plan,
-                                 ColumnarCatalog* catalog, uint64_t seed,
-                                 ExecMode mode, const ExecOptions& exec,
-                                 int shard_index, int num_shards,
-                                 const ExprPtr& f_expr, const GusParams& gus,
-                                 const SboxOptions& options) {
+Result<std::string> RunShardSbox(
+    const PlanPtr& plan, ColumnarCatalog* catalog, uint64_t seed,
+    ExecMode mode, const ExecOptions& exec, int shard_index, int num_shards,
+    const ExprPtr& f_expr, const GusParams& gus, const SboxOptions& options,
+    const std::optional<uint64_t>& expected_catalog_fingerprint) {
   std::unique_ptr<MergeableBatchSink> sink;
   ShardMeta meta;
+  std::vector<ResolvedPivotSampler> samplers;
   GUS_RETURN_NOT_OK(RunShardToSink(
       plan, catalog, seed, mode, exec, shard_index, num_shards,
       [&](const BatchLayout& layout)
@@ -97,12 +116,12 @@ Result<std::string> RunShardSbox(const PlanPtr& plan,
         return std::unique_ptr<MergeableBatchSink>(
             new SboxShardSink(std::move(est)));
       },
-      &sink, &meta));
+      &sink, &meta, &samplers, expected_catalog_fingerprint));
   StreamingSboxEstimator* est =
       static_cast<SboxShardSink*>(sink.get())->estimator();
   meta.rows = est->rows_seen();
-  return BuildShardBundle(meta, {{WireTag::kSboxState,
-                                  est->SerializeState()}});
+  return BuildShardBundle(meta, samplers,
+                          {{WireTag::kSboxState, est->SerializeState()}});
 }
 
 }  // namespace gus

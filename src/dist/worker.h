@@ -5,16 +5,20 @@
 // catalog, seed, shard_index, num_shards) — all small or locally resident
 // — recomputes the deterministic shard plan itself (dist/shard.h), runs
 // its unit range through the morsel-range executor, and emits one
-// est/wire.h bundle. Every worker executes the serial non-pivot subtrees
-// (join builds etc.) locally from the same seed; that redundancy is the
-// price of zero cross-worker coordination, and it is what makes the
-// stream-base fingerprint in the META section meaningful.
+// est/wire.h bundle. Every worker executes the serial prepare phase
+// (join builds, pivot sampler seeds, etc.) locally from the same seed;
+// that redundancy is the price of zero cross-worker coordination, and it
+// is what makes the consistency fingerprints in the bundle meaningful:
+// the META stream base covers (plan, catalog, seed), the META catalog
+// fingerprint covers the scanned base data's content, and the SMPL
+// section covers the resolved global fixed-size sampler draws.
 
 #ifndef GUS_DIST_WORKER_H_
 #define GUS_DIST_WORKER_H_
 
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <string>
 #include <utility>
 #include <vector>
@@ -30,39 +34,46 @@
 
 namespace gus {
 
-/// \brief Serializes a shard run's common sections (META + the worker's
-/// seed-derived RNGS fingerprint) plus caller-provided payload sections.
+/// \brief Serializes a shard run's common sections (META, the worker's
+/// seed-derived RNGS fingerprint, the SMPL resolved-sampler state) plus
+/// caller-provided payload sections.
 ///
-/// `extra` are (tag, payload) pairs appended after META/RNGS in order.
+/// `extra` are (tag, payload) pairs appended after META/RNGS/SMPL in order.
 std::string BuildShardBundle(
     const ShardMeta& meta,
+    const std::vector<ResolvedPivotSampler>& samplers,
     const std::vector<std::pair<WireTag, std::string>>& extra);
 
 /// \brief Executes shard `shard_index` of `plan` and streams its slice
 /// into a StreamingSboxEstimator; returns the serialized bundle
-/// (META + RNGS + SBOX).
+/// (META + RNGS + SMPL + SBOX).
 ///
 /// `exec` must already be normalized via ShardedExecOptions (RunShardSbox
-/// normalizes defensively). The returned bytes are what a remote worker
-/// would put on the wire: feed them to any ShardTransport and gather with
-/// GatherSboxEstimate (dist/coordinator.h).
-Result<std::string> RunShardSbox(const PlanPtr& plan,
-                                 ColumnarCatalog* catalog, uint64_t seed,
-                                 ExecMode mode, const ExecOptions& exec,
-                                 int shard_index, int num_shards,
-                                 const ExprPtr& f_expr, const GusParams& gus,
-                                 const SboxOptions& options);
+/// normalizes defensively). With `expected_catalog_fingerprint` set, the
+/// worker refuses to execute against base data whose
+/// PlanCatalogFingerprint differs — divergence is detected *before* any
+/// unit runs, not only at gather. The returned bytes are what a remote
+/// worker would put on the wire: feed them to any ShardTransport and
+/// gather with GatherSboxEstimate (dist/coordinator.h).
+Result<std::string> RunShardSbox(
+    const PlanPtr& plan, ColumnarCatalog* catalog, uint64_t seed,
+    ExecMode mode, const ExecOptions& exec, int shard_index, int num_shards,
+    const ExprPtr& f_expr, const GusParams& gus, const SboxOptions& options,
+    const std::optional<uint64_t>& expected_catalog_fingerprint =
+        std::nullopt);
 
 /// \brief Generic shard execution: runs the unit range into sinks from
-/// `make_sink` and returns (merged sink, filled META) for the caller to
-/// serialize. The sqlish kSharded path builds its per-item bundles on
-/// this.
-Status RunShardToSink(const PlanPtr& plan, ColumnarCatalog* catalog,
-                      uint64_t seed, ExecMode mode, const ExecOptions& exec,
-                      int shard_index, int num_shards,
-                      const MorselSinkFactory& make_sink,
-                      std::unique_ptr<MergeableBatchSink>* out,
-                      ShardMeta* meta);
+/// `make_sink` and returns (merged sink, filled META, resolved samplers)
+/// for the caller to serialize. The sqlish kSharded path builds its
+/// per-item bundles on this.
+Status RunShardToSink(
+    const PlanPtr& plan, ColumnarCatalog* catalog, uint64_t seed,
+    ExecMode mode, const ExecOptions& exec, int shard_index, int num_shards,
+    const MorselSinkFactory& make_sink,
+    std::unique_ptr<MergeableBatchSink>* out, ShardMeta* meta,
+    std::vector<ResolvedPivotSampler>* samplers = nullptr,
+    const std::optional<uint64_t>& expected_catalog_fingerprint =
+        std::nullopt);
 
 }  // namespace gus
 

@@ -28,6 +28,7 @@ bool WireTagKnown(uint32_t tag) {
     case WireTag::kSboxState:
     case WireTag::kGroupedSum:
     case WireTag::kRngState:
+    case WireTag::kSamplerState:
       return true;
   }
   return false;

@@ -37,8 +37,9 @@
 namespace gus {
 
 /// Current container version. Bumped on any layout change; readers reject
-/// everything else.
-inline constexpr uint32_t kWireVersion = 1;
+/// everything else. v2: META gained the catalog fingerprint and bundles
+/// carry the SMPL resolved-sampler section.
+inline constexpr uint32_t kWireVersion = 2;
 
 /// Section tags (the ASCII of the name, read as a little-endian u32).
 enum class WireTag : uint32_t {
@@ -54,6 +55,10 @@ enum class WireTag : uint32_t {
   kGroupedSum = 0x50555247u,  // "GRUP"
   /// Rng stream position (4 state words + draw counter).
   kRngState = 0x53474E52u,  // "RNGS"
+  /// Resolved pivot-path fixed-size samplers (dist/shard.h): per sampler
+  /// the method, seed, and keep-set fingerprint — byte-equality across
+  /// shards proves they agreed on the global fixed-size draws.
+  kSamplerState = 0x4C504D53u,  // "SMPL"
 };
 
 /// True for every tag this build understands (readers hard-fail otherwise).

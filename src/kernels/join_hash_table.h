@@ -7,20 +7,38 @@
 //               index, so a probe miss costs a single 16-byte load and a
 //               hit needs exactly one more (the entry's offset pair)
 //   entries_    one [begin, end) offset pair per *distinct* key hash into
-//               row_ids_
-//   row_ids_    build-row ids packed by entry, each group in build input
-//               order — so probing yields candidates in exactly the order
-//               the row engine's unordered_map-of-vectors produced them,
-//               keeping join outputs bit-identical across engines
+//               row_ids_, numbered region-major (region order, then
+//               first-occurrence order within the region)
+//   row_ids_    build-row ids packed region-major and grouped by entry,
+//               each group in build input order — so probing yields
+//               candidates in exactly the order the row engine's
+//               unordered_map-of-vectors produced them, keeping join
+//               outputs bit-identical across engines
+//
+// Region-local probing: the directory is split into fixed power-of-two
+// *regions* (a pure function of the capacity); a probe run wraps within
+// its home region instead of spilling into the next one. Regions therefore
+// never interact, which is what makes the build partition-parallel: each
+// worker owns a set of regions and inserts its rows without any
+// synchronization. Because the canonical layout is region-major, "merging"
+// the per-region results is pure offset arithmetic — no rehashing, no
+// re-sorting, no row copies — and the table is byte-identical at every
+// thread count (slot contents per region depend only on that region's
+// rows in input order, which the stable partition pass fixes). At the
+// default load factor (<= 0.25 over the whole directory) a region
+// overflow needs a 16x hash concentration; if it ever happens, the build
+// deterministically falls back to a single region (classic global wrap),
+// identically at every thread count.
 //
 // The table is keyed by the 64-bit key hash alone. Probes therefore return
 // *candidates*: callers re-check real key equality (KeyEqualsAt /
-// Value::KeyEquals) before emitting a match, exactly like the previous
-// unordered_map paths. On the build side a true collision — two build rows
-// whose hashes agree but whose keys differ — would make every later probe
-// pay for the mixed candidate list, and (worse) silently merges keys in
-// hash-only consumers; Build with a key-equality callback refuses loudly
-// instead, mirroring the group-by builder's collision semantics.
+// FilterEqualKeyPairs / Value::KeyEquals) before emitting a match, exactly
+// like the previous unordered_map paths. On the build side a true
+// collision — two build rows whose hashes agree but whose keys differ —
+// would make every later probe pay for the mixed candidate list, and
+// (worse) silently merges keys in hash-only consumers; Build with a
+// key-equality callback refuses loudly instead, mirroring the group-by
+// builder's collision semantics.
 //
 // After Build the table is immutable, so it can be shared read-only across
 // morsel workers without synchronization.
@@ -58,24 +76,32 @@ class JoinHashTable {
   /// With a non-null `eq`, two rows with equal hashes but unequal keys fail
   /// loudly (Status::Internal) instead of producing a merged candidate
   /// list. Passing nullptr skips the check (hash-only semantics).
+  /// `num_threads` > 1 builds directory regions in parallel; the resulting
+  /// table is byte-identical at every thread count (see the header
+  /// comment), so callers can scale the build without touching results.
   Status Build(const uint64_t* hashes, int64_t num_rows,
-               const KeyEqFn& eq = nullptr);
+               const KeyEqFn& eq = nullptr, int num_threads = 1);
 
   /// Convenience build straight from a key column (hashes via KeyHashAt,
   /// collision check via KeyEqualsAt).
-  Status BuildFrom(const ColumnData& key, int64_t num_rows);
+  Status BuildFrom(const ColumnData& key, int64_t num_rows,
+                   int num_threads = 1);
 
   /// Candidates whose build hash equals `hash` (empty range on miss).
   Range Find(uint64_t hash) const {
     if (slots_.empty()) return {};
     const uint64_t mask = slots_.size() - 1;
-    for (uint64_t s = hash & mask;; s = (s + 1) & mask) {
+    const uint64_t rmask = region_mask_;
+    uint64_t s = hash & mask;
+    while (true) {
       const Slot& slot = slots_[s];
       if (slot.entry == kEmptySlot) return {};
       if (slot.hash == hash) {
         const Entry& e = entries_[slot.entry];
         return {row_ids_.data() + e.begin, row_ids_.data() + e.end};
       }
+      // Linear probe wrapping within the slot's home region.
+      s = (s & ~rmask) | ((s + 1) & rmask);
     }
   }
 
@@ -83,7 +109,8 @@ class JoinHashTable {
   /// pair per candidate to the two output vectors (not cleared).
   ///
   /// Candidates are hash matches only — callers still re-check key
-  /// equality when the key space can collide.
+  /// equality when the key space can collide (FilterEqualKeyPairs does it
+  /// vectorized over the appended pairs).
   void ProbeBatch(const uint64_t* hashes, int64_t num_rows,
                   std::vector<int64_t>* probe_idx,
                   std::vector<int64_t>* build_idx) const;
@@ -94,6 +121,13 @@ class JoinHashTable {
   int64_t num_distinct_hashes() const {
     return static_cast<int64_t>(entries_.size());
   }
+
+  /// \brief FNV-1a digest of the complete internal state (directory,
+  /// entries, packed row ids, region geometry).
+  ///
+  /// Equal digests mean byte-identical tables: the parity tests pin the
+  /// parallel build to the serial one with this.
+  uint64_t StateDigest() const;
 
  private:
   static constexpr int64_t kEmptySlot = -1;
@@ -107,9 +141,17 @@ class JoinHashTable {
     int64_t end = 0;
   };
 
+  /// One attempt at the given region geometry; false = a region overflowed
+  /// (caller retries with a single region).
+  Result<bool> TryBuild(const uint64_t* hashes, int64_t num_rows,
+                        const KeyEqFn& eq, uint64_t cap, uint64_t region_size,
+                        int num_threads);
+
   std::vector<Slot> slots_;
   std::vector<Entry> entries_;
   std::vector<int64_t> row_ids_;
+  /// region_size - 1; probe runs stay within [s & ~mask, s | mask].
+  uint64_t region_mask_ = 0;
 };
 
 }  // namespace gus

@@ -91,6 +91,20 @@ inline bool JoinBuildKeysCompatible(const ColumnData& col, int64_t i,
 /// already hold DictKeyHashes can loop KeyHashAt instead.
 std::vector<uint64_t> ColumnKeyHashes(const ColumnData& col, int64_t num_rows);
 
+/// \brief Vectorized key-equality recheck over batch probe candidates.
+///
+/// `probe_rows` / `build_rows` hold aligned (probe, build) candidate pairs
+/// from JoinHashTable::ProbeBatch; entries [begin, size) whose keys compare
+/// unequal under KeyEqualsAt semantics are removed, compacting both vectors
+/// in place and preserving order. The type dispatch happens once per call
+/// instead of once per pair (the first ROADMAP kernels item). Returns the
+/// new size.
+int64_t FilterEqualKeyPairs(const ColumnData& probe_key,
+                            const ColumnData& build_key,
+                            std::vector<int64_t>* probe_rows,
+                            std::vector<int64_t>* build_rows,
+                            int64_t begin = 0);
+
 }  // namespace gus
 
 #endif  // GUS_KERNELS_KEY_HASH_H_

@@ -113,6 +113,42 @@ bool BlockDecisionCache::Decide(uint64_t block, double p, Rng* rng) {
   return it->second;
 }
 
+void MergeableReservoir::Offer(uint64_t priority, int64_t row) {
+  if (n_ <= 0) return;
+  const Candidate cand{priority, row};
+  if (static_cast<int64_t>(heap_.size()) < n_) {
+    heap_.push_back(cand);
+    std::push_heap(heap_.begin(), heap_.end());
+    return;
+  }
+  if (cand < heap_.front()) {
+    std::pop_heap(heap_.begin(), heap_.end());
+    heap_.back() = cand;
+    std::push_heap(heap_.begin(), heap_.end());
+  }
+}
+
+void MergeableReservoir::OfferRange(uint64_t seed, int64_t row_begin,
+                                    int64_t row_end) {
+  for (int64_t row = row_begin; row < row_end; ++row) {
+    Offer(WorPriority(seed, static_cast<uint64_t>(row)), row);
+  }
+}
+
+void MergeableReservoir::MergeFrom(const MergeableReservoir& other) {
+  for (const Candidate& cand : other.heap_) {
+    Offer(cand.first, cand.second);
+  }
+}
+
+std::vector<int64_t> MergeableReservoir::SortedRows() const {
+  std::vector<int64_t> rows;
+  rows.reserve(heap_.size());
+  for (const Candidate& cand : heap_) rows.push_back(cand.second);
+  std::sort(rows.begin(), rows.end());
+  return rows;
+}
+
 void BlockDecisionCache::Reset() {
   // Epoch bump invalidates every dense decision in O(1). The epoch field
   // is 31 bits; on wraparound, fall back to one full clear.

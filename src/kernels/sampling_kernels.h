@@ -22,12 +22,24 @@
 // arrays: it hashes (seed, id) in a tight branch-free loop — no per-row
 // Value boxing, no std::function dispatch — and consumes no Rng, so it is
 // trivially identical between streaming and one-shot evaluation.
+//
+// The seed-decoupled fixed-size kernels at the bottom are the partition-
+// mergeable counterparts of the classic sequential draws: a sampler first
+// consumes exactly ONE value from the engine's Rng stream (its sampler
+// seed), and every per-row priority key / per-draw target / per-block
+// decision is then a pure function of (seed, unit index) via
+// Rng::ForkStream. Because no state flows between units, any partition of
+// the rows into morsels or shards computes the identical keys, and a
+// fixed-size WOR draw reduces to "the n smallest priority keys" — exactly
+// computable from bounded per-partition candidate sets (MergeableReservoir)
+// folded in any grouping.
 
 #ifndef GUS_KERNELS_SAMPLING_KERNELS_H_
 #define GUS_KERNELS_SAMPLING_KERNELS_H_
 
 #include <cstdint>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "util/random.h"
@@ -106,6 +118,75 @@ class BlockDecisionCache {
   std::vector<uint32_t> dense_;
   uint32_t epoch_ = 1;  // slots default to 0 = "decided in epoch 0" = stale
   std::unordered_map<uint64_t, bool> sparse_;  // rare: ids >= kDenseCap
+};
+
+// ---- Seed-decoupled fixed-size sampling kernels ----------------------------
+
+/// \brief Priority key of row `row` under sampler stream `seed`.
+///
+/// Pure function of its arguments — every engine, thread, and shard computes
+/// the identical key for a row, so "keep the n smallest (priority, row)
+/// pairs" is a partition-independent definition of a uniform WOR draw:
+/// the keys are i.i.d. uniform 64-bit values, and the rows carrying the n
+/// smallest keys form a uniformly distributed size-n subset.
+inline uint64_t WorPriority(uint64_t seed, uint64_t row) {
+  return Rng::ForkStream(seed, row).Next();
+}
+
+/// \brief Bernoulli(p) keep decision for block `block` under stream `seed`.
+///
+/// Pure function of (seed, block): a block's fate never depends on which
+/// morsel or shard evaluates it, so block-sampled scans partition freely.
+inline bool DecoupledBlockKeep(uint64_t seed, uint64_t block, double p) {
+  return Rng::ForkStream(seed, block).Uniform() < p;
+}
+
+/// \brief Target row of the d-th with-replacement draw over `population`
+/// rows (pure function of (seed, draw)).
+///
+/// Each draw runs Lemire rejection inside its own forked stream, so the
+/// target is exact-uniform and independent across draws.
+inline int64_t WrDrawTarget(uint64_t seed, int64_t draw, int64_t population) {
+  Rng r = Rng::ForkStream(seed, static_cast<uint64_t>(draw));
+  return static_cast<int64_t>(
+      r.UniformInt(static_cast<uint64_t>(population)));
+}
+
+/// \brief Bounded candidate state for an exact distributed top-n
+/// (smallest-priority) selection — the mergeable reservoir behind
+/// fixed-size WOR/reservoir sampling.
+///
+/// Each partition offers its rows' (priority, row) pairs and retains at
+/// most n candidates; folding the per-partition states (in morsel order,
+/// though the result is grouping-independent) yields exactly the global
+/// n smallest pairs, because a row outside a partition's local top-n can
+/// never be in the global top-n. Ties break on the row index, so the
+/// selection is total even under (astronomically unlikely) equal keys.
+class MergeableReservoir {
+ public:
+  explicit MergeableReservoir(int64_t n) : n_(n) {}
+
+  int64_t capacity() const { return n_; }
+  int64_t size() const { return static_cast<int64_t>(heap_.size()); }
+
+  /// Offers one candidate.
+  void Offer(uint64_t priority, int64_t row);
+
+  /// Offers rows [row_begin, row_end) with WorPriority(seed, row) keys.
+  void OfferRange(uint64_t seed, int64_t row_begin, int64_t row_end);
+
+  /// Folds another partition's candidates into this state (exact).
+  void MergeFrom(const MergeableReservoir& other);
+
+  /// The kept rows, ascending (input order — samplers are filters).
+  std::vector<int64_t> SortedRows() const;
+
+ private:
+  using Candidate = std::pair<uint64_t, int64_t>;  // (priority, row)
+
+  int64_t n_;
+  /// Max-heap on (priority, row): top() is the weakest kept candidate.
+  std::vector<Candidate> heap_;
 };
 
 }  // namespace gus

@@ -48,6 +48,59 @@ Result<const ColumnarRelation*> ColumnarCatalog::Get(const std::string& name) {
   return &cache_.emplace(name, std::move(col)).first->second;
 }
 
+namespace {
+
+uint64_t HashStringContent(uint64_t h, const std::string& s) {
+  return HashBytes(HashCombine(h, s.size()), s.data(), s.size());
+}
+
+}  // namespace
+
+Result<uint64_t> ColumnarCatalog::Fingerprint(const std::string& name) {
+  auto cached = fingerprints_.find(name);
+  if (cached != fingerprints_.end()) return cached->second;
+  GUS_ASSIGN_OR_RETURN(const ColumnarRelation* rel, Get(name));
+  const ColumnBatch& data = rel->data();
+  uint64_t h = Mix64(0x46505247ULL);  // "GRPF"
+  h = HashStringContent(h, name);
+  const Schema& schema = data.schema();
+  h = HashCombine(h, static_cast<uint64_t>(schema.num_columns()));
+  for (int c = 0; c < schema.num_columns(); ++c) {
+    h = HashStringContent(h, schema.column(c).name);
+    h = HashCombine(h, static_cast<uint64_t>(schema.column(c).type));
+  }
+  for (const std::string& dim : data.lineage_schema()) {
+    h = HashStringContent(h, dim);
+  }
+  const int64_t rows = data.num_rows();
+  h = HashCombine(h, static_cast<uint64_t>(rows));
+  for (int c = 0; c < data.num_columns(); ++c) {
+    const ColumnData& col = data.column(c);
+    switch (col.type) {
+      case ValueType::kInt64:
+        for (int64_t i = 0; i < rows; ++i) {
+          h = HashCombine(h, static_cast<uint64_t>(col.i64[i]));
+        }
+        break;
+      case ValueType::kFloat64:
+        for (int64_t i = 0; i < rows; ++i) {
+          uint64_t bits = 0;
+          __builtin_memcpy(&bits, &col.f64[i], sizeof(bits));
+          h = HashCombine(h, bits);
+        }
+        break;
+      case ValueType::kString:
+        for (int64_t i = 0; i < rows; ++i) {
+          h = HashStringContent(h, col.StringAt(i));
+        }
+        break;
+    }
+  }
+  for (const uint64_t id : data.lineage()) h = HashCombine(h, id);
+  fingerprints_.emplace(name, h);
+  return h;
+}
+
 void PrepareBatch(const LayoutPtr& layout, ColumnBatch* out) {
   if (out->layout_ptr() != layout) {
     out->ResetLayout(layout);
@@ -258,12 +311,16 @@ class FusedLineageBernoulliSource final : public BatchSource {
 };
 
 /// Exact-mode block sampling: streaming lineage re-key to block ids.
+/// `base` is the global row index of the child's first row (non-zero when
+/// the child is a morsel slice of the scan).
 class BlockRekeySource final : public BatchSource {
  public:
-  BlockRekeySource(std::unique_ptr<BatchSource> child, int64_t block_size)
+  BlockRekeySource(std::unique_ptr<BatchSource> child, int64_t block_size,
+                   int64_t base = 0)
       : BatchSource(child->layout()),
         child_(std::move(child)),
-        block_size_(block_size) {}
+        block_size_(block_size),
+        base_(base) {}
 
   Result<bool> Next(ColumnBatch* out) override {
     GUS_ASSIGN_OR_RETURN(bool more, child_->Next(out));
@@ -347,8 +404,19 @@ class SampleBreakerSource final : public BatchSource {
   int64_t pos_ = 0;
 };
 
+/// Probe rows processed per batch-probe refill (hash + ProbeBatch +
+/// vectorized key recheck amortize their type dispatch over this many
+/// rows).
+constexpr int64_t kProbeChunkRows = 1024;
+
 /// Hash equi-join: breaker on both inputs (left drains first, preserving
 /// the row engine's post-order Rng consumption), streaming probe output.
+///
+/// The probe loop runs chunk-at-a-time: hash a chunk of probe rows, batch-
+/// probe the table (prefetched), then recheck key equality vectorized over
+/// the candidate pair list (FilterEqualKeyPairs) instead of per row —
+/// emission order is identical to the classic per-row loop (probe rows
+/// ascending, candidates in build input order).
 class JoinSource final : public BatchSource {
  public:
   JoinSource(LayoutPtr layout, std::unique_ptr<BatchSource> left,
@@ -363,30 +431,41 @@ class JoinSource final : public BatchSource {
 
   Result<bool> Next(ColumnBatch* out) override {
     if (!drained_) GUS_RETURN_NOT_OK(DrainAndBuild());
-    const ColumnBatch& probe = probe_mat_->data();
-    if (probe_pos_ >= probe.num_rows() && cands_.empty()) return false;
     PrepareBatch(layout_, out);
+    const ColumnBatch& probe = probe_mat_->data();
+    const int64_t probe_rows = probe.num_rows();
     const ColumnData& probe_key = probe.column(probe_key_);
     const ColumnData& build_key = build_mat_->data().column(build_key_);
     while (out->num_rows() < batch_rows_) {
-      if (cands_.empty()) {
-        if (probe_pos_ >= probe.num_rows()) break;
-        const uint64_t h =
-            KeyHashAt(probe_key, probe_pos_, probe_dict_hashes_);
-        cands_ = table_.Find(h);
-        if (cands_.empty()) {
-          ++probe_pos_;
-          continue;
+      if (emit_pos_ >= static_cast<int64_t>(pair_probe_.size())) {
+        if (probe_pos_ >= probe_rows) break;
+        const int64_t chunk =
+            std::min(kProbeChunkRows, probe_rows - probe_pos_);
+        hash_scratch_.resize(static_cast<size_t>(chunk));
+        for (int64_t k = 0; k < chunk; ++k) {
+          hash_scratch_[k] =
+              KeyHashAt(probe_key, probe_pos_ + k, probe_dict_hashes_);
         }
+        pair_probe_.clear();
+        pair_build_.clear();
+        table_.ProbeBatch(hash_scratch_.data(), chunk, &pair_probe_,
+                          &pair_build_);
+        for (int64_t& p : pair_probe_) p += probe_pos_;
+        FilterEqualKeyPairs(probe_key, build_key, &pair_probe_, &pair_build_);
+        emit_pos_ = 0;
+        probe_pos_ += chunk;
+        continue;
       }
-      while (!cands_.empty() && out->num_rows() < batch_rows_) {
-        const int64_t b = *cands_.begin++;
-        if (!KeyEqualsAt(build_key, b, probe_key, probe_pos_)) continue;
-        const int64_t li = build_left_ ? b : probe_pos_;
-        const int64_t ri = build_left_ ? probe_pos_ : b;
-        out->AppendConcatRowFrom(left_mat_.data(), li, right_mat_.data(), ri);
-      }
-      if (cands_.empty()) ++probe_pos_;
+      const int64_t p = pair_probe_[emit_pos_];
+      const int64_t b = pair_build_[emit_pos_];
+      ++emit_pos_;
+      const int64_t li = build_left_ ? b : p;
+      const int64_t ri = build_left_ ? p : b;
+      out->AppendConcatRowFrom(left_mat_.data(), li, right_mat_.data(), ri);
+    }
+    if (out->num_rows() == 0 && probe_pos_ >= probe_rows &&
+        emit_pos_ >= static_cast<int64_t>(pair_probe_.size())) {
+      return false;
     }
     return true;
   }
@@ -422,7 +501,9 @@ class JoinSource final : public BatchSource {
   std::vector<uint64_t> probe_dict_hashes_;
   JoinHashTable table_;
   int64_t probe_pos_ = 0;
-  JoinHashTable::Range cands_;
+  std::vector<uint64_t> hash_scratch_;
+  std::vector<int64_t> pair_probe_, pair_build_;
+  int64_t emit_pos_ = 0;
 };
 
 /// Cross product: breaker on both inputs, left-major streaming output.
@@ -570,6 +651,31 @@ std::unique_ptr<BatchSource> MakeScanSource(const ColumnarRelation* rel,
                                             int64_t len) {
   return std::unique_ptr<BatchSource>(
       new ScanSource(rel, batch_rows, begin, len));
+}
+
+std::unique_ptr<BatchSource> MakeBlockRekeySource(
+    std::unique_ptr<BatchSource> child, int64_t block_size, int64_t base_row) {
+  return std::unique_ptr<BatchSource>(
+      new BlockRekeySource(std::move(child), block_size, base_row));
+}
+
+Result<std::unique_ptr<BatchSource>> MakeUnionSource(
+    std::unique_ptr<BatchSource> left, std::unique_ptr<BatchSource> right,
+    int64_t batch_rows, ExecMode mode) {
+  if (mode == ExecMode::kExact) {
+    return std::unique_ptr<BatchSource>(
+        new ExactUnionSource(std::move(left), std::move(right)));
+  }
+  if (!(left->layout()->schema == right->layout()->schema)) {
+    return Status::InvalidArgument("union inputs must share a column schema");
+  }
+  if (left->layout()->lineage_schema != right->layout()->lineage_schema) {
+    return Status::InvalidArgument(
+        "union inputs must share a lineage schema (samples of the same "
+        "expression, paper Prop. 7)");
+  }
+  return std::unique_ptr<BatchSource>(
+      new UnionSource(std::move(left), std::move(right), batch_rows));
 }
 
 Result<std::unique_ptr<BatchSource>> MakeSelectSource(
@@ -722,24 +828,11 @@ Result<std::unique_ptr<BatchSource>> CompileBatchPipeline(
       GUS_ASSIGN_OR_RETURN(
           std::unique_ptr<BatchSource> right,
           CompileBatchPipeline(plan->right(), catalog, rng, mode, batch_rows));
-      if (mode == ExecMode::kExact) {
-        // No sampler below consumes the Rng in exact mode, so only the
-        // left branch's rows are needed; the right branch runs for its
-        // error effects (see ExactUnionSource).
-        return std::unique_ptr<BatchSource>(
-            new ExactUnionSource(std::move(left), std::move(right)));
-      }
-      if (!(left->layout()->schema == right->layout()->schema)) {
-        return Status::InvalidArgument(
-            "union inputs must share a column schema");
-      }
-      if (left->layout()->lineage_schema != right->layout()->lineage_schema) {
-        return Status::InvalidArgument(
-            "union inputs must share a lineage schema (samples of the same "
-            "expression, paper Prop. 7)");
-      }
-      return std::unique_ptr<BatchSource>(
-          new UnionSource(std::move(left), std::move(right), batch_rows));
+      // Exact mode: no sampler below consumes the Rng, so only the left
+      // branch's rows are needed; the right branch runs for its error
+      // effects (see ExactUnionSource).
+      return MakeUnionSource(std::move(left), std::move(right), batch_rows,
+                             mode);
     }
   }
   return Status::Internal("unknown plan op");

@@ -66,9 +66,21 @@ class ColumnarCatalog {
   /// The columnar form of base relation `name`, converting on first use.
   Result<const ColumnarRelation*> Get(const std::string& name);
 
+  /// \brief Content fingerprint of base relation `name` (computed once,
+  /// cached).
+  ///
+  /// Hashes the schema (names + types), lineage schema, row count, every
+  /// column value (strings by content, floats by bit pattern), and the
+  /// lineage matrix — catalogs agree on a relation iff it is content-
+  /// equivalent. The shard protocol combines these per plan
+  /// (PlanCatalogFingerprint, dist/shard.h) so workers detect divergent
+  /// base data before their partial states merge.
+  Result<uint64_t> Fingerprint(const std::string& name);
+
  private:
   const Catalog* catalog_;
   std::map<std::string, ColumnarRelation> cache_;
+  std::map<std::string, uint64_t> fingerprints_;
 };
 
 /// \brief Pull iterator over a stream of column batches.
@@ -143,6 +155,25 @@ Result<std::unique_ptr<BatchSource>> MakeSelectSource(
 Result<std::unique_ptr<BatchSource>> MakeSampleSource(
     std::unique_ptr<BatchSource> child, const SamplingSpec& spec, Rng* rng,
     int64_t batch_rows, bool stream_ok);
+
+/// \brief Streaming lineage re-key to block granularity (exact-mode block
+/// sampling). `base_row` is the global scan row index of the child's first
+/// row — 0 for a whole-relation pipeline, the morsel offset for a slice.
+std::unique_ptr<BatchSource> MakeBlockRekeySource(
+    std::unique_ptr<BatchSource> child, int64_t block_size,
+    int64_t base_row = 0);
+
+/// \brief Union of two branch pipelines.
+///
+/// Sampled mode: bag union keeping each lineage once (first occurrence,
+/// left branch first — the Prop. 7 GUS union); validates that the branches
+/// share column and lineage schemas. Exact mode: the left branch's rows
+/// with the right branch drained for its error effects. The morsel engine
+/// instantiates this per pivot slice: lineage determines the slice, so
+/// slice-local dedup equals global dedup.
+Result<std::unique_ptr<BatchSource>> MakeUnionSource(
+    std::unique_ptr<BatchSource> left, std::unique_ptr<BatchSource> right,
+    int64_t batch_rows, ExecMode mode);
 
 /// \brief True when `plan`'s subtree, within the current streaming
 /// fragment (stopping at pipeline breakers), contains a sampler that will

@@ -35,12 +35,21 @@ enum class ExecMode { kSampled, kExact };
 /// plan/columnar_executor.h).
 ///
 /// kMorselParallel splits one base scan into fixed-size morsels and runs
-/// the columnar pipeline per partition with independently forked Rng
-/// streams (see plan/parallel_executor.h). Its result is drawn from the
-/// same sampling design but is a *different* (equally valid) draw than the
-/// serial engines'; it is bit-deterministic in (plan, catalog, seed) and
-/// — because the morsel split and merge order never depend on the worker
-/// count — identical across num_threads values.
+/// the columnar pipeline per partition (see plan/parallel_executor.h).
+/// Every sampling operator is a partition-aware pivot: fixed-size (WOR /
+/// WR) and block samplers adjacent to their scan are seed-decoupled (one
+/// Rng draw, then pure functions of (seed, row/block)), unions partition
+/// by lineage with per-slice dedup, and plain Bernoulli draws from
+/// independently forked per-morsel streams. Plans whose Rng consumers are
+/// all seed-decoupled or Rng-free reproduce the serial engines' rows BIT
+/// FOR BIT — except union output, which is the identical multiset but
+/// interleaves the branches per morsel slice instead of emitting all
+/// left-branch rows first; plain Bernoulli keeps the same design with a
+/// different (equally valid) draw. Either way the result is
+/// bit-deterministic in
+/// (plan, catalog, seed) and — because the morsel split and merge order
+/// never depend on the worker count — identical across num_threads
+/// values.
 ///
 /// kSharded carves the same global morsel sequence into
 /// ExecOptions::num_shards contiguous shard ranges, executes each shard

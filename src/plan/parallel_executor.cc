@@ -4,11 +4,15 @@
 #include <limits>
 #include <map>
 #include <mutex>
+#include <numeric>
 #include <utility>
 #include <vector>
 
 #include "kernels/join_hash_table.h"
 #include "kernels/key_hash.h"
+#include "kernels/sampling_kernels.h"
+#include "sampling/samplers.h"
+#include "util/hash.h"
 #include "util/logging.h"
 #include "util/thread_pool.h"
 
@@ -16,81 +20,132 @@ namespace gus {
 
 namespace {
 
-/// Is this sampler a per-row (or per-lineage) decision that independent
-/// per-morsel Rng streams reproduce as the same design?
-bool SamplerIsPartitionSafe(const SamplingSpec& spec, ExecMode mode) {
-  switch (spec.method) {
-    case SamplingMethod::kBernoulli:
-    case SamplingMethod::kLineageBernoulli:
-      return true;
-    case SamplingMethod::kWithoutReplacement:
-    case SamplingMethod::kWithReplacementDistinct:
-      // Fixed-size draws need the whole input; in exact mode they are
-      // no-ops and the path stays safe.
-      return mode == ExecMode::kExact;
-    case SamplingMethod::kBlockBernoulli:
-      // Blocks may span morsel boundaries (and exact mode re-keys lineage
-      // with global offsets); keep the serial discipline.
-      return false;
+// ---- Pivot classification --------------------------------------------------
+
+void MergeUnique(std::vector<std::string>* into,
+                 const std::vector<std::string>& from) {
+  for (const std::string& s : from) {
+    if (std::find(into->begin(), into->end(), s) == into->end()) {
+      into->push_back(s);
+    }
   }
-  return false;
 }
 
-/// One operator on the path from the pivot scan up to the root.
-struct PathStep {
-  PlanOp op = PlanOp::kSelect;
-  const PlanNode* node = nullptr;
-  /// kJoin / kProduct: is the pivot the node's left input?
-  bool pivot_is_left = true;
-};
+std::vector<std::string> IntersectOrdered(const std::vector<std::string>& a,
+                                          const std::vector<std::string>& b) {
+  std::vector<std::string> out;
+  for (const std::string& s : a) {
+    if (std::find(b.begin(), b.end(), s) != b.end()) out.push_back(s);
+  }
+  return out;
+}
 
-/// A candidate pivot: the scan node plus its root-to-scan operator path.
-struct PivotCandidate {
-  const PlanNode* scan = nullptr;
-  /// Steps ordered from the scan upward (path[0] is the scan's parent).
-  std::vector<PathStep> path;
-};
-
-/// Collects every scan whose path to the root is partition-safe.
-/// `path_to_here` holds the steps from the root down to `plan`'s parent.
-void CollectPivots(const PlanPtr& plan, ExecMode mode,
-                   std::vector<PathStep>* path_to_here,
-                   std::vector<PivotCandidate>* out) {
+/// \brief The base relations that can pivot `plan`'s subtree — i.e. scans
+/// whose path to this subtree's root crosses only partition-safe operators
+/// (traversal order preserved; see the header for the eligibility matrix).
+std::vector<std::string> PivotRelations(const PlanPtr& plan, ExecMode mode) {
   switch (plan->op()) {
-    case PlanOp::kScan: {
-      PivotCandidate cand;
-      cand.scan = plan.get();
-      cand.path.assign(path_to_here->rbegin(), path_to_here->rend());
-      out->push_back(std::move(cand));
-      return;
-    }
+    case PlanOp::kScan:
+      return {plan->relation()};
+    case PlanOp::kSelect:
+      return PivotRelations(plan->child(), mode);
     case PlanOp::kSample:
-      if (!SamplerIsPartitionSafe(plan->spec(), mode)) return;
-      [[fallthrough]];
-    case PlanOp::kSelect: {
-      path_to_here->push_back({plan->op(), plan.get(), true});
-      CollectPivots(plan->child(), mode, path_to_here, out);
-      path_to_here->pop_back();
-      return;
-    }
+      switch (plan->spec().method) {
+        case SamplingMethod::kBernoulli:
+        case SamplingMethod::kLineageBernoulli:
+          // Per-row (resp. per-lineage) decisions: independent per-morsel
+          // streams (resp. pure functions) reproduce the same design.
+          return PivotRelations(plan->child(), mode);
+        case SamplingMethod::kWithoutReplacement:
+        case SamplingMethod::kWithReplacementDistinct:
+          // Seed-decoupled fixed-size draws partition when the sampler sits
+          // directly on the scan (the keep-set is then keyed by the scan's
+          // global row index, which every morsel knows). In exact mode they
+          // are no-ops and stay safe anywhere.
+          if (mode == ExecMode::kExact) {
+            return PivotRelations(plan->child(), mode);
+          }
+          if (plan->child()->op() == PlanOp::kScan) {
+            return {plan->child()->relation()};
+          }
+          return {};
+        case SamplingMethod::kBlockBernoulli:
+          // Per-block decisions and the lineage re-key are keyed by the
+          // scan's global row index — adjacent to the scan only (both
+          // modes: exact mode still re-keys lineage).
+          if (plan->child()->op() == PlanOp::kScan) {
+            return {plan->child()->relation()};
+          }
+          return {};
+      }
+      return {};
     case PlanOp::kJoin:
     case PlanOp::kProduct: {
-      path_to_here->push_back({plan->op(), plan.get(), true});
-      CollectPivots(plan->left(), mode, path_to_here, out);
-      path_to_here->back().pivot_is_left = false;
-      CollectPivots(plan->right(), mode, path_to_here, out);
-      path_to_here->pop_back();
-      return;
+      // Pivot on either side; the other side executes once and is shared.
+      std::vector<std::string> cands = PivotRelations(plan->left(), mode);
+      MergeUnique(&cands, PivotRelations(plan->right(), mode));
+      return cands;
     }
     case PlanOp::kUnion:
-      // Union dedups by lineage across its whole input — not partitionable
-      // from below.
-      return;
+      // Both branches sample the same expression (Prop. 7): partition them
+      // over a common pivot scan and dedup per slice — lineage is the
+      // partitioning key, so slice-local dedup equals global dedup.
+      return IntersectOrdered(PivotRelations(plan->left(), mode),
+                              PivotRelations(plan->right(), mode));
   }
+  return {};
 }
 
+bool ContainsRelation(const std::vector<std::string>& cands,
+                      const std::string& name) {
+  return std::find(cands.begin(), cands.end(), name) != cands.end();
+}
+
+/// LCM of the block sizes of block samplers sitting directly on scans of
+/// `pivot` — morsels align to whole blocks so a block is never split
+/// across execution units. Capped defensively (a cap only coarsens the
+/// split; per-block decisions stay correct regardless).
+int64_t BlockAlignFor(const PlanPtr& plan, const std::string& pivot) {
+  constexpr int64_t kMaxAlign = int64_t{1} << 40;
+  int64_t align = 1;
+  std::function<void(const PlanPtr&)> walk = [&](const PlanPtr& node) {
+    if (node->op() == PlanOp::kSample &&
+        node->spec().method == SamplingMethod::kBlockBernoulli &&
+        node->child()->op() == PlanOp::kScan &&
+        node->child()->relation() == pivot && node->spec().block_size > 0) {
+      const int64_t b = node->spec().block_size;
+      const int64_t g = std::gcd(align, b);
+      if (align / g <= kMaxAlign / b) align = align / g * b;
+    }
+    for (int c = 0; c < node->num_children(); ++c) {
+      walk(c == 0 ? node->left() : node->right());
+    }
+  };
+  walk(plan);
+  return align;
+}
+
+/// Picks the candidate scanning the largest base relation (first in
+/// traversal order on ties — deterministic).
+Result<std::string> ChoosePivotRelation(const std::vector<std::string>& cands,
+                                        ColumnarCatalog* catalog) {
+  std::string best;
+  int64_t best_rows = -1;
+  for (const std::string& name : cands) {
+    GUS_ASSIGN_OR_RETURN(const ColumnarRelation* rel, catalog->Get(name));
+    if (rel->num_rows() > best_rows) {
+      best_rows = rel->num_rows();
+      best = name;
+    }
+  }
+  return best;
+}
+
+// ---- Shared (built-once) pipeline state ------------------------------------
+
 /// Shared, read-only per-join state probed concurrently by every morsel
-/// (the JoinHashTable is immutable after Build — no synchronization).
+/// (the JoinHashTable is immutable after Build — no synchronization; the
+/// build itself runs partition-parallel over directory regions).
 struct SharedJoinBuild {
   ColumnarRelation build_mat;  // the non-pivot side, materialized once
   JoinHashTable table;
@@ -107,20 +162,102 @@ struct SharedProductSide {
   LayoutPtr out_layout;
 };
 
-/// A compiled step of the per-morsel pipeline template.
-struct CompiledStep {
-  PlanOp op = PlanOp::kSelect;
-  const PlanNode* node = nullptr;              // kSelect / kSample
-  std::shared_ptr<SharedJoinBuild> join;       // kJoin
+// ---- The compiled per-morsel program ---------------------------------------
+
+struct MorselProgramNode;
+using ProgramPtr = std::unique_ptr<MorselProgramNode>;
+
+/// One node of the per-morsel pipeline template — a mirror of the plan
+/// restricted to the pivot path, with non-pivot subtrees collapsed into
+/// shared state and fixed-size samplers resolved to global keep-sets.
+struct MorselProgramNode {
+  enum class Kind {
+    kScanSlice,    // the pivot scan's morsel slice
+    kKeepSlice,    // fixed-size sampler: global keep-set ∩ slice
+    kBlockSample,  // sampled-mode block sampling over the slice
+    kBlockRekey,   // exact-mode block lineage re-key over the slice
+    kSelect,
+    kStreamSample,  // Bernoulli / lineage-seeded Bernoulli
+    kJoinProbe,
+    kProduct,
+    kUnion,  // both branches over the same slice, slice-local dedup
+  };
+
+  Kind kind = Kind::kScanSlice;
+  const PlanNode* node = nullptr;  // kSelect / kStreamSample
+  bool stream_ok = false;          // kStreamSample: Bernoulli may fuse
+  std::shared_ptr<const std::vector<int64_t>> keep;  // kKeepSlice (sorted)
+  uint64_t sampler_seed = 0;                         // kBlockSample
+  double p = 0.0;                                    // kBlockSample
+  int64_t block_size = 0;  // kBlockSample / kBlockRekey
+  std::shared_ptr<SharedJoinBuild> join;       // kJoinProbe
   std::shared_ptr<SharedProductSide> product;  // kProduct
+  ProgramPtr child;                            // input (left for kUnion)
+  ProgramPtr right;                            // kUnion only
+  LayoutPtr layout;                            // this node's output layout
 };
 
-/// \brief Streams the probe (pivot) side of a morsel through a shared,
-/// pre-built hash table.
-///
-/// Mirrors JoinSource's probe loop, but the build side is fixed to the
-/// non-pivot input (whatever its size) so it can be shared read-only by
-/// every worker; output rows keep the plan's left++right column order.
+/// Program mirror of FragmentHasStreamingRngSampler: is this subtree,
+/// within the current morsel-pipeline fragment, a streaming Rng consumer?
+bool ProgramFragmentHasStreamingRng(const MorselProgramNode& n) {
+  switch (n.kind) {
+    case MorselProgramNode::Kind::kScanSlice:
+    case MorselProgramNode::Kind::kKeepSlice:
+    case MorselProgramNode::Kind::kBlockSample:
+    case MorselProgramNode::Kind::kBlockRekey:
+      // Seed-decoupled or Rng-free: transparent to the fragment.
+      return false;
+    case MorselProgramNode::Kind::kSelect:
+    case MorselProgramNode::Kind::kJoinProbe:
+    case MorselProgramNode::Kind::kProduct:
+      // The pivot side streams through probes, so the fragment continues.
+      return ProgramFragmentHasStreamingRng(*n.child);
+    case MorselProgramNode::Kind::kStreamSample:
+      if (n.node->spec().method == SamplingMethod::kLineageBernoulli) {
+        return ProgramFragmentHasStreamingRng(*n.child);
+      }
+      // Plain Bernoulli streams iff nothing below already does; otherwise
+      // it runs as a breaker, which resets the fragment above it.
+      return !ProgramFragmentHasStreamingRng(*n.child);
+    case MorselProgramNode::Kind::kUnion:
+      // Drains both branches before emitting: fragment resets.
+      return false;
+  }
+  return false;
+}
+
+void AssignStreamOk(MorselProgramNode* n) {
+  if (n->child != nullptr) AssignStreamOk(n->child.get());
+  if (n->right != nullptr) AssignStreamOk(n->right.get());
+  if (n->kind == MorselProgramNode::Kind::kStreamSample &&
+      n->node->spec().method == SamplingMethod::kBernoulli) {
+    n->stream_ok = !ProgramFragmentHasStreamingRng(*n->child);
+  }
+}
+
+uint64_t FingerprintKeepSet(uint64_t seed, const std::vector<int64_t>& keep) {
+  uint64_t h = Mix64(seed ^ 0x534D504Cull);  // "SMPL"
+  h = HashCombine(h, static_cast<uint64_t>(keep.size()));
+  for (const int64_t r : keep) h = HashCombine(h, static_cast<uint64_t>(r));
+  return h;
+}
+
+uint64_t FingerprintBlockSampler(uint64_t seed, int64_t block_size, double p) {
+  uint64_t p_bits = 0;
+  __builtin_memcpy(&p_bits, &p, sizeof(p_bits));
+  return HashCombine(HashCombine(Mix64(seed ^ 0x534D504Cull),
+                                 static_cast<uint64_t>(block_size)),
+                     p_bits);
+}
+
+// ---- Per-morsel physical sources -------------------------------------------
+
+/// Streams the probe (pivot) side of a morsel through a shared, pre-built
+/// hash table: per pulled view, hash the probe rows, batch-probe with
+/// prefetching, recheck key equality vectorized over the candidate pairs,
+/// then emit — same output order as the classic per-row loop (probe rows
+/// ascending, candidates in build input order), in the plan's left++right
+/// column order.
 class SharedJoinProbeSource final : public BatchSource {
  public:
   SharedJoinProbeSource(std::unique_ptr<BatchSource> child,
@@ -132,43 +269,55 @@ class SharedJoinProbeSource final : public BatchSource {
         batch_rows_(batch_rows) {}
 
   Result<bool> Next(ColumnBatch* out) override {
-    if (done_) return false;
     PrepareBatch(layout_, out);
     const ColumnBatch& build_data = build_->build_mat.data();
     const ColumnData& build_key = build_data.column(build_->build_key);
     while (out->num_rows() < batch_rows_) {
-      if (probe_pos_ >= probe_.num_rows()) {
+      if (emit_pos_ >= static_cast<int64_t>(pair_probe_.size())) {
+        if (done_) break;
         // Fused pull: the probe rows arrive as a selection view over the
-        // child's storage — no gather of the pivot chain's output.
+        // child's storage — no gather of the pivot chain's output. The
+        // pair buffer never outlives the view (refilled only when empty).
         GUS_ASSIGN_OR_RETURN(bool more, child_->NextView(&probe_));
         if (!more) {
           done_ = true;
           break;
         }
-        probe_pos_ = 0;
         const ColumnData& key = probe_.data->column(build_->probe_key);
         if (key.type == ValueType::kString && key.dict != probe_dict_) {
           probe_dict_ = key.dict;
           probe_dict_hashes_ = DictKeyHashes(key);
         }
+        const int64_t n = probe_.num_rows();
+        hash_scratch_.resize(static_cast<size_t>(n));
+        row_scratch_.resize(static_cast<size_t>(n));
+        for (int64_t k = 0; k < n; ++k) {
+          const int64_t row = probe_.row(k);
+          row_scratch_[k] = row;
+          hash_scratch_[k] = KeyHashAt(key, row, probe_dict_hashes_);
+        }
+        pair_probe_.clear();
+        pair_build_.clear();
+        build_->table.ProbeBatch(hash_scratch_.data(), n, &pair_probe_,
+                                 &pair_build_);
+        for (int64_t& pr : pair_probe_) pr = row_scratch_[pr];
+        FilterEqualKeyPairs(key, build_key, &pair_probe_, &pair_build_);
+        emit_pos_ = 0;
         continue;
       }
-      const ColumnData& probe_key = probe_.data->column(build_->probe_key);
-      const int64_t row = probe_.row(probe_pos_);
-      const uint64_t h = KeyHashAt(probe_key, row, probe_dict_hashes_);
-      const JoinHashTable::Range cands = build_->table.Find(h);
-      for (const int64_t* p = cands.begin; p != cands.end; ++p) {
-        const int64_t b = *p;
-        if (!KeyEqualsAt(build_key, b, probe_key, row)) continue;
-        if (build_->pivot_is_left) {
-          out->AppendConcatRowFrom(*probe_.data, row, build_data, b);
-        } else {
-          out->AppendConcatRowFrom(build_data, b, *probe_.data, row);
-        }
+      const int64_t row = pair_probe_[emit_pos_];
+      const int64_t b = pair_build_[emit_pos_];
+      ++emit_pos_;
+      if (build_->pivot_is_left) {
+        out->AppendConcatRowFrom(*probe_.data, row, build_data, b);
+      } else {
+        out->AppendConcatRowFrom(build_data, b, *probe_.data, row);
       }
-      ++probe_pos_;
     }
-    if (done_ && out->num_rows() == 0) return false;
+    if (done_ && out->num_rows() == 0 &&
+        emit_pos_ >= static_cast<int64_t>(pair_probe_.size())) {
+      return false;
+    }
     return true;
   }
 
@@ -177,9 +326,12 @@ class SharedJoinProbeSource final : public BatchSource {
   std::shared_ptr<SharedJoinBuild> build_;
   int64_t batch_rows_;
   SelView probe_;
-  int64_t probe_pos_ = 0;
   DictPtr probe_dict_;
   std::vector<uint64_t> probe_dict_hashes_;
+  std::vector<uint64_t> hash_scratch_;
+  std::vector<int64_t> row_scratch_;
+  std::vector<int64_t> pair_probe_, pair_build_;
+  int64_t emit_pos_ = 0;
   bool done_ = false;
 };
 
@@ -238,90 +390,98 @@ class SharedProductSource final : public BatchSource {
   bool done_ = false;
 };
 
-int64_t ResolveMorselRows(int64_t pivot_rows, const ExecOptions& options);
-int64_t MorselCount(int64_t pivot_rows, int64_t morsel_rows);
+/// Zero-copy stream of a pre-resolved keep-list slice: selection views
+/// straight over the resident pivot relation (the fixed-size samplers'
+/// per-morsel form — the global keep-set is shared, each morsel walks its
+/// [lo, lo+len) sub-range).
+class SelectionListSource final : public BatchSource {
+ public:
+  SelectionListSource(const ColumnarRelation* rel,
+                      std::shared_ptr<const std::vector<int64_t>> keep,
+                      int64_t offset, int64_t len, int64_t batch_rows)
+      : BatchSource(rel->layout_ptr()),
+        rel_(rel),
+        keep_(std::move(keep)),
+        pos_(offset),
+        end_(offset + len),
+        batch_rows_(batch_rows) {}
 
-/// \brief The prepared morsel execution: shared state built once, then one
-/// pipeline instantiation per morsel.
-struct MorselPlan {
-  const ColumnarRelation* pivot_rel = nullptr;
-  std::vector<CompiledStep> steps;  // from the scan upward
-  LayoutPtr out_layout;
-  int64_t morsel_rows = kDefaultMorselRows;
-  int64_t batch_rows = kDefaultBatchRows;
-  ExecMode mode = ExecMode::kSampled;
-
-  int64_t num_morsels() const {
-    return MorselCount(pivot_rel->num_rows(), morsel_rows);
+  Result<bool> NextView(SelView* out) override {
+    if (pos_ >= end_) return false;
+    const int64_t len = std::min(batch_rows_, end_ - pos_);
+    SelView v;
+    v.data = &rel_->data();
+    v.sel = keep_->data() + pos_;
+    v.sel_len = len;
+    *out = v;
+    pos_ += len;
+    return true;
   }
 
-  /// Builds morsel `m`'s pipeline; `rng` must outlive the returned source.
-  Result<std::unique_ptr<BatchSource>> MakeMorselPipeline(int64_t m,
-                                                          Rng* rng) const {
-    const int64_t begin = m * morsel_rows;
-    const int64_t len = std::min(morsel_rows, pivot_rel->num_rows() - begin);
-    std::unique_ptr<BatchSource> src =
-        MakeScanSource(pivot_rel, batch_rows, begin, len);
-    // Same fragment discipline as the serial engine: at most one streaming
-    // Rng-consuming sampler per fragment, later ones break. (Per-morsel
-    // determinism would tolerate interleaved streams, but one rule
-    // everywhere keeps the draw-order reasoning uniform.)
-    bool streaming_rng_live = false;
-    for (const CompiledStep& step : steps) {
-      switch (step.op) {
-        case PlanOp::kSelect: {
-          GUS_ASSIGN_OR_RETURN(
-              src, MakeSelectSource(std::move(src), step.node->predicate()));
-          break;
-        }
-        case PlanOp::kSample: {
-          if (mode == ExecMode::kExact) break;  // no-op (safe methods only)
-          const bool is_bernoulli =
-              step.node->spec().method == SamplingMethod::kBernoulli;
-          const bool stream_ok = !streaming_rng_live;
-          GUS_ASSIGN_OR_RETURN(
-              src, MakeSampleSource(std::move(src), step.node->spec(), rng,
-                                    batch_rows, stream_ok));
-          if (is_bernoulli) {
-            // Streamed: the fragment now has a live Rng consumer. Broke:
-            // everything below (this sampler included) finishes its draws
-            // before a row leaves the breaker, so the fragment resets.
-            streaming_rng_live = stream_ok;
-          }
-          break;
-        }
-        case PlanOp::kJoin:
-          src = std::unique_ptr<BatchSource>(new SharedJoinProbeSource(
-              std::move(src), step.join, batch_rows));
-          break;
-        case PlanOp::kProduct:
-          src = std::unique_ptr<BatchSource>(new SharedProductSource(
-              std::move(src), step.product, batch_rows));
-          break;
-        default:
-          return Status::Internal("unexpected morsel path step");
-      }
-    }
-    return src;
-  }
+ private:
+  const ColumnarRelation* rel_;
+  std::shared_ptr<const std::vector<int64_t>> keep_;
+  int64_t pos_;
+  int64_t end_;
+  int64_t batch_rows_;
 };
 
-/// Picks the candidate scanning the largest base relation (first in
-/// traversal order on ties — deterministic).
-Result<const PivotCandidate*> ChoosePivot(
-    const std::vector<PivotCandidate>& cands, ColumnarCatalog* catalog) {
-  const PivotCandidate* best = nullptr;
-  int64_t best_rows = -1;
-  for (const PivotCandidate& cand : cands) {
-    GUS_ASSIGN_OR_RETURN(const ColumnarRelation* rel,
-                         catalog->Get(cand.scan->relation()));
-    if (rel->num_rows() > best_rows) {
-      best_rows = rel->num_rows();
-      best = &cand;
+/// Sampled-mode block sampling over a morsel slice: per-block keep
+/// decisions are pure functions of (seed, block id), kept rows gather with
+/// their lineage re-keyed to the block id — bit-identical to the serial
+/// engines' DecideSampling path on the whole scan.
+class BlockSampleSource final : public BatchSource {
+ public:
+  BlockSampleSource(const ColumnarRelation* rel, int64_t begin, int64_t end,
+                    uint64_t seed, double p, int64_t block_size,
+                    int64_t batch_rows)
+      : BatchSource(rel->layout_ptr()),
+        rel_(rel),
+        pos_(begin),
+        end_(end),
+        seed_(seed),
+        p_(p),
+        block_size_(block_size),
+        batch_rows_(batch_rows) {}
+
+  Result<bool> NextView(SelView* out) override {
+    if (pos_ >= end_) return false;
+    sel_.clear();
+    const int64_t stop = std::min(end_, pos_ + batch_rows_);
+    while (pos_ < stop) {
+      const int64_t block = pos_ / block_size_;
+      const int64_t block_end = std::min(stop, (block + 1) * block_size_);
+      if (DecoupledBlockKeep(seed_, static_cast<uint64_t>(block), p_)) {
+        for (int64_t r = pos_; r < block_end; ++r) sel_.push_back(r);
+      }
+      pos_ = block_end;
     }
+    // The lineage re-key mutates rows, so this path gathers into an owned
+    // batch (same discipline as the serial breaker's re-key path).
+    PrepareBatch(layout_, &scratch_);
+    scratch_.GatherFrom(rel_->data(), sel_.data(),
+                        static_cast<int64_t>(sel_.size()));
+    auto& lineage = *scratch_.mutable_lineage();
+    for (size_t k = 0; k < sel_.size(); ++k) {
+      lineage[k] = static_cast<uint64_t>(sel_[k] / block_size_);
+    }
+    *out = SelView::Whole(&scratch_);
+    return true;
   }
-  return best;
-}
+
+ private:
+  const ColumnarRelation* rel_;
+  int64_t pos_;
+  int64_t end_;
+  uint64_t seed_;
+  double p_;
+  int64_t block_size_;
+  int64_t batch_rows_;
+  std::vector<int64_t> sel_;
+  ColumnBatch scratch_;
+};
+
+// ---- Split geometry --------------------------------------------------------
 
 /// \brief Auto morsel sizing (ExecOptions::morsel_rows == 0): at least
 /// four morsels per worker for scheduling slack, clamped to
@@ -337,110 +497,376 @@ int64_t AutoMorselRows(int64_t pivot_rows, int num_threads) {
   return std::clamp(rows, kMinAutoMorselRows, kMaxAutoMorselRows);
 }
 
-// The (pivot rows, options) -> split geometry formulas, shared by
-// AnalyzeMorselSplit (shard planning) and PrepareMorselPlan (execution):
-// the dist/ layer's correctness requires the planned and executed unit
-// sequences to be the same, so there is exactly one implementation.
+// The (pivot rows, options, block alignment) -> split geometry formulas,
+// shared by AnalyzeMorselSplit (shard planning) and PrepareMorselProgram
+// (execution): the dist/ layer's correctness requires the planned and
+// executed unit sequences to be the same, so there is exactly one
+// implementation.
 
-int64_t ResolveMorselRows(int64_t pivot_rows, const ExecOptions& options) {
-  return options.morsel_rows > 0
-             ? options.morsel_rows
-             : AutoMorselRows(pivot_rows, options.num_threads);
+int64_t ResolveMorselRows(int64_t pivot_rows, const ExecOptions& options,
+                          int64_t block_align) {
+  int64_t rows = options.morsel_rows > 0
+                     ? options.morsel_rows
+                     : AutoMorselRows(pivot_rows, options.num_threads);
+  if (block_align > 1) {
+    // Blocks are indivisible morsel units: round the morsel up to whole
+    // blocks so one block's rows always share an execution unit.
+    rows = (rows + block_align - 1) / block_align * block_align;
+  }
+  return rows;
 }
 
 int64_t MorselCount(int64_t pivot_rows, int64_t morsel_rows) {
   return (pivot_rows + morsel_rows - 1) / morsel_rows;
 }
 
-/// \brief Builds the shared morsel-plan state: resolves the pivot relation,
-/// executes every non-pivot subtree serially with `rng`, binds predicates,
-/// and pre-builds join hash tables.
-Result<MorselPlan> PrepareMorselPlan(const PivotCandidate& pivot,
-                                     ColumnarCatalog* catalog, Rng* rng,
-                                     ExecMode mode,
-                                     const ExecOptions& options) {
-  MorselPlan plan;
-  plan.batch_rows = options.batch_rows;
-  plan.mode = mode;
-  GUS_ASSIGN_OR_RETURN(plan.pivot_rel,
-                       catalog->Get(pivot.scan->relation()));
-  plan.morsel_rows = ResolveMorselRows(plan.pivot_rel->num_rows(), options);
+// ---- Program compilation ---------------------------------------------------
 
-  LayoutPtr layout = plan.pivot_rel->layout_ptr();
-  for (const PathStep& step : pivot.path) {
-    CompiledStep compiled;
-    compiled.op = step.op;
-    switch (step.op) {
-      case PlanOp::kSelect: {
-        compiled.node = step.node;
-        // Static resolution errors surface here, not on a worker.
-        GUS_RETURN_NOT_OK(
-            step.node->predicate()->Bind(layout->schema).status());
-        break;
+/// \brief The prepared morsel execution: shared state built once, then one
+/// pipeline instantiation per morsel.
+struct MorselProgram {
+  const ColumnarRelation* pivot_rel = nullptr;
+  std::string pivot_name;
+  ProgramPtr root;
+  LayoutPtr out_layout;
+  int64_t morsel_rows = kDefaultMorselRows;
+  int64_t batch_rows = kDefaultBatchRows;
+  ExecMode mode = ExecMode::kSampled;
+  std::vector<ResolvedPivotSampler> samplers;
+
+  int64_t num_morsels() const {
+    return MorselCount(pivot_rel->num_rows(), morsel_rows);
+  }
+
+  Result<std::unique_ptr<BatchSource>> MakeMorselPipeline(int64_t m,
+                                                          Rng* rng) const;
+};
+
+/// \brief Compiles the plan subtree containing the pivot into a program
+/// node, consuming `rng` in exactly the row engine's execution order:
+/// children before parents, left subtrees fully before right ones,
+/// non-pivot subtrees materialized at their plan position, and
+/// seed-decoupled samplers drawing their one seed where the row engine's
+/// sampler would run.
+///
+/// That ordering is what makes plans free of plain-Bernoulli samplers
+/// reproduce the serial engines bit for bit: the whole Rng consumption
+/// sequence coincides.
+Result<ProgramPtr> CompileNode(const PlanPtr& plan, ColumnarCatalog* catalog,
+                               Rng* rng, ExecMode mode,
+                               const ExecOptions& options,
+                               MorselProgram* prog) {
+  switch (plan->op()) {
+    case PlanOp::kScan: {
+      if (plan->relation() != prog->pivot_name) {
+        return Status::Internal(
+            "morsel program compiler reached a non-pivot scan");
       }
-      case PlanOp::kSample: {
-        compiled.node = step.node;
-        GUS_RETURN_NOT_OK(step.node->spec().Validate());
-        break;
+      auto node = std::make_unique<MorselProgramNode>();
+      node->kind = MorselProgramNode::Kind::kScanSlice;
+      node->layout = prog->pivot_rel->layout_ptr();
+      return node;
+    }
+    case PlanOp::kSelect: {
+      GUS_ASSIGN_OR_RETURN(
+          ProgramPtr child,
+          CompileNode(plan->child(), catalog, rng, mode, options, prog));
+      // Static resolution errors surface here, not on a worker.
+      GUS_RETURN_NOT_OK(
+          plan->predicate()->Bind(child->layout->schema).status());
+      auto node = std::make_unique<MorselProgramNode>();
+      node->kind = MorselProgramNode::Kind::kSelect;
+      node->node = plan.get();
+      node->layout = child->layout;
+      node->child = std::move(child);
+      return node;
+    }
+    case PlanOp::kSample: {
+      const SamplingSpec& spec = plan->spec();
+      if (mode == ExecMode::kExact &&
+          spec.method != SamplingMethod::kBlockBernoulli) {
+        // Samplers are no-ops in exact mode.
+        return CompileNode(plan->child(), catalog, rng, mode, options, prog);
       }
-      case PlanOp::kJoin: {
-        const PlanPtr& other =
-            step.pivot_is_left ? step.node->right() : step.node->left();
-        auto build = std::make_shared<SharedJoinBuild>();
+      GUS_ASSIGN_OR_RETURN(
+          ProgramPtr child,
+          CompileNode(plan->child(), catalog, rng, mode, options, prog));
+      GUS_RETURN_NOT_OK(spec.Validate());
+      auto node = std::make_unique<MorselProgramNode>();
+      node->node = plan.get();
+      node->layout = child->layout;
+      switch (spec.method) {
+        case SamplingMethod::kBernoulli:
+          node->kind = MorselProgramNode::Kind::kStreamSample;
+          break;
+        case SamplingMethod::kLineageBernoulli: {
+          const auto& ls = child->layout->lineage_schema;
+          if (std::find(ls.begin(), ls.end(), spec.lineage_relation) ==
+              ls.end()) {
+            return Status::KeyError("relation '" + spec.lineage_relation +
+                                    "' not in the input's lineage schema");
+          }
+          node->kind = MorselProgramNode::Kind::kStreamSample;
+          break;
+        }
+        case SamplingMethod::kWithoutReplacement:
+        case SamplingMethod::kWithReplacementDistinct: {
+          // Adjacent to the pivot scan (classification guarantees it):
+          // resolve the exact global keep-set now, from one seed draw —
+          // the same draw DecideSampling makes in the serial engines.
+          const int64_t population = prog->pivot_rel->num_rows();
+          if (spec.population != population) {
+            return Status::InvalidArgument(
+                spec.method == SamplingMethod::kWithoutReplacement
+                    ? "WOR spec population does not match the input "
+                      "cardinality"
+                    : "WR spec population does not match the input "
+                      "cardinality");
+          }
+          const uint64_t seed = rng->Next();
+          std::vector<int64_t> keep;
+          if (spec.method == SamplingMethod::kWithoutReplacement) {
+            GUS_ASSIGN_OR_RETURN(
+                keep, DecoupledWorKeepIndices(population, spec.n, seed));
+          } else {
+            GUS_ASSIGN_OR_RETURN(keep, DecoupledWrDistinctKeepIndices(
+                                           population, spec.n, seed));
+          }
+          ResolvedPivotSampler resolved;
+          resolved.method = static_cast<uint8_t>(spec.method);
+          resolved.seed = seed;
+          resolved.fingerprint = FingerprintKeepSet(seed, keep);
+          prog->samplers.push_back(resolved);
+          node->kind = MorselProgramNode::Kind::kKeepSlice;
+          node->keep = std::make_shared<const std::vector<int64_t>>(
+              std::move(keep));
+          break;
+        }
+        case SamplingMethod::kBlockBernoulli: {
+          if (child->layout->lineage_arity() != 1) {
+            return Status::InvalidArgument(
+                "block lineage applies to base (single-lineage) relations");
+          }
+          node->block_size = spec.block_size;
+          if (mode == ExecMode::kExact) {
+            node->kind = MorselProgramNode::Kind::kBlockRekey;
+            break;
+          }
+          const uint64_t seed = rng->Next();
+          ResolvedPivotSampler resolved;
+          resolved.method = static_cast<uint8_t>(spec.method);
+          resolved.seed = seed;
+          resolved.fingerprint =
+              FingerprintBlockSampler(seed, spec.block_size, spec.p);
+          prog->samplers.push_back(resolved);
+          node->kind = MorselProgramNode::Kind::kBlockSample;
+          node->sampler_seed = seed;
+          node->p = spec.p;
+          break;
+        }
+      }
+      node->child = std::move(child);
+      return node;
+    }
+    case PlanOp::kJoin:
+    case PlanOp::kProduct: {
+      const bool pivot_left =
+          ContainsRelation(PivotRelations(plan->left(), mode),
+                           prog->pivot_name);
+      if (!pivot_left && !ContainsRelation(PivotRelations(plan->right(), mode),
+                                           prog->pivot_name)) {
+        return Status::Internal(
+            "morsel program compiler lost track of the pivot");
+      }
+      // Row-engine execution order: the left subtree runs (and consumes
+      // the Rng) fully before the right one.
+      ProgramPtr child;
+      ColumnarRelation other_mat;
+      if (pivot_left) {
         GUS_ASSIGN_OR_RETURN(
-            build->build_mat,
-            ExecutePlanColumnar(other, catalog, rng, mode,
-                                options.batch_rows));
-        const BatchLayout& pivot_side = *layout;
-        const BatchLayout& build_side = build->build_mat.layout();
-        const std::string& pivot_key = step.pivot_is_left
-                                           ? step.node->left_key()
-                                           : step.node->right_key();
-        const std::string& build_key = step.pivot_is_left
-                                           ? step.node->right_key()
-                                           : step.node->left_key();
+            child, CompileNode(plan->left(), catalog, rng, mode, options,
+                               prog));
+        GUS_ASSIGN_OR_RETURN(other_mat,
+                             ExecutePlanColumnar(plan->right(), catalog, rng,
+                                                 mode, options.batch_rows));
+      } else {
+        GUS_ASSIGN_OR_RETURN(other_mat,
+                             ExecutePlanColumnar(plan->left(), catalog, rng,
+                                                 mode, options.batch_rows));
+        GUS_ASSIGN_OR_RETURN(
+            child, CompileNode(plan->right(), catalog, rng, mode, options,
+                               prog));
+      }
+      auto node = std::make_unique<MorselProgramNode>();
+      const BatchLayout& pivot_side = *child->layout;
+      const BatchLayout& other_side = other_mat.layout();
+      if (plan->op() == PlanOp::kJoin) {
+        auto build = std::make_shared<SharedJoinBuild>();
+        build->build_mat = std::move(other_mat);
+        const std::string& pivot_key =
+            pivot_left ? plan->left_key() : plan->right_key();
+        const std::string& build_key =
+            pivot_left ? plan->right_key() : plan->left_key();
         GUS_ASSIGN_OR_RETURN(build->probe_key,
                              pivot_side.schema.IndexOf(pivot_key));
-        GUS_ASSIGN_OR_RETURN(build->build_key,
-                             build_side.schema.IndexOf(build_key));
-        build->pivot_is_left = step.pivot_is_left;
+        GUS_ASSIGN_OR_RETURN(
+            build->build_key,
+            build->build_mat.layout().schema.IndexOf(build_key));
+        build->pivot_is_left = pivot_left;
         GUS_ASSIGN_OR_RETURN(
             build->out_layout,
-            step.pivot_is_left ? ConcatBatchLayouts(pivot_side, build_side)
-                               : ConcatBatchLayouts(build_side, pivot_side));
+            pivot_left
+                ? ConcatBatchLayouts(pivot_side, build->build_mat.layout())
+                : ConcatBatchLayouts(build->build_mat.layout(), pivot_side));
         const ColumnData& key =
             build->build_mat.data().column(build->build_key);
-        GUS_RETURN_NOT_OK(
-            build->table.BuildFrom(key, build->build_mat.num_rows()));
-        layout = build->out_layout;
-        compiled.join = std::move(build);
-        break;
-      }
-      case PlanOp::kProduct: {
-        const PlanPtr& other =
-            step.pivot_is_left ? step.node->right() : step.node->left();
+        // Partition-parallel build: per-worker region inserts merged
+        // without rehashing, byte-identical at every thread count.
+        GUS_RETURN_NOT_OK(build->table.BuildFrom(
+            key, build->build_mat.num_rows(), options.num_threads));
+        node->kind = MorselProgramNode::Kind::kJoinProbe;
+        node->layout = build->out_layout;
+        node->join = std::move(build);
+      } else {
         auto side = std::make_shared<SharedProductSide>();
-        GUS_ASSIGN_OR_RETURN(
-            side->other_mat,
-            ExecutePlanColumnar(other, catalog, rng, mode,
-                                options.batch_rows));
-        side->pivot_is_left = step.pivot_is_left;
+        side->other_mat = std::move(other_mat);
+        side->pivot_is_left = pivot_left;
         GUS_ASSIGN_OR_RETURN(
             side->out_layout,
-            step.pivot_is_left
-                ? ConcatBatchLayouts(*layout, side->other_mat.layout())
-                : ConcatBatchLayouts(side->other_mat.layout(), *layout));
-        layout = side->out_layout;
-        compiled.product = std::move(side);
-        break;
+            pivot_left ? ConcatBatchLayouts(pivot_side, other_side)
+                       : ConcatBatchLayouts(other_side, pivot_side));
+        node->kind = MorselProgramNode::Kind::kProduct;
+        node->layout = side->out_layout;
+        node->product = std::move(side);
       }
-      default:
-        return Status::Internal("unexpected morsel path step");
+      node->child = std::move(child);
+      return node;
     }
-    plan.steps.push_back(std::move(compiled));
+    case PlanOp::kUnion: {
+      GUS_ASSIGN_OR_RETURN(
+          ProgramPtr left,
+          CompileNode(plan->left(), catalog, rng, mode, options, prog));
+      GUS_ASSIGN_OR_RETURN(
+          ProgramPtr right,
+          CompileNode(plan->right(), catalog, rng, mode, options, prog));
+      if (mode == ExecMode::kSampled) {
+        if (!(left->layout->schema == right->layout->schema)) {
+          return Status::InvalidArgument(
+              "union inputs must share a column schema");
+        }
+        if (left->layout->lineage_schema != right->layout->lineage_schema) {
+          return Status::InvalidArgument(
+              "union inputs must share a lineage schema (samples of the "
+              "same expression, paper Prop. 7)");
+        }
+      }
+      auto node = std::make_unique<MorselProgramNode>();
+      node->kind = MorselProgramNode::Kind::kUnion;
+      node->layout = left->layout;
+      node->child = std::move(left);
+      node->right = std::move(right);
+      return node;
+    }
   }
-  plan.out_layout = layout;
-  return plan;
+  return Status::Internal("unexpected morsel path step");
+}
+
+Result<std::unique_ptr<BatchSource>> InstantiateNode(
+    const MorselProgramNode& n, const MorselProgram& prog, int64_t begin,
+    int64_t len, Rng* rng) {
+  switch (n.kind) {
+    case MorselProgramNode::Kind::kScanSlice:
+      return MakeScanSource(prog.pivot_rel, prog.batch_rows, begin, len);
+    case MorselProgramNode::Kind::kKeepSlice: {
+      // The kept rows inside this slice: keep is globally sorted, so the
+      // slice's sub-range is found with two binary searches.
+      const std::vector<int64_t>& keep = *n.keep;
+      const int64_t lo =
+          std::lower_bound(keep.begin(), keep.end(), begin) - keep.begin();
+      const int64_t hi =
+          std::lower_bound(keep.begin(), keep.end(), begin + len) -
+          keep.begin();
+      return std::unique_ptr<BatchSource>(new SelectionListSource(
+          prog.pivot_rel, n.keep, lo, hi - lo, prog.batch_rows));
+    }
+    case MorselProgramNode::Kind::kBlockSample:
+      return std::unique_ptr<BatchSource>(
+          new BlockSampleSource(prog.pivot_rel, begin, begin + len,
+                                n.sampler_seed, n.p, n.block_size,
+                                prog.batch_rows));
+    case MorselProgramNode::Kind::kBlockRekey: {
+      GUS_ASSIGN_OR_RETURN(std::unique_ptr<BatchSource> child,
+                           InstantiateNode(*n.child, prog, begin, len, rng));
+      return MakeBlockRekeySource(std::move(child), n.block_size, begin);
+    }
+    case MorselProgramNode::Kind::kSelect: {
+      GUS_ASSIGN_OR_RETURN(std::unique_ptr<BatchSource> child,
+                           InstantiateNode(*n.child, prog, begin, len, rng));
+      return MakeSelectSource(std::move(child), n.node->predicate());
+    }
+    case MorselProgramNode::Kind::kStreamSample: {
+      GUS_ASSIGN_OR_RETURN(std::unique_ptr<BatchSource> child,
+                           InstantiateNode(*n.child, prog, begin, len, rng));
+      return MakeSampleSource(std::move(child), n.node->spec(), rng,
+                              prog.batch_rows, n.stream_ok);
+    }
+    case MorselProgramNode::Kind::kJoinProbe: {
+      GUS_ASSIGN_OR_RETURN(std::unique_ptr<BatchSource> child,
+                           InstantiateNode(*n.child, prog, begin, len, rng));
+      return std::unique_ptr<BatchSource>(
+          new SharedJoinProbeSource(std::move(child), n.join,
+                                    prog.batch_rows));
+    }
+    case MorselProgramNode::Kind::kProduct: {
+      GUS_ASSIGN_OR_RETURN(std::unique_ptr<BatchSource> child,
+                           InstantiateNode(*n.child, prog, begin, len, rng));
+      return std::unique_ptr<BatchSource>(
+          new SharedProductSource(std::move(child), n.product,
+                                  prog.batch_rows));
+    }
+    case MorselProgramNode::Kind::kUnion: {
+      // Both branches run over the same pivot slice; the left branch
+      // instantiates (and, per morsel, drains) first, mirroring the row
+      // engine's left-before-right execution.
+      GUS_ASSIGN_OR_RETURN(std::unique_ptr<BatchSource> left,
+                           InstantiateNode(*n.child, prog, begin, len, rng));
+      GUS_ASSIGN_OR_RETURN(std::unique_ptr<BatchSource> right,
+                           InstantiateNode(*n.right, prog, begin, len, rng));
+      return MakeUnionSource(std::move(left), std::move(right),
+                             prog.batch_rows, prog.mode);
+    }
+  }
+  return Status::Internal("unexpected morsel program node");
+}
+
+Result<std::unique_ptr<BatchSource>> MorselProgram::MakeMorselPipeline(
+    int64_t m, Rng* rng) const {
+  const int64_t begin = m * morsel_rows;
+  const int64_t len = std::min(morsel_rows, pivot_rel->num_rows() - begin);
+  return InstantiateNode(*root, *this, begin, len, rng);
+}
+
+/// \brief Builds the shared morsel-program state: resolves the pivot
+/// relation, executes every non-pivot subtree serially with `rng`, binds
+/// predicates, resolves fixed-size sampler keep-sets, and pre-builds join
+/// hash tables (partition-parallel).
+Result<MorselProgram> PrepareMorselProgram(const PlanPtr& plan,
+                                           const std::string& pivot,
+                                           ColumnarCatalog* catalog, Rng* rng,
+                                           ExecMode mode,
+                                           const ExecOptions& options) {
+  MorselProgram prog;
+  prog.batch_rows = options.batch_rows;
+  prog.mode = mode;
+  prog.pivot_name = pivot;
+  GUS_ASSIGN_OR_RETURN(prog.pivot_rel, catalog->Get(pivot));
+  prog.morsel_rows = ResolveMorselRows(prog.pivot_rel->num_rows(), options,
+                                       BlockAlignFor(plan, pivot));
+  GUS_ASSIGN_OR_RETURN(prog.root,
+                       CompileNode(plan, catalog, rng, mode, options, &prog));
+  AssignStreamOk(prog.root.get());
+  prog.out_layout = prog.root->layout;
+  return prog;
 }
 
 /// Materializing sink for ExecutePlanMorsel.
@@ -468,28 +894,25 @@ class RelationSink final : public MergeableBatchSink {
 }  // namespace
 
 bool PlanIsPartitionable(const PlanPtr& plan, ExecMode mode) {
-  std::vector<PathStep> path;
-  std::vector<PivotCandidate> cands;
-  CollectPivots(plan, mode, &path, &cands);
-  return !cands.empty();
+  return !PivotRelations(plan, mode).empty();
 }
 
 Result<MorselSplit> AnalyzeMorselSplit(const PlanPtr& plan,
                                        ColumnarCatalog* catalog, ExecMode mode,
                                        const ExecOptions& options) {
   GUS_RETURN_NOT_OK(options.Validate());
-  std::vector<PathStep> path;
-  std::vector<PivotCandidate> cands;
-  CollectPivots(plan, mode, &path, &cands);
+  const std::vector<std::string> cands = PivotRelations(plan, mode);
   MorselSplit split;
   if (cands.empty()) return split;  // one serial fallback unit
-  GUS_ASSIGN_OR_RETURN(const PivotCandidate* pivot,
-                       ChoosePivot(cands, catalog));
+  GUS_ASSIGN_OR_RETURN(split.pivot_relation,
+                       ChoosePivotRelation(cands, catalog));
   GUS_ASSIGN_OR_RETURN(const ColumnarRelation* rel,
-                       catalog->Get(pivot->scan->relation()));
+                       catalog->Get(split.pivot_relation));
   split.partitionable = true;
   split.pivot_rows = rel->num_rows();
-  split.morsel_rows = ResolveMorselRows(split.pivot_rows, options);
+  split.block_align = BlockAlignFor(plan, split.pivot_relation);
+  split.morsel_rows =
+      ResolveMorselRows(split.pivot_rows, options, split.block_align);
   split.num_units = MorselCount(split.pivot_rows, split.morsel_rows);
   return split;
 }
@@ -498,12 +921,12 @@ Status ParallelExecuteUnitRangeToSink(
     const PlanPtr& plan, ColumnarCatalog* catalog, Rng* rng, ExecMode mode,
     const ExecOptions& options, int64_t unit_begin, int64_t unit_end,
     const MorselSinkFactory& make_sink,
-    std::unique_ptr<MergeableBatchSink>* out, uint64_t* stream_base_out) {
+    std::unique_ptr<MergeableBatchSink>* out, uint64_t* stream_base_out,
+    std::vector<ResolvedPivotSampler>* samplers_out) {
   GUS_RETURN_NOT_OK(options.Validate());
   if (stream_base_out != nullptr) *stream_base_out = 0;
-  std::vector<PathStep> path;
-  std::vector<PivotCandidate> cands;
-  CollectPivots(plan, mode, &path, &cands);
+  if (samplers_out != nullptr) samplers_out->clear();
+  const std::vector<std::string> cands = PivotRelations(plan, mode);
   if (cands.empty()) {
     // Serial fallback — one execution unit (index 0), run iff the range
     // contains it. The pipeline is compiled either way so static errors
@@ -520,21 +943,24 @@ Status ParallelExecuteUnitRangeToSink(
     return Status::OK();
   }
 
-  GUS_ASSIGN_OR_RETURN(const PivotCandidate* pivot,
-                       ChoosePivot(cands, catalog));
-  GUS_ASSIGN_OR_RETURN(MorselPlan morsel_plan,
-                       PrepareMorselPlan(*pivot, catalog, rng, mode, options));
-  // One draw seeds every morsel stream; consumed after the serial subtrees
-  // so the whole consumption order is a pure function of (plan, seed) —
-  // and therefore identical in every shard worker running this plan.
+  GUS_ASSIGN_OR_RETURN(const std::string pivot,
+                       ChoosePivotRelation(cands, catalog));
+  GUS_ASSIGN_OR_RETURN(
+      MorselProgram program,
+      PrepareMorselProgram(plan, pivot, catalog, rng, mode, options));
+  if (samplers_out != nullptr) *samplers_out = program.samplers;
+  // One draw seeds every morsel stream; consumed after the serial prepare
+  // phase (non-pivot subtrees + pivot sampler seeds) so the whole
+  // consumption order is a pure function of (plan, seed) — and therefore
+  // identical in every shard worker running this plan.
   const uint64_t stream_base = rng->Next();
   if (stream_base_out != nullptr) *stream_base_out = stream_base;
 
-  const int64_t num_morsels = morsel_plan.num_morsels();
+  const int64_t num_morsels = program.num_morsels();
   unit_begin = std::clamp<int64_t>(unit_begin, 0, num_morsels);
   unit_end = std::clamp<int64_t>(unit_end, unit_begin, num_morsels);
   if (unit_begin >= unit_end) {
-    GUS_ASSIGN_OR_RETURN(*out, make_sink(*morsel_plan.out_layout));
+    GUS_ASSIGN_OR_RETURN(*out, make_sink(*program.out_layout));
     return Status::OK();
   }
 
@@ -565,13 +991,13 @@ Status ParallelExecuteUnitRangeToSink(
     Status status;
     std::unique_ptr<MergeableBatchSink> sink;
     do {
-      auto sink_or = make_sink(*morsel_plan.out_layout);
+      auto sink_or = make_sink(*program.out_layout);
       if (!sink_or.ok()) {
         status = sink_or.status();
         break;
       }
       sink = std::move(sink_or).ValueOrDie();
-      auto pipeline_or = morsel_plan.MakeMorselPipeline(m, &morsel_rng);
+      auto pipeline_or = program.MakeMorselPipeline(m, &morsel_rng);
       if (!pipeline_or.ok()) {
         status = pipeline_or.status();
         break;

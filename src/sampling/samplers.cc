@@ -128,6 +128,56 @@ Result<std::vector<int64_t>> LineageBernoulliKeepIndices(
   return keep;
 }
 
+Result<std::vector<int64_t>> DecoupledWorKeepIndices(int64_t num_rows,
+                                                     int64_t n,
+                                                     uint64_t seed) {
+  if (n < 0 || n > num_rows) {
+    return Status::InvalidArgument("WOR sample size must be in [0, N]");
+  }
+  MergeableReservoir reservoir(n);
+  reservoir.OfferRange(seed, 0, num_rows);
+  return reservoir.SortedRows();
+}
+
+Result<std::vector<int64_t>> DecoupledWrDistinctKeepIndices(int64_t num_rows,
+                                                            int64_t n,
+                                                            uint64_t seed) {
+  if (n < 0) return Status::InvalidArgument("sample size must be >= 0");
+  if (num_rows == 0) return std::vector<int64_t>{};
+  std::vector<int64_t> idx;
+  idx.reserve(static_cast<size_t>(n));
+  for (int64_t draw = 0; draw < n; ++draw) {
+    idx.push_back(WrDrawTarget(seed, draw, num_rows));
+  }
+  std::sort(idx.begin(), idx.end());
+  idx.erase(std::unique(idx.begin(), idx.end()), idx.end());
+  return idx;
+}
+
+Result<std::vector<int64_t>> DecoupledBlockKeepIndices(
+    int64_t num_rows, double p, const LineageIdFn& block_of, uint64_t seed) {
+  if (!(p >= 0.0 && p <= 1.0)) {
+    return Status::InvalidArgument("block Bernoulli p must be in [0,1]");
+  }
+  std::vector<int64_t> keep;
+  keep.reserve(static_cast<size_t>(p * num_rows) + 16);
+  // Block ids arrive in runs (row / block_size, or base-table block
+  // lineage), so memoizing the last decision answers almost every row.
+  uint64_t last_block = 0;
+  bool last_keep = false;
+  bool have_last = false;
+  for (int64_t i = 0; i < num_rows; ++i) {
+    const uint64_t block = block_of(i);
+    if (!have_last || block != last_block) {
+      last_block = block;
+      last_keep = DecoupledBlockKeep(seed, block, p);
+      have_last = true;
+    }
+    if (last_keep) keep.push_back(i);
+  }
+  return keep;
+}
+
 Result<SamplingDecision> DecideSampling(
     const SamplingSpec& spec, int64_t num_rows,
     const std::vector<std::string>& lineage_schema,
@@ -144,7 +194,11 @@ Result<SamplingDecision> DecideSampling(
         return Status::InvalidArgument(
             "WOR spec population does not match the input cardinality");
       }
-      GUS_ASSIGN_OR_RETURN(d.keep, WorKeepIndices(num_rows, spec.n, rng));
+      // Seed-decoupled mergeable draw: one Rng value, then a pure function
+      // of (seed, row) — identical across engines AND across any
+      // morsel/shard partition of the input (see samplers.h).
+      GUS_ASSIGN_OR_RETURN(
+          d.keep, DecoupledWorKeepIndices(num_rows, spec.n, rng->Next()));
       return d;
     }
     case SamplingMethod::kWithReplacementDistinct: {
@@ -152,8 +206,8 @@ Result<SamplingDecision> DecideSampling(
         return Status::InvalidArgument(
             "WR spec population does not match the input cardinality");
       }
-      GUS_ASSIGN_OR_RETURN(d.keep,
-                           WrDistinctKeepIndices(num_rows, spec.n, rng));
+      GUS_ASSIGN_OR_RETURN(d.keep, DecoupledWrDistinctKeepIndices(
+                                       num_rows, spec.n, rng->Next()));
       return d;
     }
     case SamplingMethod::kBlockBernoulli: {
@@ -166,12 +220,12 @@ Result<SamplingDecision> DecideSampling(
       }
       const int64_t block_size = spec.block_size;
       GUS_ASSIGN_OR_RETURN(
-          d.keep, BlockBernoulliKeepIndices(
+          d.keep, DecoupledBlockKeepIndices(
                       num_rows, spec.p,
                       [block_size](int64_t i) {
                         return static_cast<uint64_t>(i / block_size);
                       },
-                      rng));
+                      rng->Next()));
       d.rekey_block_lineage = true;
       return d;
     }

@@ -38,7 +38,11 @@ using LineageIdFn = std::function<uint64_t(int64_t row)>;
 Result<std::vector<int64_t>> BernoulliKeepIndices(int64_t num_rows, double p,
                                                   Rng* rng);
 
-/// Partial Fisher-Yates WOR draw of n rows; kept indexes ascending.
+/// \brief Partial Fisher-Yates WOR draw of n rows; kept indexes ascending.
+///
+/// Legacy sequential draw used by the standalone row-API samplers below.
+/// Plan execution (DecideSampling) uses the seed-decoupled mergeable core
+/// instead, so fixed-size pivots partition across morsels and shards.
 Result<std::vector<int64_t>> WorKeepIndices(int64_t num_rows, int64_t n,
                                             Rng* rng);
 
@@ -59,6 +63,39 @@ Result<std::vector<int64_t>> BlockBernoulliKeepIndices(
 Result<std::vector<int64_t>> LineageBernoulliKeepIndices(
     int64_t num_rows, double p, uint64_t seed, const LineageIdFn& id_of);
 
+// ---- Seed-decoupled mergeable index cores ----------------------------------
+//
+// The partition-mergeable forms behind every fixed-size / block sampler in
+// plan execution: the engine draws ONE sampler seed from its Rng stream,
+// and the keep-set is then a pure function of (seed, input shape) built
+// from per-row keys (kernels/sampling_kernels.h). All four engines — row,
+// columnar, morsel-parallel, sharded — therefore draw bit-identical
+// fixed-size samples from identical seeds, and the morsel engine can
+// evaluate any row range independently and fold bounded per-morsel
+// candidate states into the exact global result.
+
+/// \brief Exact uniform WOR(n) as the n smallest WorPriority(seed, row)
+/// keys; kept indexes ascending.
+///
+/// Equals folding per-range MergeableReservoir states over any partition
+/// of [0, num_rows).
+Result<std::vector<int64_t>> DecoupledWorKeepIndices(int64_t num_rows,
+                                                     int64_t n, uint64_t seed);
+
+/// \brief n with-replacement draws WrDrawTarget(seed, d), duplicates
+/// discarded; kept indexes ascending.
+///
+/// Any partition computes its slice by intersecting the same n targets
+/// with its row range.
+Result<std::vector<int64_t>> DecoupledWrDistinctKeepIndices(int64_t num_rows,
+                                                            int64_t n,
+                                                            uint64_t seed);
+
+/// \brief Block-Bernoulli keep-set with per-block decisions
+/// DecoupledBlockKeep(seed, block, p); `block_of` reads a row's block id.
+Result<std::vector<int64_t>> DecoupledBlockKeepIndices(
+    int64_t num_rows, double p, const LineageIdFn& block_of, uint64_t seed);
+
 /// \brief The outcome of dispatching a SamplingSpec on an input shape.
 struct SamplingDecision {
   /// Kept row indexes, in output order.
@@ -71,8 +108,11 @@ struct SamplingDecision {
 /// \brief Validates `spec` against the input shape and draws the kept rows.
 ///
 /// `lineage_schema` and `lineage_at(row, dim)` describe the input's lineage
-/// without committing to a storage layout; both engines route their
-/// sampling through this single function.
+/// without committing to a storage layout; every engine routes its
+/// sampling through this single function. Fixed-size and block methods
+/// consume exactly one Rng value (the sampler seed) and dispatch to the
+/// seed-decoupled cores above, so their keep-sets are invariant under any
+/// morsel/shard partition of the same input.
 Result<SamplingDecision> DecideSampling(
     const SamplingSpec& spec, int64_t num_rows,
     const std::vector<std::string>& lineage_schema,

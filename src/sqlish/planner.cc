@@ -452,6 +452,7 @@ Result<ApproxResult> RunSharded(const PlannedQuery& planned,
   for (int k = 0; k < num_shards; ++k) {
     std::unique_ptr<MergeableBatchSink> sink;
     ShardMeta meta;
+    std::vector<ResolvedPivotSampler> samplers;
     GUS_RETURN_NOT_OK(RunShardToSink(
         planned.plan, &columnar, seed, ExecMode::kSampled, exec, k,
         num_shards,
@@ -463,7 +464,7 @@ Result<ApproxResult> RunSharded(const PlannedQuery& planned,
                                                     planned.group_by));
           return std::unique_ptr<MergeableBatchSink>(std::move(fanout));
         },
-        &sink, &meta));
+        &sink, &meta, &samplers));
     auto* fanout = static_cast<ItemFanoutSink*>(sink.get());
     meta.rows = fanout->sample_rows();
     std::vector<std::pair<WireTag, std::string>> item_sections;
@@ -480,13 +481,15 @@ Result<ApproxResult> RunSharded(const PlannedQuery& planned,
       }
     }
     GUS_RETURN_NOT_OK(
-        transport.Send(k, BuildShardBundle(meta, item_sections)));
+        transport.Send(k, BuildShardBundle(meta, samplers, item_sections)));
   }
 
   // Gather: deserialize and fold shard states in ascending shard order
   // (the same global unit order the morsel engine merges in).
   std::vector<ShardMeta> metas;
   metas.reserve(num_shards);
+  std::vector<std::string> sampler_payloads;
+  sampler_payloads.reserve(num_shards);
   std::vector<SampleViewBuilder> views;
   std::vector<GroupedSumBuilder> groups;
   int64_t sample_rows = 0;
@@ -498,7 +501,7 @@ Result<ApproxResult> RunSharded(const PlannedQuery& planned,
     GUS_ASSIGN_OR_RETURN(
         std::vector<WireSectionView> sections,
         ReceiveShardSections(&transport, k, &metas, &rng_fingerprint,
-                             &bundle));
+                             &sampler_payloads, &bundle));
     sample_rows += metas.back().rows;
     size_t matching = 0;
     for (const WireSectionView& section : sections) {
@@ -536,6 +539,7 @@ Result<ApproxResult> RunSharded(const PlannedQuery& planned,
     }
   }
   GUS_RETURN_NOT_OK(ValidateShardMetas(metas));
+  GUS_RETURN_NOT_OK(ValidateShardSamplerStates(sampler_payloads));
   return EstimateFromBuilders(planned, soa, options, sample_rows, &views,
                               &groups);
 }

@@ -24,6 +24,22 @@ inline uint64_t HashCombine(uint64_t seed, uint64_t v) {
   return Mix64(seed ^ (v + 0x9e3779b97f4a7c15ULL + (seed << 6) + (seed >> 2)));
 }
 
+/// \brief Folds a byte span into a running FNV-1a 64-bit digest.
+///
+/// Seed with kFnv1aOffset (or chain calls for multi-part content). Used
+/// for state digests and content fingerprints — one implementation so the
+/// constants never diverge between call sites.
+inline constexpr uint64_t kFnv1aOffset = 14695981039346656037ULL;
+
+inline uint64_t HashBytes(uint64_t h, const void* data, unsigned long len) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (unsigned long i = 0; i < len; ++i) {
+    h ^= p[i];
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
 /// Maps a 64-bit hash to a double uniform in [0, 1).
 inline double HashToUnit(uint64_t h) {
   // Take the top 53 bits for a full-precision double mantissa.

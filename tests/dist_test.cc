@@ -176,14 +176,16 @@ TEST(DistTest, MoreShardsThanUnitsYieldsEmptyShards) {
 }
 
 TEST(DistTest, SerialFallbackPlanStillShards) {
-  // A union has no partition-safe pivot: the plan executes as one serial
-  // unit on whichever shard owns it, and the result matches the serial
-  // streaming estimator bit for bit (same Rng(seed) consumption).
+  // A fixed-size sampler over a derived input (select below) has no
+  // partition-safe pivot: the plan executes as one serial unit on
+  // whichever shard owns it, and the result matches the serial streaming
+  // estimator bit for bit (same Rng(seed) consumption). The select keeps
+  // every row so the WOR population check still matches.
   Catalog catalog = MakeTinyJoin(64, 1).MakeCatalog();
-  PlanPtr scan = PlanNode::Scan("D");
-  PlanPtr plan = PlanNode::Union(
-      PlanNode::Sample(SamplingSpec::Bernoulli(0.5), scan),
-      PlanNode::Sample(SamplingSpec::Bernoulli(0.5), scan));
+  PlanPtr plan = PlanNode::Sample(
+      SamplingSpec::WithoutReplacement(20, 64),
+      PlanNode::SelectNode(Gt(Col("w"), Lit(0.0)), PlanNode::Scan("D")));
+  ASSERT_FALSE(PlanIsPartitionable(plan, ExecMode::kSampled));
   ASSERT_OK_AND_ASSIGN(SoaResult soa, SoaTransform(plan));
   ExprPtr f = Col("w");
 
@@ -200,6 +202,132 @@ TEST(DistTest, SerialFallbackPlanStillShards) {
                             num_shards, f, soa.top, {}));
     ExpectReportsIdentical(serial, sharded);
   }
+}
+
+TEST(DistTest, UnionPlanShardsAndMatchesSerialStreaming) {
+  // Union plans now partition (lineage-hash slices, local dedup): with
+  // Rng-free / seed-decoupled branches the sharded sample IS the serial
+  // sample, and on dyadic data the reports agree bit for bit at every
+  // shard count.
+  Catalog catalog = MakeTinyJoin(64, 1).MakeCatalog();
+  PlanPtr scan = PlanNode::Scan("D");
+  PlanPtr plan = PlanNode::Union(
+      PlanNode::Sample(SamplingSpec::LineageBernoulli("D", 0.5, 13), scan),
+      PlanNode::Sample(SamplingSpec::WithoutReplacement(20, 64), scan));
+  ASSERT_TRUE(PlanIsPartitionable(plan, ExecMode::kSampled));
+  ASSERT_OK_AND_ASSIGN(SoaResult soa, SoaTransform(plan));
+  ExprPtr f = Col("w");
+
+  ColumnarCatalog columnar(&catalog);
+  Rng rng(33);
+  ASSERT_OK_AND_ASSIGN(
+      SboxReport serial,
+      EstimatePlanStreaming(plan, &columnar, &rng, f, soa.top, {}));
+  ExecOptions exec;
+  exec.morsel_rows = 16;
+  for (const int num_shards : {1, 2, 4}) {
+    SCOPED_TRACE(num_shards);
+    ASSERT_OK_AND_ASSIGN(
+        SboxReport sharded,
+        ShardedSboxEstimate(plan, catalog, 33, ExecMode::kSampled, exec,
+                            num_shards, f, soa.top, {}));
+    ExpectReportsIdentical(serial, sharded);
+  }
+}
+
+TEST(DistTest, WorkerRejectsDivergentBaseDataBeforeExecuting) {
+  // The coordinator hands its PlanCatalogFingerprint to the worker; a
+  // worker holding different base data refuses before running any unit.
+  Query1Fixture fx;
+  ColumnarCatalog columnar(&fx.catalog);
+  ASSERT_OK_AND_ASSIGN(const uint64_t fingerprint,
+                       PlanCatalogFingerprint(fx.q1.plan, &columnar));
+  // Matching fingerprint: executes fine.
+  ASSERT_OK(RunShardSbox(fx.q1.plan, &columnar, 7, ExecMode::kSampled,
+                         fx.exec, 0, 2, fx.q1.aggregate, fx.soa.top,
+                         fx.options, fingerprint)
+                .status());
+  // Divergent fingerprint: loud refusal before execution.
+  const Status st =
+      RunShardSbox(fx.q1.plan, &columnar, 7, ExecMode::kSampled, fx.exec, 0,
+                   2, fx.q1.aggregate, fx.soa.top, fx.options,
+                   fingerprint ^ 1)
+          .status();
+  EXPECT_STATUS_CODE(kInvalidArgument, st);
+  EXPECT_NE(std::string::npos, st.message().find("refusing to execute"));
+}
+
+TEST(DistTest, GatherRejectsDivergentBaseData) {
+  // Two workers run from the same seed but against catalogs whose base
+  // data differs by one value: the Rng fingerprints and stream bases
+  // agree (draw counts are data-independent here), so the catalog
+  // fingerprint is what catches the divergence at gather.
+  Catalog catalog_a = MakeTinyJoin(40, 3).MakeCatalog();
+  Catalog catalog_b = MakeTinyJoin(40, 3).MakeCatalog();
+  {
+    Relation& d = catalog_b.at("D");
+    Relation patched(d.schema(), d.lineage_schema());
+    for (int64_t i = 0; i < d.num_rows(); ++i) {
+      Row row = d.row(i);
+      if (i == 0) row[1] = Value(row[1].ToDouble() + 1.0);
+      patched.AppendRow(row, d.lineage(i));
+    }
+    catalog_b.at("D") = std::move(patched);
+  }
+  PlanPtr plan = PlanNode::Join(
+      PlanNode::Sample(SamplingSpec::Bernoulli(0.5), PlanNode::Scan("F")),
+      PlanNode::Scan("D"), "fk", "pk");
+  ASSERT_OK_AND_ASSIGN(SoaResult soa, SoaTransform(plan));
+  ExprPtr f = Mul(Col("v"), Col("w"));
+  ExecOptions exec;
+  exec.morsel_rows = 16;
+
+  ColumnarCatalog columnar_a(&catalog_a);
+  ColumnarCatalog columnar_b(&catalog_b);
+  LocalTransport transport;
+  ASSERT_OK_AND_ASSIGN(
+      std::string bundle0,
+      RunShardSbox(plan, &columnar_a, 7, ExecMode::kSampled, exec, 0, 2, f,
+                   soa.top, {}));
+  ASSERT_OK_AND_ASSIGN(
+      std::string bundle1,
+      RunShardSbox(plan, &columnar_b, 7, ExecMode::kSampled, exec, 1, 2, f,
+                   soa.top, {}));
+  ASSERT_OK(transport.Send(0, std::move(bundle0)));
+  ASSERT_OK(transport.Send(1, std::move(bundle1)));
+  const Status st = GatherSboxEstimate(&transport, 2).status();
+  EXPECT_STATUS_CODE(kInvalidArgument, st);
+  EXPECT_NE(std::string::npos, st.message().find("divergent base data"));
+}
+
+TEST(DistTest, SamplerStatePayloadRoundTripsAndValidates) {
+  std::vector<ResolvedPivotSampler> samplers(2);
+  samplers[0].method = 1;
+  samplers[0].seed = 0x1111222233334444ULL;
+  samplers[0].fingerprint = 0x5555666677778888ULL;
+  samplers[1].method = 3;
+  samplers[1].seed = 42;
+  samplers[1].fingerprint = 43;
+  const std::string bytes = SamplerStateToBytes(samplers);
+  ASSERT_OK_AND_ASSIGN(std::vector<ResolvedPivotSampler> decoded,
+                       SamplerStateFromBytes(bytes));
+  ASSERT_EQ(samplers.size(), decoded.size());
+  EXPECT_TRUE(samplers[0] == decoded[0]);
+  EXPECT_TRUE(samplers[1] == decoded[1]);
+  // Truncation fails loudly.
+  EXPECT_STATUS_CODE(
+      kInvalidArgument,
+      SamplerStateFromBytes(std::string_view(bytes).substr(0, bytes.size() - 3))
+          .status());
+  // Cross-shard divergence is refused.
+  std::vector<ResolvedPivotSampler> other = samplers;
+  other[1].fingerprint ^= 1;
+  EXPECT_STATUS_CODE(
+      kInvalidArgument,
+      ValidateShardSamplerStates({SamplerStateToBytes(samplers),
+                                  SamplerStateToBytes(other)}));
+  ASSERT_OK(ValidateShardSamplerStates({SamplerStateToBytes(samplers),
+                                        SamplerStateToBytes(samplers)}));
 }
 
 TEST(DistTest, ExactModeMatchesSerialAndMorsel) {

@@ -6,13 +6,19 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <sstream>
 #include <string>
 #include <vector>
 
 #include "data/tpch_gen.h"
 #include "data/workload.h"
+#include "dist/coordinator.h"
+#include "est/sbox.h"
+#include "est/streaming.h"
 #include "plan/columnar_executor.h"
 #include "plan/executor.h"
+#include "plan/soa_transform.h"
 #include "rel/column_batch.h"
 #include "sqlish/planner.h"
 #include "test_util.h"
@@ -532,6 +538,142 @@ TEST(EngineParityTest, SqlishShardedParity) {
       EXPECT_EQ(first.values[i].hi, sharded.values[i].hi);
     }
   }
+}
+
+// -- Full pivot coverage: WOR, block-sampling, and union plans vs the -------
+// -- serial row engine, across thread AND shard counts ----------------------
+//
+// These plans' Rng consumers are all seed-decoupled (fixed-size / block /
+// lineage-seeded), so the morsel and sharded engines draw the *identical*
+// sample as the serial row engine — and with the TinyJoin dyadic values
+// the estimator sums are exact, so estimates and CIs compare bit for bit
+// at threads {1,2,4,8} x shards {1,2,4}.
+
+void ExpectReportsBitIdentical(const SboxReport& x, const SboxReport& y) {
+  EXPECT_EQ(x.estimate, y.estimate);
+  EXPECT_EQ(x.variance, y.variance);
+  EXPECT_EQ(x.stddev, y.stddev);
+  EXPECT_EQ(x.interval.lo, y.interval.lo);
+  EXPECT_EQ(x.interval.hi, y.interval.hi);
+  EXPECT_EQ(x.sample_rows, y.sample_rows);
+  EXPECT_EQ(x.variance_rows, y.variance_rows);
+  EXPECT_EQ(x.y_hat, y.y_hat);
+}
+
+/// Canonical multiset encoding (union plans permute rows by morsel).
+std::vector<std::string> CanonicalRelationRows(const Relation& rel) {
+  std::vector<std::string> rows;
+  rows.reserve(rel.num_rows());
+  for (int64_t i = 0; i < rel.num_rows(); ++i) {
+    std::ostringstream line;
+    for (const Value& v : rel.row(i)) line << v.ToString() << "|";
+    for (uint64_t id : rel.lineage(i)) line << id << ",";
+    rows.push_back(line.str());
+  }
+  std::sort(rows.begin(), rows.end());
+  return rows;
+}
+
+/// \brief The acceptance matrix for one plan: serial-row reference report
+/// and rows vs kMorselParallel (threads 1/2/4/8) and kSharded (shards
+/// 1/2/4), everything bit-identical (rows as a multiset when
+/// `rows_as_multiset` — union output interleaves by morsel).
+void ExpectFullEngineMatrixParity(const PlanPtr& plan, const Catalog& catalog,
+                                  uint64_t seed, const ExprPtr& f,
+                                  bool rows_as_multiset) {
+  ASSERT_OK_AND_ASSIGN(SoaResult soa, SoaTransform(plan));
+  SboxOptions options;
+  options.subsample = SubsampleConfig{};
+  options.subsample->target_rows = 40;  // engage the Section 7 path
+
+  // Serial row engine reference: materialize, then estimate.
+  Rng row_rng(seed);
+  ASSERT_OK_AND_ASSIGN(Relation row_result,
+                       ExecutePlan(plan, catalog, &row_rng,
+                                   ExecMode::kSampled));
+  EXPECT_GT(row_result.num_rows(), 0);
+  ASSERT_OK_AND_ASSIGN(
+      SampleView row_view,
+      SampleView::FromRelation(row_result, f, soa.top.schema()));
+  ASSERT_OK_AND_ASSIGN(SboxReport reference,
+                       SboxEstimate(soa.top, row_view, options));
+
+  ExecOptions exec;
+  exec.engine = ExecEngine::kMorselParallel;
+  exec.morsel_rows = 16;
+  ColumnarCatalog columnar(&catalog);
+  for (const int threads : {1, 2, 4, 8}) {
+    SCOPED_TRACE("threads=" + std::to_string(threads));
+    exec.num_threads = threads;
+    Rng rel_rng(seed);
+    ASSERT_OK_AND_ASSIGN(Relation morsel_rel,
+                         ExecutePlan(plan, catalog, &rel_rng,
+                                     ExecMode::kSampled, exec));
+    if (rows_as_multiset) {
+      EXPECT_EQ(CanonicalRelationRows(row_result),
+                CanonicalRelationRows(morsel_rel));
+    } else {
+      ExpectIdentical(row_result, morsel_rel);
+    }
+    Rng est_rng(seed);
+    ASSERT_OK_AND_ASSIGN(
+        SboxReport morsel_report,
+        EstimatePlanParallel(plan, &columnar, &est_rng, f, soa.top, options,
+                             ExecMode::kSampled, exec));
+    ExpectReportsBitIdentical(reference, morsel_report);
+  }
+  for (const int shards : {1, 2, 4}) {
+    SCOPED_TRACE("shards=" + std::to_string(shards));
+    ExecOptions sharded = exec;
+    sharded.engine = ExecEngine::kSharded;
+    sharded.num_threads = 2;
+    sharded.num_shards = shards;
+    Rng rel_rng(seed);
+    ASSERT_OK_AND_ASSIGN(Relation sharded_rel,
+                         ExecutePlan(plan, catalog, &rel_rng,
+                                     ExecMode::kSampled, sharded));
+    if (rows_as_multiset) {
+      EXPECT_EQ(CanonicalRelationRows(row_result),
+                CanonicalRelationRows(sharded_rel));
+    } else {
+      ExpectIdentical(row_result, sharded_rel);
+    }
+    ASSERT_OK_AND_ASSIGN(
+        SboxReport sharded_report,
+        ShardedSboxEstimate(plan, catalog, seed, ExecMode::kSampled, sharded,
+                            shards, f, soa.top, options));
+    ExpectReportsBitIdentical(reference, sharded_report);
+  }
+}
+
+TEST(EngineParityTest, WorPivotFullMatrixBitParity) {
+  Catalog catalog = MakeTinyJoin(40, 3).MakeCatalog();  // F: 120 rows
+  PlanPtr plan = PlanNode::Join(
+      PlanNode::Sample(SamplingSpec::WithoutReplacement(50, 120),
+                       PlanNode::Scan("F")),
+      PlanNode::Scan("D"), "fk", "pk");
+  ExpectFullEngineMatrixParity(plan, catalog, 201, Mul(Col("v"), Col("w")),
+                               /*rows_as_multiset=*/false);
+}
+
+TEST(EngineParityTest, BlockSamplingFullMatrixBitParity) {
+  Catalog catalog = MakeTinyJoin(120, 1).MakeCatalog();  // D: 120 rows
+  PlanPtr plan = PlanNode::SelectNode(
+      Gt(Col("w"), Lit(5.0)),
+      PlanNode::Sample(SamplingSpec::BlockBernoulli(0.5, 12),
+                       PlanNode::Scan("D")));
+  ExpectFullEngineMatrixParity(plan, catalog, 202, Col("w"),
+                               /*rows_as_multiset=*/false);
+}
+
+TEST(EngineParityTest, UnionFullMatrixBitParity) {
+  Catalog catalog = MakeTinyJoin(40, 3).MakeCatalog();  // F: 120 rows
+  PlanPtr scan = PlanNode::Scan("F");
+  PlanPtr plan = PlanNode::Union(
+      PlanNode::Sample(SamplingSpec::LineageBernoulli("F", 0.4, 7), scan),
+      PlanNode::Sample(SamplingSpec::WithoutReplacement(30, 120), scan));
+  ExpectFullEngineMatrixParity(plan, catalog, 203, Col("v"),
+                               /*rows_as_multiset=*/true);
 }
 
 TEST(EngineParityTest, SqlishApproxQueryAgrees) {

@@ -232,13 +232,13 @@ TEST(WireTest, GoldenBundleHeaderMatchesSpec) {
   WireBundleWriter bundle;
   bundle.AddSection(WireTag::kSampleView, std::string("abc"));
   const std::string bytes = bundle.Finish();
-  // "GUSB" | version 1 | count 1 | tag "VIEW" | len 3 | "abc" | checksum.
+  // "GUSB" | version 2 | count 1 | tag "VIEW" | len 3 | "abc" | checksum.
   ASSERT_EQ(4 + 4 + 4 + 4 + 8 + 3 + 8, bytes.size());
   EXPECT_EQ('G', bytes[0]);
   EXPECT_EQ('U', bytes[1]);
   EXPECT_EQ('S', bytes[2]);
   EXPECT_EQ('B', bytes[3]);
-  EXPECT_EQ(1, static_cast<uint8_t>(bytes[4]));  // version 1, LE
+  EXPECT_EQ(2, static_cast<uint8_t>(bytes[4]));  // version 2, LE
   EXPECT_EQ(1, static_cast<uint8_t>(bytes[8]));  // section count 1
   EXPECT_EQ('V', bytes[12]);                     // tag reads as ASCII
   EXPECT_EQ('I', bytes[13]);

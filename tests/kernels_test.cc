@@ -331,6 +331,111 @@ TEST(KernelParityTest, NegativeMorselRowsIsRejected) {
 
 // ---- Block decision cache --------------------------------------------------
 
+TEST(JoinHashTableTest, ParallelBuildIsByteIdenticalToSerial) {
+  // The partition-parallel region build must merge to exactly the serial
+  // layout — StateDigest covers the directory, entries, and packed row
+  // ids, so equal digests mean byte-identical probe behavior (same entry
+  // offsets and candidate order).
+  Rng rng(11);
+  const int64_t n = 200000;
+  std::vector<uint64_t> hashes(n);
+  for (int64_t i = 0; i < n; ++i) {
+    // Skewed key space: plenty of duplicates plus a heavy hitter.
+    const uint64_t key = rng.UniformInt(uint64_t{50000});
+    hashes[i] = HashInt64Key(static_cast<int64_t>(key < 1000 ? 7 : key));
+  }
+  JoinHashTable serial;
+  ASSERT_OK(serial.Build(hashes.data(), n, nullptr, 1));
+  for (const int threads : {2, 4, 8}) {
+    SCOPED_TRACE(threads);
+    JoinHashTable parallel;
+    ASSERT_OK(parallel.Build(hashes.data(), n, nullptr, threads));
+    EXPECT_EQ(serial.StateDigest(), parallel.StateDigest());
+    EXPECT_EQ(serial.num_build_rows(), parallel.num_build_rows());
+    EXPECT_EQ(serial.num_distinct_hashes(), parallel.num_distinct_hashes());
+  }
+  // Candidate semantics double-check on a few probes.
+  for (const uint64_t h :
+       {HashInt64Key(7), HashInt64Key(1234), HashInt64Key(999999)}) {
+    JoinHashTable parallel;
+    ASSERT_OK(parallel.Build(hashes.data(), n, nullptr, 4));
+    EXPECT_EQ(Candidates(serial, h), Candidates(parallel, h));
+  }
+}
+
+TEST(JoinHashTableTest, ParallelBuildFromColumnMatchesSerial) {
+  Rng rng(13);
+  ColumnData key;
+  key.type = ValueType::kInt64;
+  const int64_t n = 50000;
+  for (int64_t i = 0; i < n; ++i) {
+    key.i64.push_back(static_cast<int64_t>(rng.UniformInt(uint64_t{5000})));
+  }
+  JoinHashTable serial, parallel;
+  ASSERT_OK(serial.BuildFrom(key, n, 1));
+  ASSERT_OK(parallel.BuildFrom(key, n, 4));
+  EXPECT_EQ(serial.StateDigest(), parallel.StateDigest());
+}
+
+TEST(FilterEqualKeyPairsTest, TypedCompactionMatchesKeyEqualsAt) {
+  ColumnData probe, build;
+  probe.type = ValueType::kInt64;
+  probe.i64 = {1, 2, 3, 4};
+  build.type = ValueType::kFloat64;
+  build.f64 = {1.0, 2.5, 3.0, 4.0};
+  // Pairs (probe row, build row): only exact promoted matches survive.
+  std::vector<int64_t> p = {0, 1, 2, 3};
+  std::vector<int64_t> b = {0, 1, 2, 1};
+  const int64_t kept = FilterEqualKeyPairs(probe, build, &p, &b);
+  EXPECT_EQ(2, kept);
+  EXPECT_EQ((std::vector<int64_t>{0, 2}), p);
+  EXPECT_EQ((std::vector<int64_t>{0, 2}), b);
+
+  // Same-type int64 path, with a preserved prefix ([0, begin)).
+  ColumnData a;
+  a.type = ValueType::kInt64;
+  a.i64 = {5, 6, 7};
+  std::vector<int64_t> pa = {0, 0, 1, 2};
+  std::vector<int64_t> pb = {0, 1, 1, 0};
+  const int64_t kept2 = FilterEqualKeyPairs(a, a, &pa, &pb, /*begin=*/1);
+  EXPECT_EQ(2, kept2);  // keeps the untouched prefix + (1,1)
+  EXPECT_EQ((std::vector<int64_t>{0, 1}), pa);
+  EXPECT_EQ((std::vector<int64_t>{0, 1}), pb);
+}
+
+TEST(MergeableReservoirTest, ChunkedFoldMatchesDirectTopN) {
+  // Offering rows chunk by chunk (any chunking) and folding the bounded
+  // per-chunk states must reproduce the direct global top-n exactly.
+  const uint64_t seed = 0xfeedULL;
+  const int64_t n_rows = 10000, n = 64;
+  MergeableReservoir direct(n);
+  direct.OfferRange(seed, 0, n_rows);
+  const std::vector<int64_t> expected = direct.SortedRows();
+  ASSERT_EQ(n, static_cast<int64_t>(expected.size()));
+  for (const int64_t chunk : {1L, 7L, 128L, 4096L}) {
+    SCOPED_TRACE(chunk);
+    MergeableReservoir folded(n);
+    for (int64_t begin = 0; begin < n_rows; begin += chunk) {
+      MergeableReservoir part(n);
+      part.OfferRange(seed, begin, std::min(n_rows, begin + chunk));
+      EXPECT_LE(part.size(), n);  // bounded per-partition candidates
+      folded.MergeFrom(part);
+    }
+    EXPECT_EQ(expected, folded.SortedRows());
+  }
+}
+
+TEST(MergeableReservoirTest, DecoupledWorCoreMatchesReservoir) {
+  ASSERT_OK_AND_ASSIGN(std::vector<int64_t> keep,
+                       DecoupledWorKeepIndices(500, 50, 99));
+  MergeableReservoir reservoir(50);
+  reservoir.OfferRange(99, 0, 500);
+  EXPECT_EQ(reservoir.SortedRows(), keep);
+  EXPECT_EQ(50u, keep.size());
+  EXPECT_TRUE(std::is_sorted(keep.begin(), keep.end()));
+  EXPECT_TRUE(std::adjacent_find(keep.begin(), keep.end()) == keep.end());
+}
+
 TEST(BlockDecisionCacheTest, OneDrawPerDistinctBlock) {
   BlockDecisionCache cache;
   Rng rng(21);

@@ -76,29 +76,44 @@ TEST(ParallelExecutorTest, Partitionability) {
   EXPECT_TRUE(PlanIsPartitionable(bernoulli_chain, ExecMode::kSampled));
   EXPECT_TRUE(PlanIsPartitionable(bernoulli_chain, ExecMode::kExact));
 
-  // Every scan sits under a fixed-size sampler: nothing to partition in
-  // sampled mode, but exact mode (samplers are no-ops) can.
+  // A fixed-size sampler directly above its scan is a seed-decoupled
+  // mergeable pivot — partitionable in both modes.
   PlanPtr wor_only = PlanNode::Sample(
       SamplingSpec::WithoutReplacement(3, 10), PlanNode::Scan("F"));
-  EXPECT_FALSE(PlanIsPartitionable(wor_only, ExecMode::kSampled));
+  EXPECT_TRUE(PlanIsPartitionable(wor_only, ExecMode::kSampled));
   EXPECT_TRUE(PlanIsPartitionable(wor_only, ExecMode::kExact));
 
-  // A join gives the WOR plan a partitionable other side.
-  PlanPtr join = PlanNode::Join(PlanNode::Scan("F"), wor_only, "fk", "pk");
+  // Over a *derived* input (a select below) the fixed-size draw needs the
+  // whole stream: serial fallback in sampled mode, no-op (safe) in exact.
+  PlanPtr wor_derived = PlanNode::Sample(
+      SamplingSpec::WithoutReplacement(3, 10),
+      PlanNode::SelectNode(Gt(Col("v"), Lit(0.0)), PlanNode::Scan("F")));
+  EXPECT_FALSE(PlanIsPartitionable(wor_derived, ExecMode::kSampled));
+  EXPECT_TRUE(PlanIsPartitionable(wor_derived, ExecMode::kExact));
+
+  // A join also gives the derived-WOR plan a partitionable other side.
+  PlanPtr join = PlanNode::Join(PlanNode::Scan("F"), wor_derived, "fk", "pk");
   EXPECT_TRUE(PlanIsPartitionable(join, ExecMode::kSampled));
 
-  // Unions never partition from below.
+  // Unions partition when both branches share a pivot scan (lineage-hash
+  // partitioning: each slice dedups locally).
   PlanPtr scan = PlanNode::Scan("D");
   PlanPtr union_plan = PlanNode::Union(
       PlanNode::Sample(SamplingSpec::Bernoulli(0.5), scan),
       PlanNode::Sample(SamplingSpec::Bernoulli(0.5), scan));
-  EXPECT_FALSE(PlanIsPartitionable(union_plan, ExecMode::kSampled));
+  EXPECT_TRUE(PlanIsPartitionable(union_plan, ExecMode::kSampled));
+  // ... but not when the branches pivot on different relations.
+  PlanPtr mismatched_union = PlanNode::Union(
+      PlanNode::Sample(SamplingSpec::Bernoulli(0.5), PlanNode::Scan("F")),
+      PlanNode::Sample(SamplingSpec::Bernoulli(0.5), scan));
+  EXPECT_FALSE(PlanIsPartitionable(mismatched_union, ExecMode::kSampled));
 
-  // Block sampling keeps the serial discipline in both modes.
+  // Block sampling adjacent to the scan partitions in both modes (blocks
+  // become indivisible morsel units).
   PlanPtr block = PlanNode::Sample(SamplingSpec::BlockBernoulli(0.5, 4),
                                    PlanNode::Scan("D"));
-  EXPECT_FALSE(PlanIsPartitionable(block, ExecMode::kSampled));
-  EXPECT_FALSE(PlanIsPartitionable(block, ExecMode::kExact));
+  EXPECT_TRUE(PlanIsPartitionable(block, ExecMode::kSampled));
+  EXPECT_TRUE(PlanIsPartitionable(block, ExecMode::kExact));
 }
 
 TEST(ParallelExecutorTest, ExactModeMatchesRowEngineAsMultiset) {
@@ -153,12 +168,15 @@ TEST(ParallelExecutorTest, RepeatedRunsAreBitDeterministic) {
 }
 
 TEST(ParallelExecutorTest, FallbackMatchesSerialColumnarExactly) {
-  // The only scan sits under a fixed-size sampler, so sampled mode has no
-  // partition-safe pivot: the morsel engine must fall back to the serial
-  // pipeline and consume the Rng identically to the columnar engine.
+  // The only scan sits under a fixed-size sampler over a *derived* input
+  // (select below), so sampled mode has no partition-safe pivot: the
+  // morsel engine must fall back to the serial pipeline and consume the
+  // Rng identically to the columnar engine. The select keeps every row so
+  // the WOR population check still matches.
   Catalog catalog = MakeTinyJoin(20, 3).MakeCatalog();
-  PlanPtr plan = PlanNode::Sample(SamplingSpec::WithoutReplacement(17, 60),
-                                  PlanNode::Scan("F"));
+  PlanPtr plan = PlanNode::Sample(
+      SamplingSpec::WithoutReplacement(17, 60),
+      PlanNode::SelectNode(Gt(Col("v"), Lit(-1.0)), PlanNode::Scan("F")));
   ASSERT_FALSE(PlanIsPartitionable(plan, ExecMode::kSampled));
   Rng col_rng(9);
   ASSERT_OK_AND_ASSIGN(Relation columnar,
@@ -314,6 +332,180 @@ TEST(ParallelExecutorTest, Query1OverTpchRunsAndIsThreadCountInvariant) {
                   MorselOptions(4, 64)));
   EXPECT_GT(one.num_rows(), 0);
   ExpectIdenticalRelations(one, four);
+}
+
+// -- Full pivot coverage: fixed-size, block, and union pivots ---------------
+
+TEST(ParallelExecutorTest, WorPivotMatchesSerialRowEngineBitForBit) {
+  // A fixed-size pivot is seed-decoupled: the morsel engine resolves the
+  // same global keep-set from the same one-draw seed as the serial
+  // engines, so the rows (and their order) coincide exactly — at every
+  // thread count.
+  Catalog catalog = MakeTinyJoin(40, 3).MakeCatalog();  // F: 120 rows
+  PlanPtr plan = PlanNode::Join(
+      PlanNode::Sample(SamplingSpec::WithoutReplacement(50, 120),
+                       PlanNode::Scan("F")),
+      PlanNode::Scan("D"), "fk", "pk");
+  Rng row_rng(101);
+  ASSERT_OK_AND_ASSIGN(Relation row_result,
+                       ExecutePlan(plan, catalog, &row_rng,
+                                   ExecMode::kSampled));
+  EXPECT_GT(row_result.num_rows(), 0);
+  for (const int threads : {1, 2, 4, 8}) {
+    SCOPED_TRACE(threads);
+    Rng rng(101);
+    ASSERT_OK_AND_ASSIGN(
+        Relation morsel,
+        ExecutePlan(plan, catalog, &rng, ExecMode::kSampled,
+                    MorselOptions(threads)));
+    ExpectIdenticalRelations(row_result, morsel);
+  }
+}
+
+TEST(ParallelExecutorTest, WrDistinctPivotMatchesSerialRowEngineBitForBit) {
+  Catalog catalog = MakeTinyJoin(30, 4).MakeCatalog();  // F: 120 rows
+  PlanPtr plan = PlanNode::Sample(
+      SamplingSpec::WithReplacementDistinct(40, 120), PlanNode::Scan("F"));
+  Rng row_rng(102);
+  ASSERT_OK_AND_ASSIGN(Relation row_result,
+                       ExecutePlan(plan, catalog, &row_rng,
+                                   ExecMode::kSampled));
+  EXPECT_GT(row_result.num_rows(), 0);
+  for (const int threads : {1, 4}) {
+    SCOPED_TRACE(threads);
+    Rng rng(102);
+    ASSERT_OK_AND_ASSIGN(
+        Relation morsel,
+        ExecutePlan(plan, catalog, &rng, ExecMode::kSampled,
+                    MorselOptions(threads)));
+    ExpectIdenticalRelations(row_result, morsel);
+  }
+}
+
+TEST(ParallelExecutorTest, BlockPivotMatchesSerialRowEngineBitForBit) {
+  // Block decisions are pure functions of (seed, block id) and the unit
+  // split aligns to whole blocks — a block size that does not divide the
+  // requested morsel_rows exercises the alignment.
+  Catalog catalog = MakeTinyJoin(120, 1).MakeCatalog();  // D: 120 rows
+  PlanPtr plan = PlanNode::SelectNode(
+      Gt(Col("w"), Lit(5.0)),
+      PlanNode::Sample(SamplingSpec::BlockBernoulli(0.5, 12),
+                       PlanNode::Scan("D")));
+  ColumnarCatalog columnar(&catalog);
+  ASSERT_OK_AND_ASSIGN(
+      MorselSplit split,
+      AnalyzeMorselSplit(plan, &columnar, ExecMode::kSampled,
+                         MorselOptions(1, 16)));
+  EXPECT_TRUE(split.partitionable);
+  EXPECT_EQ(12, split.block_align);
+  EXPECT_EQ(0, split.morsel_rows % 12);  // blocks are indivisible units
+
+  Rng row_rng(103);
+  ASSERT_OK_AND_ASSIGN(Relation row_result,
+                       ExecutePlan(plan, catalog, &row_rng,
+                                   ExecMode::kSampled));
+  EXPECT_GT(row_result.num_rows(), 0);
+  for (const int threads : {1, 2, 4, 8}) {
+    SCOPED_TRACE(threads);
+    Rng rng(103);
+    ASSERT_OK_AND_ASSIGN(
+        Relation morsel,
+        ExecutePlan(plan, catalog, &rng, ExecMode::kSampled,
+                    MorselOptions(threads, 16)));
+    ExpectIdenticalRelations(row_result, morsel);
+  }
+}
+
+TEST(ParallelExecutorTest, UnionPivotMatchesSerialRowEngineAsMultiset) {
+  // Union partitions via lineage: each slice runs both branch pipelines
+  // and dedups locally. The sample multiset equals the serial engines'
+  // (both branches here are seed-decoupled / Rng-free); the row ORDER
+  // interleaves by morsel, hence the canonical comparison.
+  Catalog catalog = MakeTinyJoin(40, 3).MakeCatalog();  // F: 120 rows
+  PlanPtr scan = PlanNode::Scan("F");
+  PlanPtr plan = PlanNode::Union(
+      PlanNode::Sample(SamplingSpec::LineageBernoulli("F", 0.4, 7), scan),
+      PlanNode::Sample(SamplingSpec::WithoutReplacement(30, 120), scan));
+  ASSERT_TRUE(PlanIsPartitionable(plan, ExecMode::kSampled));
+  Rng row_rng(104);
+  ASSERT_OK_AND_ASSIGN(Relation row_result,
+                       ExecutePlan(plan, catalog, &row_rng,
+                                   ExecMode::kSampled));
+  EXPECT_GT(row_result.num_rows(), 0);
+  Relation first;
+  for (const int threads : {1, 2, 4, 8}) {
+    SCOPED_TRACE(threads);
+    Rng rng(104);
+    ASSERT_OK_AND_ASSIGN(
+        Relation morsel,
+        ExecutePlan(plan, catalog, &rng, ExecMode::kSampled,
+                    MorselOptions(threads)));
+    EXPECT_EQ(CanonicalRows(row_result), CanonicalRows(morsel));
+    if (threads == 1) {
+      first = morsel;
+      continue;
+    }
+    ExpectIdenticalRelations(first, morsel);  // bit-equal across threads
+  }
+}
+
+TEST(ParallelExecutorTest, UnionOfBernoulliBranchesIsThreadInvariant) {
+  // Plain-Bernoulli branches draw from per-morsel streams (a different,
+  // equally valid draw than the serial engines') — but the union result
+  // must still be bit-identical across thread counts.
+  Catalog catalog = MakeTinyJoin(50, 2).MakeCatalog();
+  PlanPtr scan = PlanNode::Scan("F");
+  PlanPtr plan = PlanNode::Union(
+      PlanNode::Sample(SamplingSpec::Bernoulli(0.5), scan),
+      PlanNode::Sample(SamplingSpec::Bernoulli(0.5), scan));
+  ASSERT_TRUE(PlanIsPartitionable(plan, ExecMode::kSampled));
+  Rng rng1(105);
+  ASSERT_OK_AND_ASSIGN(
+      Relation one, ExecutePlan(plan, catalog, &rng1, ExecMode::kSampled,
+                                MorselOptions(1)));
+  EXPECT_GT(one.num_rows(), 0);
+  for (const int threads : {2, 4, 8}) {
+    SCOPED_TRACE(threads);
+    Rng rngN(105);
+    ASSERT_OK_AND_ASSIGN(
+        Relation many, ExecutePlan(plan, catalog, &rngN, ExecMode::kSampled,
+                                   MorselOptions(threads)));
+    ExpectIdenticalRelations(one, many);
+  }
+}
+
+TEST(ParallelExecutorTest, MergedReservoirEstimateIsMonteCarloUnbiased) {
+  // The mergeable-reservoir WOR pivot across many morsels and 4 workers:
+  // the estimator over the folded global top-n must stay unbiased.
+  Catalog catalog = MakeTinyJoin(60, 3).MakeCatalog();  // 180 fact rows
+  PlanPtr plan = PlanNode::Sample(SamplingSpec::WithoutReplacement(60, 180),
+                                  PlanNode::Scan("F"));
+  ASSERT_OK_AND_ASSIGN(SoaResult soa, SoaTransform(plan));
+
+  Rng exact_rng(0);
+  ASSERT_OK_AND_ASSIGN(
+      Relation exact,
+      ExecutePlan(plan, catalog, &exact_rng, ExecMode::kExact));
+  ASSERT_OK_AND_ASSIGN(
+      SampleView exact_view,
+      SampleView::FromRelation(exact, Col("v"), soa.top.schema()));
+  const double truth = exact_view.SumF();
+
+  ColumnarCatalog columnar(&catalog);
+  double sum = 0.0;
+  const int trials = 400;
+  for (int t = 0; t < trials; ++t) {
+    Rng rng(5000 + t);
+    ASSERT_OK_AND_ASSIGN(
+        SboxReport report,
+        EstimatePlanParallel(plan, &columnar, &rng, Col("v"), soa.top, {},
+                             ExecMode::kSampled, MorselOptions(4)));
+    sum += report.estimate;
+  }
+  const double mean = sum / trials;
+  // WOR(60 of 180) has per-trial stddev ~2-3% of the truth; 400 trials
+  // put the mean well inside 1%.
+  EXPECT_NEAR(truth, mean, 0.01 * truth);
 }
 
 TEST(ParallelExecutorTest, MonteCarloUnbiasedAtEveryThreadCount) {

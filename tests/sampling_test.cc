@@ -231,6 +231,101 @@ TEST(LineageBernoulliTest, FrequencyMatchesP) {
   EXPECT_NEAR(0.35, static_cast<double>(s.num_rows()) / 4000.0, 0.03);
 }
 
+TEST(DecoupledCoreTest, WorSizeAndUniformInclusion) {
+  // The seed-decoupled WOR core (priority top-n) draws exact-size uniform
+  // samples: per-row inclusion frequency must match n/N.
+  const int64_t N = 20, n = 5;
+  std::vector<int> count(N, 0);
+  const int trials = 20000;
+  Rng rng(51);
+  for (int t = 0; t < trials; ++t) {
+    ASSERT_OK_AND_ASSIGN(std::vector<int64_t> keep,
+                         DecoupledWorKeepIndices(N, n, rng.Next()));
+    ASSERT_EQ(static_cast<size_t>(n), keep.size());
+    for (int64_t r : keep) ++count[r];
+  }
+  for (int c : count) {
+    EXPECT_NEAR(0.25, static_cast<double>(c) / trials, 0.015);
+  }
+}
+
+TEST(DecoupledCoreTest, WorPairwiseInclusionMatchesTheory) {
+  // b_pair = n(n-1)/(N(N-1)) for WOR(n=5, N=12): 20/132 — the Figure 1
+  // second-order parameter the GUS analysis relies on.
+  const int trials = 40000;
+  int both = 0;
+  Rng rng(52);
+  for (int t = 0; t < trials; ++t) {
+    ASSERT_OK_AND_ASSIGN(std::vector<int64_t> keep,
+                         DecoupledWorKeepIndices(12, 5, rng.Next()));
+    bool has0 = false, has1 = false;
+    for (int64_t r : keep) {
+      if (r == 0) has0 = true;
+      if (r == 1) has1 = true;
+    }
+    if (has0 && has1) ++both;
+  }
+  EXPECT_NEAR(20.0 / 132.0, static_cast<double>(both) / trials, 0.01);
+}
+
+TEST(DecoupledCoreTest, WrDistinctInclusionMatchesTheory) {
+  // P[t in sample] = 1 - (1 - 1/N)^n for N=10, n=5.
+  const int trials = 30000;
+  std::vector<int> count(10, 0);
+  Rng rng(53);
+  for (int t = 0; t < trials; ++t) {
+    ASSERT_OK_AND_ASSIGN(std::vector<int64_t> keep,
+                         DecoupledWrDistinctKeepIndices(10, 5, rng.Next()));
+    EXPECT_LE(keep.size(), 5u);
+    EXPECT_GE(keep.size(), 1u);
+    for (int64_t r : keep) ++count[r];
+  }
+  const double expect = 1.0 - std::pow(0.9, 5);
+  for (int c : count) {
+    EXPECT_NEAR(expect, static_cast<double>(c) / trials, 0.015);
+  }
+}
+
+TEST(DecoupledCoreTest, PureFunctionsOfSeed) {
+  // Same seed, same keep-set — across calls and regardless of who
+  // evaluates them (the property that lets morsels and shards recompute
+  // the draws independently).
+  ASSERT_OK_AND_ASSIGN(std::vector<int64_t> a,
+                       DecoupledWorKeepIndices(100, 10, 77));
+  ASSERT_OK_AND_ASSIGN(std::vector<int64_t> b,
+                       DecoupledWorKeepIndices(100, 10, 77));
+  EXPECT_EQ(a, b);
+  ASSERT_OK_AND_ASSIGN(std::vector<int64_t> c,
+                       DecoupledWrDistinctKeepIndices(100, 10, 77));
+  ASSERT_OK_AND_ASSIGN(std::vector<int64_t> d,
+                       DecoupledWrDistinctKeepIndices(100, 10, 77));
+  EXPECT_EQ(c, d);
+  auto block_of = [](int64_t i) { return static_cast<uint64_t>(i / 8); };
+  ASSERT_OK_AND_ASSIGN(std::vector<int64_t> e,
+                       DecoupledBlockKeepIndices(64, 0.5, block_of, 77));
+  ASSERT_OK_AND_ASSIGN(std::vector<int64_t> f,
+                       DecoupledBlockKeepIndices(64, 0.5, block_of, 77));
+  EXPECT_EQ(e, f);
+  // Block decisions apply to whole blocks.
+  for (size_t k = 0; k + 1 < e.size(); ++k) {
+    if (e[k + 1] == e[k] + 1) continue;
+    EXPECT_EQ(0, e[k + 1] % 8) << "a kept run must start a block";
+  }
+}
+
+TEST(DecoupledCoreTest, BlockFrequencyMatchesP) {
+  auto block_of = [](int64_t i) { return static_cast<uint64_t>(i / 10); };
+  Rng rng(54);
+  MeanVar frac;
+  for (int t = 0; t < 2000; ++t) {
+    ASSERT_OK_AND_ASSIGN(
+        std::vector<int64_t> keep,
+        DecoupledBlockKeepIndices(100, 0.25, block_of, rng.Next()));
+    frac.Add(static_cast<double>(keep.size()) / 100.0);
+  }
+  EXPECT_NEAR(0.25, frac.mean(), 0.01);
+}
+
 TEST(ApplySamplingTest, DispatchesAllMethods) {
   Relation r = MakeSingleTable(60);
   Rng rng(30);

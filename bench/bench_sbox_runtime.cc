@@ -6,14 +6,18 @@
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <chrono>
 #include <cmath>
+#include <functional>
 #include <unordered_map>
 
 #include "algebra/translate.h"
 #include "kernels/join_hash_table.h"
 #include "kernels/key_hash.h"
 #include "kernels/sampling_kernels.h"
+#include "kernels/simd/simd_dispatch.h"
+#include "util/hash.h"
 #include "bench/bench_util.h"
 #include "data/tpch_gen.h"
 #include "data/workload.h"
@@ -217,14 +221,18 @@ void PrintEngineComparison() {
 }
 
 /// E3c — morsel-parallel thread scaling, end to end (execute + streaming
-/// SBox) on Query 1 at the largest E3b scale. The baseline is the serial
-/// columnar streaming path; the morsel engine's estimate is bit-identical
-/// across worker counts by construction (|est diff vs 1 thread| = 0), so
-/// the table doubles as a determinism check.
-void PrintThreadScaling() {
+/// SBox) on Query 1. The default scale (orders = 256000, ~1M lineitems)
+/// pushes the working set past L3; the old 32000-order scale still runs
+/// as the "small_" variant so BENCH_*.json trajectories stay comparable.
+/// The baseline is the serial columnar streaming path; the morsel
+/// engine's estimate is bit-identical across worker counts by
+/// construction (|est diff vs 1 thread| = 0), so the table doubles as a
+/// determinism check.
+void PrintThreadScalingAt(int64_t orders, const std::string& name_prefix) {
   bench::PrintHeader(
-      "E3c", "morsel-parallel thread scaling: Query 1 execute + estimate");
-  Query1Bench bench(32000);
+      "E3c", "morsel-parallel thread scaling: Query 1 execute + estimate "
+             "(orders = " + std::to_string(orders) + ")");
+  Query1Bench bench(orders);
 
   double best_serial = 1e18;
   for (int rep = 0; rep < 5; ++rep) {
@@ -280,8 +288,9 @@ void PrintThreadScaling() {
                   TablePrinter::Num(best_serial / best, 2),
                   TablePrinter::Num(est_diff, 6)});
     bench::JsonReporter::Global().Add(
-        "E3c", "threads_" + std::to_string(threads),
+        "E3c", name_prefix + "threads_" + std::to_string(threads),
         {{"threads", static_cast<double>(threads)},
+         {"orders", static_cast<double>(orders)},
          {"ms", best},
          {"rows_per_sec", bench.lineitems() / (best / 1000.0)},
          {"speedup_vs_serial", best_serial / best},
@@ -294,6 +303,11 @@ void PrintThreadScaling() {
       "thread-count independent. Speedup tracks the physical core count\n"
       "of the host.\n",
       best_serial);
+}
+
+void PrintThreadScaling() {
+  PrintThreadScalingAt(256000, "");       // out-of-L3 headline scale
+  PrintThreadScalingAt(32000, "small_");  // the pre-bump scale, for trajectory
 }
 
 /// E3d — ExecOptions::batch_rows sweep on the serial columnar streaming
@@ -430,12 +444,14 @@ void PrintShardedScaling() {
 /// Rng draw counts). Both "old" baselines are verbatim re-implementations
 /// of the pre-kernel code, kept here so BENCH_*.json tracks the
 /// trajectory.
-void PrintHotPathKernels() {
-  bench::PrintHeader("E4", "hot-path kernels: join table + skip sampling");
+void PrintHotPathKernelsAt(int64_t build_rows, int64_t probe_rows,
+                           int64_t scan_rows, const std::string& name_suffix) {
+  bench::PrintHeader("E4",
+                     "hot-path kernels: join table + skip sampling (build " +
+                         std::to_string(build_rows) + ", probe " +
+                         std::to_string(probe_rows) + ")");
 
   // -- Join build + probe --------------------------------------------------
-  const int64_t build_rows = 1 << 20;   // ~1M
-  const int64_t probe_rows = 1 << 22;   // ~4.2M
   const int64_t key_space = build_rows / 2;  // ~2 duplicates per key
   Rng key_rng(42);
   std::vector<uint64_t> build_hashes(build_rows), probe_hashes(probe_rows);
@@ -521,7 +537,7 @@ void PrintHotPathKernels() {
                      TablePrinter::Num(old_probe / new_probe, 2)});
   std::printf("%s", join_table.ToString().c_str());
   bench::JsonReporter::Global().Add(
-      "E4", "join_kernel",
+      "E4", "join_kernel" + name_suffix,
       {{"build_rows", static_cast<double>(build_rows)},
        {"probe_rows", static_cast<double>(probe_rows)},
        {"old_build_ms", old_build},
@@ -533,7 +549,6 @@ void PrintHotPathKernels() {
        {"build_speedup", old_build / new_build}});
 
   // -- Bernoulli scan ------------------------------------------------------
-  const int64_t scan_rows = 1 << 22;  // ~4.2M
   const double p = 0.01;
   double old_scan = 1e18, new_scan = 1e18;
   uint64_t old_draws = 0, new_draws = 0;
@@ -588,7 +603,7 @@ void PrintHotPathKernels() {
       "measured ratio ~%.0fx).\n",
       p, static_cast<double>(old_draws) / static_cast<double>(new_draws));
   bench::JsonReporter::Global().Add(
-      "E4", "bernoulli_kernel",
+      "E4", "bernoulli_kernel" + name_suffix,
       {{"rows", static_cast<double>(scan_rows)},
        {"p", p},
        {"old_ms", old_scan},
@@ -599,6 +614,179 @@ void PrintHotPathKernels() {
         static_cast<double>(old_draws) / static_cast<double>(new_draws)},
        {"scan_speedup", old_scan / new_scan},
        {"rows_per_sec", scan_rows / (new_scan / 1000.0)}});
+}
+
+void PrintHotPathKernels() {
+  // Headline scale past L3: the probe hash array alone is 128 MiB and the
+  // emitted candidate-pair vectors push the working set well beyond even
+  // a 260 MiB cache. The pre-bump scale stays as the "_small" variant so
+  // BENCH_*.json trajectories remain comparable.
+  PrintHotPathKernelsAt(1 << 22, 1 << 24, 1 << 24, "");
+  PrintHotPathKernelsAt(1 << 20, 1 << 22, 1 << 22, "_small");
+}
+
+/// E7 — the dispatched SIMD kernels, tier vs tier: each of the five
+/// vectorized hot loops (predicate eval, key hashing, join-pair recheck,
+/// grouped-key gather+hash, Bernoulli keep-mask) timed under every tier
+/// the host can run, at an out-of-L3 element count. The scalar tier is
+/// the baseline; outputs are digest-checked byte-identical across tiers
+/// (the bench aborts otherwise), so the speedups are measured on provably
+/// bit-equal work.
+void PrintSimdKernelTiers() {
+  const int64_t n = int64_t{1} << 24;  // 128 MiB in + 128 MiB out per kernel
+  bench::PrintHeader(
+      "E7", "SIMD kernel tiers: scalar vs AVX2 vs AVX-512 at n = " +
+                std::to_string(n));
+  bench::JsonReporter::Global().Add(
+      "E7", "dispatch",
+      {{"detected_tier",
+        static_cast<double>(static_cast<int>(simd::DetectedSimdTier()))},
+       {"active_tier",
+        static_cast<double>(static_cast<int>(simd::ActiveSimdTier()))},
+       {"n", static_cast<double>(n)}});
+  std::printf("detected tier: %s (active: %s)\n",
+              simd::SimdTierName(simd::DetectedSimdTier()),
+              simd::SimdTierName(simd::ActiveSimdTier()));
+
+  TablePrinter table({"kernel", "tier", "time (ms)", "Melems/s",
+                      "speedup vs scalar", "digest ok"});
+  // Runs one kernel under every available tier; `run_once` times one pass
+  // itself (so input re-copies stay out of the measurement) and returns a
+  // digest of the kernel's full output.
+  auto time_tiers = [&](const std::string& kernel,
+                        const std::function<uint64_t(double*)>& run_once) {
+    double scalar_ms = 0.0;
+    uint64_t reference_digest = 0;
+    for (const simd::SimdTier tier :
+         {simd::SimdTier::kScalar, simd::SimdTier::kAvx2,
+          simd::SimdTier::kAvx512}) {
+      if (simd::SetSimdTierForTesting(tier) != tier) {
+        simd::ResetSimdTierForTesting();
+        continue;  // host (or build) can't run this tier
+      }
+      double best = 1e18;
+      uint64_t digest = 0;
+      for (int rep = 0; rep < 5; ++rep) {
+        double ms = 0.0;
+        digest = run_once(&ms);
+        best = std::min(best, ms);
+      }
+      simd::ResetSimdTierForTesting();
+      if (tier == simd::SimdTier::kScalar) {
+        scalar_ms = best;
+        reference_digest = digest;
+      } else if (digest != reference_digest) {
+        std::fprintf(stderr,
+                     "[bench] FATAL: %s output differs between scalar and "
+                     "%s tiers\n",
+                     kernel.c_str(), simd::SimdTierName(tier));
+        std::abort();
+      }
+      table.AddRow({kernel, simd::SimdTierName(tier),
+                    TablePrinter::Num(best, 3),
+                    TablePrinter::Num(n / best / 1000.0, 2),
+                    TablePrinter::Num(scalar_ms / best, 2), "yes"});
+      bench::JsonReporter::Global().Add(
+          "E7", kernel + "_" + simd::SimdTierName(tier),
+          {{"n", static_cast<double>(n)},
+           {"ms", best},
+           {"elems_per_sec", n / (best / 1000.0)},
+           {"speedup_vs_scalar", scalar_ms / best}});
+    }
+  };
+  auto digest_of = [](const void* data, int64_t bytes) {
+    return HashBytes(kFnv1aOffset, data, static_cast<unsigned long>(bytes));
+  };
+
+  Rng rng(99);
+  // Shared inputs. Values are small-range so the predicate and recheck
+  // kernels keep a realistic fraction of their input.
+  std::vector<double> f64_col(n);
+  std::vector<int64_t> i64_col(n);
+  std::vector<uint64_t> lineage(n);
+  std::vector<int64_t> rows(n);
+  const int64_t val_rows = 1 << 20;
+  std::vector<int64_t> probe_vals(val_rows), build_vals(val_rows);
+  for (int64_t i = 0; i < n; ++i) {
+    f64_col[i] = static_cast<double>(rng.UniformInt(1000));
+    i64_col[i] = static_cast<int64_t>(rng.UniformInt(uint64_t{1} << 40));
+    lineage[i] = rng.Next();
+    rows[i] = static_cast<int64_t>(rng.UniformInt(
+        static_cast<uint64_t>(val_rows)));
+  }
+  for (int64_t i = 0; i < val_rows; ++i) {
+    probe_vals[i] = static_cast<int64_t>(rng.UniformInt(64));
+    build_vals[i] = static_cast<int64_t>(rng.UniformInt(64));
+  }
+  std::vector<int64_t> sel(n);
+  std::vector<uint64_t> hashes(n);
+  std::vector<int64_t> pair_probe(n), pair_build(n);
+
+  time_tiers("predicate_eval", [&](double* ms) {
+    const auto t0 = std::chrono::steady_clock::now();
+    const int64_t w =
+        simd::SelCmpF64Lit(simd::CmpOp::kGt, f64_col.data(), n, 500.0,
+                           sel.data());
+    const auto t1 = std::chrono::steady_clock::now();
+    benchmark::DoNotOptimize(sel.data());
+    *ms = std::chrono::duration<double, std::milli>(t1 - t0).count();
+    return digest_of(sel.data(), w * 8);
+  });
+  time_tiers("key_hash", [&](double* ms) {
+    const auto t0 = std::chrono::steady_clock::now();
+    simd::HashI64Keys(i64_col.data(), n, hashes.data());
+    const auto t1 = std::chrono::steady_clock::now();
+    benchmark::DoNotOptimize(hashes.data());
+    *ms = std::chrono::duration<double, std::milli>(t1 - t0).count();
+    return digest_of(hashes.data(), n * 8);
+  });
+  time_tiers("key_recheck", [&](double* ms) {
+    // In-place compaction: restore the candidate pair lists before timing.
+    std::copy(rows.begin(), rows.end(), pair_probe.begin());
+    std::copy(rows.rbegin(), rows.rend(), pair_build.begin());
+    const auto t0 = std::chrono::steady_clock::now();
+    const int64_t w = simd::CompactEqualPairsI64(
+        probe_vals.data(), build_vals.data(), pair_probe.data(),
+        pair_build.data(), /*begin=*/0, n);
+    const auto t1 = std::chrono::steady_clock::now();
+    benchmark::DoNotOptimize(pair_probe.data());
+    *ms = std::chrono::duration<double, std::milli>(t1 - t0).count();
+    uint64_t d = digest_of(pair_probe.data(), w * 8);
+    return HashBytes(d, pair_build.data(), static_cast<unsigned long>(w * 8));
+  });
+  time_tiers("grouped_key_hash", [&](double* ms) {
+    // The group-by feed: gather each selected row's key and hash it.
+    const auto t0 = std::chrono::steady_clock::now();
+    simd::HashI64KeysGather(probe_vals.data(), rows.data(), n, hashes.data());
+    const auto t1 = std::chrono::steady_clock::now();
+    benchmark::DoNotOptimize(hashes.data());
+    *ms = std::chrono::duration<double, std::milli>(t1 - t0).count();
+    return digest_of(hashes.data(), n * 8);
+  });
+  const uint64_t threshold = simd::LineageKeepThreshold(0.1);
+  time_tiers("keep_mask", [&](double* ms) {
+    const auto t0 = std::chrono::steady_clock::now();
+    const int64_t w = simd::LineageKeepDense(
+        /*seed=*/1234, threshold, lineage.data(), /*stride=*/1, /*begin=*/0,
+        n, sel.data());
+    const auto t1 = std::chrono::steady_clock::now();
+    benchmark::DoNotOptimize(sel.data());
+    *ms = std::chrono::duration<double, std::milli>(t1 - t0).count();
+    return digest_of(sel.data(), w * 8);
+  });
+  std::printf("%s", table.ToString().c_str());
+  std::printf(
+      "\nExpected shape: compare+compact (predicate_eval) wins on every\n"
+      "wide tier (>= 2x AVX2, more on AVX-512). The Mix64 family\n"
+      "(key_hash, grouped_key_hash, keep_mask) needs a 64-bit lane\n"
+      "multiply: AVX2 emulates it with three 32x32 partial products and\n"
+      "lands near 1x, while AVX-512's native vpmullq pulls ahead\n"
+      "(keep_mask >= 2x). Gather-fed kernels (key_recheck,\n"
+      "grouped_key_hash) are bound by memory parallelism at this\n"
+      "out-of-L3 scale, not ALU width — their win came from batching the\n"
+      "call sites (E3/E4), not lanes. \"digest ok\" certifies\n"
+      "byte-identical outputs across tiers: no speedup is ever bought\n"
+      "with a different answer.\n");
 }
 
 /// E6 — full pivot coverage: (a) a fixed-size (WOR) pivot estimated
@@ -749,6 +937,7 @@ void PrintSboxRuntimeAll() {
   PrintShardedScaling();
   PrintFixedSizeParallelScaling();
   PrintHotPathKernels();
+  PrintSimdKernelTiers();
 }
 
 namespace {

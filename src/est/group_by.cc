@@ -8,6 +8,8 @@
 #include "est/variance.h"
 #include "est/wire.h"
 #include "est/ys.h"
+#include "kernels/key_hash.h"
+#include "kernels/simd/simd_dispatch.h"
 #include "plan/vector_eval.h"
 
 namespace gus {
@@ -109,7 +111,103 @@ Result<GroupedSumBuilder> GroupedSumBuilder::Make(const BatchLayout& layout,
   GUS_ASSIGN_OR_RETURN(builder.bound_, f_expr->Bind(layout.schema));
   GUS_ASSIGN_OR_RETURN(builder.key_idx_, layout.schema.IndexOf(key_column));
   builder.schema_ = schema;
+  ExprColumnFootprint(builder.bound_, layout.schema.num_columns(),
+                      &builder.footprint_);
   return builder;
+}
+
+namespace {
+
+/// Typed key test of a group against row `row` of the key column — the
+/// exact Value::KeyEquals relation without constructing a Value (same-type
+/// is the only shape a live builder sees: a key column's type is fixed by
+/// the layout; the mismatch fallback keeps the semantics total).
+bool GroupKeyEqualsAt(const Value& key, const ColumnData& col, int64_t row) {
+  switch (col.type) {
+    case ValueType::kInt64:
+      if (key.type() == ValueType::kInt64) return key.AsInt64() == col.i64[row];
+      break;
+    case ValueType::kFloat64:
+      if (key.type() == ValueType::kFloat64) {
+        return key.AsFloat64() == col.f64[row];
+      }
+      break;
+    case ValueType::kString:
+      if (key.type() == ValueType::kString) {
+        return key.AsString() == col.StringAt(row);
+      }
+      break;
+  }
+  return key.KeyEquals(col.ValueAt(row));
+}
+
+}  // namespace
+
+Status GroupedSumBuilder::AccumulateRows(const ColumnBatch& data,
+                                         const int64_t* rows, int64_t len) {
+  const ColumnData& key_col = data.column(key_idx_);
+  hash_scratch_.resize(static_cast<size_t>(len));
+  switch (key_col.type) {
+    case ValueType::kInt64:
+      simd::HashI64KeysGather(key_col.i64.data(), rows, len,
+                              hash_scratch_.data());
+      break;
+    case ValueType::kFloat64:
+      for (int64_t k = 0; k < len; ++k) {
+        hash_scratch_[k] = HashFloat64Key(key_col.f64[rows[k]]);
+      }
+      break;
+    case ValueType::kString:
+      if (key_col.dict != key_dict_) {
+        key_dict_ = key_col.dict;
+        key_dict_hashes_ = DictKeyHashes(key_col);
+      }
+      simd::HashDictCodesGather(key_dict_hashes_.data(),
+                                key_col.codes.data(), rows, len,
+                                hash_scratch_.data());
+      break;
+  }
+  const int n = static_cast<int>(source_.size());
+  const int arity = data.lineage_arity();
+  const uint64_t* lineage = data.lineage().data();
+  // Run cache: grouped streams are frequently key-clustered, and equal
+  // hash within one builder means equal group (collisions are refused on
+  // insert) — but each row is still key-checked below, exactly as the
+  // per-row path did.
+  uint64_t last_hash = 0;
+  Group* group = nullptr;
+  for (int64_t k = 0; k < len; ++k) {
+    const int64_t row = rows[k];
+    const uint64_t h = hash_scratch_[k];
+    if (group == nullptr || h != last_hash) {
+      auto [it, inserted] = groups_.try_emplace(h);
+      group = &it->second;
+      last_hash = h;
+      if (inserted) {
+        group->key = key_col.ValueAt(row);
+        group->view.schema = schema_;
+        group->view.lineage.assign(n, {});
+        group->view.f.push_back(f_scratch_[k]);
+        const uint64_t* lrow = lineage + static_cast<size_t>(row) * arity;
+        for (int d = 0; d < n; ++d) {
+          group->view.lineage[d].push_back(lrow[source_[d]]);
+        }
+        continue;
+      }
+    }
+    if (!GroupKeyEqualsAt(group->key, key_col, row)) {
+      // Refuse to silently fuse distinct keys on a 64-bit hash collision.
+      return Status::Internal("group-by key hash collision between '" +
+                              group->key.ToString() + "' and '" +
+                              key_col.ValueAt(row).ToString() + "'");
+    }
+    group->view.f.push_back(f_scratch_[k]);
+    const uint64_t* lrow = lineage + static_cast<size_t>(row) * arity;
+    for (int d = 0; d < n; ++d) {
+      group->view.lineage[d].push_back(lrow[source_[d]]);
+    }
+  }
+  return Status::OK();
 }
 
 Status GroupedSumBuilder::Consume(const ColumnBatch& batch) {
@@ -121,28 +219,45 @@ Status GroupedSumBuilder::Consume(const ColumnBatch& batch) {
   f_scratch_.clear();
   GUS_RETURN_NOT_OK(EvalExprBatchToDoubles(
       bound_, batch, "aggregate expression must be numeric", &f_scratch_));
-  const ColumnData& key_col = batch.column(key_idx_);
-  const int n = static_cast<int>(source_.size());
-  for (int64_t i = 0; i < batch.num_rows(); ++i) {
-    const Value key = key_col.ValueAt(i);
-    auto [it, inserted] = groups_.try_emplace(key.Hash());
-    Group& group = it->second;
-    if (inserted) {
-      group.key = key;
-      group.view.schema = schema_;
-      group.view.lineage.assign(n, {});
-    } else if (!group.key.KeyEquals(key)) {
-      // Refuse to silently fuse distinct keys on a 64-bit hash collision.
-      return Status::Internal("group-by key hash collision between '" +
-                              group.key.ToString() + "' and '" +
-                              key.ToString() + "'");
-    }
-    group.view.f.push_back(f_scratch_[i]);
-    for (int d = 0; d < n; ++d) {
-      group.view.lineage[d].push_back(batch.lineage_at(i, source_[d]));
-    }
+  const int64_t n = batch.num_rows();
+  rows_scratch_.resize(static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) rows_scratch_[i] = i;
+  return AccumulateRows(batch, rows_scratch_.data(), n);
+}
+
+Status GroupedSumBuilder::ConsumeView(const SelView& view) {
+  if (bound_ == nullptr) {
+    return Status::InvalidArgument(
+        "deserialized GroupedSumBuilder state is merge/finish-only (the "
+        "bound aggregate expression does not travel on the wire)");
   }
-  return Status::OK();
+  const int64_t len = view.num_rows();
+  if (len == 0) return Status::OK();
+  const ColumnBatch& data = *view.data;
+  const int64_t* rows = view.sel;
+  if (view.contiguous()) {
+    rows_scratch_.resize(static_cast<size_t>(len));
+    for (int64_t i = 0; i < len; ++i) rows_scratch_[i] = view.begin + i;
+    rows = rows_scratch_.data();
+  }
+  f_scratch_.clear();
+  if (view.whole_batch()) {
+    GUS_RETURN_NOT_OK(EvalExprBatchToDoubles(
+        bound_, data, "aggregate expression must be numeric", &f_scratch_));
+  } else {
+    // Only the f expression's columns are gathered (keys and lineage are
+    // read through the selection directly).
+    if (eval_scratch_.layout_ptr() != data.layout_ptr()) {
+      eval_scratch_.ResetLayout(data.layout_ptr());
+    } else {
+      eval_scratch_.Clear();
+    }
+    eval_scratch_.GatherColumnsFrom(data, rows, len, footprint_);
+    GUS_RETURN_NOT_OK(EvalExprBatchToDoubles(
+        bound_, eval_scratch_, "aggregate expression must be numeric",
+        &f_scratch_));
+  }
+  return AccumulateRows(data, rows, len);
 }
 
 Status GroupedSumBuilder::Merge(GroupedSumBuilder&& other) {

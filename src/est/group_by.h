@@ -64,6 +64,18 @@ class GroupedSumBuilder final : public BatchSink {
 
   Status Consume(const ColumnBatch& batch) override;
 
+  /// \brief Gather-free accumulation: reads keys and lineage through the
+  /// selection directly (no materialized batch); only the aggregate
+  /// expression's column footprint is gathered, and only when the view is
+  /// not a whole batch.
+  ///
+  /// Key hashing runs through the dispatched SIMD kernels; group payload
+  /// appends are boxing-free (a Value is constructed only when a new group
+  /// is first seen). Bit-identical to gathering the view into a batch and
+  /// calling Consume.
+  Status ConsumeView(const SelView& view) override;
+  bool wants_views() const override { return true; }
+
   /// Folds a later partition's builder into this one: groups present in
   /// both merge their views, new groups are adopted.
   Status Merge(GroupedSumBuilder&& other);
@@ -98,11 +110,22 @@ class GroupedSumBuilder final : public BatchSink {
     SampleView view;
   };
 
+  /// Shared accumulation core: f_scratch_ holds the f value of each listed
+  /// row; keys and lineage are read from `data` at rows[k] directly.
+  Status AccumulateRows(const ColumnBatch& data, const int64_t* rows,
+                        int64_t len);
+
   std::vector<int> source_;  // analysis dim -> layout lineage column
   ExprPtr bound_;
   int key_idx_ = 0;
   LineageSchema schema_;
+  std::vector<char> footprint_;  // columns the bound f expression reads
   std::vector<double> f_scratch_;
+  std::vector<int64_t> rows_scratch_;
+  std::vector<uint64_t> hash_scratch_;
+  ColumnBatch eval_scratch_;
+  DictPtr key_dict_;  // cached dictionary hashes for string keys
+  std::vector<uint64_t> key_dict_hashes_;
   std::unordered_map<uint64_t, Group> groups_;  // keyed by Value::Hash
 };
 

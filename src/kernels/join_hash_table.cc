@@ -8,6 +8,7 @@
 #include <utility>
 
 #include "kernels/key_hash.h"
+#include "kernels/simd/simd_dispatch.h"
 #include "util/hash.h"
 #include "util/logging.h"
 #include "util/thread_pool.h"
@@ -326,24 +327,63 @@ std::vector<uint64_t> ColumnKeyHashes(const ColumnData& col,
   std::vector<uint64_t> hashes(static_cast<size_t>(num_rows));
   switch (col.type) {
     case ValueType::kInt64:
-      for (int64_t i = 0; i < num_rows; ++i) {
-        hashes[i] = HashInt64Key(col.i64[i]);
-      }
+      simd::HashI64Keys(col.i64.data(), num_rows, hashes.data());
       break;
     case ValueType::kFloat64:
+      // Stays scalar: HashFloat64Key branches on Float64AsExactInt64 and
+      // f64 keys are rare on the hash-build path.
       for (int64_t i = 0; i < num_rows; ++i) {
         hashes[i] = HashFloat64Key(col.f64[i]);
       }
       break;
     case ValueType::kString: {
       const std::vector<uint64_t> dict_hashes = DictKeyHashes(col);
-      for (int64_t i = 0; i < num_rows; ++i) {
-        hashes[i] = dict_hashes[col.codes[i]];
-      }
+      simd::HashDictCodes(dict_hashes.data(), col.codes.data(), num_rows,
+                          hashes.data());
       break;
     }
   }
   return hashes;
+}
+
+void KeyHashRange(const ColumnData& col,
+                  const std::vector<uint64_t>& dict_hashes, int64_t begin,
+                  int64_t len, uint64_t* out) {
+  switch (col.type) {
+    case ValueType::kInt64:
+      simd::HashI64Keys(col.i64.data() + begin, len, out);
+      return;
+    case ValueType::kFloat64:
+      for (int64_t i = 0; i < len; ++i) {
+        out[i] = HashFloat64Key(col.f64[begin + i]);
+      }
+      return;
+    case ValueType::kString:
+      simd::HashDictCodes(dict_hashes.data(), col.codes.data() + begin, len,
+                          out);
+      return;
+  }
+  GUS_CHECK(false && "unhandled ValueType");
+}
+
+void KeyHashRows(const ColumnData& col,
+                 const std::vector<uint64_t>& dict_hashes, const int64_t* rows,
+                 int64_t len, uint64_t* out) {
+  switch (col.type) {
+    case ValueType::kInt64:
+      simd::HashI64KeysGather(col.i64.data(), rows, len, out);
+      return;
+    case ValueType::kFloat64:
+      for (int64_t i = 0; i < len; ++i) {
+        out[i] = HashFloat64Key(col.f64[rows[i]]);
+      }
+      return;
+    case ValueType::kString:
+      simd::HashDictCodesGather(dict_hashes.data(), col.codes.data(), rows,
+                                len, out);
+      return;
+  }
+  GUS_CHECK(false && "unhandled ValueType");
 }
 
 int64_t FilterEqualKeyPairs(const ColumnData& probe_key,
@@ -351,24 +391,30 @@ int64_t FilterEqualKeyPairs(const ColumnData& probe_key,
                             std::vector<int64_t>* probe_rows,
                             std::vector<int64_t>* build_rows, int64_t begin) {
   GUS_DCHECK(probe_rows->size() == build_rows->size());
+  // Same-type fast paths run through the dispatched compaction kernels
+  // (in-place, order-preserving, identical survivors in every tier); the
+  // lambda paths below handle the rare shapes.
+  const auto n = static_cast<int64_t>(probe_rows->size());
+  const auto shrink = [&](int64_t w) {
+    probe_rows->resize(static_cast<size_t>(w));
+    build_rows->resize(static_cast<size_t>(w));
+    return w;
+  };
   if (probe_key.type == build_key.type) {
     switch (probe_key.type) {
       case ValueType::kInt64:
-        return CompactPairs(probe_rows, build_rows, begin,
-                            [&](int64_t i, int64_t j) {
-                              return probe_key.i64[i] == build_key.i64[j];
-                            });
+        return shrink(simd::CompactEqualPairsI64(
+            probe_key.i64.data(), build_key.i64.data(), probe_rows->data(),
+            build_rows->data(), begin, n));
       case ValueType::kFloat64:
-        return CompactPairs(probe_rows, build_rows, begin,
-                            [&](int64_t i, int64_t j) {
-                              return probe_key.f64[i] == build_key.f64[j];
-                            });
+        return shrink(simd::CompactEqualPairsF64(
+            probe_key.f64.data(), build_key.f64.data(), probe_rows->data(),
+            build_rows->data(), begin, n));
       case ValueType::kString:
         if (probe_key.dict == build_key.dict) {
-          return CompactPairs(
-              probe_rows, build_rows, begin, [&](int64_t i, int64_t j) {
-                return probe_key.codes[i] == build_key.codes[j];
-              });
+          return shrink(simd::CompactEqualPairsU32(
+              probe_key.codes.data(), build_key.codes.data(),
+              probe_rows->data(), build_rows->data(), begin, n));
         }
         return CompactPairs(probe_rows, build_rows, begin,
                             [&](int64_t i, int64_t j) {

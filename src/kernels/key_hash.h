@@ -91,6 +91,18 @@ inline bool JoinBuildKeysCompatible(const ColumnData& col, int64_t i,
 /// already hold DictKeyHashes can loop KeyHashAt instead.
 std::vector<uint64_t> ColumnKeyHashes(const ColumnData& col, int64_t num_rows);
 
+/// \brief Key hashes for the contiguous rows [begin, begin + len).
+///
+/// Batch form of KeyHashAt over a row range, routed through the dispatched
+/// SIMD kernels for int64 and dictionary-string keys (float64 stays scalar:
+/// its hash branches on Float64AsExactInt64). `out` must hold len hashes.
+void KeyHashRange(const ColumnData& col, const std::vector<uint64_t>& dict_hashes,
+                  int64_t begin, int64_t len, uint64_t* out);
+
+/// Batch form of KeyHashAt over an arbitrary row list (`rows`, len entries).
+void KeyHashRows(const ColumnData& col, const std::vector<uint64_t>& dict_hashes,
+                 const int64_t* rows, int64_t len, uint64_t* out);
+
 /// \brief Vectorized key-equality recheck over batch probe candidates.
 ///
 /// `probe_rows` / `build_rows` hold aligned (probe, build) candidate pairs

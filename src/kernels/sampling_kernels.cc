@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "kernels/simd/simd_dispatch.h"
 #include "util/hash.h"
 #include "util/logging.h"
 
@@ -69,14 +70,14 @@ void LineageBernoulliDense(double p, uint64_t seed, const uint64_t* lineage,
                            std::vector<int64_t>* keep) {
   const size_t base = keep->size();
   keep->resize(base + static_cast<size_t>(len));
-  int64_t* out = keep->data() + base;
-  size_t n = 0;
+  // The keep test runs as the integer-threshold form (exact equivalent of
+  // `LineageUnitValue(seed, id) < p`) so every dispatch tier decides
+  // identically; see simd::LineageKeepThreshold.
+  const uint64_t threshold = simd::LineageKeepThreshold(p);
   const uint64_t* ids = lineage + static_cast<size_t>(begin) * arity + dim;
-  for (int64_t i = 0; i < len; ++i) {
-    out[n] = begin + i;
-    n += LineageUnitValue(seed, ids[static_cast<size_t>(i) * arity]) < p;
-  }
-  keep->resize(base + n);
+  const int64_t n = simd::LineageKeepDense(seed, threshold, ids, arity, begin,
+                                           len, keep->data() + base);
+  keep->resize(base + static_cast<size_t>(n));
 }
 
 void LineageBernoulliGather(double p, uint64_t seed, const uint64_t* lineage,
@@ -84,15 +85,11 @@ void LineageBernoulliGather(double p, uint64_t seed, const uint64_t* lineage,
                             int64_t len, std::vector<int64_t>* keep) {
   const size_t base = keep->size();
   keep->resize(base + static_cast<size_t>(len));
-  int64_t* out = keep->data() + base;
-  size_t n = 0;
-  for (int64_t k = 0; k < len; ++k) {
-    const int64_t r = sel[k];
-    const uint64_t id = lineage[static_cast<size_t>(r) * arity + dim];
-    out[n] = r;
-    n += LineageUnitValue(seed, id) < p;
-  }
-  keep->resize(base + n);
+  const uint64_t threshold = simd::LineageKeepThreshold(p);
+  const int64_t n = simd::LineageKeepGather(seed, threshold, lineage, arity,
+                                            dim, sel, len,
+                                            keep->data() + base);
+  keep->resize(base + static_cast<size_t>(n));
 }
 
 bool BlockDecisionCache::Decide(uint64_t block, double p, Rng* rng) {

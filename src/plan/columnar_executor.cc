@@ -128,12 +128,19 @@ Result<ColumnarRelation> DrainSource(BatchSource* src) {
 Status PumpToSink(BatchSource* pipeline, BatchSink* sink) {
   SelView view;
   ColumnBatch scratch;
+  const bool views = sink->wants_views();
   while (true) {
     GUS_ASSIGN_OR_RETURN(bool more, pipeline->NextView(&view));
     if (!more) break;
     if (view.num_rows() == 0) continue;
     if (view.whole_batch()) {
       GUS_RETURN_NOT_OK(sink->Consume(*view.data));
+      continue;
+    }
+    if (views) {
+      // Gather-free hand-off: the sink reads the borrowed columns through
+      // the selection directly.
+      GUS_RETURN_NOT_OK(sink->ConsumeView(view));
       continue;
     }
     PrepareBatch(pipeline->layout(), &scratch);
@@ -442,10 +449,8 @@ class JoinSource final : public BatchSource {
         const int64_t chunk =
             std::min(kProbeChunkRows, probe_rows - probe_pos_);
         hash_scratch_.resize(static_cast<size_t>(chunk));
-        for (int64_t k = 0; k < chunk; ++k) {
-          hash_scratch_[k] =
-              KeyHashAt(probe_key, probe_pos_ + k, probe_dict_hashes_);
-        }
+        KeyHashRange(probe_key, probe_dict_hashes_, probe_pos_, chunk,
+                     hash_scratch_.data());
         pair_probe_.clear();
         pair_build_.clear();
         table_.ProbeBatch(hash_scratch_.data(), chunk, &pair_probe_,
@@ -456,12 +461,19 @@ class JoinSource final : public BatchSource {
         probe_pos_ += chunk;
         continue;
       }
-      const int64_t p = pair_probe_[emit_pos_];
-      const int64_t b = pair_build_[emit_pos_];
-      ++emit_pos_;
-      const int64_t li = build_left_ ? b : p;
-      const int64_t ri = build_left_ ? p : b;
-      out->AppendConcatRowFrom(left_mat_.data(), li, right_mat_.data(), ri);
+      // Batch emit: typed column gathers over the surviving pair lists
+      // instead of a per-row variant walk. Order is unchanged (pairs are
+      // consumed front to back).
+      const int64_t pairs = static_cast<int64_t>(pair_probe_.size());
+      const int64_t take =
+          std::min(batch_rows_ - out->num_rows(), pairs - emit_pos_);
+      const int64_t* probe_idx = pair_probe_.data() + emit_pos_;
+      const int64_t* build_idx = pair_build_.data() + emit_pos_;
+      const int64_t* li = build_left_ ? build_idx : probe_idx;
+      const int64_t* ri = build_left_ ? probe_idx : build_idx;
+      out->AppendConcatGather(left_mat_.data(), li, right_mat_.data(), ri,
+                              take);
+      emit_pos_ += take;
     }
     if (out->num_rows() == 0 && probe_pos_ >= probe_rows &&
         emit_pos_ >= static_cast<int64_t>(pair_probe_.size())) {
@@ -526,13 +538,22 @@ class ProductSource final : public BatchSource {
       return false;
     }
     PrepareBatch(layout_, out);
-    while (out->num_rows() < batch_rows_ && i_ < left_mat_.num_rows()) {
-      out->AppendConcatRowFrom(left_mat_.data(), i_, right_mat_.data(), j_);
+    // Stage the (i, j) index pairs of this output chunk, then emit them in
+    // one batched gather per column.
+    li_scratch_.clear();
+    ri_scratch_.clear();
+    while (static_cast<int64_t>(li_scratch_.size()) < batch_rows_ &&
+           i_ < left_mat_.num_rows()) {
+      li_scratch_.push_back(i_);
+      ri_scratch_.push_back(j_);
       if (++j_ >= right_mat_.num_rows()) {
         j_ = 0;
         ++i_;
       }
     }
+    out->AppendConcatGather(left_mat_.data(), li_scratch_.data(),
+                            right_mat_.data(), ri_scratch_.data(),
+                            static_cast<int64_t>(li_scratch_.size()));
     return true;
   }
 
@@ -543,6 +564,7 @@ class ProductSource final : public BatchSource {
   bool drained_ = false;
   ColumnarRelation left_mat_, right_mat_;
   int64_t i_ = 0, j_ = 0;
+  std::vector<int64_t> li_scratch_, ri_scratch_;
 };
 
 /// Exact-mode union: the exact evaluation of both branches yields the same

@@ -74,6 +74,17 @@ inline constexpr int64_t kMinAutoMorselRows = 8192;
 inline constexpr int64_t kMaxAutoMorselRows = 131072;
 
 /// \brief Execution knobs shared by every engine entry point.
+///
+/// Orthogonal to every knob here, the hot inner loops (predicate eval,
+/// key hashing, join-pair recheck, gathers, Bernoulli keep-masks) run
+/// through runtime-dispatched SIMD kernels (src/kernels/simd/): the best
+/// tier the CPU supports — scalar, AVX2, or AVX-512 — is selected once at
+/// startup and can be forced *down* with the GUS_SIMD environment
+/// variable (scalar|avx2|avx512; requests above the detected tier clamp
+/// with a one-time stderr note). The tiers are bit-identical by
+/// construction, so GUS_SIMD never changes any estimate, row, or digest —
+/// only the speed. It is an environment variable rather than an option
+/// here precisely because no result can depend on it.
 struct ExecOptions {
   ExecEngine engine = ExecEngine::kRowAtATime;
   /// Worker threads for kMorselParallel (ignored by the serial engines).

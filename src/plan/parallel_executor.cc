@@ -291,11 +291,9 @@ class SharedJoinProbeSource final : public BatchSource {
         const int64_t n = probe_.num_rows();
         hash_scratch_.resize(static_cast<size_t>(n));
         row_scratch_.resize(static_cast<size_t>(n));
-        for (int64_t k = 0; k < n; ++k) {
-          const int64_t row = probe_.row(k);
-          row_scratch_[k] = row;
-          hash_scratch_[k] = KeyHashAt(key, row, probe_dict_hashes_);
-        }
+        for (int64_t k = 0; k < n; ++k) row_scratch_[k] = probe_.row(k);
+        KeyHashRows(key, probe_dict_hashes_, row_scratch_.data(), n,
+                    hash_scratch_.data());
         pair_probe_.clear();
         pair_build_.clear();
         build_->table.ProbeBatch(hash_scratch_.data(), n, &pair_probe_,
@@ -305,14 +303,21 @@ class SharedJoinProbeSource final : public BatchSource {
         emit_pos_ = 0;
         continue;
       }
-      const int64_t row = pair_probe_[emit_pos_];
-      const int64_t b = pair_build_[emit_pos_];
-      ++emit_pos_;
+      // Batch emit over the surviving pair lists (front-to-back, so the
+      // classic per-row order is preserved).
+      const int64_t pairs = static_cast<int64_t>(pair_probe_.size());
+      const int64_t take =
+          std::min(batch_rows_ - out->num_rows(), pairs - emit_pos_);
+      const int64_t* probe_idx = pair_probe_.data() + emit_pos_;
+      const int64_t* build_idx = pair_build_.data() + emit_pos_;
       if (build_->pivot_is_left) {
-        out->AppendConcatRowFrom(*probe_.data, row, build_data, b);
+        out->AppendConcatGather(*probe_.data, probe_idx, build_data,
+                                build_idx, take);
       } else {
-        out->AppendConcatRowFrom(build_data, b, *probe_.data, row);
+        out->AppendConcatGather(build_data, build_idx, *probe_.data,
+                                probe_idx, take);
       }
+      emit_pos_ += take;
     }
     if (done_ && out->num_rows() == 0 &&
         emit_pos_ >= static_cast<int64_t>(pair_probe_.size())) {
@@ -366,15 +371,27 @@ class SharedProductSource final : public BatchSource {
         i_ = pivot_.num_rows();
         continue;
       }
-      const int64_t row = pivot_.row(i_);
-      if (side_->pivot_is_left) {
-        out->AppendConcatRowFrom(*pivot_.data, row, other, j_);
-      } else {
-        out->AppendConcatRowFrom(other, j_, *pivot_.data, row);
+      // Stage this chunk's (pivot, other) index pairs, then emit them in
+      // one batched gather per column.
+      pivot_scratch_.clear();
+      other_scratch_.clear();
+      const int64_t budget = batch_rows_ - out->num_rows();
+      while (static_cast<int64_t>(pivot_scratch_.size()) < budget &&
+             i_ < pivot_.num_rows()) {
+        pivot_scratch_.push_back(pivot_.row(i_));
+        other_scratch_.push_back(j_);
+        if (++j_ >= n_other) {
+          j_ = 0;
+          ++i_;
+        }
       }
-      if (++j_ >= n_other) {
-        j_ = 0;
-        ++i_;
+      const auto take = static_cast<int64_t>(pivot_scratch_.size());
+      if (side_->pivot_is_left) {
+        out->AppendConcatGather(*pivot_.data, pivot_scratch_.data(), other,
+                                other_scratch_.data(), take);
+      } else {
+        out->AppendConcatGather(other, other_scratch_.data(), *pivot_.data,
+                                pivot_scratch_.data(), take);
       }
     }
     if (done_ && out->num_rows() == 0) return false;
@@ -387,6 +404,7 @@ class SharedProductSource final : public BatchSource {
   int64_t batch_rows_;
   SelView pivot_;
   int64_t i_ = 0, j_ = 0;
+  std::vector<int64_t> pivot_scratch_, other_scratch_;
   bool done_ = false;
 };
 

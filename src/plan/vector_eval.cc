@@ -1,7 +1,9 @@
 #include "plan/vector_eval.h"
 
 #include <string>
+#include <utility>
 
+#include "kernels/simd/simd_dispatch.h"
 #include "util/logging.h"
 
 namespace gus {
@@ -283,6 +285,98 @@ Result<EvalOut> EvalNode(const Expr& e, const ColumnBatch& batch) {
   }
 }
 
+bool CmpOpFromExpr(ExprOp op, simd::CmpOp* out) {
+  switch (op) {
+    case ExprOp::kEq: *out = simd::CmpOp::kEq; return true;
+    case ExprOp::kNe: *out = simd::CmpOp::kNe; return true;
+    case ExprOp::kLt: *out = simd::CmpOp::kLt; return true;
+    case ExprOp::kLe: *out = simd::CmpOp::kLe; return true;
+    case ExprOp::kGt: *out = simd::CmpOp::kGt; return true;
+    case ExprOp::kGe: *out = simd::CmpOp::kGe; return true;
+    default: return false;
+  }
+}
+
+/// Operator seen from the swapped operand order: a OP b == b MIRROR(OP) a.
+/// Exact even against NaN, because cmp(b, a) == -cmp(a, b) in every case.
+simd::CmpOp MirrorCmp(simd::CmpOp op) {
+  switch (op) {
+    case simd::CmpOp::kLt: return simd::CmpOp::kGt;
+    case simd::CmpOp::kLe: return simd::CmpOp::kGe;
+    case simd::CmpOp::kGt: return simd::CmpOp::kLt;
+    case simd::CmpOp::kGe: return simd::CmpOp::kLe;
+    default: return op;  // kEq / kNe are symmetric
+  }
+}
+
+/// \brief Fused compare -> selection-vector path for the common predicate
+/// shape `column OP column` / `column OP literal` over numeric operands.
+///
+/// Skips the materialized 0/1 column entirely: one dispatched kernel call
+/// produces the selection vector, with the same promote-to-double compare
+/// semantics as CompareBatch. Returns false (sel untouched) for any shape
+/// it does not cover; the caller then takes the general EvalNode path.
+bool TryFusedCompare(const Expr& e, const ColumnBatch& batch,
+                     std::vector<int64_t>* sel) {
+  simd::CmpOp op;
+  if (!CmpOpFromExpr(e.op(), &op)) return false;
+  const Expr* lhs = e.left().get();
+  const Expr* rhs = e.right().get();
+  if (lhs == nullptr || rhs == nullptr) return false;
+  if (lhs->op() == ExprOp::kLiteral && rhs->op() == ExprOp::kColumn) {
+    std::swap(lhs, rhs);
+    op = MirrorCmp(op);
+  }
+  if (lhs->op() != ExprOp::kColumn) return false;
+  const int li = lhs->column_index();
+  if (li < 0 || li >= batch.num_columns()) return false;
+  const ColumnData& lc = batch.column(li);
+  if (lc.type == ValueType::kString) return false;
+  const int64_t n = batch.num_rows();
+
+  if (rhs->op() == ExprOp::kLiteral) {
+    const Value& lit = rhs->literal();
+    double litv;
+    if (lit.type() == ValueType::kInt64) {
+      litv = static_cast<double>(lit.AsInt64());
+    } else if (lit.type() == ValueType::kFloat64) {
+      litv = lit.AsFloat64();
+    } else {
+      return false;
+    }
+    sel->resize(static_cast<size_t>(n));
+    const int64_t w =
+        lc.type == ValueType::kInt64
+            ? simd::SelCmpI64Lit(op, lc.i64.data(), n, litv, sel->data())
+            : simd::SelCmpF64Lit(op, lc.f64.data(), n, litv, sel->data());
+    sel->resize(static_cast<size_t>(w));
+    return true;
+  }
+
+  if (rhs->op() != ExprOp::kColumn) return false;
+  const int ri = rhs->column_index();
+  if (ri < 0 || ri >= batch.num_columns()) return false;
+  const ColumnData& rc = batch.column(ri);
+  if (rc.type == ValueType::kString) return false;
+  sel->resize(static_cast<size_t>(n));
+  int64_t w;
+  if (lc.type == ValueType::kInt64) {
+    w = rc.type == ValueType::kInt64
+            ? simd::SelCmpI64I64(op, lc.i64.data(), rc.i64.data(), n,
+                                 sel->data())
+            : simd::SelCmpI64F64(op, lc.i64.data(), rc.f64.data(), n,
+                                 sel->data());
+  } else {
+    w = rc.type == ValueType::kInt64
+            ? simd::SelCmpF64I64(op, lc.f64.data(), rc.i64.data(), n,
+                                 sel->data())
+            : simd::SelCmpF64F64(op, lc.f64.data(), rc.f64.data(), n,
+                                 sel->data());
+  }
+  sel->resize(static_cast<size_t>(w));
+  return true;
+}
+
 }  // namespace
 
 Result<ColumnData> EvalExprBatch(const ExprPtr& bound,
@@ -295,21 +389,19 @@ Result<ColumnData> EvalExprBatch(const ExprPtr& bound,
 Status EvalPredicateBatch(const ExprPtr& bound, const ColumnBatch& batch,
                           std::vector<int64_t>* sel) {
   sel->clear();
+  if (TryFusedCompare(*bound, batch, sel)) return Status::OK();
   GUS_ASSIGN_OR_RETURN(EvalOut out, EvalNode(*bound, batch));
   const ColumnData& col = out.get();
   if (col.type == ValueType::kString) {
     return Status::TypeError("predicate must evaluate to a numeric/boolean");
   }
   const int64_t n = batch.num_rows();
-  if (col.type == ValueType::kInt64) {
-    for (int64_t i = 0; i < n; ++i) {
-      if (col.i64[i] != 0) sel->push_back(i);
-    }
-  } else {
-    for (int64_t i = 0; i < n; ++i) {
-      if (col.f64[i] != 0.0) sel->push_back(i);
-    }
-  }
+  sel->resize(static_cast<size_t>(n));
+  const int64_t w =
+      col.type == ValueType::kInt64
+          ? simd::SelNonZeroI64(col.i64.data(), n, sel->data())
+          : simd::SelNonZeroF64(col.f64.data(), n, sel->data());
+  sel->resize(static_cast<size_t>(w));
   return Status::OK();
 }
 
@@ -363,10 +455,11 @@ Status EvalExprBatchToDoubles(const ExprPtr& bound, const ColumnBatch& batch,
   if (col.type == ValueType::kFloat64) {
     out->insert(out->end(), col.f64.begin(), col.f64.end());
   } else {
-    out->reserve(out->size() + col.i64.size());
-    for (const int64_t v : col.i64) {
-      out->push_back(static_cast<double>(v));
-    }
+    const size_t base = out->size();
+    out->resize(base + col.i64.size());
+    simd::ConvertI64ToF64(col.i64.data(),
+                          static_cast<int64_t>(col.i64.size()),
+                          out->data() + base);
   }
   return Status::OK();
 }
@@ -377,9 +470,8 @@ Result<std::vector<double>> ColumnToDouble(const ColumnData& col) {
   }
   if (col.type == ValueType::kFloat64) return col.f64;
   std::vector<double> out(col.i64.size());
-  for (size_t i = 0; i < col.i64.size(); ++i) {
-    out[i] = static_cast<double>(col.i64[i]);
-  }
+  simd::ConvertI64ToF64(col.i64.data(), static_cast<int64_t>(col.i64.size()),
+                        out.data());
   return out;
 }
 

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "kernels/simd/simd_dispatch.h"
+
 namespace gus {
 
 namespace {
@@ -180,33 +182,54 @@ namespace {
 
 void GatherColumn(ColumnData* dst, const ColumnData& from, const int64_t* sel,
                   int64_t len) {
-  const int64_t* end = sel + len;
   switch (dst->type) {
-    case ValueType::kInt64:
+    case ValueType::kInt64: {
+      const size_t base = dst->i64.size();
       GrowFor(&dst->i64, static_cast<size_t>(len));
-      for (const int64_t* p = sel; p != end; ++p) {
-        dst->i64.push_back(from.i64[*p]);
-      }
+      dst->i64.resize(base + static_cast<size_t>(len));
+      simd::GatherI64(from.i64.data(), sel, len, dst->i64.data() + base);
       break;
-    case ValueType::kFloat64:
+    }
+    case ValueType::kFloat64: {
+      const size_t base = dst->f64.size();
       GrowFor(&dst->f64, static_cast<size_t>(len));
-      for (const int64_t* p = sel; p != end; ++p) {
-        dst->f64.push_back(from.f64[*p]);
-      }
+      dst->f64.resize(base + static_cast<size_t>(len));
+      simd::GatherF64(from.f64.data(), sel, len, dst->f64.data() + base);
       break;
+    }
     case ValueType::kString:
       if (dst->dict == nullptr || dst->codes.empty()) dst->dict = from.dict;
       GrowFor(&dst->codes, static_cast<size_t>(len));
       if (dst->dict == from.dict) {
-        for (const int64_t* p = sel; p != end; ++p) {
-          dst->codes.push_back(from.codes[*p]);
-        }
+        const size_t base = dst->codes.size();
+        dst->codes.resize(base + static_cast<size_t>(len));
+        simd::GatherU32(from.codes.data(), sel, len,
+                        dst->codes.data() + base);
       } else {
-        for (const int64_t* p = sel; p != end; ++p) {
+        for (const int64_t* p = sel; p != sel + len; ++p) {
           dst->codes.push_back(dst->dict->Intern(from.StringAt(*p)));
         }
       }
       break;
+  }
+}
+
+/// Gathers `len` lineage rows of `src` (arity uint64s each) to the end of
+/// `dst`. Arity 1 runs as one flat gather kernel; wider lineage copies
+/// row by row.
+void GatherLineage(std::vector<uint64_t>* dst,
+                   const std::vector<uint64_t>& src, int arity,
+                   const int64_t* sel, int64_t len) {
+  GrowFor(dst, static_cast<size_t>(len) * arity);
+  if (arity == 1) {
+    const size_t base = dst->size();
+    dst->resize(base + static_cast<size_t>(len));
+    simd::GatherU64(src.data(), sel, len, dst->data() + base);
+    return;
+  }
+  for (const int64_t* p = sel; p != sel + len; ++p) {
+    const auto* base = src.data() + static_cast<size_t>(*p) * arity;
+    dst->insert(dst->end(), base, base + arity);
   }
 }
 
@@ -219,13 +242,7 @@ void ColumnBatch::GatherFrom(const ColumnBatch& src, const int64_t* sel,
   for (size_t c = 0; c < columns_.size(); ++c) {
     GatherColumn(&columns_[c], src.columns_[c], sel, len);
   }
-  const int arity = lineage_arity();
-  GrowFor(&lineage_, static_cast<size_t>(len) * arity);
-  const int64_t* end = sel + len;
-  for (const int64_t* p = sel; p != end; ++p) {
-    const auto* base = src.lineage_.data() + static_cast<size_t>(*p) * arity;
-    lineage_.insert(lineage_.end(), base, base + arity);
-  }
+  GatherLineage(&lineage_, src.lineage_, lineage_arity(), sel, len);
   num_rows_ += len;
 }
 
@@ -257,6 +274,49 @@ void ColumnBatch::AppendConcatRowFrom(const ColumnBatch& left, int64_t li,
   const auto* rbase = right.lineage_.data() + static_cast<size_t>(ri) * ra;
   lineage_.insert(lineage_.end(), rbase, rbase + ra);
   ++num_rows_;
+}
+
+void ColumnBatch::AppendConcatGather(const ColumnBatch& left,
+                                     const int64_t* li,
+                                     const ColumnBatch& right,
+                                     const int64_t* ri, int64_t len) {
+  if (len <= 0) return;
+  const int nl = left.num_columns();
+  GUS_DCHECK(num_columns() == nl + right.num_columns());
+  for (int c = 0; c < nl; ++c) {
+    GatherColumn(&columns_[c], left.columns_[c], li, len);
+  }
+  for (int c = 0; c < right.num_columns(); ++c) {
+    GatherColumn(&columns_[nl + c], right.columns_[c], ri, len);
+  }
+  // Lineage rows interleave per output row: left dims then right dims.
+  const int la = left.lineage_arity();
+  const int ra = right.lineage_arity();
+  const size_t base = lineage_.size();
+  GrowFor(&lineage_, static_cast<size_t>(len) * (la + ra));
+  lineage_.resize(base + static_cast<size_t>(len) * (la + ra));
+  uint64_t* out = lineage_.data() + base;
+  const uint64_t* lsrc = left.lineage_.data();
+  const uint64_t* rsrc = right.lineage_.data();
+  for (int64_t k = 0; k < len; ++k) {
+    const uint64_t* lrow = lsrc + static_cast<size_t>(li[k]) * la;
+    for (int d = 0; d < la; ++d) *out++ = lrow[d];
+    const uint64_t* rrow = rsrc + static_cast<size_t>(ri[k]) * ra;
+    for (int d = 0; d < ra; ++d) *out++ = rrow[d];
+  }
+  num_rows_ += len;
+}
+
+Status BatchSink::ConsumeView(const SelView& view) {
+  if (view.num_rows() == 0) return Status::OK();
+  if (view.whole_batch()) return Consume(*view.data);
+  ColumnBatch scratch(view.data->layout_ptr());
+  if (view.contiguous()) {
+    scratch.AppendRangeFrom(*view.data, view.begin, view.len);
+  } else {
+    scratch.GatherFrom(*view.data, view.sel, view.sel_len);
+  }
+  return Consume(scratch);
 }
 
 Result<ColumnarRelation> ColumnarRelation::FromRelation(const Relation& rel) {

@@ -175,6 +175,17 @@ class ColumnBatch {
   void AppendConcatRowFrom(const ColumnBatch& left, int64_t li,
                            const ColumnBatch& right, int64_t ri);
 
+  /// \brief Batch join emit: appends `len` concatenated rows, row k taking
+  /// the left columns/lineage from `left` row `li[k]` and the right ones
+  /// from `right` row `ri[k]`.
+  ///
+  /// Column-at-a-time typed gathers (dispatched SIMD kernels) replace the
+  /// per-row variant walk of AppendConcatRowFrom; the dictionary adopt /
+  /// share / re-intern semantics are identical.
+  void AppendConcatGather(const ColumnBatch& left, const int64_t* li,
+                          const ColumnBatch& right, const int64_t* ri,
+                          int64_t len);
+
   /// Internal: bump the row count after direct column/lineage writes.
   void SetNumRows(int64_t n) { num_rows_ = n; }
 
@@ -274,6 +285,17 @@ class BatchSink {
  public:
   virtual ~BatchSink() = default;
   virtual Status Consume(const ColumnBatch& batch) = 0;
+
+  /// True when the sink consumes SelViews directly — the pipeline driver
+  /// then skips the gather into a scratch batch entirely.
+  virtual bool wants_views() const { return false; }
+
+  /// \brief Consumes the rows of `view` (same stream semantics as Consume).
+  ///
+  /// The default gathers into a temporary batch and forwards to Consume,
+  /// which is correct for every sink; hot-path sinks override both this
+  /// and wants_views() to run gather-free over the borrowed columns.
+  virtual Status ConsumeView(const SelView& view);
 };
 
 }  // namespace gus

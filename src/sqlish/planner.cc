@@ -346,6 +346,18 @@ class ItemFanoutSink final : public MergeableBatchSink {
     return Status::OK();
   }
 
+  // Grouped mode accumulates straight off the selection (no gather);
+  // ungrouped mode keeps the default gather-then-Consume path.
+  bool wants_views() const override { return !groups_.empty(); }
+  Status ConsumeView(const SelView& view) override {
+    if (groups_.empty()) return BatchSink::ConsumeView(view);
+    sample_rows_ += view.num_rows();
+    for (GroupedSumBuilder& builder : groups_) {
+      GUS_RETURN_NOT_OK(builder.ConsumeView(view));
+    }
+    return Status::OK();
+  }
+
   Status MergeFrom(BatchSink* other) override {
     auto* o = static_cast<ItemFanoutSink*>(other);
     sample_rows_ += o->sample_rows_;

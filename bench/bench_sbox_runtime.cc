@@ -28,6 +28,7 @@
 #include "est/sbox.h"
 #include "est/streaming.h"
 #include "plan/columnar_executor.h"
+#include "plan/exec_stats.h"
 #include "plan/parallel_executor.h"
 #include "plan/soa_transform.h"
 #include "util/random.h"
@@ -81,8 +82,8 @@ struct Query1Bench {
   SoaResult soa;
   SboxOptions options;
 
-  explicit Query1Bench(int64_t orders)
-      : data(GenerateTpch(MakeConfig(orders))),
+  explicit Query1Bench(int64_t orders, int gen_threads = 1)
+      : data(GenerateTpch(MakeConfig(orders, gen_threads))),
         catalog(data.MakeCatalog()),
         columnar(&catalog),
         q1(MakeQuery1(MakeParams(orders))),
@@ -95,12 +96,16 @@ struct Query1Bench {
   }
 
  private:
-  static TpchConfig MakeConfig(int64_t orders) {
+  static TpchConfig MakeConfig(int64_t orders, int gen_threads) {
     TpchConfig config;
     config.num_orders = orders;
     config.num_customers = orders / 10;
     config.num_parts = 60;
     config.max_lineitems_per_order = 7;
+    // gen_threads >= 2 switches to the parallel per-entity-stream layout
+    // (a different, equally valid instance) — the big scales use it to
+    // keep data generation out of the measured region.
+    config.gen_threads = gen_threads;
     return config;
   }
   static Query1Params MakeParams(int64_t orders) {
@@ -221,57 +226,53 @@ void PrintEngineComparison() {
 }
 
 /// E3c — morsel-parallel thread scaling, end to end (execute + streaming
-/// SBox) on Query 1. The default scale (orders = 256000, ~1M lineitems)
-/// pushes the working set past L3; the old 32000-order scale still runs
-/// as the "small_" variant so BENCH_*.json trajectories stay comparable.
-/// The baseline is the serial columnar streaming path; the morsel
-/// engine's estimate is bit-identical across worker counts by
-/// construction (|est diff vs 1 thread| = 0), so the table doubles as a
-/// determinism check.
-void PrintThreadScalingAt(int64_t orders, const std::string& name_prefix) {
+/// SBox) on Query 1. The headline scale (orders = 1M, ~3.5M lineitems)
+/// puts the pivot slices, join sides, and emitted batches far past any
+/// L3; the previous 256000-order scale runs as "mid_" and the original
+/// 32000-order scale as "small_" (legacy serial data layout) so
+/// BENCH_*.json trajectories stay comparable. Timing follows RunTimed
+/// (one warmup, then min/median of >= 3 reps); each thread count also
+/// runs once with ExecStats attached so the JSON records where the time
+/// went (prepare / parallel / fold) alongside the totals. The baseline is
+/// the serial columnar streaming path; the morsel engine's estimate is
+/// bit-identical across worker counts by construction (|est diff vs 1
+/// thread| = 0), so the table doubles as a determinism check.
+void PrintThreadScalingAt(int64_t orders, const std::string& name_prefix,
+                          int gen_threads, int64_t morsel_rows) {
   bench::PrintHeader(
       "E3c", "morsel-parallel thread scaling: Query 1 execute + estimate "
              "(orders = " + std::to_string(orders) + ")");
-  Query1Bench bench(orders);
+  Query1Bench bench(orders, gen_threads);
 
-  double best_serial = 1e18;
-  for (int rep = 0; rep < 5; ++rep) {
-    Rng rng(2000 + rep);
-    const auto t0 = std::chrono::steady_clock::now();
+  const bench::TimedResult serial = bench::RunTimed([&] {
+    Rng rng(2000);
     SboxReport report = ValueOrAbort(EstimatePlanStreaming(
         bench.q1.plan, &bench.columnar, &rng, bench.q1.aggregate,
         bench.soa.top, bench.options));
-    const auto t1 = std::chrono::steady_clock::now();
     benchmark::DoNotOptimize(report);
-    best_serial = std::min(
-        best_serial,
-        std::chrono::duration<double, std::milli>(t1 - t0).count());
-  }
+  });
+  const double best_serial = serial.min_ms;
 
-  TablePrinter table({"threads", "time (ms)", "Mrows/s", "speedup vs serial",
-                      "|est diff vs 1 thread|"});
+  TablePrinter table({"threads", "min (ms)", "median (ms)", "Mrows/s",
+                      "speedup vs serial", "|est diff vs 1 thread|"});
   double est_one_thread = 0.0;
   for (const int threads : {1, 2, 4, 8}) {
     ExecOptions exec;
     exec.engine = ExecEngine::kMorselParallel;
     exec.num_threads = threads;
-    // ~115k pivot rows / 4096 ≈ 28 morsels: enough parallel slack for
-    // every worker count measured here (the 32k default would cap the
-    // pipeline at 4 morsels).
-    exec.morsel_rows = 4096;
-    double best = 1e18;
+    // Explicit morsel_rows keeps the split (and therefore the estimate)
+    // identical across the thread counts measured here; the values are
+    // sized for ample parallel slack at each scale.
+    exec.morsel_rows = morsel_rows;
     double est = 0.0;
-    for (int rep = 0; rep < 5; ++rep) {
-      Rng rng(2000 + rep);
-      const auto t0 = std::chrono::steady_clock::now();
+    const bench::TimedResult timed = bench::RunTimed([&] {
+      Rng rng(2000);
       SboxReport report = ValueOrAbort(EstimatePlanParallel(
           bench.q1.plan, &bench.columnar, &rng, bench.q1.aggregate,
           bench.soa.top, bench.options, ExecMode::kSampled, exec));
-      const auto t1 = std::chrono::steady_clock::now();
       est = report.estimate;
-      best = std::min(
-          best, std::chrono::duration<double, std::milli>(t1 - t0).count());
-    }
+    });
+    const double best = timed.min_ms;
     if (threads == 1) est_one_thread = est;
     const double est_diff = std::abs(est - est_one_thread);
     if (est_diff != 0.0) {
@@ -283,7 +284,20 @@ void PrintThreadScalingAt(int64_t orders, const std::string& name_prefix) {
                    threads, est_diff);
       std::abort();
     }
+    // One profiled run per thread count: where the time goes, plus pool
+    // and arena behavior (a separate run so the timed reps above stay
+    // wrapper-free).
+    ExecStats stats;
+    exec.stats = &stats;
+    {
+      Rng rng(2000);
+      SboxReport report = ValueOrAbort(EstimatePlanParallel(
+          bench.q1.plan, &bench.columnar, &rng, bench.q1.aggregate,
+          bench.soa.top, bench.options, ExecMode::kSampled, exec));
+      benchmark::DoNotOptimize(report);
+    }
     table.AddRow({std::to_string(threads), TablePrinter::Num(best, 3),
+                  TablePrinter::Num(timed.median_ms, 3),
                   TablePrinter::Num(bench.lineitems() / best / 1000.0, 2),
                   TablePrinter::Num(best_serial / best, 2),
                   TablePrinter::Num(est_diff, 6)});
@@ -292,22 +306,37 @@ void PrintThreadScalingAt(int64_t orders, const std::string& name_prefix) {
         {{"threads", static_cast<double>(threads)},
          {"orders", static_cast<double>(orders)},
          {"ms", best},
+         {"median_ms", timed.median_ms},
          {"rows_per_sec", bench.lineitems() / (best / 1000.0)},
          {"speedup_vs_serial", best_serial / best},
-         {"est_diff_vs_one_thread", est_diff}});
+         {"est_diff_vs_one_thread", est_diff},
+         {"prepare_ms", stats.prepare_ms},
+         {"parallel_ms", stats.parallel_ms},
+         {"sink_fold_ms", stats.sink_fold_ms},
+         {"morsels", static_cast<double>(stats.morsels)},
+         {"sinks_recycled", static_cast<double>(stats.sinks_recycled)},
+         {"pool_threads_spawned",
+          static_cast<double>(stats.pool_threads_spawned)}});
   }
   std::printf("%s", table.ToString().c_str());
   std::printf(
-      "\nSerial columnar baseline: %.3f ms. |est diff| = 0 is asserted\n"
-      "(the bench aborts otherwise): the morsel split and merge order are\n"
-      "thread-count independent. Speedup tracks the physical core count\n"
-      "of the host.\n",
-      best_serial);
+      "\nSerial columnar baseline: %.3f ms (median %.3f). |est diff| = 0 is\n"
+      "asserted (the bench aborts otherwise): the morsel split and merge\n"
+      "order are thread-count independent. Speedup tracks the physical\n"
+      "core count of the host (hardware threads here: %d).\n",
+      best_serial, serial.median_ms, ThreadPool::HardwareThreads());
 }
 
 void PrintThreadScaling() {
-  PrintThreadScalingAt(256000, "");       // out-of-L3 headline scale
-  PrintThreadScalingAt(32000, "small_");  // the pre-bump scale, for trajectory
+  const int gen_threads = std::max(2, ThreadPool::HardwareThreads());
+  // Headline: ~3.5M lineitems, working set far past L3; ~107 morsels at
+  // 32768 rows. Generated with the parallel layout so gen stays cheap.
+  PrintThreadScalingAt(1000000, "", gen_threads, 32768);
+  // The previous headline scale, for trajectory comparability.
+  PrintThreadScalingAt(256000, "mid_", gen_threads, 4096);
+  // The original scale, legacy serial data layout (bit-identical to the
+  // instances every earlier BENCH_*.json measured).
+  PrintThreadScalingAt(32000, "small_", 1, 4096);
 }
 
 /// E3d — ExecOptions::batch_rows sweep on the serial columnar streaming

@@ -10,6 +10,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -21,6 +23,42 @@
 
 namespace gus {
 namespace bench {
+
+/// min/median wall times of a repeated measurement (see RunTimed).
+struct TimedResult {
+  double min_ms = 0.0;
+  double median_ms = 0.0;
+  int reps = 0;
+};
+
+/// \brief Times `fn` the way the reproduction sections should: one unmeasured
+/// warmup call, then `reps` (>= 3) measured calls, reporting min and median.
+///
+/// The warmup absorbs first-touch page faults, pool thread spawns, and cold
+/// caches; min is the best-case steady-state number the trajectory tracks,
+/// median guards it against one lucky run.
+template <typename Fn>
+TimedResult RunTimed(Fn&& fn, int reps = 3) {
+  using Clock = std::chrono::steady_clock;
+  reps = std::max(reps, 3);
+  fn();  // warmup
+  std::vector<double> ms;
+  ms.reserve(static_cast<size_t>(reps));
+  for (int r = 0; r < reps; ++r) {
+    const Clock::time_point t0 = Clock::now();
+    fn();
+    ms.push_back(
+        std::chrono::duration<double, std::milli>(Clock::now() - t0).count());
+  }
+  std::sort(ms.begin(), ms.end());
+  TimedResult out;
+  out.reps = reps;
+  out.min_ms = ms.front();
+  const size_t mid = ms.size() / 2;
+  out.median_ms = ms.size() % 2 == 1 ? ms[mid]
+                                     : 0.5 * (ms[mid - 1] + ms[mid]);
+  return out;
+}
 
 /// Aborts the bench with a diagnostic if `status` is not OK.
 inline void CheckOk(const Status& status) {

@@ -146,8 +146,8 @@ Result<SboxReport> ShardedSboxEstimate(const PlanPtr& plan,
       static_cast<size_t>(num_shards),
       Result<std::string>(Status::Internal("shard worker did not run")));
   {
-    ThreadPool pool(std::min(num_shards, ThreadPool::HardwareThreads()));
-    pool.ParallelFor(num_shards, [&](int64_t k) {
+    PoolLease pool(std::min(num_shards, ThreadPool::HardwareThreads()));
+    pool->ParallelFor(num_shards, [&](int64_t k) {
       bundles[static_cast<size_t>(k)] =
           RunShardSbox(plan, &columnar, seed, mode, exec,
                        static_cast<int>(k), num_shards, f_expr, gus, options,
@@ -184,8 +184,8 @@ Result<ColumnarRelation> ExecutePlanSharded(const PlanPtr& plan,
       static_cast<size_t>(num_shards),
       Result<ColumnarRelation>(Status::Internal("shard did not run")));
   {
-    ThreadPool pool(std::min(num_shards, ThreadPool::HardwareThreads()));
-    pool.ParallelFor(num_shards, [&](int64_t k) {
+    PoolLease pool(std::min(num_shards, ThreadPool::HardwareThreads()));
+    pool->ParallelFor(num_shards, [&](int64_t k) {
       const ShardSpec& spec = sp.shards[static_cast<size_t>(k)];
       Rng* use = spec.shard_index == 0 ? rng : &worker_rngs[k];
       parts[static_cast<size_t>(k)] =

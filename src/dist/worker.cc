@@ -21,6 +21,11 @@ class SboxShardSink final : public MergeableBatchSink {
     return est_.Merge(std::move(static_cast<SboxShardSink*>(other)->est_));
   }
 
+  bool Recycle() override {
+    est_.Reset();
+    return true;
+  }
+
   StreamingSboxEstimator* estimator() { return &est_; }
 
  private:

@@ -351,6 +351,21 @@ Result<SboxReport> StreamingSboxEstimator::Finish() {
   return report;
 }
 
+void StreamingSboxEstimator::Reset() {
+  // Everything Consume/Merge/Finish accumulate goes back to the
+  // just-Made state; gus_/options_/source_/bound_ are the immutable
+  // binding and stay.
+  rows_seen_ = 0;
+  closed_sums_.clear();
+  open_sum_ = 0.0;
+  open_rows_ = 0;
+  f_scratch_.clear();
+  retained_.schema = gus_.schema();
+  retained_.lineage.assign(gus_.schema().arity(), {});
+  retained_.f.clear();
+  ustar_.clear();
+}
+
 namespace {
 
 /// Adapts StreamingSboxEstimator to the morsel executor's sink protocol.
@@ -365,6 +380,11 @@ class SboxEstimatorSink final : public MergeableBatchSink {
 
   Status MergeFrom(BatchSink* other) override {
     return est_.Merge(std::move(static_cast<SboxEstimatorSink*>(other)->est_));
+  }
+
+  bool Recycle() override {
+    est_.Reset();
+    return true;
   }
 
   StreamingSboxEstimator* estimator() { return &est_; }

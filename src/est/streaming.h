@@ -121,6 +121,18 @@ class StreamingSboxEstimator final : public BatchSink {
   /// materialized view.
   Result<SboxReport> Finish();
 
+  /// \brief Returns the estimator to its just-Made empty state, keeping
+  /// the (immutable) binding: schema map, bound expression, GUS parameters,
+  /// and options.
+  ///
+  /// After Reset() the estimator consumes a fresh stream exactly as a
+  /// newly Made instance would — this is what lets the parallel executor's
+  /// sink arena recycle one estimator across many morsels instead of
+  /// re-binding per morsel. Merge never reads the binding state, so a
+  /// recycled estimator is indistinguishable from a fresh one by
+  /// construction.
+  void Reset();
+
   /// Rows currently retained for the y_S path (diagnostic; bounded at
   /// roughly 2x the subsample target once the stream exceeds it).
   int64_t retained_rows() const { return retained_.num_rows(); }

@@ -110,10 +110,14 @@ Result<bool> JoinHashTable::TryBuild(const uint64_t* hashes, int64_t num_rows,
   const int shift = Log2Pow2(region_size);
   const int workers = static_cast<int>(std::min<int64_t>(
       std::max(1, num_threads), std::max<int64_t>(num_regions, 1)));
-  std::optional<ThreadPool> pool;
-  if (workers > 1) pool.emplace(workers);
+  // Shared-pool lease: top-level builds reuse the process pool's workers
+  // instead of spawning per build; builds issued from inside a pool task
+  // (in-process shard workers) get a transient pool. The work split below
+  // is a pure function of (hashes, cap, region_size, workers), never of
+  // how many pool threads actually ran, so the table stays deterministic.
+  PoolLease pool(workers);
   auto parallel_for = [&](int64_t n, const std::function<void(int64_t)>& fn) {
-    if (pool.has_value()) {
+    if (workers > 1) {
       pool->ParallelFor(n, fn);
     } else {
       for (int64_t i = 0; i < n; ++i) fn(i);

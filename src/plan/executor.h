@@ -62,6 +62,23 @@ enum class ExecMode { kSampled, kExact };
 /// auto-sized, so the split never depends on num_threads either.
 enum class ExecEngine { kRowAtATime, kColumnar, kMorselParallel, kSharded };
 
+struct ExecStats;  // plan/exec_stats.h
+
+/// \brief How kMorselParallel hands morsels to workers.
+///
+/// Pure scheduling: every morsel still runs with its index-keyed Rng
+/// stream and folds in ascending index order, so placement NEVER changes
+/// any row, estimate, or digest — only which worker's cache (and NUMA
+/// node, on multi-socket hosts) first touches each pivot slice.
+enum class MorselPlacement {
+  /// One global claim cursor; best load balance under skew.
+  kDynamic,
+  /// Contiguous per-worker morsel ranges (worker w gets the w-th slice of
+  /// the morsel sequence) with ring stealing once a range drains.
+  /// First-touch friendly: adjacent pivot slices stay on one worker.
+  kRangeBound,
+};
+
 /// Default rows per columnar pipeline batch.
 inline constexpr int64_t kDefaultBatchRows = 2048;
 
@@ -93,13 +110,16 @@ struct ExecOptions {
   int64_t batch_rows = kDefaultBatchRows;
   /// \brief Rows per morsel for kMorselParallel.
   ///
-  /// 0 (the default) sizes morsels automatically from the pivot relation's
-  /// row count and num_threads (at least four morsels per worker, clamped
-  /// to [kMinAutoMorselRows, kMaxAutoMorselRows]). An explicit value >= 1
-  /// is authoritative and part of the result's identity: it fixes which
-  /// forked Rng stream draws each row, making results reproducible across
-  /// thread counts — auto-sized runs reproduce only at a fixed
-  /// num_threads, because the heuristic reads it.
+  /// 0 (the default) sizes morsels automatically: at least four morsels
+  /// per worker for scheduling slack, shrunk until one morsel's weighted
+  /// working set (pivot row bytes x plan cost weight) fits a ~2 MiB cache
+  /// budget, clamped to [kMinAutoMorselRows, kMaxAutoMorselRows]. An
+  /// explicit value >= 1 is authoritative and part of the result's
+  /// identity: it fixes which forked Rng stream draws each row, making
+  /// results reproducible across thread counts — auto-sized runs
+  /// reproduce only at a fixed num_threads, because the heuristic reads
+  /// it (the pivot layout and plan shape it also reads are fixed for a
+  /// given query).
   int64_t morsel_rows = 0;
   /// \brief Logical shards for kSharded (ignored by the other engines).
   ///
@@ -108,6 +128,19 @@ struct ExecOptions {
   /// so this knob trades per-shard work against shard count without
   /// touching the statistics.
   int num_shards = 1;
+  /// \brief Morsel-to-worker placement for kMorselParallel.
+  ///
+  /// A pure scheduling knob (see MorselPlacement): results are identical
+  /// for every value, pinned by the placement-parity tests.
+  MorselPlacement placement = MorselPlacement::kDynamic;
+  /// \brief Optional execution profile output (not owned; may be null).
+  ///
+  /// When set, the parallel engines Reset() and fill it with per-phase
+  /// wall times and work counters (see plan/exec_stats.h). Never read by
+  /// the execution logic, so it cannot change any result. The GUS_PROFILE
+  /// environment variable additionally dumps the same profile to stderr
+  /// whether or not this is set.
+  ExecStats* stats = nullptr;
 
   Status Validate() const {
     if (batch_rows < 1) {

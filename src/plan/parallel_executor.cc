@@ -1,6 +1,9 @@
 #include "plan/parallel_executor.h"
 
 #include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
 #include <limits>
 #include <map>
 #include <mutex>
@@ -9,6 +12,7 @@
 #include <vector>
 
 #include "kernels/join_hash_table.h"
+#include "plan/exec_stats.h"
 #include "kernels/key_hash.h"
 #include "kernels/sampling_kernels.h"
 #include "sampling/samplers.h"
@@ -501,31 +505,84 @@ class BlockSampleSource final : public BatchSource {
 
 // ---- Split geometry --------------------------------------------------------
 
-/// \brief Auto morsel sizing (ExecOptions::morsel_rows == 0): at least
-/// four morsels per worker for scheduling slack, clamped to
-/// [kMinAutoMorselRows, kMaxAutoMorselRows].
-///
-/// Deterministic in (pivot rows, num_threads) — but because it reads
-/// num_threads, auto-sized results are only reproducible at a fixed
-/// thread count; callers needing thread-count-invariant draws set
-/// morsel_rows explicitly (the knob stays authoritative).
-int64_t AutoMorselRows(int64_t pivot_rows, int num_threads) {
-  const int64_t morsels_wanted = int64_t{4} * std::max(1, num_threads);
-  const int64_t rows = (pivot_rows + morsels_wanted - 1) / morsels_wanted;
-  return std::clamp(rows, kMinAutoMorselRows, kMaxAutoMorselRows);
+/// Approximate bytes one pivot row occupies in the hot loop: 8 per numeric
+/// column, 4 per dictionary-coded string column, 8 per lineage dimension.
+int64_t RowBytes(const BatchLayout& layout) {
+  int64_t bytes = int64_t{8} * layout.lineage_arity();
+  for (int c = 0; c < layout.schema.num_columns(); ++c) {
+    bytes += layout.schema.column(c).type == ValueType::kString ? 4 : 8;
+  }
+  return bytes;
 }
 
-// The (pivot rows, options, block alignment) -> split geometry formulas,
-// shared by AnalyzeMorselSplit (shard planning) and PrepareMorselProgram
-// (execution): the dist/ layer's correctness requires the planned and
-// executed unit sequences to be the same, so there is exactly one
-// implementation.
+/// \brief Coarse per-row operator cost of the plan: 1 + the number of
+/// join / product / union nodes.
+///
+/// Each such operator roughly doubles a morsel's working set (probe output,
+/// product emit, second branch), so the auto sizer shrinks morsels
+/// proportionally. Deterministic in the plan shape alone.
+int PlanCostWeight(const PlanPtr& plan) {
+  int weight = 1;
+  std::function<void(const PlanPtr&)> walk = [&](const PlanPtr& node) {
+    if (node->op() == PlanOp::kJoin || node->op() == PlanOp::kProduct ||
+        node->op() == PlanOp::kUnion) {
+      ++weight;
+    }
+    for (int c = 0; c < node->num_children(); ++c) {
+      walk(c == 0 ? node->left() : node->right());
+    }
+  };
+  walk(plan);
+  return weight;
+}
 
-int64_t ResolveMorselRows(int64_t pivot_rows, const ExecOptions& options,
+/// \brief Per-morsel working-set budget for auto sizing (phase 2).
+///
+/// Sized from the BENCH_E3_E4.json trajectory: the E4 kernel sweeps fall
+/// off their fast tier once the touched span leaves the low megabytes
+/// (private L2 territory), while the E3d batch-size sweep is flat — so the
+/// morsel, not the batch, is the right cache-residency lever. 2 MiB keeps
+/// a morsel's pivot slice plus one operator expansion inside a typical
+/// private L2/L3 slice without creating so many morsels that claim/fold
+/// overhead shows.
+constexpr int64_t kAutoMorselBytesTarget = int64_t{2} << 20;
+
+/// \brief Auto morsel sizing (ExecOptions::morsel_rows == 0), phase 2:
+/// at least four morsels per worker for scheduling slack, shrunk so a
+/// morsel's weighted working set (pivot row bytes x plan cost weight)
+/// fits kAutoMorselBytesTarget, clamped to
+/// [kMinAutoMorselRows, kMaxAutoMorselRows].
+///
+/// Deterministic in (pivot rows, pivot layout, plan shape, num_threads) —
+/// but because it reads num_threads, auto-sized results are only
+/// reproducible at a fixed thread count; callers needing
+/// thread-count-invariant draws set morsel_rows explicitly (the knob
+/// stays authoritative).
+int64_t AutoMorselRows(int64_t pivot_rows, int64_t pivot_row_bytes,
+                       int cost_weight, int num_threads) {
+  const int64_t morsels_wanted = int64_t{4} * std::max(1, num_threads);
+  const int64_t slack_rows = (pivot_rows + morsels_wanted - 1) / morsels_wanted;
+  const int64_t weighted_bytes =
+      std::max<int64_t>(1, pivot_row_bytes) * std::max(1, cost_weight);
+  const int64_t cache_rows =
+      std::max<int64_t>(1, kAutoMorselBytesTarget / weighted_bytes);
+  return std::clamp(std::min(slack_rows, cache_rows), kMinAutoMorselRows,
+                    kMaxAutoMorselRows);
+}
+
+// The (pivot rows/layout, plan, options, block alignment) -> split geometry
+// formulas, shared by AnalyzeMorselSplit (shard planning) and
+// PrepareMorselProgram (execution): the dist/ layer's correctness requires
+// the planned and executed unit sequences to be the same, so there is
+// exactly one implementation.
+
+int64_t ResolveMorselRows(int64_t pivot_rows, int64_t pivot_row_bytes,
+                          int cost_weight, const ExecOptions& options,
                           int64_t block_align) {
   int64_t rows = options.morsel_rows > 0
                      ? options.morsel_rows
-                     : AutoMorselRows(pivot_rows, options.num_threads);
+                     : AutoMorselRows(pivot_rows, pivot_row_bytes, cost_weight,
+                                      options.num_threads);
   if (block_align > 1) {
     // Blocks are indivisible morsel units: round the morsel up to whole
     // blocks so one block's rows always share an execution unit.
@@ -878,8 +935,9 @@ Result<MorselProgram> PrepareMorselProgram(const PlanPtr& plan,
   prog.mode = mode;
   prog.pivot_name = pivot;
   GUS_ASSIGN_OR_RETURN(prog.pivot_rel, catalog->Get(pivot));
-  prog.morsel_rows = ResolveMorselRows(prog.pivot_rel->num_rows(), options,
-                                       BlockAlignFor(plan, pivot));
+  prog.morsel_rows = ResolveMorselRows(
+      prog.pivot_rel->num_rows(), RowBytes(prog.pivot_rel->layout()),
+      PlanCostWeight(plan), options, BlockAlignFor(plan, pivot));
   GUS_ASSIGN_OR_RETURN(prog.root,
                        CompileNode(plan, catalog, rng, mode, options, &prog));
   AssignStreamOk(prog.root.get());
@@ -887,26 +945,200 @@ Result<MorselProgram> PrepareMorselProgram(const PlanPtr& plan,
   return prog;
 }
 
-/// Materializing sink for ExecutePlanMorsel.
+/// \brief Materializing sink for ExecutePlanMorsel: each morsel's batches
+/// accumulate into one part, and the ordered fold just *collects* the
+/// parts (an O(1) list splice) instead of copying them into a growing
+/// relation on the single folder thread.
+///
+/// The actual concatenation — the serial tail the old fold spent its time
+/// in — runs once at the end, parallel over parts
+/// (ConcatPartsToRelation), producing bit-identical bytes to folding with
+/// sequential AppendBatch calls.
 class RelationSink final : public MergeableBatchSink {
  public:
-  explicit RelationSink(LayoutPtr layout) : rel_(std::move(layout)) {}
+  explicit RelationSink(LayoutPtr layout)
+      : layout_(std::move(layout)), part_(layout_) {}
 
   Status Consume(const ColumnBatch& batch) override {
-    rel_.AppendBatch(batch);
+    part_.AppendBatch(batch);
     return Status::OK();
   }
 
   Status MergeFrom(BatchSink* other) override {
     auto* o = static_cast<RelationSink*>(other);
-    rel_.AppendBatch(o->rel_.data());
+    // Fold order == morsel order, so appending the later sink's parts
+    // after ours preserves the global part sequence.
+    if (o->part_.num_rows() > 0) parts_.push_back(std::move(o->part_));
+    for (ColumnarRelation& p : o->parts_) parts_.push_back(std::move(p));
+    o->parts_.clear();
     return Status::OK();
   }
 
-  ColumnarRelation TakeRelation() { return std::move(rel_); }
+  bool Recycle() override {
+    part_ = ColumnarRelation(layout_);
+    parts_.clear();
+    return true;
+  }
+
+  /// This sink's own part followed by every collected one, in fold order.
+  std::vector<ColumnarRelation> TakeParts() {
+    std::vector<ColumnarRelation> out;
+    out.reserve(parts_.size() + 1);
+    out.push_back(std::move(part_));
+    for (ColumnarRelation& p : parts_) out.push_back(std::move(p));
+    parts_.clear();
+    return out;
+  }
+
+  const LayoutPtr& layout() const { return layout_; }
 
  private:
-  ColumnarRelation rel_;
+  LayoutPtr layout_;
+  ColumnarRelation part_;                // this sink's consumed rows
+  std::vector<ColumnarRelation> parts_;  // merged later parts, in order
+};
+
+/// \brief Concatenates morsel parts into one relation, bit-identical to
+/// appending them sequentially (ColumnarRelation::AppendBatch part by
+/// part) but with the column copies parallel over parts.
+///
+/// The only order-sensitive work — string-dictionary unification — runs
+/// serially first, walking the parts in order and replicating
+/// AppendRangeFrom's semantics exactly: the first non-empty part's
+/// dictionary is adopted (shared), later parts with the same dictionary
+/// pointer copy codes verbatim, others intern their values in part order
+/// and get a code remap table. Every destination row range is then
+/// disjoint, so parts copy concurrently.
+ColumnarRelation ConcatPartsToRelation(const LayoutPtr& layout,
+                                       std::vector<ColumnarRelation> parts,
+                                       ThreadPool* pool, int workers) {
+  // Non-empty parts in order, with destination row offsets.
+  std::vector<const ColumnBatch*> src;
+  std::vector<int64_t> offset;
+  int64_t total = 0;
+  for (const ColumnarRelation& p : parts) {
+    if (p.num_rows() == 0) continue;
+    src.push_back(&p.data());
+    offset.push_back(total);
+    total += p.num_rows();
+  }
+  ColumnarRelation out(layout);
+  if (total == 0) return out;
+  ColumnBatch* dst = out.mutable_data();
+
+  const int num_cols = layout->schema.num_columns();
+  const int arity = layout->lineage_arity();
+  const int64_t num_parts = static_cast<int64_t>(src.size());
+
+  // Serial phase: dictionary unification in part order. remaps[p][c] is
+  // empty when part p's column c copies codes verbatim.
+  std::vector<std::vector<std::vector<uint32_t>>> remaps(
+      static_cast<size_t>(num_parts));
+  for (int c = 0; c < num_cols; ++c) {
+    if (layout->schema.column(c).type != ValueType::kString) continue;
+    ColumnData* dc = dst->mutable_column(c);
+    for (int64_t p = 0; p < num_parts; ++p) {
+      const ColumnData& from = src[p]->column(c);
+      if (dc->dict == nullptr) {
+        dc->dict = from.dict;  // first non-empty part: adopt (shared)
+      }
+      if (dc->dict != from.dict && from.dict != nullptr) {
+        remaps[p].resize(num_cols);
+        std::vector<uint32_t> remap;
+        remap.reserve(from.dict->values.size());
+        for (const std::string& s : from.dict->values) {
+          remap.push_back(dc->dict->Intern(s));
+        }
+        remaps[p][c] = std::move(remap);
+      }
+    }
+  }
+
+  // Pre-size the destination, then copy parts into their disjoint ranges.
+  for (int c = 0; c < num_cols; ++c) {
+    ColumnData* dc = dst->mutable_column(c);
+    switch (dc->type) {
+      case ValueType::kInt64: dc->i64.resize(total); break;
+      case ValueType::kFloat64: dc->f64.resize(total); break;
+      case ValueType::kString: dc->codes.resize(total); break;
+    }
+  }
+  dst->mutable_lineage()->resize(static_cast<size_t>(total) * arity);
+  dst->SetNumRows(total);
+
+  const auto copy_part = [&](int64_t p) {
+    const ColumnBatch& from = *src[p];
+    const int64_t rows = from.num_rows();
+    const int64_t at = offset[p];
+    for (int c = 0; c < num_cols; ++c) {
+      const ColumnData& fc = from.column(c);
+      ColumnData* dc = dst->mutable_column(c);
+      switch (dc->type) {
+        case ValueType::kInt64:
+          std::copy_n(fc.i64.begin(), rows, dc->i64.begin() + at);
+          break;
+        case ValueType::kFloat64:
+          std::copy_n(fc.f64.begin(), rows, dc->f64.begin() + at);
+          break;
+        case ValueType::kString: {
+          const std::vector<uint32_t>* remap =
+              remaps[p].empty() || remaps[p][c].empty() ? nullptr
+                                                        : &remaps[p][c];
+          if (remap == nullptr) {
+            std::copy_n(fc.codes.begin(), rows, dc->codes.begin() + at);
+          } else {
+            for (int64_t i = 0; i < rows; ++i) {
+              dc->codes[at + i] = (*remap)[fc.codes[i]];
+            }
+          }
+          break;
+        }
+      }
+    }
+    std::copy_n(from.lineage().begin(), static_cast<size_t>(rows) * arity,
+                dst->mutable_lineage()->begin() +
+                    static_cast<size_t>(at) * arity);
+  };
+
+  if (pool == nullptr || workers <= 1 || num_parts <= 1) {
+    for (int64_t p = 0; p < num_parts; ++p) copy_part(p);
+  } else {
+    pool->ParallelForChunked(num_parts, /*chunk=*/1, workers,
+                             ThreadPool::Placement::kDynamic,
+                             [&](int, int64_t b, int64_t e) {
+                               for (int64_t p = b; p < e; ++p) copy_part(p);
+                             });
+  }
+  return out;
+}
+
+// ---- Profiling helpers -----------------------------------------------------
+
+using StatsClock = std::chrono::steady_clock;
+
+double MsBetween(StatsClock::time_point a, StatsClock::time_point b) {
+  return std::chrono::duration<double, std::milli>(b - a).count();
+}
+
+/// Pass-through sink counting emitted rows for ExecStats (bytes derive
+/// from the layout's row width once, not per batch).
+class CountingSink final : public BatchSink {
+ public:
+  CountingSink(BatchSink* inner, int64_t* rows) : inner_(inner), rows_(rows) {}
+
+  Status Consume(const ColumnBatch& batch) override {
+    *rows_ += batch.num_rows();
+    return inner_->Consume(batch);
+  }
+  bool wants_views() const override { return inner_->wants_views(); }
+  Status ConsumeView(const SelView& view) override {
+    *rows_ += view.num_rows();
+    return inner_->ConsumeView(view);
+  }
+
+ private:
+  BatchSink* inner_;
+  int64_t* rows_;
 };
 
 }  // namespace
@@ -930,7 +1162,8 @@ Result<MorselSplit> AnalyzeMorselSplit(const PlanPtr& plan,
   split.pivot_rows = rel->num_rows();
   split.block_align = BlockAlignFor(plan, split.pivot_relation);
   split.morsel_rows =
-      ResolveMorselRows(split.pivot_rows, options, split.block_align);
+      ResolveMorselRows(split.pivot_rows, RowBytes(rel->layout()),
+                        PlanCostWeight(plan), options, split.block_align);
   split.num_units = MorselCount(split.pivot_rows, split.morsel_rows);
   return split;
 }
@@ -942,6 +1175,20 @@ Status ParallelExecuteUnitRangeToSink(
     std::unique_ptr<MergeableBatchSink>* out, uint64_t* stream_base_out,
     std::vector<ResolvedPivotSampler>* samplers_out) {
   GUS_RETURN_NOT_OK(options.Validate());
+  // Profile plumbing. Collection stays off (null stats, no counting
+  // wrappers, no timers read per batch) unless the caller passed
+  // options.stats or the GUS_PROFILE environment variable asked for dumps.
+  ExecStats env_stats;
+  ExecStats* stats = options.stats;
+  if (stats == nullptr && ProfileEnvEnabled()) stats = &env_stats;
+  if (stats != nullptr) stats->Reset();
+  const StatsClock::time_point t_start = StatsClock::now();
+  const auto emit_profile = [&] {
+    if (stats != nullptr && ProfileEnvEnabled()) {
+      std::fputs(stats->ToString().c_str(), stderr);
+    }
+  };
+
   if (stream_base_out != nullptr) *stream_base_out = 0;
   if (samplers_out != nullptr) samplers_out->clear();
   const std::vector<std::string> cands = PivotRelations(plan, mode);
@@ -954,8 +1201,29 @@ Status ParallelExecuteUnitRangeToSink(
         CompileBatchPipeline(plan, catalog, rng, mode, options.batch_rows));
     GUS_ASSIGN_OR_RETURN(std::unique_ptr<MergeableBatchSink> sink,
                          make_sink(*pipeline->layout()));
+    if (stats != nullptr) {
+      stats->serial_fallback = true;
+      stats->workers = 1;
+      stats->sinks_created = 1;
+      stats->prepare_ms = MsBetween(t_start, StatsClock::now());
+    }
     if (unit_begin <= 0 && unit_end > 0) {
-      GUS_RETURN_NOT_OK(PumpToSink(pipeline.get(), sink.get()));
+      if (stats != nullptr) {
+        const StatsClock::time_point t_run = StatsClock::now();
+        int64_t rows = 0;
+        CountingSink counter(sink.get(), &rows);
+        GUS_RETURN_NOT_OK(PumpToSink(pipeline.get(), &counter));
+        stats->morsels = 1;
+        stats->rows_emitted = rows;
+        stats->bytes_moved = rows * RowBytes(*pipeline->layout());
+        stats->parallel_ms = MsBetween(t_run, StatsClock::now());
+      } else {
+        GUS_RETURN_NOT_OK(PumpToSink(pipeline.get(), sink.get()));
+      }
+    }
+    if (stats != nullptr) {
+      stats->total_ms = MsBetween(t_start, StatsClock::now());
+      emit_profile();
     }
     *out = std::move(sink);
     return Status::OK();
@@ -979,7 +1247,27 @@ Status ParallelExecuteUnitRangeToSink(
   unit_end = std::clamp<int64_t>(unit_end, unit_begin, num_morsels);
   if (unit_begin >= unit_end) {
     GUS_ASSIGN_OR_RETURN(*out, make_sink(*program.out_layout));
+    if (stats != nullptr) {
+      stats->sinks_created = 1;
+      stats->prepare_ms = MsBetween(t_start, StatsClock::now());
+      stats->total_ms = stats->prepare_ms;
+      emit_profile();
+    }
     return Status::OK();
+  }
+
+  const int64_t range_units = unit_end - unit_begin;
+  const int workers = static_cast<int>(
+      std::min<int64_t>(std::max(1, options.num_threads), range_units));
+  const int64_t out_row_bytes =
+      stats != nullptr ? RowBytes(*program.out_layout) : 0;
+  if (stats != nullptr) {
+    stats->pivot_rows = program.pivot_rel->num_rows();
+    stats->morsels = range_units;
+    stats->morsel_rows = program.morsel_rows;
+    stats->workers = workers;
+    stats->worker_morsels.assign(workers, 0);
+    stats->prepare_ms = MsBetween(t_start, StatsClock::now());
   }
 
   // Ordered fold: per-morsel sinks merge in strictly ascending morsel
@@ -987,34 +1275,52 @@ Status ParallelExecuteUnitRangeToSink(
   // scheduling or worker count. The fold itself runs *outside* the mutex
   // (merges can be large — a materializing sink copies whole partitions);
   // `merging` guarantees a single folder at a time, so `merged` needs no
-  // lock of its own and the fold order stays strictly sequential.
+  // lock of its own and the fold order stays strictly sequential. Sinks
+  // whose Recycle() succeeds after being absorbed go back to `arena` and
+  // serve later morsels, replacing a per-morsel factory call with a reset.
   std::mutex mu;
   std::map<int64_t, std::unique_ptr<MergeableBatchSink>> pending;
   int64_t next_merge = unit_begin;
   bool merging = false;
   std::unique_ptr<MergeableBatchSink> merged;
   Status error;
+  std::vector<std::unique_ptr<MergeableBatchSink>> arena;
+  int64_t sinks_created = 0;
+  int64_t sinks_recycled = 0;
+  double fold_ms = 0.0;
+  std::atomic<int64_t> rows_emitted{0};
 
-  const int64_t range_units = unit_end - unit_begin;
-  const int workers = static_cast<int>(
-      std::min<int64_t>(std::max(1, options.num_threads), range_units));
-  ThreadPool pool(workers);
-  pool.ParallelFor(range_units, [&](int64_t i) {
-    const int64_t m = unit_begin + i;
+  const auto run_morsel = [&](int worker, int64_t m) {
     {
       std::lock_guard<std::mutex> lock(mu);
       if (!error.ok()) return;
+    }
+    if (stats != nullptr) {
+      // Distinct slot per worker; published by the pool's completion sync.
+      stats->worker_morsels[worker] += 1;
     }
     Rng morsel_rng = Rng::ForkStream(stream_base, static_cast<uint64_t>(m));
     Status status;
     std::unique_ptr<MergeableBatchSink> sink;
     do {
-      auto sink_or = make_sink(*program.out_layout);
-      if (!sink_or.ok()) {
-        status = sink_or.status();
-        break;
+      {
+        std::lock_guard<std::mutex> lock(mu);
+        if (!arena.empty()) {
+          sink = std::move(arena.back());
+          arena.pop_back();
+          ++sinks_recycled;
+        } else {
+          ++sinks_created;
+        }
       }
-      sink = std::move(sink_or).ValueOrDie();
+      if (sink == nullptr) {
+        auto sink_or = make_sink(*program.out_layout);
+        if (!sink_or.ok()) {
+          status = sink_or.status();
+          break;
+        }
+        sink = std::move(sink_or).ValueOrDie();
+      }
       auto pipeline_or = program.MakeMorselPipeline(m, &morsel_rng);
       if (!pipeline_or.ok()) {
         status = pipeline_or.status();
@@ -1022,7 +1328,14 @@ Status ParallelExecuteUnitRangeToSink(
       }
       std::unique_ptr<BatchSource> pipeline =
           std::move(pipeline_or).ValueOrDie();
-      status = PumpToSink(pipeline.get(), sink.get());
+      if (stats != nullptr) {
+        int64_t rows = 0;
+        CountingSink counter(sink.get(), &rows);
+        status = PumpToSink(pipeline.get(), &counter);
+        rows_emitted.fetch_add(rows, std::memory_order_relaxed);
+      } else {
+        status = PumpToSink(pipeline.get(), sink.get());
+      }
     } while (false);
 
     {
@@ -1037,6 +1350,7 @@ Status ParallelExecuteUnitRangeToSink(
       merging = true;
     }
     std::vector<std::unique_ptr<MergeableBatchSink>> ready;
+    std::vector<std::unique_ptr<MergeableBatchSink>> recycled;
     while (true) {
       ready.clear();
       {
@@ -1052,6 +1366,9 @@ Status ParallelExecuteUnitRangeToSink(
           return;
         }
       }
+      const StatsClock::time_point t_fold = StatsClock::now();
+      Status fold_error;
+      recycled.clear();
       for (std::unique_ptr<MergeableBatchSink>& next : ready) {
         if (merged == nullptr) {
           merged = std::move(next);
@@ -1059,14 +1376,51 @@ Status ParallelExecuteUnitRangeToSink(
         }
         Status st = merged->MergeFrom(next.get());
         if (!st.ok()) {
-          std::lock_guard<std::mutex> lock(mu);
-          error = st;
+          fold_error = st;
+          break;
+        }
+        if (next->Recycle()) recycled.push_back(std::move(next));
+      }
+      {
+        std::lock_guard<std::mutex> lock(mu);
+        fold_ms += MsBetween(t_fold, StatsClock::now());
+        for (std::unique_ptr<MergeableBatchSink>& s : recycled) {
+          arena.push_back(std::move(s));
+        }
+        if (!fold_error.ok()) {
+          error = fold_error;
           merging = false;
           return;
         }
       }
     }
-  });
+  };
+
+  const ThreadPool::Placement placement =
+      options.placement == MorselPlacement::kRangeBound
+          ? ThreadPool::Placement::kRangeBound
+          : ThreadPool::Placement::kDynamic;
+  PoolLease lease(workers);
+  const StatsClock::time_point t_par = StatsClock::now();
+  lease->ParallelForChunked(range_units, /*chunk=*/1, workers, placement,
+                            [&](int worker, int64_t b, int64_t e) {
+                              for (int64_t i = b; i < e; ++i) {
+                                run_morsel(worker, unit_begin + i);
+                              }
+                            });
+
+  if (stats != nullptr) {
+    stats->parallel_ms = MsBetween(t_par, StatsClock::now());
+    stats->sink_fold_ms = fold_ms;
+    stats->rows_emitted = rows_emitted.load(std::memory_order_relaxed);
+    stats->bytes_moved = stats->rows_emitted * out_row_bytes;
+    stats->sinks_created = sinks_created;
+    stats->sinks_recycled = sinks_recycled;
+    stats->pool_wakeups = lease.wakeups_during();
+    stats->pool_threads_spawned = lease.spawned_during();
+    stats->total_ms = MsBetween(t_start, StatsClock::now());
+    emit_profile();
+  }
 
   GUS_RETURN_NOT_OK(error);
   GUS_CHECK(merged != nullptr);
@@ -1099,7 +1453,34 @@ Result<ColumnarRelation> ExecuteRangeToRelation(
             new RelationSink(LayoutPtr(std::move(ptr))));
       },
       &sink));
-  return static_cast<RelationSink*>(sink.get())->TakeRelation();
+  RelationSink* rel_sink = static_cast<RelationSink*>(sink.get());
+
+  // Gather phase: the fold above only spliced part lists (O(1) per morsel);
+  // the actual concat + dictionary unification copies run here, with the
+  // disjoint per-part copies parallelized.
+  const StatsClock::time_point t_gather = StatsClock::now();
+  std::vector<ColumnarRelation> parts = rel_sink->TakeParts();
+  const int64_t num_parts = static_cast<int64_t>(parts.size());
+  const int workers = static_cast<int>(std::min<int64_t>(
+      std::max(1, options.num_threads), std::max<int64_t>(num_parts, 1)));
+  ColumnarRelation result(rel_sink->layout());
+  if (workers > 1) {
+    PoolLease lease(workers);
+    result = ConcatPartsToRelation(rel_sink->layout(), std::move(parts),
+                                   lease.get(), workers);
+  } else {
+    result = ConcatPartsToRelation(rel_sink->layout(), std::move(parts),
+                                   /*pool=*/nullptr, /*workers=*/1);
+  }
+  const double gather_ms = MsBetween(t_gather, StatsClock::now());
+  if (options.stats != nullptr) {
+    options.stats->gather_ms = gather_ms;
+    options.stats->total_ms += gather_ms;
+  } else if (ProfileEnvEnabled()) {
+    std::fprintf(stderr, "[gus profile]   gather     %.3f ms (%lld parts)\n",
+                 gather_ms, static_cast<long long>(num_parts));
+  }
+  return result;
 }
 
 }  // namespace

@@ -47,7 +47,11 @@
 // catalog, seed, options) the merged result is bit-identical across
 // repeated runs AND, with an explicit morsel_rows, across num_threads
 // values (auto sizing — morsel_rows = 0 — derives the split from the
-// thread count, so it reproduces only at a fixed num_threads). Plans whose
+// thread count plus the pivot layout and plan cost weight, so it
+// reproduces only at a fixed num_threads). Placement (ExecOptions::
+// placement) and profiling (ExecOptions::stats / GUS_PROFILE) are pure
+// scheduling/observation knobs outside this identity: results are
+// identical for every value. Plans whose
 // only Rng consumers are seed-decoupled samplers (WOR / WR / block /
 // lineage-seeded) additionally reproduce the serial row engine's rows bit
 // for bit; plain Bernoulli keeps the same design but a different draw.
@@ -81,6 +85,18 @@ class MergeableBatchSink : public BatchSink {
   /// Absorbs `other` (same concrete type; consumed). The executor never
   /// passes a sink produced by a different factory.
   virtual Status MergeFrom(BatchSink* other) = 0;
+
+  /// \brief Returns this sink to a reusable empty state after its contents
+  /// were absorbed by MergeFrom, or false (the default) to be destroyed.
+  ///
+  /// Sinks that return true land in the executor's per-query reuse arena:
+  /// instead of one allocation (plus expression re-binding, dictionary
+  /// maps, ...) per morsel, the executor cycles roughly one sink per
+  /// worker. Purely an allocation optimization — each morsel's sink still
+  /// consumes only that morsel's stream and still folds in strictly
+  /// ascending morsel order, so results are unchanged by construction
+  /// (pinned by the sink-arena parity tests).
+  virtual bool Recycle() { return false; }
 };
 
 /// \brief Creates one per-morsel sink for the pipeline's output `layout`.

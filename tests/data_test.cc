@@ -102,6 +102,62 @@ TEST(TpchGenTest, ZipfFanoutSkewsTowardsOne) {
   EXPECT_LT(skewed_rows, uniform_rows);
 }
 
+TEST(TpchGenTest, ParallelLayoutIsIdenticalForEveryWorkerCount) {
+  // gen_threads >= 2 selects the forked-stream layout: every row is a pure
+  // function of (seed, entity, index), so the instance must be identical
+  // for every worker count — including oversubscribed ones.
+  TpchConfig base;
+  base.num_orders = 400;
+  base.num_customers = 50;
+  base.num_parts = 30;
+  base.fanout_zipf_theta = 1.2;
+  base.part_zipf_theta = 0.8;
+  base.gen_threads = 2;
+  TpchData two = GenerateTpch(base);
+  for (const int threads : {3, 4, 8}) {
+    SCOPED_TRACE(threads);
+    TpchConfig config = base;
+    config.gen_threads = threads;
+    TpchData other = GenerateTpch(config);
+    const auto expect_same = [](const Relation& a, const Relation& b) {
+      ASSERT_EQ(a.num_rows(), b.num_rows());
+      for (int64_t i = 0; i < a.num_rows(); ++i) {
+        EXPECT_TRUE(a.row(i) == b.row(i)) << "row " << i;
+      }
+    };
+    expect_same(two.customer, other.customer);
+    expect_same(two.part, other.part);
+    expect_same(two.orders, other.orders);
+    expect_same(two.lineitem, other.lineitem);
+  }
+}
+
+TEST(TpchGenTest, SerialLayoutIsUnchangedByTheParallelPath) {
+  // gen_threads == 1 must keep producing the legacy single-stream instance
+  // bit for bit; the parallel layout is a different (equally valid) draw
+  // of the same distribution with the same cardinalities.
+  TpchConfig serial;
+  serial.num_orders = 300;
+  serial.num_customers = 40;
+  serial.num_parts = 25;
+  TpchConfig parallel = serial;
+  parallel.gen_threads = 4;
+  TpchData a = GenerateTpch(serial);
+  TpchData b = GenerateTpch(serial);
+  TpchData p = GenerateTpch(parallel);
+  ASSERT_EQ(a.lineitem.num_rows(), b.lineitem.num_rows());
+  for (int64_t i = 0; i < a.lineitem.num_rows(); ++i) {
+    EXPECT_TRUE(a.lineitem.row(i) == b.lineitem.row(i));
+  }
+  // Fixed-cardinality relations agree across layouts in shape.
+  EXPECT_EQ(a.orders.num_rows(), p.orders.num_rows());
+  EXPECT_EQ(a.customer.num_rows(), p.customer.num_rows());
+  EXPECT_EQ(a.part.num_rows(), p.part.num_rows());
+  EXPECT_GE(p.lineitem.num_rows(), serial.num_orders);
+  EXPECT_LE(p.lineitem.num_rows(),
+            serial.num_orders * serial.max_lineitems_per_order);
+}
+
 TEST(TpchGenTest, CatalogHasPaperNames) {
   TpchData data = GenerateTpch(TpchConfig{});
   Catalog catalog = data.MakeCatalog();

@@ -16,6 +16,7 @@
 #include "est/sbox.h"
 #include "est/streaming.h"
 #include "plan/columnar_executor.h"
+#include "plan/exec_stats.h"
 #include "plan/executor.h"
 #include "plan/parallel_executor.h"
 #include "plan/soa_transform.h"
@@ -472,6 +473,122 @@ TEST(ParallelExecutorTest, UnionOfBernoulliBranchesIsThreadInvariant) {
                                    MorselOptions(threads)));
     ExpectIdenticalRelations(one, many);
   }
+}
+
+// -- Execution profiling, sink arenas, and placement ------------------------
+
+TEST(ParallelExecutorTest, ExecStatsProfileAccountsForTheRun) {
+  Catalog catalog = MakeTinyJoin(80, 4).MakeCatalog();  // F: 320 rows
+  PlanPtr plan = BernoulliJoinPlan();
+  ExecOptions exec = MorselOptions(4);  // morsel_rows=16 -> 20 morsels
+  ExecStats stats;
+  exec.stats = &stats;
+  Rng rng(55);
+  ASSERT_OK_AND_ASSIGN(
+      Relation result,
+      ExecutePlan(plan, catalog, &rng, ExecMode::kSampled, exec));
+  EXPECT_GT(result.num_rows(), 0);
+
+  EXPECT_FALSE(stats.serial_fallback);
+  EXPECT_GT(stats.total_ms, 0.0);
+  // The additive phases never exceed the whole call; sink_fold_ms overlaps
+  // parallel_ms and is deliberately excluded from the sum.
+  EXPECT_LE(stats.prepare_ms + stats.parallel_ms + stats.gather_ms,
+            stats.total_ms + 0.5);
+  EXPECT_LE(stats.sink_fold_ms, stats.total_ms + 0.5);
+
+  EXPECT_EQ(320, stats.pivot_rows);
+  EXPECT_EQ(16, stats.morsel_rows);
+  EXPECT_EQ(20, stats.morsels);
+  EXPECT_GE(stats.workers, 1);
+  EXPECT_LE(stats.workers, 4);
+  ASSERT_EQ(static_cast<size_t>(stats.workers),
+            stats.worker_morsels.size());
+  int64_t claimed = 0;
+  for (const int64_t c : stats.worker_morsels) claimed += c;
+  EXPECT_EQ(stats.morsels, claimed);
+  // Every morsel's sink is either freshly made or served from the arena.
+  EXPECT_EQ(stats.morsels, stats.sinks_created + stats.sinks_recycled);
+  EXPECT_EQ(result.num_rows(), stats.rows_emitted);
+  EXPECT_GT(stats.bytes_moved, 0);
+}
+
+TEST(ParallelExecutorTest, SinkArenaRecyclingKeepsEstimatesBitIdentical) {
+  // The recycled-estimator arena must be invisible in the results: every
+  // thread count produces the same report bit for bit, while the stats
+  // prove the arena actually served morsels.
+  Catalog catalog = MakeTinyJoin(80, 4).MakeCatalog();  // F: 320 rows
+  ColumnarCatalog columnar(&catalog);
+  PlanPtr plan = BernoulliJoinPlan();
+  ASSERT_OK_AND_ASSIGN(SoaResult soa, SoaTransform(plan));
+  SboxOptions options;
+  options.subsample = SubsampleConfig{};
+  options.subsample->target_rows = 50;
+
+  SboxReport baseline;
+  for (const int threads : {1, 2, 4, 8}) {
+    SCOPED_TRACE(threads);
+    ExecOptions exec = MorselOptions(threads);  // 20 morsels
+    ExecStats stats;
+    exec.stats = &stats;
+    Rng rng(21);
+    ASSERT_OK_AND_ASSIGN(
+        SboxReport report,
+        EstimatePlanParallel(plan, &columnar, &rng, Col("v"), soa.top,
+                             options, ExecMode::kSampled, exec));
+    EXPECT_EQ(stats.morsels, stats.sinks_created + stats.sinks_recycled);
+    if (threads == 1) {
+      // Strictly serial fold: morsel 0's sink becomes the merge target and
+      // one more sink cycles through the arena for every later morsel.
+      EXPECT_EQ(2, stats.sinks_created);
+      EXPECT_EQ(stats.morsels - 2, stats.sinks_recycled);
+      baseline = report;
+      continue;
+    }
+    EXPECT_EQ(baseline.estimate, report.estimate);
+    EXPECT_EQ(baseline.variance, report.variance);
+    EXPECT_EQ(baseline.interval.lo, report.interval.lo);
+    EXPECT_EQ(baseline.interval.hi, report.interval.hi);
+    EXPECT_EQ(baseline.sample_rows, report.sample_rows);
+    EXPECT_EQ(baseline.variance_rows, report.variance_rows);
+  }
+}
+
+TEST(ParallelExecutorTest, PlacementKnobDoesNotChangeResults) {
+  // kDynamic vs kRangeBound only changes which worker runs which morsel;
+  // per-morsel streams and the ascending fold make results placement-blind.
+  Catalog catalog = MakeTinyJoin(80, 4).MakeCatalog();
+  PlanPtr plan = BernoulliJoinPlan();
+  ExecOptions dynamic = MorselOptions(4);
+  dynamic.placement = MorselPlacement::kDynamic;
+  ExecOptions bound = MorselOptions(4);
+  bound.placement = MorselPlacement::kRangeBound;
+
+  Rng rng1(303), rng2(303);
+  ASSERT_OK_AND_ASSIGN(
+      Relation a,
+      ExecutePlan(plan, catalog, &rng1, ExecMode::kSampled, dynamic));
+  ASSERT_OK_AND_ASSIGN(
+      Relation b,
+      ExecutePlan(plan, catalog, &rng2, ExecMode::kSampled, bound));
+  EXPECT_GT(a.num_rows(), 0);
+  ExpectIdenticalRelations(a, b);
+
+  ColumnarCatalog columnar(&catalog);
+  ASSERT_OK_AND_ASSIGN(SoaResult soa, SoaTransform(plan));
+  Rng rng3(303), rng4(303);
+  ASSERT_OK_AND_ASSIGN(
+      SboxReport ra,
+      EstimatePlanParallel(plan, &columnar, &rng3, Col("v"), soa.top, {},
+                           ExecMode::kSampled, dynamic));
+  ASSERT_OK_AND_ASSIGN(
+      SboxReport rb,
+      EstimatePlanParallel(plan, &columnar, &rng4, Col("v"), soa.top, {},
+                           ExecMode::kSampled, bound));
+  EXPECT_EQ(ra.estimate, rb.estimate);
+  EXPECT_EQ(ra.variance, rb.variance);
+  EXPECT_EQ(ra.interval.lo, rb.interval.lo);
+  EXPECT_EQ(ra.interval.hi, rb.interval.hi);
 }
 
 TEST(ParallelExecutorTest, MergedReservoirEstimateIsMonteCarloUnbiased) {

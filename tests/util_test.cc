@@ -3,9 +3,12 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cmath>
+#include <cstdint>
 #include <set>
 #include <unordered_set>
+#include <vector>
 
 #include "util/bits.h"
 #include "util/hash.h"
@@ -13,6 +16,7 @@
 #include "util/stats.h"
 #include "util/status.h"
 #include "util/table.h"
+#include "util/thread_pool.h"
 #include "util/zipf.h"
 
 namespace gus {
@@ -335,6 +339,124 @@ TEST(StatsDeathTest, QuantileBoundsAbort) {
 
 TEST(StatsDeathTest, EmptyQuantileAborts) {
   EXPECT_DEATH(EmpiricalQuantile({}, 0.5), "CHECK failed");
+}
+
+// ---------------------------------------------------------- ThreadPool
+
+TEST(ThreadPoolTest, SingleThreadSpawnsNoWorkers) {
+  ThreadPool pool(1);
+  std::vector<int64_t> hits(100, 0);
+  pool.ParallelFor(100, [&](int64_t i) { hits[static_cast<size_t>(i)]++; });
+  for (const int64_t h : hits) EXPECT_EQ(h, 1);
+  EXPECT_EQ(pool.spawned_threads(), 0u);
+}
+
+TEST(ThreadPoolTest, ReusedAcrossBatchesWithoutRespawn) {
+  ThreadPool pool(4);
+  const uint64_t spawned_once = pool.spawned_threads();
+  EXPECT_EQ(spawned_once, 3u);  // caller participates as worker 0
+  std::atomic<int64_t> sum{0};
+  for (int batch = 0; batch < 10; ++batch) {
+    pool.ParallelFor(1000, [&](int64_t i) {
+      sum.fetch_add(i, std::memory_order_relaxed);
+    });
+  }
+  EXPECT_EQ(sum.load(), 10 * (999 * 1000 / 2));
+  // The regression this pins: consecutive ParallelFor calls must reuse
+  // the same workers, not spawn per batch.
+  EXPECT_EQ(pool.spawned_threads(), spawned_once);
+}
+
+TEST(ThreadPoolTest, ChunkedCoversEveryIndexOnce) {
+  for (const ThreadPool::Placement placement :
+       {ThreadPool::Placement::kDynamic, ThreadPool::Placement::kRangeBound}) {
+    for (const int64_t n : {int64_t{1}, int64_t{7}, int64_t{64},
+                            int64_t{1000}}) {
+      for (const int64_t chunk : {int64_t{1}, int64_t{3}, int64_t{256}}) {
+        ThreadPool pool(4);
+        std::vector<std::atomic<int>> hits(static_cast<size_t>(n));
+        for (auto& h : hits) h.store(0);
+        pool.ParallelForChunked(n, chunk, /*max_workers=*/4, placement,
+                                [&](int worker, int64_t b, int64_t e) {
+                                  EXPECT_GE(worker, 0);
+                                  EXPECT_LT(worker, 4);
+                                  for (int64_t i = b; i < e; ++i) {
+                                    hits[static_cast<size_t>(i)]++;
+                                  }
+                                });
+        for (int64_t i = 0; i < n; ++i) {
+          EXPECT_EQ(hits[static_cast<size_t>(i)].load(), 1)
+              << "index " << i << " n " << n << " chunk " << chunk;
+        }
+      }
+    }
+  }
+}
+
+TEST(ThreadPoolTest, NestedParallelForRunsInlineWithoutDeadlock) {
+  ThreadPool pool(4);
+  std::atomic<int64_t> inner_total{0};
+  pool.ParallelFor(8, [&](int64_t) {
+    // Re-entering the same pool from a task must run inline (serially on
+    // this worker) instead of deadlocking on the batch lock.
+    pool.ParallelFor(10, [&](int64_t j) {
+      inner_total.fetch_add(j, std::memory_order_relaxed);
+    });
+  });
+  EXPECT_EQ(inner_total.load(), 8 * 45);
+}
+
+TEST(ThreadPoolTest, EnsureThreadsGrowsButNeverShrinks) {
+  ThreadPool pool(2);
+  EXPECT_EQ(pool.num_threads(), 2);
+  pool.EnsureThreads(4);
+  EXPECT_EQ(pool.num_threads(), 4);
+  EXPECT_EQ(pool.spawned_threads(), 3u);
+  pool.EnsureThreads(2);  // no-op
+  EXPECT_EQ(pool.num_threads(), 4);
+  EXPECT_EQ(pool.spawned_threads(), 3u);
+  std::atomic<int64_t> count{0};
+  pool.ParallelFor(100, [&](int64_t) {
+    count.fetch_add(1, std::memory_order_relaxed);
+  });
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(PoolLeaseTest, TopLevelLeaseUsesSharedPool) {
+  PoolLease a(2);
+  PoolLease b(2);
+  EXPECT_EQ(a.get(), b.get());  // both lease the process-wide pool
+  EXPECT_EQ(a.get(), &ThreadPool::Shared());
+  std::atomic<int64_t> count{0};
+  a->ParallelFor(64, [&](int64_t) {
+    count.fetch_add(1, std::memory_order_relaxed);
+  });
+  EXPECT_EQ(count.load(), 64);
+  // A second lease of the already-grown pool spawns nothing new.
+  PoolLease c(2);
+  EXPECT_EQ(c.spawned_during(), 0u);
+}
+
+TEST(PoolLeaseTest, LeaseInsidePoolTaskIsTransient) {
+  ThreadPool outer(2);
+  std::atomic<bool> in_task_seen{false};
+  std::atomic<bool> transient_ok{false};
+  outer.ParallelFor(2, [&](int64_t) {
+    if (!ThreadPool::InPoolTask()) return;
+    in_task_seen.store(true);
+    PoolLease nested(2);
+    // Nested leases must not target the shared pool (the caller may hold
+    // its batch lock) — they get a private transient pool.
+    if (nested.get() != &ThreadPool::Shared()) {
+      std::atomic<int64_t> count{0};
+      nested->ParallelFor(16, [&](int64_t) {
+        count.fetch_add(1, std::memory_order_relaxed);
+      });
+      transient_ok.store(count.load() == 16);
+    }
+  });
+  EXPECT_TRUE(in_task_seen.load());
+  EXPECT_TRUE(transient_ok.load());
 }
 
 }  // namespace

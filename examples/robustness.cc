@@ -1,18 +1,41 @@
-// "Database as a sample" (paper Section 8): treat the stored database as a
-// 99% Bernoulli sample of a hypothetical slightly-larger truth. A query
-// whose GUS variance is large under that reading is *fragile* — losing or
-// gaining 1% of tuples would visibly move its answer.
+// Robustness, twice over.
 //
-// This example scores several aggregates for robustness and shows that a
-// skew-dominated aggregate is far more fragile than a uniform one.
+// Part 1 — statistical robustness ("database as a sample", paper
+// Section 8): treat the stored database as a 99% Bernoulli sample of a
+// hypothetical slightly-larger truth. A query whose GUS variance is large
+// under that reading is *fragile* — losing or gaining 1% of tuples would
+// visibly move its answer.
+//
+// Part 2 — operational robustness: the same algebra makes a *lost shard*
+// a sampling event rather than a failed query. This part runs the
+// fault-tolerant sharded estimator (dist/coordinator.h) under injected
+// faults: a transient worker failure is retried to a bit-identical
+// answer, and a permanently dead shard degrades — with ExecOptions::
+// allow_partial — to an unbiased estimate with an honestly wider CI and
+// an explicit DegradedReport.
+//
+// Run it with GUS_FAULT set to inject your own faults end to end, e.g.:
+//
+//   GUS_FAULT="worker.execute@1=fail*2"       transient; retries recover
+//   GUS_FAULT="worker.start@2=fail*0"         permanent; degrades
+//   GUS_FAULT="transport.send@0=corrupt"      wire damage; caught + resent
+//
+// (spec grammar: util/fault_inject.h). With GUS_FAULT set, the scripted
+// fault tour is skipped and your spec drives the run instead.
 
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 
 #include "algebra/translate.h"
 #include "data/tpch_gen.h"
+#include "data/workload.h"
+#include "dist/coordinator.h"
 #include "est/sbox.h"
+#include "plan/exec_stats.h"
+#include "plan/soa_transform.h"
 #include "rel/operators.h"
+#include "util/fault_inject.h"
 #include "util/table.h"
 
 namespace {
@@ -48,16 +71,8 @@ RobustnessScore ScoreRobustness(const gus::Relation& rel,
   return {answer, report.stddev, report.stddev / std::fabs(answer)};
 }
 
-}  // namespace
-
-int main() {
+void StatisticalRobustness(const gus::TpchData& data) {
   using namespace gus;
-
-  TpchConfig config;
-  config.num_orders = 20000;
-  config.part_zipf_theta = 1.2;  // skewed part popularity
-  TpchData data = GenerateTpch(config);
-
   TablePrinter table(
       {"aggregate", "answer", "perturbation sigma", "relative"});
 
@@ -79,24 +94,146 @@ int main() {
                 TablePrinter::Num(heavy.sigma, 4),
                 TablePrinter::Num(heavy.relative, 3)});
 
-  // (c) A filtered aggregate over a thin slice: fragility grows as the
-  // slice shrinks.
-  Relation slice = Unwrap(
-      Select(data.lineitem, Gt(Col("l_extendedprice"), Lit(100000.0))));
-  RobustnessScore thin =
-      ScoreRobustness(slice, "l", Col("l_extendedprice"));
-  table.AddRow({"SUM(price | price>100k)",
-                TablePrinter::Num(thin.answer, 6),
-                TablePrinter::Num(thin.sigma, 4),
-                TablePrinter::Num(thin.relative, 3)});
-
   std::printf(
-      "Robustness analysis: the database viewed as a 99%% Bernoulli sample\n"
-      "(would losing 1%% of tuples move the answer?)\n\n%s\n",
+      "== Part 1: the database viewed as a 99%% Bernoulli sample ==\n"
+      "(would losing 1%% of tuples move the answer?)\n\n%s\n"
+      "Skew-dominated aggregates are the fragile ones, exactly as the\n"
+      "paper's robustness application predicts.\n\n",
       table.ToString().c_str());
-  std::printf(
-      "Interpretation: relative sigma is the coefficient of variation under\n"
-      "1%% tuple loss; thin or skew-dominated aggregates are the fragile\n"
-      "ones, exactly as the paper's robustness application predicts.\n");
+}
+
+// ---------------------------------------------------------------------------
+// Part 2: surviving real failures with the same algebra.
+
+constexpr int kShards = 4;
+constexpr uint64_t kSeed = 7;
+
+struct FtQuery {
+  gus::Catalog catalog;
+  gus::Workload q1;
+  gus::SoaResult soa;
+  gus::SboxOptions options;
+  gus::ExecOptions exec;
+
+  explicit FtQuery(const gus::TpchData& data) {
+    using namespace gus;
+    catalog = data.MakeCatalog();
+    Query1Params params;
+    params.lineitem_p = 0.3;
+    params.orders_n = 3000;
+    params.orders_population = 8000;
+    q1 = MakeQuery1(params);
+    soa = Unwrap(SoaTransform(q1.plan));
+    options.subsample = SubsampleConfig{};
+    exec.morsel_rows = 2048;  // fixed: part of the result's identity
+  }
+
+  gus::Result<gus::FaultTolerantResult> Run(const gus::ExecOptions& e) const {
+    return gus::FaultTolerantShardedSboxEstimate(
+        q1.plan, catalog, kSeed, gus::ExecMode::kSampled, e, kShards,
+        q1.aggregate, soa.top, options);
+  }
+};
+
+void PrintFt(const char* label, const gus::FaultTolerantResult& r,
+             const gus::ExecStats& stats) {
+  std::printf("%-26s estimate %.6f  95%% CI [%.6f, %.6f]\n"
+              "%-26s attempts %lld  retries %lld  lost %lld  coverage %.2f\n",
+              label, r.report.estimate, r.report.interval.lo,
+              r.report.interval.hi, "",
+              static_cast<long long>(stats.shard_attempts),
+              static_cast<long long>(stats.shard_retries),
+              static_cast<long long>(stats.shards_lost),
+              stats.effective_coverage);
+  if (r.degraded) {
+    std::printf("%-26s %s\n", "", r.degradation.ToString().c_str());
+  }
+}
+
+int OperationalRobustness(const gus::TpchData& data) {
+  using namespace gus;
+  FtQuery demo(data);
+
+  ExecStats stats;
+  ExecOptions exec = demo.exec;
+  exec.stats = &stats;
+  exec.retry.max_attempts = 3;
+
+  std::printf("== Part 2: fault-tolerant sharded estimation (%d shards) ==\n",
+              kShards);
+
+  // The fault-free truth every faulty run is judged against.
+  FaultTolerantResult clean = Unwrap(demo.Run(exec));
+  PrintFt("fault-free", clean, stats);
+
+  if (FaultInjector::Global()->armed()) {
+    // GUS_FAULT drove the injector from the environment: run the same
+    // query under the user's spec, accepting degradation if it comes.
+    std::printf("\n-- your GUS_FAULT spec --\n");
+    exec.allow_partial = true;
+    exec.retry.deadline_ms = 5000;
+    auto faulted = demo.Run(exec);
+    JoinAbandonedShardAttempts();
+    if (!faulted.ok()) {
+      std::printf("query failed (as it should when the losses are "
+                  "unrecoverable):\n  %s\n",
+                  faulted.status().ToString().c_str());
+      return 0;
+    }
+    PrintFt("under GUS_FAULT", faulted.ValueOrDie(), stats);
+    if (!faulted.ValueOrDie().degraded &&
+        faulted.ValueOrDie().report.estimate == clean.report.estimate) {
+      std::printf("=> recovered bit-identically\n");
+    }
+    return 0;
+  }
+
+  // Scripted tour (run with GUS_FAULT=... to take the wheel yourself).
+  {
+    std::printf("\n-- transient: shard 1's first two executions fail --\n");
+    ScopedFaultPlan plan("worker.execute@1=fail*2");
+    FaultTolerantResult r = Unwrap(demo.Run(exec));
+    PrintFt("after retries", r, stats);
+    if (r.report.estimate != clean.report.estimate) {
+      std::fprintf(stderr, "BUG: retried estimate diverged\n");
+      return 1;
+    }
+    std::printf("=> bit-identical to the fault-free run (a shard's unit\n"
+                "   range re-executes reproducibly from the same seed)\n");
+  }
+  {
+    std::printf("\n-- permanent: shard 2 dies on every attempt --\n");
+    ScopedFaultPlan plan("worker.start@2=fail*0");
+    ExecOptions strict = exec;
+    auto refused = demo.Run(strict);
+    std::printf("without allow_partial: %s\n",
+                refused.ok() ? "BUG: should have failed"
+                             : refused.status().ToString().c_str());
+
+    ExecOptions partial = exec;
+    partial.allow_partial = true;
+    FaultTolerantResult r = Unwrap(demo.Run(partial));
+    PrintFt("degraded (3/4 shards)", r, stats);
+    const double clean_w = clean.report.interval.hi - clean.report.interval.lo;
+    const double degraded_w = r.report.interval.hi - r.report.interval.lo;
+    std::printf("=> unbiased re-weighted estimate; CI widened %.3fx to own\n"
+                "   the loss (survivors are a sample with known inclusion\n"
+                "   probabilities — est/partial_gather.h)\n",
+                degraded_w / clean_w);
+  }
   return 0;
+}
+
+}  // namespace
+
+int main() {
+  gus::TpchConfig config;
+  config.num_orders = 8000;
+  config.num_customers = 800;
+  config.num_parts = 200;
+  config.part_zipf_theta = 1.2;  // skewed part popularity
+  gus::TpchData data = gus::GenerateTpch(config);
+
+  StatisticalRobustness(data);
+  return OperationalRobustness(data);
 }

@@ -15,7 +15,16 @@
 //
 //   example_sharded_estimate --gather --shards N --dir DIR [--seed S]
 //       Gather: read the N shard files, validate consistency, merge, and
-//       print the estimate with its confidence interval.
+//       print the estimate with its confidence interval. With
+//       --allow-partial, shards whose bundles are missing or damaged are
+//       excluded and the survivors re-weighted into an unbiased degraded
+//       estimate (est/partial_gather.h) instead of failing the gather.
+//
+// The full demo also honors GUS_FAULT (util/fault_inject.h) and
+// --deadline-ms: the fault-tolerant scatter/gather retries transient
+// failures with backoff and — under --allow-partial — degrades when a
+// shard exhausts its budget. CI runs the worker/gather form under
+// GUS_FAULT kill specs as its fault smoke.
 //
 // Every process regenerates the same deterministic TPC-H-shaped catalog —
 // the shared-nothing stand-in for "each node holds (a copy of) the base
@@ -32,6 +41,7 @@
 #include "dist/shard.h"
 #include "dist/transport.h"
 #include "dist/worker.h"
+#include "plan/exec_stats.h"
 #include "plan/soa_transform.h"
 
 namespace {
@@ -96,19 +106,52 @@ int RunWorker(const DemoQuery& demo, uint64_t seed, int shard, int shards,
   return 0;
 }
 
-int RunGather(int shards, const std::string& dir) {
+int RunGather(int shards, const std::string& dir, bool allow_partial) {
   FileTransport files(dir);
-  auto report = GatherSboxEstimate(&files, shards);
-  if (!report.ok()) {
-    std::fprintf(stderr, "gather failed: %s\n",
-                 report.status().ToString().c_str());
+  if (!allow_partial) {
+    auto report = GatherSboxEstimate(&files, shards);
+    if (!report.ok()) {
+      std::fprintf(stderr, "gather failed: %s\n",
+                   report.status().ToString().c_str());
+      return 1;
+    }
+    PrintReport("gathered estimate", report.ValueOrDie());
+    return 0;
+  }
+  // A degraded gather must know which lineage agreement sets pin a pair of
+  // rows to one shard — the plan's pivot relation. Every process can
+  // recompute it deterministically, exactly like the workers recompute
+  // their own shard specs.
+  DemoQuery demo;
+  ColumnarCatalog columnar(&demo.catalog);
+  auto sp = PlanShards(demo.q1.plan, &columnar, ExecMode::kSampled,
+                       ShardedExecOptions(demo.exec), shards);
+  if (!sp.ok()) {
+    std::fprintf(stderr, "plan failed: %s\n",
+                 sp.status().ToString().c_str());
     return 1;
   }
-  PrintReport("gathered estimate", report.ValueOrDie());
+  const std::string pivot = sp.ValueOrDie().split.partitionable
+                                ? sp.ValueOrDie().split.pivot_relation
+                                : "";
+  auto result = GatherSboxEstimatePartial(&files, shards, pivot,
+                                          /*allow_partial=*/true);
+  if (!result.ok()) {
+    std::fprintf(stderr, "gather failed: %s\n",
+                 result.status().ToString().c_str());
+    return 1;
+  }
+  const FaultTolerantResult& ft = result.ValueOrDie();
+  PrintReport(ft.degraded ? "DEGRADED estimate" : "gathered estimate",
+              ft.report);
+  if (ft.degraded) {
+    std::printf("  %s\n", ft.degradation.ToString().c_str());
+  }
   return 0;
 }
 
-int RunDemo(const DemoQuery& demo, uint64_t seed) {
+int RunDemo(const DemoQuery& demo, uint64_t seed, bool allow_partial,
+            int64_t deadline_ms) {
   std::printf("Query 1 over %lld lineitems, %lld orders "
               "(seed %llu, morsel_rows %lld)\n\n",
               static_cast<long long>(demo.data.lineitem.num_rows()),
@@ -150,7 +193,35 @@ int RunDemo(const DemoQuery& demo, uint64_t seed) {
     // a separate process: same plan + seed, own catalog, own shard slice.
     if (RunWorker(demo, seed, k, shards, dir) != 0) return 1;
   }
-  return RunGather(shards, dir);
+  if (RunGather(shards, dir, /*allow_partial=*/false) != 0) return 1;
+
+  std::printf("\n-- fault-tolerant scatter/gather (retries + deadlines) --\n");
+  ExecStats stats;
+  ExecOptions ft_exec = demo.exec;
+  ft_exec.stats = &stats;
+  ft_exec.retry.deadline_ms = deadline_ms;
+  ft_exec.allow_partial = allow_partial;
+  auto ft = FaultTolerantShardedSboxEstimate(
+      demo.q1.plan, demo.catalog, seed, ExecMode::kSampled, ft_exec, shards,
+      demo.q1.aggregate, demo.soa.top, demo.options);
+  JoinAbandonedShardAttempts();
+  if (!ft.ok()) {
+    std::fprintf(stderr, "fault-tolerant run failed: %s\n",
+                 ft.status().ToString().c_str());
+    return 1;
+  }
+  const FaultTolerantResult& r = ft.ValueOrDie();
+  PrintReport(r.degraded ? "DEGRADED estimate" : "fault-tolerant estimate",
+              r.report);
+  std::printf("  attempts %lld, retries %lld, deadline hits %lld, "
+              "shards lost %lld, coverage %.2f\n",
+              static_cast<long long>(stats.shard_attempts),
+              static_cast<long long>(stats.shard_retries),
+              static_cast<long long>(stats.shard_deadline_hits),
+              static_cast<long long>(stats.shards_lost),
+              stats.effective_coverage);
+  if (r.degraded) std::printf("  %s\n", r.degradation.ToString().c_str());
+  return 0;
 }
 
 }  // namespace
@@ -158,30 +229,37 @@ int RunDemo(const DemoQuery& demo, uint64_t seed) {
 int main(int argc, char** argv) {
   int worker = -1;
   bool gather = false;
+  bool allow_partial = false;
   int shards = 4;
   uint64_t seed = 7;
+  int64_t deadline_ms = 0;
   std::string dir = "/tmp/gus_sharded_demo";
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--worker") == 0 && i + 1 < argc) {
       worker = std::atoi(argv[++i]);
     } else if (std::strcmp(argv[i], "--gather") == 0) {
       gather = true;
+    } else if (std::strcmp(argv[i], "--allow-partial") == 0) {
+      allow_partial = true;
     } else if (std::strcmp(argv[i], "--shards") == 0 && i + 1 < argc) {
       shards = std::atoi(argv[++i]);
     } else if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
       seed = std::strtoull(argv[++i], nullptr, 10);
+    } else if (std::strcmp(argv[i], "--deadline-ms") == 0 && i + 1 < argc) {
+      deadline_ms = std::atoll(argv[++i]);
     } else if (std::strcmp(argv[i], "--dir") == 0 && i + 1 < argc) {
       dir = argv[++i];
     } else {
       std::fprintf(stderr,
                    "usage: %s [--worker K --shards N | --gather --shards N] "
-                   "[--dir DIR] [--seed S]\n",
+                   "[--allow-partial] [--deadline-ms MS] [--dir DIR] "
+                   "[--seed S]\n",
                    argv[0]);
       return 2;
     }
   }
-  if (gather) return RunGather(shards, dir);
+  if (gather) return RunGather(shards, dir, allow_partial);
   DemoQuery demo;
   if (worker >= 0) return RunWorker(demo, seed, worker, shards, dir);
-  return RunDemo(demo, seed);
+  return RunDemo(demo, seed, allow_partial, deadline_ms);
 }

@@ -1,14 +1,25 @@
 #include "dist/coordinator.h"
 
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <condition_variable>
+#include <cstdio>
 #include <functional>
+#include <memory>
+#include <mutex>
 #include <optional>
+#include <thread>
 #include <utility>
 #include <vector>
 
 #include "dist/worker.h"
 #include "est/streaming.h"
 #include "est/wire.h"
+#include "plan/exec_stats.h"
 #include "plan/parallel_executor.h"
+#include "util/fault_inject.h"
+#include "util/random.h"
 #include "util/thread_pool.h"
 
 namespace gus {
@@ -38,15 +49,14 @@ Status WarmCatalogForPlan(const PlanPtr& plan, ColumnarCatalog* catalog) {
   return walk(plan);
 }
 
-}  // namespace
-
-Result<std::vector<WireSectionView>> ReceiveShardSections(
-    ShardTransport* transport, int shard_index, std::vector<ShardMeta>* metas,
-    std::string* rng_fingerprint, std::vector<std::string>* sampler_payloads,
-    std::string* bundle_storage) {
-  GUS_ASSIGN_OR_RETURN(*bundle_storage, transport->Receive(shard_index));
+/// The shared parse/validate step behind every (complete or partial)
+/// gather: bundle bytes -> sections, with META recorded, the RNGS seed
+/// fingerprint enforced, and a well-formed SMPL section appended.
+Result<std::vector<WireSectionView>> ParseShardSections(
+    std::string_view bundle, int shard_index, std::vector<ShardMeta>* metas,
+    std::string* rng_fingerprint, std::vector<std::string>* sampler_payloads) {
   GUS_ASSIGN_OR_RETURN(std::vector<WireSectionView> sections,
-                       ParseWireBundle(*bundle_storage));
+                       ParseWireBundle(bundle));
   GUS_ASSIGN_OR_RETURN(WireSectionView meta_section,
                        FindWireSection(sections, WireTag::kMeta));
   GUS_ASSIGN_OR_RETURN(ShardMeta meta,
@@ -59,8 +69,8 @@ Result<std::vector<WireSectionView>> ReceiveShardSections(
   } else if (rng_section.payload != *rng_fingerprint) {
     return Status::InvalidArgument(
         "shard " + std::to_string(shard_index) +
-        " started from a different Rng stream than shard 0 (seed "
-        "mismatch); refusing to merge");
+        " started from a different Rng stream than the first gathered "
+        "shard (seed mismatch); refusing to merge");
   }
   // The SMPL section must parse (well-formedness); the cross-shard
   // equality check lives in ValidateShardSamplerStates so callers run it
@@ -70,6 +80,267 @@ Result<std::vector<WireSectionView>> ReceiveShardSections(
   GUS_RETURN_NOT_OK(SamplerStateFromBytes(sampler_section.payload).status());
   sampler_payloads->emplace_back(sampler_section.payload);
   return sections;
+}
+
+/// Registry of attempt threads abandoned at their deadline. Leaked on
+/// purpose: an orphan may still be running at process exit, and joining
+/// it from a static destructor would re-introduce the unbounded wait the
+/// deadline existed to remove.
+std::mutex* OrphanMutex() {
+  static auto* mu = new std::mutex;
+  return mu;
+}
+std::vector<std::thread>* Orphans() {
+  static auto* threads = new std::vector<std::thread>;
+  return threads;
+}
+
+/// \brief Runs `fn` under a wall-clock deadline (0 = unbounded, inline).
+///
+/// On timeout the runner thread is abandoned into the orphan registry —
+/// it only computes (never touches the transport), so a late finisher's
+/// work is simply discarded; re-dispatch re-derives the identical bundle
+/// from the same seed.
+Result<std::string> RunWithDeadline(int64_t deadline_ms, bool* deadline_hit,
+                                    std::function<Result<std::string>()> fn) {
+  *deadline_hit = false;
+  if (deadline_ms <= 0) return fn();
+  struct Slot {
+    std::mutex mu;
+    std::condition_variable cv;
+    bool done = false;
+    Result<std::string> result{Status::Internal("attempt did not run")};
+  };
+  auto slot = std::make_shared<Slot>();
+  std::thread runner([slot, fn = std::move(fn)] {
+    Result<std::string> r = fn();
+    std::lock_guard<std::mutex> lock(slot->mu);
+    slot->result = std::move(r);
+    slot->done = true;
+    slot->cv.notify_all();
+  });
+  std::unique_lock<std::mutex> lock(slot->mu);
+  const bool done =
+      slot->cv.wait_for(lock, std::chrono::milliseconds(deadline_ms),
+                        [&] { return slot->done; });
+  lock.unlock();
+  if (done) {
+    runner.join();
+    return std::move(slot->result);
+  }
+  *deadline_hit = true;
+  {
+    std::lock_guard<std::mutex> guard(*OrphanMutex());
+    Orphans()->push_back(std::move(runner));
+  }
+  return Status::DeadlineExceeded(
+      "shard attempt exceeded its " + std::to_string(deadline_ms) +
+      " ms deadline; abandoned for re-dispatch");
+}
+
+/// Deterministic exponential backoff before re-attempt `attempt` (2-based:
+/// the first retry). Jitter comes from a forked stream keyed on
+/// (shard, attempt), so a fixed fault plan replays the same schedule.
+void SleepBackoff(const ShardRetryPolicy& retry, int64_t shard, int attempt) {
+  if (retry.backoff_base_ms <= 0) return;
+  const double scaled =
+      static_cast<double>(retry.backoff_base_ms) *
+      std::pow(retry.backoff_mult, static_cast<double>(attempt - 2));
+  int64_t ms = std::min(static_cast<int64_t>(scaled), retry.backoff_max_ms);
+  Rng jitter = Rng::ForkStream(retry.jitter_seed,
+                               static_cast<uint64_t>(shard) * 64 +
+                                   static_cast<uint64_t>(attempt));
+  ms += static_cast<int64_t>(
+      jitter.UniformInt(static_cast<uint64_t>(retry.backoff_base_ms) + 1));
+  if (ms > 0) std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+}
+
+/// \brief Folds verified shard bundles — all of them, or a survivors'
+/// subset re-weighted through the shard-survival GUS (est/partial_gather).
+///
+/// `shard_ids`/`bundles` are parallel, ascending. `failed` carries
+/// (shard, final error) for every shard that never delivered.
+Result<FaultTolerantResult> FoldShardBundles(
+    const std::vector<int>& shard_ids,
+    const std::vector<const std::string*>& bundles, int num_shards,
+    const std::string& pivot_relation,
+    const std::vector<std::pair<int, std::string>>& failed) {
+  GUS_RETURN_NOT_OK(FaultInjector::Global()->Hit("coordinator.gather"));
+  if (shard_ids.empty()) {
+    return Status::Unavailable(
+        "no shard delivered a bundle; nothing to estimate from");
+  }
+  std::vector<ShardMeta> metas;
+  metas.reserve(shard_ids.size());
+  std::vector<std::string> sampler_payloads;
+  sampler_payloads.reserve(shard_ids.size());
+  std::string rng_fingerprint;
+  std::vector<StreamingSboxEstimator> states;
+  states.reserve(shard_ids.size());
+  for (size_t i = 0; i < shard_ids.size(); ++i) {
+    GUS_ASSIGN_OR_RETURN(
+        std::vector<WireSectionView> sections,
+        ParseShardSections(*bundles[i], shard_ids[i], &metas,
+                           &rng_fingerprint, &sampler_payloads));
+    GUS_ASSIGN_OR_RETURN(WireSectionView state,
+                         FindWireSection(sections, WireTag::kSboxState));
+    GUS_ASSIGN_OR_RETURN(
+        StreamingSboxEstimator est,
+        StreamingSboxEstimator::DeserializeState(state.payload));
+    states.push_back(std::move(est));
+  }
+  GUS_RETURN_NOT_OK(ValidateShardSamplerStates(sampler_payloads));
+  // Shard-ordered merge of the delivered states; the degraded path below
+  // folds the per-shard states directly instead (it needs the
+  // within-shard / cross-shard pair split the merge would erase).
+  const auto merge_all = [&states]() -> Result<StreamingSboxEstimator> {
+    StreamingSboxEstimator merged = std::move(states[0]);
+    for (size_t i = 1; i < states.size(); ++i) {
+      GUS_RETURN_NOT_OK(merged.Merge(std::move(states[i])));
+    }
+    return merged;
+  };
+
+  FaultTolerantResult out;
+  if (static_cast<int>(shard_ids.size()) == num_shards) {
+    GUS_RETURN_NOT_OK(ValidateShardMetas(metas));
+    GUS_ASSIGN_OR_RETURN(StreamingSboxEstimator merged, merge_all());
+    GUS_ASSIGN_OR_RETURN(out.report, merged.Finish());
+    return out;
+  }
+
+  GUS_RETURN_NOT_OK(ValidateSurvivingShardMetas(metas));
+  const ShardMeta& first = metas[0];
+  if (static_cast<int>(first.num_shards) != num_shards) {
+    return Status::InvalidArgument(
+        "surviving shards report num_shards = " +
+        std::to_string(first.num_shards) + " but the gather expected " +
+        std::to_string(num_shards));
+  }
+  const int64_t num_units = first.num_units;
+
+  // The survival model counts *data-bearing* shards: losing a shard whose
+  // canonical range is empty loses nothing and must not re-weight (the
+  // estimate over the data-bearing shards is already complete). Ranges
+  // are deterministic in (num_units, num_shards), so emptiness is a plan
+  // property, never a data peek.
+  int total_bearing = 0;
+  int surviving_bearing = 0;
+  int64_t surviving_units = 0;
+  std::vector<size_t> bearing_state_index;
+  {
+    size_t s = 0;
+    for (int k = 0; k < num_shards; ++k) {
+      const ShardUnitRange range =
+          CanonicalShardRange(num_units, num_shards, k);
+      const bool bearing = range.unit_end > range.unit_begin;
+      const bool survived =
+          s < shard_ids.size() && shard_ids[s] == k ? (++s, true) : false;
+      if (bearing) {
+        ++total_bearing;
+        if (survived) {
+          ++surviving_bearing;
+          surviving_units += range.unit_end - range.unit_begin;
+          bearing_state_index.push_back(s - 1);
+        }
+      }
+    }
+  }
+
+  out.degradation.surviving_shards = static_cast<int>(shard_ids.size());
+  out.degradation.total_shards = num_shards;
+  out.degradation.surviving_units = surviving_units;
+  out.degradation.total_units = num_units;
+  for (const auto& [shard, message] : failed) {
+    const ShardUnitRange range = CanonicalShardRange(num_units, num_shards, shard);
+    if (range.unit_end > range.unit_begin) {
+      out.degradation.lost_ranges.push_back(range);
+    }
+    out.degradation.failures.push_back("shard " + std::to_string(shard) +
+                                       ": " + message);
+  }
+  out.degradation.effective_coverage =
+      num_units > 0
+          ? static_cast<double>(surviving_units) / static_cast<double>(num_units)
+          : 1.0;
+
+  if (surviving_bearing == total_bearing) {
+    // Every lost shard had an empty range: the fold covers all units and
+    // the complete estimate stands un-reweighted. (Tiling is implied:
+    // survivors cover their canonical ranges and all bearing ranges
+    // survived.)
+    GUS_ASSIGN_OR_RETURN(StreamingSboxEstimator merged, merge_all());
+    GUS_ASSIGN_OR_RETURN(out.report, merged.Finish());
+    return out;
+  }
+  if (surviving_bearing == 0) {
+    return Status::Unavailable(
+        "every data-bearing shard was lost (" + std::to_string(num_units) +
+        " units); no partial estimate is possible");
+  }
+  if (surviving_bearing < 2 && total_bearing >= 2) {
+    return Status::Unavailable(
+        "only 1 of " + std::to_string(total_bearing) +
+        " data-bearing shards survived: cross-shard co-survival is "
+        "impossible, so the pairwise variance (and any CI) would be "
+        "fabricated; need >= 2 surviving shards for a degraded estimate");
+  }
+  GUS_ASSIGN_OR_RETURN(
+      GusParams survival,
+      ShardSurvivalGus(states[bearing_state_index[0]].design().schema(),
+                       pivot_relation, surviving_bearing, total_bearing));
+  // Only the bearing survivors enter the fold: empty shards carry no
+  // segments or retained rows and are not part of the survival population.
+  std::vector<StreamingSboxEstimator> bearing_states;
+  bearing_states.reserve(bearing_state_index.size());
+  for (size_t idx : bearing_state_index) {
+    bearing_states.push_back(std::move(states[idx]));
+  }
+  GUS_ASSIGN_OR_RETURN(
+      out.report,
+      StreamingSboxEstimator::FinishDegraded(std::move(bearing_states),
+                                             survival, surviving_bearing,
+                                             total_bearing));
+  out.degraded = true;
+  out.live.pivot_relation = pivot_relation;
+  out.live.total_shards = static_cast<uint32_t>(num_shards);
+  out.live.total_units = num_units;
+  for (int k : shard_ids) {
+    out.live.surviving.push_back(CanonicalShardRange(num_units, num_shards, k));
+  }
+  return out;
+}
+
+}  // namespace
+
+bool IsRetryableShardFailure(const Status& st) {
+  switch (st.code()) {
+    case StatusCode::kUnavailable:
+    case StatusCode::kDeadlineExceeded:
+    case StatusCode::kKeyError:  // a bundle that never arrived
+      return true;
+    default:
+      return false;
+  }
+}
+
+void JoinAbandonedShardAttempts() {
+  FaultInjector::Global()->ReleaseHangs();
+  std::vector<std::thread> take;
+  {
+    std::lock_guard<std::mutex> guard(*OrphanMutex());
+    take.swap(*Orphans());
+  }
+  for (std::thread& t : take) t.join();
+}
+
+Result<std::vector<WireSectionView>> ReceiveShardSections(
+    ShardTransport* transport, int shard_index, std::vector<ShardMeta>* metas,
+    std::string* rng_fingerprint, std::vector<std::string>* sampler_payloads,
+    std::string* bundle_storage) {
+  GUS_ASSIGN_OR_RETURN(*bundle_storage, transport->Receive(shard_index));
+  return ParseShardSections(*bundle_storage, shard_index, metas,
+                            rng_fingerprint, sampler_payloads);
 }
 
 Status ValidateShardSamplerStates(
@@ -90,32 +361,184 @@ Result<SboxReport> GatherSboxEstimate(ShardTransport* transport,
   if (num_shards < 1) {
     return Status::InvalidArgument("num_shards must be >= 1");
   }
-  std::vector<ShardMeta> metas;
-  metas.reserve(num_shards);
-  std::vector<std::string> sampler_payloads;
-  sampler_payloads.reserve(num_shards);
-  std::optional<StreamingSboxEstimator> merged;
-  std::string rng_fingerprint;
+  std::vector<std::string> bundles(static_cast<size_t>(num_shards));
+  std::vector<int> shard_ids;
+  std::vector<const std::string*> views;
+  shard_ids.reserve(num_shards);
+  views.reserve(num_shards);
   for (int k = 0; k < num_shards; ++k) {
+    GUS_ASSIGN_OR_RETURN(bundles[k], transport->Receive(k));
+    shard_ids.push_back(k);
+    views.push_back(&bundles[k]);
+  }
+  GUS_ASSIGN_OR_RETURN(
+      FaultTolerantResult result,
+      FoldShardBundles(shard_ids, views, num_shards, "", {}));
+  return result.report;
+}
+
+Result<FaultTolerantResult> GatherSboxEstimatePartial(
+    ShardTransport* transport, int num_shards,
+    const std::string& pivot_relation, bool allow_partial) {
+  if (num_shards < 1) {
+    return Status::InvalidArgument("num_shards must be >= 1");
+  }
+  std::vector<std::string> bundles(static_cast<size_t>(num_shards));
+  std::vector<int> shard_ids;
+  std::vector<const std::string*> views;
+  std::vector<std::pair<int, std::string>> failed;
+  for (int k = 0; k < num_shards; ++k) {
+    Result<std::string> received = transport->Receive(k);
+    if (received.ok()) {
+      bundles[k] = std::move(received).ValueOrDie();
+      shard_ids.push_back(k);
+      views.push_back(&bundles[k]);
+      continue;
+    }
+    const Status st = received.status();
+    if (!allow_partial || !IsRetryableShardFailure(st)) return st;
+    failed.emplace_back(k, st.ToString());
+  }
+  return FoldShardBundles(shard_ids, views, num_shards, pivot_relation,
+                          failed);
+}
+
+Result<FaultTolerantResult> FaultTolerantShardedSboxEstimate(
+    const PlanPtr& plan, const Catalog& catalog, uint64_t seed, ExecMode mode,
+    const ExecOptions& exec, int num_shards, const ExprPtr& f_expr,
+    const GusParams& gus, const SboxOptions& options,
+    ShardTransport* transport) {
+  if (num_shards < 1) {
+    return Status::InvalidArgument("num_shards must be >= 1");
+  }
+  GUS_RETURN_NOT_OK(exec.Validate());
+  LocalTransport local;
+  if (transport == nullptr) transport = &local;
+  // Shared by attempt threads, including ones abandoned at a deadline —
+  // shared ownership keeps the columnar caches alive for late finishers
+  // (the base Catalog itself must outlive them; see
+  // JoinAbandonedShardAttempts).
+  auto columnar = std::make_shared<ColumnarCatalog>(&catalog);
+  GUS_RETURN_NOT_OK(WarmCatalogForPlan(plan, columnar.get()));
+  GUS_ASSIGN_OR_RETURN(const uint64_t expected_fingerprint,
+                       PlanCatalogFingerprint(plan, columnar.get()));
+  GUS_ASSIGN_OR_RETURN(ShardPlan sp,
+                       PlanShards(plan, columnar.get(), mode,
+                                  ShardedExecOptions(exec), num_shards));
+  const std::string pivot_relation =
+      sp.split.partitionable ? sp.split.pivot_relation : std::string();
+
+  // Workers must not share the caller's ExecStats (concurrent shards — and
+  // abandoned attempts possibly outliving this call — would race on it).
+  ExecOptions worker_exec = exec;
+  worker_exec.stats = nullptr;
+
+  struct ShardOutcome {
+    bool ok = false;
     std::string bundle;
-    GUS_ASSIGN_OR_RETURN(
-        std::vector<WireSectionView> sections,
-        ReceiveShardSections(transport, k, &metas, &rng_fingerprint,
-                             &sampler_payloads, &bundle));
-    GUS_ASSIGN_OR_RETURN(WireSectionView state,
-                         FindWireSection(sections, WireTag::kSboxState));
-    GUS_ASSIGN_OR_RETURN(StreamingSboxEstimator est,
-                         StreamingSboxEstimator::DeserializeState(
-                             state.payload));
-    if (!merged.has_value()) {
-      merged.emplace(std::move(est));
+    Status final_status = Status::Internal("shard supervisor did not run");
+  };
+  std::vector<ShardOutcome> outcomes(static_cast<size_t>(num_shards));
+  std::atomic<int64_t> attempts{0};
+  std::atomic<int64_t> retries{0};
+  std::atomic<int64_t> deadline_hits{0};
+
+  {
+    PoolLease pool(std::min(num_shards, ThreadPool::HardwareThreads()));
+    pool->ParallelFor(num_shards, [&](int64_t k) {
+      ShardOutcome& outcome = outcomes[static_cast<size_t>(k)];
+      Status last = Status::Internal("no attempt ran");
+      for (int attempt = 1; attempt <= exec.retry.max_attempts; ++attempt) {
+        if (attempt > 1) {
+          retries.fetch_add(1, std::memory_order_relaxed);
+          SleepBackoff(exec.retry, k, attempt);
+        }
+        attempts.fetch_add(1, std::memory_order_relaxed);
+        bool deadline_hit = false;
+        Result<std::string> produced = RunWithDeadline(
+            exec.retry.deadline_ms, &deadline_hit,
+            [plan, columnar, seed, mode, worker_exec, k, num_shards, f_expr,
+             gus, options, expected_fingerprint] {
+              return RunShardSbox(plan, columnar.get(), seed, mode,
+                                  worker_exec, static_cast<int>(k),
+                                  num_shards, f_expr, gus, options,
+                                  expected_fingerprint);
+            });
+        if (deadline_hit) {
+          deadline_hits.fetch_add(1, std::memory_order_relaxed);
+        }
+        Status st;
+        if (produced.ok()) {
+          st = transport->Send(static_cast<int>(k),
+                               std::move(produced).ValueOrDie());
+          if (st.ok()) {
+            // Verification read-back: wire damage (drop/corrupt/truncate)
+            // surfaces here, while this supervisor can still re-dispatch.
+            Result<std::string> verified =
+                transport->Receive(static_cast<int>(k));
+            if (verified.ok()) {
+              outcome.ok = true;
+              outcome.bundle = std::move(verified).ValueOrDie();
+              outcome.final_status = Status::OK();
+              return;
+            }
+            st = verified.status();
+          }
+        } else {
+          st = produced.status();
+        }
+        last = st;
+        // Fatal failures (divergent state) stop the attempt loop: retrying
+        // identical divergent inputs reproduces the identical mismatch.
+        if (!IsRetryableShardFailure(st)) break;
+      }
+      outcome.final_status = last;
+    });
+  }
+
+  std::vector<int> shard_ids;
+  std::vector<const std::string*> views;
+  std::vector<std::pair<int, std::string>> failed;
+  for (int k = 0; k < num_shards; ++k) {
+    const ShardOutcome& outcome = outcomes[static_cast<size_t>(k)];
+    if (outcome.ok) {
+      shard_ids.push_back(k);
+      views.push_back(&outcome.bundle);
     } else {
-      GUS_RETURN_NOT_OK(merged->Merge(std::move(est)));
+      failed.emplace_back(k, outcome.final_status.ToString());
     }
   }
-  GUS_RETURN_NOT_OK(ValidateShardMetas(metas));
-  GUS_RETURN_NOT_OK(ValidateShardSamplerStates(sampler_payloads));
-  return merged->Finish();
+
+  if (!failed.empty() && !exec.allow_partial) {
+    const auto& [shard, message] = failed.front();
+    return Status::Unavailable(
+        "shard " + std::to_string(shard) + " failed after " +
+        std::to_string(exec.retry.max_attempts) +
+        " attempt(s) and ExecOptions::allow_partial is not set: " + message);
+  }
+
+  Result<FaultTolerantResult> result = FoldShardBundles(
+      shard_ids, views, num_shards, pivot_relation, failed);
+
+  if (exec.stats != nullptr) {
+    exec.stats->Reset();
+    exec.stats->shard_attempts = attempts.load(std::memory_order_relaxed);
+    exec.stats->shard_retries = retries.load(std::memory_order_relaxed);
+    exec.stats->shard_deadline_hits =
+        deadline_hits.load(std::memory_order_relaxed);
+    exec.stats->shards_lost = static_cast<int64_t>(failed.size());
+    if (result.ok()) {
+      exec.stats->degraded = result.ValueOrDie().degraded;
+      exec.stats->effective_coverage =
+          result.ValueOrDie().degraded
+              ? result.ValueOrDie().degradation.effective_coverage
+              : 1.0;
+    }
+    if (ProfileEnvEnabled()) {
+      std::fputs(exec.stats->ToString("sharded-ft").c_str(), stderr);
+    }
+  }
+  return result;
 }
 
 Result<SboxReport> ShardedSboxEstimate(const PlanPtr& plan,

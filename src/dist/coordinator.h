@@ -23,6 +23,7 @@
 #include "algebra/gus_params.h"
 #include "dist/shard.h"
 #include "dist/transport.h"
+#include "est/partial_gather.h"
 #include "est/sbox.h"
 #include "est/wire.h"
 #include "plan/columnar_executor.h"
@@ -86,6 +87,76 @@ Result<SboxReport> ShardedSboxEstimate(const PlanPtr& plan,
                                        const GusParams& gus,
                                        const SboxOptions& options,
                                        ShardTransport* transport = nullptr);
+
+/// \brief True for failures a retry can fix: lost workers, torn/missing
+/// transport frames (Unavailable, KeyError), and elapsed deadlines.
+///
+/// Divergent-state failures (InvalidArgument: seed, catalog-fingerprint,
+/// or wire-version skew; SMPL divergence) are fatal — re-executing the
+/// same divergent inputs reproduces the same mismatch, so retrying them
+/// only hides a configuration bug behind latency.
+bool IsRetryableShardFailure(const Status& st);
+
+/// \brief Outcome of a fault-tolerant estimate: the report, plus — iff the
+/// gather had to degrade — the acknowledgement payload describing what
+/// was lost.
+struct FaultTolerantResult {
+  SboxReport report;
+  /// True when the report folds only a subset of the shards (unbiased,
+  /// re-weighted, CI widened; see est/partial_gather.h).
+  bool degraded = false;
+  /// Meaningful iff degraded.
+  DegradedReport degradation;
+  /// Meaningful iff degraded: the WireTag::kSurvivingRanges payload that
+  /// makes a cached partial result self-describing.
+  SurvivingRangesInfo live;
+};
+
+/// \brief GatherSboxEstimate that can degrade: shards whose bundles are
+/// missing or retryably damaged (Unavailable / KeyError) are — when
+/// `allow_partial` is set — excluded from the fold, and the survivors
+/// re-weighted through the shard-survival GUS into an unbiased partial
+/// estimate with an honestly wider CI.
+///
+/// `pivot_relation` is the plan's partitioned scan (MorselSplit::
+/// pivot_relation; "" for non-partitionable plans) — it determines which
+/// lineage agreement sets pin a pair of rows to one shard. With
+/// allow_partial false this behaves exactly like GatherSboxEstimate.
+/// Fatal (divergent-state) bundle failures propagate regardless. At least
+/// one shard must survive, and a valid CI needs >= 2 survivors on a
+/// partitioned plan (cross-shard co-survival is impossible from one
+/// shard, so a CI would be fabrication — the gather says so instead).
+Result<FaultTolerantResult> GatherSboxEstimatePartial(
+    ShardTransport* transport, int num_shards,
+    const std::string& pivot_relation, bool allow_partial);
+
+/// \brief The fault-tolerant one-call scatter/gather.
+///
+/// Dispatches every shard's unit range to an in-process worker under
+/// `exec.retry`: per-attempt deadlines (attempts past their deadline are
+/// abandoned and the shard re-dispatched — the range re-executes
+/// bit-reproducibly from the same seed), bounded retries with
+/// deterministic exponential backoff + jitter, and verification read-back
+/// through `transport` (defaulting to a process-local mailbox) so wire
+/// damage is caught while the shard can still be re-sent. When a shard
+/// exhausts its budget: with `exec.allow_partial` the survivors fold
+/// through est/partial_gather (DegradedReport attached); without it the
+/// shard's final error propagates. `exec.stats`, when set, receives the
+/// retry/degradation counters. With no faults the report is bit-identical
+/// to ShardedSboxEstimate.
+Result<FaultTolerantResult> FaultTolerantShardedSboxEstimate(
+    const PlanPtr& plan, const Catalog& catalog, uint64_t seed, ExecMode mode,
+    const ExecOptions& exec, int num_shards, const ExprPtr& f_expr,
+    const GusParams& gus, const SboxOptions& options,
+    ShardTransport* transport = nullptr);
+
+/// \brief Joins shard attempt threads abandoned at their deadline (first
+/// releasing any injected hangs so they can finish).
+///
+/// Abandoned attempts still reference the query's plan and catalog; call
+/// this before tearing those down (tests and long-lived coordinators do;
+/// short-lived processes can rely on exit). Idempotent.
+void JoinAbandonedShardAttempts();
 
 /// \brief The materializing sharded engine behind ExecEngine::kSharded:
 /// every shard executes its unit range (shard 0 advancing `rng` exactly

@@ -184,4 +184,66 @@ Status ValidateShardMetas(const std::vector<ShardMeta>& metas) {
   return Status::OK();
 }
 
+Status ValidateSurvivingShardMetas(const std::vector<ShardMeta>& metas) {
+  if (metas.empty()) {
+    return Status::InvalidArgument("partial gather received no shard states");
+  }
+  const ShardMeta& first = metas[0];
+  if (metas.size() > first.num_shards) {
+    return Status::InvalidArgument(
+        "partial gather received " + std::to_string(metas.size()) +
+        " shard states but the shards report num_shards = " +
+        std::to_string(first.num_shards));
+  }
+  int64_t prev_index = -1;
+  for (const ShardMeta& meta : metas) {
+    const std::string who = "shard " + std::to_string(meta.shard_index);
+    if (static_cast<int64_t>(meta.shard_index) <= prev_index) {
+      return Status::InvalidArgument(
+          who + " out of order in partial gather (want strictly ascending "
+          "shard indices)");
+    }
+    prev_index = meta.shard_index;
+    if (meta.shard_index >= first.num_shards) {
+      return Status::InvalidArgument(
+          who + " outside the reported num_shards = " +
+          std::to_string(first.num_shards));
+    }
+    if (meta.num_shards != first.num_shards ||
+        meta.num_units != first.num_units ||
+        meta.morsel_rows != first.morsel_rows) {
+      return Status::InvalidArgument(
+          who + " ran a different shard plan than the first surviving "
+          "shard (divergent exec options?)");
+    }
+    if (meta.seed != first.seed || meta.stream_base != first.stream_base) {
+      return Status::InvalidArgument(
+          who + " executed with a divergent seed or catalog (stream base "
+          "mismatch); refusing to merge");
+    }
+    if (meta.catalog_fingerprint != first.catalog_fingerprint) {
+      return Status::InvalidArgument(
+          who + " executed against divergent base data (catalog "
+          "fingerprint mismatch); refusing to merge");
+    }
+    // Each survivor must cover exactly its canonical slice: a shard that
+    // executed a different range than the plan assigns cannot be
+    // re-weighted by the survival model (which assumes the canonical
+    // carve).
+    const int64_t want_begin = first.num_units *
+                               static_cast<int64_t>(meta.shard_index) /
+                               static_cast<int64_t>(first.num_shards);
+    const int64_t want_end = first.num_units *
+                             (static_cast<int64_t>(meta.shard_index) + 1) /
+                             static_cast<int64_t>(first.num_shards);
+    if (meta.unit_begin != want_begin || meta.unit_end != want_end) {
+      return Status::InvalidArgument(
+          who + " covers units [" + std::to_string(meta.unit_begin) + ", " +
+          std::to_string(meta.unit_end) + ") but its canonical range is [" +
+          std::to_string(want_begin) + ", " + std::to_string(want_end) + ")");
+    }
+  }
+  return Status::OK();
+}
+
 }  // namespace gus

@@ -97,6 +97,19 @@ Result<ShardMeta> ShardMetaFromBytes(std::string_view payload);
 /// [0, num_units).
 Status ValidateShardMetas(const std::vector<ShardMeta>& metas);
 
+/// \brief The partial-gather variant of ValidateShardMetas: `metas` is any
+/// non-empty subset of a shard plan's bundles, in strictly ascending shard
+/// index order.
+///
+/// Enforces the same consistency contract (identical num_shards,
+/// num_units, morsel_rows, seed, stream base, catalog fingerprint across
+/// the subset) and that every meta covers exactly its canonical range of
+/// the global unit sequence — but NOT complete tiling: the uncovered
+/// ranges are precisely what est/partial_gather re-weights for. Merging a
+/// subset whose members disagree on the plan geometry would be silently
+/// biased, so those checks stay as hard here as in the complete gather.
+Status ValidateSurvivingShardMetas(const std::vector<ShardMeta>& metas);
+
 /// \brief Combined content fingerprint of every base relation `plan`
 /// scans (names sorted + deduplicated, each hashed with its
 /// ColumnarCatalog::Fingerprint).

@@ -5,8 +5,10 @@
 #include <fstream>
 #include <istream>
 #include <ostream>
+#include <sstream>
 
 #include "est/wire.h"
+#include "util/fault_inject.h"
 
 namespace gus {
 
@@ -16,6 +18,13 @@ constexpr char kFrameMagic[4] = {'G', 'U', 'S', 'F'};
 
 /// Same corruption-allocation guard as the bundle parser.
 constexpr uint64_t kSaneFrameBytes = uint64_t{1} << 40;
+
+/// Frames `payload` into an in-memory byte string.
+Result<std::string> FrameToString(std::string_view payload) {
+  std::ostringstream framed(std::ios::binary);
+  GUS_RETURN_NOT_OK(WriteFrame(&framed, payload));
+  return std::move(framed).str();
+}
 
 }  // namespace
 
@@ -34,17 +43,22 @@ Status WriteFrame(std::ostream* out, std::string_view payload) {
   return Status::OK();
 }
 
+// Frame damage is Unavailable, not InvalidArgument: a truncated or
+// checksum-failed frame means the *transport* lost or mangled bytes in
+// flight — re-executing the shard and re-sending is expected to succeed,
+// so the retry layer must be able to tell this apart from divergent-state
+// errors (seed/catalog/version skew) that no retry can fix.
 Result<std::string> ReadFrame(std::istream* in) {
   char magic[sizeof(kFrameMagic)];
   in->read(magic, sizeof(magic));
   if (in->gcount() != sizeof(magic) ||
       std::memcmp(magic, kFrameMagic, sizeof(magic)) != 0) {
-    return Status::InvalidArgument("not a GUS frame (missing GUSF magic)");
+    return Status::Unavailable("not a GUS frame (missing GUSF magic)");
   }
   char len_bytes[8];
   in->read(len_bytes, sizeof(len_bytes));
   if (in->gcount() != sizeof(len_bytes)) {
-    return Status::InvalidArgument("truncated frame header");
+    return Status::Unavailable("truncated frame header");
   }
   uint64_t len = 0;
   {
@@ -52,17 +66,17 @@ Result<std::string> ReadFrame(std::istream* in) {
     GUS_RETURN_NOT_OK(r.ReadU64(&len));
   }
   if (len > kSaneFrameBytes) {
-    return Status::InvalidArgument("implausible frame length (corrupt?)");
+    return Status::Unavailable("implausible frame length (corrupt?)");
   }
   std::string payload(len, '\0');
   in->read(payload.data(), static_cast<std::streamsize>(len));
   if (static_cast<uint64_t>(in->gcount()) != len) {
-    return Status::InvalidArgument("truncated frame payload");
+    return Status::Unavailable("truncated frame payload");
   }
   char sum_bytes[8];
   in->read(sum_bytes, sizeof(sum_bytes));
   if (in->gcount() != sizeof(sum_bytes)) {
-    return Status::InvalidArgument("truncated frame checksum");
+    return Status::Unavailable("truncated frame checksum");
   }
   uint64_t stored = 0;
   {
@@ -70,14 +84,23 @@ Result<std::string> ReadFrame(std::istream* in) {
     GUS_RETURN_NOT_OK(r.ReadU64(&stored));
   }
   if (stored != WireChecksum(payload)) {
-    return Status::InvalidArgument("frame checksum mismatch (corrupt)");
+    return Status::Unavailable("frame checksum mismatch (corrupt)");
   }
   return payload;
 }
 
 Status LocalTransport::Send(int shard_index, std::string payload) {
+  // The mailbox stores *framed* bytes: both transports share the frame
+  // codec as their damage-detection layer, so injected wire faults
+  // (corrupt/truncate) surface identically — as Unavailable at Receive —
+  // whether the bytes crossed a file or stayed in memory.
+  GUS_ASSIGN_OR_RETURN(std::string framed, FrameToString(payload));
+  bool dropped = false;
+  GUS_RETURN_NOT_OK(FaultInjector::Global()->MutatePayload(
+      "transport.send", shard_index, &framed, &dropped));
+  if (dropped) return Status::OK();  // lost in flight; Receive will miss it
   std::lock_guard<std::mutex> lock(mu_);
-  if (!inbox_.emplace(shard_index, std::move(payload)).second) {
+  if (!inbox_.emplace(shard_index, std::move(framed)).second) {
     return Status::InvalidArgument("shard " + std::to_string(shard_index) +
                                    " already sent its state");
   }
@@ -85,19 +108,29 @@ Status LocalTransport::Send(int shard_index, std::string payload) {
 }
 
 Result<std::string> LocalTransport::Receive(int shard_index) {
-  std::lock_guard<std::mutex> lock(mu_);
-  auto it = inbox_.find(shard_index);
-  if (it == inbox_.end()) {
-    return Status::KeyError("no state received for shard " +
-                            std::to_string(shard_index));
+  std::string framed;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = inbox_.find(shard_index);
+    if (it == inbox_.end()) {
+      return Status::KeyError("no state received for shard " +
+                              std::to_string(shard_index));
+    }
+    // Consume the payload: bundles can carry megabytes of retained-set
+    // state and every gather reads each shard exactly once, so keeping a
+    // second copy in the mailbox would double the coordinator's peak
+    // memory for nothing. (It also means a retried shard can Send again.)
+    framed = std::move(it->second);
+    inbox_.erase(it);
   }
-  // Consume the payload: bundles can carry megabytes of retained-set
-  // state and every gather reads each shard exactly once, so keeping a
-  // second copy in the mailbox would double the coordinator's peak
-  // memory for nothing.
-  std::string payload = std::move(it->second);
-  inbox_.erase(it);
-  return payload;
+  // The injected receive fault fires *after* consumption: a failed read
+  // loses the in-flight message (as a real one would), so the re-dispatch
+  // path re-Sends into an empty slot instead of tripping the
+  // duplicate-send guard.
+  GUS_RETURN_NOT_OK(
+      FaultInjector::Global()->Hit("transport.receive", shard_index));
+  std::istringstream in(std::move(framed), std::ios::binary);
+  return ReadFrame(&in);
 }
 
 std::string FileTransport::ShardPath(int shard_index) const {
@@ -111,19 +144,57 @@ Status FileTransport::Send(int shard_index, std::string payload) {
     return Status::Internal("cannot create transport directory '" + dir_ +
                             "': " + ec.message());
   }
-  std::ofstream out(ShardPath(shard_index),
-                    std::ios::binary | std::ios::trunc);
-  if (!out) {
-    return Status::Internal("cannot open '" + ShardPath(shard_index) +
-                            "' for writing");
+  GUS_ASSIGN_OR_RETURN(std::string framed, FrameToString(payload));
+  bool dropped = false;
+  GUS_RETURN_NOT_OK(FaultInjector::Global()->MutatePayload(
+      "transport.send", shard_index, &framed, &dropped));
+  if (dropped) return Status::OK();
+  // Write-temp / verify / atomic-rename: the final shard path either holds
+  // a complete frame or does not exist. A worker killed mid-write leaves
+  // only the .tmp file, which the coordinator reads as a *missing* shard
+  // (retryable) — never as corruption of a completed one.
+  const std::string final_path = ShardPath(shard_index);
+  const std::string tmp_path = final_path + ".tmp";
+  {
+    std::ofstream out(tmp_path, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      return Status::Internal("cannot open '" + tmp_path + "' for writing");
+    }
+    out.write(framed.data(), static_cast<std::streamsize>(framed.size()));
+    out.close();
+    if (!out) return Status::Internal("frame flush failed");
   }
-  GUS_RETURN_NOT_OK(WriteFrame(&out, payload));
-  out.close();
-  if (!out) return Status::Internal("frame flush failed");
+  // A kill injected here models death after the write but before publish:
+  // the bundle must stay invisible.
+  GUS_RETURN_NOT_OK(
+      FaultInjector::Global()->Hit("transport.file.write", shard_index));
+  // Re-read-verify before publishing: a torn or bit-flipped write is
+  // caught while the *writer* can still retry, instead of surfacing later
+  // as mystery corruption at the gather.
+  {
+    std::ifstream back(tmp_path, std::ios::binary);
+    std::ostringstream readback(std::ios::binary);
+    readback << back.rdbuf();
+    if (!back.good() && !back.eof()) {
+      return Status::Unavailable("cannot re-read '" + tmp_path +
+                                 "' for verification");
+    }
+    if (std::move(readback).str() != framed) {
+      return Status::Unavailable("torn write detected verifying '" +
+                                 tmp_path + "'; bundle not published");
+    }
+  }
+  std::filesystem::rename(tmp_path, final_path, ec);
+  if (ec) {
+    return Status::Unavailable("cannot publish '" + final_path +
+                               "': " + ec.message());
+  }
   return Status::OK();
 }
 
 Result<std::string> FileTransport::Receive(int shard_index) {
+  GUS_RETURN_NOT_OK(
+      FaultInjector::Global()->Hit("transport.receive", shard_index));
   std::ifstream in(ShardPath(shard_index), std::ios::binary);
   if (!in) {
     return Status::KeyError("no state file for shard " +

@@ -1,11 +1,33 @@
 #include "dist/worker.h"
 
 #include "est/streaming.h"
+#include "util/fault_inject.h"
 #include "util/random.h"
 
 namespace gus {
 
 namespace {
+
+/// Prefixes a worker-side failure with its shard id and site so the
+/// coordinator's retry logic (and its logs) can attribute every error to
+/// one shard attempt without parsing message text heuristically.
+Status AnnotateShard(Status st, int shard_index, const char* site) {
+  if (st.ok()) return st;
+  const std::string msg = "[shard " + std::to_string(shard_index) + "/" +
+                          site + "] " + st.message();
+  switch (st.code()) {
+    case StatusCode::kUnavailable:
+      return Status::Unavailable(msg);
+    case StatusCode::kDeadlineExceeded:
+      return Status::DeadlineExceeded(msg);
+    case StatusCode::kInvalidArgument:
+      return Status::InvalidArgument(msg);
+    case StatusCode::kKeyError:
+      return Status::KeyError(msg);
+    default:
+      return Status::Internal(msg);
+  }
+}
 
 /// Adapts StreamingSboxEstimator to the morsel sink protocol (the dist
 /// twin of the adapter inside est/streaming.cc).
@@ -66,6 +88,10 @@ Status RunShardToSink(
         "shard_index " + std::to_string(shard_index) +
         " outside [0, " + std::to_string(num_shards) + ")");
   }
+  // Injection site: death/failure before the worker has done anything.
+  GUS_RETURN_NOT_OK(AnnotateShard(
+      FaultInjector::Global()->Hit("worker.start", shard_index), shard_index,
+      "worker.start"));
   GUS_ASSIGN_OR_RETURN(const uint64_t catalog_fingerprint,
                        PlanCatalogFingerprint(plan, catalog));
   if (expected_catalog_fingerprint.has_value() &&
@@ -85,9 +111,15 @@ Status RunShardToSink(
   Rng rng(seed);
   uint64_t stream_base = 0;
   std::vector<ResolvedPivotSampler> resolved;
-  GUS_RETURN_NOT_OK(ParallelExecuteUnitRangeToSink(
-      plan, catalog, &rng, mode, normalized, spec.unit_begin, spec.unit_end,
-      make_sink, out, &stream_base, &resolved));
+  // Injection site: failure/hang/death mid-execution of the unit range.
+  GUS_RETURN_NOT_OK(AnnotateShard(
+      FaultInjector::Global()->Hit("worker.execute", shard_index),
+      shard_index, "worker.execute"));
+  GUS_RETURN_NOT_OK(AnnotateShard(
+      ParallelExecuteUnitRangeToSink(plan, catalog, &rng, mode, normalized,
+                                     spec.unit_begin, spec.unit_end, make_sink,
+                                     out, &stream_base, &resolved),
+      shard_index, "worker.execute"));
   if (samplers != nullptr) *samplers = resolved;
 
   meta->shard_index = static_cast<uint32_t>(shard_index);
@@ -125,6 +157,11 @@ Result<std::string> RunShardSbox(
   StreamingSboxEstimator* est =
       static_cast<SboxShardSink*>(sink.get())->estimator();
   meta.rows = est->rows_seen();
+  // Injection site: the range executed, but the bundle never materializes
+  // (death/failure between execution and serialization).
+  GUS_RETURN_NOT_OK(AnnotateShard(
+      FaultInjector::Global()->Hit("worker.bundle", shard_index), shard_index,
+      "worker.bundle"));
   return BuildShardBundle(meta, samplers,
                           {{WireTag::kSboxState, est->SerializeState()}});
 }

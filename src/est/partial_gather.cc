@@ -1,0 +1,104 @@
+#include "est/partial_gather.h"
+
+#include <cstdio>
+
+#include "est/wire.h"
+
+namespace gus {
+
+ShardUnitRange CanonicalShardRange(int64_t num_units, int num_shards, int k) {
+  ShardUnitRange range;
+  range.shard_index = k;
+  range.unit_begin = num_units * k / num_shards;
+  range.unit_end = num_units * (k + 1) / num_shards;
+  return range;
+}
+
+Result<GusParams> ShardSurvivalGus(const LineageSchema& schema,
+                                   const std::string& pivot_relation,
+                                   int surviving, int total) {
+  if (total < 1 || surviving < 1 || surviving > total) {
+    return Status::InvalidArgument(
+        "shard survival needs 1 <= surviving <= total, got " +
+        std::to_string(surviving) + " of " + std::to_string(total));
+  }
+  const double m = static_cast<double>(surviving);
+  const double n = static_cast<double>(total);
+  const double a = m / n;
+  // Pairs whose shard membership can differ co-survive with the WOR
+  // two-draw probability; 0 when only one shard survived (see the header's
+  // honesty note — the caller must refuse to fabricate a CI from that).
+  const double b_cross = total == 1 ? 1.0 : (m * (m - 1.0)) / (n * (n - 1.0));
+  SubsetMask pivot_bit = 0;
+  const bool partitioned = !pivot_relation.empty();
+  if (partitioned) {
+    GUS_ASSIGN_OR_RETURN(const int idx, schema.IndexOf(pivot_relation));
+    pivot_bit = SubsetMask{1} << idx;
+  }
+  std::vector<double> b(schema.num_subsets(), 0.0);
+  for (SubsetMask mask = 0; mask < b.size(); ++mask) {
+    const bool same_shard = !partitioned || (mask & pivot_bit) != 0;
+    b[mask] = same_shard ? a : b_cross;
+  }
+  return GusParams::Make(schema, a, std::move(b));
+}
+
+std::string DegradedReport::ToString() const {
+  char head[160];
+  std::snprintf(head, sizeof(head),
+                "degraded gather: %d/%d shards, %lld/%lld units "
+                "(coverage %.4f), lost:",
+                surviving_shards, total_shards,
+                static_cast<long long>(surviving_units),
+                static_cast<long long>(total_units), effective_coverage);
+  std::string out(head);
+  for (const ShardUnitRange& r : lost_ranges) {
+    out += " shard " + std::to_string(r.shard_index) + " [" +
+           std::to_string(r.unit_begin) + "," + std::to_string(r.unit_end) +
+           ")";
+  }
+  for (const std::string& f : failures) {
+    out += "\n  " + f;
+  }
+  return out;
+}
+
+std::string SurvivingRangesToBytes(const SurvivingRangesInfo& info) {
+  WireWriter w;
+  w.PutString(info.pivot_relation);
+  w.PutU32(info.total_shards);
+  w.PutI64(info.total_units);
+  w.PutU32(static_cast<uint32_t>(info.surviving.size()));
+  for (const ShardUnitRange& r : info.surviving) {
+    w.PutU32(static_cast<uint32_t>(r.shard_index));
+    w.PutI64(r.unit_begin);
+    w.PutI64(r.unit_end);
+  }
+  return w.Take();
+}
+
+Result<SurvivingRangesInfo> SurvivingRangesFromBytes(
+    std::string_view payload) {
+  WireReader r(payload);
+  SurvivingRangesInfo info;
+  GUS_RETURN_NOT_OK(r.ReadString(&info.pivot_relation));
+  GUS_RETURN_NOT_OK(r.ReadU32(&info.total_shards));
+  GUS_RETURN_NOT_OK(r.ReadI64(&info.total_units));
+  uint32_t count = 0;
+  GUS_RETURN_NOT_OK(r.ReadU32(&count));
+  if (count > r.remaining() / 20) {
+    return Status::InvalidArgument("truncated surviving-ranges section");
+  }
+  info.surviving.resize(count);
+  for (ShardUnitRange& range : info.surviving) {
+    uint32_t idx = 0;
+    GUS_RETURN_NOT_OK(r.ReadU32(&idx));
+    range.shard_index = static_cast<int>(idx);
+    GUS_RETURN_NOT_OK(r.ReadI64(&range.unit_begin));
+    GUS_RETURN_NOT_OK(r.ReadI64(&range.unit_end));
+  }
+  GUS_RETURN_NOT_OK(r.ExpectEnd());
+  return info;
+}
+
+}  // namespace gus

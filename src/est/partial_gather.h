@@ -1,0 +1,130 @@
+// Statistically sound partial gathers: estimating from surviving shards.
+//
+// The GUS algebra makes a lost shard a *sampling event*, not a failed
+// query. Result rows partition over shards by their pivot-scan unit, so
+// "row r's shard survived" is a randomized filter on the result — a GUS
+// quasi-operator over the same lineage schema as the query's own design.
+// Conditional on m of N shards surviving (the exchangeable-failure model:
+// which shards died is uninformative about their contents), the survival
+// filter has
+//
+//   a    = m/N                       every row's shard survives w.p. m/N
+//   b_T  = m/N                        when T determines the shard — T
+//                                     contains the pivot relation (same
+//                                     pivot tuple => same unit => same
+//                                     shard), or the plan had no
+//                                     partitionable pivot (one unit);
+//   b_T  = m(m-1) / (N(N-1))          otherwise (the pair can straddle two
+//                                     shards; co-survival is the WOR
+//                                     two-draw probability).
+//
+// b_full == a holds because full agreement always contains the pivot.
+//
+// Composing this filter into the merged survivors' design (Prop. 8
+// stacking) divides the point estimate by a' = a·m/N — the
+// Horvitz-Thompson reweighting that keeps it unbiased:
+// E_failures[ sum over surviving shards ] = (m/N) · full sum, so
+// dividing by the extra m/N restores the full-data expectation, and
+// dist_test pins this with an exact mean-over-kills identity plus a
+// Monte-Carlo check.
+//
+// The b̄ table above describes the design but deliberately does NOT
+// drive the variance: shard membership is a function of the pivot
+// *unit*, not the pivot lineage value, so a pair differing on every
+// lineage dimension can still share a shard and co-survive with m/N —
+// a probability no lineage-indexed b̄ entry can express. Feeding the
+// mispriced table through Theorem 1's tightly-cancelling pair terms
+// biases the variance (negative in practice). The fold instead keeps
+// the per-shard states and computes the exact law-of-total-variance
+// split (StreamingSboxEstimator::FinishDegraded): within-shard and
+// cross-shard pair statistics are HT-corrected at their true
+// co-survival probabilities to estimate the complete run's Theorem-1
+// variance, and the between-shard WOR term N²(1/m − 1/N)·S_T² is added
+// from the survivors' sample variance — unbiased, nonnegative, so the
+// degraded CI honestly widens on average.
+//
+// The limit of honesty: with m = 1 surviving shard of N >= 2 on a
+// partitionable plan, cross-shard co-survival is impossible (b_T = 0) and
+// the pairwise variance estimator (Theorem 1's y_S path) is undefined —
+// the gather fails with a clear message instead of fabricating a CI.
+
+#ifndef GUS_EST_PARTIAL_GATHER_H_
+#define GUS_EST_PARTIAL_GATHER_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "algebra/gus_params.h"
+#include "algebra/lineage_schema.h"
+#include "util/status.h"
+
+namespace gus {
+
+/// One shard's slice of the global unit sequence, as carried by degraded
+/// gather metadata (a plain value type; dist/shard.h owns the planning
+/// twin).
+struct ShardUnitRange {
+  int shard_index = 0;
+  int64_t unit_begin = 0;
+  int64_t unit_end = 0;
+
+  bool operator==(const ShardUnitRange& o) const {
+    return shard_index == o.shard_index && unit_begin == o.unit_begin &&
+           unit_end == o.unit_end;
+  }
+};
+
+/// The canonical contiguous range shard k covers when `num_units` units
+/// are carved into `num_shards` shards — the same arithmetic PlanShards
+/// uses, exposed so a gather can name *lost* ranges without re-planning.
+ShardUnitRange CanonicalShardRange(int64_t num_units, int num_shards, int k);
+
+/// \brief The "shard survived" GUS quasi-operator (see file comment).
+///
+/// `pivot_relation` is the partitioned base scan ("" for a
+/// non-partitionable plan, where all data lives in one unit and every
+/// pair co-survives). `surviving` of `total` shards completed. Fails on
+/// surviving < 1, surviving > total, or a pivot relation missing from
+/// `schema`.
+Result<GusParams> ShardSurvivalGus(const LineageSchema& schema,
+                                   const std::string& pivot_relation,
+                                   int surviving, int total);
+
+/// \brief What a degraded gather lost — returned alongside the re-weighted
+/// estimate so callers can surface it, log it, or refuse it.
+struct DegradedReport {
+  int surviving_shards = 0;
+  int total_shards = 0;
+  int64_t surviving_units = 0;
+  int64_t total_units = 0;
+  /// The unit ranges whose shards never delivered (ascending shard index).
+  std::vector<ShardUnitRange> lost_ranges;
+  /// surviving_units / total_units (1.0 when nothing was partitioned —
+  /// the fraction of the pivot scan the estimate actually saw).
+  double effective_coverage = 1.0;
+  /// The final (post-retry) error per lost shard, for diagnostics.
+  std::vector<std::string> failures;
+
+  std::string ToString() const;
+};
+
+/// \brief The WireTag::kSurvivingRanges ("LIVE") payload: which shards a
+/// partial bundle folded, over what total geometry — what makes a cached
+/// degraded gather self-describing (docs/WIRE_FORMAT.md).
+struct SurvivingRangesInfo {
+  /// The partitioned pivot scan ("" = non-partitionable plan).
+  std::string pivot_relation;
+  uint32_t total_shards = 0;
+  int64_t total_units = 0;
+  /// Ascending shard index; the shards whose state the fold includes.
+  std::vector<ShardUnitRange> surviving;
+};
+
+std::string SurvivingRangesToBytes(const SurvivingRangesInfo& info);
+Result<SurvivingRangesInfo> SurvivingRangesFromBytes(std::string_view payload);
+
+}  // namespace gus
+
+#endif  // GUS_EST_PARTIAL_GATHER_H_

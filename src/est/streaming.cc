@@ -295,6 +295,11 @@ std::vector<double> StreamingSboxEstimator::SegmentSums() const {
   return sums;
 }
 
+Status StreamingSboxEstimator::CompactDesign(const GusParams& outer) {
+  GUS_ASSIGN_OR_RETURN(gus_, GusCompact(outer, gus_));
+  return Status::OK();
+}
+
 Result<SboxReport> StreamingSboxEstimator::Finish() {
   if (gus_.a() <= 0.0) {
     return Status::InvalidArgument("estimator needs a > 0");
@@ -348,6 +353,141 @@ Result<SboxReport> StreamingSboxEstimator::Finish() {
       report.interval,
       MakeInterval(report.estimate, report.variance,
                    options_.confidence_level, options_.bound_kind));
+  return report;
+}
+
+Result<SboxReport> StreamingSboxEstimator::FinishDegraded(
+    std::vector<StreamingSboxEstimator> shard_states,
+    const GusParams& survival, int surviving, int total) {
+  if (shard_states.empty() ||
+      static_cast<int>(shard_states.size()) != surviving) {
+    return Status::InvalidArgument(
+        "degraded finish: got " + std::to_string(shard_states.size()) +
+        " shard states for " + std::to_string(surviving) + " survivors");
+  }
+  if (surviving < 2 || surviving >= total) {
+    return Status::InvalidArgument(
+        "degraded finish needs 2 <= surviving < total, got " +
+        std::to_string(surviving) + " of " + std::to_string(total));
+  }
+  const GusParams& base = shard_states[0].gus_;
+  const SboxOptions& options = shard_states[0].options_;
+  if (base.a() <= 0.0) {
+    return Status::InvalidArgument("estimator needs a > 0");
+  }
+  for (size_t k = 1; k < shard_states.size(); ++k) {
+    if (!(shard_states[k].gus_.schema() == base.schema())) {
+      return Status::InvalidArgument(
+          "degraded finish: shard estimator schemas diverge");
+    }
+  }
+  if (!(survival.schema() == base.schema())) {
+    return Status::InvalidArgument(
+        "degraded finish: survival quasi-operator schema mismatch");
+  }
+
+  // Point estimate: fold the global segment sequence (concatenation of the
+  // surviving shards' segments, in shard order) and divide by the composed
+  // a — the same arithmetic the survival-compacted merge performs, so the
+  // mean-over-kills identity holds to the last bit.
+  SboxReport report;
+  double sum_f = 0.0;
+  int64_t rows = 0;
+  std::vector<double> shard_totals;
+  shard_totals.reserve(shard_states.size());
+  for (const StreamingSboxEstimator& s : shard_states) {
+    double total_k = 0.0;
+    for (double v : s.SegmentSums()) total_k += v;
+    shard_totals.push_back(total_k);
+    sum_f += total_k;
+    rows += s.rows_seen_;
+  }
+  report.sample_rows = rows;
+  report.estimate = sum_f / (survival.a() * base.a());
+
+  // Section-7 threshold for the merged stream, applied per shard: the
+  // filter is monotone in p, so filtering each shard's retained rows at
+  // the global threshold yields exactly the merged retained set.
+  const int n = base.schema().arity();
+  GusParams analysis = base;
+  double p_per_dim = 1.0;
+  const bool subsampled = options.subsample.has_value() &&
+                          rows > options.subsample->target_rows;
+  if (subsampled) {
+    const double ratio =
+        static_cast<double>(options.subsample->target_rows) /
+        static_cast<double>(rows);
+    p_per_dim = std::pow(ratio, 1.0 / n);
+    std::vector<DimBernoulli> dims;
+    for (const auto& rel : base.schema().relations()) {
+      dims.push_back({rel, p_per_dim});
+    }
+    GUS_ASSIGN_OR_RETURN(GusParams sub_gus,
+                         MultiDimBernoulliGus(base.schema(), dims));
+    GUS_ASSIGN_OR_RETURN(analysis, GusCompact(sub_gus, base));
+  }
+
+  // Pair statistics split by co-survival class. y_S is a sum over ordered
+  // row pairs, so y_S(merged) - sum_k y_S(shard k) is exactly the
+  // cross-shard pair mass.
+  const size_t num_subsets = base.schema().num_subsets();
+  std::vector<double> y_within(num_subsets, 0.0);
+  SampleView merged_view;
+  merged_view.schema = base.schema();
+  merged_view.lineage.assign(n, {});
+  for (const StreamingSboxEstimator& s : shard_states) {
+    SampleView view_k;
+    view_k.schema = base.schema();
+    view_k.lineage.assign(n, {});
+    for (int64_t i = 0; i < s.retained_.num_rows(); ++i) {
+      if (subsampled && s.ustar_[i] >= p_per_dim) continue;
+      view_k.f.push_back(s.retained_.f[i]);
+      merged_view.f.push_back(s.retained_.f[i]);
+      for (int d = 0; d < n; ++d) {
+        view_k.lineage[d].push_back(s.retained_.lineage[d][i]);
+        merged_view.lineage[d].push_back(s.retained_.lineage[d][i]);
+      }
+    }
+    const std::vector<double> y_k = ComputeAllYS(view_k);
+    for (size_t mask = 0; mask < num_subsets; ++mask) {
+      y_within[mask] += y_k[mask];
+    }
+  }
+  const std::vector<double> y_merged = ComputeAllYS(merged_view);
+  report.variance_rows = merged_view.num_rows();
+  report.analysis_gus = analysis;
+
+  // Horvitz-Thompson correction at each class's true co-survival
+  // probability recovers an unbiased estimate of the complete sample's
+  // Y table; the base-design recursion then de-biases base sampling.
+  const double m = static_cast<double>(surviving);
+  const double nn = static_cast<double>(total);
+  const double w_within = nn / m;
+  const double w_cross = (nn * (nn - 1.0)) / (m * (m - 1.0));
+  std::vector<double> y_corrected(num_subsets, 0.0);
+  for (size_t mask = 0; mask < num_subsets; ++mask) {
+    y_corrected[mask] = w_within * y_within[mask] +
+                        w_cross * (y_merged[mask] - y_within[mask]);
+  }
+  GUS_ASSIGN_OR_RETURN(report.y_hat,
+                       UnbiasedYEstimates(analysis, y_corrected));
+  GUS_ASSIGN_OR_RETURN(double var_base, VarianceFromY(base, report.y_hat));
+
+  // Between-shard survival variance: X_p scales a uniform WOR m-of-N draw
+  // over the shard contributions T_k / a.
+  const double t_bar = sum_f / m;
+  double s2 = 0.0;
+  for (double t : shard_totals) s2 += (t - t_bar) * (t - t_bar);
+  s2 /= (m - 1.0);
+  const double var_survival =
+      nn * nn * (1.0 / m - 1.0 / nn) * s2 / (base.a() * base.a());
+
+  report.variance = std::max(0.0, var_base) + var_survival;
+  report.stddev = std::sqrt(report.variance);
+  GUS_ASSIGN_OR_RETURN(
+      report.interval,
+      MakeInterval(report.estimate, report.variance,
+                   options.confidence_level, options.bound_kind));
   return report;
 }
 

@@ -121,6 +121,58 @@ class StreamingSboxEstimator final : public BatchSink {
   /// materialized view.
   Result<SboxReport> Finish();
 
+  /// \brief Composes an outer sampling event into the estimator's design:
+  /// the GUS parameters become GusCompact(outer, current) — Prop. 8
+  /// stacking, exactly as if every consumed row had additionally passed
+  /// `outer`'s filter.
+  ///
+  /// The partial-gather path (est/partial_gather.h) uses this to fold the
+  /// "this row's shard survived" inclusion event into a degraded merge:
+  /// Finish() then divides by the composed a and widens the CI through
+  /// the composed b-table, keeping the estimate unbiased. Requires
+  /// `outer` over the identical lineage schema. Call before Finish();
+  /// composing after rows were consumed is sound because GUS parameters
+  /// only enter at Finish time.
+  Status CompactDesign(const GusParams& outer);
+
+  /// \brief Finishes a degraded gather from per-shard partial states
+  /// (est/partial_gather.h): `surviving` of `total` data-bearing shards
+  /// delivered, the rest were lost.
+  ///
+  /// The point estimate composes the "shard survived" quasi-operator
+  /// `survival` into the design (divide by a·m/N — the Horvitz-Thompson
+  /// re-weighting; the mean over all single-shard losses telescopes back
+  /// to the complete estimate exactly). The variance is NOT computed from
+  /// the composed b̄ table: shard membership is a function of the pivot
+  /// *unit*, not the pivot lineage value, so two rows differing on every
+  /// lineage dimension may still share a shard — a lineage-indexed GUS
+  /// table cannot express their higher co-survival probability, and
+  /// pretending it can biases the variance (negative, in practice).
+  /// Per-shard states make the exact law-of-total-variance split
+  /// estimable instead:
+  ///
+  ///   Var(X_p) = Var_base(X) + E[ Var(X_p | sample) ]
+  ///
+  ///   * Var_base: pair statistics split into within-shard pairs
+  ///     (co-survival m/N) and cross-shard pairs (m(m-1)/(N(N-1)));
+  ///     each class is Horvitz-Thompson corrected at its true probability,
+  ///     then the standard unbiasing recursion and Theorem 1 run under
+  ///     the base design. Unbiased for the complete run's variance.
+  ///   * survival part: X_p is the scaled total of a uniform
+  ///     without-replacement m-of-N draw over the shard contributions,
+  ///     so Var(X_p | sample) = N² (1/m − 1/N) S_T² with S_T² the
+  ///     between-shard variance of the contributions; the survivors'
+  ///     sample variance estimates S_T² unbiasedly.
+  ///
+  /// Both pieces are unbiased, and the second is nonnegative — the
+  /// degraded CI is honestly wider on average than the complete one.
+  /// Requires 2 <= surviving < total (one survivor has no between-shard
+  /// variance; the caller refuses that case) and shard states over one
+  /// schema/design, in shard order.
+  static Result<SboxReport> FinishDegraded(
+      std::vector<StreamingSboxEstimator> shard_states,
+      const GusParams& survival, int surviving, int total);
+
   /// \brief Returns the estimator to its just-Made empty state, keeping
   /// the (immutable) binding: schema map, bound expression, GUS parameters,
   /// and options.
@@ -137,6 +189,8 @@ class StreamingSboxEstimator final : public BatchSink {
   /// roughly 2x the subsample target once the stream exceeds it).
   int64_t retained_rows() const { return retained_.num_rows(); }
   int64_t rows_seen() const { return rows_seen_; }
+  /// The current sampling design (after any CompactDesign compositions).
+  const GusParams& design() const { return gus_; }
 
  private:
   StreamingSboxEstimator() = default;

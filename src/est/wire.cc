@@ -29,6 +29,7 @@ bool WireTagKnown(uint32_t tag) {
     case WireTag::kGroupedSum:
     case WireTag::kRngState:
     case WireTag::kSamplerState:
+    case WireTag::kSurvivingRanges:
       return true;
   }
   return false;

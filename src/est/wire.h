@@ -38,7 +38,10 @@ namespace gus {
 
 /// Current container version. Bumped on any layout change; readers reject
 /// everything else. v2: META gained the catalog fingerprint and bundles
-/// carry the SMPL resolved-sampler section.
+/// carry the SMPL resolved-sampler section. v2.1 (same container version —
+/// purely additive): degraded gathers may attach a LIVE surviving-ranges
+/// section; v2.0 readers of this build accept it, older v2 readers reject
+/// it loudly rather than merging a partial bundle they cannot interpret.
 inline constexpr uint32_t kWireVersion = 2;
 
 /// Section tags (the ASCII of the name, read as a little-endian u32).
@@ -59,6 +62,12 @@ enum class WireTag : uint32_t {
   /// the method, seed, and keep-set fingerprint — byte-equality across
   /// shards proves they agreed on the global fixed-size draws.
   kSamplerState = 0x4C504D53u,  // "SMPL"
+  /// Surviving-range metadata (est/partial_gather.h): which shard unit
+  /// ranges a degraded (partial) gather actually folded, plus the pivot
+  /// relation and survival inclusion probabilities — makes a cached
+  /// partial bundle self-describing. v2.1 addition: writers only emit it
+  /// on degraded gathers, so v2.0 bundles parse unchanged.
+  kSurvivingRanges = 0x4556494Cu,  // "LIVE"
 };
 
 /// True for every tag this build understands (readers hard-fail otherwise).

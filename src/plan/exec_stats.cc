@@ -35,6 +35,15 @@ std::string ExecStats::ToString(const std::string& label) const {
     out << worker_morsels[w];
   }
   out << "\n";
+  if (shard_attempts > 0) {
+    out << "  shards     " << shard_attempts << " attempts, "
+        << shard_retries << " retries, " << shard_deadline_hits
+        << " deadline hits, " << shards_lost << " lost";
+    if (degraded) {
+      out << "  DEGRADED (coverage " << effective_coverage << ")";
+    }
+    out << "\n";
+  }
   return out.str();
 }
 

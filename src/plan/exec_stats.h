@@ -68,6 +68,17 @@ struct ExecStats {
   /// serial columnar pipeline (phase times then cover that path).
   bool serial_fallback = false;
 
+  // ---- Fault tolerance (FaultTolerantShardedSboxEstimate) ----
+  int64_t shard_attempts = 0;       ///< shard worker attempts launched
+  int64_t shard_retries = 0;        ///< re-dispatches after retryable failure
+  int64_t shard_deadline_hits = 0;  ///< attempts abandoned at the deadline
+  int64_t shards_lost = 0;          ///< shards given up after the retry budget
+  /// True when the result came from a degraded (partial) gather.
+  bool degraded = false;
+  /// Fraction of the global unit sequence the folded shards covered
+  /// (1.0 for a complete gather; see DegradedReport).
+  double effective_coverage = 1.0;
+
   /// Clears everything (worker_morsels becomes empty).
   void Reset();
 

@@ -90,6 +90,52 @@ inline constexpr int64_t kDefaultMorselRows = 32768;
 inline constexpr int64_t kMinAutoMorselRows = 8192;
 inline constexpr int64_t kMaxAutoMorselRows = 131072;
 
+/// \brief Per-shard retry discipline for the fault-tolerant scatter/gather
+/// (dist/coordinator.h, FaultTolerantShardedSboxEstimate).
+///
+/// A shard attempt that fails *retryably* (Unavailable / DeadlineExceeded /
+/// a missing bundle — lost workers, torn transport frames, deadlines) is
+/// re-dispatched up to max_attempts times with exponential backoff; fatal
+/// failures (InvalidArgument: seed/catalog/wire-version divergence) are
+/// never retried, because re-executing identical divergent state cannot
+/// succeed. Backoff jitter is drawn from Rng::ForkStream(jitter_seed,
+/// shard*64 + attempt) — deterministic, so a fixed fault plan produces the
+/// identical retry schedule on every run. Retries cannot change results:
+/// a shard's unit range re-executes bit-reproducibly from the same seed
+/// (plan/parallel_executor.h), so a successful retry is byte-identical to
+/// an untroubled first attempt.
+struct ShardRetryPolicy {
+  /// Total attempts per shard (1 = no retry).
+  int max_attempts = 3;
+  /// Per-attempt wall-clock deadline, ms; 0 = unbounded. An attempt past
+  /// its deadline is abandoned (counted in ExecStats::shard_deadline_hits)
+  /// and the shard re-dispatched.
+  int64_t deadline_ms = 0;
+  /// Backoff before re-attempt i (1-based): min(base * mult^(i-1), max)
+  /// plus up to one base of deterministic jitter, ms.
+  int64_t backoff_base_ms = 1;
+  double backoff_mult = 2.0;
+  int64_t backoff_max_ms = 100;
+  /// Stream seed for the deterministic backoff jitter.
+  uint64_t jitter_seed = 0x9E3779B97F4A7C15ull;
+
+  Status Validate() const {
+    if (max_attempts < 1) {
+      return Status::InvalidArgument(
+          "ShardRetryPolicy::max_attempts must be >= 1");
+    }
+    if (deadline_ms < 0 || backoff_base_ms < 0 || backoff_max_ms < 0) {
+      return Status::InvalidArgument(
+          "ShardRetryPolicy durations must be >= 0");
+    }
+    if (backoff_mult < 1.0) {
+      return Status::InvalidArgument(
+          "ShardRetryPolicy::backoff_mult must be >= 1");
+    }
+    return Status::OK();
+  }
+};
+
 /// \brief Execution knobs shared by every engine entry point.
 ///
 /// Orthogonal to every knob here, the hot inner loops (predicate eval,
@@ -141,6 +187,16 @@ struct ExecOptions {
   /// environment variable additionally dumps the same profile to stderr
   /// whether or not this is set.
   ExecStats* stats = nullptr;
+  /// Retry/deadline/backoff discipline for fault-tolerant sharded runs
+  /// (read only by FaultTolerantShardedSboxEstimate).
+  ShardRetryPolicy retry;
+  /// \brief Acknowledges statistical degradation: when shards are lost
+  /// past their retry budget, fold the survivors through the
+  /// est/partial_gather re-weighting (unbiased estimate, honestly wider
+  /// CI, DegradedReport attached) instead of failing the query.
+  ///
+  /// Defaults to false — partial answers are opt-in, never silent.
+  bool allow_partial = false;
 
   Status Validate() const {
     if (batch_rows < 1) {
@@ -156,6 +212,7 @@ struct ExecOptions {
     if (num_shards < 1) {
       return Status::InvalidArgument("ExecOptions::num_shards must be >= 1");
     }
+    GUS_RETURN_NOT_OK(retry.Validate());
     return Status::OK();
   }
 };

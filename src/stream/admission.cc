@@ -1,0 +1,104 @@
+#include "stream/admission.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "est/streaming.h"
+#include "plan/soa_transform.h"
+
+namespace gus {
+
+namespace {
+
+Result<SamplingSpec> ScaleSpec(const SamplingSpec& spec, double scale) {
+  SamplingSpec scaled = spec;
+  switch (spec.method) {
+    case SamplingMethod::kBernoulli:
+    case SamplingMethod::kBlockBernoulli:
+    case SamplingMethod::kLineageBernoulli:
+      scaled.p = std::min(1.0, spec.p * scale);
+      break;
+    case SamplingMethod::kWithoutReplacement:
+    case SamplingMethod::kWithReplacementDistinct:
+      scaled.n = std::max<int64_t>(
+          1, static_cast<int64_t>(
+                 std::llround(static_cast<double>(spec.n) * scale)));
+      break;
+  }
+  GUS_RETURN_NOT_OK(scaled.Validate());
+  return scaled;
+}
+
+Result<PlanPtr> ScaleNode(const PlanPtr& node, double scale) {
+  switch (node->op()) {
+    case PlanOp::kScan:
+      return node;
+    case PlanOp::kSample: {
+      GUS_ASSIGN_OR_RETURN(PlanPtr child, ScaleNode(node->child(), scale));
+      GUS_ASSIGN_OR_RETURN(SamplingSpec spec, ScaleSpec(node->spec(), scale));
+      return PlanNode::Sample(std::move(spec), std::move(child));
+    }
+    case PlanOp::kSelect: {
+      GUS_ASSIGN_OR_RETURN(PlanPtr child, ScaleNode(node->child(), scale));
+      return PlanNode::SelectNode(node->predicate(), std::move(child));
+    }
+    case PlanOp::kJoin: {
+      GUS_ASSIGN_OR_RETURN(PlanPtr left, ScaleNode(node->left(), scale));
+      GUS_ASSIGN_OR_RETURN(PlanPtr right, ScaleNode(node->right(), scale));
+      return PlanNode::Join(std::move(left), std::move(right),
+                            node->left_key(), node->right_key());
+    }
+    case PlanOp::kProduct: {
+      GUS_ASSIGN_OR_RETURN(PlanPtr left, ScaleNode(node->left(), scale));
+      GUS_ASSIGN_OR_RETURN(PlanPtr right, ScaleNode(node->right(), scale));
+      return PlanNode::Product(std::move(left), std::move(right));
+    }
+    case PlanOp::kUnion: {
+      GUS_ASSIGN_OR_RETURN(PlanPtr left, ScaleNode(node->left(), scale));
+      GUS_ASSIGN_OR_RETURN(PlanPtr right, ScaleNode(node->right(), scale));
+      return PlanNode::Union(std::move(left), std::move(right));
+    }
+  }
+  return Status::Internal("unreachable plan op");
+}
+
+}  // namespace
+
+AdmissionController::AdmissionController(const AdmissionConfig& config)
+    : shedder_(ShedderConfig{config.capacity_rows, config.min_scale,
+                             config.max_scale, config.smoothing}) {}
+
+void AdmissionController::ObserveQuery(int64_t offered_rows) {
+  shedder_.ObserveWindow(offered_rows);
+}
+
+Result<PlanPtr> ScalePlanSamplingRates(const PlanPtr& plan, double scale) {
+  if (plan == nullptr) {
+    return Status::InvalidArgument("ScalePlanSamplingRates: null plan");
+  }
+  if (!(scale > 0.0) || scale > 1.0) {
+    return Status::InvalidArgument(
+        "admission scale must be in (0, 1], got " + std::to_string(scale));
+  }
+  if (scale == 1.0) return plan;
+  return ScaleNode(plan, scale);
+}
+
+Result<AdmittedEstimate> AdmitAndEstimate(
+    const PlanPtr& plan, ColumnarCatalog* catalog, Rng* rng,
+    const ExprPtr& f_expr, const SboxOptions& options, ExecMode mode,
+    const ExecOptions& exec, double scale) {
+  GUS_ASSIGN_OR_RETURN(PlanPtr admitted, ScalePlanSamplingRates(plan, scale));
+  // The scaled plan is a different sampling design; its honest analysis
+  // comes from re-deriving the top GUS, never from patching the old one.
+  GUS_ASSIGN_OR_RETURN(SoaResult soa, SoaTransform(admitted));
+  AdmittedEstimate out;
+  out.scale = scale;
+  out.admitted_plan = admitted;
+  GUS_ASSIGN_OR_RETURN(
+      out.report, EstimatePlanParallel(admitted, catalog, rng, f_expr,
+                                       soa.top, options, mode, exec));
+  return out;
+}
+
+}  // namespace gus

@@ -1,0 +1,253 @@
+#include "util/fault_inject.h"
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <thread>
+
+namespace gus {
+
+namespace {
+
+Result<FaultAction> ParseAction(std::string_view word) {
+  if (word == "fail") return FaultAction::kFail;
+  if (word == "drop") return FaultAction::kDrop;
+  if (word == "corrupt") return FaultAction::kCorrupt;
+  if (word == "truncate") return FaultAction::kTruncate;
+  if (word == "delay") return FaultAction::kDelay;
+  if (word == "hang") return FaultAction::kHang;
+  if (word == "kill") return FaultAction::kKill;
+  return Status::InvalidArgument("unknown fault action '" +
+                                 std::string(word) + "'");
+}
+
+Result<int> ParseInt(std::string_view digits, std::string_view what) {
+  if (digits.empty()) {
+    return Status::InvalidArgument("empty " + std::string(what) +
+                                   " in fault spec");
+  }
+  int value = 0;
+  for (char c : digits) {
+    if (c < '0' || c > '9') {
+      return Status::InvalidArgument("non-numeric " + std::string(what) +
+                                     " '" + std::string(digits) +
+                                     "' in fault spec");
+    }
+    value = value * 10 + (c - '0');
+    if (value > 1000000) {
+      return Status::InvalidArgument(std::string(what) +
+                                     " out of range in fault spec");
+    }
+  }
+  return value;
+}
+
+/// Parses one `site[@shard]=action[*times][+delay_ms]` rule.
+Result<FaultRule> ParseRule(std::string_view text) {
+  FaultRule rule;
+  const size_t eq = text.find('=');
+  if (eq == std::string_view::npos) {
+    return Status::InvalidArgument("fault rule '" + std::string(text) +
+                                   "' has no '=' (want site=action)");
+  }
+  std::string_view lhs = text.substr(0, eq);
+  std::string_view rhs = text.substr(eq + 1);
+  const size_t at = lhs.find('@');
+  if (at != std::string_view::npos) {
+    GUS_ASSIGN_OR_RETURN(rule.shard, ParseInt(lhs.substr(at + 1), "shard"));
+    lhs = lhs.substr(0, at);
+  }
+  if (lhs.empty()) {
+    return Status::InvalidArgument("fault rule '" + std::string(text) +
+                                   "' has an empty site");
+  }
+  rule.site.assign(lhs);
+  // Suffixes bind right-to-left: action[*times][+delay_ms] — but accept
+  // either order; both are unambiguous.
+  const size_t plus = rhs.find('+');
+  if (plus != std::string_view::npos) {
+    GUS_ASSIGN_OR_RETURN(rule.delay_ms,
+                         ParseInt(rhs.substr(plus + 1), "delay"));
+    rhs = rhs.substr(0, plus);
+  }
+  const size_t star = rhs.find('*');
+  if (star != std::string_view::npos) {
+    GUS_ASSIGN_OR_RETURN(rule.times, ParseInt(rhs.substr(star + 1), "times"));
+    rhs = rhs.substr(0, star);
+  }
+  GUS_ASSIGN_OR_RETURN(rule.action, ParseAction(rhs));
+  return rule;
+}
+
+}  // namespace
+
+Result<FaultPlan> FaultPlan::Parse(std::string_view spec) {
+  FaultPlan plan;
+  size_t pos = 0;
+  while (pos <= spec.size()) {
+    size_t semi = spec.find(';', pos);
+    if (semi == std::string_view::npos) semi = spec.size();
+    std::string_view piece = spec.substr(pos, semi - pos);
+    // Trim surrounding spaces so "a=fail; b=drop" reads naturally.
+    while (!piece.empty() && piece.front() == ' ') piece.remove_prefix(1);
+    while (!piece.empty() && piece.back() == ' ') piece.remove_suffix(1);
+    if (!piece.empty()) {
+      GUS_ASSIGN_OR_RETURN(FaultRule rule, ParseRule(piece));
+      plan.rules.push_back(std::move(rule));
+    }
+    pos = semi + 1;
+  }
+  return plan;
+}
+
+FaultInjector* FaultInjector::Global() {
+  // Leaked singleton: workers may still consult it during process exit.
+  static FaultInjector* instance = [] {
+    auto* inj = new FaultInjector();
+    if (const char* env = std::getenv("GUS_FAULT");
+        env != nullptr && env[0] != '\0') {
+      Result<FaultPlan> plan = FaultPlan::Parse(env);
+      if (!plan.ok()) {
+        std::fprintf(stderr, "[libgus] invalid GUS_FAULT spec: %s\n",
+                     plan.status().ToString().c_str());
+        std::abort();
+      }
+      inj->Arm(std::move(plan).ValueOrDie());
+    }
+    return inj;
+  }();
+  return instance;
+}
+
+void FaultInjector::Arm(FaultPlan plan) {
+  auto rules = std::make_shared<std::vector<std::unique_ptr<ArmedRule>>>();
+  rules->reserve(plan.rules.size());
+  for (FaultRule& rule : plan.rules) {
+    auto armed = std::make_unique<ArmedRule>();
+    armed->rule = std::move(rule);
+    rules->push_back(std::move(armed));
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    rules_ = std::move(rules);
+    ++hang_epoch_;  // anything hung under the old plan wakes up
+    armed_.store(!rules_->empty(), std::memory_order_relaxed);
+    faults_injected_.store(0, std::memory_order_relaxed);
+  }
+  hang_cv_.notify_all();
+}
+
+void FaultInjector::Disarm() { Arm(FaultPlan{}); }
+
+void FaultInjector::ReleaseHangs() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++hang_epoch_;
+  }
+  hang_cv_.notify_all();
+}
+
+std::shared_ptr<FaultInjector::ArmedRule> FaultInjector::Match(
+    std::string_view site, int shard) {
+  std::shared_ptr<std::vector<std::unique_ptr<ArmedRule>>> rules;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    rules = rules_;
+  }
+  if (!rules) return nullptr;
+  for (const auto& armed : *rules) {
+    const FaultRule& r = armed->rule;
+    if (r.site != site) continue;
+    // A shard-restricted rule never fires at a site that does not know its
+    // shard (shard == -1): silently widening the blast radius would make
+    // specs mean different things at different sites.
+    if (r.shard >= 0 && r.shard != shard) continue;
+    // Claim one hit slot; times == 0 means every hit triggers.
+    const int n = armed->hits.fetch_add(1, std::memory_order_relaxed);
+    if (r.times != 0 && n >= r.times) continue;
+    faults_injected_.fetch_add(1, std::memory_order_relaxed);
+    // Aliasing constructor: the caller's pointer keeps the whole list
+    // alive, so a Disarm racing a slow Execute (delay/hang) is safe.
+    return std::shared_ptr<ArmedRule>(rules, armed.get());
+  }
+  return nullptr;
+}
+
+Status FaultInjector::Execute(const ArmedRule& armed) {
+  const FaultRule& r = armed.rule;
+  if (r.delay_ms > 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(r.delay_ms));
+  }
+  const std::string where = "[fault:" + r.site + "] injected ";
+  switch (r.action) {
+    case FaultAction::kDelay:
+      return Status::OK();
+    case FaultAction::kKill:
+      // An abrupt death: no destructors, no atexit — exactly what a
+      // crashed or OOM-killed worker looks like to the coordinator.
+      std::_Exit(kFaultKillExitCode);
+    case FaultAction::kHang: {
+      std::unique_lock<std::mutex> lock(mu_);
+      const uint64_t epoch = hang_epoch_;
+      hang_cv_.wait_for(
+          lock, std::chrono::milliseconds(hang_cap_ms_.load()),
+          [&] { return hang_epoch_ != epoch; });
+      return Status::Unavailable(where + "hang (released or capped)");
+    }
+    case FaultAction::kFail:
+    case FaultAction::kDrop:
+    case FaultAction::kCorrupt:
+    case FaultAction::kTruncate:
+      // Payload actions degrade to a plain failure at non-payload sites.
+      return Status::Unavailable(where + "failure");
+  }
+  return Status::Unavailable(where + "failure");
+}
+
+Status FaultInjector::Hit(std::string_view site, int shard) {
+  if (!armed()) return Status::OK();
+  std::shared_ptr<ArmedRule> armed_rule = Match(site, shard);
+  if (armed_rule == nullptr) return Status::OK();
+  return Execute(*armed_rule);
+}
+
+Status FaultInjector::MutatePayload(std::string_view site, int shard,
+                                    std::string* payload, bool* dropped) {
+  *dropped = false;
+  if (!armed()) return Status::OK();
+  std::shared_ptr<ArmedRule> armed_rule = Match(site, shard);
+  if (armed_rule == nullptr) return Status::OK();
+  const FaultRule& r = armed_rule->rule;
+  switch (r.action) {
+    case FaultAction::kDrop:
+      if (r.delay_ms > 0) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(r.delay_ms));
+      }
+      *dropped = true;
+      return Status::OK();
+    case FaultAction::kCorrupt:
+      if (!payload->empty()) {
+        // Deterministic bit damage in the payload's middle: lands inside
+        // the framed body so the checksum — not the magic check — trips.
+        (*payload)[payload->size() / 2] ^= static_cast<char>(0x5A);
+      }
+      return Status::OK();
+    case FaultAction::kTruncate:
+      payload->resize(payload->size() / 2);
+      return Status::OK();
+    default:
+      return Execute(*armed_rule);
+  }
+}
+
+ScopedFaultPlan::ScopedFaultPlan(std::string_view spec) {
+  Result<FaultPlan> plan = FaultPlan::Parse(spec);
+  if (!plan.ok()) {
+    std::fprintf(stderr, "[libgus] invalid fault spec: %s\n",
+                 plan.status().ToString().c_str());
+    std::abort();
+  }
+  FaultInjector::Global()->Arm(std::move(plan).ValueOrDie());
+}
+
+}  // namespace gus

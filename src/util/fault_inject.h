@@ -1,0 +1,185 @@
+// Deterministic fault injection for the distributed layer.
+//
+// Production code names its failure points as *sites* — stable strings
+// like "worker.execute" or "transport.file.write" — and calls
+// FaultInjector::Hit(site, shard) at each one. With no plan armed, a hit
+// is a single relaxed-atomic load and a branch: the harness costs nothing
+// in normal operation. With a plan armed (programmatically via
+// FaultInjector::Arm, or from the GUS_FAULT environment variable at first
+// use), matching hits *inject* the configured fault: fail with a
+// retryable status, drop/corrupt/truncate a payload, delay, hang until
+// released (bounded by the configured cap so no test can deadlock), or
+// kill the process (for multi-process torn-write tests).
+//
+// Spec grammar (GUS_FAULT and FaultPlan::Parse; ';'-separated rules):
+//
+//   site[@shard]=action[*times][+delay_ms]
+//
+//   site      injection-site name; matched exactly
+//   @shard    restrict to one shard index (default: every shard)
+//   action    fail | drop | corrupt | truncate | delay | hang | kill
+//   *times    trigger on the first `times` matching hits (default 1;
+//             '*' + 0 means "always")
+//   +delay_ms sleep this long before acting (delay's duration; for other
+//             actions a pre-action stall, e.g. "kill after 50ms")
+//
+// Examples:
+//   GUS_FAULT="worker.execute@1=fail*2"  — shard 1's execution fails
+//       with Unavailable on its first two attempts, then succeeds.
+//   GUS_FAULT="transport.file.write=kill+10" — every worker dies 10ms
+//       into its first bundle write (torn-file test).
+//
+// Determinism: rule matching keys on (site, shard, per-rule hit counter) —
+// no clocks, no randomness — so a given plan injects the identical fault
+// sequence on every run. Hit counters are per-rule atomics, safe under
+// concurrent workers.
+
+#ifndef GUS_UTIL_FAULT_INJECT_H_
+#define GUS_UTIL_FAULT_INJECT_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/status.h"
+
+namespace gus {
+
+/// What an armed rule does to a matching hit.
+enum class FaultAction {
+  /// Return Status::Unavailable from the site (a retryable failure).
+  kFail,
+  /// Payload sites: discard the payload silently (receiver sees nothing).
+  kDrop,
+  /// Payload sites: flip bits in the payload (checksum mismatch on read).
+  kCorrupt,
+  /// Payload sites: cut the payload short (truncated-frame error on read).
+  kTruncate,
+  /// Sleep delay_ms, then proceed normally.
+  kDelay,
+  /// Block until ReleaseHangs() or the hang cap (whichever first), then
+  /// return Unavailable. Models a stuck worker without risking a test
+  /// deadlock.
+  kHang,
+  /// std::_Exit(kKillExitCode) — an abrupt worker death mid-operation.
+  kKill,
+};
+
+/// One parsed `site[@shard]=action[*times][+delay_ms]` rule.
+struct FaultRule {
+  std::string site;
+  /// Shard restriction; -1 matches every shard.
+  int shard = -1;
+  FaultAction action = FaultAction::kFail;
+  /// How many matching hits trigger (0 = every hit).
+  int times = 1;
+  /// Pre-action stall / delay duration, milliseconds.
+  int delay_ms = 0;
+};
+
+/// \brief A parsed fault specification (an immutable list of rules).
+struct FaultPlan {
+  std::vector<FaultRule> rules;
+
+  /// Parses the ';'-separated spec grammar (empty spec = empty plan).
+  static Result<FaultPlan> Parse(std::string_view spec);
+};
+
+/// Exit code kKill dies with — multi-process tests assert on it.
+inline constexpr int kFaultKillExitCode = 43;
+
+/// \brief Process-wide injector the instrumented sites consult.
+///
+/// Thread-safe. Arm/Disarm are test-harness entry points (not called
+/// concurrently with each other); Hit/MutatePayload run from any worker
+/// thread.
+class FaultInjector {
+ public:
+  /// The process singleton. On first access, arms itself from GUS_FAULT
+  /// if that variable is set and non-empty.
+  static FaultInjector* Global();
+
+  /// Installs `plan`, resetting all hit counters.
+  void Arm(FaultPlan plan);
+  /// Removes the plan (sites become free) and releases any hung hits.
+  void Disarm();
+  /// True when any rule is armed (the fast-path check).
+  bool armed() const { return armed_.load(std::memory_order_relaxed); }
+
+  /// \brief Consults the plan at a non-payload site.
+  ///
+  /// Returns OK (proceed), Unavailable (kFail/kHang triggered) — or never
+  /// returns (kKill). kDelay sleeps and returns OK. Payload actions
+  /// (drop/corrupt/truncate) at a non-payload site degrade to kFail.
+  Status Hit(std::string_view site, int shard = -1);
+
+  /// \brief Consults the plan at a payload site, applying payload actions.
+  ///
+  /// On kDrop sets *dropped; on kCorrupt/kTruncate mutates *payload
+  /// in place. Other actions behave exactly as Hit. The mutation is
+  /// deterministic (fixed XOR mask / fixed truncation fraction).
+  Status MutatePayload(std::string_view site, int shard, std::string* payload,
+                       bool* dropped);
+
+  /// Wakes every currently-hung hit (they return Unavailable).
+  void ReleaseHangs();
+
+  /// \brief Upper bound on how long a kHang blocks before giving up,
+  /// milliseconds. Defaults to 2000; tests lower it. The cap is what
+  /// guarantees no fault spec can wedge a run forever.
+  void set_hang_cap_ms(int ms) { hang_cap_ms_.store(ms); }
+
+  /// Total hits that triggered a rule since Arm (diagnostic).
+  int64_t faults_injected() const {
+    return faults_injected_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  FaultInjector() = default;
+
+  struct ArmedRule {
+    FaultRule rule;
+    std::atomic<int> hits{0};
+  };
+
+  /// The rule to trigger for this (site, shard) hit, or nullptr. The
+  /// returned pointer shares ownership of the whole armed-rule list, so a
+  /// concurrent Arm/Disarm cannot free the rule out from under a slow
+  /// action (a delayed or hung Execute outliving the plan that armed it).
+  std::shared_ptr<ArmedRule> Match(std::string_view site, int shard);
+  /// Executes the non-payload part of an action (fail/delay/hang/kill).
+  Status Execute(const ArmedRule& armed);
+
+  std::atomic<bool> armed_{false};
+  std::atomic<int> hang_cap_ms_{2000};
+  std::atomic<int64_t> faults_injected_{0};
+  /// Guarded by mu_ for replacement; rules themselves use atomics.
+  mutable std::mutex mu_;
+  std::shared_ptr<std::vector<std::unique_ptr<ArmedRule>>> rules_;
+  std::condition_variable hang_cv_;
+  uint64_t hang_epoch_ = 0;
+};
+
+/// \brief RAII plan for tests: arms on construction, disarms on scope
+/// exit. Nesting is not supported (the injector holds one plan).
+class ScopedFaultPlan {
+ public:
+  explicit ScopedFaultPlan(FaultPlan plan) {
+    FaultInjector::Global()->Arm(std::move(plan));
+  }
+  /// Parses and arms `spec`; invalid specs abort (test-harness misuse).
+  explicit ScopedFaultPlan(std::string_view spec);
+  ~ScopedFaultPlan() { FaultInjector::Global()->Disarm(); }
+
+  ScopedFaultPlan(const ScopedFaultPlan&) = delete;
+  ScopedFaultPlan& operator=(const ScopedFaultPlan&) = delete;
+};
+
+}  // namespace gus
+
+#endif  // GUS_UTIL_FAULT_INJECT_H_

@@ -23,6 +23,14 @@ enum class StatusCode {
   kInternal,
   kKeyError,
   kTypeError,
+  /// A deadline elapsed before the operation completed. Retryable: the
+  /// operation may succeed if re-attempted with a fresh deadline.
+  kDeadlineExceeded,
+  /// A transient availability failure (lost worker, torn or missing
+  /// transport frame). Retryable: re-executing the same work is expected
+  /// to succeed once the fault clears — unlike kInvalidArgument, which
+  /// marks divergent state (seed/catalog/version skew) that no retry fixes.
+  kUnavailable,
 };
 
 /// \brief Outcome of an operation that can fail.
@@ -53,6 +61,12 @@ class Status {
   static Status TypeError(std::string msg) {
     return Status(StatusCode::kTypeError, std::move(msg));
   }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
@@ -73,6 +87,8 @@ class Status {
       case StatusCode::kInternal: return "Internal";
       case StatusCode::kKeyError: return "KeyError";
       case StatusCode::kTypeError: return "TypeError";
+      case StatusCode::kDeadlineExceeded: return "DeadlineExceeded";
+      case StatusCode::kUnavailable: return "Unavailable";
     }
     return "Unknown";
   }

@@ -1,10 +1,13 @@
-// Tests for the load-shedding module (Section 8 streaming application).
+// Tests for the load-shedding module (Section 8 streaming application)
+// and its plan-level twin, admission control (stream/admission.h).
 
 #include <gtest/gtest.h>
 
 #include <cmath>
 
+#include "plan/columnar_executor.h"
 #include "rel/operators.h"
+#include "stream/admission.h"
 #include "stream/load_shedder.h"
 #include "test_util.h"
 #include "util/stats.h"
@@ -130,6 +133,88 @@ TEST(JoinedWindowsTest, EffectiveProbabilityIsProduct) {
       ShedAndEstimateJoinedWindows(data.fact, 0.5, data.dim, 0.4, "fk", "pk",
                                    Mul(Col("v"), Col("w")), &rng));
   EXPECT_DOUBLE_EQ(0.2, est.p);
+}
+
+// ---------------------------------------------------------------------------
+// Admission control: shedding by *design* (scaled sampling rates), not by
+// dropping tuples behind the estimator's back.
+
+TEST(AdmissionTest, ControllerTracksOfferedLoad) {
+  AdmissionConfig config;
+  config.capacity_rows = 100;
+  config.smoothing = 1.0;  // react immediately
+  AdmissionController admission(config);
+  EXPECT_DOUBLE_EQ(1.0, admission.scale());
+  admission.ObserveQuery(1000);
+  EXPECT_NEAR(0.1, admission.scale(), 1e-12);
+  admission.ObserveQuery(50);  // under capacity: full-rate admission
+  EXPECT_DOUBLE_EQ(1.0, admission.scale());
+}
+
+TEST(AdmissionTest, ScalesEverySamplingFamilyInPlace) {
+  PlanPtr plan = PlanNode::Join(
+      PlanNode::Sample(SamplingSpec::Bernoulli(0.8), PlanNode::Scan("F")),
+      PlanNode::Sample(SamplingSpec::WithoutReplacement(10, 32),
+                       PlanNode::Scan("D")),
+      "fk", "pk");
+  ASSERT_OK_AND_ASSIGN(PlanPtr scaled, ScalePlanSamplingRates(plan, 0.5));
+  EXPECT_NEAR(0.4, scaled->left()->spec().p, 1e-12);
+  EXPECT_EQ(5, scaled->right()->spec().n);
+  EXPECT_EQ(32, scaled->right()->spec().population);
+  // The original plan is untouched (a new tree is built).
+  EXPECT_DOUBLE_EQ(0.8, plan->left()->spec().p);
+
+  // Fixed-size rates floor at one draw rather than reaching zero.
+  PlanPtr tiny = PlanNode::Sample(SamplingSpec::WithoutReplacement(2, 32),
+                                  PlanNode::Scan("D"));
+  ASSERT_OK_AND_ASSIGN(PlanPtr floored, ScalePlanSamplingRates(tiny, 0.01));
+  EXPECT_EQ(1, floored->spec().n);
+}
+
+TEST(AdmissionTest, ScaleOneReturnsThePlanUnchangedAndBadScalesFail) {
+  PlanPtr plan = PlanNode::Sample(SamplingSpec::Bernoulli(0.5),
+                                  PlanNode::Scan("D"));
+  ASSERT_OK_AND_ASSIGN(PlanPtr same, ScalePlanSamplingRates(plan, 1.0));
+  EXPECT_EQ(plan.get(), same.get());
+  EXPECT_STATUS_CODE(kInvalidArgument,
+                     ScalePlanSamplingRates(plan, 0.0).status());
+  EXPECT_STATUS_CODE(kInvalidArgument,
+                     ScalePlanSamplingRates(plan, 1.5).status());
+  EXPECT_STATUS_CODE(kInvalidArgument,
+                     ScalePlanSamplingRates(nullptr, 0.5).status());
+}
+
+TEST(AdmissionTest, AdmittedEstimateStaysUnbiased) {
+  // Shedding by design: the scaled plan is re-analyzed (SoaTransform on
+  // the admitted tree), so the smaller sample still divides by its own
+  // honest inclusion probabilities — the estimate stays unbiased at any
+  // admission scale.
+  auto data = MakeTinyJoin(64, 1);
+  Catalog catalog = data.MakeCatalog();
+  ColumnarCatalog columnar(&catalog);
+  double truth = 0.0;
+  for (int64_t i = 0; i < data.dim.num_rows(); ++i) {
+    truth += data.dim.row(i)[1].ToDouble();
+  }
+  PlanPtr plan = PlanNode::Sample(SamplingSpec::Bernoulli(0.8),
+                                  PlanNode::Scan("D"));
+  SboxOptions options;
+  ExecOptions exec;
+  exec.morsel_rows = 8;
+  MeanVar estimates;
+  const int kTrials = 300;
+  for (int t = 0; t < kTrials; ++t) {
+    Rng rng(9000 + t);
+    ASSERT_OK_AND_ASSIGN(
+        AdmittedEstimate admitted,
+        AdmitAndEstimate(plan, &columnar, &rng, Col("w"), options,
+                         ExecMode::kSampled, exec, 0.5));
+    EXPECT_DOUBLE_EQ(0.5, admitted.scale);
+    EXPECT_NEAR(0.4, admitted.admitted_plan->spec().p, 1e-12);
+    estimates.Add(admitted.report.estimate);
+  }
+  EXPECT_NEAR(truth, estimates.mean(),
+              5.0 * estimates.stddev_sample() / std::sqrt(1.0 * kTrials));
 }
 
 }  // namespace

@@ -164,7 +164,8 @@ Result<FaultTolerantResult> FoldShardBundles(
     const std::vector<int>& shard_ids,
     const std::vector<const std::string*>& bundles, int num_shards,
     const std::string& pivot_relation,
-    const std::vector<std::pair<int, std::string>>& failed) {
+    const std::vector<std::pair<int, std::string>>& failed,
+    bool capture_merged_state = false) {
   GUS_RETURN_NOT_OK(FaultInjector::Global()->Hit("coordinator.gather"));
   if (shard_ids.empty()) {
     return Status::Unavailable(
@@ -205,6 +206,9 @@ Result<FaultTolerantResult> FoldShardBundles(
   if (static_cast<int>(shard_ids.size()) == num_shards) {
     GUS_RETURN_NOT_OK(ValidateShardMetas(metas));
     GUS_ASSIGN_OR_RETURN(StreamingSboxEstimator merged, merge_all());
+    // Captured *before* Finish: round-trip bit-exactness means a later
+    // DeserializeState + Finish reproduces out.report to the last bit.
+    if (capture_merged_state) out.merged_sbox_state = merged.SerializeState();
     GUS_ASSIGN_OR_RETURN(out.report, merged.Finish());
     return out;
   }
@@ -270,6 +274,7 @@ Result<FaultTolerantResult> FoldShardBundles(
     // survivors cover their canonical ranges and all bearing ranges
     // survived.)
     GUS_ASSIGN_OR_RETURN(StreamingSboxEstimator merged, merge_all());
+    if (capture_merged_state) out.merged_sbox_state = merged.SerializeState();
     GUS_ASSIGN_OR_RETURN(out.report, merged.Finish());
     return out;
   }
@@ -312,6 +317,16 @@ Result<FaultTolerantResult> FoldShardBundles(
 }
 
 }  // namespace
+
+Result<FaultTolerantResult> FoldGatheredShardBundles(
+    const std::vector<int>& shard_ids,
+    const std::vector<const std::string*>& bundles, int num_shards,
+    const std::string& pivot_relation,
+    const std::vector<std::pair<int, std::string>>& failed,
+    bool capture_merged_state) {
+  return FoldShardBundles(shard_ids, bundles, num_shards, pivot_relation,
+                          failed, capture_merged_state);
+}
 
 bool IsRetryableShardFailure(const Status& st) {
   switch (st.code()) {

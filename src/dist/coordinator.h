@@ -110,6 +110,15 @@ struct FaultTolerantResult {
   /// Meaningful iff degraded: the WireTag::kSurvivingRanges payload that
   /// makes a cached partial result self-describing.
   SurvivingRangesInfo live;
+  /// \brief Filled only when the fold was asked to capture it (see
+  /// FoldGatheredShardBundles) AND the gather was complete: the merged
+  /// (pre-Finish) StreamingSboxEstimator state.
+  ///
+  /// Round-trip bit-exactness (est/streaming.h) makes Finish over the
+  /// deserialized state reproduce `report` to the last bit — this is
+  /// what an approximate-view cache stores. Never captured for degraded
+  /// folds: a cache must not immortalize an outage.
+  std::string merged_sbox_state;
 };
 
 /// \brief GatherSboxEstimate that can degrade: shards whose bundles are
@@ -129,6 +138,26 @@ struct FaultTolerantResult {
 Result<FaultTolerantResult> GatherSboxEstimatePartial(
     ShardTransport* transport, int num_shards,
     const std::string& pivot_relation, bool allow_partial);
+
+/// \brief The one fold implementation behind every SBox gather, exposed
+/// for gatherers that receive bundles by other means (the serving
+/// layer's session coordinator pulls them over sockets).
+///
+/// `shard_ids`/`bundles` are parallel and strictly ascending; `failed`
+/// carries (shard, final error) for shards that never delivered — with a
+/// complete set it behaves exactly like GatherSboxEstimate's fold, with
+/// a subset it degrades through est/partial_gather (or fails when a CI
+/// would be fabricated). With `capture_merged_state`, a complete fold
+/// also serializes the merged pre-Finish estimator state into
+/// FaultTolerantResult::merged_sbox_state (the view-cache payload).
+/// Using this single implementation is what makes a served gather
+/// bit-identical to the one-shot kSharded gather by construction.
+Result<FaultTolerantResult> FoldGatheredShardBundles(
+    const std::vector<int>& shard_ids,
+    const std::vector<const std::string*>& bundles, int num_shards,
+    const std::string& pivot_relation,
+    const std::vector<std::pair<int, std::string>>& failed,
+    bool capture_merged_state = false);
 
 /// \brief The fault-tolerant one-call scatter/gather.
 ///

@@ -26,19 +26,58 @@ Result<std::string> FrameToString(std::string_view payload) {
   return std::move(framed).str();
 }
 
+/// \brief Reads exactly `n` bytes, looping on short reads.
+///
+/// Goes through the streambuf directly: socket-shaped buffers return
+/// per-segment partial counts from xsgetn without raising eofbit, while
+/// istream::read would latch failbit on the first short count and lose
+/// the rest of the frame. A zero-progress sgetn means the stream truly
+/// ended (or errored) — the default filebuf only short-returns at EOF.
+size_t ReadFully(std::istream* in, char* buf, size_t n) {
+  std::streambuf* sb = in->rdbuf();
+  size_t total = 0;
+  while (total < n) {
+    const std::streamsize got =
+        sb->sgetn(buf + total, static_cast<std::streamsize>(n - total));
+    if (got <= 0) break;
+    total += static_cast<size_t>(got);
+  }
+  if (total < n) in->setstate(std::ios::eofbit);
+  return total;
+}
+
+/// Writes exactly `n` bytes, looping on short writes (the mirror of
+/// ReadFully); zero progress is a hard stream failure.
+bool WriteFully(std::ostream* out, const char* buf, size_t n) {
+  std::streambuf* sb = out->rdbuf();
+  size_t total = 0;
+  while (total < n) {
+    const std::streamsize put =
+        sb->sputn(buf + total, static_cast<std::streamsize>(n - total));
+    if (put <= 0) {
+      out->setstate(std::ios::badbit);
+      return false;
+    }
+    total += static_cast<size_t>(put);
+  }
+  return true;
+}
+
 }  // namespace
 
 Status WriteFrame(std::ostream* out, std::string_view payload) {
-  out->write(kFrameMagic, sizeof(kFrameMagic));
+  if (!WriteFully(out, kFrameMagic, sizeof(kFrameMagic))) {
+    return Status::Internal("frame write failed");
+  }
   WireWriter header;
   header.PutU64(payload.size());
-  out->write(header.buffer().data(),
-             static_cast<std::streamsize>(header.buffer().size()));
-  out->write(payload.data(), static_cast<std::streamsize>(payload.size()));
   WireWriter tail;
   tail.PutU64(WireChecksum(payload));
-  out->write(tail.buffer().data(),
-             static_cast<std::streamsize>(tail.buffer().size()));
+  if (!WriteFully(out, header.buffer().data(), header.buffer().size()) ||
+      !WriteFully(out, payload.data(), payload.size()) ||
+      !WriteFully(out, tail.buffer().data(), tail.buffer().size())) {
+    return Status::Internal("frame write failed");
+  }
   if (!out->good()) return Status::Internal("frame write failed");
   return Status::OK();
 }
@@ -48,16 +87,25 @@ Status WriteFrame(std::ostream* out, std::string_view payload) {
 // flight — re-executing the shard and re-sending is expected to succeed,
 // so the retry layer must be able to tell this apart from divergent-state
 // errors (seed/catalog/version skew) that no retry can fix.
-Result<std::string> ReadFrame(std::istream* in) {
+Result<std::string> ReadFrame(std::istream* in, bool* clean_eof) {
+  if (clean_eof != nullptr) *clean_eof = false;
   char magic[sizeof(kFrameMagic)];
-  in->read(magic, sizeof(magic));
-  if (in->gcount() != sizeof(magic) ||
-      std::memcmp(magic, kFrameMagic, sizeof(magic)) != 0) {
+  const size_t magic_got = ReadFully(in, magic, sizeof(magic));
+  if (magic_got == 0) {
+    // Zero bytes at a frame boundary: the peer closed between frames, not
+    // inside one. Still Unavailable (there is no frame), but flagged so a
+    // connection read loop can distinguish "done" from "damaged".
+    if (clean_eof != nullptr) *clean_eof = true;
+    return Status::Unavailable("clean end of stream (no frame)");
+  }
+  if (magic_got != sizeof(magic)) {
+    return Status::Unavailable("truncated frame magic (mid-frame EOF)");
+  }
+  if (std::memcmp(magic, kFrameMagic, sizeof(magic)) != 0) {
     return Status::Unavailable("not a GUS frame (missing GUSF magic)");
   }
   char len_bytes[8];
-  in->read(len_bytes, sizeof(len_bytes));
-  if (in->gcount() != sizeof(len_bytes)) {
+  if (ReadFully(in, len_bytes, sizeof(len_bytes)) != sizeof(len_bytes)) {
     return Status::Unavailable("truncated frame header");
   }
   uint64_t len = 0;
@@ -69,13 +117,11 @@ Result<std::string> ReadFrame(std::istream* in) {
     return Status::Unavailable("implausible frame length (corrupt?)");
   }
   std::string payload(len, '\0');
-  in->read(payload.data(), static_cast<std::streamsize>(len));
-  if (static_cast<uint64_t>(in->gcount()) != len) {
+  if (ReadFully(in, payload.data(), len) != len) {
     return Status::Unavailable("truncated frame payload");
   }
   char sum_bytes[8];
-  in->read(sum_bytes, sizeof(sum_bytes));
-  if (in->gcount() != sizeof(sum_bytes)) {
+  if (ReadFully(in, sum_bytes, sizeof(sum_bytes)) != sizeof(sum_bytes)) {
     return Status::Unavailable("truncated frame checksum");
   }
   uint64_t stored = 0;

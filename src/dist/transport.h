@@ -27,12 +27,26 @@
 
 namespace gus {
 
-/// Writes one frame (see file comment for the layout).
+/// \brief Writes one frame (see file comment for the layout).
+///
+/// Loops on short writes: stream-backed buffers (sockets, pipes) may
+/// accept fewer bytes per sputn than offered, which a single-shot write
+/// would silently truncate mid-frame.
 Status WriteFrame(std::ostream* out, std::string_view payload);
 
-/// Reads and validates one frame; fails on bad magic, truncation, or a
-/// checksum mismatch.
-Result<std::string> ReadFrame(std::istream* in);
+/// \brief Reads and validates one frame; fails on bad magic, truncation,
+/// or a checksum mismatch.
+///
+/// Loops on short reads (socket streambufs legitimately deliver partial
+/// counts), so a frame fragmented across many TCP segments reassembles
+/// exactly like one contiguous file read. With `clean_eof` set, a stream
+/// that ends *between* frames (zero bytes before the magic — the peer
+/// closed cleanly) reports `*clean_eof = true` alongside the Unavailable
+/// status; a stream that dies *inside* a frame is mid-frame truncation
+/// and leaves `*clean_eof = false`. Callers running a read loop over a
+/// long-lived connection need that distinction: clean EOF ends the loop,
+/// truncation is wire damage.
+Result<std::string> ReadFrame(std::istream* in, bool* clean_eof = nullptr);
 
 /// \brief Moves one opaque payload per shard from workers to the gatherer.
 ///

@@ -44,6 +44,10 @@ std::string ExecStats::ToString(const std::string& label) const {
     }
     out << "\n";
   }
+  if (cache_hits > 0 || cache_misses > 0 || cache_invalidations > 0) {
+    out << "  view cache " << cache_hits << " hits, " << cache_misses
+        << " misses, " << cache_invalidations << " invalidations\n";
+  }
   return out.str();
 }
 

@@ -79,6 +79,12 @@ struct ExecStats {
   /// (1.0 for a complete gather; see DegradedReport).
   double effective_coverage = 1.0;
 
+  // ---- Approximate-view cache (serve/view_cache.h; filled by the
+  // serving layer and the sqlish kServed engine) ----
+  int64_t cache_hits = 0;           ///< queries answered from merged state
+  int64_t cache_misses = 0;         ///< queries that had to execute
+  int64_t cache_invalidations = 0;  ///< entries dropped (catalog change/clear)
+
   /// Clears everything (worker_morsels becomes empty).
   void Reset();
 

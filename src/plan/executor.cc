@@ -108,6 +108,10 @@ Result<Relation> ExecutePlan(const PlanPtr& plan, const Catalog& catalog,
           ExecutePlanSharded(plan, &columnar, rng, mode, options));
       return result.ToRelation();
     }
+    case ExecEngine::kServed:
+      return Status::InvalidArgument(
+          "ExecEngine::kServed serves cached estimates (sqlish "
+          "RunApproxQuery), not materialized relations");
   }
   return Status::Internal("unknown execution engine");
 }

@@ -60,7 +60,20 @@ enum class ExecMode { kSampled, kExact };
 /// values AND to kMorselParallel at the same (seed, morsel_rows); an
 /// unset morsel_rows is pinned to kDefaultMorselRows rather than
 /// auto-sized, so the split never depends on num_threads either.
-enum class ExecEngine { kRowAtATime, kColumnar, kMorselParallel, kSharded };
+///
+/// kServed is the estimator-only serving engine (sqlish RunApproxQuery):
+/// the kSharded scatter/gather fronted by the approximate-view cache
+/// (serve/view_cache.h) — a repeated (query, catalog content, seed,
+/// morsel geometry) answers from cached merged builder state, executing
+/// nothing, with the identical result bits. It has no materializing form;
+/// ExecutePlan rejects it.
+enum class ExecEngine {
+  kRowAtATime,
+  kColumnar,
+  kMorselParallel,
+  kSharded,
+  kServed,
+};
 
 struct ExecStats;  // plan/exec_stats.h
 

@@ -1,0 +1,152 @@
+#include "serve/protocol.h"
+
+#include "est/wire.h"
+
+namespace gus {
+
+namespace {
+
+bool KnownServeMsg(uint32_t type) {
+  switch (static_cast<ServeMsg>(type)) {
+    case ServeMsg::kExecRequest:
+    case ServeMsg::kExecResponse:
+    case ServeMsg::kPlanInfoRequest:
+    case ServeMsg::kPlanInfoResponse:
+    case ServeMsg::kError:
+      return true;
+  }
+  return false;
+}
+
+/// StatusCode values are serialized by name-stable ordinal; the enum is
+/// append-only (util/status.h), so the mapping is a wire contract.
+Status StatusFromCode(uint32_t code, std::string message) {
+  switch (static_cast<StatusCode>(code)) {
+    case StatusCode::kOk:
+      break;  // handled by caller
+    case StatusCode::kInvalidArgument:
+      return Status::InvalidArgument(std::move(message));
+    case StatusCode::kOutOfRange:
+      return Status::OutOfRange(std::move(message));
+    case StatusCode::kNotImplemented:
+      return Status::NotImplemented(std::move(message));
+    case StatusCode::kInternal:
+      return Status::Internal(std::move(message));
+    case StatusCode::kKeyError:
+      return Status::KeyError(std::move(message));
+    case StatusCode::kTypeError:
+      return Status::TypeError(std::move(message));
+    case StatusCode::kDeadlineExceeded:
+      return Status::DeadlineExceeded(std::move(message));
+    case StatusCode::kUnavailable:
+      return Status::Unavailable(std::move(message));
+  }
+  return Status::Internal("unknown wire status code " + std::to_string(code) +
+                          ": " + message);
+}
+
+}  // namespace
+
+std::string EncodeServeMessage(const ServeHeader& header,
+                               std::string_view body) {
+  WireWriter w;
+  w.PutU32(static_cast<uint32_t>(header.type));
+  w.PutU64(header.session_id);
+  w.PutU64(header.request_id);
+  std::string out = w.Take();
+  out.append(body.data(), body.size());
+  return out;
+}
+
+Result<std::pair<ServeHeader, std::string_view>> DecodeServeMessage(
+    std::string_view payload) {
+  constexpr size_t kHeaderBytes = 4 + 8 + 8;
+  if (payload.size() < kHeaderBytes) {
+    return Status::InvalidArgument("truncated serve message header");
+  }
+  WireReader r(payload.substr(0, kHeaderBytes));
+  uint32_t type = 0;
+  ServeHeader header;
+  GUS_RETURN_NOT_OK(r.ReadU32(&type));
+  GUS_RETURN_NOT_OK(r.ReadU64(&header.session_id));
+  GUS_RETURN_NOT_OK(r.ReadU64(&header.request_id));
+  if (!KnownServeMsg(type)) {
+    return Status::InvalidArgument("unknown serve message type " +
+                                   std::to_string(type));
+  }
+  header.type = static_cast<ServeMsg>(type);
+  return std::make_pair(header, payload.substr(kHeaderBytes));
+}
+
+std::string ExecShardRequestToBytes(const ExecShardRequest& req) {
+  WireWriter w;
+  w.PutString(req.query);
+  w.PutU64(req.seed);
+  w.PutI32(req.shard_index);
+  w.PutI32(req.num_shards);
+  w.PutI64(req.morsel_rows);
+  w.PutI32(req.num_threads);
+  w.PutDouble(req.admission_scale);
+  w.PutU64(req.expected_catalog_fingerprint);
+  return w.Take();
+}
+
+Result<ExecShardRequest> ExecShardRequestFromBytes(std::string_view payload) {
+  WireReader r(payload);
+  ExecShardRequest req;
+  GUS_RETURN_NOT_OK(r.ReadString(&req.query));
+  GUS_RETURN_NOT_OK(r.ReadU64(&req.seed));
+  GUS_RETURN_NOT_OK(r.ReadI32(&req.shard_index));
+  GUS_RETURN_NOT_OK(r.ReadI32(&req.num_shards));
+  GUS_RETURN_NOT_OK(r.ReadI64(&req.morsel_rows));
+  GUS_RETURN_NOT_OK(r.ReadI32(&req.num_threads));
+  GUS_RETURN_NOT_OK(r.ReadDouble(&req.admission_scale));
+  GUS_RETURN_NOT_OK(r.ReadU64(&req.expected_catalog_fingerprint));
+  GUS_RETURN_NOT_OK(r.ExpectEnd());
+  return req;
+}
+
+std::string ServePlanInfoToBytes(const ServePlanInfo& info) {
+  WireWriter w;
+  w.PutU8(info.partitionable ? 1 : 0);
+  w.PutString(info.pivot_relation);
+  w.PutU64(info.catalog_fingerprint);
+  w.PutU64(info.query_fingerprint);
+  return w.Take();
+}
+
+Result<ServePlanInfo> ServePlanInfoFromBytes(std::string_view payload) {
+  WireReader r(payload);
+  ServePlanInfo info;
+  uint8_t partitionable = 0;
+  GUS_RETURN_NOT_OK(r.ReadU8(&partitionable));
+  info.partitionable = partitionable != 0;
+  GUS_RETURN_NOT_OK(r.ReadString(&info.pivot_relation));
+  GUS_RETURN_NOT_OK(r.ReadU64(&info.catalog_fingerprint));
+  GUS_RETURN_NOT_OK(r.ReadU64(&info.query_fingerprint));
+  GUS_RETURN_NOT_OK(r.ExpectEnd());
+  return info;
+}
+
+std::string StatusToBytes(const Status& status) {
+  WireWriter w;
+  w.PutU32(static_cast<uint32_t>(status.code()));
+  w.PutString(status.message());
+  return w.Take();
+}
+
+Status StatusFromBytes(std::string_view payload) {
+  WireReader r(payload);
+  uint32_t code = 0;
+  std::string message;
+  GUS_RETURN_NOT_OK(r.ReadU32(&code));
+  GUS_RETURN_NOT_OK(r.ReadString(&message));
+  GUS_RETURN_NOT_OK(r.ExpectEnd());
+  if (static_cast<StatusCode>(code) == StatusCode::kOk) {
+    return Status::Internal(
+        "kError message carried an OK status (protocol violation)");
+  }
+  return StatusFromCode(code, std::move(message));
+}
+
+}  // namespace gus

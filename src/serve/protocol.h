@@ -1,0 +1,119 @@
+// The serving-layer message protocol: what travels inside a GUSF frame
+// between a session coordinator and a worker daemon.
+//
+// One frame = one message. Every message opens with the session header
+//
+//   u32 type | u64 session_id | u64 request_id
+//
+// followed by a typed body (WireWriter encodings, docs/WIRE_FORMAT.md
+// "Session-header framing"). The header is what makes one connection
+// carry many concurrent queries: a daemon answers requests in whatever
+// order its worker threads finish, echoing the header verbatim, and the
+// coordinator demuxes responses back to their waiting sessions by
+// request_id. The session_id groups a query's shard requests for
+// logging/fault attribution; it never affects execution (shard identity
+// and seed travel in the body), so interleaving sessions cannot change
+// any estimate.
+//
+// Errors travel as first-class messages (kError: status code + text), so
+// a daemon-side failure keeps its StatusCode across the wire — the
+// coordinator's retry logic needs the retryable/fatal distinction
+// (IsRetryableShardFailure) to survive serialization.
+
+#ifndef GUS_SERVE_PROTOCOL_H_
+#define GUS_SERVE_PROTOCOL_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+
+#include "util/status.h"
+
+namespace gus {
+
+/// Message types (values are wire contract; never renumber).
+enum class ServeMsg : uint32_t {
+  /// Coordinator -> daemon: execute one shard of a registered query.
+  kExecRequest = 1,
+  /// Daemon -> coordinator: the shard's serialized wire bundle.
+  kExecResponse = 2,
+  /// Coordinator -> daemon: describe a registered query's plan.
+  kPlanInfoRequest = 3,
+  kPlanInfoResponse = 4,
+  /// Daemon -> coordinator: a failure, carrying the original StatusCode.
+  kError = 5,
+};
+
+/// The per-message session header (see file comment).
+struct ServeHeader {
+  ServeMsg type = ServeMsg::kError;
+  uint64_t session_id = 0;
+  uint64_t request_id = 0;
+};
+
+/// Frames `body` under `header` into one message payload.
+std::string EncodeServeMessage(const ServeHeader& header,
+                               std::string_view body);
+
+/// \brief Splits a frame payload into header + body view (borrows
+/// `payload`); rejects unknown message types loudly.
+Result<std::pair<ServeHeader, std::string_view>> DecodeServeMessage(
+    std::string_view payload);
+
+/// \brief kExecRequest body: which registered query, which shard, under
+/// what execution geometry.
+///
+/// The daemon recomputes the deterministic shard plan locally (the
+/// scatter contract, dist/shard.h) — only the tiny tuple travels.
+struct ExecShardRequest {
+  std::string query;
+  uint64_t seed = 0;
+  int32_t shard_index = 0;
+  int32_t num_shards = 1;
+  /// Pinned morsel geometry (0 = daemon normalizes via ShardedExecOptions,
+  /// which the coordinator also does; both sides agree on the default).
+  int64_t morsel_rows = 0;
+  /// Worker threads the daemon may use for this shard (never affects
+  /// result bits; see plan/parallel_executor.h).
+  int32_t num_threads = 1;
+  /// Admission scale in (0, 1]: sampling rates are multiplied down and
+  /// the top GUS re-derived before execution (stream/admission.h).
+  double admission_scale = 1.0;
+  /// When nonzero, the daemon refuses to execute against base data whose
+  /// PlanCatalogFingerprint differs (divergence detected pre-execution).
+  uint64_t expected_catalog_fingerprint = 0;
+};
+
+std::string ExecShardRequestToBytes(const ExecShardRequest& req);
+Result<ExecShardRequest> ExecShardRequestFromBytes(std::string_view payload);
+
+/// kPlanInfoResponse body: what a coordinator needs to gather and cache.
+struct ServePlanInfo {
+  /// MorselSplit::partitionable for the registered plan.
+  bool partitionable = false;
+  /// Partitioned pivot scan ("" when not partitionable) — the degraded
+  /// gather's co-survival pivot (est/partial_gather.h).
+  std::string pivot_relation;
+  /// PlanCatalogFingerprint of the daemon's loaded base data.
+  uint64_t catalog_fingerprint = 0;
+  /// Fingerprint of the query *definition* (plan shape + aggregate +
+  /// GUS design + estimator options) — half of the view-cache key.
+  uint64_t query_fingerprint = 0;
+};
+
+std::string ServePlanInfoToBytes(const ServePlanInfo& info);
+Result<ServePlanInfo> ServePlanInfoFromBytes(std::string_view payload);
+
+/// kError body: round-trips a Status across the wire.
+std::string StatusToBytes(const Status& status);
+/// \brief Reconstructs the carried Status and returns it directly
+/// (always non-OK). Protocol violations — truncated payloads
+/// (InvalidArgument) or an OK status where an error was promised
+/// (Internal) — decode to their own non-retryable failures, so callers
+/// can uniformly `return StatusFromBytes(body)`.
+Status StatusFromBytes(std::string_view payload);
+
+}  // namespace gus
+
+#endif  // GUS_SERVE_PROTOCOL_H_

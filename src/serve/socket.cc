@@ -1,0 +1,328 @@
+#include "serve/socket.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <istream>
+#include <stdexcept>
+#include <ostream>
+#include <streambuf>
+
+#include "dist/transport.h"
+
+namespace gus {
+
+namespace {
+
+/// \brief Unbuffered streambuf over a connected socket fd.
+///
+/// xsgetn returns whatever one recv() delivers (a partial count on a
+/// fragmented frame) instead of looping to fill the request — that is
+/// deliberate: it makes the socket behave like the short-read stream the
+/// frame codec's ReadFully loop exists for, so the loop is exercised on
+/// real traffic. Only EINTR retries here; everything else surfaces as
+/// EOF/error to the codec, which classifies it.
+class FdStreamBuf final : public std::streambuf {
+ public:
+  explicit FdStreamBuf(int fd) : fd_(fd) {}
+
+ protected:
+  std::streamsize xsgetn(char* s, std::streamsize n) override {
+    if (n <= 0) return 0;
+    for (;;) {
+      const ssize_t got = ::recv(fd_, s, static_cast<size_t>(n), 0);
+      if (got >= 0) return static_cast<std::streamsize>(got);
+      if (errno == EINTR) continue;
+      return 0;
+    }
+  }
+
+  std::streamsize xsputn(const char* s, std::streamsize n) override {
+    if (n <= 0) return 0;
+    for (;;) {
+      const ssize_t put = ::send(fd_, s, static_cast<size_t>(n), MSG_NOSIGNAL);
+      if (put >= 0) return static_cast<std::streamsize>(put);
+      if (errno == EINTR) continue;
+      return 0;
+    }
+  }
+
+  // Single-character fallbacks (the codec only uses sgetn/sputn, but the
+  // iostream layer may probe these).
+  int_type underflow() override {
+    char c;
+    return xsgetn(&c, 1) == 1 ? traits_type::to_int_type(c)
+                              : traits_type::eof();
+  }
+  int_type overflow(int_type ch) override {
+    if (traits_type::eq_int_type(ch, traits_type::eof())) return 0;
+    const char c = traits_type::to_char_type(ch);
+    return xsputn(&c, 1) == 1 ? ch : traits_type::eof();
+  }
+
+ private:
+  int fd_;
+};
+
+Status ErrnoStatus(const std::string& what) {
+  return Status::Unavailable(what + ": " + std::strerror(errno));
+}
+
+Result<int> MakeSocket(Endpoint::Kind kind) {
+  const int domain = kind == Endpoint::Kind::kUnix ? AF_UNIX : AF_INET;
+  const int fd = ::socket(domain, SOCK_STREAM, 0);
+  if (fd < 0) return ErrnoStatus("socket()");
+  return fd;
+}
+
+Result<sockaddr_un> UnixAddr(const std::string& path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.empty() || path.size() >= sizeof(addr.sun_path)) {
+    return Status::InvalidArgument("unix socket path empty or too long: '" +
+                                   path + "'");
+  }
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  return addr;
+}
+
+Result<sockaddr_in> TcpAddr(const std::string& host, int port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  const std::string use = host.empty() ? "127.0.0.1" : host;
+  if (::inet_pton(AF_INET, use.c_str(), &addr.sin_addr) != 1) {
+    return Status::InvalidArgument("cannot parse IPv4 host '" + use + "'");
+  }
+  return addr;
+}
+
+}  // namespace
+
+Result<Endpoint> Endpoint::Parse(const std::string& spec) {
+  Endpoint ep;
+  if (spec.rfind("unix:", 0) == 0) {
+    ep.kind = Kind::kUnix;
+    ep.target = spec.substr(5);
+    if (ep.target.empty()) {
+      return Status::InvalidArgument("empty unix socket path in '" + spec +
+                                     "'");
+    }
+    return ep;
+  }
+  if (spec.rfind("tcp:", 0) == 0) {
+    ep.kind = Kind::kTcp;
+    const std::string rest = spec.substr(4);
+    const size_t colon = rest.rfind(':');
+    const std::string port_str =
+        colon == std::string::npos ? rest : rest.substr(colon + 1);
+    if (colon != std::string::npos) ep.target = rest.substr(0, colon);
+    try {
+      size_t used = 0;
+      ep.port = std::stoi(port_str, &used);
+      if (used != port_str.size()) throw std::invalid_argument(port_str);
+    } catch (const std::exception&) {
+      return Status::InvalidArgument("cannot parse TCP port in '" + spec +
+                                     "'");
+    }
+    if (ep.port < 0 || ep.port > 65535) {
+      return Status::InvalidArgument("TCP port out of range in '" + spec +
+                                     "'");
+    }
+    return ep;
+  }
+  return Status::InvalidArgument(
+      "endpoint must be 'unix:<path>', 'tcp:<host>:<port>', or "
+      "'tcp:<port>'; got '" +
+      spec + "'");
+}
+
+std::string Endpoint::ToString() const {
+  if (kind == Kind::kUnix) return "unix:" + target;
+  return "tcp:" + (target.empty() ? std::string("127.0.0.1") : target) + ":" +
+         std::to_string(port);
+}
+
+SocketConnection::SocketConnection(int fd) : fd_(fd) {}
+
+SocketConnection::~SocketConnection() {
+  Close();
+  // The fd is released only here, never in Close(): every concurrent
+  // user of the connection holds it via shared_ptr, so by destruction
+  // time no thread can still be blocked in recv/send on this fd — while
+  // a close() inside Close() could race a parked reader and hand its
+  // recv a *reused* descriptor number.
+  const int fd = fd_.exchange(-1, std::memory_order_acq_rel);
+  if (fd >= 0) ::close(fd);
+}
+
+Result<std::unique_ptr<SocketConnection>> SocketConnection::Connect(
+    const Endpoint& ep) {
+  GUS_ASSIGN_OR_RETURN(int fd, MakeSocket(ep.kind));
+  int rc = -1;
+  if (ep.kind == Endpoint::Kind::kUnix) {
+    Result<sockaddr_un> addr = UnixAddr(ep.target);
+    if (!addr.ok()) {
+      ::close(fd);
+      return addr.status();
+    }
+    const sockaddr_un& sa = addr.ValueOrDie();
+    do {
+      rc = ::connect(fd, reinterpret_cast<const sockaddr*>(&sa), sizeof(sa));
+    } while (rc < 0 && errno == EINTR);
+  } else {
+    Result<sockaddr_in> addr = TcpAddr(ep.target, ep.port);
+    if (!addr.ok()) {
+      ::close(fd);
+      return addr.status();
+    }
+    const sockaddr_in& sa = addr.ValueOrDie();
+    do {
+      rc = ::connect(fd, reinterpret_cast<const sockaddr*>(&sa), sizeof(sa));
+    } while (rc < 0 && errno == EINTR);
+    if (rc == 0) {
+      const int one = 1;
+      ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    }
+  }
+  if (rc < 0) {
+    const Status st = ErrnoStatus("connect(" + ep.ToString() + ")");
+    ::close(fd);
+    return st;
+  }
+  return std::unique_ptr<SocketConnection>(new SocketConnection(fd));
+}
+
+Status SocketConnection::SendFrame(std::string_view payload) {
+  const int fd = fd_.load(std::memory_order_acquire);
+  if (fd < 0 || closed_.load(std::memory_order_acquire)) {
+    return Status::Unavailable("socket already closed");
+  }
+  FdStreamBuf buf(fd);
+  std::ostream out(&buf);
+  return WriteFrame(&out, payload);
+}
+
+Result<std::string> SocketConnection::RecvFrame(bool* clean_eof) {
+  const int fd = fd_.load(std::memory_order_acquire);
+  if (fd < 0 || closed_.load(std::memory_order_acquire)) {
+    if (clean_eof != nullptr) *clean_eof = true;
+    return Status::Unavailable("socket already closed");
+  }
+  FdStreamBuf buf(fd);
+  std::istream in(&buf);
+  return ReadFrame(&in, clean_eof);
+}
+
+void SocketConnection::Close() {
+  // shutdown() only — it wakes any thread parked in recv/send (they see
+  // EOF/EPIPE on the still-valid fd) without freeing the descriptor
+  // number out from under them. The destructor does the close().
+  if (closed_.exchange(true, std::memory_order_acq_rel)) return;
+  const int fd = fd_.load(std::memory_order_acquire);
+  if (fd >= 0) ::shutdown(fd, SHUT_RDWR);
+}
+
+SocketListener::SocketListener(int fd, Endpoint endpoint)
+    : fd_(fd), endpoint_(std::move(endpoint)) {}
+
+SocketListener::~SocketListener() {
+  Close();
+  // Same split as SocketConnection: the accept thread is joined before
+  // the listener is destroyed (daemon Stop()), so only now is it safe to
+  // release the descriptor number.
+  const int fd = fd_.exchange(-1, std::memory_order_acq_rel);
+  if (fd >= 0) {
+    ::close(fd);
+    if (endpoint_.kind == Endpoint::Kind::kUnix) {
+      ::unlink(endpoint_.target.c_str());
+    }
+  }
+}
+
+Result<std::unique_ptr<SocketListener>> SocketListener::Listen(
+    const Endpoint& ep) {
+  GUS_ASSIGN_OR_RETURN(int fd, MakeSocket(ep.kind));
+  Endpoint resolved = ep;
+  int rc = -1;
+  if (ep.kind == Endpoint::Kind::kUnix) {
+    Result<sockaddr_un> addr = UnixAddr(ep.target);
+    if (!addr.ok()) {
+      ::close(fd);
+      return addr.status();
+    }
+    // A daemon that died holding the address leaves the inode behind;
+    // restarting on it must succeed.
+    ::unlink(ep.target.c_str());
+    const sockaddr_un& sa = addr.ValueOrDie();
+    rc = ::bind(fd, reinterpret_cast<const sockaddr*>(&sa), sizeof(sa));
+  } else {
+    const int one = 1;
+    ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    Result<sockaddr_in> addr = TcpAddr(ep.target, ep.port);
+    if (!addr.ok()) {
+      ::close(fd);
+      return addr.status();
+    }
+    const sockaddr_in& sa = addr.ValueOrDie();
+    rc = ::bind(fd, reinterpret_cast<const sockaddr*>(&sa), sizeof(sa));
+  }
+  if (rc < 0) {
+    const Status st = ErrnoStatus("bind(" + ep.ToString() + ")");
+    ::close(fd);
+    return st;
+  }
+  if (::listen(fd, 64) < 0) {
+    const Status st = ErrnoStatus("listen(" + ep.ToString() + ")");
+    ::close(fd);
+    return st;
+  }
+  if (ep.kind == Endpoint::Kind::kTcp && ep.port == 0) {
+    sockaddr_in bound{};
+    socklen_t len = sizeof(bound);
+    if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &len) == 0) {
+      resolved.port = static_cast<int>(ntohs(bound.sin_port));
+    }
+  }
+  return std::unique_ptr<SocketListener>(
+      new SocketListener(fd, std::move(resolved)));
+}
+
+Result<std::unique_ptr<SocketConnection>> SocketListener::Accept() {
+  for (;;) {
+    const int fd = fd_.load(std::memory_order_acquire);
+    if (fd < 0 || closed_.load(std::memory_order_acquire)) {
+      return Status::Unavailable("listener closed");
+    }
+    const int conn = ::accept(fd, nullptr, nullptr);
+    if (conn >= 0) {
+      if (endpoint_.kind == Endpoint::Kind::kTcp) {
+        const int one = 1;
+        ::setsockopt(conn, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+      }
+      return std::unique_ptr<SocketConnection>(new SocketConnection(conn));
+    }
+    if (errno == EINTR) continue;
+    // Close() shut the fd down under us (EBADF/EINVAL) or the kernel
+    // aborted a half-open connection; both end the accept loop.
+    return Status::Unavailable("accept(" + endpoint_.ToString() +
+                               ") ended: " + std::strerror(errno));
+  }
+}
+
+void SocketListener::Close() {
+  // shutdown() only, so a thread parked in accept() wakes without the
+  // descriptor number being freed under it; the destructor closes the
+  // fd and unlinks a Unix path once the accept loop is joined.
+  if (closed_.exchange(true, std::memory_order_acq_rel)) return;
+  const int fd = fd_.load(std::memory_order_acquire);
+  if (fd >= 0) ::shutdown(fd, SHUT_RDWR);
+}
+
+}  // namespace gus

@@ -1,0 +1,127 @@
+// Stream sockets for the serving layer: the GUSF frame codec lifted onto
+// long-lived Unix-domain and TCP connections.
+//
+// dist/transport.h's frame codec "works over any std::iostream"; this
+// file supplies the iostream — a raw-fd streambuf whose xsgetn/xsputn
+// return per-recv/send partial counts (looping only on EINTR), so the
+// ReadFrame/WriteFrame partial-transfer loops are exercised on every
+// socket frame, not just in tests. One frame is one message; framing,
+// checksumming, and damage classification (Unavailable = retryable wire
+// damage, clean EOF = peer hung up between frames) are identical to the
+// file transport because they are the same code.
+//
+// Endpoints parse from strings so daemons and coordinators can be wired
+// from flags: "unix:/path/to.sock", "tcp:host:port", or "tcp:port"
+// (loopback). Listening on "tcp:0" resolves the kernel-assigned port.
+
+#ifndef GUS_SERVE_SOCKET_H_
+#define GUS_SERVE_SOCKET_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "util/status.h"
+
+namespace gus {
+
+/// \brief A parseable serving address: Unix-domain path or TCP host:port.
+struct Endpoint {
+  enum class Kind { kUnix, kTcp };
+
+  Kind kind = Kind::kUnix;
+  /// Socket path (kUnix) or host (kTcp; empty = loopback).
+  std::string target;
+  /// TCP port (0 = kernel-assigned; Listen resolves it).
+  int port = 0;
+
+  /// Parses "unix:<path>", "tcp:<host>:<port>", or "tcp:<port>".
+  static Result<Endpoint> Parse(const std::string& spec);
+  std::string ToString() const;
+};
+
+/// \brief One connected stream socket carrying GUSF frames.
+///
+/// SendFrame/RecvFrame are whole-message operations built on the shared
+/// frame codec; partial sends/recvs are looped at the streambuf layer.
+/// Not internally synchronized: concurrent senders (or receivers) must
+/// hold their own lock so frames never interleave mid-write.
+class SocketConnection {
+ public:
+  ~SocketConnection();
+  SocketConnection(SocketConnection&&) = delete;
+  SocketConnection& operator=(SocketConnection&&) = delete;
+
+  /// Connects to a listening endpoint.
+  static Result<std::unique_ptr<SocketConnection>> Connect(const Endpoint& ep);
+
+  /// Frames `payload` and writes it fully to the socket.
+  Status SendFrame(std::string_view payload);
+
+  /// \brief Reads one complete frame (blocking).
+  ///
+  /// On a clean peer close between frames, returns Unavailable with
+  /// `*clean_eof = true`; mid-frame death is truncation (clean_eof
+  /// false) — the ReadFrame contract (dist/transport.h).
+  Result<std::string> RecvFrame(bool* clean_eof = nullptr);
+
+  /// \brief Shuts the socket down both ways.
+  ///
+  /// Any thread blocked in RecvFrame wakes with EOF; safe to call
+  /// concurrently with transfers and more than once. The fd itself is
+  /// released by the destructor, not here — closing it while a reader
+  /// is parked in recv() would let the kernel reuse the descriptor
+  /// number under that reader.
+  void Close();
+
+  int fd() const { return fd_.load(std::memory_order_acquire); }
+
+ private:
+  friend class SocketListener;
+  explicit SocketConnection(int fd);
+
+  /// Atomic so Close() may race transfers from other threads (the demux
+  /// reader wakeup path) without a data race; the kernel serializes the
+  /// actual fd operations.
+  std::atomic<int> fd_{-1};
+  /// Set by Close(); transfers refuse once it is up.
+  std::atomic<bool> closed_{false};
+};
+
+/// \brief A listening socket producing SocketConnections.
+class SocketListener {
+ public:
+  ~SocketListener();
+
+  /// \brief Binds and listens on `ep`; the returned listener's
+  /// endpoint() carries the resolved address (e.g. the real port for
+  /// "tcp:0"). Unix paths are unlinked first so a daemon can restart on
+  /// the address it died holding.
+  static Result<std::unique_ptr<SocketListener>> Listen(const Endpoint& ep);
+
+  /// Blocks for the next connection; Unavailable after Close().
+  Result<std::unique_ptr<SocketConnection>> Accept();
+
+  /// \brief Unblocks pending Accepts (idempotent).
+  ///
+  /// Like SocketConnection::Close(), this only shuts the socket down;
+  /// the fd is closed (and a Unix path unlinked) by the destructor,
+  /// after the accept loop has observed the shutdown.
+  void Close();
+
+  const Endpoint& endpoint() const { return endpoint_; }
+
+ private:
+  SocketListener(int fd, Endpoint endpoint);
+
+  std::atomic<int> fd_{-1};
+  /// Set by Close(); Accept refuses once it is up.
+  std::atomic<bool> closed_{false};
+  Endpoint endpoint_;
+};
+
+}  // namespace gus
+
+#endif  // GUS_SERVE_SOCKET_H_

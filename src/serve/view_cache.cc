@@ -1,0 +1,121 @@
+#include "serve/view_cache.h"
+
+#include <utility>
+
+namespace gus {
+
+namespace {
+
+/// 64-bit mix (splitmix64 finalizer) — cheap avalanche for key fields.
+uint64_t Mix(uint64_t x) {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+size_t ViewCacheKey::Hash::operator()(const ViewCacheKey& k) const {
+  uint64_t h = Mix(k.query_fingerprint);
+  h = Mix(h ^ k.catalog_fingerprint);
+  h = Mix(h ^ k.seed);
+  h = Mix(h ^ static_cast<uint64_t>(k.morsel_rows));
+  h = Mix(h ^ k.scale_bits);
+  return static_cast<size_t>(h);
+}
+
+ViewCache::ViewCache(size_t max_entries)
+    : max_entries_(max_entries == 0 ? 1 : max_entries) {}
+
+std::optional<std::string> ViewCache::Lookup(const ViewCacheKey& key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(key);
+  if (it == entries_.end()) {
+    ++misses_;
+    return std::nullopt;
+  }
+  ++hits_;
+  lru_.splice(lru_.begin(), lru_, it->second.lru_pos);
+  return it->second.bundle;
+}
+
+void ViewCache::Insert(const ViewCacheKey& key, std::string bundle) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(key);
+  if (it != entries_.end()) {
+    it->second.bundle = std::move(bundle);
+    lru_.splice(lru_.begin(), lru_, it->second.lru_pos);
+    return;
+  }
+  lru_.push_front(key);
+  entries_.emplace(key, Entry{std::move(bundle), lru_.begin()});
+  while (entries_.size() > max_entries_) {
+    entries_.erase(lru_.back());
+    lru_.pop_back();
+  }
+}
+
+int64_t ViewCache::InvalidateCatalog(uint64_t catalog_fingerprint) {
+  std::lock_guard<std::mutex> lock(mu_);
+  int64_t dropped = 0;
+  for (auto it = entries_.begin(); it != entries_.end();) {
+    if (it->first.catalog_fingerprint == catalog_fingerprint) {
+      lru_.erase(it->second.lru_pos);
+      it = entries_.erase(it);
+      ++dropped;
+    } else {
+      ++it;
+    }
+  }
+  invalidations_ += dropped;
+  return dropped;
+}
+
+int64_t ViewCache::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  const int64_t dropped = static_cast<int64_t>(entries_.size());
+  entries_.clear();
+  lru_.clear();
+  invalidations_ += dropped;
+  return dropped;
+}
+
+int64_t ViewCache::hits() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return hits_;
+}
+
+int64_t ViewCache::misses() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return misses_;
+}
+
+int64_t ViewCache::invalidations() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return invalidations_;
+}
+
+size_t ViewCache::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.size();
+}
+
+bool ViewCache::CorruptEntryForTesting(const ViewCacheKey& key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(key);
+  if (it == entries_.end() || it->second.bundle.empty()) return false;
+  // Flip bits in the middle of the container: the section directory or a
+  // payload byte, never just the trailing checksum — the checksum must
+  // *catch* this, which is the point of the test.
+  std::string& bundle = it->second.bundle;
+  bundle[bundle.size() / 2] = static_cast<char>(bundle[bundle.size() / 2] ^ 0x5A);
+  return true;
+}
+
+ViewCache* ProcessViewCache() {
+  static auto* cache = new ViewCache(128);
+  return cache;
+}
+
+}  // namespace gus

@@ -1,6 +1,8 @@
 #include "sqlish/planner.h"
 
 #include <algorithm>
+#include <cstring>
+#include <optional>
 #include <set>
 #include <sstream>
 #include <unordered_map>
@@ -15,8 +17,10 @@
 #include "est/streaming.h"
 #include "est/wire.h"
 #include "plan/columnar_executor.h"
+#include "plan/exec_stats.h"
 #include "plan/parallel_executor.h"
 #include "plan/soa_transform.h"
+#include "serve/view_cache.h"
 
 namespace gus {
 namespace sqlish {
@@ -443,18 +447,21 @@ Result<ApproxResult> RunMorselParallel(const PlannedQuery& planned,
                               fanout->views(), fanout->groups());
 }
 
-/// \brief Sharded path (ExecEngine::kSharded): scatter the query over
-/// num_shards shared-nothing workers, each serializing its per-item
-/// builder states into an est/wire bundle, then gather — deserialize and
-/// merge in shard order — and estimate.
+/// \brief The scatter/gather core shared by kSharded and kServed:
+/// scatter the query over num_shards shared-nothing workers, each
+/// serializing its per-item builder states into an est/wire bundle, then
+/// gather — deserialize and merge in shard order — leaving the merged
+/// builders (and row count) with the caller.
 ///
 /// The per-shard states round-trip through the real wire format and a
 /// ShardTransport even in this single-process form, so the cross-node
 /// contract is exercised on every kSharded query, not only in tests.
-Result<ApproxResult> RunSharded(const PlannedQuery& planned,
-                                const SoaResult& soa, const Catalog& catalog,
-                                uint64_t seed, const SboxOptions& options,
-                                const ExecOptions& exec) {
+Status RunShardedCore(const PlannedQuery& planned, const SoaResult& soa,
+                      const Catalog& catalog, uint64_t seed,
+                      const ExecOptions& exec,
+                      std::vector<SampleViewBuilder>* out_views,
+                      std::vector<GroupedSumBuilder>* out_groups,
+                      int64_t* out_sample_rows) {
   ColumnarCatalog columnar(&catalog);
   LocalTransport transport;
   const int num_shards = exec.num_shards;
@@ -552,6 +559,133 @@ Result<ApproxResult> RunSharded(const PlannedQuery& planned,
   }
   GUS_RETURN_NOT_OK(ValidateShardMetas(metas));
   GUS_RETURN_NOT_OK(ValidateShardSamplerStates(sampler_payloads));
+  *out_views = std::move(views);
+  *out_groups = std::move(groups);
+  *out_sample_rows = sample_rows;
+  return Status::OK();
+}
+
+/// Sharded path (ExecEngine::kSharded): the core plus per-item estimation.
+Result<ApproxResult> RunSharded(const PlannedQuery& planned,
+                                const SoaResult& soa, const Catalog& catalog,
+                                uint64_t seed, const SboxOptions& options,
+                                const ExecOptions& exec) {
+  std::vector<SampleViewBuilder> views;
+  std::vector<GroupedSumBuilder> groups;
+  int64_t sample_rows = 0;
+  GUS_RETURN_NOT_OK(RunShardedCore(planned, soa, catalog, seed, exec, &views,
+                                   &groups, &sample_rows));
+  return EstimateFromBuilders(planned, soa, options, sample_rows, &views,
+                              &groups);
+}
+
+/// \brief Served path (ExecEngine::kServed): the sharded core fronted by
+/// the process-wide approximate-view cache.
+///
+/// The cache entry is a checksummed wire bundle holding the *merged*
+/// per-item builder states plus the row count (a private META mini-payload
+/// — just the i64 row count; only this reader consumes it). Builder
+/// serialization round-trips bit-exactly, so a hit reproduces the miss's
+/// ApproxResult to the last bit while executing nothing — ExecStats'
+/// cache counters prove which path ran. Keyed on (sql + estimator
+/// options, catalog content, seed, normalized morsel geometry);
+/// num_shards is absent because kSharded results are shard-count
+/// invariant.
+Result<ApproxResult> RunServed(const PlannedQuery& planned,
+                               const SoaResult& soa, const Catalog& catalog,
+                               const std::string& sql, uint64_t seed,
+                               const SboxOptions& options,
+                               const ExecOptions& exec) {
+  ViewCache* cache = ProcessViewCache();
+  ViewCacheKey key;
+  {
+    WireWriter w;
+    w.PutString(sql);
+    w.PutDouble(options.confidence_level);
+    w.PutU8(static_cast<uint8_t>(options.bound_kind));
+    w.PutU8(options.subsample.has_value() ? 1 : 0);
+    if (options.subsample.has_value()) {
+      w.PutI64(options.subsample->target_rows);
+      w.PutU64(options.subsample->seed);
+    }
+    key.query_fingerprint = WireChecksum(w.buffer());
+  }
+  {
+    ColumnarCatalog columnar(&catalog);
+    GUS_ASSIGN_OR_RETURN(key.catalog_fingerprint,
+                         PlanCatalogFingerprint(planned.plan, &columnar));
+  }
+  key.seed = seed;
+  key.morsel_rows = ShardedExecOptions(exec).morsel_rows;
+  {
+    const double scale = 1.0;  // sqlish has no admission front door (yet)
+    uint64_t bits = 0;
+    std::memcpy(&bits, &scale, sizeof(bits));
+    key.scale_bits = bits;
+  }
+
+  const WireTag item_tag = planned.group_by.empty() ? WireTag::kViewBuilder
+                                                    : WireTag::kGroupedSum;
+  std::optional<std::string> cached = cache->Lookup(key);
+  if (cached.has_value()) {
+    if (exec.stats != nullptr) ++exec.stats->cache_hits;
+    // A poisoned entry fails loudly here (container checksum / section
+    // shape), never silently re-executes or serves damaged numbers.
+    GUS_ASSIGN_OR_RETURN(std::vector<WireSectionView> sections,
+                         ParseWireBundle(*cached));
+    GUS_ASSIGN_OR_RETURN(WireSectionView meta,
+                         FindWireSection(sections, WireTag::kMeta));
+    WireReader r(meta.payload);
+    int64_t sample_rows = 0;
+    GUS_RETURN_NOT_OK(r.ReadI64(&sample_rows));
+    GUS_RETURN_NOT_OK(r.ExpectEnd());
+    std::vector<SampleViewBuilder> views;
+    std::vector<GroupedSumBuilder> groups;
+    for (const WireSectionView& section : sections) {
+      if (section.tag != item_tag) continue;
+      if (planned.group_by.empty()) {
+        GUS_ASSIGN_OR_RETURN(
+            SampleViewBuilder builder,
+            SampleViewBuilder::DeserializeState(section.payload));
+        views.push_back(std::move(builder));
+      } else {
+        GUS_ASSIGN_OR_RETURN(
+            GroupedSumBuilder builder,
+            GroupedSumBuilder::DeserializeState(section.payload));
+        groups.push_back(std::move(builder));
+      }
+    }
+    const size_t cached_items =
+        planned.group_by.empty() ? views.size() : groups.size();
+    if (cached_items != planned.items.size()) {
+      return Status::InvalidArgument(
+          "view-cache entry carries " + std::to_string(cached_items) +
+          " item states, expected " + std::to_string(planned.items.size()) +
+          "; refusing to serve");
+    }
+    return EstimateFromBuilders(planned, soa, options, sample_rows, &views,
+                                &groups);
+  }
+
+  std::vector<SampleViewBuilder> views;
+  std::vector<GroupedSumBuilder> groups;
+  int64_t sample_rows = 0;
+  GUS_RETURN_NOT_OK(RunShardedCore(planned, soa, catalog, seed, exec, &views,
+                                   &groups, &sample_rows));
+  if (exec.stats != nullptr) ++exec.stats->cache_misses;
+  WireBundleWriter bundle;
+  {
+    WireWriter meta;
+    meta.PutI64(sample_rows);
+    bundle.AddSection(WireTag::kMeta, meta.Take());
+  }
+  for (const SampleViewBuilder& builder : views) {
+    bundle.AddSection(item_tag, builder.SerializeState());
+  }
+  for (const GroupedSumBuilder& builder : groups) {
+    bundle.AddSection(item_tag, builder.SerializeState());
+  }
+  cache->Insert(key, bundle.Finish());
   return EstimateFromBuilders(planned, soa, options, sample_rows, &views,
                               &groups);
 }
@@ -577,6 +711,9 @@ Result<ApproxResult> RunApproxQuery(const std::string& sql,
   GUS_ASSIGN_OR_RETURN(SoaResult soa, SoaTransform(planned.plan));
 
   Rng rng(seed);
+  if (exec.engine == ExecEngine::kServed) {
+    return RunServed(planned, soa, catalog, sql, seed, options, exec);
+  }
   if (exec.engine == ExecEngine::kSharded) {
     return RunSharded(planned, soa, catalog, seed, options, exec);
   }

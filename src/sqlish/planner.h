@@ -81,6 +81,13 @@ Result<ApproxResult> RunApproxQuery(const std::string& sql,
 /// catalog, seed, exec) and identical across num_threads values — and,
 /// for kSharded, across num_shards values (shards are contiguous ranges
 /// of the same global morsel sequence; see src/dist/shard.h).
+///
+/// ExecEngine::kServed is kSharded fronted by the process-wide
+/// approximate-view cache (serve/view_cache.h): a repeated (sql +
+/// estimator options, catalog content, seed, morsel geometry) serves the
+/// bit-identical result from cached merged builder state without
+/// executing anything — ExecOptions::stats' cache counters record which
+/// path answered.
 Result<ApproxResult> RunApproxQuery(const std::string& sql,
                                     const Catalog& catalog, uint64_t seed,
                                     const SboxOptions& options,

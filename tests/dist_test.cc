@@ -996,6 +996,109 @@ TEST(FaultToleranceTest, LosingAnEmptyShardDoesNotDegrade) {
                          .status());
 }
 
+/// A streambuf that dribbles at most one byte per sgetn/sputn call —
+/// the worst-case socket: every transfer is partial. The frame codec's
+/// ReadFully/WriteFully loops must still move whole frames.
+class DribbleBuf : public std::streambuf {
+ public:
+  explicit DribbleBuf(std::string bytes) : bytes_(std::move(bytes)) {}
+
+  const std::string& written() const { return out_; }
+
+ protected:
+  std::streamsize xsgetn(char* s, std::streamsize n) override {
+    if (pos_ >= bytes_.size() || n < 1) return 0;
+    *s = bytes_[pos_++];
+    return 1;
+  }
+  int underflow() override {
+    // No buffered area: sgetn goes through xsgetn; a stray istream read
+    // would see one char at a time too.
+    if (pos_ >= bytes_.size()) return traits_type::eof();
+    return traits_type::to_int_type(bytes_[pos_]);
+  }
+  int uflow() override {
+    if (pos_ >= bytes_.size()) return traits_type::eof();
+    return traits_type::to_int_type(bytes_[pos_++]);
+  }
+  std::streamsize xsputn(const char* s, std::streamsize n) override {
+    if (n < 1) return 0;
+    out_.push_back(*s);
+    return 1;
+  }
+  int overflow(int ch) override {
+    if (ch == traits_type::eof()) return traits_type::eof();
+    out_.push_back(static_cast<char>(ch));
+    return ch;
+  }
+
+ private:
+  std::string bytes_;
+  size_t pos_ = 0;
+  std::string out_;
+};
+
+TEST(DistTest, FrameCodecLoopsOverPartialTransfers) {
+  // Write through a one-byte-at-a-time sink, read back through a
+  // one-byte-at-a-time source: both directions must loop to completion.
+  const std::string payload(10000, 'x');
+  DribbleBuf sink("");
+  std::ostream out(&sink);
+  ASSERT_OK(WriteFrame(&out, payload));
+  EXPECT_EQ(4 + 8 + payload.size() + 8, sink.written().size());
+
+  DribbleBuf source(sink.written());
+  std::istream in(&source);
+  bool clean_eof = true;
+  ASSERT_OK_AND_ASSIGN(std::string read, ReadFrame(&in, &clean_eof));
+  EXPECT_EQ(payload, read);
+  EXPECT_FALSE(clean_eof);
+}
+
+TEST(DistTest, ReadFrameDistinguishesCleanEofFromTruncation) {
+  const std::string payload = "partial-read-contract";
+  DribbleBuf sink("");
+  std::ostream out(&sink);
+  ASSERT_OK(WriteFrame(&out, payload));
+  const std::string frame = sink.written();
+
+  // An exhausted stream before any frame byte: clean EOF, not damage.
+  {
+    DribbleBuf source("");
+    std::istream in(&source);
+    bool clean_eof = false;
+    auto r = ReadFrame(&in, &clean_eof);
+    EXPECT_FALSE(r.ok());
+    EXPECT_TRUE(clean_eof);
+  }
+  // After one complete frame the next read is also a clean EOF.
+  {
+    DribbleBuf source(frame);
+    std::istream in(&source);
+    bool clean_eof = true;
+    ASSERT_OK_AND_ASSIGN(std::string read, ReadFrame(&in, &clean_eof));
+    EXPECT_EQ(payload, read);
+    EXPECT_FALSE(clean_eof);
+    auto r = ReadFrame(&in, &clean_eof);
+    EXPECT_FALSE(r.ok());
+    EXPECT_TRUE(clean_eof);
+  }
+  // EOF anywhere inside a frame is truncation — clean_eof stays false
+  // and the error says "truncated" (a killed peer, not a finished one).
+  for (const size_t cut : {1ul, 3ul, 4ul, 11ul, 12ul, frame.size() - 9,
+                           frame.size() - 1}) {
+    SCOPED_TRACE(cut);
+    DribbleBuf source(frame.substr(0, cut));
+    std::istream in(&source);
+    bool clean_eof = true;
+    auto r = ReadFrame(&in, &clean_eof);
+    EXPECT_FALSE(r.ok());
+    EXPECT_FALSE(clean_eof);
+    EXPECT_NE(std::string::npos, r.status().ToString().find("truncated"))
+        << r.status().ToString();
+  }
+}
+
 TEST(DistTest, ValidatesExecOptions) {
   Query1Fixture fx;
   ExecOptions bad;

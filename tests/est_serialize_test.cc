@@ -15,6 +15,7 @@
 #include "algebra/ops.h"
 #include "algebra/translate.h"
 #include "est/group_by.h"
+#include "est/partial_gather.h"
 #include "est/sbox.h"
 #include "est/serialize.h"
 #include "est/streaming.h"
@@ -251,6 +252,82 @@ TEST(WireTest, GoldenBundleHeaderMatchesSpec) {
   ASSERT_EQ(1u, sections.size());
   EXPECT_EQ(WireTag::kSampleView, sections[0].tag);
   EXPECT_EQ("abc", sections[0].payload);
+}
+
+TEST(WireTest, GoldenSurvivingRangesBytesMatchSpec) {
+  // The wire v2.1 LIVE section, byte for byte as documented in
+  // docs/WIRE_FORMAT.md: pivot string (u32 len + bytes), u32 total
+  // shards, i64 total units, u32 range count, then per range
+  // (u32 shard index, i64 unit begin, i64 unit end) — all little-endian.
+  SurvivingRangesInfo info;
+  info.pivot_relation = "l";
+  info.total_shards = 4;
+  info.total_units = 19;
+  info.surviving = {{0, 0, 5}, {2, 10, 15}};
+  const std::string bytes = SurvivingRangesToBytes(info);
+  const uint8_t expected[] = {
+      0x01, 0x00, 0x00, 0x00, 'l',                      // pivot "l"
+      0x04, 0x00, 0x00, 0x00,                           // total_shards = 4
+      0x13, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00,  // total_units = 19
+      0x02, 0x00, 0x00, 0x00,                           // 2 ranges
+      0x00, 0x00, 0x00, 0x00,                           // shard 0
+      0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00,  // begin 0
+      0x05, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00,  // end 5
+      0x02, 0x00, 0x00, 0x00,                           // shard 2
+      0x0A, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00,  // begin 10
+      0x0F, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00,  // end 15
+  };
+  ASSERT_EQ(sizeof(expected), bytes.size());
+  for (size_t i = 0; i < sizeof(expected); ++i) {
+    EXPECT_EQ(expected[i], static_cast<uint8_t>(bytes[i])) << "byte " << i;
+  }
+  // Round trip back to the same struct.
+  ASSERT_OK_AND_ASSIGN(SurvivingRangesInfo parsed,
+                       SurvivingRangesFromBytes(bytes));
+  EXPECT_EQ(info.pivot_relation, parsed.pivot_relation);
+  EXPECT_EQ(info.total_shards, parsed.total_shards);
+  EXPECT_EQ(info.total_units, parsed.total_units);
+  ASSERT_EQ(info.surviving.size(), parsed.surviving.size());
+  EXPECT_TRUE(info.surviving[0] == parsed.surviving[0]);
+  EXPECT_TRUE(info.surviving[1] == parsed.surviving[1]);
+}
+
+TEST(WireTest, SurvivingRangesTruncationAndCorruptionFailLoudly) {
+  SurvivingRangesInfo info;
+  info.pivot_relation = "lineitem";
+  info.total_shards = 8;
+  info.total_units = 123;
+  info.surviving = {{1, 10, 20}, {5, 60, 70}};
+  const std::string bytes = SurvivingRangesToBytes(info);
+
+  // Every truncation point fails loudly — never a partially-parsed struct.
+  for (size_t cut = 0; cut < bytes.size(); ++cut) {
+    auto r = SurvivingRangesFromBytes(std::string_view(bytes).substr(0, cut));
+    EXPECT_FALSE(r.ok()) << "cut at " << cut;
+  }
+  // Trailing garbage is a format error too.
+  EXPECT_FALSE(SurvivingRangesFromBytes(bytes + "x").ok());
+
+  // A corrupt range count cannot make the reader over-allocate or walk
+  // off the buffer: count bytes live right after the 17-byte prefix +
+  // pivot string.
+  std::string corrupt = bytes;
+  const size_t count_at = 4 + info.pivot_relation.size() + 4 + 8;
+  corrupt[count_at] = static_cast<char>(0xFF);
+  corrupt[count_at + 1] = static_cast<char>(0xFF);
+  EXPECT_FALSE(SurvivingRangesFromBytes(corrupt).ok());
+
+  // Inside a bundle the container checksum catches payload damage before
+  // the section decoder ever runs.
+  WireBundleWriter bundle;
+  bundle.AddSection(WireTag::kSurvivingRanges, bytes);
+  std::string container = bundle.Finish();
+  container[container.size() / 2] =
+      static_cast<char>(container[container.size() / 2] ^ 0x20);
+  auto parsed = ParseWireBundle(container);
+  EXPECT_FALSE(parsed.ok());
+  EXPECT_NE(std::string::npos, parsed.status().ToString().find("checksum"))
+      << parsed.status().ToString();
 }
 
 TEST(WireTest, SboxStateRoundTripMergeMatchesInProcess) {

@@ -9,6 +9,7 @@
 #include <algorithm>
 #include <chrono>
 #include <cmath>
+#include <filesystem>
 #include <functional>
 #include <unordered_map>
 
@@ -31,6 +32,9 @@
 #include "plan/exec_stats.h"
 #include "plan/parallel_executor.h"
 #include "plan/soa_transform.h"
+#include "rel/expression.h"
+#include "store/segment_catalog.h"
+#include "store/segment_store.h"
 #include "util/random.h"
 #include "util/thread_pool.h"
 #include "util/table.h"
@@ -958,6 +962,158 @@ void PrintFixedSizeParallelScaling() {
       ThreadPool::HardwareThreads());
 }
 
+// ---------------------------------------------------------------------------
+// E8 — out-of-core segment scans: zone-map + keep-set skipping vs a full
+// fault-in, at three predicate selectivities, cold vs warm cache. The
+// estimate must not move by one bit in any configuration (the bench
+// aborts otherwise): skipping is whole-morsel and provably empty units
+// fold untouched sinks.
+
+void PrintSegmentSkipping() {
+  bench::PrintHeader(
+      "E8", "segment scans: zone-map/keep-set skipping vs full fault-in");
+
+  constexpr int64_t kOrders = 30000;
+  constexpr int64_t kSegmentRows = 4096;
+  TpchConfig config;
+  config.num_orders = kOrders;
+  config.num_customers = kOrders / 10;
+  config.num_parts = 60;
+  config.gen_threads = ThreadPool::HardwareThreads() >= 2 ? 4 : 1;
+  TpchData data = GenerateTpch(config);
+  Catalog catalog = data.MakeCatalog();
+  const int64_t lineitem_rows = data.lineitem.num_rows();
+
+  const std::string dir =
+      (std::filesystem::temp_directory_path() / "gus_bench_e8").string();
+  std::filesystem::remove_all(dir);
+  {
+    const Status st = WriteCatalogSegments(catalog, dir, kSegmentRows);
+    if (!st.ok()) {
+      std::fprintf(stderr, "[bench] cannot write E8 segments: %s\n",
+                   st.ToString().c_str());
+      std::abort();
+    }
+  }
+
+  TablePrinter table({"selectivity", "config", "min (ms)", "segments",
+                      "skipped", "faulted", "MiB read", "|est diff|"});
+
+  // Selectivity via the sorted l_orderkey prefix: ~1%, ~10%, ~50%.
+  for (const double selectivity : {0.01, 0.10, 0.50}) {
+    const int64_t key_cut =
+        static_cast<int64_t>(static_cast<double>(kOrders) * selectivity);
+    PlanPtr plan = PlanNode::SelectNode(
+        Lt(Col("l_orderkey"), Lit(key_cut)),
+        PlanNode::Sample(SamplingSpec::WithoutReplacement(100, lineitem_rows),
+                         PlanNode::Scan("l")));
+    SoaResult soa = ValueOrAbort(SoaTransform(plan));
+    const ExprPtr f = Col("l_quantity");
+    SboxOptions sbox;
+
+    ExecOptions exec;
+    exec.engine = ExecEngine::kMorselParallel;
+    exec.num_threads = 1;
+    // Segment-aligned morsels: skipping operates per segment, and the
+    // unit geometry matches the in-memory baseline exactly.
+    exec.morsel_rows = kSegmentRows;
+
+    // In-memory baseline: the bit-parity reference.
+    ColumnarCatalog mem_catalog(&catalog);
+    double baseline_est = 0.0;
+    {
+      Rng rng(42);
+      SboxReport report = ValueOrAbort(
+          EstimatePlanParallel(plan, &mem_catalog, &rng, f, soa.top, sbox,
+                               ExecMode::kSampled, exec));
+      baseline_est = report.estimate;
+    }
+
+    struct E8Config {
+      const char* label;
+      bool prune;
+      bool warm;
+    };
+    for (const E8Config& cfg :
+         {E8Config{"noskip_cold", false, false},
+          E8Config{"skip_cold", true, false},
+          E8Config{"skip_warm", true, true}}) {
+      auto stored_catalog = ValueOrAbort(SegmentCatalog::Open(dir));
+      ExecOptions stored_exec = exec;
+      stored_exec.prune_segments = cfg.prune;
+      double est = 0.0;
+      ExecStats stats;
+      auto run_once = [&] {
+        // A "cold" rep must re-fault every surviving segment; RunTimed
+        // repeats the body, so drop residency each time.
+        if (!cfg.warm) stored_catalog->segment_cache()->Clear();
+        stored_exec.stats = &stats;
+        Rng rng(42);
+        SboxReport report = ValueOrAbort(EstimatePlanParallel(
+            plan, stored_catalog.get(), &rng, f, soa.top, sbox,
+            ExecMode::kSampled, stored_exec));
+        est = report.estimate;
+      };
+      if (cfg.warm) run_once();  // pre-fault the cache, then measure
+      const bench::TimedResult timed = bench::RunTimed(run_once);
+
+      const double est_diff = std::abs(est - baseline_est);
+      if (est_diff != 0.0) {
+        std::fprintf(stderr,
+                     "[bench] FATAL: E8 estimate differs from the in-memory "
+                     "baseline (selectivity %.2f, %s, |diff| = %.17g)\n",
+                     selectivity, cfg.label, est_diff);
+        std::abort();
+      }
+      const double skip_fraction =
+          stats.segments_total > 0
+              ? static_cast<double>(stats.segments_skipped) /
+                    static_cast<double>(stats.segments_total)
+              : 0.0;
+      if (cfg.prune && selectivity <= 0.01 && skip_fraction < 0.5) {
+        std::fprintf(stderr,
+                     "[bench] FATAL: E8 selective scan skipped only %.0f%% "
+                     "of segments (want >= 50%%)\n",
+                     100.0 * skip_fraction);
+        std::abort();
+      }
+      table.AddRow({TablePrinter::Num(selectivity, 2), cfg.label,
+                    TablePrinter::Num(timed.min_ms, 3),
+                    std::to_string(stats.segments_total),
+                    std::to_string(stats.segments_skipped),
+                    std::to_string(stats.segments_faulted),
+                    TablePrinter::Num(
+                        static_cast<double>(stats.store_bytes_read) /
+                            (1024.0 * 1024.0),
+                        2),
+                    TablePrinter::Num(est_diff, 6)});
+      bench::JsonReporter::Global().Add(
+          "E8",
+          std::string(cfg.label) + "_sel_" + TablePrinter::Num(selectivity, 2),
+          {{"selectivity", selectivity},
+           {"prune", cfg.prune ? 1.0 : 0.0},
+           {"warm_cache", cfg.warm ? 1.0 : 0.0},
+           {"ms", timed.min_ms},
+           {"median_ms", timed.median_ms},
+           {"segments_total", static_cast<double>(stats.segments_total)},
+           {"segments_skipped", static_cast<double>(stats.segments_skipped)},
+           {"segments_faulted", static_cast<double>(stats.segments_faulted)},
+           {"store_bytes_read", static_cast<double>(stats.store_bytes_read)},
+           {"skip_fraction", skip_fraction},
+           {"est_diff", est_diff}});
+    }
+  }
+  std::printf("%s", table.ToString().c_str());
+  std::printf(
+      "\nWOR keep-set + zone-map pruning over %lld-row segments. |est diff|\n"
+      "= 0 is asserted against the in-memory run: skipped units fold\n"
+      "untouched sinks, so skipping can never move an estimate. Cold runs\n"
+      "pay fault-in for exactly the surviving segments; warm runs serve\n"
+      "them from the pinned-segment cache.\n",
+      static_cast<long long>(kSegmentRows));
+  std::filesystem::remove_all(dir);
+}
+
 void PrintSboxRuntimeAll() {
   PrintSboxRuntime();
   PrintEngineComparison();
@@ -967,6 +1123,7 @@ void PrintSboxRuntimeAll() {
   PrintFixedSizeParallelScaling();
   PrintHotPathKernels();
   PrintSimdKernelTiers();
+  PrintSegmentSkipping();
 }
 
 namespace {

@@ -39,6 +39,13 @@ Status WarmCatalogForPlan(const PlanPtr& plan, ColumnarCatalog* catalog) {
   std::function<Status(const PlanPtr&)> walk =
       [&](const PlanPtr& node) -> Status {
     if (node->op() == PlanOp::kScan) {
+      // Segment-backed relations stay on disk: their scans stream through
+      // the pinned cache (which is thread-safe), so materializing them
+      // here would defeat out-of-core execution. Only in-memory relations
+      // need their lazy caches pre-written.
+      GUS_ASSIGN_OR_RETURN(const StoredRelation* stored,
+                           catalog->Stored(node->relation()));
+      if (stored != nullptr) return Status::OK();
       return catalog->Get(node->relation()).status();
     }
     for (int c = 0; c < node->num_children(); ++c) {
@@ -556,23 +563,17 @@ Result<FaultTolerantResult> FaultTolerantShardedSboxEstimate(
   return result;
 }
 
-Result<SboxReport> ShardedSboxEstimate(const PlanPtr& plan,
-                                       const Catalog& catalog, uint64_t seed,
-                                       ExecMode mode, const ExecOptions& exec,
-                                       int num_shards, const ExprPtr& f_expr,
-                                       const GusParams& gus,
-                                       const SboxOptions& options,
-                                       ShardTransport* transport) {
+Result<SboxReport> ShardedSboxEstimateOverCatalog(
+    const PlanPtr& plan, ColumnarCatalog* columnar_catalog, uint64_t seed,
+    ExecMode mode, const ExecOptions& exec, int num_shards,
+    const ExprPtr& f_expr, const GusParams& gus, const SboxOptions& options,
+    ShardTransport* transport) {
   if (num_shards < 1) {
     return Status::InvalidArgument("num_shards must be >= 1");
   }
   LocalTransport local;
   if (transport == nullptr) transport = &local;
-  // In-process workers share one columnar catalog: its conversion and
-  // fingerprint caches are pre-warmed serially, after which concurrent
-  // workers only read it — real multi-process workers each hold their
-  // own, which changes nothing observable.
-  ColumnarCatalog columnar(&catalog);
+  ColumnarCatalog& columnar = *columnar_catalog;
   GUS_RETURN_NOT_OK(WarmCatalogForPlan(plan, &columnar));
   GUS_ASSIGN_OR_RETURN(const uint64_t expected_fingerprint,
                        PlanCatalogFingerprint(plan, &columnar));
@@ -598,6 +599,23 @@ Result<SboxReport> ShardedSboxEstimate(const PlanPtr& plan,
         transport->Send(k, std::move(bundles[k]).ValueOrDie()));
   }
   return GatherSboxEstimate(transport, num_shards);
+}
+
+Result<SboxReport> ShardedSboxEstimate(const PlanPtr& plan,
+                                       const Catalog& catalog, uint64_t seed,
+                                       ExecMode mode, const ExecOptions& exec,
+                                       int num_shards, const ExprPtr& f_expr,
+                                       const GusParams& gus,
+                                       const SboxOptions& options,
+                                       ShardTransport* transport) {
+  // In-process workers share one columnar catalog: its conversion and
+  // fingerprint caches are pre-warmed serially, after which concurrent
+  // workers only read it — real multi-process workers each hold their
+  // own, which changes nothing observable.
+  ColumnarCatalog columnar(&catalog);
+  return ShardedSboxEstimateOverCatalog(plan, &columnar, seed, mode, exec,
+                                        num_shards, f_expr, gus, options,
+                                        transport);
 }
 
 Result<ColumnarRelation> ExecutePlanSharded(const PlanPtr& plan,

@@ -88,6 +88,17 @@ Result<SboxReport> ShardedSboxEstimate(const PlanPtr& plan,
                                        const SboxOptions& options,
                                        ShardTransport* transport = nullptr);
 
+/// \brief ShardedSboxEstimate over an externally owned columnar catalog —
+/// the out-of-core form (hand it a SegmentCatalog and shards stream
+/// segments through the pinned cache instead of materializing the base
+/// data). Bit-identical to the row-catalog form holding the same rows:
+/// the fingerprints come from the same ContentFingerprint chain.
+Result<SboxReport> ShardedSboxEstimateOverCatalog(
+    const PlanPtr& plan, ColumnarCatalog* columnar_catalog, uint64_t seed,
+    ExecMode mode, const ExecOptions& exec, int num_shards,
+    const ExprPtr& f_expr, const GusParams& gus, const SboxOptions& options,
+    ShardTransport* transport = nullptr);
+
 /// \brief True for failures a retry can fix: lost workers, torn/missing
 /// transport frames (Unavailable, KeyError), and elapsed deadlines.
 ///

@@ -1,0 +1,46 @@
+// Little-endian column-page codec for the segment store.
+//
+// A column page is the raw body of one column over one segment's rows:
+// fixed-width little-endian values, no header, no padding — the layout is
+// exactly the in-memory vector on a little-endian host, so encode/decode
+// are single memcpys there (the store refuses to open on big-endian hosts
+// rather than silently byte-swapping; see store/segment_store.h). Keeping
+// the copy loops here, next to the other flat hot-path kernels, gives the
+// store one place to vectorize if page decode ever shows up in a profile.
+
+#ifndef GUS_KERNELS_PAGE_CODEC_H_
+#define GUS_KERNELS_PAGE_CODEC_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+namespace gus {
+
+/// Appends `n` fixed-width values at `src` to `out` as raw page bytes.
+template <typename T>
+inline void EncodePage(const T* src, int64_t n, std::string* out) {
+  static_assert(sizeof(T) == 4 || sizeof(T) == 8, "fixed-width pages only");
+  const size_t bytes = static_cast<size_t>(n) * sizeof(T);
+  const size_t at = out->size();
+  out->resize(at + bytes);
+  if (bytes > 0) std::memcpy(&(*out)[at], src, bytes);
+}
+
+/// \brief Decodes `n` fixed-width values from raw page bytes into `out`
+/// (resized; previous contents dropped).
+///
+/// `src` may be unaligned (it points into an mmap-ed file at an arbitrary
+/// byte offset) — the memcpy makes the access well-defined on every
+/// platform.
+template <typename T>
+inline void DecodePage(const uint8_t* src, int64_t n, std::vector<T>* out) {
+  static_assert(sizeof(T) == 4 || sizeof(T) == 8, "fixed-width pages only");
+  out->resize(static_cast<size_t>(n));
+  if (n > 0) std::memcpy(out->data(), src, static_cast<size_t>(n) * sizeof(T));
+}
+
+}  // namespace gus
+
+#endif  // GUS_KERNELS_PAGE_CODEC_H_

@@ -10,6 +10,7 @@
 #include "kernels/sampling_kernels.h"
 #include "plan/vector_eval.h"
 #include "sampling/samplers.h"
+#include "store/segment_source.h"
 #include "util/hash.h"
 #include "util/logging.h"
 
@@ -48,57 +49,23 @@ Result<const ColumnarRelation*> ColumnarCatalog::Get(const std::string& name) {
   return &cache_.emplace(name, std::move(col)).first->second;
 }
 
-namespace {
-
-uint64_t HashStringContent(uint64_t h, const std::string& s) {
-  return HashBytes(HashCombine(h, s.size()), s.data(), s.size());
-}
-
-}  // namespace
-
 Result<uint64_t> ColumnarCatalog::Fingerprint(const std::string& name) {
   auto cached = fingerprints_.find(name);
   if (cached != fingerprints_.end()) return cached->second;
   GUS_ASSIGN_OR_RETURN(const ColumnarRelation* rel, Get(name));
-  const ColumnBatch& data = rel->data();
-  uint64_t h = Mix64(0x46505247ULL);  // "GRPF"
-  h = HashStringContent(h, name);
-  const Schema& schema = data.schema();
-  h = HashCombine(h, static_cast<uint64_t>(schema.num_columns()));
-  for (int c = 0; c < schema.num_columns(); ++c) {
-    h = HashStringContent(h, schema.column(c).name);
-    h = HashCombine(h, static_cast<uint64_t>(schema.column(c).type));
-  }
-  for (const std::string& dim : data.lineage_schema()) {
-    h = HashStringContent(h, dim);
-  }
-  const int64_t rows = data.num_rows();
-  h = HashCombine(h, static_cast<uint64_t>(rows));
-  for (int c = 0; c < data.num_columns(); ++c) {
-    const ColumnData& col = data.column(c);
-    switch (col.type) {
-      case ValueType::kInt64:
-        for (int64_t i = 0; i < rows; ++i) {
-          h = HashCombine(h, static_cast<uint64_t>(col.i64[i]));
-        }
-        break;
-      case ValueType::kFloat64:
-        for (int64_t i = 0; i < rows; ++i) {
-          uint64_t bits = 0;
-          __builtin_memcpy(&bits, &col.f64[i], sizeof(bits));
-          h = HashCombine(h, bits);
-        }
-        break;
-      case ValueType::kString:
-        for (int64_t i = 0; i < rows; ++i) {
-          h = HashStringContent(h, col.StringAt(i));
-        }
-        break;
-    }
-  }
-  for (const uint64_t id : data.lineage()) h = HashCombine(h, id);
+  const uint64_t h = ContentFingerprint(name, rel->data());
   fingerprints_.emplace(name, h);
   return h;
+}
+
+Result<int64_t> ColumnarCatalog::RowCountOf(const std::string& name) {
+  GUS_ASSIGN_OR_RETURN(const ColumnarRelation* rel, Get(name));
+  return rel->num_rows();
+}
+
+Result<LayoutPtr> ColumnarCatalog::LayoutOf(const std::string& name) {
+  GUS_ASSIGN_OR_RETURN(const ColumnarRelation* rel, Get(name));
+  return rel->layout_ptr();
 }
 
 void PrepareBatch(const LayoutPtr& layout, ColumnBatch* out) {
@@ -774,6 +741,14 @@ Result<std::unique_ptr<BatchSource>> CompileBatchPipeline(
   }
   switch (plan->op()) {
     case PlanOp::kScan: {
+      // Segment-backed catalogs stream the scan through the pinned cache
+      // (one resident segment at a time) instead of materializing.
+      GUS_ASSIGN_OR_RETURN(const StoredRelation* stored,
+                           catalog->Stored(plan->relation()));
+      if (stored != nullptr) {
+        return MakeStoredScanSource(stored, catalog->segment_cache(),
+                                    batch_rows);
+      }
       GUS_ASSIGN_OR_RETURN(const ColumnarRelation* rel,
                            catalog->Get(plan->relation()));
       return MakeScanSource(rel, batch_rows);

@@ -54,17 +54,33 @@
 
 namespace gus {
 
-/// \brief Lazy cache of row-engine catalog relations in columnar form.
+class SegmentCache;    // store/segment_cache.h
+class StoredRelation;  // store/segment_store.h
+
+/// \brief Catalog of base relations in columnar form.
 ///
-/// Conversion happens once per base relation and is shared by every scan of
-/// the plan (and across plans, if the caller keeps the catalog around — the
-/// benchmarks do, mirroring a system that ingests columnar once).
+/// The base class is the in-memory form: a lazy cache of row-engine catalog
+/// relations converted on first use. Conversion happens once per base
+/// relation and is shared by every scan of the plan (and across plans, if
+/// the caller keeps the catalog around — the benchmarks do, mirroring a
+/// system that ingests columnar once).
+///
+/// The virtual surface is what lets the execution engines run over other
+/// storage unchanged: SegmentCatalog (store/segment_catalog.h) overrides it
+/// to serve mmap-ed on-disk segments, exposing Stored()/segment_cache() so
+/// scans can fault individual segments — and skip provably useless ones —
+/// instead of materializing whole tables through Get().
 class ColumnarCatalog {
  public:
   explicit ColumnarCatalog(const Catalog* catalog) : catalog_(catalog) {}
+  virtual ~ColumnarCatalog() = default;
 
-  /// The columnar form of base relation `name`, converting on first use.
-  Result<const ColumnarRelation*> Get(const std::string& name);
+  /// \brief The fully materialized columnar form of base relation `name`.
+  ///
+  /// This is the compatibility surface: pipeline breakers that need a whole
+  /// side resident (join builds, row-engine interop) call it. Streaming
+  /// scans prefer Stored() when it returns non-null.
+  virtual Result<const ColumnarRelation*> Get(const std::string& name);
 
   /// \brief Content fingerprint of base relation `name` (computed once,
   /// cached).
@@ -72,10 +88,35 @@ class ColumnarCatalog {
   /// Hashes the schema (names + types), lineage schema, row count, every
   /// column value (strings by content, floats by bit pattern), and the
   /// lineage matrix — catalogs agree on a relation iff it is content-
-  /// equivalent. The shard protocol combines these per plan
-  /// (PlanCatalogFingerprint, dist/shard.h) so workers detect divergent
-  /// base data before their partial states merge.
-  Result<uint64_t> Fingerprint(const std::string& name);
+  /// equivalent (rel/column_batch.h ContentFingerprint). The shard protocol
+  /// combines these per plan (PlanCatalogFingerprint, dist/shard.h) so
+  /// workers detect divergent base data before their partial states merge.
+  virtual Result<uint64_t> Fingerprint(const std::string& name);
+
+  /// \brief The on-disk segment form of `name`, or null for purely
+  /// in-memory catalogs (the default).
+  ///
+  /// Non-null means scans may stream the relation segment-at-a-time
+  /// through segment_cache() instead of calling Get().
+  virtual Result<const StoredRelation*> Stored(const std::string& name) {
+    (void)name;
+    return static_cast<const StoredRelation*>(nullptr);
+  }
+
+  /// Row count of `name` without forcing materialization (segment catalogs
+  /// answer from the header; the default calls Get()).
+  virtual Result<int64_t> RowCountOf(const std::string& name);
+
+  /// Layout of `name` without forcing materialization.
+  virtual Result<LayoutPtr> LayoutOf(const std::string& name);
+
+  /// The pinned-segment cache backing Stored() relations (null for
+  /// in-memory catalogs).
+  virtual SegmentCache* segment_cache() { return nullptr; }
+
+ protected:
+  /// For derived catalogs that do not wrap a row-engine Catalog.
+  ColumnarCatalog() : catalog_(nullptr) {}
 
  private:
   const Catalog* catalog_;

@@ -44,6 +44,11 @@ std::string ExecStats::ToString(const std::string& label) const {
     }
     out << "\n";
   }
+  if (segments_total > 0 || segments_faulted > 0) {
+    out << "  store      " << segments_total << " segments, "
+        << segments_skipped << " skipped, " << segments_faulted
+        << " faulted, " << store_bytes_read << " bytes read\n";
+  }
   if (cache_hits > 0 || cache_misses > 0 || cache_invalidations > 0) {
     out << "  view cache " << cache_hits << " hits, " << cache_misses
         << " misses, " << cache_invalidations << " invalidations\n";

@@ -79,6 +79,22 @@ struct ExecStats {
   /// (1.0 for a complete gather; see DegradedReport).
   double effective_coverage = 1.0;
 
+  // ---- Segment store (store/; filled when the pivot scan is
+  // segment-backed) ----
+  /// Segments of the pivot relation overlapping the executed unit range.
+  int64_t segments_total = 0;
+  /// Segments the pruner proved useless (their units folded empty sinks
+  /// without executing; see store/pruner.h for the soundness argument).
+  int64_t segments_skipped = 0;
+  /// Segment decodes performed during this execution (cache-miss faults,
+  /// including materializations of non-pivot relations).
+  int64_t segments_faulted = 0;
+  /// Page bytes decoded from disk during this execution. With a cold cache,
+  /// one thread and a single-relation plan,
+  ///   segments_skipped + segments_faulted == segments_total
+  /// and store_bytes_read is exactly the faulted segments' page bytes.
+  int64_t store_bytes_read = 0;
+
   // ---- Approximate-view cache (serve/view_cache.h; filled by the
   // serving layer and the sqlish kServed engine) ----
   int64_t cache_hits = 0;           ///< queries answered from merged state

@@ -210,6 +210,14 @@ struct ExecOptions {
   ///
   /// Defaults to false — partial answers are opt-in, never silent.
   bool allow_partial = false;
+  /// \brief Zone-map / keep-set segment skipping for segment-backed pivot
+  /// scans (store/pruner.h).
+  ///
+  /// Skipping operates at whole-morsel granularity and never changes any
+  /// result bit (a skipped unit folds an untouched sink, exactly what an
+  /// executed unit with zero surviving rows folds); this knob exists for
+  /// A/B measurement, not correctness.
+  bool prune_segments = true;
 
   Status Validate() const {
     if (batch_rows < 1) {

@@ -16,6 +16,9 @@
 #include "kernels/key_hash.h"
 #include "kernels/sampling_kernels.h"
 #include "sampling/samplers.h"
+#include "store/pruner.h"
+#include "store/segment_cache.h"
+#include "store/segment_source.h"
 #include "util/hash.h"
 #include "util/logging.h"
 #include "util/thread_pool.h"
@@ -136,9 +139,9 @@ Result<std::string> ChoosePivotRelation(const std::vector<std::string>& cands,
   std::string best;
   int64_t best_rows = -1;
   for (const std::string& name : cands) {
-    GUS_ASSIGN_OR_RETURN(const ColumnarRelation* rel, catalog->Get(name));
-    if (rel->num_rows() > best_rows) {
-      best_rows = rel->num_rows();
+    GUS_ASSIGN_OR_RETURN(const int64_t rows, catalog->RowCountOf(name));
+    if (rows > best_rows) {
+      best_rows = rows;
       best = name;
     }
   }
@@ -595,22 +598,72 @@ int64_t MorselCount(int64_t pivot_rows, int64_t morsel_rows) {
   return (pivot_rows + morsel_rows - 1) / morsel_rows;
 }
 
+/// \brief The pivot's backing storage plus the numbers the split geometry
+/// reads from it.
+///
+/// Shared by AnalyzeMorselSplit and PrepareMorselProgram — the dist/
+/// layer's correctness requires the planned and executed unit sequences
+/// to coincide, so the stored-vs-materialized decision has exactly one
+/// implementation. Segment-backed pivots additionally align morsels to
+/// whole segments (LCM with the block alignment) so a prunable segment
+/// maps to whole execution units and a skipped unit never faults its
+/// segments, and they size morsels from mean on-disk row bytes — what a
+/// morsel actually faults in — instead of the in-memory estimate.
+struct PivotBacking {
+  const StoredRelation* store = nullptr;  // non-null: segment-backed
+  const ColumnarRelation* rel = nullptr;  // non-null: materialized
+  int64_t rows = 0;
+  LayoutPtr layout;
+  int64_t row_bytes = 0;
+  int64_t align = 1;
+};
+
+Result<PivotBacking> ResolvePivotBacking(const PlanPtr& plan,
+                                         const std::string& pivot,
+                                         ColumnarCatalog* catalog) {
+  PivotBacking b;
+  b.align = BlockAlignFor(plan, pivot);
+  GUS_ASSIGN_OR_RETURN(b.store, catalog->Stored(pivot));
+  if (b.store != nullptr) {
+    b.rows = b.store->num_rows();
+    b.layout = b.store->layout_ptr();
+    b.row_bytes = b.store->OnDiskRowBytes();
+    constexpr int64_t kMaxAlign = int64_t{1} << 40;
+    const int64_t seg = b.store->segment_rows();
+    const int64_t g = std::gcd(b.align, seg);
+    if (b.align / g <= kMaxAlign / seg) b.align = b.align / g * seg;
+  } else {
+    GUS_ASSIGN_OR_RETURN(b.rel, catalog->Get(pivot));
+    b.rows = b.rel->num_rows();
+    b.layout = b.rel->layout_ptr();
+    b.row_bytes = RowBytes(b.rel->layout());
+  }
+  return b;
+}
+
 // ---- Program compilation ---------------------------------------------------
 
 /// \brief The prepared morsel execution: shared state built once, then one
 /// pipeline instantiation per morsel.
 struct MorselProgram {
-  const ColumnarRelation* pivot_rel = nullptr;
+  const ColumnarRelation* pivot_rel = nullptr;   // materialized pivot
+  const StoredRelation* pivot_store = nullptr;   // segment-backed pivot
+  SegmentCache* store_cache = nullptr;           // non-null iff pivot_store
   std::string pivot_name;
+  int64_t pivot_rows = 0;
+  LayoutPtr pivot_layout;
   ProgramPtr root;
   LayoutPtr out_layout;
   int64_t morsel_rows = kDefaultMorselRows;
   int64_t batch_rows = kDefaultBatchRows;
   ExecMode mode = ExecMode::kSampled;
   std::vector<ResolvedPivotSampler> samplers;
+  /// Per-unit skip mask from the SegmentPruner (empty = nothing skipped):
+  /// unit m is provably empty, so run_morsel folds its sink untouched.
+  std::vector<char> unit_skip;
 
   int64_t num_morsels() const {
-    return MorselCount(pivot_rel->num_rows(), morsel_rows);
+    return MorselCount(pivot_rows, morsel_rows);
   }
 
   Result<std::unique_ptr<BatchSource>> MakeMorselPipeline(int64_t m,
@@ -639,7 +692,7 @@ Result<ProgramPtr> CompileNode(const PlanPtr& plan, ColumnarCatalog* catalog,
       }
       auto node = std::make_unique<MorselProgramNode>();
       node->kind = MorselProgramNode::Kind::kScanSlice;
-      node->layout = prog->pivot_rel->layout_ptr();
+      node->layout = prog->pivot_layout;
       return node;
     }
     case PlanOp::kSelect: {
@@ -689,7 +742,7 @@ Result<ProgramPtr> CompileNode(const PlanPtr& plan, ColumnarCatalog* catalog,
           // Adjacent to the pivot scan (classification guarantees it):
           // resolve the exact global keep-set now, from one seed draw —
           // the same draw DecideSampling makes in the serial engines.
-          const int64_t population = prog->pivot_rel->num_rows();
+          const int64_t population = prog->pivot_rows;
           if (spec.population != population) {
             return Status::InvalidArgument(
                 spec.method == SamplingMethod::kWithoutReplacement
@@ -851,6 +904,10 @@ Result<std::unique_ptr<BatchSource>> InstantiateNode(
     int64_t len, Rng* rng) {
   switch (n.kind) {
     case MorselProgramNode::Kind::kScanSlice:
+      if (prog.pivot_store != nullptr) {
+        return MakeStoredScanSource(prog.pivot_store, prog.store_cache,
+                                    prog.batch_rows, begin, len);
+      }
       return MakeScanSource(prog.pivot_rel, prog.batch_rows, begin, len);
     case MorselProgramNode::Kind::kKeepSlice: {
       // The kept rows inside this slice: keep is globally sorted, so the
@@ -861,10 +918,20 @@ Result<std::unique_ptr<BatchSource>> InstantiateNode(
       const int64_t hi =
           std::lower_bound(keep.begin(), keep.end(), begin + len) -
           keep.begin();
+      if (prog.pivot_store != nullptr) {
+        return std::unique_ptr<BatchSource>(new StoredKeepSliceSource(
+            prog.pivot_store, prog.store_cache, n.keep, lo, hi - lo,
+            prog.batch_rows));
+      }
       return std::unique_ptr<BatchSource>(new SelectionListSource(
           prog.pivot_rel, n.keep, lo, hi - lo, prog.batch_rows));
     }
     case MorselProgramNode::Kind::kBlockSample:
+      if (prog.pivot_store != nullptr) {
+        return std::unique_ptr<BatchSource>(new StoredBlockSampleSource(
+            prog.pivot_store, prog.store_cache, begin, begin + len,
+            n.sampler_seed, n.p, n.block_size, prog.batch_rows));
+      }
       return std::unique_ptr<BatchSource>(
           new BlockSampleSource(prog.pivot_rel, begin, begin + len,
                                 n.sampler_seed, n.p, n.block_size,
@@ -917,14 +984,125 @@ Result<std::unique_ptr<BatchSource>> InstantiateNode(
 Result<std::unique_ptr<BatchSource>> MorselProgram::MakeMorselPipeline(
     int64_t m, Rng* rng) const {
   const int64_t begin = m * morsel_rows;
-  const int64_t len = std::min(morsel_rows, pivot_rel->num_rows() - begin);
+  const int64_t len = std::min(morsel_rows, pivot_rows - begin);
   return InstantiateNode(*root, *this, begin, len, rng);
 }
 
+// ---- Prune-plan extraction -------------------------------------------------
+
+/// One alternative under construction, carrying extraction-only state:
+/// the mapping from the node's output columns back to pivot columns, and
+/// whether the pivot's lineage ids still equal global row ids (falsified
+/// by a block re-key below).
+struct AltBuild {
+  PruneAlternative alt;
+  std::vector<int> colmap;
+  bool lineage_rowids = true;
+};
+
+/// \brief Distills the compiled pivot path into prune alternatives (see
+/// store/pruner.h): walks the program tree bottom-up, forking at unions,
+/// and records per path the select conjuncts, resolved keep-sets, block
+/// samplers and lineage-Bernoulli keeps that every surviving row must
+/// pass. Anything it cannot express contributes nothing — the pruner only
+/// gets weaker, never unsound.
+void CollectPruneAlts(const MorselProgramNode& n, const MorselProgram& prog,
+                      std::vector<AltBuild>* out) {
+  switch (n.kind) {
+    case MorselProgramNode::Kind::kScanSlice: {
+      AltBuild base;
+      const int ncols = prog.pivot_layout->schema.num_columns();
+      base.colmap.resize(static_cast<size_t>(ncols));
+      for (int c = 0; c < ncols; ++c) base.colmap[static_cast<size_t>(c)] = c;
+      out->push_back(std::move(base));
+      return;
+    }
+    case MorselProgramNode::Kind::kKeepSlice: {
+      CollectPruneAlts(*n.child, prog, out);
+      for (AltBuild& a : *out) a.alt.keep_lists.push_back(n.keep);
+      return;
+    }
+    case MorselProgramNode::Kind::kBlockSample: {
+      CollectPruneAlts(*n.child, prog, out);
+      for (AltBuild& a : *out) {
+        a.alt.block_samplers.push_back({n.sampler_seed, n.p, n.block_size});
+        a.lineage_rowids = false;  // lineage re-keys to block ids
+      }
+      return;
+    }
+    case MorselProgramNode::Kind::kBlockRekey: {
+      CollectPruneAlts(*n.child, prog, out);
+      for (AltBuild& a : *out) a.lineage_rowids = false;
+      return;
+    }
+    case MorselProgramNode::Kind::kSelect: {
+      CollectPruneAlts(*n.child, prog, out);
+      for (AltBuild& a : *out) {
+        ExtractColumnConstraints(n.node->predicate(), n.layout->schema,
+                                 a.colmap, &a.alt.constraints);
+      }
+      return;
+    }
+    case MorselProgramNode::Kind::kStreamSample: {
+      CollectPruneAlts(*n.child, prog, out);
+      const SamplingSpec& spec = n.node->spec();
+      if (spec.method == SamplingMethod::kLineageBernoulli &&
+          spec.lineage_relation == prog.pivot_name) {
+        for (AltBuild& a : *out) {
+          if (a.lineage_rowids) {
+            a.alt.lineage_bernoullis.push_back({spec.seed, spec.p});
+          }
+        }
+      }
+      // Plain Bernoulli keeps depend on the morsel stream, not the rows —
+      // no constraint, and skipping stays sound because a skipped unit's
+      // forked stream is never consumed by anyone.
+      return;
+    }
+    case MorselProgramNode::Kind::kJoinProbe:
+    case MorselProgramNode::Kind::kProduct: {
+      CollectPruneAlts(*n.child, prog, out);
+      const bool pivot_left = n.kind == MorselProgramNode::Kind::kJoinProbe
+                                  ? n.join->pivot_is_left
+                                  : n.product->pivot_is_left;
+      const int out_cols = n.layout->schema.num_columns();
+      for (AltBuild& a : *out) {
+        const std::vector<int> inner = std::move(a.colmap);
+        const int inner_cols = static_cast<int>(inner.size());
+        a.colmap.assign(static_cast<size_t>(out_cols), -1);
+        const int at = pivot_left ? 0 : out_cols - inner_cols;
+        for (int c = 0; c < inner_cols; ++c) {
+          a.colmap[static_cast<size_t>(at + c)] =
+              inner[static_cast<size_t>(c)];
+        }
+      }
+      return;
+    }
+    case MorselProgramNode::Kind::kUnion: {
+      // Each branch is its own alternative path: a segment prunes only
+      // when every branch excludes it (the pruner intersects).
+      CollectPruneAlts(*n.child, prog, out);
+      CollectPruneAlts(*n.right, prog, out);
+      return;
+    }
+  }
+}
+
+PrunePlan BuildPrunePlan(const MorselProgram& prog) {
+  std::vector<AltBuild> alts;
+  CollectPruneAlts(*prog.root, prog, &alts);
+  PrunePlan plan;
+  plan.alternatives.reserve(alts.size());
+  for (AltBuild& a : alts) plan.alternatives.push_back(std::move(a.alt));
+  return plan;
+}
+
 /// \brief Builds the shared morsel-program state: resolves the pivot
-/// relation, executes every non-pivot subtree serially with `rng`, binds
-/// predicates, resolves fixed-size sampler keep-sets, and pre-builds join
-/// hash tables (partition-parallel).
+/// backing (segment store or materialized relation), executes every
+/// non-pivot subtree serially with `rng`, binds predicates, resolves
+/// fixed-size sampler keep-sets, pre-builds join hash tables
+/// (partition-parallel), and — for segment-backed pivots — runs the
+/// SegmentPruner to mark provably-empty units.
 Result<MorselProgram> PrepareMorselProgram(const PlanPtr& plan,
                                            const std::string& pivot,
                                            ColumnarCatalog* catalog, Rng* rng,
@@ -934,14 +1112,31 @@ Result<MorselProgram> PrepareMorselProgram(const PlanPtr& plan,
   prog.batch_rows = options.batch_rows;
   prog.mode = mode;
   prog.pivot_name = pivot;
-  GUS_ASSIGN_OR_RETURN(prog.pivot_rel, catalog->Get(pivot));
-  prog.morsel_rows = ResolveMorselRows(
-      prog.pivot_rel->num_rows(), RowBytes(prog.pivot_rel->layout()),
-      PlanCostWeight(plan), options, BlockAlignFor(plan, pivot));
+  GUS_ASSIGN_OR_RETURN(PivotBacking backing,
+                       ResolvePivotBacking(plan, pivot, catalog));
+  prog.pivot_rel = backing.rel;
+  prog.pivot_store = backing.store;
+  prog.store_cache =
+      backing.store != nullptr ? catalog->segment_cache() : nullptr;
+  prog.pivot_rows = backing.rows;
+  prog.pivot_layout = backing.layout;
+  prog.morsel_rows =
+      ResolveMorselRows(prog.pivot_rows, backing.row_bytes,
+                        PlanCostWeight(plan), options, backing.align);
   GUS_ASSIGN_OR_RETURN(prog.root,
                        CompileNode(plan, catalog, rng, mode, options, &prog));
   AssignStreamOk(prog.root.get());
   prog.out_layout = prog.root->layout;
+  if (prog.pivot_store != nullptr && options.prune_segments) {
+    const PrunePlan prune = BuildPrunePlan(prog);
+    const std::vector<char> excluded =
+        ComputeSegmentExclusion(*prog.pivot_store, prune);
+    if (std::find(excluded.begin(), excluded.end(), char{1}) !=
+        excluded.end()) {
+      prog.unit_skip = ComputeUnitSkipMask(*prog.pivot_store, excluded,
+                                           prog.morsel_rows);
+    }
+  }
   return prog;
 }
 
@@ -1156,13 +1351,14 @@ Result<MorselSplit> AnalyzeMorselSplit(const PlanPtr& plan,
   if (cands.empty()) return split;  // one serial fallback unit
   GUS_ASSIGN_OR_RETURN(split.pivot_relation,
                        ChoosePivotRelation(cands, catalog));
-  GUS_ASSIGN_OR_RETURN(const ColumnarRelation* rel,
-                       catalog->Get(split.pivot_relation));
+  GUS_ASSIGN_OR_RETURN(PivotBacking backing,
+                       ResolvePivotBacking(plan, split.pivot_relation,
+                                           catalog));
   split.partitionable = true;
-  split.pivot_rows = rel->num_rows();
-  split.block_align = BlockAlignFor(plan, split.pivot_relation);
+  split.pivot_rows = backing.rows;
+  split.block_align = backing.align;
   split.morsel_rows =
-      ResolveMorselRows(split.pivot_rows, RowBytes(rel->layout()),
+      ResolveMorselRows(split.pivot_rows, backing.row_bytes,
                         PlanCostWeight(plan), options, split.block_align);
   split.num_units = MorselCount(split.pivot_rows, split.morsel_rows);
   return split;
@@ -1187,6 +1383,19 @@ Status ParallelExecuteUnitRangeToSink(
     if (stats != nullptr && ProfileEnvEnabled()) {
       std::fputs(stats->ToString().c_str(), stderr);
     }
+  };
+  // Segment-store accounting: counter deltas around this execution (the
+  // cache is shared, so only deltas are attributable to this query).
+  SegmentCache* const seg_cache = catalog->segment_cache();
+  SegmentCacheCounters cache_before;
+  if (stats != nullptr && seg_cache != nullptr) {
+    cache_before = seg_cache->counters();
+  }
+  const auto snap_store_stats = [&] {
+    if (stats == nullptr || seg_cache == nullptr) return;
+    const SegmentCacheCounters after = seg_cache->counters();
+    stats->segments_faulted = after.faults - cache_before.faults;
+    stats->store_bytes_read = after.bytes_read - cache_before.bytes_read;
   };
 
   if (stream_base_out != nullptr) *stream_base_out = 0;
@@ -1222,6 +1431,7 @@ Status ParallelExecuteUnitRangeToSink(
       }
     }
     if (stats != nullptr) {
+      snap_store_stats();
       stats->total_ms = MsBetween(t_start, StatsClock::now());
       emit_profile();
     }
@@ -1249,6 +1459,7 @@ Status ParallelExecuteUnitRangeToSink(
     GUS_ASSIGN_OR_RETURN(*out, make_sink(*program.out_layout));
     if (stats != nullptr) {
       stats->sinks_created = 1;
+      snap_store_stats();
       stats->prepare_ms = MsBetween(t_start, StatsClock::now());
       stats->total_ms = stats->prepare_ms;
       emit_profile();
@@ -1262,7 +1473,7 @@ Status ParallelExecuteUnitRangeToSink(
   const int64_t out_row_bytes =
       stats != nullptr ? RowBytes(*program.out_layout) : 0;
   if (stats != nullptr) {
-    stats->pivot_rows = program.pivot_rel->num_rows();
+    stats->pivot_rows = program.pivot_rows;
     stats->morsels = range_units;
     stats->morsel_rows = program.morsel_rows;
     stats->workers = workers;
@@ -1300,6 +1511,12 @@ Status ParallelExecuteUnitRangeToSink(
       stats->worker_morsels[worker] += 1;
     }
     Rng morsel_rng = Rng::ForkStream(stream_base, static_cast<uint64_t>(m));
+    // Pruned unit: fold its sink untouched — byte-identical to "executed
+    // and emitted nothing", which the exclusion proof guarantees; the
+    // unit's forked stream is simply never consumed.
+    const bool skip_unit =
+        !program.unit_skip.empty() &&
+        program.unit_skip[static_cast<size_t>(m)] != 0;
     Status status;
     std::unique_ptr<MergeableBatchSink> sink;
     do {
@@ -1321,6 +1538,7 @@ Status ParallelExecuteUnitRangeToSink(
         }
         sink = std::move(sink_or).ValueOrDie();
       }
+      if (skip_unit) break;
       auto pipeline_or = program.MakeMorselPipeline(m, &morsel_rng);
       if (!pipeline_or.ok()) {
         status = pipeline_or.status();
@@ -1418,6 +1636,14 @@ Status ParallelExecuteUnitRangeToSink(
     stats->sinks_recycled = sinks_recycled;
     stats->pool_wakeups = lease.wakeups_during();
     stats->pool_threads_spawned = lease.spawned_during();
+    snap_store_stats();
+    if (program.pivot_store != nullptr) {
+      stats->segments_total = SegmentsInUnitRange(
+          *program.pivot_store, program.morsel_rows, unit_begin, unit_end);
+      stats->segments_skipped = SkippedSegmentsInUnitRange(
+          *program.pivot_store, program.unit_skip, program.morsel_rows,
+          unit_begin, unit_end);
+    }
     stats->total_ms = MsBetween(t_start, StatsClock::now());
     emit_profile();
   }

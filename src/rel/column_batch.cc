@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "kernels/simd/simd_dispatch.h"
+#include "util/hash.h"
 
 namespace gus {
 
@@ -360,6 +361,54 @@ void ColumnarRelation::EmitSlice(int64_t begin, int64_t len,
   if (out->layout_ptr() != layout_ptr()) out->ResetLayout(layout_ptr());
   out->Clear();
   out->AppendRangeFrom(data_, begin, len);
+}
+
+namespace {
+
+uint64_t HashStringContent(uint64_t h, const std::string& s) {
+  return HashBytes(HashCombine(h, s.size()), s.data(), s.size());
+}
+
+}  // namespace
+
+uint64_t ContentFingerprint(const std::string& name, const ColumnBatch& data) {
+  uint64_t h = Mix64(0x46505247ULL);  // "GRPF"
+  h = HashStringContent(h, name);
+  const Schema& schema = data.schema();
+  h = HashCombine(h, static_cast<uint64_t>(schema.num_columns()));
+  for (int c = 0; c < schema.num_columns(); ++c) {
+    h = HashStringContent(h, schema.column(c).name);
+    h = HashCombine(h, static_cast<uint64_t>(schema.column(c).type));
+  }
+  for (const std::string& dim : data.lineage_schema()) {
+    h = HashStringContent(h, dim);
+  }
+  const int64_t rows = data.num_rows();
+  h = HashCombine(h, static_cast<uint64_t>(rows));
+  for (int c = 0; c < data.num_columns(); ++c) {
+    const ColumnData& col = data.column(c);
+    switch (col.type) {
+      case ValueType::kInt64:
+        for (int64_t i = 0; i < rows; ++i) {
+          h = HashCombine(h, static_cast<uint64_t>(col.i64[i]));
+        }
+        break;
+      case ValueType::kFloat64:
+        for (int64_t i = 0; i < rows; ++i) {
+          uint64_t bits = 0;
+          __builtin_memcpy(&bits, &col.f64[i], sizeof(bits));
+          h = HashCombine(h, bits);
+        }
+        break;
+      case ValueType::kString:
+        for (int64_t i = 0; i < rows; ++i) {
+          h = HashStringContent(h, col.StringAt(i));
+        }
+        break;
+    }
+  }
+  for (const uint64_t id : data.lineage()) h = HashCombine(h, id);
+  return h;
 }
 
 }  // namespace gus

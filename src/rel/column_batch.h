@@ -280,6 +280,17 @@ class ColumnarRelation {
   ColumnBatch data_;
 };
 
+/// \brief Content fingerprint of a named table of rows.
+///
+/// Hashes the relation name, schema (names + types), lineage schema, row
+/// count, every column value (strings by content, floats by bit pattern),
+/// and the lineage matrix — two tables agree iff they are
+/// content-equivalent. One implementation shared by the in-memory catalog
+/// (plan/columnar_executor.h) and the on-disk segment writer
+/// (store/segment_store.h), so a stored relation's fingerprint matches its
+/// in-memory twin by construction.
+uint64_t ContentFingerprint(const std::string& name, const ColumnBatch& data);
+
 /// \brief Consumer of a batch stream (the push end of a pipeline).
 class BatchSink {
  public:

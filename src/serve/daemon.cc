@@ -23,6 +23,11 @@ Status WarmScans(const PlanPtr& plan, ColumnarCatalog* catalog) {
   std::function<Status(const PlanPtr&)> walk =
       [&](const PlanPtr& node) -> Status {
     if (node->op() == PlanOp::kScan) {
+      // Segment-backed relations stream through the (thread-safe) pinned
+      // cache; materializing them would defeat out-of-core serving.
+      GUS_ASSIGN_OR_RETURN(const StoredRelation* stored,
+                           catalog->Stored(node->relation()));
+      if (stored != nullptr) return Status::OK();
       return catalog->Get(node->relation()).status();
     }
     for (int c = 0; c < node->num_children(); ++c) {
@@ -51,6 +56,9 @@ uint64_t ServedQueryFingerprint(const ServedQuery& query) {
 }
 
 WorkerDaemon::WorkerDaemon(Catalog catalog) : catalog_(std::move(catalog)) {}
+
+WorkerDaemon::WorkerDaemon(std::unique_ptr<ColumnarCatalog> columnar)
+    : columnar_(std::move(columnar)), external_columnar_(true) {}
 
 WorkerDaemon::~WorkerDaemon() { Stop(); }
 
@@ -81,7 +89,9 @@ Result<Endpoint> WorkerDaemon::Start(const Endpoint& listen) {
   // conversion, content fingerprints, and shard split geometry for every
   // registered query are computed here, serially, so request threads
   // afterwards share them read-only.
-  columnar_ = std::make_unique<ColumnarCatalog>(&catalog_);
+  if (!external_columnar_) {
+    columnar_ = std::make_unique<ColumnarCatalog>(&catalog_);
+  }
   plan_infos_.clear();
   for (const auto& [name, query] : queries_) {
     GUS_RETURN_NOT_OK(WarmScans(query.plan, columnar_.get()));

@@ -70,6 +70,16 @@ class WorkerDaemon {
   /// The daemon owns a copy of the base catalog (a real deployment loads
   /// it from storage once; tests hand it over directly).
   explicit WorkerDaemon(Catalog catalog);
+
+  /// \brief Out-of-core form: the daemon serves straight from an external
+  /// columnar catalog (typically a SegmentCatalog over a `.gseg`
+  /// directory) instead of an in-memory row catalog.
+  ///
+  /// Segment-backed scans stream through the pinned-segment cache on
+  /// demand, so the daemon's resident set is the cache budget, not the
+  /// data size. Results are bit-identical to the in-memory form (the
+  /// fingerprints come from the same ContentFingerprint chain).
+  explicit WorkerDaemon(std::unique_ptr<ColumnarCatalog> columnar);
   ~WorkerDaemon();
 
   WorkerDaemon(const WorkerDaemon&) = delete;
@@ -117,6 +127,9 @@ class WorkerDaemon {
 
   Catalog catalog_;
   std::unique_ptr<ColumnarCatalog> columnar_;
+  /// True when columnar_ was handed in at construction (segment-backed):
+  /// Start() must not rebuild it from catalog_.
+  bool external_columnar_ = false;
   std::map<std::string, ServedQuery> queries_;
   std::map<std::string, ServePlanInfo> plan_infos_;
 

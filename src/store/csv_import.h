@@ -1,0 +1,49 @@
+// CSV ingestion into the segment store.
+//
+// Parses a headered CSV into a base Relation (lineage id = row index),
+// inferring column types from the data (int64 -> float64 -> string, per
+// column, widened as rows disagree) unless the caller pins them; the
+// gus_ingest tool then writes the result as a `.gseg` file. Parsing is
+// deliberately simple — RFC-4180 quoting with embedded delimiters and
+// doubled quotes, no multi-line fields — because the store is the point,
+// not the CSV dialect zoo.
+
+#ifndef GUS_STORE_CSV_IMPORT_H_
+#define GUS_STORE_CSV_IMPORT_H_
+
+#include <string>
+#include <vector>
+
+#include "rel/relation.h"
+#include "util/status.h"
+
+namespace gus {
+
+struct CsvImportOptions {
+  char delimiter = ',';
+  /// First line is column names. Without it, columns are named c0, c1, ...
+  bool has_header = true;
+  /// Optional explicit column types ("int64" / "float64" / "string"), one
+  /// per column in order; empty = infer from the data. A value that fails
+  /// to parse as the pinned type is an InvalidArgument, not a silent
+  /// widen.
+  std::vector<std::string> column_types;
+};
+
+/// \brief Splits one CSV record into fields (RFC-4180 quoting).
+Result<std::vector<std::string>> SplitCsvRecord(const std::string& line,
+                                                char delimiter);
+
+/// \brief Parses CSV text into a base relation named `name`.
+Result<Relation> ImportCsvText(const std::string& name,
+                               const std::string& text,
+                               const CsvImportOptions& options = {});
+
+/// File variant of ImportCsvText.
+Result<Relation> ImportCsvFile(const std::string& name,
+                               const std::string& path,
+                               const CsvImportOptions& options = {});
+
+}  // namespace gus
+
+#endif  // GUS_STORE_CSV_IMPORT_H_

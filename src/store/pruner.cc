@@ -1,0 +1,246 @@
+#include "store/pruner.h"
+
+#include <algorithm>
+
+#include "kernels/sampling_kernels.h"
+#include "kernels/simd/simd_dispatch.h"
+#include "kernels/simd/simd_ops.h"
+
+namespace gus {
+
+namespace {
+
+/// Mirrored comparison op for flipping `literal cmp column` into
+/// `column cmp literal`.
+ExprOp MirrorCmp(ExprOp op) {
+  switch (op) {
+    case ExprOp::kLt: return ExprOp::kGt;
+    case ExprOp::kLe: return ExprOp::kGe;
+    case ExprOp::kGt: return ExprOp::kLt;
+    case ExprOp::kGe: return ExprOp::kLe;
+    default: return op;  // kEq / kNe are symmetric
+  }
+}
+
+bool IsCmp(ExprOp op) {
+  switch (op) {
+    case ExprOp::kEq:
+    case ExprOp::kNe:
+    case ExprOp::kLt:
+    case ExprOp::kLe:
+    case ExprOp::kGt:
+    case ExprOp::kGe:
+      return true;
+    default:
+      return false;
+  }
+}
+
+/// Evaluating more blocks than this per segment is not worth the pruning
+/// it could buy; the pruner keeps the segment instead.
+constexpr int64_t kMaxBlocksPerSegment = int64_t{1} << 16;
+
+/// Expected kept rows above which a per-row lineage-Bernoulli sweep of a
+/// segment is pointless ((1-p)^rows is already astronomically small).
+constexpr double kMaxExpectedLineageKeeps = 48.0;
+
+}  // namespace
+
+void ExtractColumnConstraints(const ExprPtr& predicate, const Schema& schema,
+                              const std::vector<int>& colmap,
+                              std::vector<ColumnConstraint>* out) {
+  if (predicate == nullptr) return;
+  if (predicate->op() == ExprOp::kAnd) {
+    ExtractColumnConstraints(predicate->left(), schema, colmap, out);
+    ExtractColumnConstraints(predicate->right(), schema, colmap, out);
+    return;
+  }
+  if (!IsCmp(predicate->op())) return;
+  const Expr* col = predicate->left().get();
+  const Expr* lit = predicate->right().get();
+  ExprOp op = predicate->op();
+  if (col->op() == ExprOp::kLiteral && lit->op() == ExprOp::kColumn) {
+    std::swap(col, lit);
+    op = MirrorCmp(op);
+  }
+  if (col->op() != ExprOp::kColumn || lit->op() != ExprOp::kLiteral) return;
+  auto index = schema.IndexOf(col->column_name());
+  if (!index.ok()) return;
+  const int schema_col = std::move(index).ValueOrDie();
+  const int pivot_col = colmap[static_cast<size_t>(schema_col)];
+  if (pivot_col < 0) return;
+  // Only homogeneous comparisons prune: a string/numeric mix is a runtime
+  // TypeError, which skipping must not hide.
+  const bool col_is_string =
+      schema.column(schema_col).type == ValueType::kString;
+  const bool lit_is_string = lit->literal().type() == ValueType::kString;
+  if (col_is_string != lit_is_string) return;
+  ColumnConstraint c;
+  c.column = pivot_col;
+  c.op = op;
+  c.literal = lit->literal();
+  out->push_back(std::move(c));
+}
+
+bool ZoneMayMatch(const ColumnZone& zone, ValueType type, ExprOp op,
+                  const Value& literal) {
+  if (zone.kind == ColumnZone::kUnknown) return true;
+  if (zone.kind == ColumnZone::kEmpty) return false;
+  if (type == ValueType::kString) {
+    const std::string& v = literal.AsString();
+    switch (op) {
+      case ExprOp::kEq: return zone.min_str <= v && v <= zone.max_str;
+      case ExprOp::kNe:
+        return !(zone.min_str == zone.max_str && zone.min_str == v);
+      case ExprOp::kLt: return zone.min_str < v;
+      case ExprOp::kLe: return zone.min_str <= v;
+      case ExprOp::kGt: return zone.max_str > v;
+      case ExprOp::kGe: return zone.max_str >= v;
+      default: return true;
+    }
+  }
+  // Numeric: the evaluator compares through double promotion
+  // (CompareBinary), so the zone bounds go through the same cast. The
+  // cast is monotonic, so double(min) / double(max) still bound every
+  // promoted value, and NaN literals compare false everywhere — exactly
+  // like the evaluator.
+  const double lo = type == ValueType::kInt64
+                        ? static_cast<double>(zone.min_i64)
+                        : zone.min_f64;
+  const double hi = type == ValueType::kInt64
+                        ? static_cast<double>(zone.max_i64)
+                        : zone.max_f64;
+  const bool single_value = type == ValueType::kInt64
+                                ? zone.min_i64 == zone.max_i64
+                                : zone.min_f64 == zone.max_f64;
+  const double v = literal.ToDouble();
+  switch (op) {
+    case ExprOp::kEq: return lo <= v && v <= hi;
+    case ExprOp::kNe: return !(single_value && lo == v);
+    case ExprOp::kLt: return lo < v;
+    case ExprOp::kLe: return lo <= v;
+    case ExprOp::kGt: return hi > v;
+    case ExprOp::kGe: return hi >= v;
+    default: return true;
+  }
+}
+
+bool AlternativeExcludesSegment(const StoredRelation& store, int64_t s,
+                                const PruneAlternative& alt) {
+  const SegmentInfo& info = store.segment(s);
+  const int64_t row_begin = info.row_begin;
+  const int64_t row_end = info.row_begin + info.row_count;
+  const Schema& schema = store.layout_ptr()->schema;
+
+  for (const ColumnConstraint& c : alt.constraints) {
+    const ColumnZone& zone = info.zones[static_cast<size_t>(c.column)];
+    const ValueType type = schema.column(c.column).type;
+    if (zone.null_count == static_cast<uint64_t>(info.row_count) &&
+        info.row_count > 0) {
+      return true;  // all-null page: the predicate can hold for no row
+    }
+    if (!ZoneMayMatch(zone, type, c.op, c.literal)) return true;
+  }
+
+  for (const auto& keep : alt.keep_lists) {
+    auto it = std::lower_bound(keep->begin(), keep->end(), row_begin);
+    if (it == keep->end() || *it >= row_end) return true;
+  }
+
+  for (const PruneAlternative::BlockSampler& b : alt.block_samplers) {
+    const int64_t first = row_begin / b.block_size;
+    const int64_t last = (row_end - 1) / b.block_size;
+    if (last - first + 1 > kMaxBlocksPerSegment) continue;
+    bool any = false;
+    for (int64_t block = first; block <= last && !any; ++block) {
+      any = DecoupledBlockKeep(b.seed, static_cast<uint64_t>(block), b.p);
+    }
+    if (!any) return true;
+  }
+
+  for (const PruneAlternative::LineageBernoulli& l : alt.lineage_bernoullis) {
+    if (l.p * static_cast<double>(info.row_count) > kMaxExpectedLineageKeeps) {
+      continue;  // a kept row is near-certain; not worth the sweep
+    }
+    const uint64_t threshold = simd::LineageKeepThreshold(l.p);
+    bool any = false;
+    for (int64_t id = row_begin; id < row_end && !any; ++id) {
+      any = simd::ScalarLineageKeeps(l.seed, threshold,
+                                     static_cast<uint64_t>(id));
+    }
+    if (!any) return true;
+  }
+
+  return false;
+}
+
+std::vector<char> ComputeSegmentExclusion(const StoredRelation& store,
+                                          const PrunePlan& plan) {
+  const int64_t n = store.num_segments();
+  std::vector<char> excluded(static_cast<size_t>(n), 0);
+  if (plan.alternatives.empty()) return excluded;
+  for (int64_t s = 0; s < n; ++s) {
+    bool all = true;
+    for (const PruneAlternative& alt : plan.alternatives) {
+      if (!AlternativeExcludesSegment(store, s, alt)) {
+        all = false;
+        break;
+      }
+    }
+    excluded[static_cast<size_t>(s)] = all ? 1 : 0;
+  }
+  return excluded;
+}
+
+std::vector<char> ComputeUnitSkipMask(const StoredRelation& store,
+                                      const std::vector<char>& excluded,
+                                      int64_t morsel_rows) {
+  const int64_t rows = store.num_rows();
+  const int64_t units = (rows + morsel_rows - 1) / morsel_rows;
+  std::vector<char> skip(static_cast<size_t>(units), 0);
+  const int64_t seg_rows = store.segment_rows();
+  for (int64_t u = 0; u < units; ++u) {
+    const int64_t lo = u * morsel_rows;
+    const int64_t hi = std::min(rows, lo + morsel_rows);
+    const int64_t s_first = lo / seg_rows;
+    const int64_t s_last = (hi - 1) / seg_rows;
+    bool all = true;
+    for (int64_t s = s_first; s <= s_last && all; ++s) {
+      all = excluded[static_cast<size_t>(s)] != 0;
+    }
+    skip[static_cast<size_t>(u)] = all ? 1 : 0;
+  }
+  return skip;
+}
+
+int64_t SegmentsInUnitRange(const StoredRelation& store, int64_t morsel_rows,
+                            int64_t unit_begin, int64_t unit_end) {
+  if (unit_begin >= unit_end) return 0;
+  const int64_t rows = store.num_rows();
+  const int64_t lo = unit_begin * morsel_rows;
+  const int64_t hi = std::min(rows, unit_end * morsel_rows);
+  if (lo >= hi) return 0;
+  return (hi - 1) / store.segment_rows() - lo / store.segment_rows() + 1;
+}
+
+int64_t SkippedSegmentsInUnitRange(const StoredRelation& store,
+                                   const std::vector<char>& unit_skip,
+                                   int64_t morsel_rows, int64_t unit_begin,
+                                   int64_t unit_end) {
+  if (unit_skip.empty()) return 0;
+  const int64_t rows = store.num_rows();
+  const int64_t seg_rows = store.segment_rows();
+  int64_t skipped = 0;
+  const int64_t end =
+      std::min<int64_t>(unit_end, static_cast<int64_t>(unit_skip.size()));
+  for (int64_t u = std::max<int64_t>(0, unit_begin); u < end; ++u) {
+    if (!unit_skip[static_cast<size_t>(u)]) continue;
+    const int64_t lo = u * morsel_rows;
+    const int64_t hi = std::min(rows, lo + morsel_rows);
+    if (lo >= hi) continue;
+    skipped += (hi - 1) / seg_rows - lo / seg_rows + 1;
+  }
+  return skipped;
+}
+
+}  // namespace gus

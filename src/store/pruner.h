@@ -1,0 +1,140 @@
+// SegmentPruner: zone-map + provenance-based data skipping for
+// segment-backed pivot scans.
+//
+// The morsel compiler distills the pivot-side operator path into a
+// PrunePlan — a disjunction of PruneAlternatives, one per union branch.
+// Each alternative is a conjunction of facts that every row surviving
+// that branch must satisfy:
+//
+//   * ColumnConstraint    — a `column cmp literal` select conjunct
+//   * keep list           — a WOR / WR-distinct sampler's resolved global
+//                           keep-set (sorted row ids)
+//   * block sampler       — a decoupled block-Bernoulli (seed, p, block)
+//   * lineage Bernoulli   — a seed-decoupled per-row keep on the pivot's
+//                           lineage ids (= global row ids at the scan)
+//
+// A segment is *excluded* under an alternative when any one fact can hold
+// for none of its rows (predicate interval disjoint from the zone map, no
+// kept row id in the segment's row range, every overlapping block
+// rejected, no lineage id under the keep threshold). A segment is
+// *prunable* when it is excluded under EVERY alternative.
+//
+// Soundness (why skipping cannot move an estimate by one bit): skipping
+// happens at whole-morsel granularity only — a unit is skipped iff all of
+// its segments are prunable, and a skipped unit folds a fresh sink into
+// the ordered morsel fold without executing. That is byte-identical to
+// "executed and emitted nothing", which is exactly what the exclusion
+// proof guarantees the unit would have done: per-morsel Rng streams are
+// forked independently (Rng::ForkStream(stream_base, m)), so a skipped
+// unit's stream was never observable by any other unit, and all
+// keep-decisions above are pure functions of (seed, row/block id), not of
+// which segments were faulted. No per-segment skipping happens inside a
+// running morsel — that *would* perturb streaming samplers whose draw
+// count depends on scanned rows.
+//
+// Constraint evaluation mirrors the expression evaluator exactly: numeric
+// comparisons go through double promotion (rel/expression.cc
+// CompareBinary), strings compare bytewise — the pruner must never prune
+// a segment the evaluator would keep a row of.
+
+#ifndef GUS_STORE_PRUNER_H_
+#define GUS_STORE_PRUNER_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "rel/expression.h"
+#include "store/segment_store.h"
+
+namespace gus {
+
+/// One `column cmp literal` conjunct, normalized column-on-the-left and
+/// resolved to a pivot column index.
+struct ColumnConstraint {
+  int column = -1;  ///< pivot column index
+  ExprOp op = ExprOp::kEq;  ///< kEq/kNe/kLt/kLe/kGt/kGe
+  Value literal;
+};
+
+/// \brief The conjunction of row-survival facts along one pivot path (one
+/// union branch).
+struct PruneAlternative {
+  std::vector<ColumnConstraint> constraints;
+  /// Resolved WOR / WR-distinct keep-sets (sorted global row ids).
+  std::vector<std::shared_ptr<const std::vector<int64_t>>> keep_lists;
+  struct BlockSampler {
+    uint64_t seed = 0;
+    double p = 0.0;
+    int64_t block_size = 0;
+  };
+  std::vector<BlockSampler> block_samplers;
+  struct LineageBernoulli {
+    uint64_t seed = 0;
+    double p = 0.0;
+  };
+  /// Seed-decoupled Bernoulli keeps on the pivot's own lineage ids; only
+  /// extracted while those ids still equal global row ids (no block
+  /// re-key below).
+  std::vector<LineageBernoulli> lineage_bernoullis;
+};
+
+/// Disjunction of alternatives. No alternatives means "nothing provable":
+/// every segment stays.
+struct PrunePlan {
+  std::vector<PruneAlternative> alternatives;
+};
+
+/// \brief Appends the `column cmp literal` conjuncts of `predicate`
+/// (resolved against `schema`) whose column maps to a pivot column.
+///
+/// `colmap[i]` is the pivot column behind schema column i, or -1 when the
+/// column is not a pivot column (join build side). Unsupported shapes
+/// (ORs, arithmetic, column-vs-column) contribute nothing — pruning just
+/// gets weaker, never wrong.
+void ExtractColumnConstraints(const ExprPtr& predicate, const Schema& schema,
+                              const std::vector<int>& colmap,
+                              std::vector<ColumnConstraint>* out);
+
+/// \brief True when some row of a segment with zone `zone` *may* satisfy
+/// `column op literal` under the evaluator's comparison semantics.
+///
+/// False is a proof of emptiness; true is merely "not excluded".
+bool ZoneMayMatch(const ColumnZone& zone, ValueType type, ExprOp op,
+                  const Value& literal);
+
+/// True when segment `s` of `store` provably yields no surviving row
+/// under `alt`.
+bool AlternativeExcludesSegment(const StoredRelation& store, int64_t s,
+                                const PruneAlternative& alt);
+
+/// Per-segment prunability mask: excluded under every alternative (all
+/// false when `plan` has no alternatives).
+std::vector<char> ComputeSegmentExclusion(const StoredRelation& store,
+                                          const PrunePlan& plan);
+
+/// \brief Per-unit skip mask over the morsel sequence: a unit is skipped
+/// iff every segment overlapping its row range is excluded.
+///
+/// `morsel_rows` must be a multiple of the store's segment_rows (the
+/// morsel resolver aligns it), so each segment belongs to exactly one
+/// unit.
+std::vector<char> ComputeUnitSkipMask(const StoredRelation& store,
+                                      const std::vector<char>& excluded,
+                                      int64_t morsel_rows);
+
+/// Segments overlapping units [unit_begin, unit_end) — the
+/// ExecStats::segments_total of a (shard) execution.
+int64_t SegmentsInUnitRange(const StoredRelation& store, int64_t morsel_rows,
+                            int64_t unit_begin, int64_t unit_end);
+
+/// Segments overlapping units of [unit_begin, unit_end) that the skip
+/// mask marks skipped — ExecStats::segments_skipped.
+int64_t SkippedSegmentsInUnitRange(const StoredRelation& store,
+                                   const std::vector<char>& unit_skip,
+                                   int64_t morsel_rows, int64_t unit_begin,
+                                   int64_t unit_end);
+
+}  // namespace gus
+
+#endif  // GUS_STORE_PRUNER_H_

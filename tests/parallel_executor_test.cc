@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <filesystem>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -20,6 +21,7 @@
 #include "plan/executor.h"
 #include "plan/parallel_executor.h"
 #include "plan/soa_transform.h"
+#include "store/segment_catalog.h"
 #include "test_util.h"
 
 namespace gus {
@@ -662,6 +664,40 @@ TEST(ParallelExecutorTest, MonteCarloUnbiasedAtEveryThreadCount) {
     // fixed seeds anyway.
     EXPECT_NEAR(truth, mean, 0.01 * truth);
   }
+}
+
+TEST(ParallelExecutorTest, StoreCountersObeyAccountingInvariant) {
+  // Cold cache, one thread, a single segment-backed relation: every
+  // segment of the pivot is either skipped by the pruner or faulted in
+  // exactly once — segments_skipped + segments_faulted == segments_total.
+  Catalog catalog;
+  catalog["R"] = gus::testing::MakeSingleTable(512);
+  const std::string dir =
+      ::testing::TempDir() + "/gus_store_accounting";
+  std::filesystem::remove_all(dir);
+  ASSERT_OK(WriteCatalogSegments(catalog, dir, /*segment_rows=*/32));
+  ASSERT_OK_AND_ASSIGN(auto stored_catalog, SegmentCatalog::Open(dir));
+
+  // v in [1, 512]; v <= 96 keeps only the first 3 of 16 segments.
+  PlanPtr plan = PlanNode::SelectNode(
+      Le(Col("v"), Lit(96.0)),
+      PlanNode::Sample(SamplingSpec::Bernoulli(0.5), PlanNode::Scan("R")));
+  ExecOptions exec;
+  exec.engine = ExecEngine::kMorselParallel;
+  exec.num_threads = 1;
+  exec.morsel_rows = 32;
+  ExecStats stats;
+  exec.stats = &stats;
+  Rng rng(11);
+  ASSERT_OK_AND_ASSIGN(ColumnarRelation result,
+                       ExecutePlanMorsel(plan, stored_catalog.get(), &rng,
+                                         ExecMode::kSampled, exec));
+  EXPECT_GT(result.num_rows(), 0);
+  EXPECT_EQ(16, stats.segments_total);
+  EXPECT_GT(stats.segments_skipped, 0);
+  EXPECT_EQ(stats.segments_total,
+            stats.segments_skipped + stats.segments_faulted);
+  EXPECT_GT(stats.store_bytes_read, 0);
 }
 
 }  // namespace
